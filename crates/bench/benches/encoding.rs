@@ -1,0 +1,47 @@
+//! Criterion bench: encode/decode throughput of every encoding scheme
+//! (the microbenchmark behind Tables I and II).
+
+use blot_codec::EncodingScheme;
+use blot_model::RecordBatch;
+use blot_tracegen::FleetConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn partition_batch() -> RecordBatch {
+    // One realistic storage-unit's worth of records.
+    let mut c = FleetConfig::small();
+    c.num_taxis = 64;
+    c.records_per_taxi = 256;
+    c.generate()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let batch = partition_batch();
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.sample_size(20);
+    for scheme in EncodingScheme::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme),
+            &scheme,
+            |b, &scheme| b.iter(|| scheme.encode(&batch)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let batch = partition_batch();
+    let mut group = c.benchmark_group("decode");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.sample_size(20);
+    for scheme in EncodingScheme::all() {
+        let bytes = scheme.encode(&batch);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &bytes, |b, bytes| {
+            b.iter(|| scheme.decode(bytes).expect("decode"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: exact-MIP solve time as instance size grows
+//! (Figure 3's microbenchmark).
+
+use blot_core::select::{build_selection_problem, CostMatrix};
+use blot_mip::MipSolver;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn instance(n: usize, m: usize, seed: u64) -> (CostMatrix, f64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let quality: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let costs = (0..n)
+        .map(|_| {
+            (0..m)
+                .map(|j| quality[j] * rng.gen_range(1.0..100.0f64))
+                .collect()
+        })
+        .collect();
+    let storage: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..20.0)).collect();
+    let budget = storage.iter().sum::<f64>() * 0.3;
+    (
+        CostMatrix {
+            costs,
+            weights: vec![1.0; n],
+            storage,
+        },
+        budget,
+    )
+}
+
+fn bench_mip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mip_solve");
+    group.sample_size(10);
+    for (n, m) in [(4, 10), (8, 20), (16, 30)] {
+        let (matrix, budget) = instance(n, m, 42);
+        let problem = build_selection_problem(&matrix, budget);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{n}_r{m}")),
+            &problem,
+            |b, problem| {
+                b.iter(|| MipSolver::default().solve(problem).expect("feasible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mip);
+criterion_main!(benches);

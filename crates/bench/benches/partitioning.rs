@@ -1,0 +1,65 @@
+//! Criterion bench: k-d scheme construction, partitioning-index lookup
+//! and the Equation 11 expected-involvement computation.
+
+use blot_core::cost::CostModel;
+use blot_geo::{Cuboid, QuerySize};
+use blot_index::{PartitioningScheme, SchemeSpec};
+use blot_tracegen::FleetConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_build(c: &mut Criterion) {
+    let config = FleetConfig::small();
+    let sample = config.generate();
+    let universe = config.universe();
+    let mut group = c.benchmark_group("kd_build");
+    group.sample_size(10);
+    for spec in [
+        SchemeSpec::new(16, 16),
+        SchemeSpec::new(256, 32),
+        SchemeSpec::new(1024, 64),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &spec| {
+            b.iter(|| PartitioningScheme::build(&sample, universe, spec));
+        });
+    }
+    group.finish();
+}
+
+fn bench_involved(c: &mut Criterion) {
+    let config = FleetConfig::small();
+    let sample = config.generate();
+    let universe = config.universe();
+    let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(1024, 64));
+    let query = Cuboid::from_centroid(
+        universe.centroid(),
+        QuerySize::new(0.3, 0.3, universe.extent(2) / 8.0),
+    );
+    let mut group = c.benchmark_group("involved_lookup");
+    group.bench_function("tree_walk", |b| b.iter(|| scheme.involved(&query)));
+    group.bench_function("full_scan", |b| b.iter(|| scheme.involved_scan(&query)));
+    group.finish();
+}
+
+fn bench_expected_involved(c: &mut Criterion) {
+    let config = FleetConfig::small();
+    let sample = config.generate();
+    let universe = config.universe();
+    let mut group = c.benchmark_group("expected_involved_eq11");
+    group.sample_size(20);
+    for spec in [SchemeSpec::new(64, 16), SchemeSpec::new(1024, 64)] {
+        let scheme = PartitioningScheme::build(&sample, universe, spec);
+        let size = QuerySize::new(0.3, 0.3, universe.extent(2) / 8.0);
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &scheme, |b, scheme| {
+            b.iter(|| CostModel::expected_involved(scheme, size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_involved,
+    bench_expected_involved
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: end-to-end query execution through the BLOT store
+//! (routing + map-only scan + filter), per replica shape and query size.
+
+use blot_core::prelude::*;
+use blot_storage::MemBackend;
+use blot_tracegen::FleetConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn store_with_replicas() -> (BlotStore<MemBackend>, Cuboid) {
+    let config = FleetConfig::small();
+    let data = config.generate();
+    let universe = config.universe();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 0xEC);
+    let mut store = BlotStore::new(MemBackend::new(), env, universe, model);
+    store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(64, 8),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+        )
+        .expect("fine");
+    store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(4, 2),
+                EncodingScheme::new(Layout::Column, Compression::Deflate),
+            ),
+        )
+        .expect("coarse");
+    (store, universe)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (store, universe) = store_with_replicas();
+    let mut group = c.benchmark_group("store_query");
+    group.sample_size(20);
+    let queries = [
+        (
+            "tiny",
+            QuerySize::new(0.05, 0.05, universe.extent(2) / 64.0),
+        ),
+        ("medium", QuerySize::new(0.5, 0.5, universe.extent(2) / 8.0)),
+        ("huge", QuerySize::new(1.8, 1.8, universe.extent(2) * 0.9)),
+    ];
+    for (name, size) in queries {
+        let q = Cuboid::from_centroid(universe.centroid(), size);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| store.query(q).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_only(c: &mut Criterion) {
+    let (store, universe) = store_with_replicas();
+    let q = Cuboid::from_centroid(
+        universe.centroid(),
+        QuerySize::new(0.5, 0.5, universe.extent(2) / 8.0),
+    );
+    c.bench_function("route", |b| b.iter(|| store.route(&q)));
+}
+
+criterion_group!(benches, bench_query, bench_routing_only);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the selection pipeline on a paper-shaped instance —
+//! matrix estimation, dominance pruning, greedy, and warm-started MIP.
+
+use blot_codec::EncodingScheme;
+use blot_core::cost::CostModel;
+use blot_core::prelude::*;
+use blot_core::select::{prune_dominated, select_greedy, select_mip};
+use blot_mip::MipSolver;
+use blot_tracegen::FleetConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct Setup {
+    matrix: CostMatrix,
+    budget: f64,
+}
+
+fn setup() -> Setup {
+    let config = FleetConfig::small();
+    let sample = config.generate();
+    let universe = config.universe();
+    let model = CostModel::calibrate(&EnvProfile::cloud_object_store(), &sample, 0xBE);
+    let specs = vec![
+        SchemeSpec::new(16, 16),
+        SchemeSpec::new(16, 64),
+        SchemeSpec::new(64, 32),
+        SchemeSpec::new(256, 16),
+        SchemeSpec::new(256, 64),
+    ];
+    let candidates = ReplicaConfig::grid(&specs, &EncodingScheme::all());
+    let workload = Workload::paper_synthetic(&universe);
+    let matrix =
+        CostMatrix::estimate_scaled(&model, &workload, &candidates, &sample, universe, 65e6);
+    let budget = 3.0 * matrix.storage[matrix.optimal_single().0];
+    Setup { matrix, budget }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    group.bench_function("prune_dominated", |b| b.iter(|| prune_dominated(&s.matrix)));
+    group.bench_function("greedy", |b| b.iter(|| select_greedy(&s.matrix, s.budget)));
+    group.bench_function("mip_warm_started", |b| {
+        b.iter(|| select_mip(&s.matrix, s.budget, &MipSolver::default()).expect("mip"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

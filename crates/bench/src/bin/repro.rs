@@ -1,0 +1,173 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p blot-bench --bin repro -- --all
+//! cargo run --release -p blot-bench --bin repro -- --table1 --fig4 --quick
+//! ```
+//!
+//! Results are printed as paper-shaped tables and written as JSON under
+//! `results/`.
+
+use blot_bench::{fig2, fig3, fig4, fig5, fig6, table1, table2, Context, Scale};
+use std::time::Instant;
+
+fn write_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create results/; skipping JSON output");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let all = has("--all") || args.iter().all(|a| a == "--quick");
+    let scale = if has("--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+
+    if args.iter().any(|a| {
+        !matches!(
+            a.as_str(),
+            "--all"
+                | "--quick"
+                | "--table1"
+                | "--table2"
+                | "--fig2"
+                | "--fig3"
+                | "--fig4"
+                | "--fig5"
+                | "--fig6"
+        )
+    }) {
+        eprintln!(
+            "usage: repro [--all] [--quick] [--table1] [--table2] [--fig2] [--fig3] [--fig4] [--fig5] [--fig6]"
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "building context ({} scale: sample generation + 2 calibrations)…",
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "full"
+        }
+    );
+    let t0 = Instant::now();
+    let ctx = Context::new(scale);
+    println!(
+        "context ready in {:.1}s — {} sample records\n",
+        t0.elapsed().as_secs_f64(),
+        ctx.sample.len()
+    );
+
+    let mut shapes: Vec<(&str, bool)> = Vec::new();
+
+    if all || has("--table1") {
+        let t = Instant::now();
+        let r = table1(&ctx);
+        println!(
+            "== Table I — compression ratios ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("table1", r.shape_holds()));
+        write_json("table1", &r);
+        println!();
+    }
+    if all || has("--table2") {
+        let t = Instant::now();
+        let r = table2(&ctx);
+        println!(
+            "== Table II — ScanRate / ExtraCost ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("table2", r.shape_holds()));
+        write_json("table2", &r);
+        println!();
+    }
+    if all || has("--fig2") {
+        let t = Instant::now();
+        let r = fig2(&ctx);
+        println!(
+            "== Figure 2 — partition-granularity tension ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("fig2", r.shape_holds()));
+        write_json("fig2", &r);
+        println!();
+    }
+    if all || has("--fig3") {
+        let t = Instant::now();
+        let r = fig3(&ctx);
+        println!(
+            "== Figure 3 — MIP solve-time scaling ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("fig3", r.shape_holds()));
+        write_json("fig3", &r);
+        println!();
+    }
+    if all || has("--fig4") {
+        let t = Instant::now();
+        let r = fig4(&ctx);
+        println!(
+            "== Figure 4 — cost vs storage budget ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("fig4", r.shape_holds()));
+        write_json("fig4", &r);
+        println!();
+    }
+    if all || has("--fig5") {
+        let t = Instant::now();
+        let r = fig5(&ctx);
+        println!(
+            "== Figure 5 — cost-model fit ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("fig5", r.shape_holds()));
+        write_json("fig5", &r);
+        println!();
+    }
+    if all || has("--fig6") {
+        let t = Instant::now();
+        let r = fig6(&ctx);
+        println!(
+            "== Figure 6 — data-size sweep ({:.1}s) ==",
+            t.elapsed().as_secs_f64()
+        );
+        print!("{}", r.render());
+        shapes.push(("fig6", r.shape_holds()));
+        write_json("fig6", &r);
+        println!();
+    }
+
+    println!("shape summary (paper-vs-measured qualitative agreement):");
+    let mut ok = true;
+    for (name, holds) in &shapes {
+        println!("  {name:<8} {}", if *holds { "HOLDS" } else { "DIVERGES" });
+        ok &= holds;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

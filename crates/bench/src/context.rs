@@ -1,0 +1,96 @@
+//! Shared experiment context: the data sample, universe and calibrated
+//! cost models.
+
+use blot_core::cost::{CalibrationConfig, CostModel};
+use blot_geo::Cuboid;
+use blot_model::RecordBatch;
+use blot_storage::EnvProfile;
+use blot_tracegen::FleetConfig;
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: small sample, reduced grids, seconds per experiment.
+    Quick,
+    /// Paper-shaped: the 1M-record calibration sample, the full
+    /// 25-spec × 7-scheme candidate grid, §V-B calibration shape.
+    Full,
+}
+
+/// Everything the experiments share: deterministic sample data, the
+/// universe, and one calibrated cost model per execution environment.
+pub struct Context {
+    /// Run scale.
+    pub scale: Scale,
+    /// The data sample used for calibration and scheme construction.
+    pub sample: RecordBatch,
+    /// Spatio-temporal universe of the dataset.
+    pub universe: Cuboid,
+    /// The simulated Amazon-S3 + EMR environment.
+    pub cloud: EnvProfile,
+    /// The simulated local Hadoop cluster.
+    pub local: EnvProfile,
+    /// Cost model calibrated in `cloud`.
+    pub cloud_model: CostModel,
+    /// Cost model calibrated in `local`.
+    pub local_model: CostModel,
+    /// Records in the full (modelled) dataset — the paper's 65 M.
+    pub dataset_records: f64,
+}
+
+impl Context {
+    /// Builds the context, generating the sample and running both
+    /// calibrations.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        let fleet = match scale {
+            Scale::Quick => FleetConfig::small(),
+            Scale::Full => FleetConfig::sample_scale(),
+        };
+        let sample = fleet.generate();
+        let universe = fleet.universe();
+        let cloud = EnvProfile::cloud_object_store();
+        let local = EnvProfile::local_cluster();
+        let calib = match scale {
+            // Larger than CalibrationConfig::quick(): the repro binary
+            // always runs in release, and the cloud profile's 29.5 s
+            // ExtraCost needs partitions big enough for the scan signal
+            // to rise above timing noise.
+            Scale::Quick => CalibrationConfig {
+                sizes: vec![1_500, 3_000, 6_000],
+                partitions_per_set: 4,
+            },
+            Scale::Full => CalibrationConfig::paper(),
+        };
+        let cloud_model = CostModel::calibrate_with(&cloud, &sample, &calib, 0xB107).0;
+        let local_model = CostModel::calibrate_with(&local, &sample, &calib, 0xB107).0;
+        Self {
+            scale,
+            sample,
+            universe,
+            cloud,
+            local,
+            cloud_model,
+            local_model,
+            dataset_records: 65e6,
+        }
+    }
+
+    /// The partitioning-spec grid for this scale: the paper's 25 specs,
+    /// or a 6-spec subset for quick runs.
+    #[must_use]
+    pub fn spec_grid(&self) -> Vec<blot_index::SchemeSpec> {
+        use blot_index::SchemeSpec;
+        match self.scale {
+            Scale::Quick => vec![
+                SchemeSpec::new(16, 16),
+                SchemeSpec::new(16, 64),
+                SchemeSpec::new(64, 32),
+                SchemeSpec::new(256, 16),
+                SchemeSpec::new(256, 64),
+                SchemeSpec::new(1024, 32),
+            ],
+            Scale::Full => SchemeSpec::paper_grid(),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 2's illustrative table (§II-D): the same query against three
+//! partitioning granularities, comparing involved-partition counts and
+//! the share of data scanned.
+//!
+//! The paper's figure shows a query over three layouts with
+//! `Np = 4 / 3 / 8` and `S = 100% / 30% / 50%` and concludes that the
+//! middle case wins because *both* its costs are low while the other
+//! two each minimise only one. This experiment rebuilds that tension on
+//! real (synthetic-fleet) data: a mid-sized query against a coarse, a
+//! medium and a fine k-d scheme.
+
+use blot_codec::{Compression, EncodingScheme, Layout};
+use blot_geo::Cuboid;
+use blot_index::{PartitioningScheme, SchemeSpec};
+use serde::Serialize;
+
+use crate::Context;
+
+/// One partitioning case of the comparison.
+#[derive(Debug, Serialize)]
+pub struct Fig2Case {
+    /// Scheme label.
+    pub scheme: String,
+    /// Total partitions.
+    pub partitions: usize,
+    /// Involved partitions `Np`.
+    pub involved: usize,
+    /// Share of the dataset's records inside involved partitions.
+    pub scanned_fraction: f64,
+    /// Estimated query cost (cloud model, 370 GB scale) in ms.
+    pub est_cost_ms: f64,
+}
+
+/// The three-case comparison.
+#[derive(Debug, Serialize)]
+pub struct Fig2Result {
+    /// Coarse / medium / fine, in that order.
+    pub cases: Vec<Fig2Case>,
+}
+
+/// Runs the comparison with a query covering ~1/3 of each spatial axis
+/// and ~1/4 of the time axis.
+#[must_use]
+pub fn fig2(ctx: &Context) -> Fig2Result {
+    let u = ctx.universe;
+    let query = Cuboid::from_centroid(
+        u.centroid(),
+        blot_geo::QuerySize::new(u.extent(0) / 3.0, u.extent(1) / 3.0, u.extent(2) / 4.0),
+    );
+    let enc = EncodingScheme::new(Layout::Row, Compression::Plain);
+    let total: usize = ctx.sample.len();
+    let cases = [
+        SchemeSpec::new(4, 2),
+        SchemeSpec::new(16, 8),
+        SchemeSpec::new(256, 32),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let scheme = PartitioningScheme::build(&ctx.sample, u, spec);
+        let involved = scheme.involved(&query);
+        let scanned: usize = involved
+            .iter()
+            .map(|&pid| scheme.partitions()[pid].count)
+            .sum();
+        #[allow(clippy::cast_precision_loss)]
+        let est_cost_ms = ctx.cloud_model.cost_with_np(
+            involved.len() as f64,
+            scheme.len(),
+            enc,
+            ctx.dataset_records * 100.0,
+        );
+        Fig2Case {
+            scheme: spec.to_string(),
+            partitions: scheme.len(),
+            involved: involved.len(),
+            #[allow(clippy::cast_precision_loss)]
+            scanned_fraction: scanned as f64 / total as f64,
+            est_cost_ms,
+        }
+    })
+    .collect();
+    Fig2Result { cases }
+}
+
+impl Fig2Result {
+    /// Renders the paper's little Np / S table, plus the modelled cost.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("    scheme      partitions    Np    scanned    est. cost (370 GB, cloud)\n");
+        for c in &self.cases {
+            out.push_str(&format!(
+                "    {:<11} {:>10} {:>5} {:>9.1}%    {}\n",
+                c.scheme,
+                c.partitions,
+                c.involved,
+                c.scanned_fraction * 100.0,
+                crate::fmt_ms(c.est_cost_ms)
+            ));
+        }
+        out
+    }
+
+    /// Shape check (the paper's point): going finer strictly increases
+    /// `Np` and strictly decreases the scanned share, so neither extreme
+    /// can win on both axes.
+    #[must_use]
+    pub fn shape_holds(&self) -> bool {
+        self.cases
+            .windows(2)
+            .all(|w| w[1].involved > w[0].involved && w[1].scanned_fraction < w[0].scanned_fraction)
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure 3: computation time of the exact MIP solution as the input
+//! grows.
+//!
+//! The paper sweeps the workload size (3a) and the candidate-replica
+//! count (3b) over synthetic instances and shows the solve time growing
+//! steeply, motivating the greedy fallback. Our from-scratch dense
+//! simplex + branch & bound is slower than a commercial solver, so the
+//! sweep tops out at smaller sizes (documented in EXPERIMENTS.md) —
+//! which only sharpens the figure's message.
+
+use blot_core::select::{build_selection_problem, CostMatrix};
+use blot_mip::MipSolver;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Duration;
+
+use crate::{Context, Scale};
+
+/// One measured point of the sweep.
+#[derive(Debug, Serialize)]
+pub struct Fig3Point {
+    /// Number of grouped queries `n`.
+    pub queries: usize,
+    /// Number of candidate replicas `m`.
+    pub replicas: usize,
+    /// Wall-clock solve time.
+    pub solve_ms: f64,
+    /// Branch & bound nodes explored.
+    pub nodes: u64,
+    /// Whether optimality was proven within the budget.
+    pub proven: bool,
+}
+
+/// Both sweeps of Figure 3.
+#[derive(Debug, Serialize)]
+pub struct Fig3Result {
+    /// 3(a): varying workload size at fixed replica counts.
+    pub vary_queries: Vec<Fig3Point>,
+    /// 3(b): varying candidate count at fixed workload sizes.
+    pub vary_replicas: Vec<Fig3Point>,
+}
+
+/// Random replica-selection instances shaped like the real ones:
+/// per-query costs correlated across replicas (each replica has a
+/// quality factor) with heavy noise, random storage sizes, budget at
+/// 30 % of total storage.
+fn random_instance(n: usize, m: usize, rng: &mut SmallRng) -> (CostMatrix, f64) {
+    let quality: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let costs: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..m)
+                .map(|j| quality[j] * rng.gen_range(1.0..100.0f64))
+                .collect()
+        })
+        .collect();
+    let storage: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..20.0)).collect();
+    let budget = storage.iter().sum::<f64>() * 0.3;
+    let weights = vec![1.0; n];
+    (
+        CostMatrix {
+            costs,
+            weights,
+            storage,
+        },
+        budget,
+    )
+}
+
+fn measure(n: usize, m: usize, rng: &mut SmallRng) -> Fig3Point {
+    let (matrix, budget) = random_instance(n, m, rng);
+    // Unseeded solve: this figure measures the raw exact-MIP scaling the
+    // paper reports, not the greedy-warm-started production path.
+    let problem = build_selection_problem(&matrix, budget);
+    let solver = MipSolver {
+        max_nodes: 200_000,
+        time_limit: Some(Duration::from_secs(120)),
+    };
+    let started = std::time::Instant::now();
+    match solver.solve(&problem) {
+        Ok(sol) => Fig3Point {
+            queries: n,
+            replicas: m,
+            solve_ms: started.elapsed().as_secs_f64() * 1e3,
+            nodes: sol.stats.nodes_explored,
+            proven: sol.proven_optimal,
+        },
+        // The budget ran out before any incumbent: still a legitimate
+        // point of the scaling curve (time = the limit).
+        Err(blot_mip::MipError::NodeLimit { explored }) => Fig3Point {
+            queries: n,
+            replicas: m,
+            solve_ms: started.elapsed().as_secs_f64() * 1e3,
+            nodes: explored,
+            proven: false,
+        },
+        Err(e) => panic!("random instance must be feasible: {e}"),
+    }
+}
+
+/// Runs both sweeps.
+#[must_use]
+pub fn fig3(ctx: &Context) -> Fig3Result {
+    let mut rng = SmallRng::seed_from_u64(0xF163);
+    let (q_sweep, m_fixed, m_sweep, q_fixed): (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) =
+        match ctx.scale {
+            Scale::Quick => (vec![4, 8, 16], vec![10, 20], vec![5, 10, 20], vec![4, 8]),
+            Scale::Full => (
+                vec![8, 16, 32, 64, 128],
+                vec![15, 30],
+                vec![10, 20, 30, 45, 60],
+                vec![4, 8],
+            ),
+        };
+    let mut vary_queries = Vec::new();
+    for &m in &m_fixed {
+        for &n in &q_sweep {
+            vary_queries.push(measure(n, m, &mut rng));
+        }
+    }
+    let mut vary_replicas = Vec::new();
+    for &n in &q_fixed {
+        for &m in &m_sweep {
+            vary_replicas.push(measure(n, m, &mut rng));
+        }
+    }
+    Fig3Result {
+        vary_queries,
+        vary_replicas,
+    }
+}
+
+impl Fig3Result {
+    /// Renders both sweeps as small tables.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("  (a) solve time vs workload size\n");
+        out.push_str("      queries  replicas   solve (ms)      nodes  proven\n");
+        for p in &self.vary_queries {
+            out.push_str(&format!(
+                "      {:>7}  {:>8}  {:>11.1}  {:>9}  {}\n",
+                p.queries, p.replicas, p.solve_ms, p.nodes, p.proven
+            ));
+        }
+        out.push_str("  (b) solve time vs candidate replicas\n");
+        out.push_str("      queries  replicas   solve (ms)      nodes  proven\n");
+        for p in &self.vary_replicas {
+            out.push_str(&format!(
+                "      {:>7}  {:>8}  {:>11.1}  {:>9}  {}\n",
+                p.queries, p.replicas, p.solve_ms, p.nodes, p.proven
+            ));
+        }
+        out
+    }
+
+    /// Shape check: solve time grows in both sweep directions (comparing
+    /// each series' smallest to largest instance).
+    #[must_use]
+    pub fn shape_holds(&self) -> bool {
+        let grows = |points: &[Fig3Point], key: fn(&Fig3Point) -> usize| {
+            // Group by the fixed dimension, check first-vs-last growth.
+            let mut ok = true;
+            let fixed: Vec<usize> = {
+                let mut v: Vec<usize> = points.iter().map(key).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            for f in fixed {
+                let series: Vec<&Fig3Point> = points.iter().filter(|p| key(p) == f).collect();
+                if series.len() >= 2 {
+                    ok &= series.last().unwrap().solve_ms >= series[0].solve_ms * 0.8;
+                }
+            }
+            ok
+        };
+        grows(&self.vary_queries, |p| p.replicas) && grows(&self.vary_replicas, |p| p.queries)
+    }
+}

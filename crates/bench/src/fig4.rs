@@ -1,0 +1,136 @@
+//! Figure 4: overall query cost relative to the ideal case as the
+//! storage budget varies.
+
+use blot_codec::EncodingScheme;
+use blot_core::prelude::*;
+use blot_core::select::{ideal_cost, select_greedy, select_mip, select_single};
+use blot_mip::MipSolver;
+use serde::Serialize;
+use std::time::Duration;
+
+use crate::Context;
+
+/// One budget point.
+#[derive(Debug, Serialize)]
+pub struct Fig4Row {
+    /// Budget relative to the reference (3 copies of the optimal single
+    /// replica).
+    pub relative_budget: f64,
+    /// `Cost(W, ·)` of the best affordable single replica.
+    pub single: f64,
+    /// Greedy (Algorithm 1).
+    pub greedy: f64,
+    /// Exact MIP.
+    pub mip: f64,
+    /// Whether the MIP solve proved optimality within its budget.
+    pub mip_proven: bool,
+}
+
+/// The full budget sweep.
+#[derive(Debug, Serialize)]
+pub struct Fig4Result {
+    /// Unconstrained lower bound (every candidate available).
+    pub ideal: f64,
+    /// Candidate count after dominance pruning (the MIP runs on this).
+    pub candidates_after_pruning: usize,
+    /// Sweep rows in budget order.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Runs the sweep in the cloud environment (the paper's §V-C setting).
+///
+/// The dataset is modelled at 100× the paper's 3.7 GB sample (the
+/// 370 GB point of Figure 6): at sample scale per-partition ExtraTime
+/// dominates every layout decision and all strategies collapse onto the
+/// ideal — visible in Figure 6(a) — so the budget trade-off the figure
+/// is about only exists at production scale.
+#[must_use]
+pub fn fig4(ctx: &Context) -> Fig4Result {
+    let candidates = ReplicaConfig::grid(&ctx.spec_grid(), &EncodingScheme::all());
+    let workload = Workload::paper_synthetic(&ctx.universe);
+    let matrix = CostMatrix::estimate_scaled(
+        &ctx.cloud_model,
+        &workload,
+        &candidates,
+        &ctx.sample,
+        ctx.universe,
+        ctx.dataset_records * 100.0,
+    );
+    // Dominance pruning (§III-C2) before the exact solves.
+    let kept = blot_core::select::prune_dominated(&matrix);
+    let pruned = CostMatrix {
+        costs: matrix
+            .costs
+            .iter()
+            .map(|row| kept.iter().map(|&j| row[j]).collect())
+            .collect(),
+        weights: matrix.weights.clone(),
+        storage: kept.iter().map(|&j| matrix.storage[j]).collect(),
+    };
+
+    let reference = 3.0 * matrix.storage[matrix.optimal_single().0];
+    let ideal = ideal_cost(&matrix);
+    let solver = MipSolver {
+        max_nodes: 500_000,
+        time_limit: Some(Duration::from_secs(180)),
+    };
+    let rows = [0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0]
+        .into_iter()
+        .map(|rel| {
+            let budget = reference * rel;
+            let single = select_single(&pruned, budget).workload_cost;
+            let greedy = select_greedy(&pruned, budget).workload_cost;
+            let mip = select_mip(&pruned, budget, &solver).expect("mip");
+            Fig4Row {
+                relative_budget: rel,
+                single,
+                greedy,
+                mip: mip.workload_cost,
+                mip_proven: mip.proven_optimal,
+            }
+        })
+        .collect();
+    Fig4Result {
+        ideal,
+        candidates_after_pruning: kept.len(),
+        rows,
+    }
+}
+
+impl Fig4Result {
+    /// Renders the sweep relative to the ideal cost, like the figure's
+    /// y-axis.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  candidates after pruning: {}; ideal cost = {}\n",
+            self.candidates_after_pruning,
+            crate::fmt_ms(self.ideal)
+        ));
+        out.push_str("    budget   Single/Ideal   Greedy/Ideal   MIP/Ideal\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "    {:>5.2}x {:>13.3} {:>14.3} {:>11.3}\n",
+                r.relative_budget,
+                r.single / self.ideal,
+                r.greedy / self.ideal,
+                r.mip / self.ideal
+            ));
+        }
+        out
+    }
+
+    /// Shape checks of the paper's Figure 4: MIP stays near ideal at
+    /// every budget; greedy's ratio falls below 1.2 once the relative
+    /// budget exceeds 1; single never beats greedy or MIP.
+    #[must_use]
+    pub fn shape_holds(&self) -> bool {
+        self.rows.iter().all(|r| {
+            let mip_ok = r.mip <= r.single + 1e-6 && r.mip <= r.greedy + 1e-6;
+            let greedy_ok = r.relative_budget < 1.0 || r.greedy / self.ideal < 1.2;
+            let mip_near_ideal = r.relative_budget < 1.0 || r.mip / self.ideal < 1.1;
+            mip_ok && greedy_ok && mip_near_ideal
+        })
+    }
+}

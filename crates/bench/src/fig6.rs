@@ -1,0 +1,158 @@
+//! Figure 6: per-query weighted cost of Single / Greedy / MIP / Ideal
+//! as the dataset grows from 3.7 GB to 3.7 TB.
+
+use blot_codec::EncodingScheme;
+use blot_core::prelude::*;
+use blot_core::select::{select_greedy, select_mip, select_single, Selection};
+use blot_mip::MipSolver;
+use serde::Serialize;
+use std::time::Duration;
+
+use crate::Context;
+
+/// Results at one dataset scale.
+#[derive(Debug, Serialize)]
+pub struct Fig6Scale {
+    /// Nominal dataset size in GB (the paper's 3.7 / 37 / 370 / 3700).
+    pub gb: f64,
+    /// Modelled record count.
+    pub records: f64,
+    /// Per-query weighted cost (ms) of each strategy, indexed q1..q8.
+    pub single: Vec<f64>,
+    /// Greedy per-query weighted costs.
+    pub greedy: Vec<f64>,
+    /// MIP per-query weighted costs.
+    pub mip: Vec<f64>,
+    /// Ideal per-query weighted costs.
+    pub ideal: Vec<f64>,
+    /// Total-cost approximation ratios vs ideal: (single, greedy, mip).
+    pub ratios: (f64, f64, f64),
+}
+
+/// The four-scale sweep.
+#[derive(Debug, Serialize)]
+pub struct Fig6Result {
+    /// One entry per dataset scale.
+    pub scales: Vec<Fig6Scale>,
+}
+
+fn per_query_costs(matrix: &CostMatrix, selection: &Selection) -> Vec<f64> {
+    (0..matrix.n_queries())
+        .map(|i| {
+            let best = selection
+                .chosen
+                .iter()
+                .map(|&j| matrix.costs[i][j])
+                .fold(f64::INFINITY, f64::min);
+            matrix.weights[i] * best
+        })
+        .collect()
+}
+
+fn ideal_per_query(matrix: &CostMatrix) -> Vec<f64> {
+    let all: Vec<usize> = (0..matrix.n_candidates()).collect();
+    let sel = Selection {
+        chosen: all,
+        workload_cost: 0.0,
+        storage: 0.0,
+        proven_optimal: false,
+        stats: None,
+    };
+    per_query_costs(matrix, &sel)
+}
+
+/// Runs the scale sweep in the cloud environment. The record count is
+/// scaled analytically from the calibration sample, exactly as the
+/// paper scales from its 3.7 GB sample to the full dataset.
+#[must_use]
+pub fn fig6(ctx: &Context) -> Fig6Result {
+    let candidates = ReplicaConfig::grid(&ctx.spec_grid(), &EncodingScheme::all());
+    let workload = Workload::paper_synthetic(&ctx.universe);
+    let solver = MipSolver {
+        max_nodes: 500_000,
+        time_limit: Some(Duration::from_secs(180)),
+    };
+    let scales = [3.7, 37.0, 370.0, 3_700.0]
+        .into_iter()
+        .map(|gb| {
+            let records = 65e6 * (gb / 3.7);
+            let matrix = CostMatrix::estimate_scaled(
+                &ctx.cloud_model,
+                &workload,
+                &candidates,
+                &ctx.sample,
+                ctx.universe,
+                records,
+            );
+            let budget = 3.0 * matrix.storage[matrix.optimal_single().0];
+            let single = select_single(&matrix, budget);
+            let greedy = select_greedy(&matrix, budget);
+            let mip = select_mip(&matrix, budget, &solver).expect("mip");
+            let ideal = ideal_per_query(&matrix);
+            let ideal_total: f64 = ideal.iter().sum();
+            Fig6Scale {
+                gb,
+                records,
+                ratios: (
+                    single.workload_cost / ideal_total,
+                    greedy.workload_cost / ideal_total,
+                    mip.workload_cost / ideal_total,
+                ),
+                single: per_query_costs(&matrix, &single),
+                greedy: per_query_costs(&matrix, &greedy),
+                mip: per_query_costs(&matrix, &mip),
+                ideal,
+            }
+        })
+        .collect();
+    Fig6Result { scales }
+}
+
+impl Fig6Result {
+    /// Renders one block per scale, like the figure's four panels.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scales {
+            out.push_str(&format!(
+                "  data size {} GB ({:.1e} records) — approximation ratios: Single {:.2}, Greedy {:.2}, MIP {:.2}\n",
+                s.gb, s.records, s.ratios.0, s.ratios.1, s.ratios.2
+            ));
+            out.push_str(
+                "    query   Single       Greedy       MIP          Ideal   (weighted ms)\n",
+            );
+            for i in 0..s.ideal.len() {
+                out.push_str(&format!(
+                    "    q{:<5} {:>12.0} {:>12.0} {:>12.0} {:>12.0}\n",
+                    i + 1,
+                    s.single[i],
+                    s.greedy[i],
+                    s.mip[i],
+                    s.ideal[i]
+                ));
+            }
+        }
+        out
+    }
+
+    /// Shape checks of the paper's Figure 6: MIP and greedy track the
+    /// ideal (greedy within ~1.3), the single replica falls further
+    /// behind as data grows, and per-query MIP costs are never below
+    /// ideal.
+    #[must_use]
+    pub fn shape_holds(&self) -> bool {
+        let ratios_ok = self.scales.iter().all(|s| {
+            s.ratios.2 <= s.ratios.1 + 1e-9 && s.ratios.1 <= s.ratios.0 + 1e-9 && s.ratios.1 < 1.35
+        });
+        let single_degrades = {
+            let first = self.scales.first().map(|s| s.ratios.0).unwrap_or(1.0);
+            let last = self.scales.last().map(|s| s.ratios.0).unwrap_or(1.0);
+            last >= first * 0.95
+        };
+        let sound = self
+            .scales
+            .iter()
+            .all(|s| s.mip.iter().zip(&s.ideal).all(|(m, i)| *m >= *i - 1e-6));
+        ratios_ok && single_degrades && sound
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment harness regenerating every table and figure of
+//! *Exploring the Use of Diverse Replicas for Big Location Tracking
+//! Data* (Ding et al., ICDCS 2014).
+//!
+//! Each experiment is a function returning a serialisable result struct;
+//! the `repro` binary runs them, prints paper-shaped tables and writes
+//! JSON next to them. The mapping to the paper:
+//!
+//! | function      | reproduces | paper section |
+//! |---------------|------------|---------------|
+//! | [`fig2`]      | Figure 2 — the partition-granularity tension | §II-D |
+//! | [`table1`]    | Table I — compression ratios | §V-A |
+//! | [`table2`]    | Table II — measured `1/ScanRate`, `ExtraCost` | §V-B |
+//! | [`fig3`]      | Figure 3 — MIP solve time scaling | §V-C |
+//! | [`fig4`]      | Figure 4 — cost vs storage budget | §V-C |
+//! | [`fig5`]      | Figure 5 — `Cost(q, p)` vs partition size + fits | §V-B |
+//! | [`fig6`]      | Figure 6 — per-query cost at 4 data scales | §V-C |
+//!
+//! Absolute numbers are simulated (see `DESIGN.md` for the substitution
+//! table); the assertions baked into `EXPERIMENTS.md` are about *shape*:
+//! orderings, ratios and crossovers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod table1;
+mod table2;
+
+pub use context::{Context, Scale};
+pub use fig2::{fig2, Fig2Case, Fig2Result};
+pub use fig3::{fig3, Fig3Point, Fig3Result};
+pub use fig4::{fig4, Fig4Result, Fig4Row};
+pub use fig5::{fig5, Fig5Result};
+pub use fig6::{fig6, Fig6Result, Fig6Scale};
+pub use table1::{table1, Table1Result};
+pub use table2::{table2, Table2Result, Table2Row};
+
+/// Formats a simulated-millisecond quantity compactly.
+#[must_use]
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1e6 {
+        format!("{:.2}e3 s", ms / 1e6)
+    } else if ms >= 1e3 {
+        format!("{:.1} s", ms / 1e3)
+    } else {
+        format!("{ms:.1} ms")
+    }
+}

@@ -1,0 +1,85 @@
+//! Table I: compression ratio of every encoding scheme.
+
+use blot_codec::{Compression, EncodingScheme, Layout};
+use serde::Serialize;
+
+use crate::Context;
+
+/// Compression ratios relative to the uncompressed row layout, in the
+/// paper's Table I arrangement.
+#[derive(Debug, Serialize)]
+pub struct Table1Result {
+    /// `(scheme name, ratio)` for all seven schemes.
+    pub ratios: Vec<(String, f64)>,
+}
+
+/// Measures Table I on the context's sample via the calibrated model
+/// (ratios are environment-independent; the cloud model is used).
+#[must_use]
+pub fn table1(ctx: &Context) -> Table1Result {
+    let ratios = EncodingScheme::all()
+        .into_iter()
+        .map(|s| (s.to_string(), ctx.cloud_model.compression_ratio(s)))
+        .collect();
+    Table1Result { ratios }
+}
+
+impl Table1Result {
+    /// Renders the paper's two-row table (Row / Col × codec).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let get = |layout: Layout, comp: Compression| -> String {
+            let name = EncodingScheme::new(layout, comp).to_string();
+            self.ratios
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or_else(|| "  N/A".to_owned(), |(_, r)| format!("{r:.3}"))
+        };
+        let mut out = String::new();
+        out.push_str("        | Uncompressed |     Lzf      |   Deflate    |     Lzr\n");
+        out.push_str("        |  (PLAIN)     |  (≈Snappy)   |  (≈Gzip)     |  (≈LZMA2)\n");
+        out.push_str(&format!(
+            "    Row |       {} |       {} |       {} |       {}\n",
+            get(Layout::Row, Compression::Plain),
+            get(Layout::Row, Compression::Lzf),
+            get(Layout::Row, Compression::Deflate),
+            get(Layout::Row, Compression::Lzr),
+        ));
+        out.push_str(&format!(
+            "    Col |          N/A |       {} |       {} |       {}\n",
+            get(Layout::Column, Compression::Lzf),
+            get(Layout::Column, Compression::Deflate),
+            get(Layout::Column, Compression::Lzr),
+        ));
+        out
+    }
+
+    /// The shape checks EXPERIMENTS.md relies on: ratios shrink with
+    /// codec strength and columns beat rows.
+    #[must_use]
+    pub fn shape_holds(&self) -> bool {
+        let get = |l, c| {
+            let name = EncodingScheme::new(l, c).to_string();
+            self.ratios
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, r)| *r)
+        };
+        let (Some(rp), Some(rl), Some(rd), Some(rz)) = (
+            get(Layout::Row, Compression::Plain),
+            get(Layout::Row, Compression::Lzf),
+            get(Layout::Row, Compression::Deflate),
+            get(Layout::Row, Compression::Lzr),
+        ) else {
+            return false;
+        };
+        let cols_beat_rows = [Compression::Lzf, Compression::Deflate, Compression::Lzr]
+            .into_iter()
+            .all(|c| {
+                get(Layout::Column, c)
+                    .zip(get(Layout::Row, c))
+                    .is_some_and(|(cc, rr)| cc < rr)
+            });
+        (rp - 1.0).abs() < 1e-9 && rl < rp && rd < rl && rz <= rd * 1.05 && cols_beat_rows
+    }
+}

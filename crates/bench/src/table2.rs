@@ -1,0 +1,99 @@
+//! Table II: measured `ScanRate` and `ExtraCost` per encoding scheme in
+//! both execution environments.
+
+use blot_codec::EncodingScheme;
+use serde::Serialize;
+
+use crate::Context;
+
+/// One row of Table II.
+#[derive(Debug, Serialize)]
+pub struct Table2Row {
+    /// Encoding scheme name.
+    pub scheme: String,
+    /// Fitted `1/ScanRate`, reported as milliseconds per 10⁴ records
+    /// (the magnitude the paper's table reads in).
+    pub inv_scan_rate_ms_per_10k: f64,
+    /// Fitted `ExtraCost` in milliseconds.
+    pub extra_cost_ms: f64,
+}
+
+/// Table II for both environments.
+#[derive(Debug, Serialize)]
+pub struct Table2Result {
+    /// Amazon-S3 + EMR style environment.
+    pub cloud: Vec<Table2Row>,
+    /// Local Hadoop cluster.
+    pub local: Vec<Table2Row>,
+}
+
+fn rows(model: &blot_core::cost::CostModel) -> Vec<Table2Row> {
+    EncodingScheme::all()
+        .into_iter()
+        .map(|s| {
+            let p = model.params(s);
+            Table2Row {
+                scheme: s.to_string(),
+                inv_scan_rate_ms_per_10k: p.ms_per_record * 1e4,
+                extra_cost_ms: p.extra_ms,
+            }
+        })
+        .collect()
+}
+
+/// Runs the §V-B measurement procedure in both environments (the
+/// context already calibrated the models; this just reads them out).
+#[must_use]
+pub fn table2(ctx: &Context) -> Table2Result {
+    Table2Result {
+        cloud: rows(&ctx.cloud_model),
+        local: rows(&ctx.local_model),
+    }
+}
+
+impl Table2Result {
+    /// Renders both halves of Table II.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, rows) in [
+            ("cloud object store (≈ S3+EMR)", &self.cloud),
+            ("local cluster (≈ Hadoop)", &self.local),
+        ] {
+            out.push_str(&format!("  {name}\n"));
+            out.push_str("    scheme       1/ScanRate (ms per 10^4 rec)   ExtraCost (ms)\n");
+            for r in rows {
+                out.push_str(&format!(
+                    "    {:<12} {:>28.2} {:>16.0}\n",
+                    r.scheme, r.inv_scan_rate_ms_per_10k, r.extra_cost_ms
+                ));
+            }
+        }
+        out
+    }
+
+    /// Shape checks: cloud `ExtraCost` ≫ local; local `1/ScanRate` >
+    /// cloud per scheme; stronger codecs pay more per record.
+    #[must_use]
+    pub fn shape_holds(&self) -> bool {
+        let extra_ok = self
+            .cloud
+            .iter()
+            .zip(&self.local)
+            .all(|(c, l)| c.extra_cost_ms > 3.0 * l.extra_cost_ms);
+        let rate_ok = self
+            .cloud
+            .iter()
+            .zip(&self.local)
+            .all(|(c, l)| l.inv_scan_rate_ms_per_10k > c.inv_scan_rate_ms_per_10k);
+        let find = |rows: &[Table2Row], n: &str| {
+            rows.iter()
+                .find(|r| r.scheme == n)
+                .map(|r| r.inv_scan_rate_ms_per_10k)
+        };
+        let cpu_ok = ["ROW-PLAIN", "ROW-LZMA"]
+            .windows(2)
+            .all(|w| find(&self.local, w[0]) < find(&self.local, w[1]));
+        extra_ok && rate_ok && cpu_ok
+    }
+}

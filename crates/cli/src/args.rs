@@ -1,0 +1,110 @@
+//! Minimal `--flag value` / `--flag` argument parsing (no external
+//! dependencies; the option set is small and fixed).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options: repeated flags accumulate.
+pub struct Args {
+    values: BTreeMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--switch` flags.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let v = it.next().expect("peeked").clone();
+                    values.entry(key.to_owned()).or_default().push(v);
+                }
+                _ => switches.push(key.to_owned()),
+            }
+        }
+        Ok(Self { values, switches })
+    }
+
+    /// Last value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable `--key`.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.values
+            .get(key)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether the bare switch `--key` was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Required `--key value`.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Optional `--key value` parsed as `T`.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad value `{v}` for --{key}"))
+            })
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|&x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_repeats() {
+        let a = Args::parse(&argv(&[
+            "--data",
+            "x.csv",
+            "--replica",
+            "A",
+            "--replica",
+            "B",
+            "--exact",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("data"), Some("x.csv"));
+        assert_eq!(a.get_all("replica"), vec!["A", "B"]);
+        assert!(a.has("exact"));
+        assert!(!a.has("quick"));
+        assert_eq!(a.get_parsed::<u32>("taxis").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_positional_and_bad_numbers() {
+        assert!(Args::parse(&argv(&["stray"])).is_err());
+        let a = Args::parse(&argv(&["--taxis", "abc"])).unwrap();
+        assert!(a.get_parsed::<u32>("taxis").is_err());
+    }
+
+    #[test]
+    fn require_reports_missing_flags() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        assert!(a.require("store").unwrap_err().contains("--store"));
+    }
+}

@@ -1,0 +1,341 @@
+//! `blot` — command-line front end for the diverse-replica store.
+//!
+//! ```text
+//! blot generate --out fleet.csv [--taxis 200] [--records 250] [--seed 7]
+//! blot build    --data fleet.csv --store ./store --replica S16xT8/ROW-SNAPPY [--replica …]
+//! blot info     --store ./store
+//! blot query    --store ./store --center LON,LAT,T --size W,H,T [--limit 5]
+//! blot select   --data fleet.csv --budget-copies 3 [--exact] [--records 65000000]
+//! blot scrub    --store ./store
+//! blot repair   --store ./store
+//! ```
+//!
+//! A store directory holds one file per storage unit plus
+//! `manifest.json` describing the universe and each replica's
+//! partitioning scheme, so stores reopen without the original data.
+
+mod args;
+mod manifest;
+
+use blot_core::prelude::*;
+use blot_mip::MipSolver;
+use blot_storage::FileBackend;
+use blot_tracegen::FleetConfig;
+use std::process::ExitCode;
+
+use args::Args;
+use manifest::Manifest;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "build" => cmd_build(&args),
+        "info" => cmd_info(&args),
+        "query" => cmd_query(&args),
+        "select" => cmd_select(&args),
+        "scrub" => cmd_scrub(&args),
+        "repair" => cmd_repair(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+blot — diverse-replica storage for location tracking data
+
+commands:
+  generate  --out FILE [--taxis N] [--records N] [--seed N]
+  build     --data FILE --store DIR --replica SPEC/ENC [--replica …] [--env local|cloud]
+  info      --store DIR
+  query     --store DIR --center LON,LAT,T --size W,H,T [--limit N] [--replica-id N]
+  select    --data FILE [--budget-copies X] [--exact] [--records N] [--env local|cloud]
+  scrub     --store DIR
+  repair    --store DIR
+
+replica syntax: S<spatial>xT<temporal>/<LAYOUT>-<CODEC>, e.g. S64xT16/COL-GZIP
+  spatial ∈ {4,16,64,256,1024,4096}; temporal a power of two
+  encodings: ROW-PLAIN ROW-SNAPPY ROW-GZIP ROW-LZMA COL-SNAPPY COL-GZIP COL-LZMA";
+
+fn parse_env(args: &Args) -> Result<EnvProfile, String> {
+    match args.get("env").unwrap_or("local") {
+        "local" => Ok(EnvProfile::local_cluster()),
+        "cloud" => Ok(EnvProfile::cloud_object_store()),
+        other => Err(format!("unknown --env `{other}` (expected local|cloud)")),
+    }
+}
+
+fn load_csv(path: &str) -> Result<RecordBatch, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    RecordBatch::from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let mut config = FleetConfig::small();
+    if let Some(n) = args.get_parsed::<u32>("taxis")? {
+        config.num_taxis = n;
+    }
+    if let Some(n) = args.get_parsed::<u32>("records")? {
+        config.records_per_taxi = n;
+    }
+    if let Some(n) = args.get_parsed::<u64>("seed")? {
+        config.seed = n;
+    }
+    let batch = config.generate();
+    std::fs::write(out, batch.to_csv()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} records from {} taxis to {out}",
+        batch.len(),
+        config.num_taxis
+    );
+    Ok(())
+}
+
+fn universe_for(batch: &RecordBatch) -> Cuboid {
+    // A tight bounding box breaks future inserts on the boundary; pad 1%.
+    let bb = batch.bounding_box().expect("non-empty data");
+    let pad = |lo: f64, hi: f64| {
+        let d = (hi - lo).max(1e-9) * 0.01;
+        (lo - d, hi + d)
+    };
+    let (x0, x1) = pad(bb.min().x, bb.max().x);
+    let (y0, y1) = pad(bb.min().y, bb.max().y);
+    let (t0, t1) = pad(bb.min().t, bb.max().t);
+    Cuboid::new(Point::new(x0, y0, t0), Point::new(x1, y1, t1))
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let data_path = args.require("data")?;
+    let store_dir = args.require("store")?;
+    let configs: Vec<ReplicaConfig> = args
+        .get_all("replica")
+        .iter()
+        .map(|s| s.parse())
+        .collect::<Result<_, _>>()?;
+    if configs.is_empty() {
+        return Err("at least one --replica is required".into());
+    }
+    let env = parse_env(args)?;
+    let data = load_csv(data_path)?;
+    if data.is_empty() {
+        return Err("input data is empty".into());
+    }
+    let universe = universe_for(&data);
+    let model = CostModel::calibrate(&env, &data, 0xB107);
+    let backend = FileBackend::new(store_dir).map_err(|e| e.to_string())?;
+    let mut store = BlotStore::new(backend, env, universe, model);
+    for config in &configs {
+        let id = store
+            .build_replica(&data, *config)
+            .map_err(|e| e.to_string())?;
+        let r = &store.replicas()[id as usize];
+        println!(
+            "built replica {id}: {config} — {} units, {:.1} KiB",
+            r.scheme.len(),
+            r.bytes as f64 / 1024.0
+        );
+    }
+    Manifest::from_store(&store).save(store_dir)?;
+    println!(
+        "store ready at {store_dir} ({:.1} KiB total, manifest.json written)",
+        store.total_bytes() as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn open_store(args: &Args) -> Result<BlotStore<FileBackend>, String> {
+    let store_dir = args.require("store")?;
+    let env = parse_env(args)?;
+    Manifest::load(store_dir)?.open(store_dir, env)
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let u = store.universe();
+    println!(
+        "universe: lon [{:.4}, {:.4}] lat [{:.4}, {:.4}] time [{:.0}, {:.0}]",
+        u.min().x,
+        u.max().x,
+        u.min().y,
+        u.max().y,
+        u.min().t,
+        u.max().t
+    );
+    for r in store.replicas() {
+        pipe_println(&format!(
+            "replica {}: {} — {} partitions, {} records, {:.1} KiB",
+            r.id,
+            r.config,
+            r.scheme.len(),
+            r.records,
+            r.bytes as f64 / 1024.0
+        ));
+    }
+    Ok(())
+}
+
+fn parse_triple(s: &str, what: &str) -> Result<(f64, f64, f64), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "{what} must be three comma-separated numbers, got `{s}`"
+        ));
+    }
+    let mut vals = [0.0; 3];
+    for (v, p) in vals.iter_mut().zip(&parts) {
+        *v = p
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad number `{p}` in {what}"))?;
+    }
+    Ok((vals[0], vals[1], vals[2]))
+}
+
+/// Prints a line, exiting quietly if stdout is a closed pipe (e.g. the
+/// output is being piped into `head`).
+fn pipe_println(line: &str) {
+    use std::io::Write;
+    if let Err(e) = writeln!(std::io::stdout(), "{line}") {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+    }
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let (cx, cy, ct) = parse_triple(args.require("center")?, "--center")?;
+    let (w, h, t) = parse_triple(args.require("size")?, "--size")?;
+    let range = Cuboid::from_centroid(Point::new(cx, cy, ct), QuerySize::new(w, h, t));
+    let result = if let Some(id) = args.get_parsed::<u32>("replica-id")? {
+        store.query_on(id, &range)
+    } else {
+        store.query(&range)
+    }
+    .map_err(|e| e.to_string())?;
+    pipe_println(&format!(
+        "{} records from replica {} — {} partitions scanned, {:.0} simulated ms ({:.0} ms wall)",
+        result.records.len(),
+        result.replica,
+        result.partitions_scanned,
+        result.sim_ms,
+        result.makespan_ms
+    ));
+    let limit = args.get_parsed::<usize>("limit")?.unwrap_or(5);
+    for r in result.records.iter().take(limit) {
+        pipe_println(&format!("  {}", r.to_csv_line()));
+    }
+    if result.records.len() > limit {
+        pipe_println(&format!("  … {} more", result.records.len() - limit));
+    }
+    Ok(())
+}
+
+fn cmd_select(args: &Args) -> Result<(), String> {
+    let data_path = args.require("data")?;
+    let env = parse_env(args)?;
+    let data = load_csv(data_path)?;
+    if data.is_empty() {
+        return Err("input data is empty".into());
+    }
+    let universe = universe_for(&data);
+    let model = CostModel::calibrate(&env, &data, 0xB107);
+    let candidates = ReplicaConfig::grid(&SchemeSpec::paper_grid(), &EncodingScheme::all());
+    let workload = Workload::paper_synthetic(&universe);
+    #[allow(clippy::cast_precision_loss)]
+    let records = args
+        .get_parsed::<u64>("records")?
+        .map_or(data.len() as f64, |n| n as f64);
+    let matrix =
+        CostMatrix::estimate_scaled(&model, &workload, &candidates, &data, universe, records);
+    let copies = args.get_parsed::<f64>("budget-copies")?.unwrap_or(3.0);
+    let budget = copies * matrix.storage[matrix.optimal_single().0];
+    let kept = prune_dominated(&matrix);
+    println!(
+        "{} candidates ({} after dominance pruning), budget = {:.2} GiB",
+        matrix.n_candidates(),
+        kept.len(),
+        budget / (1024.0 * 1024.0 * 1024.0)
+    );
+    let selection = if args.has("exact") {
+        select_mip(&matrix, budget, &MipSolver::default()).map_err(|e| e.to_string())?
+    } else {
+        select_greedy(&matrix, budget)
+    };
+    let ideal = ideal_cost(&matrix);
+    println!(
+        "selected {} replicas — estimated workload cost {:.3e} ms ({:.2}× the ideal):",
+        selection.chosen.len(),
+        selection.workload_cost,
+        selection.workload_cost / ideal
+    );
+    for &j in &selection.chosen {
+        println!(
+            "  {} — {:.2} GiB",
+            candidates[j],
+            matrix.storage[j] / (1024.0 * 1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_scrub(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let damaged = store.scrub();
+    if damaged.is_empty() {
+        println!(
+            "all {} units healthy",
+            store
+                .replicas()
+                .iter()
+                .map(|r| r.scheme.len())
+                .sum::<usize>()
+        );
+    } else {
+        pipe_println(&format!("{} damaged units:", damaged.len()));
+        for key in damaged {
+            pipe_println(&format!("  {key}"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_repair(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let report = store.repair_all().map_err(|e| e.to_string())?;
+    println!(
+        "repaired {} units, {} unrecoverable",
+        report.repaired.len(),
+        report.unrecoverable.len()
+    );
+    for key in &report.unrecoverable {
+        pipe_println(&format!("  unrecoverable: {key}"));
+    }
+    if report.unrecoverable.is_empty() {
+        Ok(())
+    } else {
+        Err("some units could not be recovered".into())
+    }
+}

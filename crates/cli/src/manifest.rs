@@ -1,0 +1,112 @@
+//! The store manifest: everything needed to reopen a store directory
+//! without the original dataset.
+
+use blot_core::prelude::*;
+use blot_core::store::BlotStore;
+use blot_geo::Cuboid;
+use blot_index::PartitioningScheme;
+use blot_storage::{Backend, FileBackend};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One replica's persisted metadata.
+#[derive(Serialize, Deserialize)]
+struct ReplicaEntry {
+    config: ReplicaConfig,
+    scheme: PartitioningScheme,
+    records: u64,
+    bytes: u64,
+}
+
+/// `manifest.json`: universe + replica metadata (schemes included, so
+/// reopening needs no data and no rebuild).
+#[derive(Serialize, Deserialize)]
+pub struct Manifest {
+    universe: Cuboid,
+    replicas: Vec<ReplicaEntry>,
+}
+
+impl Manifest {
+    /// Captures a store's metadata.
+    pub fn from_store<B: Backend>(store: &BlotStore<B>) -> Self {
+        Self {
+            universe: store.universe(),
+            replicas: store
+                .replicas()
+                .iter()
+                .map(|r| ReplicaEntry {
+                    config: r.config,
+                    scheme: r.scheme.clone(),
+                    records: r.records,
+                    bytes: r.bytes,
+                })
+                .collect(),
+        }
+    }
+
+    /// Writes `manifest.json` into the store directory.
+    pub fn save(&self, dir: &str) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        std::fs::write(Path::new(dir).join("manifest.json"), json)
+            .map_err(|e| format!("cannot write manifest: {e}"))
+    }
+
+    /// Reads `manifest.json` from a store directory.
+    pub fn load(dir: &str) -> Result<Self, String> {
+        let path = Path::new(dir).join("manifest.json");
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&json).map_err(|e| format!("corrupt manifest: {e}"))
+    }
+
+    /// Opens the store: attaches the file backend and restores every
+    /// replica's metadata.
+    ///
+    /// The cost model for query routing is reconstructed from a small
+    /// sample read back out of the first replica's units (the store
+    /// carries no raw data); if that fails, a flat default model is used
+    /// — routing degrades gracefully to partition-count ranking.
+    pub fn open(self, dir: &str, env: EnvProfile) -> Result<BlotStore<FileBackend>, String> {
+        let backend = FileBackend::new(dir).map_err(|e| e.to_string())?;
+        // Rebuild a routing model from one storage unit's records.
+        let sample = self
+            .replicas
+            .first()
+            .and_then(|r| {
+                let key = blot_storage::UnitKey {
+                    replica: 0,
+                    partition: 0,
+                };
+                let bytes = backend.get(key).ok()?;
+                r.config.encoding.decode(&bytes).ok()
+            })
+            .filter(|b| !b.is_empty());
+        let model = match sample {
+            Some(batch) => CostModel::calibrate(&env, &batch, 0xB107),
+            None => flat_model(),
+        };
+        let mut store = BlotStore::new(backend, env, self.universe, model);
+        for r in self.replicas {
+            store.restore_replica(r.config, r.scheme, r.records, r.bytes);
+        }
+        Ok(store)
+    }
+}
+
+/// A neutral model (equal per-record cost for every scheme) used when no
+/// sample is available for calibration.
+fn flat_model() -> CostModel {
+    let mut params = std::collections::HashMap::new();
+    let mut bpr = std::collections::HashMap::new();
+    for scheme in EncodingScheme::all() {
+        params.insert(
+            scheme,
+            blot_core::cost::CostParams {
+                ms_per_record: 1e-3,
+                extra_ms: 100.0,
+            },
+        );
+        bpr.insert(scheme, 38.0);
+    }
+    CostModel::from_params("flat", params, bpr)
+}

@@ -1,0 +1,165 @@
+//! End-to-end exercise of the `blot` binary: generate → build → info →
+//! query → scrub → (damage) → repair.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+struct Dirs {
+    root: PathBuf,
+}
+
+impl Dirs {
+    fn new() -> Self {
+        let root = std::env::temp_dir().join(format!("blot-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.root.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Dirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn blot(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_blot"))
+        .args(args)
+        .output()
+        .expect("run blot binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn full_cli_lifecycle() {
+    let dirs = Dirs::new();
+    let data = dirs.path("fleet.csv");
+    let store = dirs.path("store");
+
+    // generate
+    let (ok, out) = blot(&[
+        "generate",
+        "--out",
+        &data,
+        "--taxis",
+        "40",
+        "--records",
+        "100",
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("4000 records"), "{out}");
+
+    // build two diverse replicas
+    let (ok, out) = blot(&[
+        "build",
+        "--data",
+        &data,
+        "--store",
+        &store,
+        "--replica",
+        "S16xT4/ROW-SNAPPY",
+        "--replica",
+        "S4xT2/COL-GZIP",
+    ]);
+    assert!(ok, "{out}");
+    assert!(
+        out.contains("built replica 0") && out.contains("built replica 1"),
+        "{out}"
+    );
+    assert!(std::path::Path::new(&store).join("manifest.json").exists());
+
+    // info reopens from the manifest
+    let (ok, out) = blot(&["info", "--store", &store]);
+    assert!(ok, "{out}");
+    assert!(out.contains("replica 0: S16xT4/ROW-SNAPPY"), "{out}");
+    assert!(out.contains("replica 1: S4xT2/COL-GZIP"), "{out}");
+
+    // query the whole universe: every record comes back
+    let (ok, out) = blot(&[
+        "query",
+        "--store",
+        &store,
+        "--center",
+        "121,31,4000",
+        "--size",
+        "10,10,1000000",
+        "--limit",
+        "2",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("4000 records"), "{out}");
+
+    // clean scrub
+    let (ok, out) = blot(&["scrub", "--store", &store]);
+    assert!(ok, "{out}");
+    assert!(out.contains("healthy"), "{out}");
+
+    // destroy a unit on disk, scrub sees it, repair heals it
+    std::fs::remove_file(std::path::Path::new(&store).join("r0").join("p3.unit")).unwrap();
+    let (ok, out) = blot(&["scrub", "--store", &store]);
+    assert!(ok, "{out}");
+    assert!(out.contains("r0/p3"), "{out}");
+    let (ok, out) = blot(&["repair", "--store", &store]);
+    assert!(ok, "{out}");
+    assert!(out.contains("repaired 1 units"), "{out}");
+    let (ok, out) = blot(&["scrub", "--store", &store]);
+    assert!(ok, "{out}");
+    assert!(out.contains("healthy"), "{out}");
+}
+
+#[test]
+fn select_prints_a_recommendation() {
+    let dirs = Dirs::new();
+    let data = dirs.path("fleet.csv");
+    let (ok, out) = blot(&[
+        "generate",
+        "--out",
+        &data,
+        "--taxis",
+        "30",
+        "--records",
+        "80",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok, "{out}");
+    let (ok, out) = blot(&[
+        "select",
+        "--data",
+        &data,
+        "--budget-copies",
+        "3",
+        "--records",
+        "65000000",
+        "--env",
+        "cloud",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("selected"), "{out}");
+    assert!(out.contains("GiB"), "{out}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (ok, out) = blot(&["query", "--store", "/nonexistent"]);
+    assert!(!ok);
+    assert!(out.contains("error"), "{out}");
+    let (ok, out) = blot(&["frobnicate"]);
+    assert!(!ok);
+    assert!(out.contains("unknown command"), "{out}");
+    let (ok, out) = blot(&["build", "--data", "x.csv"]);
+    assert!(!ok);
+    assert!(out.contains("--store") || out.contains("error"), "{out}");
+}

@@ -1,0 +1,171 @@
+//! LSB-first bit-level IO used by the Huffman and Gorilla coders.
+
+use crate::CodecError;
+
+/// Writes bits least-significant-bit first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bit_pos: u32,
+    current: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `bits`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, bits: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in 0..count {
+            let bit = ((bits >> i) & 1) as u8;
+            self.current |= bit << self.bit_pos;
+            self.bit_pos += 1;
+            if self.bit_pos == 8 {
+                self.buf.push(self.current);
+                self.current = 0;
+                self.bit_pos = 0;
+            }
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.bit_pos as usize
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.bit_pos > 0 {
+            self.buf.push(self.current);
+        }
+        self.buf
+    }
+}
+
+/// Reads bits least-significant-bit first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Reads `count` bits, LSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, CodecError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut out = 0u64;
+        for i in 0..count {
+            if self.byte_pos >= self.buf.len() {
+                return Err(CodecError::UnexpectedEof {
+                    context: "bit stream",
+                });
+            }
+            let bit = u64::from((self.buf[self.byte_pos] >> self.bit_pos) & 1);
+            out |= bit << i;
+            self.bit_pos += 1;
+            if self.bit_pos == 8 {
+                self.bit_pos = 0;
+                self.byte_pos += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Number of bits consumed so far.
+    #[must_use]
+    pub fn bits_read(&self) -> usize {
+        self.byte_pos * 8 + self.bit_pos as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bit(true);
+        w.write_bits(0x1234_5678_9ABC_DEF0, 64);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(64).unwrap(), 0x1234_5678_9ABC_DEF0);
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let bytes = BitWriter::new().finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(
+            r.read_bit(),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 11);
+        assert_eq!(w.bit_len(), 11);
+        assert_eq!(w.finish().len(), 2);
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 0);
+        let bytes = w.finish();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+}

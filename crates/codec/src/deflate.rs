@@ -1,0 +1,364 @@
+//! `Deflate` — the Gzip-class compressor: LZSS + canonical Huffman.
+//!
+//! Stands in for Gzip in the paper's encoding-scheme lineup. The design
+//! mirrors RFC 1951 (the same literal/length and distance slot tables)
+//! without being wire-compatible: a single block per input, with the two
+//! code-length vectors stored run-length encoded in the header.
+//!
+//! Stream layout:
+//!
+//! ```text
+//! varint   decoded length
+//! varint   header length  |  RLE(lit/len code lengths ‖ dist code lengths)
+//! bits     Huffman-coded symbols, terminated by the EOB symbol (256)
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{build_lengths, HuffmanDecoder, HuffmanEncoder, MAX_CODE_LEN};
+use crate::lz77::MatchFinder;
+use crate::rle::{rle_decode, rle_encode};
+use crate::varint::{read_varint_u64, write_varint_u64};
+use crate::CodecError;
+
+const WINDOW: usize = 1 << 15;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const MAX_CHAIN: usize = 64;
+
+const LITLEN_SYMBOLS: usize = 286; // 0..=255 literals, 256 EOB, 257..=285 lengths
+const DIST_SYMBOLS: usize = 30;
+const EOB: u16 = 256;
+
+/// DEFLATE length-code table: `(base_length, extra_bits)` for codes
+/// 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-slot table: `(base_distance, extra_bits)` for slots
+/// 0..=29.
+const DIST_TABLE: [(u32, u8); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+fn length_symbol(len: usize) -> (u16, u8, u16) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut slot = LEN_TABLE.len() - 1;
+    for (i, &(base, _)) in LEN_TABLE.iter().enumerate() {
+        if usize::from(base) > len {
+            slot = i - 1;
+            break;
+        }
+    }
+    // Length 258 has its own dedicated final slot.
+    if len == usize::from(LEN_TABLE[28].0) {
+        slot = 28;
+    }
+    let (base, extra) = LEN_TABLE[slot];
+    (257 + slot as u16, extra, (len - usize::from(base)) as u16)
+}
+
+fn dist_symbol(dist: usize) -> (u16, u8, u32) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut slot = DIST_TABLE.len() - 1;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if base as usize > dist {
+            slot = i - 1;
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[slot];
+    (slot as u16, extra, (dist - base as usize) as u32)
+}
+
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+fn lz_parse(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 4 + 1);
+    let mut mf = MatchFinder::new(data.len(), WINDOW, MIN_MATCH, MAX_MATCH, MAX_CHAIN);
+    let mut pos = 0;
+    while pos < data.len() {
+        match mf.find(data, pos) {
+            Some(m) => {
+                tokens.push(Token::Match {
+                    len: m.len,
+                    dist: m.dist,
+                });
+                for p in pos..pos + m.len {
+                    mf.insert(data, p);
+                }
+                pos += m.len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                mf.insert(data, pos);
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Compresses `data`.
+#[must_use]
+pub fn deflate_compress(data: &[u8]) -> Vec<u8> {
+    let tokens = lz_parse(data);
+
+    // Gather symbol statistics.
+    let mut lit_freq = vec![0u64; LITLEN_SYMBOLS];
+    let mut dist_freq = vec![0u64; DIST_SYMBOLS];
+    lit_freq[usize::from(EOB)] = 1;
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[usize::from(b)] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[usize::from(length_symbol(len).0)] += 1;
+                dist_freq[usize::from(dist_symbol(dist).0)] += 1;
+            }
+        }
+    }
+    let lit_lengths = build_lengths(&lit_freq, MAX_CODE_LEN);
+    let dist_lengths = build_lengths(&dist_freq, MAX_CODE_LEN);
+
+    let mut out = Vec::with_capacity(data.len() / 3 + 64);
+    write_varint_u64(&mut out, data.len() as u64);
+    let mut header = Vec::with_capacity(LITLEN_SYMBOLS + DIST_SYMBOLS);
+    header.extend_from_slice(&lit_lengths);
+    header.extend_from_slice(&dist_lengths);
+    let header_rle = rle_encode(&header);
+    write_varint_u64(&mut out, header_rle.len() as u64);
+    out.extend_from_slice(&header_rle);
+
+    let lit_enc = HuffmanEncoder::from_lengths(&lit_lengths);
+    let dist_enc = HuffmanEncoder::from_lengths(&dist_lengths);
+    let mut w = BitWriter::new();
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.encode(&mut w, u16::from(b)),
+            Token::Match { len, dist } => {
+                let (sym, extra, payload) = length_symbol(len);
+                lit_enc.encode(&mut w, sym);
+                w.write_bits(u64::from(payload), u32::from(extra));
+                let (dsym, dextra, dpayload) = dist_symbol(dist);
+                dist_enc.encode(&mut w, dsym);
+                w.write_bits(u64::from(dpayload), u32::from(dextra));
+            }
+        }
+    }
+    lit_enc.encode(&mut w, EOB);
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decompresses a stream produced by [`deflate_compress`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on any structural damage.
+pub fn deflate_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let declared = read_varint_u64(buf, &mut pos)?;
+    if declared > (1 << 30) {
+        return Err(CodecError::TooLarge { declared });
+    }
+    let declared = declared as usize;
+    let header_len = read_varint_u64(buf, &mut pos)? as usize;
+    let header_end = pos
+        .checked_add(header_len)
+        .filter(|&e| e <= buf.len())
+        .ok_or(CodecError::UnexpectedEof {
+            context: "deflate header",
+        })?;
+    let header = rle_decode(&buf[pos..header_end])?;
+    if header.len() != LITLEN_SYMBOLS + DIST_SYMBOLS {
+        return Err(CodecError::Corrupt {
+            context: "deflate header length",
+        });
+    }
+    let lit_dec = HuffmanDecoder::from_lengths(&header[..LITLEN_SYMBOLS]);
+    let dist_dec = HuffmanDecoder::from_lengths(&header[LITLEN_SYMBOLS..]);
+
+    let mut r = BitReader::new(&buf[header_end..]);
+    let mut out = Vec::with_capacity(declared);
+    loop {
+        let sym = lit_dec.decode(&mut r)?;
+        if sym == EOB {
+            break;
+        }
+        if sym < 256 {
+            out.push(sym as u8);
+            continue;
+        }
+        let slot = usize::from(sym) - 257;
+        if slot >= LEN_TABLE.len() {
+            return Err(CodecError::Corrupt {
+                context: "bad length symbol",
+            });
+        }
+        let (base, extra) = LEN_TABLE[slot];
+        let len = usize::from(base) + r.read_bits(u32::from(extra))? as usize;
+        let dslot = usize::from(dist_dec.decode(&mut r)?);
+        if dslot >= DIST_TABLE.len() {
+            return Err(CodecError::Corrupt {
+                context: "bad distance symbol",
+            });
+        }
+        let (dbase, dextra) = DIST_TABLE[dslot];
+        let dist = dbase as usize + r.read_bits(u32::from(dextra))? as usize;
+        if dist > out.len() {
+            return Err(CodecError::BadReference {
+                offset: dist,
+                decoded_len: out.len(),
+            });
+        }
+        if out.len() + len > declared {
+            return Err(CodecError::Corrupt {
+                context: "deflate output overruns declared size",
+            });
+        }
+        let start = out.len() - dist;
+        for i in 0..len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    if out.len() != declared {
+        return Err(CodecError::Corrupt {
+            context: "deflate decoded length mismatch",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let enc = deflate_compress(data);
+        let dec = deflate_decompress(&enc).unwrap();
+        assert_eq!(dec, data);
+        enc.len()
+    }
+
+    #[test]
+    fn length_symbol_table_is_consistent() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (sym, extra, payload) = length_symbol(len);
+            assert!((257..=285).contains(&sym));
+            let (base, table_extra) = LEN_TABLE[usize::from(sym) - 257];
+            assert_eq!(extra, table_extra);
+            assert_eq!(usize::from(base) + usize::from(payload), len);
+            assert!(u32::from(payload) < (1 << u32::from(extra)) || extra == 0);
+        }
+    }
+
+    #[test]
+    fn dist_symbol_table_is_consistent() {
+        for dist in 1..=WINDOW {
+            let (slot, extra, payload) = dist_symbol(dist);
+            let (base, table_extra) = DIST_TABLE[usize::from(slot)];
+            assert_eq!(extra, table_extra);
+            assert_eq!(base as usize + payload as usize, dist);
+        }
+    }
+
+    #[test]
+    fn roundtrip_edge_cases() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaa");
+        roundtrip(&(0..=255u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn beats_lzf_on_text() {
+        let data: Vec<u8> = b"pos,oid,time,lat,lon,speed,heading 121.4437,31.2165 "
+            .iter()
+            .copied()
+            .cycle()
+            .take(50_000)
+            .collect();
+        let d = roundtrip(&data);
+        let l = crate::lzf::lzf_compress(&data).len();
+        assert!(d < l, "deflate {d} should beat lzf {l}");
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let data: Vec<u8> = (0..30_000).map(|_| rng.gen()).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let enc = deflate_compress(b"hello world hello world hello world");
+        assert!(deflate_decompress(&enc[..3]).is_err());
+        let mut bad = enc.clone();
+        let n = bad.len();
+        bad.truncate(n - 2);
+        assert!(deflate_decompress(&bad).is_err());
+    }
+}

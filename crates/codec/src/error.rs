@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Error decoding an encoded partition or compressed stream.
+///
+/// Encoding is infallible (any batch can be encoded); decoding validates
+/// the input and reports structural corruption rather than panicking, so
+/// that a damaged storage unit surfaces as a recoverable error to the
+/// replica-repair path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the decoder finished.
+    UnexpectedEof {
+        /// What the decoder was reading when the stream ended.
+        context: &'static str,
+    },
+    /// The stream is structurally invalid.
+    Corrupt {
+        /// Description of the inconsistency.
+        context: &'static str,
+    },
+    /// A back-reference pointed outside the decoded prefix.
+    BadReference {
+        /// Offset of the bad reference.
+        offset: usize,
+        /// Length decoded so far.
+        decoded_len: usize,
+    },
+    /// The declared decompressed size exceeds the safety limit.
+    TooLarge {
+        /// Declared size in bytes.
+        declared: u64,
+    },
+    /// The stream was produced by a different scheme than requested.
+    SchemeMismatch {
+        /// Scheme tag found in the stream.
+        found: u8,
+        /// Scheme tag expected by the caller.
+        expected: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof { context } => {
+                write!(f, "unexpected end of stream while reading {context}")
+            }
+            Self::Corrupt { context } => write!(f, "corrupt stream: {context}"),
+            Self::BadReference {
+                offset,
+                decoded_len,
+            } => write!(
+                f,
+                "back-reference offset {offset} exceeds decoded prefix of {decoded_len} bytes"
+            ),
+            Self::TooLarge { declared } => {
+                write!(
+                    f,
+                    "declared decompressed size {declared} exceeds safety limit"
+                )
+            }
+            Self::SchemeMismatch { found, expected } => {
+                write!(
+                    f,
+                    "stream encoded with scheme tag {found}, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,335 @@
+//! Canonical, length-limited Huffman coding for the Deflate-class codec.
+//!
+//! Code lengths are computed with the package-merge algorithm, which
+//! yields optimal prefix codes under a maximum-length constraint. Codes
+//! are canonical, so only the length vector needs to be serialised; both
+//! sides rebuild identical code books from it.
+//!
+//! Bit order: canonical codes are defined MSB-first; since the shared
+//! [`BitWriter`](crate::BitWriter) is LSB-first, codes are emitted with
+//! their bits reversed so the decoder can consume one bit at a time in
+//! MSB-first code space.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Maximum code length used by the Deflate-class codec.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Computes optimal length-limited code lengths for `freqs` via
+/// package-merge. Symbols with zero frequency get length 0 (no code).
+///
+/// # Panics
+///
+/// Panics if `max_len` is too small to represent the alphabet
+/// (`2^max_len < #used symbols`) or `max_len == 0`.
+#[must_use]
+pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    assert!(max_len > 0, "max_len must be positive");
+    let used: Vec<u16> = (0..freqs.len())
+        .filter(|&i| freqs[i] > 0)
+        .map(|i| u16::try_from(i).expect("alphabet fits u16"))
+        .collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lengths[used[0] as usize] = 1;
+            return lengths;
+        }
+        n => assert!(
+            (1usize << u32::from(max_len).min(31)) >= n,
+            "max_len {max_len} cannot encode {n} symbols"
+        ),
+    }
+
+    // Package-merge. A "package" is a weight plus the multiset of leaf
+    // symbols it contains (tracked as counts added to the final lengths).
+    #[derive(Clone)]
+    struct Package {
+        weight: u64,
+        symbols: Vec<u16>,
+    }
+    let mut singletons: Vec<Package> = used
+        .iter()
+        .map(|&s| Package {
+            weight: freqs[s as usize],
+            symbols: vec![s],
+        })
+        .collect();
+    singletons.sort_by_key(|p| p.weight);
+
+    let mut level: Vec<Package> = singletons.clone();
+    for _ in 1..max_len {
+        // Pair adjacent packages of the previous level…
+        let mut paired: Vec<Package> = Vec::with_capacity(level.len() / 2);
+        let mut it = level.chunks_exact(2);
+        for pair in &mut it {
+            let mut symbols = pair[0].symbols.clone();
+            symbols.extend_from_slice(&pair[1].symbols);
+            paired.push(Package {
+                weight: pair[0].weight + pair[1].weight,
+                symbols,
+            });
+        }
+        // …and merge with a fresh copy of the singletons.
+        let mut merged = Vec::with_capacity(paired.len() + singletons.len());
+        let (mut i, mut j) = (0, 0);
+        while i < singletons.len() || j < paired.len() {
+            let take_singleton = j >= paired.len()
+                || (i < singletons.len() && singletons[i].weight <= paired[j].weight);
+            if take_singleton {
+                merged.push(singletons[i].clone());
+                i += 1;
+            } else {
+                merged.push(paired[j].clone());
+                j += 1;
+            }
+        }
+        level = merged;
+    }
+
+    // The first 2n-2 packages of the final level define the code: each
+    // occurrence of a symbol adds one to its code length.
+    for p in level.iter().take(2 * used.len() - 2) {
+        for &s in &p.symbols {
+            lengths[s as usize] += 1;
+        }
+    }
+    lengths
+}
+
+/// Canonical code assignment: `(code, len)` per symbol, MSB-first code
+/// space. Symbols with length 0 get no code.
+fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; usize::from(max) + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[usize::from(l)] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; usize::from(max) + 2];
+    let mut code = 0u32;
+    for len in 1..=usize::from(max) {
+        code = (code + bl_count[len - 1]) << 1;
+        next_code[len] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                (0, 0)
+            } else {
+                let c = next_code[usize::from(l)];
+                next_code[usize::from(l)] += 1;
+                (c, l)
+            }
+        })
+        .collect()
+}
+
+/// Encoder side of a canonical Huffman code book.
+#[derive(Debug)]
+pub struct HuffmanEncoder {
+    /// Per symbol: code bits already reversed for LSB-first emission, and
+    /// the code length.
+    codes: Vec<(u32, u8)>,
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from a code-length vector.
+    #[must_use]
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let codes = canonical_codes(lengths)
+            .into_iter()
+            .map(|(code, len)| {
+                if len == 0 {
+                    (0, 0)
+                } else {
+                    (code.reverse_bits() >> (32 - u32::from(len)), len)
+                }
+            })
+            .collect();
+        Self { codes }
+    }
+
+    /// Writes the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` has no code (zero frequency at build time).
+    pub fn encode(&self, w: &mut BitWriter, symbol: u16) {
+        let (code, len) = self.codes[usize::from(symbol)];
+        assert!(len > 0, "symbol {symbol} has no code");
+        w.write_bits(u64::from(code), u32::from(len));
+    }
+}
+
+/// Decoder side of a canonical Huffman code book.
+#[derive(Debug)]
+pub struct HuffmanDecoder {
+    /// `first_code[len]` — canonical code value of the first code of
+    /// length `len`.
+    first_code: Vec<u32>,
+    /// `offset[len]` — index into `symbols` of that first code.
+    offset: Vec<u32>,
+    /// `count[len]` — number of codes of length `len`.
+    count: Vec<u32>,
+    /// Symbols ordered by (length, symbol).
+    symbols: Vec<u16>,
+    max_len: u8,
+}
+
+impl HuffmanDecoder {
+    /// Builds a decoder from the same code-length vector as the encoder.
+    #[must_use]
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        let mut symbols: Vec<u16> = (0..lengths.len())
+            .filter(|&i| lengths[i] > 0)
+            .map(|i| u16::try_from(i).expect("alphabet fits u16"))
+            .collect();
+        symbols.sort_by_key(|&s| (lengths[usize::from(s)], s));
+        let codes = canonical_codes(lengths);
+        let mut first_code = vec![u32::MAX; usize::from(max_len) + 1];
+        let mut offset = vec![0u32; usize::from(max_len) + 1];
+        let mut count = vec![0u32; usize::from(max_len) + 1];
+        for (idx, &s) in symbols.iter().enumerate() {
+            let len = usize::from(lengths[usize::from(s)]);
+            if first_code[len] == u32::MAX {
+                first_code[len] = codes[usize::from(s)].0;
+                offset[len] = u32::try_from(idx).expect("alphabet fits u32");
+            }
+            count[len] += 1;
+        }
+        Self {
+            first_code,
+            offset,
+            count,
+            symbols,
+            max_len,
+        }
+    }
+
+    /// Reads one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or a code not present in
+    /// the book.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        for len in 1..=usize::from(self.max_len) {
+            code = (code << 1) | u32::from(r.read_bit()?);
+            let first = self.first_code[len];
+            if first == u32::MAX {
+                continue;
+            }
+            let count = self.count[len];
+            if code >= first && code < first + count {
+                return Ok(self.symbols[(self.offset[len] + (code - first)) as usize]);
+            }
+        }
+        Err(CodecError::Corrupt {
+            context: "invalid Huffman code",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[u16]) {
+        let lengths = build_lengths(freqs, MAX_CODE_LEN);
+        let enc = HuffmanEncoder::from_lengths(&lengths);
+        let dec = HuffmanDecoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let lengths = build_lengths(&freqs, MAX_CODE_LEN);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft = {kraft}");
+        // Optimal codes are complete: kraft == 1 for >1 symbol.
+        assert!((kraft - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_length_limit() {
+        // Fibonacci-ish frequencies force deep unconstrained trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        for limit in [8u8, 10, 15] {
+            let lengths = build_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| l <= limit));
+            let kraft: f64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-i32::from(l)))
+                .sum();
+            assert!(kraft <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut freqs = vec![0u64; 10];
+        freqs[3] = 100;
+        roundtrip_symbols(&freqs, &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn skewed_and_uniform_roundtrips() {
+        let mut freqs = vec![1u64; 256];
+        freqs[0] = 10_000;
+        freqs[65] = 5_000;
+        let stream: Vec<u16> = (0..256).chain([0, 0, 0, 65, 65].iter().copied()).collect();
+        roundtrip_symbols(&freqs, &stream);
+        roundtrip_symbols(&vec![7u64; 300], &(0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_frequencies_get_shorter_codes() {
+        let mut freqs = vec![1u64; 16];
+        freqs[5] = 1_000_000;
+        let lengths = build_lengths(&freqs, MAX_CODE_LEN);
+        assert!(lengths[5] < lengths[0]);
+        assert_eq!(lengths[5], 1);
+    }
+
+    #[test]
+    fn invalid_code_is_reported() {
+        let mut freqs = vec![0u64; 4];
+        freqs[0] = 1;
+        freqs[1] = 1;
+        let lengths = build_lengths(&freqs, MAX_CODE_LEN);
+        let dec = HuffmanDecoder::from_lengths(&lengths);
+        // Exhausted stream surfaces as an error, not a bogus symbol.
+        let bytes = [];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

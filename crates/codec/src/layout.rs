@@ -1,0 +1,303 @@
+//! Physical layouts: fixed-width binary rows and encoded columns.
+//!
+//! The row layout stores records back to back in little-endian binary —
+//! the paper's "binary format instead of text format" baseline whose size
+//! also anchors compression ratios (`ROW-PLAIN` ratio 1 in Table I).
+//!
+//! The column layout reorders the batch by `(oid, time)` and stores each
+//! attribute contiguously with a per-column encoding:
+//!
+//! | column      | encoding                                  |
+//! |-------------|-------------------------------------------|
+//! | `oid`       | delta + zigzag varint (sorted ⇒ tiny)     |
+//! | `time`      | delta + zigzag varint (sorted runs)       |
+//! | `x`, `y`    | Gorilla XOR float compression             |
+//! | `speed`, `heading` | Gorilla XOR (f32 widened)          |
+//! | `occupied`  | run-length encoding                       |
+//! | `passengers`| run-length encoding                       |
+//!
+//! Reordering is legal because a partition is a *set* of records
+//! (Definition 2); queries filter by range, never by original input
+//! order.
+
+use blot_model::RecordBatch;
+
+use crate::gorilla;
+use crate::varint::{read_varint_i64, read_varint_u64, write_varint_i64, write_varint_u64};
+use crate::CodecError;
+
+/// Bytes per record in the row layout:
+/// `4 (oid) + 8 (time) + 8 (x) + 8 (y) + 4 (speed) + 4 (heading) + 1 + 1`.
+pub const ROW_WIDTH: usize = 38;
+
+/// Safety cap on record counts declared in stream headers (2^26 records
+/// ≈ 2.5 GiB of row data — far beyond any storage unit).
+const MAX_RECORDS: u64 = 1 << 26;
+
+/// Serialises a batch in the row layout.
+#[must_use]
+pub fn encode_rows(batch: &RecordBatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + batch.len() * ROW_WIDTH);
+    write_varint_u64(&mut out, batch.len() as u64);
+    for r in batch.iter() {
+        out.extend_from_slice(&r.oid.to_le_bytes());
+        out.extend_from_slice(&r.time.to_le_bytes());
+        out.extend_from_slice(&r.x.to_le_bytes());
+        out.extend_from_slice(&r.y.to_le_bytes());
+        out.extend_from_slice(&r.speed.to_le_bytes());
+        out.extend_from_slice(&r.heading.to_le_bytes());
+        out.push(u8::from(r.occupied));
+        out.push(r.passengers);
+    }
+    out
+}
+
+fn take<const N: usize>(
+    buf: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<[u8; N], CodecError> {
+    let end = *pos + N;
+    let slice = buf
+        .get(*pos..end)
+        .ok_or(CodecError::UnexpectedEof { context: what })?;
+    *pos = end;
+    Ok(slice.try_into().expect("slice length checked"))
+}
+
+/// Deserialises a row-layout stream.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncation or an absurd record count.
+pub fn decode_rows(buf: &[u8]) -> Result<RecordBatch, CodecError> {
+    let mut pos = 0usize;
+    let count = read_varint_u64(buf, &mut pos)?;
+    if count > MAX_RECORDS {
+        return Err(CodecError::TooLarge { declared: count });
+    }
+    let count = count as usize;
+    let mut batch = RecordBatch::with_capacity(count);
+    for _ in 0..count {
+        let oid = u32::from_le_bytes(take::<4>(buf, &mut pos, "row oid")?);
+        let time = i64::from_le_bytes(take::<8>(buf, &mut pos, "row time")?);
+        let x = f64::from_le_bytes(take::<8>(buf, &mut pos, "row x")?);
+        let y = f64::from_le_bytes(take::<8>(buf, &mut pos, "row y")?);
+        let speed = f32::from_le_bytes(take::<4>(buf, &mut pos, "row speed")?);
+        let heading = f32::from_le_bytes(take::<4>(buf, &mut pos, "row heading")?);
+        let occ = take::<1>(buf, &mut pos, "row occupied")?[0];
+        let passengers = take::<1>(buf, &mut pos, "row passengers")?[0];
+        batch.push(blot_model::Record {
+            oid,
+            time,
+            x,
+            y,
+            speed,
+            heading,
+            occupied: occ != 0,
+            passengers,
+        });
+    }
+    Ok(batch)
+}
+
+fn write_chunk(out: &mut Vec<u8>, chunk: &[u8]) {
+    write_varint_u64(out, chunk.len() as u64);
+    out.extend_from_slice(chunk);
+}
+
+fn read_chunk<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CodecError> {
+    let len = read_varint_u64(buf, pos)?;
+    let len = usize::try_from(len).map_err(|_| CodecError::TooLarge { declared: len })?;
+    let end =
+        pos.checked_add(len)
+            .filter(|&e| e <= buf.len())
+            .ok_or(CodecError::UnexpectedEof {
+                context: "column chunk",
+            })?;
+    let chunk = &buf[*pos..end];
+    *pos = end;
+    Ok(chunk)
+}
+
+/// Serialises a batch in the column layout. The batch is sorted by
+/// `(oid, time)` as part of encoding.
+#[must_use]
+pub fn encode_columns(batch: &RecordBatch) -> Vec<u8> {
+    let mut sorted = batch.clone();
+    sorted.sort_by_oid_time();
+    let n = sorted.len();
+    let mut out = Vec::with_capacity(16 + n * 12);
+    write_varint_u64(&mut out, n as u64);
+
+    // oid column: deltas of a non-decreasing sequence.
+    let mut col = Vec::with_capacity(n * 2);
+    let mut prev = 0i64;
+    for &oid in &sorted.oids {
+        write_varint_i64(&mut col, i64::from(oid) - prev);
+        prev = i64::from(oid);
+    }
+    write_chunk(&mut out, &col);
+
+    // time column: deltas, small within each oid run.
+    col.clear();
+    let mut prev = 0i64;
+    for &t in &sorted.times {
+        write_varint_i64(&mut col, t.wrapping_sub(prev));
+        prev = t;
+    }
+    write_chunk(&mut out, &col);
+
+    write_chunk(&mut out, &gorilla::encode_f64_column(&sorted.xs));
+    write_chunk(&mut out, &gorilla::encode_f64_column(&sorted.ys));
+    write_chunk(&mut out, &gorilla::encode_f32_column(&sorted.speeds));
+    write_chunk(&mut out, &gorilla::encode_f32_column(&sorted.headings));
+
+    let occ_bytes: Vec<u8> = sorted.occupied.iter().map(|&b| u8::from(b)).collect();
+    write_chunk(&mut out, &crate::rle::rle_encode(&occ_bytes));
+    write_chunk(&mut out, &crate::rle::rle_encode(&sorted.passengers));
+    out
+}
+
+/// Deserialises a column-layout stream. Records come back in
+/// `(oid, time)` order.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncation, bad chunk framing, or column
+/// length mismatches.
+pub fn decode_columns(buf: &[u8]) -> Result<RecordBatch, CodecError> {
+    let mut pos = 0usize;
+    let count = read_varint_u64(buf, &mut pos)?;
+    if count > MAX_RECORDS {
+        return Err(CodecError::TooLarge { declared: count });
+    }
+    let n = count as usize;
+
+    let chunk = read_chunk(buf, &mut pos)?;
+    let mut oids = Vec::with_capacity(n);
+    let mut cpos = 0usize;
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev += read_varint_i64(chunk, &mut cpos)?;
+        let oid = u32::try_from(prev).map_err(|_| CodecError::Corrupt {
+            context: "oid column out of range",
+        })?;
+        oids.push(oid);
+    }
+
+    let chunk = read_chunk(buf, &mut pos)?;
+    let mut times = Vec::with_capacity(n);
+    let mut cpos = 0usize;
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(read_varint_i64(chunk, &mut cpos)?);
+        times.push(prev);
+    }
+
+    let xs = gorilla::decode_f64_column(read_chunk(buf, &mut pos)?, n)?;
+    let ys = gorilla::decode_f64_column(read_chunk(buf, &mut pos)?, n)?;
+    let speeds = gorilla::decode_f32_column(read_chunk(buf, &mut pos)?, n)?;
+    let headings = gorilla::decode_f32_column(read_chunk(buf, &mut pos)?, n)?;
+
+    let occ_bytes = crate::rle::rle_decode(read_chunk(buf, &mut pos)?)?;
+    let passengers = crate::rle::rle_decode(read_chunk(buf, &mut pos)?)?;
+    if occ_bytes.len() != n || passengers.len() != n {
+        return Err(CodecError::Corrupt {
+            context: "column length mismatch",
+        });
+    }
+    Ok(RecordBatch {
+        oids,
+        times,
+        xs,
+        ys,
+        speeds,
+        headings,
+        occupied: occ_bytes.into_iter().map(|b| b != 0).collect(),
+        passengers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blot_model::Record;
+
+    fn trajectory_batch(n: usize) -> RecordBatch {
+        (0..n)
+            .map(|i| {
+                let oid = (i % 16) as u32;
+                let step = (i / 16) as i64;
+                Record {
+                    oid,
+                    time: 1_000_000 + step * 30,
+                    x: 121.4 + (step as f64) * 1e-4 + f64::from(oid) * 1e-3,
+                    y: 31.2 + (step as f64) * 5e-5,
+                    speed: 30.0 + (i % 7) as f32,
+                    heading: ((i * 13) % 360) as f32,
+                    occupied: (i / 50) % 2 == 0,
+                    passengers: ((i / 100) % 3) as u8,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_roundtrip_exact() {
+        let batch = trajectory_batch(500);
+        let enc = encode_rows(&batch);
+        assert_eq!(enc.len(), 2 + 500 * ROW_WIDTH);
+        let dec = decode_rows(&enc).unwrap();
+        assert_eq!(dec, batch);
+    }
+
+    #[test]
+    fn column_roundtrip_is_sorted_set_equal() {
+        let batch = trajectory_batch(500);
+        let enc = encode_columns(&batch);
+        let dec = decode_columns(&enc).unwrap();
+        let mut expect = batch.clone();
+        expect.sort_by_oid_time();
+        assert_eq!(dec, expect);
+    }
+
+    #[test]
+    fn columns_are_smaller_than_rows_on_trajectories() {
+        let batch = trajectory_batch(20_000);
+        let rows = encode_rows(&batch).len();
+        let cols = encode_columns(&batch).len();
+        assert!(
+            cols * 2 < rows,
+            "columns ({cols}) should be well under half the rows ({rows})"
+        );
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let b = RecordBatch::new();
+        assert_eq!(decode_rows(&encode_rows(&b)).unwrap(), b);
+        assert_eq!(decode_columns(&encode_columns(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let batch = trajectory_batch(50);
+        let rows = encode_rows(&batch);
+        assert!(decode_rows(&rows[..rows.len() - 3]).is_err());
+        let cols = encode_columns(&batch);
+        assert!(decode_columns(&cols[..cols.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn negative_time_deltas_roundtrip() {
+        // Unsorted times within an oid exercise signed deltas.
+        let mut b = RecordBatch::new();
+        b.push(Record::new(1, 100, 0.0, 0.0));
+        b.push(Record::new(1, -50, 0.0, 0.0));
+        b.push(Record::new(0, 99, 0.0, 0.0));
+        let dec = decode_columns(&encode_columns(&b)).unwrap();
+        assert_eq!(dec.times, vec![99, -50, 100]);
+        assert_eq!(dec.oids, vec![0, 1, 1]);
+    }
+}

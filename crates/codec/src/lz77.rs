@@ -1,0 +1,176 @@
+//! Hash-chain match finder shared by the Deflate- and LZMA-class codecs.
+
+/// A back-reference candidate: `len` bytes matching at distance `dist`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Match length in bytes.
+    pub len: usize,
+    /// Backward distance in bytes (`1` = previous byte).
+    pub dist: usize,
+}
+
+/// Incremental longest-match search over a sliding window using hash
+/// chains keyed on 3-byte prefixes.
+pub struct MatchFinder {
+    head: Vec<i64>,
+    prev: Vec<i64>,
+    window: usize,
+    min_len: usize,
+    max_len: usize,
+    max_chain: usize,
+}
+
+const HASH_BITS: u32 = 15;
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos]) | u32::from(data[pos + 1]) << 8 | u32::from(data[pos + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+impl MatchFinder {
+    /// Creates a finder for input of length `data_len`.
+    ///
+    /// `window` bounds match distances, `min_len..=max_len` bounds match
+    /// lengths, and `max_chain` bounds the candidates examined per
+    /// position (the speed/ratio knob).
+    #[must_use]
+    pub fn new(
+        data_len: usize,
+        window: usize,
+        min_len: usize,
+        max_len: usize,
+        max_chain: usize,
+    ) -> Self {
+        assert!(min_len >= 3, "hash chains need min_len >= 3");
+        Self {
+            head: vec![-1; 1 << HASH_BITS],
+            prev: vec![-1; data_len],
+            window,
+            min_len,
+            max_len,
+            max_chain,
+        }
+    }
+
+    /// Registers position `pos` in the hash chains. Must be called for
+    /// every position in order, including positions inside emitted
+    /// matches.
+    pub fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + 3 > data.len() {
+            return;
+        }
+        let h = hash3(data, pos);
+        self.prev[pos] = self.head[h];
+        self.head[h] = pos as i64;
+    }
+
+    /// Finds the longest match at `pos` against previously inserted
+    /// positions, or `None` if no match reaches `min_len`.
+    #[must_use]
+    pub fn find(&self, data: &[u8], pos: usize) -> Option<Match> {
+        if pos + self.min_len > data.len() {
+            return None;
+        }
+        let max_here = self.max_len.min(data.len() - pos);
+        let h = hash3(data, pos);
+        let mut cand = self.head[h];
+        let mut best: Option<Match> = None;
+        let mut chain = 0;
+        while cand >= 0 && chain < self.max_chain {
+            #[allow(clippy::cast_sign_loss)]
+            let c = cand as usize;
+            if c >= pos {
+                cand = self.prev[c];
+                continue;
+            }
+            let dist = pos - c;
+            if dist > self.window {
+                break; // chains are in decreasing position order
+            }
+            let already = best.map_or(self.min_len - 1, |m| m.len);
+            // Quick reject: the match must beat `already`.
+            if already < max_here && data[c + already] == data[pos + already] {
+                let mut len = 0;
+                while len < max_here && data[c + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len >= self.min_len && len > already {
+                    best = Some(Match { len, dist });
+                    if len == max_here {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c];
+            chain += 1;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find_all(data: &[u8], window: usize) -> Vec<Option<Match>> {
+        let mut mf = MatchFinder::new(data.len(), window, 3, 258, 64);
+        let mut out = Vec::new();
+        for pos in 0..data.len() {
+            out.push(mf.find(data, pos));
+            mf.insert(data, pos);
+        }
+        out
+    }
+
+    #[test]
+    fn finds_simple_repeat() {
+        let data = b"abcdefabcdef";
+        let matches = find_all(data, 1 << 15);
+        let m = matches[6].expect("second occurrence should match the first");
+        assert_eq!(m.dist, 6);
+        assert_eq!(m.len, 6);
+    }
+
+    #[test]
+    fn finds_overlapping_run() {
+        // "aaaa..." matches itself at distance 1 (RLE via LZ).
+        let data = vec![b'a'; 100];
+        let mut mf = MatchFinder::new(data.len(), 1 << 15, 3, 258, 64);
+        mf.insert(&data, 0);
+        let m = mf.find(&data, 1).unwrap();
+        assert_eq!(m.dist, 1);
+        assert_eq!(m.len, 99);
+    }
+
+    #[test]
+    fn respects_window() {
+        let mut data = b"abcxyz".to_vec();
+        data.extend(std::iter::repeat_n(b'_', 100));
+        data.extend_from_slice(b"abcxyz");
+        let matches = find_all(&data, 16);
+        assert!(
+            matches[106].is_none(),
+            "match beyond window must be rejected"
+        );
+        let wide = find_all(&data, 1 << 15);
+        assert!(wide[106].is_some());
+    }
+
+    #[test]
+    fn no_match_in_random_prefix() {
+        let data = b"abcdefgh";
+        let matches = find_all(data, 1 << 15);
+        assert!(matches.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn returns_longest_not_first() {
+        // "abcX abcdef ... abcdef" — the finder should prefer the longer,
+        // nearer candidate over the older short one.
+        let data = b"abcd____abcdef__abcdef";
+        let matches = find_all(data, 1 << 15);
+        let m = matches[16].unwrap();
+        assert_eq!(m.len, 6);
+        assert_eq!(m.dist, 8);
+    }
+}

@@ -1,0 +1,226 @@
+//! `Lzf` — the Snappy-class compressor: byte-aligned greedy LZ.
+//!
+//! Stands in for Snappy in the paper's encoding-scheme lineup: modest
+//! compression ratio, very fast encode and decode. The format follows the
+//! spirit of libLZF:
+//!
+//! * control byte `0..=31`: a literal run of `ctrl + 1` bytes follows;
+//! * control byte `≥ 32`: a back-reference. The top 3 bits hold
+//!   `len - 2` (7 ⇒ an extension byte with `len - 9` follows), the low
+//!   5 bits are the high bits of `offset - 1`, and one more byte holds
+//!   the low offset bits.
+//!
+//! Matching uses a single-probe hash table — one candidate per position —
+//! which is what makes it fast.
+
+use crate::varint::{read_varint_u64, write_varint_u64};
+use crate::CodecError;
+
+const WINDOW: usize = 1 << 13; // max offset 8192
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 264;
+const MAX_LITERAL_RUN: usize = 32;
+const HASH_BITS: u32 = 14;
+
+/// Safety limit on declared decompressed sizes (1 GiB).
+const MAX_DECODED: u64 = 1 << 30;
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos]) | u32::from(data[pos + 1]) << 8 | u32::from(data[pos + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data`. The output starts with the decoded length as a
+/// varint; incompressible data expands by at most ~3% plus the header.
+#[must_use]
+pub fn lzf_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    write_varint_u64(&mut out, data.len() as u64);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut pos = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let run = (to - s).min(MAX_LITERAL_RUN);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&data[s..s + run]);
+            s += run;
+        }
+    };
+
+    while pos + MIN_MATCH <= data.len() {
+        let h = hash3(data, pos);
+        let cand = table[h];
+        table[h] = pos;
+        let mut matched = 0usize;
+        if cand != usize::MAX && pos - cand <= WINDOW {
+            let max_len = MAX_MATCH.min(data.len() - pos);
+            while matched < max_len && data[cand + matched] == data[pos + matched] {
+                matched += 1;
+            }
+        }
+        if matched >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, pos);
+            let off = pos - cand - 1;
+            let l = matched - 2;
+            if l < 7 {
+                out.push(((l as u8) << 5) | (off >> 8) as u8);
+            } else {
+                out.push((7u8 << 5) | (off >> 8) as u8);
+                out.push((l - 7) as u8);
+            }
+            out.push((off & 0xFF) as u8);
+            // Seed the table inside the match so later data can reference it.
+            let end = pos + matched;
+            pos += 1;
+            while pos < end && pos + MIN_MATCH <= data.len() {
+                table[hash3(data, pos)] = pos;
+                pos += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, data.len());
+    out
+}
+
+/// Decompresses a stream produced by [`lzf_compress`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncation, bad back-references, or a
+/// length mismatch.
+pub fn lzf_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let declared = read_varint_u64(buf, &mut pos)?;
+    if declared > MAX_DECODED {
+        return Err(CodecError::TooLarge { declared });
+    }
+    let declared = declared as usize;
+    let mut out = Vec::with_capacity(declared);
+    while pos < buf.len() {
+        let ctrl = buf[pos];
+        pos += 1;
+        if ctrl < 32 {
+            let run = usize::from(ctrl) + 1;
+            let end = pos + run;
+            if end > buf.len() {
+                return Err(CodecError::UnexpectedEof {
+                    context: "LZF literal run",
+                });
+            }
+            out.extend_from_slice(&buf[pos..end]);
+            pos = end;
+        } else {
+            let mut len = usize::from(ctrl >> 5) + 2;
+            if len == 9 {
+                // l == 7 marker: extension byte follows.
+                let &ext = buf.get(pos).ok_or(CodecError::UnexpectedEof {
+                    context: "LZF length extension",
+                })?;
+                pos += 1;
+                len = usize::from(ext) + 9;
+            }
+            let &low = buf.get(pos).ok_or(CodecError::UnexpectedEof {
+                context: "LZF offset byte",
+            })?;
+            pos += 1;
+            let off = (usize::from(ctrl & 0x1F) << 8 | usize::from(low)) + 1;
+            if off > out.len() {
+                return Err(CodecError::BadReference {
+                    offset: off,
+                    decoded_len: out.len(),
+                });
+            }
+            let start = out.len() - off;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != declared {
+        return Err(CodecError::Corrupt {
+            context: "LZF decoded length mismatch",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let enc = lzf_compress(data);
+        let dec = lzf_decompress(&enc).unwrap();
+        assert_eq!(dec, data);
+        enc.len()
+    }
+
+    #[test]
+    fn roundtrip_edge_cases() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(&(0..=255u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect::<Vec<_>>();
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 5, "{n} bytes for {} input", data.len());
+    }
+
+    #[test]
+    fn handles_long_matches_and_overlap() {
+        let mut data = vec![0u8; 5000];
+        data.extend(std::iter::repeat_n(b'x', 3000));
+        data.extend_from_slice(b"tail");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_data_survives() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let n = roundtrip(&data);
+        // Random data must not explode.
+        assert!(n < data.len() + data.len() / 16 + 16);
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        let enc = lzf_compress(b"hello hello hello hello");
+        assert!(lzf_decompress(&enc[..enc.len() - 1]).is_err());
+        // Bogus back-reference.
+        let mut bad = Vec::new();
+        write_varint_u64(&mut bad, 10);
+        bad.push(1 << 5); // match len 3, offset high 0
+        bad.push(0); // offset low -> off = 1, but nothing decoded yet
+        assert!(matches!(
+            lzf_decompress(&bad),
+            Err(CodecError::BadReference { .. })
+        ));
+        // Excessive declared size.
+        let mut huge = Vec::new();
+        write_varint_u64(&mut huge, u64::MAX / 2);
+        assert!(matches!(
+            lzf_decompress(&huge),
+            Err(CodecError::TooLarge { .. })
+        ));
+    }
+}

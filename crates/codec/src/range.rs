@@ -1,0 +1,346 @@
+//! Adaptive binary range coder (LZMA-style) for the `Lzr` codec.
+//!
+//! Probabilities are 11-bit (`0..2048`) adaptive counters updated with a
+//! shift of 5, exactly as in LZMA. The encoder carries a 33-bit `low`
+//! with carry propagation through a cache byte.
+
+use crate::CodecError;
+
+/// Number of probability quantisation levels (2^11).
+const PROB_ONE: u32 = 1 << 11;
+/// Adaptation speed.
+const MOVE_BITS: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive probability of a bit being 0.
+#[derive(Debug, Clone, Copy)]
+pub struct BitModel(u16);
+
+impl Default for BitModel {
+    fn default() -> Self {
+        Self((PROB_ONE / 2) as u16)
+    }
+}
+
+impl BitModel {
+    /// Creates a model with the maximally uncertain prior (p = 0.5).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Range encoder producing a byte stream.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > u64::from(u32::MAX) {
+            let carry = (self.low >> 32) as u8;
+            let mut first = true;
+            while self.cache_size > 0 {
+                let byte = if first {
+                    first = false;
+                    self.cache.wrapping_add(carry)
+                } else {
+                    0xFFu8.wrapping_add(carry)
+                };
+                self.out.push(byte);
+                self.cache_size -= 1;
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encodes one bit under the adaptive `model`.
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: bool) {
+        let prob = u32::from(model.0);
+        let bound = (self.range >> 11) * prob;
+        if bit {
+            self.low += u64::from(bound);
+            self.range -= bound;
+            model.0 = (prob - (prob >> MOVE_BITS)) as u16;
+        } else {
+            self.range = bound;
+            model.0 = (prob + ((PROB_ONE - prob) >> MOVE_BITS)) as u16;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encodes `count` bits of `value` (MSB first) at fixed probability ½.
+    pub fn encode_direct(&mut self, value: u32, count: u32) {
+        for i in (0..count).rev() {
+            self.range >>= 1;
+            let bit = (value >> i) & 1;
+            if bit != 0 {
+                self.low += u64::from(self.range);
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Flushes the encoder and returns the byte stream.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder over a byte slice.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Initialises the decoder (consumes the 5 priming bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the stream is shorter than
+    /// the priming sequence.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        if buf.len() < 5 {
+            return Err(CodecError::UnexpectedEof {
+                context: "range coder priming",
+            });
+        }
+        let mut code = 0u32;
+        for &b in &buf[1..5] {
+            code = (code << 8) | u32::from(b);
+        }
+        Ok(Self {
+            code,
+            range: u32::MAX,
+            buf,
+            pos: 5,
+        })
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        // Reading past the physical end yields zeros; truncation is caught
+        // by the outer format's length checks.
+        let b = self.buf.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    fn normalize(&mut self) {
+        while self.range < TOP {
+            self.code = (self.code << 8) | u32::from(self.next_byte());
+            self.range <<= 8;
+        }
+    }
+
+    /// Decodes one bit under the adaptive `model`.
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> bool {
+        let prob = u32::from(model.0);
+        let bound = (self.range >> 11) * prob;
+        let bit = if self.code < bound {
+            self.range = bound;
+            model.0 = (prob + ((PROB_ONE - prob) >> MOVE_BITS)) as u16;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            model.0 = (prob - (prob >> MOVE_BITS)) as u16;
+            true
+        };
+        self.normalize();
+        bit
+    }
+
+    /// Decodes `count` direct bits (MSB first).
+    pub fn decode_direct(&mut self, count: u32) -> u32 {
+        let mut value = 0u32;
+        for _ in 0..count {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            self.normalize();
+        }
+        value
+    }
+}
+
+/// A bit-tree of `1 << bits` leaves coding fixed-width values MSB-first
+/// with one adaptive model per internal node.
+#[derive(Debug, Clone)]
+pub struct BitTree {
+    models: Vec<BitModel>,
+    bits: u32,
+}
+
+impl BitTree {
+    /// Creates a tree coding `bits`-wide values.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        Self {
+            models: vec![BitModel::new(); 1 << bits],
+            bits,
+        }
+    }
+
+    /// Encodes `value` (must fit in `bits`).
+    pub fn encode(&mut self, enc: &mut RangeEncoder, value: u32) {
+        debug_assert!(value < (1 << self.bits));
+        let mut node = 1usize;
+        for i in (0..self.bits).rev() {
+            let bit = (value >> i) & 1 != 0;
+            enc.encode_bit(&mut self.models[node], bit);
+            node = (node << 1) | usize::from(bit);
+        }
+    }
+
+    /// Decodes a value.
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u32 {
+        let mut node = 1usize;
+        for _ in 0..self.bits {
+            let bit = dec.decode_bit(&mut self.models[node]);
+            node = (node << 1) | usize::from(bit);
+        }
+        (node as u32) - (1 << self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_model_bit_roundtrip() {
+        let bits = [
+            true, false, false, true, true, true, false, true, false, false,
+        ];
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut m), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip() {
+        let values = [
+            (0u32, 1u32),
+            (1, 1),
+            (0xAB, 8),
+            (0x12345, 20),
+            (u32::MAX, 32),
+        ];
+        let mut enc = RangeEncoder::new();
+        for &(v, n) in &values {
+            enc.encode_direct(v, n);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        for &(v, n) in &values {
+            assert_eq!(dec.decode_direct(n), v);
+        }
+    }
+
+    #[test]
+    fn bit_tree_roundtrip() {
+        let mut enc = RangeEncoder::new();
+        let mut tree = BitTree::new(8);
+        let values: Vec<u32> = (0..=255).chain([0, 0, 0, 7, 7, 7]).collect();
+        for &v in &values {
+            tree.encode(&mut enc, v);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        let mut tree = BitTree::new(8);
+        for &v in &values {
+            assert_eq!(tree.decode(&mut dec), v);
+        }
+    }
+
+    #[test]
+    fn skewed_bits_compress_below_one_bit_each() {
+        // 10k zero-bits under one adapting model must take far fewer than
+        // 10k bits — that is the whole point of arithmetic coding.
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for _ in 0..10_000 {
+            enc.encode_bit(&mut m, false);
+        }
+        let buf = enc.finish();
+        assert!(buf.len() < 200, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn mixed_models_and_direct_interleave() {
+        let mut enc = RangeEncoder::new();
+        let mut m1 = BitModel::new();
+        let mut tree = BitTree::new(4);
+        for i in 0..100u32 {
+            enc.encode_bit(&mut m1, i % 3 == 0);
+            tree.encode(&mut enc, i % 16);
+            enc.encode_direct(i % 32, 5);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        let mut m1 = BitModel::new();
+        let mut tree = BitTree::new(4);
+        for i in 0..100u32 {
+            assert_eq!(dec.decode_bit(&mut m1), i % 3 == 0);
+            assert_eq!(tree.decode(&mut dec), i % 16);
+            assert_eq!(dec.decode_direct(5), i % 32);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_detected_at_priming() {
+        assert!(RangeDecoder::new(&[1, 2, 3]).is_err());
+    }
+}

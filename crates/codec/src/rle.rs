@@ -1,0 +1,104 @@
+//! Byte-level run-length encoding for low-cardinality columns.
+//!
+//! Occupancy flags and passenger counts change rarely along a trajectory,
+//! so their columns are long runs of identical bytes. Runs are stored as
+//! `(varint length, byte)` pairs.
+
+use crate::varint::{read_varint_u64, write_varint_u64};
+use crate::CodecError;
+
+/// Encodes `data` as `(run-length, value)` pairs prefixed by the total
+/// decoded length.
+#[must_use]
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + data.len() / 16);
+    write_varint_u64(&mut out, data.len() as u64);
+    let mut i = 0;
+    while i < data.len() {
+        let value = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == value {
+            run += 1;
+        }
+        write_varint_u64(&mut out, run as u64);
+        out.push(value);
+        i += run;
+    }
+    out
+}
+
+/// Decodes a stream produced by [`rle_encode`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the stream is truncated or the run
+/// lengths do not add up to the declared total.
+pub fn rle_decode(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0;
+    let total = read_varint_u64(buf, &mut pos)?;
+    // Refuse declared lengths no valid stream could carry (1 GiB cap).
+    if total > (1 << 30) {
+        return Err(CodecError::TooLarge { declared: total });
+    }
+    let total = total as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let run = read_varint_u64(buf, &mut pos)?;
+        let run = usize::try_from(run).map_err(|_| CodecError::TooLarge { declared: run })?;
+        if run == 0 {
+            return Err(CodecError::Corrupt {
+                context: "zero-length RLE run",
+            });
+        }
+        let &value = buf.get(pos).ok_or(CodecError::UnexpectedEof {
+            context: "RLE value byte",
+        })?;
+        pos += 1;
+        if out.len() + run > total {
+            return Err(CodecError::Corrupt {
+                context: "RLE runs exceed declared length",
+            });
+        }
+        out.resize(out.len() + run, value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_runs_and_noise() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 1000],
+            vec![1, 1, 1, 2, 2, 3],
+            (0..=255u8).collect(),
+        ];
+        for case in cases {
+            assert_eq!(rle_decode(&rle_encode(&case)).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn long_runs_compress_well() {
+        let data = vec![1u8; 100_000];
+        let enc = rle_encode(&data);
+        assert!(enc.len() < 10);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        // Truncated after header.
+        let enc = rle_encode(&[1, 1, 1]);
+        assert!(rle_decode(&enc[..1]).is_err());
+        // Run overflowing declared total.
+        let mut bad = Vec::new();
+        write_varint_u64(&mut bad, 2); // total = 2
+        write_varint_u64(&mut bad, 3); // run of 3 > 2
+        bad.push(9);
+        assert!(matches!(rle_decode(&bad), Err(CodecError::Corrupt { .. })));
+    }
+}

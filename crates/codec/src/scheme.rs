@@ -1,0 +1,326 @@
+//! Encoding schemes: the layout × compression grid of Table I.
+
+use blot_model::RecordBatch;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::layout;
+use crate::CodecError;
+
+/// Physical record layout inside a storage unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Fixed-width binary rows.
+    Row,
+    /// Column-major with per-column encodings (delta varints, Gorilla
+    /// floats, run-length flags).
+    Column,
+}
+
+/// General-purpose compression applied to the laid-out bytes.
+///
+/// The three compressors span the speed/ratio spectrum of the paper's
+/// Snappy / Gzip / LZMA2 lineup (see the crate docs for the mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compression {
+    /// No compression.
+    Plain,
+    /// Byte-aligned greedy LZ — Snappy-class (fast, modest ratio).
+    Lzf,
+    /// LZSS + Huffman — Gzip-class (balanced).
+    Deflate,
+    /// LZ + adaptive range coder — LZMA2-class (slow, high ratio).
+    Lzr,
+}
+
+impl Compression {
+    /// The paper's name for the codec this one stands in for.
+    #[must_use]
+    pub const fn paper_name(self) -> &'static str {
+        match self {
+            Self::Plain => "PLAIN",
+            Self::Lzf => "SNAPPY",
+            Self::Deflate => "GZIP",
+            Self::Lzr => "LZMA",
+        }
+    }
+}
+
+/// A complete encoding scheme `E` (Definition 3): layout plus compression.
+///
+/// [`EncodingScheme::all`] enumerates the seven candidates of the paper's
+/// evaluation — `{row, column} × {plain, Lzf, Deflate, Lzr}` minus the
+/// uncompressed column store, which is dominated on both size and scan
+/// speed ("poor performance in terms of both compression ratio and scan
+/// speed", §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EncodingScheme {
+    /// Record layout.
+    pub layout: Layout,
+    /// Whole-partition compression.
+    pub compression: Compression,
+}
+
+impl EncodingScheme {
+    /// Creates a scheme from its parts.
+    #[must_use]
+    pub const fn new(layout: Layout, compression: Compression) -> Self {
+        Self {
+            layout,
+            compression,
+        }
+    }
+
+    /// The seven candidate schemes of the paper's evaluation, in Table I
+    /// column order (row-major across the table).
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        let mut v = Vec::with_capacity(7);
+        for compression in [
+            Compression::Plain,
+            Compression::Lzf,
+            Compression::Deflate,
+            Compression::Lzr,
+        ] {
+            for layout in [Layout::Row, Layout::Column] {
+                if layout == Layout::Column && compression == Compression::Plain {
+                    continue;
+                }
+                v.push(Self::new(layout, compression));
+            }
+        }
+        v
+    }
+
+    /// Stable single-byte tag identifying the scheme on the wire.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        let l = match self.layout {
+            Layout::Row => 0u8,
+            Layout::Column => 1u8,
+        };
+        let c = match self.compression {
+            Compression::Plain => 0u8,
+            Compression::Lzf => 1,
+            Compression::Deflate => 2,
+            Compression::Lzr => 3,
+        };
+        (l << 4) | c
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] for an unknown tag.
+    pub fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        let layout = match tag >> 4 {
+            0 => Layout::Row,
+            1 => Layout::Column,
+            _ => {
+                return Err(CodecError::Corrupt {
+                    context: "unknown layout tag",
+                })
+            }
+        };
+        let compression = match tag & 0x0F {
+            0 => Compression::Plain,
+            1 => Compression::Lzf,
+            2 => Compression::Deflate,
+            3 => Compression::Lzr,
+            _ => {
+                return Err(CodecError::Corrupt {
+                    context: "unknown compression tag",
+                })
+            }
+        };
+        Ok(Self::new(layout, compression))
+    }
+
+    /// Encodes a batch into a self-describing storage unit
+    /// (`[tag][compressed payload]`).
+    #[must_use]
+    pub fn encode(self, batch: &RecordBatch) -> Vec<u8> {
+        let laid_out = match self.layout {
+            Layout::Row => layout::encode_rows(batch),
+            Layout::Column => layout::encode_columns(batch),
+        };
+        let payload = match self.compression {
+            Compression::Plain => laid_out,
+            Compression::Lzf => crate::lzf::lzf_compress(&laid_out),
+            Compression::Deflate => crate::deflate::deflate_compress(&laid_out),
+            Compression::Lzr => crate::lzr::lzr_compress(&laid_out),
+        };
+        let mut out = Vec::with_capacity(payload.len() + 1);
+        out.push(self.tag());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a storage unit produced by [`encode`](Self::encode),
+    /// verifying the scheme tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::SchemeMismatch`] if the unit was written by a
+    /// different scheme, or any decoding error from the layers below.
+    pub fn decode(self, bytes: &[u8]) -> Result<RecordBatch, CodecError> {
+        let (&tag, payload) = bytes.split_first().ok_or(CodecError::UnexpectedEof {
+            context: "scheme tag",
+        })?;
+        if tag != self.tag() {
+            return Err(CodecError::SchemeMismatch {
+                found: tag,
+                expected: self.tag(),
+            });
+        }
+        let laid_out = match self.compression {
+            Compression::Plain => payload.to_vec(),
+            Compression::Lzf => crate::lzf::lzf_decompress(payload)?,
+            Compression::Deflate => crate::deflate::deflate_decompress(payload)?,
+            Compression::Lzr => crate::lzr::lzr_decompress(payload)?,
+        };
+        match self.layout {
+            Layout::Row => layout::decode_rows(&laid_out),
+            Layout::Column => layout::decode_columns(&laid_out),
+        }
+    }
+
+    /// Decodes a storage unit whose scheme is read from its own tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] for unknown tags or payload corruption.
+    pub fn decode_auto(bytes: &[u8]) -> Result<(Self, RecordBatch), CodecError> {
+        let &tag = bytes.first().ok_or(CodecError::UnexpectedEof {
+            context: "scheme tag",
+        })?;
+        let scheme = Self::from_tag(tag)?;
+        Ok((scheme, scheme.decode(bytes)?))
+    }
+}
+
+impl std::str::FromStr for EncodingScheme {
+    type Err = String;
+
+    /// Parses the [`Display`](fmt::Display) form, e.g. `COL-LZMA`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::all()
+            .into_iter()
+            .find(|scheme| scheme.to_string().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                let names: Vec<String> = Self::all().iter().map(ToString::to_string).collect();
+                format!(
+                    "unknown encoding scheme `{s}`; expected one of {}",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+impl fmt::Display for EncodingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = match self.layout {
+            Layout::Row => "ROW",
+            Layout::Column => "COL",
+        };
+        write!(f, "{l}-{}", self.compression.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blot_model::Record;
+
+    fn batch(n: usize) -> RecordBatch {
+        (0..n)
+            .map(|i| {
+                let mut r = Record::new(
+                    (i % 8) as u32,
+                    1000 + (i as i64) * 15,
+                    121.0 + (i as f64) * 1e-4,
+                    31.0 + (i as f64) * 1e-5,
+                );
+                r.speed = (i % 60) as f32;
+                r.occupied = i % 2 == 0;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exactly_seven_schemes() {
+        let all = EncodingScheme::all();
+        assert_eq!(all.len(), 7);
+        assert!(!all.contains(&EncodingScheme::new(Layout::Column, Compression::Plain)));
+        let names: Vec<String> = all.iter().map(ToString::to_string).collect();
+        assert!(names.contains(&"ROW-PLAIN".to_owned()));
+        assert!(names.contains(&"COL-LZMA".to_owned()));
+    }
+
+    #[test]
+    fn tags_are_unique_and_reversible() {
+        let all = EncodingScheme::all();
+        let mut tags: Vec<u8> = all.iter().map(|s| s.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 7);
+        for s in all {
+            assert_eq!(EncodingScheme::from_tag(s.tag()).unwrap(), s);
+        }
+        assert!(EncodingScheme::from_tag(0xFF).is_err());
+    }
+
+    #[test]
+    fn every_scheme_roundtrips() {
+        let b = batch(800);
+        let mut sorted = b.clone();
+        sorted.sort_by_oid_time();
+        for scheme in EncodingScheme::all() {
+            let bytes = scheme.encode(&b);
+            let dec = scheme.decode(&bytes).unwrap();
+            match scheme.layout {
+                Layout::Row => assert_eq!(dec, b, "{scheme}"),
+                Layout::Column => assert_eq!(dec, sorted, "{scheme}"),
+            }
+            let (auto_scheme, auto_dec) = EncodingScheme::decode_auto(&bytes).unwrap();
+            assert_eq!(auto_scheme, scheme);
+            assert_eq!(auto_dec.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn scheme_mismatch_is_detected() {
+        let b = batch(10);
+        let row = EncodingScheme::new(Layout::Row, Compression::Plain);
+        let col = EncodingScheme::new(Layout::Column, Compression::Lzf);
+        let bytes = row.encode(&b);
+        assert!(matches!(
+            col.decode(&bytes),
+            Err(CodecError::SchemeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compression_ratio_ordering_matches_table_one() {
+        // On trajectory-like data: PLAIN > LZF > DEFLATE >= LZR in size,
+        // and COL < ROW for every codec.
+        let b = batch(20_000);
+        let size = |l, c| EncodingScheme::new(l, c).encode(&b).len() as f64;
+        let row_plain = size(Layout::Row, Compression::Plain);
+        let row_lzf = size(Layout::Row, Compression::Lzf);
+        let row_def = size(Layout::Row, Compression::Deflate);
+        let row_lzr = size(Layout::Row, Compression::Lzr);
+        assert!(
+            row_plain > row_lzf && row_lzf > row_def && row_def > row_lzr,
+            "row sizes: plain={row_plain} lzf={row_lzf} deflate={row_def} lzr={row_lzr}"
+        );
+        for c in [Compression::Lzf, Compression::Deflate, Compression::Lzr] {
+            assert!(
+                size(Layout::Column, c) < size(Layout::Row, c),
+                "column must beat row under {c:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Column encodings store deltas of sorted object IDs and timestamps as
+//! zigzag varints: small deltas — the common case for tracking data
+//! sorted by `(oid, time)` — take one byte.
+
+use crate::CodecError;
+
+/// Appends `value` as an LEB128 varint (1–10 bytes).
+pub fn write_varint_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEof`] if the buffer ends mid-varint and
+/// [`CodecError::Corrupt`] if the encoding exceeds 10 bytes (overflow).
+pub fn read_varint_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or(CodecError::UnexpectedEof { context: "varint" })?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::Corrupt {
+                context: "varint overflows u64",
+            });
+        }
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Corrupt {
+                context: "varint longer than 10 bytes",
+            });
+        }
+    }
+}
+
+/// Maps a signed integer to an unsigned one so that values of small
+/// magnitude (of either sign) get small codes: `0 → 0, -1 → 1, 1 → 2, …`.
+#[must_use]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[must_use]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag varint.
+pub fn write_varint_i64(out: &mut Vec<u8>, value: i64) {
+    write_varint_u64(out, zigzag_encode(value));
+}
+
+/// Reads a signed value written by [`write_varint_i64`].
+///
+/// # Errors
+///
+/// Propagates the errors of [`read_varint_u64`].
+pub fn read_varint_i64(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+    Ok(zigzag_decode(read_varint_u64(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_roundtrip_boundaries() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        write_varint_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint_i64(&mut buf, -50);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn zigzag_pairs() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+        for v in [-1000, -1, 0, 1, 12345, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint_u64(&buf, &mut pos),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint_u64(&buf, &mut pos),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests: every codec and layout must round-trip arbitrary
+//! inputs, and compressed streams must decode to exactly the original.
+
+use blot_codec::{
+    deflate_compress, deflate_decompress, lzf_compress, lzf_decompress, lzr_compress,
+    lzr_decompress, EncodingScheme, Layout,
+};
+use blot_model::{Record, RecordBatch};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        0u32..10_000,
+        -1_000_000i64..100_000_000,
+        120.0f64..122.0,
+        30.0f64..32.0,
+        0.0f32..140.0,
+        0.0f32..360.0,
+        any::<bool>(),
+        0u8..=4,
+    )
+        .prop_map(
+            |(oid, time, x, y, speed, heading, occupied, passengers)| Record {
+                oid,
+                time,
+                x,
+                y,
+                speed,
+                heading,
+                occupied,
+                passengers,
+            },
+        )
+}
+
+fn arb_batch(max: usize) -> impl Strategy<Value = RecordBatch> {
+    prop::collection::vec(arb_record(), 0..max).prop_map(|rs| RecordBatch::from_records(&rs))
+}
+
+/// Byte strings with enough repetition to exercise match emission, plus
+/// raw random tails.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..2000),
+        (prop::collection::vec(any::<u8>(), 1..60), 1usize..80).prop_map(|(unit, reps)| {
+            unit.iter()
+                .copied()
+                .cycle()
+                .take(unit.len() * reps)
+                .collect()
+        }),
+        (
+            prop::collection::vec(any::<u8>(), 0..400),
+            prop::collection::vec(any::<u8>(), 1..40)
+        )
+            .prop_map(|(mut a, b)| {
+                a.extend_from_slice(&b);
+                a.extend_from_slice(&b);
+                a.extend_from_slice(&b);
+                a
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lzf_roundtrips(data in arb_bytes()) {
+        prop_assert_eq!(lzf_decompress(&lzf_compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips(data in arb_bytes()) {
+        prop_assert_eq!(deflate_decompress(&deflate_compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzr_roundtrips(data in arb_bytes()) {
+        prop_assert_eq!(lzr_decompress(&lzr_compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn schemes_roundtrip_batches(batch in arb_batch(120)) {
+        let mut sorted = batch.clone();
+        sorted.sort_by_oid_time();
+        for scheme in EncodingScheme::all() {
+            let bytes = scheme.encode(&batch);
+            let dec = scheme.decode(&bytes).unwrap();
+            match scheme.layout {
+                Layout::Row => prop_assert_eq!(&dec, &batch),
+                Layout::Column => prop_assert_eq!(&dec, &sorted),
+            }
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(mut data in prop::collection::vec(any::<u8>(), 0..600)) {
+        // Whatever the bytes, decoding must return (Ok or Err), not panic.
+        let _ = lzf_decompress(&data);
+        let _ = deflate_decompress(&data);
+        let _ = lzr_decompress(&data);
+        let _ = EncodingScheme::decode_auto(&data);
+        // Also flip bits in a valid stream.
+        let valid = deflate_compress(b"some valid input some valid input");
+        if !data.is_empty() && !valid.is_empty() {
+            let mut mutated = valid;
+            let idx = data[0] as usize % mutated.len();
+            mutated[idx] ^= data.pop().unwrap_or(1) | 1;
+            let _ = deflate_decompress(&mutated);
+        }
+    }
+
+    #[test]
+    fn compressed_is_never_catastrophically_larger(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+        let bound = data.len() + data.len() / 8 + 64;
+        prop_assert!(lzf_compress(&data).len() <= bound);
+        prop_assert!(deflate_compress(&data).len() <= bound + 400); // header tables
+        prop_assert!(lzr_compress(&data).len() <= bound);
+    }
+}

@@ -1,0 +1,334 @@
+//! Adaptive reconfiguration from historical queries.
+//!
+//! §II-E of the paper: "Most existing BLOT systems can adaptively
+//! optimize the configuration of the physical storage organization …
+//! based on analyzing the historical queries", and §III-C1 derives the
+//! input workload from the query log ("if we directly use all
+//! historical queries recorded in the query log…"). This module closes
+//! that loop for the diverse-replica store:
+//!
+//! 1. [`QueryLog`] records the range of every executed query (a bounded
+//!    ring, so a long-running store does not grow without bound);
+//! 2. [`QueryLog::derive_workload`] compresses the log into grouped
+//!    queries via k-means over range sizes (§III-C1);
+//! 3. [`recommend`] estimates the cost matrix over a candidate grid,
+//!    runs greedy or exact selection under the budget, and diffs the
+//!    result against the currently-built replicas into a migration
+//!    plan (which replicas to build, which to drop).
+
+use blot_geo::{Cuboid, QuerySize};
+use blot_mip::MipSolver;
+use blot_model::RecordBatch;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::cost::CostModel;
+use crate::query::Workload;
+use crate::replica::ReplicaConfig;
+use crate::select::{kmeans_group, select_greedy, select_mip, CostMatrix, Selection};
+use crate::CoreError;
+
+/// A bounded log of executed query ranges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryLog {
+    sizes: VecDeque<QuerySize>,
+    capacity: usize,
+}
+
+impl QueryLog {
+    /// Creates a log keeping the most recent `capacity` queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be positive");
+        Self {
+            sizes: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records one executed query's range.
+    pub fn observe(&mut self, range: &Cuboid) {
+        if self.sizes.len() == self.capacity {
+            self.sizes.pop_front();
+        }
+        self.sizes.push_back(range.size());
+    }
+
+    /// Number of logged queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Compresses the log into at most `k` grouped queries weighted by
+    /// frequency (§III-C1's k-means reduction).
+    #[must_use]
+    pub fn derive_workload(&self, k: usize, seed: u64) -> Workload {
+        let sizes: Vec<QuerySize> = self.sizes.iter().copied().collect();
+        kmeans_group(&sizes, k, seed)
+    }
+}
+
+/// Which selection algorithm the advisor runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 1 — fast, near-optimal at generous budgets.
+    Greedy,
+    /// Exact 0-1 MIP (warm-started by greedy).
+    Exact,
+}
+
+/// The advisor's output: the chosen set and the migration diff against
+/// what is currently built.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The chosen candidate configurations.
+    pub configs: Vec<ReplicaConfig>,
+    /// Chosen but not currently built — build these.
+    pub to_build: Vec<ReplicaConfig>,
+    /// Built but not chosen — drop these to free budget.
+    pub to_drop: Vec<ReplicaConfig>,
+    /// Estimated workload cost of the recommended set.
+    pub recommended_cost: f64,
+    /// Estimated workload cost of the current set (∞ if nothing built
+    /// or the current set cannot answer the workload).
+    pub current_cost: f64,
+    /// The raw selection (storage use, solver stats).
+    pub selection: Selection,
+}
+
+impl Recommendation {
+    /// Relative improvement of the recommendation over the current set
+    /// (0 when the current set is already optimal; 1 means "infinitely
+    /// better", i.e. nothing was built).
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        if !self.current_cost.is_finite() {
+            return 1.0;
+        }
+        if self.current_cost <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.recommended_cost / self.current_cost).max(0.0)
+    }
+}
+
+/// Runs the §III pipeline over a derived workload and diffs against the
+/// current replica set.
+///
+/// `current` lists the configurations of the replicas that exist today;
+/// they are automatically included as candidates so "keep what we have"
+/// is always expressible.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::Mip`] from the exact strategy.
+#[allow(clippy::too_many_arguments)]
+pub fn recommend(
+    model: &CostModel,
+    workload: &Workload,
+    candidates: &[ReplicaConfig],
+    current: &[ReplicaConfig],
+    sample: &RecordBatch,
+    universe: Cuboid,
+    dataset_records: f64,
+    budget: f64,
+    strategy: Strategy,
+) -> Result<Recommendation, CoreError> {
+    let mut all: Vec<ReplicaConfig> = candidates.to_vec();
+    for c in current {
+        if !all.contains(c) {
+            all.push(*c);
+        }
+    }
+    let matrix =
+        CostMatrix::estimate_scaled(model, workload, &all, sample, universe, dataset_records);
+    let selection = match strategy {
+        Strategy::Greedy => select_greedy(&matrix, budget),
+        Strategy::Exact => select_mip(&matrix, budget, &MipSolver::default())?,
+    };
+    let configs: Vec<ReplicaConfig> = selection.chosen.iter().map(|&j| all[j]).collect();
+    let to_build: Vec<ReplicaConfig> = configs
+        .iter()
+        .copied()
+        .filter(|c| !current.contains(c))
+        .collect();
+    let to_drop: Vec<ReplicaConfig> = current
+        .iter()
+        .copied()
+        .filter(|c| !configs.contains(c))
+        .collect();
+    let current_idx: Vec<usize> = (0..all.len())
+        .filter(|&j| current.contains(&all[j]))
+        .collect();
+    let current_cost = matrix.workload_cost(&current_idx);
+    Ok(Recommendation {
+        recommended_cost: selection.workload_cost,
+        current_cost,
+        configs,
+        to_build,
+        to_drop,
+        selection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blot_codec::{Compression, EncodingScheme, Layout};
+    use blot_geo::Point;
+    use blot_index::SchemeSpec;
+    use blot_tracegen::FleetConfig;
+    use std::collections::HashMap;
+
+    fn synthetic_model() -> CostModel {
+        let mut params = HashMap::new();
+        let mut bpr = HashMap::new();
+        for scheme in EncodingScheme::all() {
+            params.insert(
+                scheme,
+                crate::cost::CostParams {
+                    ms_per_record: 1e-3,
+                    extra_ms: 100.0,
+                },
+            );
+            bpr.insert(scheme, 38.0);
+        }
+        CostModel::from_params("synthetic", params, bpr)
+    }
+
+    #[test]
+    fn log_is_bounded_and_derives_grouped_workload() {
+        let mut log = QueryLog::new(100);
+        let u = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 10.0, 10.0));
+        for i in 0..250 {
+            let size = if i % 5 == 0 {
+                QuerySize::new(4.0, 4.0, 4.0)
+            } else {
+                QuerySize::new(0.5, 0.5, 0.5)
+            };
+            log.observe(&Cuboid::from_centroid(u.centroid(), size));
+        }
+        assert_eq!(log.len(), 100);
+        let w = log.derive_workload(2, 7);
+        assert_eq!(w.len(), 2);
+        let total: f64 = w.entries().iter().map(|&(_, wt)| wt).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // The frequent small shape carries ~4/5 of the weight.
+        let small = w
+            .entries()
+            .iter()
+            .find(|(q, _)| q.size.w < 1.0)
+            .expect("small cluster");
+        assert!(small.1 >= 75.0);
+    }
+
+    #[test]
+    fn recommendation_diffs_against_current_set() {
+        let mut fleet = FleetConfig::small();
+        fleet.num_taxis = 60;
+        fleet.records_per_taxi = 120;
+        let sample = fleet.generate();
+        let universe = fleet.universe();
+        let model = synthetic_model();
+
+        // A log dominated by tiny queries.
+        let mut log = QueryLog::new(500);
+        for i in 0..200 {
+            let f = 0.02 + 0.001 * f64::from(i % 7);
+            log.observe(&Cuboid::from_centroid(
+                universe.centroid(),
+                QuerySize::new(f, f, universe.extent(2) / 64.0),
+            ));
+        }
+        let workload = log.derive_workload(3, 1);
+
+        let candidates = ReplicaConfig::grid(
+            &[SchemeSpec::new(4, 2), SchemeSpec::new(64, 16)],
+            &[
+                EncodingScheme::new(Layout::Row, Compression::Plain),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ],
+        );
+        // Currently built: one coarse replica — wrong for tiny queries.
+        let current = vec![ReplicaConfig::new(
+            SchemeSpec::new(4, 2),
+            EncodingScheme::new(Layout::Row, Compression::Plain),
+        )];
+        let budget = 38.0 * 65e6 * 2.5; // room for ~2.5 plain replicas
+        let rec = recommend(
+            &model,
+            &workload,
+            &candidates,
+            &current,
+            &sample,
+            universe,
+            65e6,
+            budget,
+            Strategy::Exact,
+        )
+        .expect("recommend");
+        // The advisor must want a fine replica for the tiny-query log.
+        assert!(
+            rec.configs
+                .iter()
+                .any(|c| c.spec == SchemeSpec::new(64, 16)),
+            "expected a fine-grained replica in {:?}",
+            rec.configs
+        );
+        assert!(rec.recommended_cost <= rec.current_cost);
+        assert!(
+            rec.improvement() > 0.0,
+            "coarse-only current set must be improvable"
+        );
+        // Diff consistency: configs = (current − to_drop) ∪ to_build.
+        for c in &rec.to_build {
+            assert!(rec.configs.contains(c) && !current.contains(c));
+        }
+        for c in &rec.to_drop {
+            assert!(!rec.configs.contains(c) && current.contains(c));
+        }
+    }
+
+    #[test]
+    fn empty_current_set_is_infinitely_improvable() {
+        let mut fleet = FleetConfig::small();
+        fleet.num_taxis = 40;
+        fleet.records_per_taxi = 80;
+        let sample = fleet.generate();
+        let universe = fleet.universe();
+        let model = synthetic_model();
+        let mut log = QueryLog::new(10);
+        log.observe(&universe);
+        let workload = log.derive_workload(1, 1);
+        let candidates = vec![ReplicaConfig::new(
+            SchemeSpec::new(4, 2),
+            EncodingScheme::new(Layout::Row, Compression::Plain),
+        )];
+        let rec = recommend(
+            &model,
+            &workload,
+            &candidates,
+            &[],
+            &sample,
+            universe,
+            1e6,
+            1e12,
+            Strategy::Greedy,
+        )
+        .expect("recommend");
+        assert_eq!(rec.improvement(), 1.0);
+        assert_eq!(rec.to_build.len(), 1);
+        assert!(rec.to_drop.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+use blot_mip::MipError;
+use blot_storage::StorageError;
+
+/// Error from the BLOT store or the selection pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A storage unit could not be read or written.
+    Storage(StorageError),
+    /// The MIP solver failed (infeasible instance or budget exhausted).
+    Mip(MipError),
+    /// A query referenced a replica id that was never built.
+    NoSuchReplica {
+        /// The offending id.
+        id: u32,
+    },
+    /// The store holds no replicas yet.
+    NoReplicas,
+    /// A damaged unit could not be repaired from any other replica.
+    Unrecoverable {
+        /// Replica owning the damaged unit.
+        replica: u32,
+        /// Partition id of the damaged unit.
+        partition: u32,
+    },
+    /// Ingested records fell outside the store's universe.
+    OutOfUniverse {
+        /// How many of the offered records were rejected.
+        rejected: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage failure: {e}"),
+            Self::Mip(e) => write!(f, "replica selection failed: {e}"),
+            Self::NoSuchReplica { id } => write!(f, "no replica with id {id}"),
+            Self::NoReplicas => write!(f, "store has no replicas"),
+            Self::Unrecoverable { replica, partition } => {
+                write!(
+                    f,
+                    "unit r{replica}/p{partition} unrecoverable from surviving replicas"
+                )
+            }
+            Self::OutOfUniverse { rejected } => {
+                write!(f, "{rejected} record(s) fall outside the store universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Mip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<MipError> for CoreError {
+    fn from(e: MipError) -> Self {
+        Self::Mip(e)
+    }
+}

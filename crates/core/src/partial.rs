@@ -1,0 +1,400 @@
+//! Partial replication — the paper's future-work extension (§VII):
+//! *"The use of partial replication, where only frequently accessed
+//! data ranges are replicated, is one of our future work."*
+//!
+//! The model: real query logs concentrate on hot regions (downtown,
+//! business hours). A *hot workload* attaches a **centroid region** to
+//! each grouped query — its instances are uniform over that region
+//! instead of the whole universe. A *partial replica* stores only the
+//! records inside a sub-universe region, at proportionally lower
+//! storage cost, and can serve exactly those query groups whose
+//! instances always stay inside its region.
+//!
+//! Everything downstream is unchanged: [`estimate_matrix`] produces an
+//! ordinary [`CostMatrix`] over the extended candidate list, so the
+//! greedy and MIP selectors and dominance pruning apply as-is. Query
+//! groups a partial candidate cannot serve get a large finite penalty
+//! cost (not `∞`, which would break the MIP); any real instance keeps
+//! at least one full candidate, so the optimum never pays the penalty.
+
+use blot_geo::{intersection_probability_within, Cuboid, QuerySize};
+use blot_index::PartitioningScheme;
+use blot_model::RecordBatch;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::replica::ReplicaConfig;
+use crate::select::CostMatrix;
+
+/// A grouped query restricted to a hot region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotGroupedQuery {
+    /// The query extent ⟨W, H, T⟩.
+    pub size: QuerySize,
+    /// Region the query *centroids* are uniform over.
+    pub centroid_region: Cuboid,
+    /// Weight (frequency) of the group.
+    pub weight: f64,
+}
+
+impl HotGroupedQuery {
+    /// The tight region that contains every instance of this group: the
+    /// centroid region dilated by half the query extent per axis.
+    #[must_use]
+    pub fn footprint(&self, universe: &Cuboid) -> Cuboid {
+        let mut min = self.centroid_region.min();
+        let mut max = self.centroid_region.max();
+        for (axis, half) in [self.size.w / 2.0, self.size.h / 2.0, self.size.t / 2.0]
+            .into_iter()
+            .enumerate()
+        {
+            min = min.with_axis(axis, (min.axis(axis) - half).max(universe.min().axis(axis)));
+            max = max.with_axis(axis, (max.axis(axis) + half).min(universe.max().axis(axis)));
+        }
+        Cuboid::new(min, max)
+    }
+}
+
+/// A candidate replica that may cover only part of the universe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialCandidate {
+    /// Partitioning and encoding.
+    pub config: ReplicaConfig,
+    /// Region the replica stores, or `None` for a full replica.
+    pub region: Option<Cuboid>,
+}
+
+impl PartialCandidate {
+    /// A conventional full replica.
+    #[must_use]
+    pub fn full(config: ReplicaConfig) -> Self {
+        Self {
+            config,
+            region: None,
+        }
+    }
+
+    /// A partial replica over `region`.
+    #[must_use]
+    pub fn partial(config: ReplicaConfig, region: Cuboid) -> Self {
+        Self {
+            config,
+            region: Some(region),
+        }
+    }
+
+    /// Whether every instance of `q` stays inside this candidate's
+    /// stored region.
+    #[must_use]
+    pub fn serves(&self, q: &HotGroupedQuery, universe: &Cuboid) -> bool {
+        match &self.region {
+            None => true,
+            Some(region) => region.contains_cuboid(&q.footprint(universe)),
+        }
+    }
+}
+
+/// Builds the selection cost matrix over hot queries and (possibly
+/// partial) candidates.
+///
+/// For a partial candidate over region `R`:
+/// * storage is scaled by the sample fraction of records inside `R`;
+/// * its partitioning scheme is built over `R` from the sample records
+///   inside `R` (equal-count splits of the hot data);
+/// * query groups it cannot serve are priced at `penalty_factor ×` the
+///   most expensive servable cost in the matrix.
+///
+/// # Panics
+///
+/// Panics if `candidates` or `workload` is empty.
+#[must_use]
+pub fn estimate_matrix(
+    model: &CostModel,
+    workload: &[HotGroupedQuery],
+    candidates: &[PartialCandidate],
+    sample: &RecordBatch,
+    universe: Cuboid,
+    dataset_records: f64,
+) -> CostMatrix {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    assert!(!workload.is_empty(), "need at least one query group");
+    #[allow(clippy::cast_precision_loss)]
+    let sample_len = sample.len() as f64;
+
+    // Build each candidate's scheme over its own region + record share.
+    struct Built {
+        scheme: PartitioningScheme,
+        records: f64,
+        universe: Cuboid,
+    }
+    let built: Vec<Built> = candidates
+        .iter()
+        .map(|c| match &c.region {
+            None => Built {
+                scheme: PartitioningScheme::build(sample, universe, c.config.spec),
+                records: dataset_records,
+                universe,
+            },
+            Some(region) => {
+                let local = sample.filter_range(region);
+                #[allow(clippy::cast_precision_loss)]
+                let frac = if sample.is_empty() {
+                    0.0
+                } else {
+                    local.len() as f64 / sample_len
+                };
+                Built {
+                    scheme: PartitioningScheme::build(&local, *region, c.config.spec),
+                    records: dataset_records * frac,
+                    universe: *region,
+                }
+            }
+        })
+        .collect();
+
+    // Serviceable costs first; penalties placed after we know the max.
+    let mut costs: Vec<Vec<Option<f64>>> = Vec::with_capacity(workload.len());
+    for q in workload {
+        let row: Vec<Option<f64>> = candidates
+            .iter()
+            .zip(&built)
+            .map(|(c, b)| {
+                if !c.serves(q, &universe) {
+                    return None;
+                }
+                let np: f64 = b
+                    .scheme
+                    .partitions()
+                    .iter()
+                    .map(|p| {
+                        intersection_probability_within(
+                            &b.universe,
+                            &q.centroid_region,
+                            q.size,
+                            &p.range,
+                        )
+                    })
+                    .sum();
+                Some(model.cost_with_np(np, b.scheme.len(), c.config.encoding, b.records))
+            })
+            .collect();
+        costs.push(row);
+    }
+    let max_cost = costs
+        .iter()
+        .flatten()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let penalty = max_cost * 1e3;
+    CostMatrix {
+        costs: costs
+            .into_iter()
+            .map(|row| row.into_iter().map(|c| c.unwrap_or(penalty)).collect())
+            .collect(),
+        weights: workload.iter().map(|q| q.weight).collect(),
+        storage: candidates
+            .iter()
+            .zip(&built)
+            .map(|(c, b)| model.replica_storage_bytes(c.config.encoding, b.records))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{select_greedy, select_mip};
+    use blot_codec::{Compression, EncodingScheme, Layout};
+    use blot_index::SchemeSpec;
+    use blot_mip::MipSolver;
+    use blot_tracegen::FleetConfig;
+
+    fn setup() -> (RecordBatch, Cuboid, CostModel, Cuboid) {
+        let mut config = FleetConfig::small();
+        config.num_taxis = 80;
+        config.records_per_taxi = 150;
+        let sample = config.generate();
+        let universe = config.universe();
+        // A synthetic scan-dominated model keeps this test deterministic
+        // (measured debug-build decode times would drown the signal in
+        // the cloud profile's huge ExtraTime).
+        let mut params = std::collections::HashMap::new();
+        let mut bpr = std::collections::HashMap::new();
+        for scheme in EncodingScheme::all() {
+            params.insert(
+                scheme,
+                crate::cost::CostParams {
+                    ms_per_record: 1e-3,
+                    extra_ms: 50.0,
+                },
+            );
+            bpr.insert(scheme, 38.0);
+        }
+        let model = CostModel::from_params("synthetic", params, bpr);
+
+        // The hot region: the quarter of the universe around downtown.
+        let hot = config.hotspots()[0];
+        let c = universe.centroid();
+        let region = Cuboid::new(
+            blot_geo::Point::new(
+                (hot.0 - 0.5).max(universe.min().x),
+                (hot.1 - 0.5).max(universe.min().y),
+                universe.min().t,
+            ),
+            blot_geo::Point::new(
+                (hot.0 + 0.5).min(universe.max().x),
+                (hot.1 + 0.5).min(universe.max().y),
+                c.t,
+            ),
+        );
+        (sample, universe, model, region)
+    }
+
+    fn hot_workload(universe: &Cuboid, region: &Cuboid) -> Vec<HotGroupedQuery> {
+        vec![
+            // Frequent small queries inside the hot region.
+            HotGroupedQuery {
+                size: QuerySize::new(0.05, 0.05, universe.extent(2) / 64.0),
+                centroid_region: *region,
+                weight: 100.0,
+            },
+            HotGroupedQuery {
+                size: QuerySize::new(0.2, 0.2, universe.extent(2) / 16.0),
+                centroid_region: *region,
+                weight: 20.0,
+            },
+            // Rare universe-wide sweeps.
+            HotGroupedQuery {
+                size: QuerySize::new(
+                    universe.extent(0) / 2.0,
+                    universe.extent(1) / 2.0,
+                    universe.extent(2) / 2.0,
+                ),
+                centroid_region: *universe,
+                weight: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn footprint_dilates_and_clamps() {
+        let u = Cuboid::new(
+            blot_geo::Point::new(0.0, 0.0, 0.0),
+            blot_geo::Point::new(10.0, 10.0, 10.0),
+        );
+        let q = HotGroupedQuery {
+            size: QuerySize::new(2.0, 2.0, 2.0),
+            centroid_region: Cuboid::new(
+                blot_geo::Point::new(0.5, 4.0, 4.0),
+                blot_geo::Point::new(2.0, 6.0, 6.0),
+            ),
+            weight: 1.0,
+        };
+        let f = q.footprint(&u);
+        assert_eq!(f.min(), blot_geo::Point::new(0.0, 3.0, 3.0)); // clamped west
+        assert_eq!(f.max(), blot_geo::Point::new(3.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn serves_respects_region_containment() {
+        let (_, universe, _, region) = setup();
+        let cfg = ReplicaConfig::new(
+            SchemeSpec::new(16, 4),
+            EncodingScheme::new(Layout::Row, Compression::Lzf),
+        );
+        let partial = PartialCandidate::partial(cfg, region);
+        let full = PartialCandidate::full(cfg);
+        let w = hot_workload(&universe, &region);
+        // Small hot queries sit near the region border, so their
+        // footprint leaks out of the region: only a query group whose
+        // dilated footprint stays inside is servable. Check the
+        // universe-wide group is definitely not servable and the full
+        // replica serves everything.
+        assert!(w.iter().all(|q| full.serves(q, &universe)));
+        assert!(!partial.serves(&w[2], &universe));
+        // Shrinking the centroid region to the region's core makes the
+        // small group servable.
+        let core = Cuboid::new(
+            blot_geo::Point::new(
+                region.min().x + 0.1,
+                region.min().y + 0.1,
+                region.min().t + universe.extent(2) / 32.0,
+            ),
+            blot_geo::Point::new(
+                region.max().x - 0.1,
+                region.max().y - 0.1,
+                region.max().t - universe.extent(2) / 32.0,
+            ),
+        );
+        let mut q = w[0];
+        q.centroid_region = core;
+        assert!(partial.serves(&q, &universe));
+    }
+
+    #[test]
+    fn partial_replicas_beat_full_only_under_tight_budgets() {
+        let (sample, universe, model, region) = setup();
+        let mut w = hot_workload(&universe, &region);
+        // Keep centroids well inside the region so partials can serve.
+        for q in &mut w[..2] {
+            let shrink = 0.15;
+            q.centroid_region = Cuboid::new(
+                blot_geo::Point::new(
+                    region.min().x + shrink,
+                    region.min().y + shrink,
+                    region.min().t + universe.extent(2) / 16.0,
+                ),
+                blot_geo::Point::new(
+                    region.max().x - shrink,
+                    region.max().y - shrink,
+                    region.max().t - universe.extent(2) / 16.0,
+                ),
+            );
+        }
+        let configs = [
+            ReplicaConfig::new(
+                SchemeSpec::new(4, 2),
+                EncodingScheme::new(Layout::Row, Compression::Plain),
+            ),
+            ReplicaConfig::new(
+                SchemeSpec::new(64, 8),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+            ReplicaConfig::new(
+                SchemeSpec::new(16, 4),
+                EncodingScheme::new(Layout::Column, Compression::Deflate),
+            ),
+        ];
+        let full_only: Vec<PartialCandidate> =
+            configs.iter().map(|&c| PartialCandidate::full(c)).collect();
+        let mut extended = full_only.clone();
+        for &c in &configs {
+            extended.push(PartialCandidate::partial(c, region));
+        }
+        let m_full = estimate_matrix(&model, &w, &full_only, &sample, universe, 65e6);
+        let m_ext = estimate_matrix(&model, &w, &extended, &sample, universe, 65e6);
+
+        // Partial replicas store strictly less.
+        for j in 3..6 {
+            assert!(m_ext.storage[j] < m_ext.storage[j - 3]);
+        }
+        // Budget: one full replica plus change — too tight for two full
+        // replicas, enough for full + partial.
+        let budget = m_full.storage.iter().copied().fold(f64::INFINITY, f64::min) * 1.7;
+        let solver = MipSolver::default();
+        let best_full = select_mip(&m_full, budget, &solver).expect("full-only");
+        let best_ext = select_mip(&m_ext, budget, &solver).expect("extended");
+        assert!(
+            best_ext.workload_cost < best_full.workload_cost,
+            "partial replicas must help under tight budgets: {} vs {}",
+            best_ext.workload_cost,
+            best_full.workload_cost
+        );
+        // And the greedy heuristic also benefits.
+        let g_full = select_greedy(&m_full, budget);
+        let g_ext = select_greedy(&m_ext, budget);
+        assert!(g_ext.workload_cost <= g_full.workload_cost * 1.001);
+    }
+}

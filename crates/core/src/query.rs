@@ -1,0 +1,173 @@
+//! Grouped queries and weighted workloads (Definition 6, §III-C1).
+
+use blot_geo::{Cuboid, QuerySize};
+use serde::{Deserialize, Serialize};
+
+/// A grouped query `Q_G = ⟨W, H, T⟩`: all range queries of one extent,
+/// with centroid position uniform over the feasible range (§III-C1).
+///
+/// Grouped queries are the unit of the input workload — "queries with
+/// the same size of range often occur many times in real situations".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupedQuery {
+    /// The common extent of the group.
+    pub size: QuerySize,
+}
+
+impl GroupedQuery {
+    /// Creates a grouped query of the given extent.
+    #[must_use]
+    pub const fn new(size: QuerySize) -> Self {
+        Self { size }
+    }
+
+    /// Materialises the concrete query of this size centred at the given
+    /// fractional position of the universe's feasible centroid range
+    /// (0 = west/south/earliest corner, 1 = opposite corner).
+    #[must_use]
+    pub fn at(&self, universe: &Cuboid, fx: f64, fy: f64, ft: f64) -> Cuboid {
+        let cr = universe.centroid_range(self.size);
+        let c = blot_geo::Point::new(
+            cr.min().x + (cr.max().x - cr.min().x) * fx.clamp(0.0, 1.0),
+            cr.min().y + (cr.max().y - cr.min().y) * fy.clamp(0.0, 1.0),
+            cr.min().t + (cr.max().t - cr.min().t) * ft.clamp(0.0, 1.0),
+        );
+        Cuboid::from_centroid(c, self.size)
+    }
+}
+
+/// A weighted set of grouped queries
+/// `W = {(q₁, w₁), …, (q_n, w_n)}` (Definition 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    entries: Vec<(GroupedQuery, f64)>,
+}
+
+impl Workload {
+    /// Creates a workload from `(query, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or not finite.
+    #[must_use]
+    pub fn new(entries: Vec<(GroupedQuery, f64)>) -> Self {
+        assert!(
+            entries.iter().all(|(_, w)| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self { entries }
+    }
+
+    /// The `(query, weight)` pairs.
+    #[must_use]
+    pub fn entries(&self) -> &[(GroupedQuery, f64)] {
+        &self.entries
+    }
+
+    /// Number of grouped queries `n = |W|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the workload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the workload with weights scaled to sum to 1 (the
+    /// normalisation the paper notes is used "in some situations").
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return self.clone();
+        }
+        Self {
+            entries: self.entries.iter().map(|&(q, w)| (q, w / total)).collect(),
+        }
+    }
+
+    /// The paper's synthetic evaluation workload: "8 grouped queries
+    /// with wildly varied range size" (§V-C), spanning tiny single-cell
+    /// probes (q1) up to the whole universe (q8). Sizes are geometric in
+    /// each dimension so consecutive queries prefer different
+    /// partitioning granularities.
+    ///
+    /// Weights fall geometrically with size — a query twice as large is
+    /// issued half as often — reflecting the frequency interpretation of
+    /// Definition 6 and real analytical workloads (cell statistics are
+    /// run constantly, universe sweeps rarely). This also makes each
+    /// query's *weighted* cost comparable in magnitude, as in the
+    /// paper's Figure 6 bars.
+    #[must_use]
+    pub fn paper_synthetic(universe: &Cuboid) -> Self {
+        let w = universe.extent(0);
+        let h = universe.extent(1);
+        let t = universe.extent(2);
+        let entries = (0..8)
+            .map(|i| {
+                // Fractions 1/128 … 1 by powers of 2.
+                let f = 2f64.powi(i - 7);
+                let q = GroupedQuery::new(QuerySize::new(w * f, h * f, t * f));
+                (q, 2f64.powi(7 - i))
+            })
+            .collect();
+        Self::new(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blot_geo::Point;
+
+    fn universe() -> Cuboid {
+        Cuboid::new(
+            Point::new(120.0, 30.0, 0.0),
+            Point::new(122.0, 32.0, 1000.0),
+        )
+    }
+
+    #[test]
+    fn paper_workload_has_eight_varied_queries() {
+        let w = Workload::paper_synthetic(&universe());
+        assert_eq!(w.len(), 8);
+        let sizes: Vec<f64> = w.entries().iter().map(|(q, _)| q.size.volume()).collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[1] > pair[0], "sizes must grow");
+        }
+        // Largest query covers the whole universe.
+        let last = w.entries()[7].0.size;
+        assert_eq!(last.w, 2.0);
+        assert_eq!(last.t, 1000.0);
+        // Smallest is 1/128 per axis.
+        assert!((w.entries()[0].0.size.w - 2.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let w = Workload::paper_synthetic(&universe()).normalized();
+        let total: f64 = w.entries().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialised_query_stays_in_universe() {
+        let u = universe();
+        let q = GroupedQuery::new(QuerySize::new(0.5, 0.5, 100.0));
+        for (fx, fy, ft) in [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (0.5, 0.25, 0.75)] {
+            let c = q.at(&u, fx, fy, ft);
+            assert!(u.contains_cuboid(&c), "query at ({fx},{fy},{ft}) escapes");
+            assert!((c.extent(0) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let q = GroupedQuery::new(QuerySize::new(1.0, 1.0, 1.0));
+        let _ = Workload::new(vec![(q, -1.0)]);
+    }
+}

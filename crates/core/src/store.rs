@@ -1,0 +1,811 @@
+//! An executable BLOT store with diverse replicas.
+//!
+//! Ties the whole paper together (Figure 1 / Figure 2): physical
+//! replicas are built by partitioning + encoding the logical dataset;
+//! each incoming range query is routed to the replica with the lowest
+//! *estimated* cost; damaged storage units are repaired from any other
+//! replica because "diverse replicas can recover each other when
+//! failures occur \[since\] they share the same logical view of the data"
+//! (§I).
+
+use blot_geo::Cuboid;
+use blot_index::PartitioningScheme;
+use blot_model::RecordBatch;
+use blot_storage::job::MapOnlyJob;
+use blot_storage::scan::{run_scan, ScanTask};
+use blot_storage::{Backend, EnvProfile, StorageError, UnitKey};
+use parking_lot::Mutex;
+
+use crate::adapt::QueryLog;
+use crate::cost::CostModel;
+use crate::replica::ReplicaConfig;
+use crate::CoreError;
+
+/// A physical replica that has been built into the backend.
+#[derive(Debug)]
+pub struct BuiltReplica {
+    /// Replica id (index into the store's replica list).
+    pub id: u32,
+    /// The configuration it was built from.
+    pub config: ReplicaConfig,
+    /// Its partitioning scheme (with per-partition counts of the built
+    /// data).
+    pub scheme: PartitioningScheme,
+    /// Records stored.
+    pub records: u64,
+    /// Encoded bytes across all its storage units.
+    pub bytes: u64,
+}
+
+/// Result of one range query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Matching records (order unspecified).
+    pub records: RecordBatch,
+    /// Replica that served the query.
+    pub replica: u32,
+    /// Σ simulated task milliseconds (the paper's query cost).
+    pub sim_ms: f64,
+    /// Simulated wall-clock with fully parallel mappers.
+    pub makespan_ms: f64,
+    /// Involved partitions scanned.
+    pub partitions_scanned: usize,
+    /// Replicas that failed before one answered (failover path).
+    pub failed_over: Vec<u32>,
+}
+
+/// Report of a [`BlotStore::repair_all`] pass.
+#[derive(Debug, Default)]
+pub struct RepairReport {
+    /// Units found damaged and rebuilt.
+    pub repaired: Vec<UnitKey>,
+    /// Units found damaged with no surviving source.
+    pub unrecoverable: Vec<UnitKey>,
+}
+
+/// Result of one [`BlotStore::ingest`] call.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Records appended (to every replica).
+    pub records: usize,
+    /// Storage units rewritten across all replicas.
+    pub units_rewritten: usize,
+}
+
+/// A BLOT store over a storage backend and a simulated environment.
+#[derive(Debug)]
+pub struct BlotStore<B> {
+    backend: B,
+    env: EnvProfile,
+    universe: Cuboid,
+    model: CostModel,
+    replicas: Vec<BuiltReplica>,
+    /// Optional query log feeding adaptive reconfiguration (§II-E).
+    log: Option<Mutex<QueryLog>>,
+}
+
+impl<B: Backend> BlotStore<B> {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(backend: B, env: EnvProfile, universe: Cuboid, model: CostModel) -> Self {
+        Self {
+            backend,
+            env,
+            universe,
+            model,
+            replicas: Vec::new(),
+            log: None,
+        }
+    }
+
+    /// Starts recording executed query ranges into a bounded
+    /// [`QueryLog`] for later [`adapt::recommend`](crate::adapt::recommend)
+    /// calls. Replaces any previous log.
+    pub fn enable_query_log(&mut self, capacity: usize) {
+        self.log = Some(Mutex::new(QueryLog::new(capacity)));
+    }
+
+    /// A snapshot of the query log (empty if logging was never enabled).
+    #[must_use]
+    pub fn query_log(&self) -> QueryLog {
+        self.log
+            .as_ref()
+            .map_or_else(|| QueryLog::new(1), |l| l.lock().clone())
+    }
+
+    /// The store's backend (for failure injection in tests and for
+    /// inspecting storage use).
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The built replicas.
+    #[must_use]
+    pub fn replicas(&self) -> &[BuiltReplica] {
+        &self.replicas
+    }
+
+    /// The store's universe.
+    #[must_use]
+    pub fn universe(&self) -> Cuboid {
+        self.universe
+    }
+
+    /// Total encoded bytes across all replicas.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.replicas.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Builds a physical replica of `data` under `config`: partitions
+    /// the records, encodes every partition, and writes the storage
+    /// units. Returns the new replica's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Storage`] if a unit cannot be written.
+    pub fn build_replica(
+        &mut self,
+        data: &RecordBatch,
+        config: ReplicaConfig,
+    ) -> Result<u32, CoreError> {
+        let id = u32::try_from(self.replicas.len()).expect("replica count fits u32");
+        let scheme = PartitioningScheme::build(data, self.universe, config.spec);
+        let parts = scheme.assign_batch(data);
+        let mut bytes = 0u64;
+        for (pid, part) in parts.iter().enumerate() {
+            let unit = config.encoding.encode(part);
+            bytes += unit.len() as u64;
+            self.backend.put(
+                UnitKey {
+                    replica: id,
+                    partition: u32::try_from(pid).expect("partition id"),
+                },
+                unit,
+            )?;
+        }
+        self.replicas.push(BuiltReplica {
+            id,
+            config,
+            scheme,
+            records: data.len() as u64,
+            bytes,
+        });
+        Ok(id)
+    }
+
+    /// Re-attaches a replica whose storage units already exist in the
+    /// backend (e.g. after reopening an on-disk store): no units are
+    /// written, only the in-memory metadata is restored. The caller is
+    /// responsible for `scheme` matching what the units were built with
+    /// — [`scrub`](Self::scrub) will flag any mismatch as corruption.
+    pub fn restore_replica(
+        &mut self,
+        config: ReplicaConfig,
+        scheme: PartitioningScheme,
+        records: u64,
+        bytes: u64,
+    ) -> u32 {
+        let id = u32::try_from(self.replicas.len()).expect("replica count fits u32");
+        self.replicas.push(BuiltReplica {
+            id,
+            config,
+            scheme,
+            records,
+            bytes,
+        });
+        id
+    }
+
+    /// Appends a batch of new records to **every** replica, preserving
+    /// the diverse-replica invariant that all replicas encode the same
+    /// logical dataset.
+    ///
+    /// Each touched storage unit is read, decoded, extended and
+    /// re-encoded (BLOT units are optimised for sequential scans, not
+    /// in-place appends). Partition boundaries stay fixed — continuous
+    /// ingest skews partition sizes over time, which is exactly the
+    /// drift the adaptive advisor (`adapt::recommend`) exists to detect
+    /// and correct by re-selecting and rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoReplicas`] — nothing to ingest into;
+    /// * [`CoreError::OutOfUniverse`] — some records fall outside the
+    ///   universe (nothing is written);
+    /// * [`CoreError::Storage`] — a unit could not be read or written.
+    pub fn ingest(&mut self, batch: &RecordBatch) -> Result<IngestReport, CoreError> {
+        if self.replicas.is_empty() {
+            return Err(CoreError::NoReplicas);
+        }
+        let rejected = (0..batch.len())
+            .filter(|&i| !self.universe.contains_point(&batch.point(i)))
+            .count();
+        if rejected > 0 {
+            return Err(CoreError::OutOfUniverse { rejected });
+        }
+        let mut report = IngestReport {
+            records: batch.len(),
+            units_rewritten: 0,
+        };
+        for replica in &mut self.replicas {
+            // Group incoming records by target partition.
+            let mut by_partition: std::collections::HashMap<usize, RecordBatch> =
+                std::collections::HashMap::new();
+            for i in 0..batch.len() {
+                let p = batch.point(i);
+                let pid = replica.scheme.assign_point(p.x, p.y, p.t);
+                by_partition.entry(pid).or_default().push(batch.get(i));
+            }
+            for (pid, additions) in by_partition {
+                let key = UnitKey {
+                    replica: replica.id,
+                    partition: pid as u32,
+                };
+                let bytes = self.backend.get(key)?;
+                let mut records = replica
+                    .config
+                    .encoding
+                    .decode(&bytes)
+                    .map_err(|source| StorageError::Corrupt { key, source })?;
+                records.extend_from(&additions);
+                let unit = replica.config.encoding.encode(&records);
+                replica.bytes = replica.bytes - bytes.len() as u64 + unit.len() as u64;
+                self.backend.put(key, unit)?;
+                replica.scheme.note_insertions(pid, additions.len());
+                report.units_rewritten += 1;
+            }
+            replica.records += batch.len() as u64;
+        }
+        Ok(report)
+    }
+
+    /// Ranks built replicas by estimated cost for `range`, cheapest
+    /// first — the query-routing decision of §II-E ("query cost
+    /// estimation helps the system to determine which one of the
+    /// existing replicas is supposed to have the least processing
+    /// time").
+    #[must_use]
+    pub fn route(&self, range: &Cuboid) -> Vec<u32> {
+        let mut ranked: Vec<(u32, f64)> = self
+            .replicas
+            .iter()
+            .map(|r| {
+                #[allow(clippy::cast_precision_loss)]
+                let cost = self.model.concrete_query_cost(
+                    range,
+                    &r.scheme,
+                    r.config.encoding,
+                    r.records as f64,
+                );
+                (r.id, cost)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        ranked.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Executes a range query on the estimated-cheapest replica, failing
+    /// over to the next-cheapest when storage units are missing or
+    /// corrupt.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoReplicas`] — nothing built yet;
+    /// * [`CoreError::Storage`] — every replica failed.
+    pub fn query(&self, range: &Cuboid) -> Result<QueryResult, CoreError> {
+        if let Some(log) = &self.log {
+            log.lock().observe(range);
+        }
+        let order = self.route(range);
+        if order.is_empty() {
+            return Err(CoreError::NoReplicas);
+        }
+        let mut failed_over = Vec::new();
+        let mut last_err: Option<StorageError> = None;
+        for id in order {
+            match self.query_on(id, range) {
+                Ok(mut result) => {
+                    result.failed_over = failed_over;
+                    return Ok(result);
+                }
+                Err(CoreError::Storage(e)) => {
+                    failed_over.push(id);
+                    last_err = Some(e);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(CoreError::Storage(
+            last_err.expect("at least one replica failed"),
+        ))
+    }
+
+    /// Executes a range query on a specific replica (§II-D: find the
+    /// involved partitions, scan each in a map-only job, filter).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoSuchReplica`] — unknown id;
+    /// * [`CoreError::Storage`] — a unit could not be read or decoded.
+    pub fn query_on(&self, id: u32, range: &Cuboid) -> Result<QueryResult, CoreError> {
+        let replica = self
+            .replicas
+            .get(id as usize)
+            .ok_or(CoreError::NoSuchReplica { id })?;
+        let involved = replica.scheme.involved(range);
+        let tasks: Vec<ScanTask> = involved
+            .iter()
+            .map(|&pid| ScanTask {
+                key: UnitKey {
+                    replica: id,
+                    partition: pid as u32,
+                },
+                scheme: replica.config.encoding,
+                range: Some(*range),
+            })
+            .collect();
+        let job = MapOnlyJob::fully_parallel(tasks);
+        let report = job.run(&self.backend, &self.env)?;
+        let mut records = RecordBatch::new();
+        for r in &report.reports {
+            records.extend_from(&r.output);
+        }
+        Ok(QueryResult {
+            records,
+            replica: id,
+            sim_ms: report.total_ms,
+            makespan_ms: report.makespan_ms,
+            partitions_scanned: involved.len(),
+            failed_over: Vec::new(),
+        })
+    }
+
+    /// Reads every storage unit of every replica and reports the keys
+    /// that are missing or no longer decode.
+    #[must_use]
+    pub fn scrub(&self) -> Vec<UnitKey> {
+        let mut damaged = Vec::new();
+        for replica in &self.replicas {
+            for pid in 0..replica.scheme.len() {
+                let key = UnitKey {
+                    replica: replica.id,
+                    partition: pid as u32,
+                };
+                let ok = run_scan(
+                    &self.backend,
+                    &self.env,
+                    &ScanTask {
+                        key,
+                        scheme: replica.config.encoding,
+                        range: None,
+                    },
+                )
+                .is_ok();
+                if !ok {
+                    damaged.push(key);
+                }
+            }
+        }
+        damaged
+    }
+
+    /// Rebuilds one damaged unit from the other replicas.
+    ///
+    /// First tries a clean single-source repair: extract the partition's
+    /// records from one fully-readable replica (re-assigning boundary
+    /// records with the owner's partitioner so the rebuilt unit holds
+    /// exactly the original record set).
+    ///
+    /// When every source replica is itself partially damaged over the
+    /// range, falls back to *multi-source* repair: the readable units of
+    /// each source contribute a partial view, the views are merged (per
+    /// source a record appears at most once per copy it had, so the
+    /// merged multiplicity of each record is the maximum over sources),
+    /// and the merge is accepted only if it reaches the unit's known
+    /// record count — diverse replicas recovering each other even when
+    /// no single replica survived intact.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoSuchReplica`] — unknown id;
+    /// * [`CoreError::Unrecoverable`] — the surviving units do not cover
+    ///   every record of the partition (both copies of some region are
+    ///   gone).
+    pub fn repair_unit(&self, key: UnitKey) -> Result<(), CoreError> {
+        let owner = self
+            .replicas
+            .get(key.replica as usize)
+            .ok_or(CoreError::NoSuchReplica { id: key.replica })?;
+        let partition = &owner.scheme.partitions()[key.partition as usize];
+        let is_member = |records: &RecordBatch, i: usize| {
+            let p = records.point(i);
+            owner.scheme.assign_point(p.x, p.y, p.t) == key.partition as usize
+        };
+
+        // Fast path: one fully-readable source.
+        for source in &self.replicas {
+            if source.id == key.replica {
+                continue;
+            }
+            let Ok(result) = self.query_on(source.id, &partition.range) else {
+                continue; // this source is damaged too — try the next
+            };
+            // The closed-range query may pull boundary records owned by
+            // neighbouring partitions; keep only true members.
+            let mut members = RecordBatch::new();
+            for i in 0..result.records.len() {
+                if is_member(&result.records, i) {
+                    members.push(result.records.get(i));
+                }
+            }
+            let unit = owner.config.encoding.encode(&members);
+            self.backend.put(key, unit)?;
+            return Ok(());
+        }
+
+        // Fallback: merge partial views. A record's multiplicity in the
+        // truth equals its multiplicity in any complete source view, so
+        // the max multiplicity over partial views is a lower bound that
+        // becomes exact once the views jointly cover the partition.
+        type RecordKey = (u32, i64, u64, u64, u32, u32, bool, u8);
+        let key_of = |b: &RecordBatch, i: usize| -> RecordKey {
+            let r = b.get(i);
+            (
+                r.oid,
+                r.time,
+                r.x.to_bits(),
+                r.y.to_bits(),
+                r.speed.to_bits(),
+                r.heading.to_bits(),
+                r.occupied,
+                r.passengers,
+            )
+        };
+        let mut merged: std::collections::HashMap<RecordKey, (blot_model::Record, usize)> =
+            std::collections::HashMap::new();
+        for source in &self.replicas {
+            if source.id == key.replica {
+                continue;
+            }
+            let mut counts: std::collections::HashMap<RecordKey, (blot_model::Record, usize)> =
+                std::collections::HashMap::new();
+            for pid in source.scheme.involved(&partition.range) {
+                let Ok(report) = run_scan(
+                    &self.backend,
+                    &self.env,
+                    &ScanTask {
+                        key: UnitKey {
+                            replica: source.id,
+                            partition: pid as u32,
+                        },
+                        scheme: source.config.encoding,
+                        range: Some(partition.range),
+                    },
+                ) else {
+                    continue; // unreadable unit: skip, others may cover it
+                };
+                for i in 0..report.output.len() {
+                    if is_member(&report.output, i) {
+                        let k = key_of(&report.output, i);
+                        counts.entry(k).or_insert((report.output.get(i), 0)).1 += 1;
+                    }
+                }
+            }
+            for (k, (r, c)) in counts {
+                let e = merged.entry(k).or_insert((r, 0));
+                e.1 = e.1.max(c);
+            }
+        }
+        let total: usize = merged.values().map(|&(_, c)| c).sum();
+        if total != partition.count {
+            return Err(CoreError::Unrecoverable {
+                replica: key.replica,
+                partition: key.partition,
+            });
+        }
+        let mut members = RecordBatch::with_capacity(total);
+        for (r, c) in merged.into_values() {
+            for _ in 0..c {
+                members.push(r);
+            }
+        }
+        let unit = owner.config.encoding.encode(&members);
+        self.backend.put(key, unit)?;
+        Ok(())
+    }
+
+    /// Scrubs the store and repairs everything repairable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Storage`] only on write failures; units with
+    /// no surviving source are reported, not errored.
+    pub fn repair_all(&self) -> Result<RepairReport, CoreError> {
+        let mut report = RepairReport::default();
+        for key in self.scrub() {
+            match self.repair_unit(key) {
+                Ok(()) => report.repaired.push(key),
+                Err(CoreError::Unrecoverable { .. }) => report.unrecoverable.push(key),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use blot_storage::{FailingBackend, FailureMode, MemBackend};
+    use blot_tracegen::FleetConfig;
+
+    fn small_store() -> (BlotStore<FailingBackend<MemBackend>>, RecordBatch) {
+        let mut config = FleetConfig::small();
+        config.num_taxis = 50;
+        config.records_per_taxi = 120;
+        let data = config.generate();
+        let universe = config.universe();
+        let env = EnvProfile::local_cluster();
+        let model = CostModel::calibrate(&env, &data, 11);
+        let mut store =
+            BlotStore::new(FailingBackend::new(MemBackend::new()), env, universe, model);
+        store
+            .build_replica(
+                &data,
+                ReplicaConfig::new(
+                    SchemeSpec::new(16, 4),
+                    EncodingScheme::new(Layout::Row, Compression::Lzf),
+                ),
+            )
+            .unwrap();
+        store
+            .build_replica(
+                &data,
+                ReplicaConfig::new(
+                    SchemeSpec::new(4, 2),
+                    EncodingScheme::new(Layout::Column, Compression::Deflate),
+                ),
+            )
+            .unwrap();
+        (store, data)
+    }
+
+    fn test_query(store: &BlotStore<FailingBackend<MemBackend>>) -> Cuboid {
+        let u = store.universe();
+        Cuboid::from_centroid(
+            u.centroid(),
+            QuerySize::new(u.extent(0) / 3.0, u.extent(1) / 3.0, u.extent(2) / 3.0),
+        )
+    }
+
+    #[test]
+    fn query_matches_oracle_on_every_replica() {
+        let (store, data) = small_store();
+        let q = test_query(&store);
+        let expected = data.count_in_range(&q);
+        assert!(expected > 0, "test query must match something");
+        for id in 0..2 {
+            let result = store.query_on(id, &q).unwrap();
+            assert_eq!(result.records.len(), expected, "replica {id}");
+            assert!(result.records.iter().all(|r| r.in_range(&q)));
+            assert!(result.partitions_scanned > 0);
+            assert!(result.sim_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn routing_follows_the_cost_model() {
+        // A synthetic model with scan-dominated costs makes routing
+        // deterministic: tiny queries go to the fine replica (it prunes
+        // more records), universe-sized queries to the coarse one (it
+        // pays fewer per-partition extra costs).
+        let mut config = FleetConfig::small();
+        config.num_taxis = 50;
+        config.records_per_taxi = 120;
+        let data = config.generate();
+        let universe = config.universe();
+        let mut params = std::collections::HashMap::new();
+        let mut bpr = std::collections::HashMap::new();
+        for scheme in EncodingScheme::all() {
+            params.insert(
+                scheme,
+                crate::cost::CostParams {
+                    ms_per_record: 1.0,
+                    extra_ms: 50.0,
+                },
+            );
+            bpr.insert(scheme, 38.0);
+        }
+        let model = CostModel::from_params("synthetic", params, bpr);
+        let mut store = BlotStore::new(
+            FailingBackend::new(MemBackend::new()),
+            EnvProfile::local_cluster(),
+            universe,
+            model,
+        );
+        let enc = EncodingScheme::new(Layout::Row, Compression::Plain);
+        let fine = store
+            .build_replica(&data, ReplicaConfig::new(SchemeSpec::new(64, 8), enc))
+            .unwrap();
+        let coarse = store
+            .build_replica(&data, ReplicaConfig::new(SchemeSpec::new(4, 2), enc))
+            .unwrap();
+
+        let tiny = Cuboid::from_centroid(
+            universe.centroid(),
+            QuerySize::new(0.01, 0.01, universe.extent(2) / 100.0),
+        );
+        assert_eq!(
+            store.route(&tiny)[0],
+            fine,
+            "tiny query must go to the fine replica"
+        );
+        assert_eq!(
+            store.route(&universe)[0],
+            coarse,
+            "whole-universe query must go to the coarse replica"
+        );
+        let result = store.query(&tiny).unwrap();
+        assert_eq!(result.replica, fine);
+        assert_eq!(result.records.len(), data.count_in_range(&tiny));
+    }
+
+    #[test]
+    fn failover_serves_query_from_surviving_replica() {
+        let (store, data) = small_store();
+        let q = test_query(&store);
+        // Drop every unit of replica 0.
+        for pid in 0..store.replicas()[0].scheme.len() {
+            store.backend().inject(
+                UnitKey {
+                    replica: 0,
+                    partition: pid as u32,
+                },
+                FailureMode::Drop,
+            );
+        }
+        let result = store.query(&q).unwrap();
+        assert_eq!(result.records.len(), data.count_in_range(&q));
+        assert_eq!(result.replica, 1);
+    }
+
+    #[test]
+    fn scrub_finds_injected_damage_and_repair_heals_it() {
+        let (store, data) = small_store();
+        let k1 = UnitKey {
+            replica: 0,
+            partition: 3,
+        };
+        let k2 = UnitKey {
+            replica: 1,
+            partition: 0,
+        };
+        store.backend().inject(k1, FailureMode::Drop);
+        store.backend().inject(k2, FailureMode::Corrupt);
+        let damaged = store.scrub();
+        assert!(
+            damaged.contains(&k1) && damaged.contains(&k2),
+            "{damaged:?}"
+        );
+
+        let report = store.repair_all().unwrap();
+        assert!(report.unrecoverable.is_empty());
+        assert!(report.repaired.contains(&k1) && report.repaired.contains(&k2));
+        assert!(store.scrub().is_empty(), "store must be clean after repair");
+
+        // Full-universe query returns every record again, on both replicas.
+        let u = store.universe();
+        for id in 0..2 {
+            assert_eq!(store.query_on(id, &u).unwrap().records.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn repaired_unit_is_byte_identical() {
+        let (store, _) = small_store();
+        let key = UnitKey {
+            replica: 0,
+            partition: 5,
+        };
+        let original = store.backend().get(key).unwrap();
+        store.backend().inject(key, FailureMode::Drop);
+        store.repair_unit(key).unwrap();
+        let repaired = store.backend().get(key).unwrap();
+        // Row layout preserves order only per encoding; compare decoded
+        // record sets via the canonical column sort.
+        let scheme = store.replicas()[0].config.encoding;
+        let mut a = scheme.decode(&original).unwrap();
+        let mut b = scheme.decode(&repaired).unwrap();
+        a.sort_by_oid_time();
+        b.sort_by_oid_time();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn damage_on_all_replicas_is_unrecoverable() {
+        let (store, _) = small_store();
+        // Kill everything everywhere: nothing survives to recover from.
+        for replica in store.replicas() {
+            for pid in 0..replica.scheme.len() {
+                store.backend().inject(
+                    UnitKey {
+                        replica: replica.id,
+                        partition: pid as u32,
+                    },
+                    FailureMode::Drop,
+                );
+            }
+        }
+        let report = store.repair_all().unwrap();
+        assert!(report.repaired.is_empty());
+        let total: usize = store.replicas().iter().map(|r| r.scheme.len()).sum();
+        assert_eq!(report.unrecoverable.len(), total);
+    }
+
+    #[test]
+    fn partial_cross_damage_recovers_what_it_can() {
+        let (store, data) = small_store();
+        // One partition of replica 0 and all of replica 1 are lost:
+        // replica 1 partitions disjoint from the lost unit's range come
+        // back from replica 0; the lost r0 unit itself cannot (its only
+        // source is down at scrub time).
+        let lost = UnitKey {
+            replica: 0,
+            partition: 1,
+        };
+        store.backend().inject(lost, FailureMode::Drop);
+        for pid in 0..store.replicas()[1].scheme.len() {
+            store.backend().inject(
+                UnitKey {
+                    replica: 1,
+                    partition: pid as u32,
+                },
+                FailureMode::Drop,
+            );
+        }
+        let _ = data;
+        let report = store.repair_all().unwrap();
+        assert!(report.unrecoverable.contains(&lost));
+        assert!(
+            !report.repaired.is_empty(),
+            "disjoint r1 units must come back"
+        );
+        // The lost r0 unit and the r1 unit whose range overlaps it
+        // depend on each other: both copies of the overlap region are
+        // gone, so with two replicas that data is genuinely lost — a
+        // second pass must keep reporting exactly those units.
+        let second = store.repair_all().unwrap();
+        assert!(second.repaired.is_empty());
+        assert_eq!(second.unrecoverable.len(), report.unrecoverable.len());
+        for key in &second.unrecoverable {
+            let owner = &store.replicas()[key.replica as usize];
+            let range = owner.scheme.partitions()[key.partition as usize].range;
+            assert!(
+                second
+                    .unrecoverable
+                    .iter()
+                    .filter(|k| k.replica != key.replica)
+                    .any(|k| {
+                        let other = &store.replicas()[k.replica as usize];
+                        other.scheme.partitions()[k.partition as usize]
+                            .range
+                            .intersects(&range)
+                    }),
+                "every unrecoverable unit must be blocked by an overlapping lost unit"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_replica_errors() {
+        let (store, _) = small_store();
+        let u = store.universe();
+        assert!(matches!(
+            store.query_on(9, &u),
+            Err(CoreError::NoSuchReplica { id: 9 })
+        ));
+    }
+}

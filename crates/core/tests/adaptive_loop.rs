@@ -1,0 +1,127 @@
+//! The full adaptive loop: serve queries → log → derive workload →
+//! recommend → apply → serve better.
+
+use blot_core::adapt::{recommend, Strategy};
+use blot_core::cost::{CostModel, CostParams};
+use blot_core::prelude::*;
+use blot_core::store::BlotStore;
+use blot_storage::MemBackend;
+use blot_tracegen::FleetConfig;
+use std::collections::HashMap;
+
+fn synthetic_model() -> CostModel {
+    // Scan-dominated, deterministic.
+    let mut params = HashMap::new();
+    let mut bpr = HashMap::new();
+    for scheme in EncodingScheme::all() {
+        params.insert(
+            scheme,
+            CostParams {
+                ms_per_record: 1e-2,
+                extra_ms: 20.0,
+            },
+        );
+        bpr.insert(scheme, 38.0);
+    }
+    CostModel::from_params("synthetic", params, bpr)
+}
+
+#[test]
+fn adaptive_loop_improves_a_mismatched_store() {
+    let mut fleet = FleetConfig::small();
+    fleet.num_taxis = 60;
+    fleet.records_per_taxi = 120;
+    let data = fleet.generate();
+    let universe = fleet.universe();
+    let model = synthetic_model();
+
+    // Day 0: ops provisioned one coarse replica.
+    let coarse = ReplicaConfig::new(
+        SchemeSpec::new(4, 2),
+        EncodingScheme::new(Layout::Row, Compression::Plain),
+    );
+    let mut store = BlotStore::new(
+        MemBackend::new(),
+        EnvProfile::local_cluster(),
+        universe,
+        model.clone(),
+    );
+    store.enable_query_log(1000);
+    store.build_replica(&data, coarse).expect("build");
+
+    // The real workload turns out to be tiny cell probes.
+    for i in 0..120 {
+        let f = 0.02 + 0.002 * f64::from(i % 5);
+        let q = Cuboid::from_centroid(
+            universe.centroid(),
+            QuerySize::new(f, f, universe.extent(2) / 50.0),
+        );
+        let _ = store.query(&q).expect("query");
+    }
+    let log = store.query_log();
+    assert_eq!(log.len(), 120);
+
+    // Nightly job: derive the workload and ask the advisor.
+    let workload = log.derive_workload(3, 0xADA);
+    let candidates = ReplicaConfig::grid(
+        &[
+            SchemeSpec::new(4, 2),
+            SchemeSpec::new(16, 4),
+            SchemeSpec::new(64, 16),
+        ],
+        &[
+            EncodingScheme::new(Layout::Row, Compression::Plain),
+            EncodingScheme::new(Layout::Row, Compression::Lzf),
+        ],
+    );
+    let budget = 38.0 * 6.5e7 * 3.0; // three plain copies
+    let rec = recommend(
+        &model,
+        &workload,
+        &candidates,
+        &[coarse],
+        &data,
+        universe,
+        6.5e7,
+        budget,
+        Strategy::Exact,
+    )
+    .expect("recommend");
+
+    // The advisor must propose at least one finer replica and a real
+    // improvement over the coarse-only layout.
+    assert!(
+        !rec.to_build.is_empty(),
+        "advisor should propose builds: {rec:?}"
+    );
+    assert!(
+        rec.to_build
+            .iter()
+            .any(|c| c.spec.total_partitions() > coarse.spec.total_partitions()),
+        "expected a finer-grained proposal, got {:?}",
+        rec.to_build
+    );
+    assert!(
+        rec.improvement() > 0.2,
+        "improvement was only {}",
+        rec.improvement()
+    );
+
+    // Apply the migration and check routing now prefers a new replica
+    // for the hot query shape.
+    for config in &rec.to_build {
+        store.build_replica(&data, *config).expect("apply build");
+    }
+    let hot = Cuboid::from_centroid(
+        universe.centroid(),
+        QuerySize::new(0.02, 0.02, universe.extent(2) / 50.0),
+    );
+    let first = store.route(&hot)[0];
+    assert_ne!(
+        first, 0,
+        "hot queries should now route to a recommended replica"
+    );
+    // And results stay correct.
+    let result = store.query(&hot).expect("query after migration");
+    assert_eq!(result.records.len(), data.count_in_range(&hot));
+}

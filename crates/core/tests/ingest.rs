@@ -1,0 +1,135 @@
+//! Continuous-ingest integration: new GPS fixes land in every replica,
+//! queries see them immediately, and repair still works afterwards.
+
+use blot_core::prelude::*;
+use blot_core::store::BlotStore;
+use blot_core::CoreError;
+use blot_storage::{FailingBackend, FailureMode, MemBackend, UnitKey};
+use blot_tracegen::FleetConfig;
+
+fn store_with_data() -> (
+    BlotStore<FailingBackend<MemBackend>>,
+    RecordBatch,
+    FleetConfig,
+) {
+    let mut fleet = FleetConfig::small();
+    fleet.num_taxis = 50;
+    fleet.records_per_taxi = 100;
+    let data = fleet.generate();
+    let universe = fleet.universe();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 0x1A6);
+    let mut store = BlotStore::new(FailingBackend::new(MemBackend::new()), env, universe, model);
+    store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(16, 4),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+        )
+        .unwrap();
+    store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(4, 2),
+                EncodingScheme::new(Layout::Column, Compression::Deflate),
+            ),
+        )
+        .unwrap();
+    (store, data, fleet)
+}
+
+/// Fresh fixes from taxis that were not in the original build.
+fn new_fixes(fleet: &FleetConfig, n: u32) -> RecordBatch {
+    let mut extended = fleet.clone();
+    extended.num_taxis = fleet.num_taxis + n;
+    (fleet.num_taxis..extended.num_taxis)
+        .flat_map(|taxi| extended.taxi_trace(taxi))
+        .collect()
+}
+
+#[test]
+fn ingested_records_are_visible_on_every_replica() {
+    let (mut store, data, fleet) = store_with_data();
+    let incoming = new_fixes(&fleet, 10);
+    assert!(!incoming.is_empty());
+    let before: Vec<u64> = store.replicas().iter().map(|r| r.bytes).collect();
+
+    let report = store.ingest(&incoming).expect("ingest");
+    assert_eq!(report.records, incoming.len());
+    assert!(report.units_rewritten > 0);
+
+    let u = store.universe();
+    for id in 0..2 {
+        let result = store.query_on(id, &u).expect("query");
+        assert_eq!(
+            result.records.len(),
+            data.len() + incoming.len(),
+            "replica {id} must serve old + new records"
+        );
+        assert_eq!(
+            store.replicas()[id as usize].records,
+            (data.len() + incoming.len()) as u64
+        );
+        assert_ne!(store.replicas()[id as usize].bytes, before[id as usize]);
+    }
+
+    // Partition counts stay truthful.
+    for replica in store.replicas() {
+        let total: usize = replica.scheme.partitions().iter().map(|p| p.count).sum();
+        assert_eq!(total, data.len() + incoming.len());
+    }
+}
+
+#[test]
+fn ingest_rejects_out_of_universe_records() {
+    let (mut store, data, _) = store_with_data();
+    let mut bad = RecordBatch::new();
+    bad.push(Record::new(9_999, -1, 0.0, 0.0)); // far outside
+    match store.ingest(&bad) {
+        Err(CoreError::OutOfUniverse { rejected }) => assert_eq!(rejected, 1),
+        other => panic!("expected OutOfUniverse, got {other:?}"),
+    }
+    // Nothing was written.
+    let u = store.universe();
+    assert_eq!(store.query_on(0, &u).unwrap().records.len(), data.len());
+}
+
+#[test]
+fn repair_after_ingest_restores_the_grown_unit() {
+    let (mut store, data, fleet) = store_with_data();
+    let incoming = new_fixes(&fleet, 5);
+    store.ingest(&incoming).expect("ingest");
+
+    // Kill a unit on replica 0; repair must reconstruct it *including*
+    // the ingested records (sourced from replica 1).
+    let key = UnitKey {
+        replica: 0,
+        partition: 2,
+    };
+    store.backend().inject(key, FailureMode::Drop);
+    let report = store.repair_all().expect("repair");
+    assert!(report.repaired.contains(&key));
+    assert!(report.unrecoverable.is_empty());
+
+    let u = store.universe();
+    assert_eq!(
+        store.query_on(0, &u).unwrap().records.len(),
+        data.len() + incoming.len()
+    );
+}
+
+#[test]
+fn ingest_into_empty_store_errors() {
+    let mut fleet = FleetConfig::small();
+    fleet.num_taxis = 5;
+    fleet.records_per_taxi = 10;
+    let data = fleet.generate();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 1);
+    let mut store: BlotStore<MemBackend> =
+        BlotStore::new(MemBackend::new(), env, fleet.universe(), model);
+    assert!(matches!(store.ingest(&data), Err(CoreError::NoReplicas)));
+}

@@ -1,0 +1,106 @@
+use serde::{Deserialize, Serialize};
+
+/// A point in the spatio-temporal universe: two spatial coordinates and a
+/// temporal coordinate.
+///
+/// In the BLOT data model, `x` is typically a longitude, `y` a latitude
+/// and `t` a timestamp (seconds since some epoch), but the geometry is
+/// agnostic to units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// First spatial coordinate (e.g. longitude, degrees).
+    pub x: f64,
+    /// Second spatial coordinate (e.g. latitude, degrees).
+    pub y: f64,
+    /// Temporal coordinate (e.g. seconds since dataset start).
+    pub t: f64,
+}
+
+impl Point {
+    /// Creates a point from its three coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64, t: f64) -> Self {
+        Self { x, y, t }
+    }
+
+    /// Returns the coordinate along `axis` (0 = x, 1 = y, 2 = t).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    #[must_use]
+    pub fn axis(&self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.t,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+
+    /// Returns a copy with the coordinate along `axis` replaced by `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    #[must_use]
+    pub fn with_axis(mut self, axis: usize, value: f64) -> Self {
+        match axis {
+            0 => self.x = value,
+            1 => self.y = value,
+            2 => self.t = value,
+            _ => panic!("axis out of range: {axis}"),
+        }
+        self
+    }
+
+    /// Component-wise minimum of two points.
+    #[must_use]
+    pub fn min_with(&self, other: &Self) -> Self {
+        Self::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.t.min(other.t),
+        )
+    }
+
+    /// Component-wise maximum of two points.
+    #[must_use]
+    pub fn max_with(&self, other: &Self) -> Self {
+        Self::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.t.max(other.t),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_accessors_roundtrip() {
+        let p = Point::new(1.0, 2.0, 3.0);
+        assert_eq!(p.axis(0), 1.0);
+        assert_eq!(p.axis(1), 2.0);
+        assert_eq!(p.axis(2), 3.0);
+        let q = p.with_axis(1, 9.0);
+        assert_eq!(q.axis(1), 9.0);
+        assert_eq!(q.axis(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn axis_out_of_range_panics() {
+        let _ = Point::new(0.0, 0.0, 0.0).axis(3);
+    }
+
+    #[test]
+    fn min_max_with() {
+        let a = Point::new(1.0, 5.0, 2.0);
+        let b = Point::new(3.0, 4.0, 2.0);
+        assert_eq!(a.min_with(&b), Point::new(1.0, 4.0, 2.0));
+        assert_eq!(a.max_with(&b), Point::new(3.0, 5.0, 2.0));
+    }
+}

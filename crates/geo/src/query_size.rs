@@ -1,0 +1,92 @@
+use serde::{Deserialize, Serialize};
+
+/// The spatio-temporal extent ⟨W, H, T⟩ of a (grouped) range query.
+///
+/// §III-C1 of the paper reduces the workload size by replacing concrete
+/// queries `⟨W, H, T, x, y, t⟩` with *grouped queries* `⟨W, H, T⟩` that fix
+/// only the query extent and leave the centroid position random. This type
+/// is that extent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuerySize {
+    /// Extent along the first spatial axis (width, W).
+    pub w: f64,
+    /// Extent along the second spatial axis (height, H).
+    pub h: f64,
+    /// Extent along the temporal axis (duration, T).
+    pub t: f64,
+}
+
+impl QuerySize {
+    /// Creates a query size from its three extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is negative or not finite.
+    #[must_use]
+    pub fn new(w: f64, h: f64, t: f64) -> Self {
+        assert!(
+            w >= 0.0 && h >= 0.0 && t >= 0.0 && w.is_finite() && h.is_finite() && t.is_finite(),
+            "query extents must be finite and non-negative: ({w}, {h}, {t})"
+        );
+        Self { w, h, t }
+    }
+
+    /// Returns the extent along `axis` (0 = W, 1 = H, 2 = T).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    #[must_use]
+    pub fn axis(&self, axis: usize) -> f64 {
+        match axis {
+            0 => self.w,
+            1 => self.h,
+            2 => self.t,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+
+    /// Volume W·H·T of the query box.
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.w * self.h * self.t
+    }
+
+    /// Euclidean distance between two query sizes, used when clustering
+    /// range sizes with k-means (§III-C1). Axes can be weighted to balance
+    /// heterogeneous units (degrees vs. seconds).
+    #[must_use]
+    pub fn distance(&self, other: &Self, weights: [f64; 3]) -> f64 {
+        let dw = (self.w - other.w) * weights[0];
+        let dh = (self.h - other.h) * weights[1];
+        let dt = (self.t - other.t) * weights[2];
+        (dw * dw + dh * dh + dt * dt).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_axis() {
+        let qs = QuerySize::new(2.0, 3.0, 4.0);
+        assert_eq!(qs.volume(), 24.0);
+        assert_eq!(qs.axis(0), 2.0);
+        assert_eq!(qs.axis(2), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_extent_panics() {
+        let _ = QuerySize::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn weighted_distance() {
+        let a = QuerySize::new(0.0, 0.0, 0.0);
+        let b = QuerySize::new(1.0, 1.0, 1.0);
+        assert!((a.distance(&b, [1.0, 1.0, 1.0]) - 3f64.sqrt()).abs() < 1e-12);
+        assert!((a.distance(&b, [1.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+}

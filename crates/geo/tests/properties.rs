@@ -1,0 +1,102 @@
+//! Property-based tests for the geometry kernel.
+
+use blot_geo::{intersection_probability, Cuboid, Point, QuerySize};
+use proptest::prelude::*;
+
+fn arb_point(lo: f64, hi: f64) -> impl Strategy<Value = Point> {
+    (lo..hi, lo..hi, lo..hi).prop_map(|(x, y, t)| Point::new(x, y, t))
+}
+
+fn arb_cuboid() -> impl Strategy<Value = Cuboid> {
+    (arb_point(-100.0, 100.0), arb_point(-100.0, 100.0))
+        .prop_map(|(a, b)| Cuboid::new(a.min_with(&b), a.max_with(&b)))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative(a in arb_cuboid(), b in arb_cuboid()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in arb_cuboid(), b in arb_cuboid()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_cuboid(&i));
+            prop_assert!(b.contains_cuboid(&i));
+            prop_assert!(i.volume() <= a.volume() + 1e-9);
+            prop_assert!(i.volume() <= b.volume() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_bounds_contains_both(a in arb_cuboid(), b in arb_cuboid()) {
+        let u = a.union_bounds(&b);
+        prop_assert!(u.contains_cuboid(&a));
+        prop_assert!(u.contains_cuboid(&b));
+    }
+
+    #[test]
+    fn split_partitions_volume(c in arb_cuboid(), axis in 0usize..3, frac in 0.0f64..=1.0) {
+        let lo_v = c.min().axis(axis);
+        let hi_v = c.max().axis(axis);
+        let at = lo_v + (hi_v - lo_v) * frac;
+        let (lo, hi) = c.split_at(axis, at);
+        prop_assert!((lo.volume() + hi.volume() - c.volume()).abs() <= 1e-6 * c.volume().max(1.0));
+        prop_assert_eq!(lo.union_bounds(&hi), c);
+    }
+
+    #[test]
+    fn probability_is_a_probability(
+        part_a in arb_point(0.0, 50.0),
+        part_b in arb_point(0.0, 50.0),
+        qw in 0.1f64..60.0, qh in 0.1f64..60.0, qt in 0.1f64..60.0,
+    ) {
+        let u = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(50.0, 50.0, 50.0));
+        let part = Cuboid::new(part_a.min_with(&part_b), part_a.max_with(&part_b));
+        let p = intersection_probability(&u, QuerySize::new(qw, qh, qt), &part);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "p = {}", p);
+    }
+
+    #[test]
+    fn probability_matches_centroid_range_volume_ratio(
+        qw in 0.5f64..10.0, qh in 0.5f64..10.0, qt in 0.5f64..10.0,
+        px in 0.0f64..40.0, py in 0.0f64..40.0, pt in 0.0f64..40.0,
+        pw in 1.0f64..10.0, ph in 1.0f64..10.0, pd in 1.0f64..10.0,
+    ) {
+        // When no axis degenerates, Equation 12's volume ratio must equal
+        // the per-axis product computed by `intersection_probability`.
+        let u = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(50.0, 50.0, 50.0));
+        let part = Cuboid::new(
+            Point::new(px, py, pt),
+            Point::new((px + pw).min(50.0), (py + ph).min(50.0), (pt + pd).min(50.0)),
+        );
+        let qs = QuerySize::new(qw, qh, qt);
+        let p = intersection_probability(&u, qs, &part);
+        let cr = u.centroid_range(qs);
+        match u.centroid_range_for(qs, &part) {
+            Some(crp) => {
+                let ratio = crp.volume() / cr.volume();
+                prop_assert!((p - ratio).abs() < 1e-9, "p={} ratio={}", p, ratio);
+            }
+            None => prop_assert!(p == 0.0),
+        }
+    }
+
+    #[test]
+    fn monotone_in_query_size(
+        scale in 1.0f64..4.0,
+        qw in 0.5f64..5.0, qh in 0.5f64..5.0, qt in 0.5f64..5.0,
+    ) {
+        // Larger queries can only be more likely to touch a fixed partition.
+        let u = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(50.0, 50.0, 50.0));
+        let part = Cuboid::new(Point::new(20.0, 20.0, 20.0), Point::new(30.0, 30.0, 30.0));
+        let small = intersection_probability(&u, QuerySize::new(qw, qh, qt), &part);
+        let large = intersection_probability(
+            &u,
+            QuerySize::new(qw * scale, qh * scale, qt * scale),
+            &part,
+        );
+        prop_assert!(large >= small - 1e-12);
+    }
+}

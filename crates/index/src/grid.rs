@@ -1,0 +1,278 @@
+//! Uniform-grid partitioning — the strawman the k-d scheme replaces.
+//!
+//! A regular `nx × ny × nt` grid ignores the data distribution, so on
+//! hotspot-skewed tracking data the record counts per partition are
+//! wildly uneven. That violates the cost model's non-skew assumption
+//! (§IV-A: "we assume that all candidate partitioning schemes will
+//! generate non-skewed data partitions") and makes `|D|/|P|` a bad
+//! estimate of per-partition work. The grid partitioner exists to
+//! *measure* that effect (see the `kd_vs_grid` ablation) and as a
+//! baseline for data whose distribution really is uniform.
+
+use blot_geo::Cuboid;
+use blot_model::RecordBatch;
+use serde::{Deserialize, Serialize};
+
+use crate::Partition;
+
+/// A uniform spatio-temporal grid over a universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridScheme {
+    universe: Cuboid,
+    nx: usize,
+    ny: usize,
+    nt: usize,
+    partitions: Vec<Partition>,
+}
+
+impl GridScheme {
+    /// Builds an `nx × ny × nt` grid and counts `sample`'s records per
+    /// cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn build(sample: &RecordBatch, universe: Cuboid, nx: usize, ny: usize, nt: usize) -> Self {
+        assert!(
+            nx > 0 && ny > 0 && nt > 0,
+            "grid dimensions must be positive"
+        );
+        let mut partitions = Vec::with_capacity(nx * ny * nt);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for it in 0..nt {
+                    let id = (ix * ny + iy) * nt + it;
+                    let frac = |k: usize, n: usize| k as f64 / n as f64;
+                    let min = blot_geo::Point::new(
+                        universe.min().x + universe.extent(0) * frac(ix, nx),
+                        universe.min().y + universe.extent(1) * frac(iy, ny),
+                        universe.min().t + universe.extent(2) * frac(it, nt),
+                    );
+                    let max = blot_geo::Point::new(
+                        universe.min().x + universe.extent(0) * frac(ix + 1, nx),
+                        universe.min().y + universe.extent(1) * frac(iy + 1, ny),
+                        universe.min().t + universe.extent(2) * frac(it + 1, nt),
+                    );
+                    partitions.push(Partition {
+                        id,
+                        range: Cuboid::new(min, max),
+                        count: 0,
+                    });
+                }
+            }
+        }
+        let mut grid = Self {
+            universe,
+            nx,
+            ny,
+            nt,
+            partitions,
+        };
+        for i in 0..sample.len() {
+            let p = sample.point(i);
+            let id = grid.assign_point(p.x, p.y, p.t);
+            grid.partitions[id].count += 1;
+        }
+        grid
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the grid has no partitions (never true once built).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// All partitions, ordered by id.
+    #[must_use]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Maps a point to its cell id (points outside clamp to the border
+    /// cells, and the universe's max faces belong to the last cells).
+    #[must_use]
+    pub fn assign_point(&self, x: f64, y: f64, t: f64) -> usize {
+        let cell = |v: f64, lo: f64, len: f64, n: usize| -> usize {
+            if len <= 0.0 {
+                return 0;
+            }
+            let f = ((v - lo) / len * n as f64).floor();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let k = f.max(0.0) as usize;
+            k.min(n - 1)
+        };
+        let ix = cell(x, self.universe.min().x, self.universe.extent(0), self.nx);
+        let iy = cell(y, self.universe.min().y, self.universe.extent(1), self.ny);
+        let it = cell(t, self.universe.min().t, self.universe.extent(2), self.nt);
+        (ix * self.ny + iy) * self.nt + it
+    }
+
+    /// Ids of cells whose range intersects `query` (closed test), by
+    /// direct index arithmetic — no tree needed on a regular grid.
+    #[must_use]
+    pub fn involved(&self, query: &Cuboid) -> Vec<usize> {
+        let range = |q_lo: f64, q_hi: f64, lo: f64, len: f64, n: usize| -> (usize, usize) {
+            if len <= 0.0 {
+                return (0, n - 1);
+            }
+            let f_lo = ((q_lo - lo) / len * n as f64).floor();
+            let f_hi = ((q_hi - lo) / len * n as f64).floor();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let a = f_lo.max(0.0) as usize;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let b = f_hi.max(0.0) as usize;
+            (a.min(n - 1), b.min(n - 1))
+        };
+        if !self.universe.intersects(query) {
+            return Vec::new();
+        }
+        let (x0, x1) = range(
+            query.min().x,
+            query.max().x,
+            self.universe.min().x,
+            self.universe.extent(0),
+            self.nx,
+        );
+        let (y0, y1) = range(
+            query.min().y,
+            query.max().y,
+            self.universe.min().y,
+            self.universe.extent(1),
+            self.ny,
+        );
+        let (t0, t1) = range(
+            query.min().t,
+            query.max().t,
+            self.universe.min().t,
+            self.universe.extent(2),
+            self.nt,
+        );
+        let mut out = Vec::with_capacity((x1 - x0 + 1) * (y1 - y0 + 1) * (t1 - t0 + 1));
+        for ix in x0..=x1 {
+            for iy in y0..=y1 {
+                for it in t0..=t1 {
+                    let id = (ix * self.ny + iy) * self.nt + it;
+                    // The floor arithmetic can over-approximate on exact
+                    // boundaries; confirm geometrically.
+                    if self.partitions[id].range.intersects(query) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Coefficient of variation (σ/μ) of per-partition record counts —
+    /// the skew statistic the `kd_vs_grid` ablation reports.
+    #[must_use]
+    pub fn count_skew(&self) -> f64 {
+        skew(self.partitions.iter().map(|p| p.count))
+    }
+}
+
+/// Coefficient of variation of a count sequence (0 for empty/constant).
+#[must_use]
+pub fn skew(counts: impl Iterator<Item = usize> + Clone) -> f64 {
+    let n = counts.clone().count();
+    if n == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let mean = counts.clone().sum::<usize>() as f64 / n as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let var = counts.map(|c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitioningScheme, SchemeSpec};
+    use blot_geo::{Point, QuerySize};
+    use blot_tracegen::FleetConfig;
+
+    fn sample() -> (RecordBatch, Cuboid) {
+        let config = FleetConfig::small();
+        (config.generate(), config.universe())
+    }
+
+    #[test]
+    fn grid_tiles_and_counts() {
+        let (s, u) = sample();
+        let grid = GridScheme::build(&s, u, 4, 4, 8);
+        assert_eq!(grid.len(), 128);
+        let vol: f64 = grid.partitions().iter().map(|p| p.range.volume()).sum();
+        assert!((vol - u.volume()).abs() < 1e-6 * u.volume());
+        let total: usize = grid.partitions().iter().map(|p| p.count).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    fn involved_matches_geometry() {
+        let (s, u) = sample();
+        let grid = GridScheme::build(&s, u, 5, 3, 7);
+        for (i, qs) in [
+            QuerySize::new(0.1, 0.1, 500.0),
+            QuerySize::new(1.0, 0.8, 5_000.0),
+            QuerySize::new(2.0, 2.0, u.extent(2)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let q = Cuboid::from_centroid(
+                Point::new(
+                    u.centroid().x + 0.07 * i as f64,
+                    u.centroid().y - 0.03 * i as f64,
+                    u.centroid().t,
+                ),
+                *qs,
+            );
+            let mut brute: Vec<usize> = grid
+                .partitions()
+                .iter()
+                .filter(|p| p.range.intersects(&q))
+                .map(|p| p.id)
+                .collect();
+            brute.sort_unstable();
+            let mut fast = grid.involved(&q);
+            fast.sort_unstable();
+            assert_eq!(fast, brute, "query {i}");
+        }
+    }
+
+    #[test]
+    fn grid_is_far_more_skewed_than_kd_on_hotspot_data() {
+        let (s, u) = sample();
+        let grid = GridScheme::build(&s, u, 8, 8, 16);
+        let kd = PartitioningScheme::build(&s, u, SchemeSpec::new(64, 16));
+        let kd_skew = skew(kd.partitions().iter().map(|p| p.count));
+        assert!(
+            grid.count_skew() > 4.0 * kd_skew,
+            "grid skew {:.2} should dwarf kd skew {kd_skew:.2}",
+            grid.count_skew()
+        );
+    }
+
+    #[test]
+    fn assign_point_clamps_out_of_range() {
+        let (s, u) = sample();
+        let grid = GridScheme::build(&s, u, 4, 4, 4);
+        assert_eq!(
+            grid.assign_point(u.min().x - 1.0, u.min().y - 1.0, u.min().t - 1.0),
+            0
+        );
+        let last = grid.assign_point(u.max().x + 1.0, u.max().y + 1.0, u.max().t + 1.0);
+        assert_eq!(last, grid.len() - 1);
+    }
+}

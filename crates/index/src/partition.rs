@@ -1,0 +1,17 @@
+use blot_geo::Cuboid;
+use serde::{Deserialize, Serialize};
+
+/// One space-time partition of a partitioning scheme (Definitions 1–2 of
+/// the paper): its id, spatio-temporal range, and the number of sample
+/// records that fell into it at build time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Dense id in `0..scheme.len()`; equals
+    /// `cell_index * temporal_partitions + time_slice`.
+    pub id: usize,
+    /// Spatio-temporal range `Range(p)`.
+    pub range: Cuboid,
+    /// Number of build-sample records contained (used to check the
+    /// non-skew assumption and to estimate `|D(p)|` for the full data).
+    pub count: usize,
+}

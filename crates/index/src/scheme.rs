@@ -1,0 +1,616 @@
+use blot_geo::Cuboid;
+use blot_model::RecordBatch;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::Partition;
+
+/// The shape of a partitioning scheme: how many spatial cells and how
+/// many temporal slices per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SchemeSpec {
+    /// Number of spatial k-d cells; must be a power of 4 so the k-d tree
+    /// alternates x/y splits evenly (4² … 4⁶ in the paper).
+    pub spatial: usize,
+    /// Number of temporal slices per spatial cell (2⁴ … 2⁸ in the
+    /// paper); must be a power of 2.
+    pub temporal: usize,
+}
+
+impl SchemeSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `spatial` is a power of 4 and `temporal` a power of
+    /// 2, both non-zero.
+    #[must_use]
+    pub fn new(spatial: usize, temporal: usize) -> Self {
+        assert!(
+            spatial.is_power_of_two() && spatial.trailing_zeros().is_multiple_of(2) && spatial > 0,
+            "spatial cell count must be a power of 4, got {spatial}"
+        );
+        assert!(
+            temporal.is_power_of_two(),
+            "temporal slice count must be a power of 2"
+        );
+        Self { spatial, temporal }
+    }
+
+    /// Total partitions `spatial × temporal`.
+    #[must_use]
+    pub fn total_partitions(&self) -> usize {
+        self.spatial * self.temporal
+    }
+
+    /// The paper's 25 candidate schemes: spatial `4²..4⁶` × temporal
+    /// `2⁴..2⁸` (§V-A).
+    #[must_use]
+    pub fn paper_grid() -> Vec<Self> {
+        let mut v = Vec::with_capacity(25);
+        for se in 2..=6u32 {
+            for te in 4..=8u32 {
+                v.push(Self::new(4usize.pow(se), 2usize.pow(te)));
+            }
+        }
+        v
+    }
+
+    /// A small grid for tests and examples (spatial `4¹..4²` × temporal
+    /// `2¹..2²`).
+    #[must_use]
+    pub fn small_grid() -> Vec<Self> {
+        vec![
+            Self::new(4, 2),
+            Self::new(4, 4),
+            Self::new(16, 2),
+            Self::new(16, 4),
+        ]
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}xT{}", self.spatial, self.temporal)
+    }
+}
+
+impl std::str::FromStr for SchemeSpec {
+    type Err = String;
+
+    /// Parses the [`Display`](fmt::Display) form, e.g. `S16xT8`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix('S')
+            .ok_or_else(|| format!("expected S<n>xT<m>, got `{s}`"))?;
+        let (sp, tp) = rest
+            .split_once("xT")
+            .ok_or_else(|| format!("expected S<n>xT<m>, got `{s}`"))?;
+        let spatial: usize = sp
+            .parse()
+            .map_err(|_| format!("bad spatial count in `{s}`"))?;
+        let temporal: usize = tp
+            .parse()
+            .map_err(|_| format!("bad temporal count in `{s}`"))?;
+        if !spatial.is_power_of_two() || !spatial.trailing_zeros().is_multiple_of(2) || spatial == 0
+        {
+            return Err(format!("spatial count must be a power of 4, got {spatial}"));
+        }
+        if !temporal.is_power_of_two() {
+            return Err(format!(
+                "temporal count must be a power of 2, got {temporal}"
+            ));
+        }
+        Ok(Self::new(spatial, temporal))
+    }
+}
+
+/// Node of the spatial k-d tree. Leaves index into the cell table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum KdNode {
+    Leaf {
+        cell: usize,
+    },
+    Split {
+        /// 0 = x (longitude), 1 = y (latitude).
+        axis: usize,
+        /// Records with `coord < value` go low, `coord ≥ value` go high.
+        value: f64,
+        low: Box<KdNode>,
+        high: Box<KdNode>,
+    },
+}
+
+/// A built partitioning scheme `P` (Definition 1): an equal-count k-d
+/// decomposition of space, refined by per-cell temporal quantiles, plus
+/// the partitioning index over the resulting partitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitioningScheme {
+    spec: SchemeSpec,
+    universe: Cuboid,
+    root: KdNode,
+    /// Spatial footprint of each cell (time axis spans the universe).
+    cells: Vec<Cuboid>,
+    /// Per cell: `temporal + 1` boundaries covering the universe's time
+    /// extent. Slice `k` of cell `c` is `[bounds[c][k], bounds[c][k+1])`
+    /// (last slice closed above).
+    time_bounds: Vec<Vec<f64>>,
+    partitions: Vec<Partition>,
+}
+
+impl PartitioningScheme {
+    /// Builds a scheme from a data sample.
+    ///
+    /// Splits space by k-d medians of the sample (equal record counts per
+    /// cell), then each cell's records by time quantiles (equal counts
+    /// per slice). Cells and slices always tile the full `universe`, so
+    /// any future record falls into exactly one partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` does not contain the sample's bounding box.
+    #[must_use]
+    pub fn build(sample: &RecordBatch, universe: Cuboid, spec: SchemeSpec) -> Self {
+        if let Some(bb) = sample.bounding_box() {
+            assert!(
+                universe.contains_cuboid(&bb),
+                "universe must contain the sample (sample bb {bb:?})"
+            );
+        }
+        // Depth of the k-d tree: spatial = 4^k means 2k alternating splits.
+        let depth = spec.spatial.trailing_zeros() as usize;
+        let mut points: Vec<(f64, f64, f64)> = (0..sample.len())
+            .map(|i| {
+                let p = sample.point(i);
+                (p.x, p.y, p.t)
+            })
+            .collect();
+        let mut cells = Vec::with_capacity(spec.spatial);
+        let mut cell_points: Vec<Vec<f64>> = Vec::with_capacity(spec.spatial);
+        let footprint = universe; // cells inherit the universe time span
+        let root = Self::build_kd(
+            &mut points,
+            footprint,
+            0,
+            depth,
+            &mut cells,
+            &mut cell_points,
+        );
+
+        // Temporal quantile boundaries per cell.
+        let t_lo = universe.min().t;
+        let t_hi = universe.max().t;
+        let m = spec.temporal;
+        let mut time_bounds = Vec::with_capacity(cells.len());
+        for times in &mut cell_points {
+            times.sort_by(f64::total_cmp);
+            let mut bounds = Vec::with_capacity(m + 1);
+            bounds.push(t_lo);
+            for k in 1..m {
+                let b = if times.is_empty() {
+                    // Empty cell: fall back to uniform slicing.
+                    t_lo + (t_hi - t_lo) * (k as f64) / (m as f64)
+                } else {
+                    times[(times.len() * k / m).min(times.len() - 1)]
+                };
+                // Boundaries must be non-decreasing and inside the span.
+                let prev = *bounds.last().expect("non-empty");
+                bounds.push(b.clamp(prev, t_hi));
+            }
+            bounds.push(t_hi);
+            time_bounds.push(bounds);
+        }
+
+        let mut scheme = Self {
+            spec,
+            universe,
+            root,
+            cells,
+            time_bounds,
+            partitions: Vec::new(),
+        };
+        scheme.rebuild_partitions(sample);
+        scheme
+    }
+
+    /// (Re)computes the partition table and per-partition counts by
+    /// assigning every sample record.
+    fn rebuild_partitions(&mut self, sample: &RecordBatch) {
+        let m = self.spec.temporal;
+        let mut partitions = Vec::with_capacity(self.cells.len() * m);
+        for (c, cell) in self.cells.iter().enumerate() {
+            let bounds = &self.time_bounds[c];
+            for k in 0..m {
+                let min = cell.min().with_axis(2, bounds[k]);
+                let max = cell.max().with_axis(2, bounds[k + 1]);
+                partitions.push(Partition {
+                    id: c * m + k,
+                    range: Cuboid::new(min, max),
+                    count: 0,
+                });
+            }
+        }
+        for i in 0..sample.len() {
+            let p = sample.point(i);
+            let id = self.assign_point(p.x, p.y, p.t);
+            partitions[id].count += 1;
+        }
+        self.partitions = partitions;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_kd(
+        points: &mut [(f64, f64, f64)],
+        footprint: Cuboid,
+        depth: usize,
+        max_depth: usize,
+        cells: &mut Vec<Cuboid>,
+        cell_points: &mut Vec<Vec<f64>>,
+    ) -> KdNode {
+        if depth == max_depth {
+            let cell = cells.len();
+            cells.push(footprint);
+            cell_points.push(points.iter().map(|p| p.2).collect());
+            return KdNode::Leaf { cell };
+        }
+        let axis = depth % 2;
+        let key = |p: &(f64, f64, f64)| if axis == 0 { p.0 } else { p.1 };
+        let value = if points.is_empty() {
+            // No sample here: split geometrically.
+            (footprint.min().axis(axis) + footprint.max().axis(axis)) / 2.0
+        } else {
+            let mid = points.len() / 2;
+            points.select_nth_unstable_by(mid.min(points.len() - 1), |a, b| {
+                key(a).total_cmp(&key(b))
+            });
+            key(&points[mid.min(points.len() - 1)])
+                .clamp(footprint.min().axis(axis), footprint.max().axis(axis))
+        };
+        let (low_box, high_box) = footprint.split_at(axis, value);
+        // Geometric assignment: coord < value goes low.
+        let split_idx = itertools_partition(points, |p| key(p) < value);
+        let (low_pts, high_pts) = points.split_at_mut(split_idx);
+        let low = Self::build_kd(low_pts, low_box, depth + 1, max_depth, cells, cell_points);
+        let high = Self::build_kd(high_pts, high_box, depth + 1, max_depth, cells, cell_points);
+        KdNode::Split {
+            axis,
+            value,
+            low: Box::new(low),
+            high: Box::new(high),
+        }
+    }
+
+    /// The scheme's shape.
+    #[must_use]
+    pub fn spec(&self) -> SchemeSpec {
+        self.spec
+    }
+
+    /// The universe the scheme tiles.
+    #[must_use]
+    pub fn universe(&self) -> Cuboid {
+        self.universe
+    }
+
+    /// All partitions, ordered by id.
+    #[must_use]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Number of partitions `|P|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the scheme has no partitions (never true for built
+    /// schemes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// The spatial cells of the k-d decomposition.
+    #[must_use]
+    pub fn cells(&self) -> &[Cuboid] {
+        &self.cells
+    }
+
+    /// Assigns a point to its unique partition id.
+    ///
+    /// Containment is half-open on interior boundaries (low side wins …
+    /// strictly: `coord < split` goes low) and closed on the universe
+    /// boundary, so every point of the universe maps to exactly one
+    /// partition. Points outside the universe clamp to the nearest
+    /// boundary partition.
+    #[must_use]
+    pub fn assign_point(&self, x: f64, y: f64, t: f64) -> usize {
+        let mut node = &self.root;
+        let cell = loop {
+            match node {
+                KdNode::Leaf { cell } => break *cell,
+                KdNode::Split {
+                    axis,
+                    value,
+                    low,
+                    high,
+                } => {
+                    let coord = if *axis == 0 { x } else { y };
+                    node = if coord < *value { low } else { high };
+                }
+            }
+        };
+        let bounds = &self.time_bounds[cell];
+        // Find the slice with bounds[k] <= t < bounds[k+1]; clamp ends.
+        let m = self.spec.temporal;
+        let mut k = match bounds[1..m].binary_search_by(|b| b.total_cmp(&t)) {
+            // t equals an interior boundary: boundary belongs to the
+            // upper slice.
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        k = k.min(m - 1);
+        cell * m + k
+    }
+
+    /// Assigns every record of `batch` to its partition, returning one
+    /// sub-batch per partition id (the physical build step of a replica).
+    #[must_use]
+    pub fn assign_batch(&self, batch: &RecordBatch) -> Vec<RecordBatch> {
+        let mut out = vec![RecordBatch::new(); self.len()];
+        for i in 0..batch.len() {
+            let p = batch.point(i);
+            let id = self.assign_point(p.x, p.y, p.t);
+            out[id].push(batch.get(i));
+        }
+        out
+    }
+
+    /// Records that `n` new records were appended to partition `id`
+    /// (keeps the per-partition counts — and any skew statistics derived
+    /// from them — truthful under continuous ingest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn note_insertions(&mut self, id: usize, n: usize) {
+        self.partitions[id].count += n;
+    }
+
+    /// The partitioning-index lookup (§II-B): ids of the partitions whose
+    /// range intersects `query`, found by walking the k-d tree and
+    /// binary-searching each reached cell's time boundaries.
+    #[must_use]
+    pub fn involved(&self, query: &Cuboid) -> Vec<usize> {
+        let mut cells = Vec::new();
+        collect_cells(&self.root, query, &mut cells);
+        let m = self.spec.temporal;
+        let (t0, t1) = (query.min().t, query.max().t);
+        let mut out = Vec::new();
+        for cell in cells {
+            if !self.cells[cell].intersects(query) {
+                continue; // tree walk prunes by x/y only; confirm in 3-D
+            }
+            let bounds = &self.time_bounds[cell];
+            // First slice whose upper bound reaches t0, last whose lower
+            // bound is ≤ t1 (closed intersection test, like Range ∩).
+            let mut k = 0;
+            while k < m && bounds[k + 1] < t0 {
+                k += 1;
+            }
+            while k < m && bounds[k] <= t1 {
+                out.push(cell * m + k);
+                k += 1;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force involvement scan — the reference implementation used
+    /// by tests and by the cost model when it needs every partition
+    /// anyway.
+    #[must_use]
+    pub fn involved_scan(&self, query: &Cuboid) -> Vec<usize> {
+        self.partitions
+            .iter()
+            .filter(|p| p.range.intersects(query))
+            .map(|p| p.id)
+            .collect()
+    }
+}
+
+/// Stable partition of a slice by predicate; returns the split index.
+fn itertools_partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    // In-place two-pointer partition (order within halves irrelevant for
+    // k-d construction).
+    let mut i = 0;
+    let mut j = slice.len();
+    while i < j {
+        if pred(&slice[i]) {
+            i += 1;
+        } else {
+            j -= 1;
+            slice.swap(i, j);
+        }
+    }
+    i
+}
+
+fn collect_cells(node: &KdNode, query: &Cuboid, out: &mut Vec<usize>) {
+    match node {
+        KdNode::Leaf { cell } => out.push(*cell),
+        KdNode::Split {
+            axis,
+            value,
+            low,
+            high,
+        } => {
+            // Closed intersection: a query touching the split plane
+            // reaches both sides.
+            if query.min().axis(*axis) < *value {
+                collect_cells(low, query, out);
+            }
+            if query.max().axis(*axis) >= *value {
+                collect_cells(high, query, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blot_geo::{Point, QuerySize};
+    use blot_tracegen::FleetConfig;
+
+    fn sample_and_universe() -> (RecordBatch, Cuboid) {
+        let config = FleetConfig::small();
+        (config.generate(), config.universe())
+    }
+
+    #[test]
+    fn paper_grid_has_25_schemes() {
+        let grid = SchemeSpec::paper_grid();
+        assert_eq!(grid.len(), 25);
+        assert_eq!(grid[0], SchemeSpec::new(16, 16));
+        assert_eq!(grid[24], SchemeSpec::new(4096, 256));
+        assert_eq!(grid[24].total_partitions(), 1_048_576);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn non_power_of_four_spatial_panics() {
+        let _ = SchemeSpec::new(8, 2);
+    }
+
+    #[test]
+    fn partitions_tile_the_universe() {
+        let (sample, universe) = sample_and_universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(16, 4));
+        assert_eq!(scheme.len(), 64);
+        let total_volume: f64 = scheme.partitions().iter().map(|p| p.range.volume()).sum();
+        assert!(
+            (total_volume - universe.volume()).abs() < 1e-6 * universe.volume(),
+            "partitions must tile the universe exactly"
+        );
+        for p in scheme.partitions() {
+            assert!(universe.contains_cuboid(&p.range));
+        }
+    }
+
+    #[test]
+    fn every_point_assigned_exactly_once() {
+        let (sample, universe) = sample_and_universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(16, 4));
+        let total: usize = scheme.partitions().iter().map(|p| p.count).sum();
+        assert_eq!(total, sample.len());
+        // Geometric double-check on a sub-sample: the assigned partition
+        // must actually contain the point; no other partition may
+        // (half-open interior boundaries).
+        for i in (0..sample.len()).step_by(97) {
+            let p = sample.point(i);
+            let id = scheme.assign_point(p.x, p.y, p.t);
+            assert!(
+                scheme.partitions()[id].range.contains_point(&p),
+                "assigned partition must contain its point"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_are_near_equal_count() {
+        let (sample, universe) = sample_and_universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(16, 8));
+        let expected = sample.len() / scheme.len();
+        for p in scheme.partitions() {
+            assert!(
+                p.count <= expected * 2 + 8 && p.count + expected / 2 >= expected / 2,
+                "partition {} holds {} records, expected ≈ {expected}",
+                p.id,
+                p.count
+            );
+        }
+        // Stronger aggregate check: standard deviation well under the mean.
+        let mean = expected as f64;
+        let var: f64 = scheme
+            .partitions()
+            .iter()
+            .map(|p| (p.count as f64 - mean).powi(2))
+            .sum::<f64>()
+            / scheme.len() as f64;
+        assert!(var.sqrt() < mean * 0.5, "std {} vs mean {mean}", var.sqrt());
+    }
+
+    #[test]
+    fn involved_matches_brute_force() {
+        let (sample, universe) = sample_and_universe();
+        for spec in SchemeSpec::small_grid() {
+            let scheme = PartitioningScheme::build(&sample, universe, spec);
+            for (i, qs) in [
+                QuerySize::new(0.1, 0.1, 3000.0),
+                QuerySize::new(1.0, 1.0, 8000.0),
+                QuerySize::new(2.0, 2.0, 20000.0),
+            ]
+            .iter()
+            .enumerate()
+            {
+                let c = universe.centroid();
+                let shift = 0.1 * (i as f64);
+                let q = Cuboid::from_centroid(Point::new(c.x + shift, c.y - shift, c.t / 2.0), *qs);
+                let fast = scheme.involved(&q);
+                let slow = scheme.involved_scan(&q);
+                assert_eq!(fast, slow, "spec {spec} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_universe_query_involves_everything() {
+        let (sample, universe) = sample_and_universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(4, 4));
+        assert_eq!(scheme.involved(&universe).len(), scheme.len());
+    }
+
+    #[test]
+    fn tiny_query_involves_few_partitions() {
+        let (sample, universe) = sample_and_universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(64, 16));
+        let q = Cuboid::from_centroid(
+            Point::new(121.0, 31.0, 1000.0),
+            QuerySize::new(0.01, 0.01, 100.0),
+        );
+        let inv = scheme.involved(&q);
+        assert!(!inv.is_empty());
+        assert!(inv.len() <= 8, "tiny query hit {} partitions", inv.len());
+    }
+
+    #[test]
+    fn assign_batch_partitions_all_records() {
+        let (sample, universe) = sample_and_universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(16, 4));
+        let parts = scheme.assign_batch(&sample);
+        assert_eq!(parts.len(), scheme.len());
+        let total: usize = parts.iter().map(RecordBatch::len).sum();
+        assert_eq!(total, sample.len());
+        for (id, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), scheme.partitions()[id].count);
+            for i in 0..part.len() {
+                assert!(scheme.partitions()[id].range.contains_point(&part.point(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sample_builds_uniform_scheme() {
+        let universe = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(8.0, 8.0, 8.0));
+        let scheme =
+            PartitioningScheme::build(&RecordBatch::new(), universe, SchemeSpec::new(4, 2));
+        assert_eq!(scheme.len(), 8);
+        // Geometric fallback: equal-volume cells.
+        for p in scheme.partitions() {
+            assert!((p.range.volume() - universe.volume() / 8.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for partitioning-scheme invariants.
+
+use blot_geo::{Cuboid, Point, QuerySize};
+use blot_index::{PartitioningScheme, SchemeSpec};
+use blot_model::{Record, RecordBatch};
+use proptest::prelude::*;
+
+fn arb_batch() -> impl Strategy<Value = RecordBatch> {
+    prop::collection::vec(
+        (120.0f64..122.0, 30.0f64..32.0, 0i64..100_000, 0u32..500),
+        0..400,
+    )
+    .prop_map(|points| {
+        points
+            .into_iter()
+            .map(|(x, y, t, oid)| Record::new(oid, t, x, y))
+            .collect()
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = SchemeSpec> {
+    (0u32..=3, 0u32..=4).prop_map(|(s, t)| SchemeSpec::new(4usize.pow(s), 2usize.pow(t)))
+}
+
+fn universe() -> Cuboid {
+    Cuboid::new(
+        Point::new(120.0, 30.0, 0.0),
+        Point::new(122.0, 32.0, 100_000.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitions_always_tile_and_count_everything(batch in arb_batch(), spec in arb_spec()) {
+        let scheme = PartitioningScheme::build(&batch, universe(), spec);
+        prop_assert_eq!(scheme.len(), spec.total_partitions());
+        // Volumes tile the universe.
+        let total: f64 = scheme.partitions().iter().map(|p| p.range.volume()).sum();
+        let uv = universe().volume();
+        prop_assert!((total - uv).abs() < 1e-6 * uv);
+        // Every record counted exactly once.
+        let counted: usize = scheme.partitions().iter().map(|p| p.count).sum();
+        prop_assert_eq!(counted, batch.len());
+    }
+
+    #[test]
+    fn assignment_is_geometric(batch in arb_batch(), spec in arb_spec()) {
+        let scheme = PartitioningScheme::build(&batch, universe(), spec);
+        for i in 0..batch.len() {
+            let p = batch.point(i);
+            let id = scheme.assign_point(p.x, p.y, p.t);
+            prop_assert!(scheme.partitions()[id].range.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn involved_lookup_equals_brute_force(
+        batch in arb_batch(),
+        spec in arb_spec(),
+        cx in 120.0f64..122.0,
+        cy in 30.0f64..32.0,
+        ct in 0.0f64..100_000.0,
+        w in 0.01f64..2.0,
+        h in 0.01f64..2.0,
+        d in 10.0f64..100_000.0,
+    ) {
+        let scheme = PartitioningScheme::build(&batch, universe(), spec);
+        let q = Cuboid::from_centroid(Point::new(cx, cy, ct), QuerySize::new(w, h, d));
+        prop_assert_eq!(scheme.involved(&q), scheme.involved_scan(&q));
+    }
+
+    #[test]
+    fn involved_partitions_cover_all_matching_records(
+        batch in arb_batch(),
+        spec in arb_spec(),
+        cx in 120.2f64..121.8,
+        cy in 30.2f64..31.8,
+        frac in 0.05f64..0.9,
+    ) {
+        // Querying through the index then filtering must find exactly the
+        // records a full scan finds.
+        let scheme = PartitioningScheme::build(&batch, universe(), spec);
+        let q = Cuboid::from_centroid(
+            Point::new(cx, cy, 50_000.0),
+            QuerySize::new(2.0 * frac, 2.0 * frac, 100_000.0 * frac),
+        );
+        let parts = scheme.assign_batch(&batch);
+        let via_index: usize = scheme
+            .involved(&q)
+            .into_iter()
+            .map(|pid| parts[pid].count_in_range(&q))
+            .sum();
+        prop_assert_eq!(via_index, batch.count_in_range(&q));
+    }
+}

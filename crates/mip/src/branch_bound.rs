@@ -1,0 +1,373 @@
+//! Best-first branch & bound over binary variables with LP bounds.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::lp::{solve_lp, LpStatus};
+use crate::{MipError, Problem};
+
+/// Integrality tolerance: an LP value within this distance of 0/1 counts
+/// as integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Statistics of a branch & bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Nodes whose LP relaxation was solved.
+    pub nodes_explored: u64,
+    /// Nodes pruned by bound against the incumbent.
+    pub nodes_pruned: u64,
+    /// Total simplex pivots across all node LPs.
+    pub lp_iterations: u64,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+/// An optimal (or best-found) 0-1 assignment.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Objective value of `values`.
+    pub objective: f64,
+    /// Variable assignment (binaries are exactly 0.0 or 1.0; continuous
+    /// variables take their LP values).
+    pub values: Vec<f64>,
+    /// Whether the tree was closed (`true`) or the node/time budget ran
+    /// out with this incumbent still unproven (`false`).
+    pub proven_optimal: bool,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+/// Configuration and entry point of the branch & bound solver.
+#[derive(Debug, Clone)]
+pub struct MipSolver {
+    /// Hard cap on explored nodes (default 2²⁰).
+    pub max_nodes: u64,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for MipSolver {
+    fn default() -> Self {
+        Self {
+            max_nodes: 1 << 20,
+            time_limit: None,
+        }
+    }
+}
+
+/// A search node: per-binary bounds, ordered by LP bound (best first).
+struct Node {
+    bound: f64,
+    bounds: Vec<(f64, f64)>,
+    /// LP solution of the parent, used to pick the branching variable.
+    fractional: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest bound on top.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl MipSolver {
+    /// Creates a solver with the given node cap.
+    #[must_use]
+    pub fn with_max_nodes(max_nodes: u64) -> Self {
+        Self {
+            max_nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Solves `problem` to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`MipError::Infeasible`] — no 0-1 assignment satisfies the rows;
+    /// * [`MipError::Unbounded`] — the LP relaxation is unbounded below;
+    /// * [`MipError::NodeLimit`] — budget exhausted before any feasible
+    ///   incumbent was found. If a budget runs out *with* an incumbent,
+    ///   the incumbent is returned with
+    ///   [`proven_optimal`](MipSolution::proven_optimal) = `false`.
+    pub fn solve(&self, problem: &Problem) -> Result<MipSolution, MipError> {
+        self.solve_seeded(problem, None)
+    }
+
+    /// Like [`solve`](Self::solve), but warm-started with a known
+    /// feasible assignment (e.g. a greedy solution) used as the initial
+    /// incumbent — often collapsing the search tree by orders of
+    /// magnitude.
+    ///
+    /// An infeasible or worse-than-useless seed is silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve).
+    pub fn solve_seeded(
+        &self,
+        problem: &Problem,
+        seed: Option<&[f64]>,
+    ) -> Result<MipSolution, MipError> {
+        let start = Instant::now();
+        let n = problem.num_vars();
+        let free: Vec<(f64, f64)> = (0..n)
+            .map(|j| {
+                (
+                    0.0,
+                    if problem.is_binary(j) {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    },
+                )
+            })
+            .collect();
+
+        let mut stats = SolveStats::default();
+        let root = solve_lp(problem, Some(&free));
+        stats.nodes_explored += 1;
+        stats.lp_iterations += root.iterations;
+        match root.status {
+            LpStatus::Infeasible => return Err(MipError::Infeasible),
+            LpStatus::Unbounded => return Err(MipError::Unbounded),
+            LpStatus::Optimal => {}
+        }
+
+        let mut incumbent: Option<MipSolution> = None;
+        if let Some(seed) = seed {
+            if seed.len() == n && problem.is_feasible(seed, 1e-9) {
+                incumbent = Some(MipSolution {
+                    objective: problem.objective_value(seed),
+                    values: seed.to_vec(),
+                    proven_optimal: false,
+                    stats,
+                });
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Node {
+            bound: root.objective,
+            bounds: free,
+            fractional: root.values,
+        });
+
+        let mut budget_hit = false;
+        while let Some(node) = heap.pop() {
+            if let Some(inc) = &incumbent {
+                if node.bound >= inc.objective - 1e-9 {
+                    stats.nodes_pruned += 1;
+                    continue; // bound cannot beat the incumbent
+                }
+            }
+            let over_nodes = stats.nodes_explored >= self.max_nodes;
+            let over_time = self.time_limit.is_some_and(|limit| start.elapsed() > limit);
+            if over_nodes || over_time {
+                if incumbent.is_none() {
+                    return Err(MipError::NodeLimit {
+                        explored: stats.nodes_explored,
+                    });
+                }
+                budget_hit = true;
+                break;
+            }
+
+            // Pick the most fractional binary to branch on.
+            let branch_var = problem
+                .binary_vars()
+                .into_iter()
+                .filter(|&j| (node.bounds[j].1 - node.bounds[j].0) > 0.5)
+                .map(|j| (j, (node.fractional[j] - 0.5).abs()))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+
+            let Some((var, _)) = branch_var else {
+                // All binaries fixed; LP value of this node is integral.
+                continue;
+            };
+
+            for fix in [1.0, 0.0] {
+                let mut bounds = node.bounds.clone();
+                bounds[var] = (fix, fix);
+                let lp = solve_lp(problem, Some(&bounds));
+                stats.nodes_explored += 1;
+                stats.lp_iterations += lp.iterations;
+                if lp.status != LpStatus::Optimal {
+                    continue; // infeasible child
+                }
+                if let Some(inc) = &incumbent {
+                    if lp.objective >= inc.objective - 1e-9 {
+                        stats.nodes_pruned += 1;
+                        continue;
+                    }
+                }
+                let is_integral = problem
+                    .binary_vars()
+                    .iter()
+                    .all(|&j| lp.values[j] < INT_TOL || lp.values[j] > 1.0 - INT_TOL);
+                if is_integral {
+                    let mut values = lp.values.clone();
+                    for j in problem.binary_vars() {
+                        values[j] = values[j].round();
+                    }
+                    let objective = problem.objective_value(&values);
+                    if incumbent
+                        .as_ref()
+                        .is_none_or(|inc| objective < inc.objective)
+                    {
+                        incumbent = Some(MipSolution {
+                            objective,
+                            values,
+                            proven_optimal: false,
+                            stats,
+                        });
+                    }
+                } else {
+                    heap.push(Node {
+                        bound: lp.objective,
+                        bounds,
+                        fractional: lp.values,
+                    });
+                }
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        incumbent
+            .map(|mut sol| {
+                sol.stats = stats;
+                sol.proven_optimal = !budget_hit;
+                sol
+            })
+            .ok_or(MipError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_brute_force, Relation};
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Problem {
+        let n = values.len();
+        let mut p = Problem::new(n);
+        p.set_objective(&values.iter().map(|v| -v).collect::<Vec<_>>());
+        let coeffs: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        p.add_constraint(&coeffs, Relation::Le, cap);
+        for j in 0..n {
+            p.mark_binary(j);
+        }
+        p
+    }
+
+    #[test]
+    fn solves_knapsack_exactly() {
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let sol = MipSolver::default().solve(&p).unwrap();
+        let brute = solve_brute_force(&p).unwrap();
+        assert!((sol.objective - brute.objective).abs() < 1e-9);
+        assert_eq!(sol.objective, -23.0); // items 1 (13) + 0 (10), weight 7
+    }
+
+    #[test]
+    fn respects_equality_rows() {
+        // Choose exactly 2 of 4 items minimising cost.
+        let mut p = Problem::new(4);
+        p.set_objective(&[5.0, 1.0, 3.0, 2.0]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], Relation::Eq, 2.0);
+        for j in 0..4 {
+            p.mark_binary(j);
+        }
+        let sol = MipSolver::default().solve(&p).unwrap();
+        assert_eq!(sol.objective, 3.0);
+        assert_eq!(sol.values, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn infeasible_instances_error() {
+        let mut p = Problem::new(2);
+        p.set_objective(&[1.0, 1.0]);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 3.0);
+        p.mark_binary(0);
+        p.mark_binary(1);
+        assert!(matches!(
+            MipSolver::default().solve(&p),
+            Err(MipError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn node_limit_is_honoured() {
+        // A 20-variable knapsack with an adversarial structure cannot be
+        // closed in 2 nodes.
+        let values: Vec<f64> = (1..=20).map(|i| f64::from(i * 7 % 13 + 1)).collect();
+        let weights: Vec<f64> = (1..=20).map(|i| f64::from(i * 5 % 11 + 1)).collect();
+        let p = knapsack(&values, &weights, 30.0);
+        let solver = MipSolver::with_max_nodes(2);
+        // Two nodes cannot close a 20-variable tree: the solver either
+        // had no incumbent yet (error) or returns one unproven.
+        match solver.solve(&p) {
+            Err(MipError::NodeLimit { explored }) => assert!(explored >= 2),
+            Ok(sol) => assert!(!sol.proven_optimal),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeding_with_a_feasible_incumbent_is_safe_and_exact() {
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        // Seed with the all-zero solution (feasible, poor).
+        let seeded = MipSolver::default()
+            .solve_seeded(&p, Some(&[0.0, 0.0, 0.0, 0.0]))
+            .unwrap();
+        assert_eq!(seeded.objective, -23.0);
+        assert!(seeded.proven_optimal);
+        // An infeasible seed is ignored.
+        let bad_seed = MipSolver::default()
+            .solve_seeded(&p, Some(&[1.0, 1.0, 1.0, 1.0]))
+            .unwrap();
+        assert_eq!(bad_seed.objective, -23.0);
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        // min -x0 - 2 y, y continuous ≤ 1.5 via row, x0 binary,
+        // x0 + y ≤ 2.
+        let mut p = Problem::new(2);
+        p.set_objective(&[-1.0, -2.0]);
+        p.add_constraint(&[(1, 1.0)], Relation::Le, 1.5);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 2.0);
+        p.mark_binary(0);
+        let sol = MipSolver::default().solve(&p).unwrap();
+        // Two optima tie at -3: (x0=1, y=1) and (x0=0, y=1.5).
+        assert!(
+            (sol.objective - (-3.0)).abs() < 1e-6,
+            "got {}",
+            sol.objective
+        );
+        assert!(sol.values[0] == 0.0 || sol.values[0] == 1.0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let p = knapsack(&[4.0, 5.0, 6.0], &[2.0, 3.0, 4.0], 5.0);
+        let sol = MipSolver::default().solve(&p).unwrap();
+        assert!(sol.stats.nodes_explored >= 1);
+        assert!(sol.stats.lp_iterations >= 1);
+    }
+}

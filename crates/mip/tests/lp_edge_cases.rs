@@ -1,0 +1,112 @@
+//! Extra LP edge cases: degenerate, redundant and near-singular
+//! instances that historically break naive simplex implementations.
+
+use blot_mip::{solve_lp, LpStatus, Problem, Relation};
+
+fn close(a: f64, b: f64) {
+    assert!((a - b).abs() < 1e-6, "{a} != {b}");
+}
+
+#[test]
+fn zero_objective_is_feasibility_check() {
+    let mut p = Problem::new(2);
+    p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 4.0);
+    p.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0);
+    let r = solve_lp(&p, None);
+    assert_eq!(r.status, LpStatus::Optimal);
+    close(r.objective, 0.0);
+    close(r.values[0] + r.values[1], 4.0);
+    assert!(r.values[0] >= 1.0 - 1e-9);
+}
+
+#[test]
+fn redundant_equalities_do_not_break_phase_one() {
+    // The same equality three times plus its double.
+    let mut p = Problem::new(2);
+    p.set_objective(&[1.0, 2.0]);
+    for _ in 0..3 {
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 5.0);
+    }
+    p.add_constraint(&[(0, 2.0), (1, 2.0)], Relation::Eq, 10.0);
+    let r = solve_lp(&p, None);
+    assert_eq!(r.status, LpStatus::Optimal);
+    close(r.objective, 5.0); // all weight on x0
+    close(r.values[0], 5.0);
+}
+
+#[test]
+fn conflicting_equalities_are_infeasible() {
+    let mut p = Problem::new(1);
+    p.add_constraint(&[(0, 1.0)], Relation::Eq, 1.0);
+    p.add_constraint(&[(0, 1.0)], Relation::Eq, 2.0);
+    assert_eq!(solve_lp(&p, None).status, LpStatus::Infeasible);
+}
+
+#[test]
+fn tiny_and_huge_coefficients_coexist() {
+    // Scaling stress: 1e-6 next to 1e6.
+    let mut p = Problem::new(2);
+    p.set_objective(&[1e-6, 1e6]);
+    p.add_constraint(&[(0, 1e-6), (1, 1e6)], Relation::Ge, 2.0);
+    p.add_constraint(&[(0, 1.0)], Relation::Le, 1e6);
+    let r = solve_lp(&p, None);
+    assert_eq!(r.status, LpStatus::Optimal);
+    // Cheapest way to reach 2.0 is via x0 (cost ratio equal, but x0 is
+    // capped at 1e6 giving LHS 1.0, so x1 must supply the rest).
+    let lhs = 1e-6 * r.values[0] + 1e6 * r.values[1];
+    assert!(lhs >= 2.0 - 1e-6);
+}
+
+#[test]
+fn equality_with_zero_rhs_and_free_direction() {
+    // x0 - x1 = 0, minimise x0 + x1 → both zero.
+    let mut p = Problem::new(2);
+    p.set_objective(&[1.0, 1.0]);
+    p.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 0.0);
+    let r = solve_lp(&p, None);
+    assert_eq!(r.status, LpStatus::Optimal);
+    close(r.objective, 0.0);
+}
+
+#[test]
+fn cycling_prone_beale_instance_terminates() {
+    // Beale's classic cycling example (needs Bland's rule to terminate):
+    // min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4
+    // s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 ≤ 0
+    //      0.5  x1 - 90 x2 - 0.02 x3 + 3 x4 ≤ 0
+    //      x3 ≤ 1
+    let mut p = Problem::new(4);
+    p.set_objective(&[-0.75, 150.0, -0.02, 6.0]);
+    p.add_constraint(
+        &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+        Relation::Le,
+        0.0,
+    );
+    p.add_constraint(
+        &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+        Relation::Le,
+        0.0,
+    );
+    p.add_constraint(&[(2, 1.0)], Relation::Le, 1.0);
+    let r = solve_lp(&p, None);
+    assert_eq!(r.status, LpStatus::Optimal);
+    close(r.objective, -0.05);
+}
+
+#[test]
+fn bounds_tighter_than_constraints_win() {
+    let mut p = Problem::new(1);
+    p.set_objective(&[-1.0]);
+    p.add_constraint(&[(0, 1.0)], Relation::Le, 100.0);
+    let r = solve_lp(&p, Some(&[(0.0, 2.5)]));
+    assert_eq!(r.status, LpStatus::Optimal);
+    close(r.values[0], 2.5);
+}
+
+#[test]
+fn infeasible_box_is_detected() {
+    let p = Problem::new(1);
+    let r = solve_lp(&p, Some(&[(3.0, 2.0)]));
+    // lo > hi: the generated Ge/Le rows contradict.
+    assert_eq!(r.status, LpStatus::Infeasible);
+}

@@ -1,0 +1,78 @@
+//! Property tests: branch & bound must agree with brute force on every
+//! random instance where brute force is feasible.
+
+use blot_mip::{solve_brute_force, MipError, MipSolver, Problem, Relation};
+use proptest::prelude::*;
+
+/// Random pure 0-1 minimisation instances with ≤ 10 variables and ≤ 6
+/// rows, mixed relations, integer-ish coefficients to keep arithmetic
+/// exact.
+fn arb_instance() -> impl Strategy<Value = Problem> {
+    (2usize..=10, 1usize..=6).prop_flat_map(|(n, m)| {
+        let obj = prop::collection::vec(-20i32..=20, n);
+        let rows = prop::collection::vec(
+            (
+                prop::collection::vec(-5i32..=8, n),
+                prop_oneof![Just(Relation::Le), Just(Relation::Ge), Just(Relation::Eq)],
+                -4i32..=16,
+            ),
+            m,
+        );
+        (obj, rows).prop_map(move |(obj, rows)| {
+            let mut p = Problem::new(n);
+            p.set_objective(&obj.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
+            for (coeffs, rel, rhs) in rows {
+                let sparse: Vec<(usize, f64)> = coeffs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(j, &c)| (j, f64::from(c)))
+                    .collect();
+                // An all-zero Eq/Ge row with nonzero rhs is legal input
+                // (it just makes the instance infeasible).
+                p.add_constraint(&sparse, rel, f64::from(rhs));
+            }
+            for j in 0..n {
+                p.mark_binary(j);
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(p in arb_instance()) {
+        let bb = MipSolver::default().solve(&p);
+        let bf = solve_brute_force(&p);
+        match (bb, bf) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!(
+                    (sol.objective - best.objective).abs() < 1e-6,
+                    "b&b found {} but optimum is {}",
+                    sol.objective,
+                    best.objective
+                );
+                prop_assert!(p.is_feasible(&sol.values, 1e-6));
+            }
+            (Err(MipError::Infeasible), None) => {}
+            (bb, bf) => prop_assert!(
+                false,
+                "disagreement: b&b = {:?}, brute force feasible = {}",
+                bb.map(|s| s.objective),
+                bf.is_some()
+            ),
+        }
+    }
+
+    #[test]
+    fn solutions_are_always_integral(p in arb_instance()) {
+        if let Ok(sol) = MipSolver::default().solve(&p) {
+            for j in 0..p.num_vars() {
+                prop_assert!(sol.values[j] == 0.0 || sol.values[j] == 1.0);
+            }
+        }
+    }
+}

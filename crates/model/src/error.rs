@@ -1,0 +1,34 @@
+use std::fmt;
+
+/// Error parsing a record from its CSV interchange form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line ended before all eight attributes were read.
+    MissingField {
+        /// Name of the first missing attribute.
+        field: &'static str,
+    },
+    /// An attribute failed to parse as its declared type.
+    BadField {
+        /// Name of the offending attribute.
+        field: &'static str,
+        /// The raw text that failed to parse.
+        value: String,
+    },
+    /// The line carried more than eight attributes.
+    TrailingFields,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingField { field } => write!(f, "missing field `{field}`"),
+            Self::BadField { field, value } => {
+                write!(f, "field `{field}` has unparseable value `{value}`")
+            }
+            Self::TrailingFields => write!(f, "line has trailing fields beyond the schema"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

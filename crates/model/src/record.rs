@@ -1,0 +1,176 @@
+use blot_geo::{Cuboid, Point};
+use serde::{Deserialize, Serialize};
+
+use crate::ParseError;
+
+/// One location tracking record: `(OID, TIME, LOC, A1..A5)`.
+///
+/// The three *core attributes* required by the BLOT data model are
+/// [`oid`](Self::oid), [`time`](Self::time) and the location
+/// ([`x`](Self::x), [`y`](Self::y)). The remaining five *common
+/// attributes* model the telemetry a taxi GPS logger typically reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Object (vehicle) identifier.
+    pub oid: u32,
+    /// Timestamp, seconds since the dataset epoch.
+    pub time: i64,
+    /// Longitude, degrees east.
+    pub x: f64,
+    /// Latitude, degrees north.
+    pub y: f64,
+    /// Instantaneous speed, km/h.
+    pub speed: f32,
+    /// Heading, degrees clockwise from north in `[0, 360)`.
+    pub heading: f32,
+    /// Whether the taxi carries a fare.
+    pub occupied: bool,
+    /// Number of passengers on board.
+    pub passengers: u8,
+}
+
+impl Record {
+    /// Creates a record with the core attributes set and neutral common
+    /// attributes (stationary, heading north, vacant).
+    #[must_use]
+    pub fn new(oid: u32, time: i64, x: f64, y: f64) -> Self {
+        Self {
+            oid,
+            time,
+            x,
+            y,
+            speed: 0.0,
+            heading: 0.0,
+            occupied: false,
+            passengers: 0,
+        }
+    }
+
+    /// The record's position in the spatio-temporal universe, with the
+    /// timestamp widened to `f64` for geometry.
+    #[must_use]
+    pub fn point(&self) -> Point {
+        #[allow(clippy::cast_precision_loss)] // timestamps ≪ 2^52
+        Point::new(self.x, self.y, self.time as f64)
+    }
+
+    /// Whether the record falls inside the (closed) query range.
+    #[must_use]
+    pub fn in_range(&self, range: &Cuboid) -> bool {
+        range.contains_point(&self.point())
+    }
+
+    /// Formats the record as one CSV line (no trailing newline), in the
+    /// attribute order `oid,time,x,y,speed,heading,occupied,passengers`.
+    #[must_use]
+    pub fn to_csv_line(&self) -> String {
+        format!(
+            "{},{},{:.6},{:.6},{:.1},{:.1},{},{}",
+            self.oid,
+            self.time,
+            self.x,
+            self.y,
+            self.speed,
+            self.heading,
+            u8::from(self.occupied),
+            self.passengers
+        )
+    }
+
+    /// Parses a record from one CSV line produced by
+    /// [`to_csv_line`](Self::to_csv_line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when the line has the wrong number of fields
+    /// or a field fails to parse.
+    pub fn from_csv_line(line: &str) -> Result<Self, ParseError> {
+        let mut fields = line.trim_end().split(',');
+        let mut next = |name: &'static str| {
+            fields
+                .next()
+                .ok_or(ParseError::MissingField { field: name })
+        };
+        let oid = parse(next("oid")?, "oid")?;
+        let time = parse(next("time")?, "time")?;
+        let x = parse(next("x")?, "x")?;
+        let y = parse(next("y")?, "y")?;
+        let speed = parse(next("speed")?, "speed")?;
+        let heading = parse(next("heading")?, "heading")?;
+        let occupied_raw: u8 = parse(next("occupied")?, "occupied")?;
+        let passengers = parse(next("passengers")?, "passengers")?;
+        if fields.next().is_some() {
+            return Err(ParseError::TrailingFields);
+        }
+        Ok(Self {
+            oid,
+            time,
+            x,
+            y,
+            speed,
+            heading,
+            occupied: occupied_raw != 0,
+            passengers,
+        })
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, field: &'static str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError::BadField {
+        field,
+        value: s.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let r = Record {
+            oid: 1234,
+            time: 987_654,
+            x: 121.473_701,
+            y: 31.230_416,
+            speed: 42.5,
+            heading: 270.0,
+            occupied: true,
+            passengers: 2,
+        };
+        let line = r.to_csv_line();
+        let back = Record::from_csv_line(&line).unwrap();
+        assert_eq!(back.oid, r.oid);
+        assert_eq!(back.time, r.time);
+        assert!((back.x - r.x).abs() < 1e-6);
+        assert!((back.y - r.y).abs() < 1e-6);
+        assert_eq!(back.occupied, r.occupied);
+        assert_eq!(back.passengers, r.passengers);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(
+            Record::from_csv_line("1,2,3"),
+            Err(ParseError::MissingField { .. })
+        ));
+        assert!(matches!(
+            Record::from_csv_line("x,2,3.0,4.0,0.0,0.0,0,0"),
+            Err(ParseError::BadField { field: "oid", .. })
+        ));
+        assert!(matches!(
+            Record::from_csv_line("1,2,3.0,4.0,0.0,0.0,0,0,99"),
+            Err(ParseError::TrailingFields)
+        ));
+    }
+
+    #[test]
+    fn in_range_uses_closed_bounds() {
+        use blot_geo::Point;
+        let r = Record::new(1, 100, 1.0, 2.0);
+        let range = Cuboid::new(Point::new(1.0, 2.0, 100.0), Point::new(2.0, 3.0, 200.0));
+        assert!(r.in_range(&range));
+        let outside = Record::new(1, 99, 1.0, 2.0);
+        assert!(!outside.in_range(&range));
+    }
+}

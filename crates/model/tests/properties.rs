@@ -1,0 +1,94 @@
+//! Property tests for the logical data model.
+
+use blot_model::{Record, RecordBatch};
+use proptest::prelude::*;
+
+/// Records whose fields survive the CSV text format exactly: positions
+/// on the 1e-6 grid (like real GPS output), speeds/headings on 0.1
+/// steps.
+fn arb_csv_exact_record() -> impl Strategy<Value = Record> {
+    (
+        any::<u32>(),
+        -1_000_000_000i64..1_000_000_000,
+        -180_000_000i64..180_000_000,
+        -90_000_000i64..90_000_000,
+        0u32..1400,
+        0u32..3599,
+        any::<bool>(),
+        0u8..=8,
+    )
+        .prop_map(|(oid, time, xq, yq, sq, hq, occupied, passengers)| Record {
+            oid,
+            time,
+            x: xq as f64 / 1e6,
+            y: yq as f64 / 1e6,
+            speed: sq as f32 / 10.0,
+            heading: hq as f32 / 10.0,
+            occupied,
+            passengers,
+        })
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_is_exact_on_gps_grid(r in arb_csv_exact_record()) {
+        let line = r.to_csv_line();
+        let back = Record::from_csv_line(&line).unwrap();
+        prop_assert_eq!(back.oid, r.oid);
+        prop_assert_eq!(back.time, r.time);
+        prop_assert!((back.x - r.x).abs() < 5e-7, "x {} vs {}", back.x, r.x);
+        prop_assert!((back.y - r.y).abs() < 5e-7);
+        prop_assert!((back.speed - r.speed).abs() < 0.051);
+        prop_assert_eq!(back.occupied, r.occupied);
+        prop_assert_eq!(back.passengers, r.passengers);
+    }
+
+    #[test]
+    fn batch_csv_roundtrip_preserves_length_and_keys(
+        records in prop::collection::vec(arb_csv_exact_record(), 0..80)
+    ) {
+        let batch = RecordBatch::from_records(&records);
+        let back = RecordBatch::from_csv(&batch.to_csv()).unwrap();
+        prop_assert_eq!(back.len(), batch.len());
+        prop_assert_eq!(&back.oids, &batch.oids);
+        prop_assert_eq!(&back.times, &batch.times);
+    }
+
+    #[test]
+    fn sorting_is_a_permutation(records in prop::collection::vec(arb_csv_exact_record(), 0..60)) {
+        let batch = RecordBatch::from_records(&records);
+        let mut sorted = batch.clone();
+        sorted.sort_by_oid_time();
+        prop_assert_eq!(sorted.len(), batch.len());
+        // Keys are non-decreasing…
+        for w in sorted.to_records().windows(2) {
+            prop_assert!((w[0].oid, w[0].time) <= (w[1].oid, w[1].time));
+        }
+        // …and the multiset of records is unchanged.
+        let canon = |b: &RecordBatch| {
+            let mut v: Vec<String> = b.iter().map(|r| r.to_csv_line()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(canon(&sorted), canon(&batch));
+    }
+
+    #[test]
+    fn filter_plus_complement_partitions_the_batch(
+        records in prop::collection::vec(arb_csv_exact_record(), 0..60),
+        cx in -0.5f64..0.5, cy in -0.5f64..0.5,
+    ) {
+        use blot_geo::{Cuboid, Point};
+        let batch = RecordBatch::from_records(&records);
+        let range = Cuboid::new(
+            Point::new(cx - 50.0, cy - 50.0, -5e8),
+            Point::new(cx + 50.0, cy + 50.0, 5e8),
+        );
+        let inside = batch.filter_range(&range).len();
+        let outside = (0..batch.len())
+            .filter(|&i| !range.contains_point(&batch.point(i)))
+            .count();
+        prop_assert_eq!(inside + outside, batch.len());
+        prop_assert_eq!(inside, batch.count_in_range(&range));
+    }
+}

@@ -1,0 +1,370 @@
+//! Storage-unit backends: where encoded partitions physically live.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::StorageError;
+
+/// Address of one storage unit: `(replica id, partition id)`.
+///
+/// A BLOT system stores every partition of every replica as one storage
+/// unit — "an object stored in Amazon S3, a file on HDFS, a segment of a
+/// file on a local file system" (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitKey {
+    /// Replica the unit belongs to.
+    pub replica: u32,
+    /// Partition id within the replica's partitioning scheme.
+    pub partition: u32,
+}
+
+impl fmt::Display for UnitKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}/p{}", self.replica, self.partition)
+    }
+}
+
+/// A key-value store of encoded partition bytes.
+///
+/// Implementations must be safe for concurrent use — map-only jobs read
+/// many units in parallel.
+pub trait Backend: Send + Sync {
+    /// Stores (or replaces) a unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] on filesystem failures.
+    fn put(&self, key: UnitKey, bytes: Vec<u8>) -> Result<(), StorageError>;
+
+    /// Fetches a unit's bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] for missing units or
+    /// [`StorageError::Io`] on filesystem failures.
+    fn get(&self, key: UnitKey) -> Result<Vec<u8>, StorageError>;
+
+    /// Removes a unit; removing a missing unit is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] on filesystem failures.
+    fn delete(&self, key: UnitKey) -> Result<(), StorageError>;
+
+    /// Lists all stored unit keys (sorted).
+    fn list(&self) -> Vec<UnitKey>;
+
+    /// Size in bytes of a unit, if present.
+    fn size_of(&self, key: UnitKey) -> Option<u64>;
+
+    /// Total bytes stored across all units.
+    fn total_bytes(&self) -> u64 {
+        self.list().iter().filter_map(|&k| self.size_of(k)).sum()
+    }
+}
+
+/// In-memory backend for tests and simulations.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    units: RwLock<HashMap<UnitKey, Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// Creates an empty backend.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn put(&self, key: UnitKey, bytes: Vec<u8>) -> Result<(), StorageError> {
+        self.units.write().insert(key, bytes);
+        Ok(())
+    }
+
+    fn get(&self, key: UnitKey) -> Result<Vec<u8>, StorageError> {
+        self.units
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::NotFound { key })
+    }
+
+    fn delete(&self, key: UnitKey) -> Result<(), StorageError> {
+        self.units.write().remove(&key);
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<UnitKey> {
+        let mut keys: Vec<UnitKey> = self.units.read().keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn size_of(&self, key: UnitKey) -> Option<u64> {
+        self.units.read().get(&key).map(|b| b.len() as u64)
+    }
+}
+
+/// Filesystem backend: one file per unit under
+/// `root/r<replica>/p<partition>.unit`.
+#[derive(Debug)]
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+impl FileBackend {
+    /// Creates the backend, creating `root` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] if the root cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|source| StorageError::Io {
+            key: UnitKey {
+                replica: 0,
+                partition: 0,
+            },
+            source,
+        })?;
+        Ok(Self { root })
+    }
+
+    fn path(&self, key: UnitKey) -> PathBuf {
+        self.root
+            .join(format!("r{}", key.replica))
+            .join(format!("p{}.unit", key.partition))
+    }
+}
+
+impl Backend for FileBackend {
+    fn put(&self, key: UnitKey, bytes: Vec<u8>) -> Result<(), StorageError> {
+        let path = self.path(key);
+        let io = |source| StorageError::Io { key, source };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(io)?;
+        }
+        let mut f = std::fs::File::create(&path).map_err(io)?;
+        f.write_all(&bytes).map_err(io)?;
+        Ok(())
+    }
+
+    fn get(&self, key: UnitKey) -> Result<Vec<u8>, StorageError> {
+        match std::fs::read(self.path(key)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound { key })
+            }
+            Err(source) => Err(StorageError::Io { key, source }),
+        }
+    }
+
+    fn delete(&self, key: UnitKey) -> Result<(), StorageError> {
+        match std::fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(source) => Err(StorageError::Io { key, source }),
+        }
+    }
+
+    fn list(&self) -> Vec<UnitKey> {
+        let mut keys = Vec::new();
+        let Ok(replicas) = std::fs::read_dir(&self.root) else {
+            return keys;
+        };
+        for rep in replicas.flatten() {
+            let rname = rep.file_name();
+            let Some(replica) = rname
+                .to_str()
+                .and_then(|s| s.strip_prefix('r'))
+                .and_then(|s| s.parse().ok())
+            else {
+                continue;
+            };
+            let Ok(units) = std::fs::read_dir(rep.path()) else {
+                continue;
+            };
+            for unit in units.flatten() {
+                let uname = unit.file_name();
+                let Some(partition) = uname
+                    .to_str()
+                    .and_then(|s| s.strip_prefix('p'))
+                    .and_then(|s| s.strip_suffix(".unit"))
+                    .and_then(|s| s.parse().ok())
+                else {
+                    continue;
+                };
+                keys.push(UnitKey { replica, partition });
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    fn size_of(&self, key: UnitKey) -> Option<u64> {
+        std::fs::metadata(self.path(key)).ok().map(|m| m.len())
+    }
+}
+
+/// What an injected failure does to reads of a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// The unit vanishes (disk loss, object deleted).
+    Drop,
+    /// The unit's bytes are bit-flipped (silent corruption); the decoder
+    /// is expected to detect it.
+    Corrupt,
+}
+
+/// Wraps a backend and injects per-unit failures — the fault model used
+/// to demonstrate that diverse replicas "can recover each other when
+/// failures occur because they share the same logical view" (§I).
+pub struct FailingBackend<B> {
+    inner: B,
+    failures: RwLock<HashMap<UnitKey, FailureMode>>,
+    reads: AtomicU64,
+}
+
+impl<B: Backend> FailingBackend<B> {
+    /// Wraps `inner` with no failures armed.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            failures: RwLock::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms a failure for `key`.
+    pub fn inject(&self, key: UnitKey, mode: FailureMode) {
+        self.failures.write().insert(key, mode);
+    }
+
+    /// Clears the failure on `key` (e.g. after repair rewrote the unit).
+    pub fn heal(&self, key: UnitKey) {
+        self.failures.write().remove(&key);
+    }
+
+    /// Number of `get` calls served (including failed ones).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Backend> Backend for FailingBackend<B> {
+    fn put(&self, key: UnitKey, bytes: Vec<u8>) -> Result<(), StorageError> {
+        // A rewrite repairs the unit.
+        self.failures.write().remove(&key);
+        self.inner.put(key, bytes)
+    }
+
+    fn get(&self, key: UnitKey) -> Result<Vec<u8>, StorageError> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mode = self.failures.read().get(&key).copied();
+        match mode {
+            Some(FailureMode::Drop) => Err(StorageError::NotFound { key }),
+            Some(FailureMode::Corrupt) => {
+                let mut bytes = self.inner.get(key)?;
+                // Flip bits across the payload; headers and body both rot.
+                let n = bytes.len();
+                for i in [n / 3, n / 2, 2 * n / 3] {
+                    if let Some(b) = bytes.get_mut(i) {
+                        *b ^= 0xA5;
+                    }
+                }
+                Ok(bytes)
+            }
+            None => self.inner.get(key),
+        }
+    }
+
+    fn delete(&self, key: UnitKey) -> Result<(), StorageError> {
+        self.failures.write().remove(&key);
+        self.inner.delete(key)
+    }
+
+    fn list(&self) -> Vec<UnitKey> {
+        self.inner.list()
+    }
+
+    fn size_of(&self, key: UnitKey) -> Option<u64> {
+        self.inner.size_of(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn Backend) {
+        let k1 = UnitKey {
+            replica: 0,
+            partition: 3,
+        };
+        let k2 = UnitKey {
+            replica: 1,
+            partition: 0,
+        };
+        backend.put(k1, vec![1, 2, 3]).unwrap();
+        backend.put(k2, vec![9; 100]).unwrap();
+        assert_eq!(backend.get(k1).unwrap(), vec![1, 2, 3]);
+        assert_eq!(backend.size_of(k2), Some(100));
+        assert_eq!(backend.total_bytes(), 103);
+        assert_eq!(backend.list(), vec![k1, k2]);
+        // Overwrite.
+        backend.put(k1, vec![7]).unwrap();
+        assert_eq!(backend.get(k1).unwrap(), vec![7]);
+        // Delete + idempotency.
+        backend.delete(k1).unwrap();
+        backend.delete(k1).unwrap();
+        assert!(matches!(
+            backend.get(k1),
+            Err(StorageError::NotFound { key }) if key == k1
+        ));
+        assert_eq!(backend.list(), vec![k2]);
+    }
+
+    #[test]
+    fn mem_backend_semantics() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_semantics() {
+        let dir = std::env::temp_dir().join(format!("blot-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&FileBackend::new(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failing_backend_drops_and_corrupts() {
+        let fb = FailingBackend::new(MemBackend::new());
+        let k = UnitKey {
+            replica: 0,
+            partition: 0,
+        };
+        fb.put(k, vec![0u8; 64]).unwrap();
+        fb.inject(k, FailureMode::Drop);
+        assert!(matches!(fb.get(k), Err(StorageError::NotFound { .. })));
+        fb.inject(k, FailureMode::Corrupt);
+        let bytes = fb.get(k).unwrap();
+        assert_ne!(bytes, vec![0u8; 64]);
+        // A rewrite heals.
+        fb.put(k, vec![1u8; 64]).unwrap();
+        assert_eq!(fb.get(k).unwrap(), vec![1u8; 64]);
+        assert_eq!(fb.reads(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+use blot_codec::CodecError;
+
+use crate::UnitKey;
+
+/// Error reading or writing storage units.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The requested unit does not exist (or was dropped by failure
+    /// injection).
+    NotFound {
+        /// The missing unit.
+        key: UnitKey,
+    },
+    /// The unit's bytes exist but no longer decode (bit rot, torn write,
+    /// or injected corruption).
+    Corrupt {
+        /// The damaged unit.
+        key: UnitKey,
+        /// Decoder diagnosis.
+        source: CodecError,
+    },
+    /// Underlying filesystem error.
+    Io {
+        /// The unit being accessed.
+        key: UnitKey,
+        /// The OS error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFound { key } => write!(f, "storage unit {key} not found"),
+            Self::Corrupt { key, source } => write!(f, "storage unit {key} corrupt: {source}"),
+            Self::Io { key, source } => write!(f, "I/O error on storage unit {key}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::NotFound { .. } => None,
+            Self::Corrupt { source, .. } => Some(source),
+            Self::Io { source, .. } => Some(source),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for storage backends and job scheduling.
+
+use blot_storage::{Backend, MemBackend, UnitKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Abstract operations against a backend.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8, Vec<u8>),
+    Get(u8, u8),
+    Delete(u8, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4, 0u8..8, prop::collection::vec(any::<u8>(), 0..50))
+                .prop_map(|(r, p, b)| Op::Put(r, p, b)),
+            (0u8..4, 0u8..8).prop_map(|(r, p)| Op::Get(r, p)),
+            (0u8..4, 0u8..8).prop_map(|(r, p)| Op::Delete(r, p)),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn mem_backend_behaves_like_a_map(ops in arb_ops()) {
+        let backend = MemBackend::new();
+        let mut model: HashMap<UnitKey, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(r, p, bytes) => {
+                    let key = UnitKey { replica: r.into(), partition: p.into() };
+                    backend.put(key, bytes.clone()).unwrap();
+                    model.insert(key, bytes);
+                }
+                Op::Get(r, p) => {
+                    let key = UnitKey { replica: r.into(), partition: p.into() };
+                    match (backend.get(key), model.get(&key)) {
+                        (Ok(a), Some(b)) => prop_assert_eq!(&a, b),
+                        (Err(_), None) => {}
+                        (got, want) => prop_assert!(
+                            false,
+                            "mismatch at {key}: backend {:?} vs model {:?}",
+                            got.map(|v| v.len()),
+                            want.map(Vec::len)
+                        ),
+                    }
+                }
+                Op::Delete(r, p) => {
+                    let key = UnitKey { replica: r.into(), partition: p.into() };
+                    backend.delete(key).unwrap();
+                    model.remove(&key);
+                }
+            }
+            // Aggregates always agree.
+            prop_assert_eq!(backend.list().len(), model.len());
+            prop_assert_eq!(
+                backend.total_bytes(),
+                model.values().map(|v| v.len() as u64).sum::<u64>()
+            );
+        }
+        // Listing is sorted and complete.
+        let mut keys: Vec<UnitKey> = model.keys().copied().collect();
+        keys.sort_unstable();
+        prop_assert_eq!(backend.list(), keys);
+    }
+}
+
+/// The makespan helper is private; exercise it through MapOnlyJob by
+/// constructing jobs over an in-memory backend with plain units.
+mod makespan_bounds {
+    use super::*;
+    use blot_codec::{Compression, EncodingScheme, Layout};
+    use blot_model::{Record, RecordBatch};
+    use blot_storage::job::MapOnlyJob;
+    use blot_storage::scan::ScanTask;
+    use blot_storage::EnvProfile;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn makespan_respects_classic_bounds(
+            sizes in prop::collection::vec(10usize..300, 1..12),
+            slots in 1usize..6,
+        ) {
+            let scheme = EncodingScheme::new(Layout::Row, Compression::Plain);
+            let backend = MemBackend::new();
+            let mut tasks = Vec::new();
+            for (p, &n) in sizes.iter().enumerate() {
+                let batch: RecordBatch =
+                    (0..n).map(|i| Record::new(i as u32, i as i64, 121.0, 31.0)).collect();
+                let key = UnitKey { replica: 0, partition: p as u32 };
+                backend.put(key, scheme.encode(&batch)).unwrap();
+                tasks.push(ScanTask { key, scheme, range: None });
+            }
+            let job = MapOnlyJob { tasks, slots };
+            let report = job.run(&backend, &EnvProfile::local_cluster()).unwrap();
+            let durations: Vec<f64> = report.reports.iter().map(|r| r.sim_ms).collect();
+            let longest = durations.iter().copied().fold(0.0, f64::max);
+            let total: f64 = durations.iter().sum();
+            // max ≤ makespan ≤ total, and makespan ≥ total / slots.
+            prop_assert!(report.makespan_ms + 1e-9 >= longest);
+            prop_assert!(report.makespan_ms <= total + 1e-9);
+            prop_assert!(report.makespan_ms + 1e-9 >= total / slots as f64);
+            // Graham's list-scheduling bound: Cmax ≤ total/m + longest.
+            prop_assert!(report.makespan_ms <= total / slots as f64 + longest + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Deterministic synthetic taxi-fleet GPS traces.
+//!
+//! The paper's evaluation uses "a sample of vehicle GPS log collected
+//! from more than 4,000 taxis in Shanghai during a month" — roughly 65
+//! million records over longitude 120–122, latitude 30–32,
+//! 2007-11-01 to 2007-11-29, 8 attributes per record. That dataset is
+//! proprietary, so this crate generates a synthetic equivalent with the
+//! same envelope and — crucially for the experiments — the same
+//! *structural* properties:
+//!
+//! * **spatial clustering**: taxis orbit a handful of hotspot centres
+//!   (train stations, downtown) with occasional long excursions, so
+//!   space partition sizes are skewed exactly the way k-d equal-count
+//!   splitting expects to fix;
+//! * **temporal smoothness**: consecutive fixes of one vehicle are
+//!   seconds apart and metres apart, which is what makes delta and XOR
+//!   column encodings effective;
+//! * **scale-freedom**: record volume is a parameter, so the Figure 6
+//!   data-size sweep (3.7 GB → 3.7 TB) can be *modelled* from a sample,
+//!   as the paper itself does ("we only need a small portion of the
+//!   data to build the cost model").
+//!
+//! Generation is deterministic: the same [`FleetConfig`] (including
+//! `seed`) always yields byte-identical traces, and each taxi's
+//! trajectory depends only on `(seed, taxi_id)`, not on how many other
+//! taxis are generated.
+//!
+//! # Example
+//!
+//! ```
+//! use blot_tracegen::FleetConfig;
+//!
+//! let batch = FleetConfig::small().generate();
+//! assert!(!batch.is_empty());
+//! // Deterministic: same seed, same trace.
+//! assert_eq!(batch, FleetConfig::small().generate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use blot_geo::{Cuboid, Point};
+use blot_model::{Record, RecordBatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Seconds in the paper's 28-day observation window.
+pub const PAPER_DURATION_SECS: i64 = 28 * 24 * 3600;
+
+/// Configuration of the synthetic fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of vehicles.
+    pub num_taxis: u32,
+    /// GPS fixes generated per vehicle.
+    pub records_per_taxi: u32,
+    /// Mean seconds between consecutive fixes of one vehicle.
+    pub sample_interval_secs: i64,
+    /// West / east longitude limits.
+    pub lon_range: (f64, f64),
+    /// South / north latitude limits.
+    pub lat_range: (f64, f64),
+    /// Timestamp of the first possible fix (seconds).
+    pub start_time: i64,
+    /// Number of traffic hotspots vehicles gravitate towards.
+    pub num_hotspots: usize,
+    /// RNG seed; everything is derived from it.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A laptop-sized config for tests and examples (200 taxis × 250
+    /// fixes = 50 000 records).
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            num_taxis: 200,
+            records_per_taxi: 250,
+            sample_interval_secs: 30,
+            lon_range: (120.0, 122.0),
+            lat_range: (30.0, 32.0),
+            start_time: 0,
+            num_hotspots: 6,
+            seed: 0x5EED_B107,
+        }
+    }
+
+    /// The paper's evaluation envelope: ~4 000 taxis for a month at a
+    /// 30 s cadence (≈ 65 M records in Shanghai's 2°×2° box). Generating
+    /// this takes a while and several GiB — the experiments instead use
+    /// [`Self::sample_scale`] plus analytic record-count scaling, as the
+    /// paper does.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            num_taxis: 4_000,
+            records_per_taxi: 16_250,
+            ..Self::small()
+        }
+    }
+
+    /// The sampling config used to calibrate cost models and compression
+    /// ratios in the experiment harness (1 000 taxis × 1 000 fixes = 1 M
+    /// records).
+    #[must_use]
+    pub fn sample_scale() -> Self {
+        Self {
+            num_taxis: 1_000,
+            records_per_taxi: 1_000,
+            ..Self::small()
+        }
+    }
+
+    /// Total records this config generates.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        u64::from(self.num_taxis) * u64::from(self.records_per_taxi)
+    }
+
+    /// The spatio-temporal universe the generated records live in.
+    #[must_use]
+    pub fn universe(&self) -> Cuboid {
+        #[allow(clippy::cast_precision_loss)]
+        let t_end =
+            self.start_time + i64::from(self.records_per_taxi) * self.sample_interval_secs * 2;
+        Cuboid::new(
+            Point::new(self.lon_range.0, self.lat_range.0, self.start_time as f64),
+            Point::new(self.lon_range.1, self.lat_range.1, t_end as f64),
+        )
+    }
+
+    /// Hotspot centres, derived deterministically from the seed. The
+    /// first hotspot is the "downtown" with the strongest pull.
+    #[must_use]
+    pub fn hotspots(&self) -> Vec<(f64, f64)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x4807_5907);
+        (0..self.num_hotspots)
+            .map(|_| {
+                // Keep hotspots away from the border so orbits stay inside.
+                let lon = rng.gen_range(0.2..0.8);
+                let lat = rng.gen_range(0.2..0.8);
+                (
+                    self.lon_range.0 + lon * (self.lon_range.1 - self.lon_range.0),
+                    self.lat_range.0 + lat * (self.lat_range.1 - self.lat_range.0),
+                )
+            })
+            .collect()
+    }
+
+    /// Generates the full trace as one batch (records ordered by taxi,
+    /// then time).
+    #[must_use]
+    pub fn generate(&self) -> RecordBatch {
+        let mut batch = RecordBatch::with_capacity(self.total_records() as usize);
+        for taxi in 0..self.num_taxis {
+            for r in self.taxi_trace(taxi) {
+                batch.push(r);
+            }
+        }
+        batch
+    }
+
+    /// Iterator over the fixes of one vehicle — use this to stream huge
+    /// fleets without materialising them.
+    #[must_use]
+    pub fn taxi_trace(&self, taxi: u32) -> TaxiTrace {
+        TaxiTrace::new(self, taxi)
+    }
+}
+
+/// Degrees per km at these latitudes, roughly.
+const DEG_PER_KM: f64 = 1.0 / 100.0;
+/// GPS loggers report ~6 decimal places.
+const QUANTUM: f64 = 1e-6;
+
+fn quantize(v: f64) -> f64 {
+    (v / QUANTUM).round() * QUANTUM
+}
+
+/// Iterator producing one vehicle's fixes in time order.
+#[derive(Debug)]
+pub struct TaxiTrace {
+    rng: SmallRng,
+    hotspots: Vec<(f64, f64)>,
+    lon_range: (f64, f64),
+    lat_range: (f64, f64),
+    interval: i64,
+    remaining: u32,
+    oid: u32,
+    time: i64,
+    x: f64,
+    y: f64,
+    dest: (f64, f64),
+    speed_kmh: f64,
+    occupied: bool,
+    passengers: u8,
+}
+
+impl TaxiTrace {
+    fn new(config: &FleetConfig, taxi: u32) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ (u64::from(taxi) << 20) ^ 0xA5A5);
+        let hotspots = config.hotspots();
+        // Start near a random hotspot.
+        let h = hotspots[rng.gen_range(0..hotspots.len())];
+        let x = h.0 + rng.gen_range(-0.05..0.05);
+        let y = h.1 + rng.gen_range(-0.05..0.05);
+        // Stagger vehicle start times across one interval.
+        let time = config.start_time + rng.gen_range(0..config.sample_interval_secs.max(1));
+        let mut t = Self {
+            rng,
+            hotspots,
+            lon_range: config.lon_range,
+            lat_range: config.lat_range,
+            interval: config.sample_interval_secs,
+            remaining: config.records_per_taxi,
+            oid: taxi,
+            time,
+            x,
+            y,
+            dest: (0.0, 0.0),
+            speed_kmh: 30.0,
+            occupied: false,
+            passengers: 0,
+        };
+        t.pick_destination();
+        t
+    }
+
+    fn pick_destination(&mut self) {
+        // 80%: a trip towards a hotspot (downtown weighted double);
+        // 20%: a uniform excursion anywhere in the box.
+        let dest = if self.rng.gen_bool(0.8) {
+            let idx = if self.rng.gen_bool(0.3) {
+                0
+            } else {
+                self.rng.gen_range(0..self.hotspots.len())
+            };
+            let (hx, hy) = self.hotspots[idx];
+            (
+                hx + self.rng.gen_range(-0.08..0.08),
+                hy + self.rng.gen_range(-0.08..0.08),
+            )
+        } else {
+            (
+                self.rng.gen_range(self.lon_range.0..self.lon_range.1),
+                self.rng.gen_range(self.lat_range.0..self.lat_range.1),
+            )
+        };
+        self.dest = (
+            dest.0.clamp(self.lon_range.0, self.lon_range.1),
+            dest.1.clamp(self.lat_range.0, self.lat_range.1),
+        );
+        self.speed_kmh = self.rng.gen_range(15.0..70.0);
+        // Passenger turnover happens at trip boundaries.
+        self.occupied = self.rng.gen_bool(0.6);
+        self.passengers = if self.occupied {
+            self.rng.gen_range(1..=4)
+        } else {
+            0
+        };
+    }
+
+    fn step(&mut self) {
+        let dt =
+            (self.interval + self.rng.gen_range(-self.interval / 3..=self.interval / 3)).max(1);
+        self.time += dt;
+        #[allow(clippy::cast_precision_loss)]
+        let dist_deg = self.speed_kmh / 3600.0 * dt as f64 * DEG_PER_KM;
+        let (dx, dy) = (self.dest.0 - self.x, self.dest.1 - self.y);
+        let to_go = (dx * dx + dy * dy).sqrt();
+        if to_go <= dist_deg {
+            self.x = self.dest.0;
+            self.y = self.dest.1;
+            self.pick_destination();
+        } else {
+            // Heading noise models streets not being straight lines.
+            let jitter = self.rng.gen_range(-0.2..0.2);
+            let (ux, uy) = (dx / to_go, dy / to_go);
+            self.x += dist_deg * (ux - jitter * uy);
+            self.y += dist_deg * (uy + jitter * ux);
+            self.x = self.x.clamp(self.lon_range.0, self.lon_range.1);
+            self.y = self.y.clamp(self.lat_range.0, self.lat_range.1);
+        }
+    }
+
+    fn heading(&self) -> f32 {
+        let (dx, dy) = (self.dest.0 - self.x, self.dest.1 - self.y);
+        let deg = dy.atan2(dx).to_degrees();
+        // Convert math angle (CCW from east) to compass (CW from north).
+        #[allow(clippy::cast_possible_truncation)]
+        let compass = (90.0 - deg).rem_euclid(360.0) as f32;
+        compass
+    }
+}
+
+impl Iterator for TaxiTrace {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rec = Record {
+            oid: self.oid,
+            time: self.time,
+            x: quantize(self.x),
+            y: quantize(self.y),
+            #[allow(clippy::cast_possible_truncation)]
+            speed: (self.speed_kmh * self.rng.gen_range(0.85..1.15)) as f32,
+            heading: self.heading(),
+            occupied: self.occupied,
+            passengers: self.passengers,
+        };
+        self.step();
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FleetConfig::small().generate();
+        let b = FleetConfig::small().generate();
+        assert_eq!(a, b);
+        let mut other = FleetConfig::small();
+        other.seed ^= 1;
+        assert_ne!(a, other.generate());
+    }
+
+    #[test]
+    fn trace_is_independent_of_fleet_size() {
+        let config = FleetConfig::small();
+        let mut bigger = config.clone();
+        bigger.num_taxis += 50;
+        let a: Vec<Record> = config.taxi_trace(7).collect();
+        let b: Vec<Record> = bigger.taxi_trace(7).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn records_stay_in_universe() {
+        let config = FleetConfig::small();
+        let u = config.universe();
+        let batch = config.generate();
+        assert_eq!(batch.len() as u64, config.total_records());
+        for i in 0..batch.len() {
+            assert!(
+                u.contains_point(&batch.point(i)),
+                "record {i} out of universe"
+            );
+        }
+    }
+
+    #[test]
+    fn per_taxi_times_are_strictly_increasing() {
+        let config = FleetConfig::small();
+        let trace: Vec<Record> = config.taxi_trace(3).collect();
+        for w in trace.windows(2) {
+            assert!(w[1].time > w[0].time);
+            assert_eq!(w[0].oid, 3);
+        }
+    }
+
+    #[test]
+    fn consecutive_fixes_are_spatially_close() {
+        let config = FleetConfig::small();
+        let trace: Vec<Record> = config.taxi_trace(0).collect();
+        for w in trace.windows(2) {
+            let d = ((w[1].x - w[0].x).powi(2) + (w[1].y - w[0].y).powi(2)).sqrt();
+            // 70 km/h for ~40 s ≈ 0.8 km ≈ 0.008°; leave generous margin.
+            assert!(d < 0.03, "jump of {d} degrees between fixes");
+        }
+    }
+
+    #[test]
+    fn traces_cluster_around_hotspots() {
+        let config = FleetConfig::small();
+        let hotspots = config.hotspots();
+        let batch = config.generate();
+        let radius = 0.15; // degrees
+        let near = (0..batch.len())
+            .filter(|&i| {
+                hotspots.iter().any(|&(hx, hy)| {
+                    let d = ((batch.xs[i] - hx).powi(2) + (batch.ys[i] - hy).powi(2)).sqrt();
+                    d < radius
+                })
+            })
+            .count();
+        // Uniform records would put ~π r² k / area ≈ 10% near hotspots;
+        // the mobility model should concentrate far more than that.
+        let frac = near as f64 / batch.len() as f64;
+        assert!(frac > 0.35, "only {frac:.2} of records near hotspots");
+    }
+
+    #[test]
+    fn attributes_are_plausible() {
+        let batch = FleetConfig::small().generate();
+        for r in batch.iter() {
+            assert!((0.0..=140.0).contains(&r.speed), "speed {}", r.speed);
+            assert!((0.0..360.0).contains(&r.heading), "heading {}", r.heading);
+            assert_eq!(r.occupied, r.passengers > 0);
+            assert!(r.passengers <= 4);
+        }
+    }
+
+    #[test]
+    fn coordinates_are_quantized_like_gps() {
+        let batch = FleetConfig::small().generate();
+        for i in 0..batch.len().min(1000) {
+            let x = batch.xs[i];
+            assert!(
+                (x / QUANTUM - (x / QUANTUM).round()).abs() < 1e-6,
+                "x {x} not on the 1e-6 grid"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_envelope() {
+        let c = FleetConfig::paper_scale();
+        assert_eq!(c.total_records(), 65_000_000);
+        assert!(c.num_taxis >= 4_000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Budget tuning: the full replica-selection pipeline of the paper.
+//!
+//! Calibrates the cost model, estimates the workload × candidate cost
+//! matrix, and compares the Single / Greedy / MIP / Ideal strategies
+//! across storage budgets — a miniature of Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example budget_tuning
+//! ```
+
+use blot::core::prelude::*;
+use blot::mip::MipSolver;
+use blot::tracegen::FleetConfig;
+
+fn main() {
+    let fleet = FleetConfig::small();
+    let sample = fleet.generate();
+    let universe = fleet.universe();
+    let env = EnvProfile::cloud_object_store();
+    let model = CostModel::calibrate(&env, &sample, 7);
+
+    // Candidates: a modest grid so the MIP solves in interactive time.
+    let candidates = ReplicaConfig::grid(
+        &[
+            SchemeSpec::new(4, 2),
+            SchemeSpec::new(4, 8),
+            SchemeSpec::new(16, 4),
+            SchemeSpec::new(64, 8),
+            SchemeSpec::new(256, 16),
+        ],
+        &EncodingScheme::all(),
+    );
+    let workload = Workload::paper_synthetic(&universe);
+    // Pretend the sample stands for the paper's 65M-record dataset.
+    let matrix =
+        CostMatrix::estimate_scaled(&model, &workload, &candidates, &sample, universe, 6.5e7);
+    println!(
+        "{} queries × {} candidate replicas",
+        matrix.n_queries(),
+        matrix.n_candidates()
+    );
+
+    let kept = prune_dominated(&matrix);
+    println!(
+        "dominance pruning: {} → {} candidates",
+        matrix.n_candidates(),
+        kept.len()
+    );
+
+    // The paper's reference budget: three exact copies of the optimal
+    // single replica.
+    let (single_idx, _) = matrix.optimal_single();
+    let reference = 3.0 * matrix.storage[single_idx];
+    let ideal = ideal_cost(&matrix);
+
+    println!(
+        "\n{:>8} | {:>12} {:>12} {:>12} {:>12}",
+        "budget", "Single", "Greedy", "MIP", "Ideal"
+    );
+    for rel in [0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
+        let budget = reference * rel;
+        let single = select_single(&matrix, budget);
+        let greedy = select_greedy(&matrix, budget);
+        let mip = select_mip(&matrix, budget, &MipSolver::default()).expect("mip");
+        println!(
+            "{rel:>7.2}x | {:>12.0} {:>12.0} {:>12.0} {:>12.0}   (greedy ratio {:.3}, mip ratio {:.3})",
+            single.workload_cost,
+            greedy.workload_cost,
+            mip.workload_cost,
+            ideal,
+            greedy.workload_cost / ideal,
+            mip.workload_cost / ideal,
+        );
+    }
+
+    let greedy = select_greedy(&matrix, reference);
+    println!("\ngreedy selection at the reference budget:");
+    for &j in &greedy.chosen {
+        println!(
+            "  {} — {:.1} MiB",
+            candidates[j],
+            matrix.storage[j] / (1024.0 * 1024.0)
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Quickstart: build a BLOT store with two diverse replicas and run a
+//! few range queries against it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blot::core::prelude::*;
+use blot::storage::MemBackend;
+use blot::tracegen::FleetConfig;
+
+fn main() {
+    // 1. A synthetic taxi fleet (deterministic — same output every run).
+    let fleet = FleetConfig::small();
+    let data = fleet.generate();
+    let universe = fleet.universe();
+    println!(
+        "generated {} records from {} taxis over {:.1} days",
+        data.len(),
+        fleet.num_taxis,
+        universe.extent(2) / 86_400.0
+    );
+
+    // 2. Calibrate the cost model in the simulated local cluster: this
+    //    measures ScanRate / ExtraTime per encoding scheme (§V-B).
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 42);
+    for scheme in EncodingScheme::all() {
+        let p = model.params(scheme);
+        println!(
+            "  {scheme:<12} ratio {:.3}  1/ScanRate {:.4} ms/rec  ExtraTime {:>8.1} ms",
+            model.compression_ratio(scheme),
+            p.ms_per_record,
+            p.extra_ms
+        );
+    }
+
+    // 3. Build two diverse replicas: fine partitions + fast codec for
+    //    point-ish queries, coarse partitions + strong codec for sweeps.
+    let mut store = BlotStore::new(MemBackend::new(), env, universe, model);
+    let fine = store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(64, 8),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+        )
+        .expect("build fine replica");
+    let coarse = store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(4, 2),
+                EncodingScheme::new(Layout::Column, Compression::Lzr),
+            ),
+        )
+        .expect("build coarse replica");
+    println!(
+        "built replica {fine} ({} units, {:.1} KiB) and replica {coarse} ({} units, {:.1} KiB)",
+        store.replicas()[fine as usize].scheme.len(),
+        store.replicas()[fine as usize].bytes as f64 / 1024.0,
+        store.replicas()[coarse as usize].scheme.len(),
+        store.replicas()[coarse as usize].bytes as f64 / 1024.0,
+    );
+
+    // 4. Queries of different shapes route to different replicas.
+    let hot = fleet.hotspots()[0];
+    let downtown = Point::new(hot.0, hot.1, universe.centroid().t);
+    let queries = [
+        (
+            "downtown, 1 hour",
+            Cuboid::from_centroid(downtown, QuerySize::new(0.1, 0.1, 3_600.0)),
+        ),
+        (
+            "city, half the span",
+            Cuboid::from_centroid(
+                universe.centroid(),
+                QuerySize::new(0.8, 0.8, universe.extent(2) / 2.0),
+            ),
+        ),
+        ("everything", universe),
+    ];
+    for (name, q) in queries {
+        let result = store.query(&q).expect("query");
+        println!(
+            "query [{name}]: {} records from replica {} — {} partitions, {:.0} ms simulated ({:.0} ms wall)",
+            result.records.len(),
+            result.replica,
+            result.partitions_scanned,
+            result.sim_ms,
+            result.makespan_ms,
+        );
+    }
+}

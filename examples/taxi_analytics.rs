@@ -1,0 +1,156 @@
+//! Taxi analytics: the mixed query workload that motivates diverse
+//! replicas (§I of the paper).
+//!
+//! An urban-transport analyst runs two very different query classes over
+//! the same fleet log:
+//!
+//! * **grid statistics** — hundreds of small cell × hour queries (pickup
+//!   heatmaps, demand estimation);
+//! * **corridor sweeps** — a few huge region × week queries (flow
+//!   studies, planning).
+//!
+//! A store with one replica must compromise; with two diverse replicas
+//! the router sends each class to the replica built for it.
+//!
+//! ```sh
+//! cargo run --release --example taxi_analytics
+//! ```
+
+use blot::core::prelude::*;
+use blot::storage::MemBackend;
+use blot::tracegen::FleetConfig;
+
+struct ClassReport {
+    records: usize,
+    sim_ms: f64,
+    fine_hits: usize,
+    coarse_hits: usize,
+}
+
+fn run_class(store: &BlotStore<MemBackend>, queries: &[Cuboid], fine: u32) -> ClassReport {
+    let mut report = ClassReport {
+        records: 0,
+        sim_ms: 0.0,
+        fine_hits: 0,
+        coarse_hits: 0,
+    };
+    for q in queries {
+        let result = store.query(q).expect("query");
+        report.records += result.records.len();
+        report.sim_ms += result.sim_ms;
+        if result.replica == fine {
+            report.fine_hits += 1;
+        } else {
+            report.coarse_hits += 1;
+        }
+    }
+    report
+}
+
+fn main() {
+    let mut fleet = FleetConfig::small();
+    fleet.num_taxis = 400;
+    fleet.records_per_taxi = 300;
+    let data = fleet.generate();
+    let universe = fleet.universe();
+    println!("fleet log: {} records", data.len());
+
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 99);
+    let mut store = BlotStore::new(MemBackend::new(), env, universe, model);
+    let fine = store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(256, 16),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+        )
+        .expect("fine replica");
+    let coarse = store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(4, 4),
+                EncodingScheme::new(Layout::Column, Compression::Deflate),
+            ),
+        )
+        .expect("coarse replica");
+
+    // Grid statistics: a 6×6 spatial grid × 4 time-of-day windows over
+    // the densest hotspot quarter of the city.
+    let hot = fleet.hotspots()[0];
+    let mut grid_queries = Vec::new();
+    for ix in 0..6 {
+        for iy in 0..6 {
+            for it in 0..4 {
+                let centre = Point::new(
+                    hot.0 - 0.15 + 0.05 * f64::from(ix),
+                    hot.1 - 0.15 + 0.05 * f64::from(iy),
+                    universe.min().t + universe.extent(2) * (0.2 + 0.2 * f64::from(it)),
+                );
+                grid_queries.push(Cuboid::from_centroid(
+                    centre,
+                    QuerySize::new(0.05, 0.05, 3_600.0),
+                ));
+            }
+        }
+    }
+
+    // Corridor sweeps: four region-scale, multi-day queries.
+    let sweep_queries: Vec<Cuboid> = (0..4)
+        .map(|i| {
+            Cuboid::from_centroid(
+                Point::new(
+                    universe.centroid().x,
+                    universe.centroid().y,
+                    universe.min().t + universe.extent(2) * (0.2 + 0.2 * f64::from(i)),
+                ),
+                QuerySize::new(
+                    universe.extent(0) * 0.7,
+                    universe.extent(1) * 0.7,
+                    universe.extent(2) * 0.3,
+                ),
+            )
+        })
+        .collect();
+
+    let grid = run_class(&store, &grid_queries, fine);
+    let sweep = run_class(&store, &sweep_queries, fine);
+    println!(
+        "grid statistics : {} queries, {} records, {:.0} ms simulated — routed fine/coarse = {}/{}",
+        grid_queries.len(),
+        grid.records,
+        grid.sim_ms,
+        grid.fine_hits,
+        grid.coarse_hits
+    );
+    println!(
+        "corridor sweeps : {} queries, {} records, {:.0} ms simulated — routed fine/coarse = {}/{}",
+        sweep_queries.len(),
+        sweep.records,
+        sweep.sim_ms,
+        sweep.fine_hits,
+        sweep.coarse_hits
+    );
+
+    // What would each class have cost pinned to the "wrong" replica?
+    let mut wrong = 0.0;
+    for q in &grid_queries {
+        wrong += store.query_on(coarse, q).expect("query").sim_ms;
+    }
+    println!(
+        "grid statistics pinned to the coarse replica would cost {:.0} ms ({:.1}× routed)",
+        wrong,
+        wrong / grid.sim_ms
+    );
+    let mut wrong = 0.0;
+    for q in &sweep_queries {
+        wrong += store.query_on(fine, q).expect("query").sim_ms;
+    }
+    println!(
+        "corridor sweeps pinned to the fine replica would cost {:.0} ms ({:.1}× routed)",
+        wrong,
+        wrong / sweep.sim_ms
+    );
+}

@@ -1,0 +1,185 @@
+//! End-to-end integration: generate → calibrate → estimate → select →
+//! build → query, across every crate in the workspace.
+
+use blot::core::prelude::*;
+use blot::mip::MipSolver;
+use blot::storage::MemBackend;
+use blot::tracegen::FleetConfig;
+
+fn fleet() -> FleetConfig {
+    let mut c = FleetConfig::small();
+    c.num_taxis = 100;
+    c.records_per_taxi = 200;
+    c
+}
+
+#[test]
+fn full_pipeline_selects_builds_and_answers() {
+    let config = fleet();
+    let data = config.generate();
+    let universe = config.universe();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 0xE2E);
+
+    // Selection over a small candidate grid.
+    let candidates = ReplicaConfig::grid(&SchemeSpec::small_grid(), &EncodingScheme::all());
+    let workload = Workload::paper_synthetic(&universe);
+    let matrix = CostMatrix::estimate(&model, &workload, &candidates, &data, universe);
+
+    let (single_idx, single_cost) = matrix.optimal_single();
+    let budget = 3.0 * matrix.storage[single_idx];
+    let greedy = select_greedy(&matrix, budget);
+    let mip = select_mip(&matrix, budget, &MipSolver::default()).expect("mip");
+    let ideal = ideal_cost(&matrix);
+
+    // The paper's headline orderings.
+    assert!(mip.workload_cost <= greedy.workload_cost + 1e-9);
+    assert!(greedy.workload_cost <= single_cost + 1e-9);
+    assert!(ideal <= mip.workload_cost + 1e-9);
+    assert!(mip.storage <= budget + 1.0);
+    assert!(greedy.storage <= budget + 1.0);
+    assert!(
+        greedy.chosen.len() > 1,
+        "budget for 3 copies must buy diversity"
+    );
+
+    // Build the MIP-chosen replicas and answer concrete queries of every
+    // workload group against the oracle.
+    let mut store = BlotStore::new(MemBackend::new(), env, universe, model);
+    for &j in &mip.chosen {
+        store
+            .build_replica(&data, candidates[j])
+            .expect("build replica");
+    }
+    assert_eq!(store.replicas().len(), mip.chosen.len());
+    for (gi, (q, _)) in workload.entries().iter().enumerate() {
+        let range = q.at(&universe, 0.4, 0.6, 0.5);
+        let result = store.query(&range).expect("query");
+        let expected = data.count_in_range(&range);
+        assert_eq!(result.records.len(), expected, "group {gi}");
+        assert!(result.records.iter().all(|r| r.in_range(&range)));
+    }
+}
+
+#[test]
+fn dominance_pruning_preserves_the_optimum_end_to_end() {
+    let config = fleet();
+    let data = config.generate();
+    let universe = config.universe();
+    let model = CostModel::calibrate(&EnvProfile::cloud_object_store(), &data, 0xD0);
+    let candidates = ReplicaConfig::grid(&SchemeSpec::small_grid(), &EncodingScheme::all());
+    let workload = Workload::paper_synthetic(&universe);
+    let matrix = CostMatrix::estimate(&model, &workload, &candidates, &data, universe);
+
+    let kept = prune_dominated(&matrix);
+    assert!(
+        kept.len() < matrix.n_candidates(),
+        "some candidates must be dominated"
+    );
+
+    let sub = CostMatrix {
+        costs: matrix
+            .costs
+            .iter()
+            .map(|row| kept.iter().map(|&j| row[j]).collect())
+            .collect(),
+        weights: matrix.weights.clone(),
+        storage: kept.iter().map(|&j| matrix.storage[j]).collect(),
+    };
+    let budget = 3.0 * matrix.storage[matrix.optimal_single().0];
+    let full = select_mip(&matrix, budget, &MipSolver::default()).expect("full mip");
+    let pruned = select_mip(&sub, budget, &MipSolver::default()).expect("pruned mip");
+    let rel = (full.workload_cost - pruned.workload_cost).abs() / full.workload_cost;
+    assert!(
+        rel < 1e-9,
+        "pruning changed the optimum: {} vs {}",
+        full.workload_cost,
+        pruned.workload_cost
+    );
+}
+
+#[test]
+fn workload_grouping_compresses_query_logs() {
+    // A "query log" of 500 concrete queries drawn from 3 latent shapes
+    // compresses to 3 grouped queries whose weights recover the draw
+    // frequencies.
+    use blot::geo::QuerySize;
+    let mut log = Vec::new();
+    for i in 0..500 {
+        let shape = match i % 10 {
+            0..=5 => QuerySize::new(0.05, 0.05, 600.0),
+            6..=8 => QuerySize::new(0.5, 0.4, 7_200.0),
+            _ => QuerySize::new(1.8, 1.9, 80_000.0),
+        };
+        log.push(shape);
+    }
+    let grouped = blot::core::select::kmeans_group(&log, 3, 99);
+    assert_eq!(grouped.len(), 3);
+    let mut weights: Vec<f64> = grouped.entries().iter().map(|&(_, w)| w).collect();
+    weights.sort_by(f64::total_cmp);
+    assert_eq!(weights, vec![50.0, 150.0, 300.0]);
+}
+
+#[test]
+fn estimated_costs_rank_replicas_like_measured_costs() {
+    // The cost model only has to *rank* replicas correctly for routing
+    // and selection to work (§II-E). Check rank agreement between
+    // estimated and actually-simulated costs.
+    let config = fleet();
+    let data = config.generate();
+    let universe = config.universe();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 0xACC);
+
+    let configs = [
+        ReplicaConfig::new(
+            SchemeSpec::new(4, 2),
+            EncodingScheme::new(Layout::Row, Compression::Plain),
+        ),
+        ReplicaConfig::new(
+            SchemeSpec::new(16, 4),
+            EncodingScheme::new(Layout::Row, Compression::Lzf),
+        ),
+        ReplicaConfig::new(
+            SchemeSpec::new(64, 8),
+            EncodingScheme::new(Layout::Column, Compression::Deflate),
+        ),
+    ];
+    let mut store = BlotStore::new(MemBackend::new(), env, universe, model);
+    for c in configs {
+        store.build_replica(&data, c).expect("build");
+    }
+
+    let queries = [
+        Cuboid::from_centroid(universe.centroid(), QuerySize::new(0.05, 0.05, 500.0)),
+        Cuboid::from_centroid(
+            universe.centroid(),
+            QuerySize::new(0.8, 0.8, universe.extent(2) / 4.0),
+        ),
+        universe,
+    ];
+    let mut agreements = 0;
+    for q in &queries {
+        let predicted_best = store.route(q)[0];
+        let mut measured: Vec<(u32, f64)> = (0..3)
+            .map(|id| (id, store.query_on(id, q).expect("query").sim_ms))
+            .collect();
+        measured.sort_by(|a, b| a.1.total_cmp(&b.1));
+        if measured[0].0 == predicted_best {
+            agreements += 1;
+        } else {
+            // Allow near-ties: the predicted replica must be within 25%
+            // of the measured best.
+            let predicted_ms = store.query_on(predicted_best, q).expect("query").sim_ms;
+            assert!(
+                predicted_ms <= measured[0].1 * 1.25,
+                "routing picked a replica {}% worse than best",
+                (predicted_ms / measured[0].1 - 1.0) * 100.0
+            );
+        }
+    }
+    assert!(
+        agreements >= 2,
+        "routing should usually pick the measured-best replica"
+    );
+}
