@@ -1,6 +1,18 @@
 //! Criterion bench: exact-MIP solve time as instance size grows
 //! (Figure 3's microbenchmark).
 
+// Bench/driver code runs on data it constructs; panics here indicate a
+// harness bug, not a recoverable condition.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_core::select::{build_selection_problem, CostMatrix};
 use blot_mip::MipSolver;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,6 +1,18 @@
 //! Criterion bench: k-d scheme construction, partitioning-index lookup
 //! and the Equation 11 expected-involvement computation.
 
+// Bench/driver code runs on data it constructs; panics here indicate a
+// harness bug, not a recoverable condition.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_core::cost::CostModel;
 use blot_geo::{Cuboid, QuerySize};
 use blot_index::{PartitioningScheme, SchemeSpec};

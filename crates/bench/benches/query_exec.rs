@@ -1,6 +1,18 @@
 //! Criterion bench: end-to-end query execution through the BLOT store
 //! (routing + map-only scan + filter), per replica shape and query size.
 
+// Bench/driver code runs on data it constructs; panics here indicate a
+// harness bug, not a recoverable condition.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_core::prelude::*;
 use blot_storage::MemBackend;
 use blot_tracegen::FleetConfig;

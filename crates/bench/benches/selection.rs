@@ -1,6 +1,18 @@
 //! Criterion bench: the selection pipeline on a paper-shaped instance —
 //! matrix estimation, dominance pruning, greedy, and warm-started MIP.
 
+// Bench/driver code runs on data it constructs; panics here indicate a
+// harness bug, not a recoverable condition.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_codec::EncodingScheme;
 use blot_core::cost::CostModel;
 use blot_core::prelude::*;

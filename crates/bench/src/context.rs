@@ -19,6 +19,7 @@ pub enum Scale {
 
 /// Everything the experiments share: deterministic sample data, the
 /// universe, and one calibrated cost model per execution environment.
+#[derive(Debug)]
 pub struct Context {
     /// Run scale.
     pub scale: Scale,

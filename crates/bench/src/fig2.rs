@@ -12,12 +12,11 @@
 use blot_codec::{Compression, EncodingScheme, Layout};
 use blot_geo::Cuboid;
 use blot_index::{PartitioningScheme, SchemeSpec};
-use serde::Serialize;
 
 use crate::Context;
 
 /// One partitioning case of the comparison.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig2Case {
     /// Scheme label.
     pub scheme: String,
@@ -32,7 +31,7 @@ pub struct Fig2Case {
 }
 
 /// The three-case comparison.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig2Result {
     /// Coarse / medium / fine, in that order.
     pub cases: Vec<Fig2Case>,

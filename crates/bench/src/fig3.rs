@@ -12,13 +12,12 @@ use blot_core::select::{build_selection_problem, CostMatrix};
 use blot_mip::MipSolver;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 use std::time::Duration;
 
 use crate::{Context, Scale};
 
 /// One measured point of the sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig3Point {
     /// Number of grouped queries `n`.
     pub queries: usize,
@@ -33,7 +32,7 @@ pub struct Fig3Point {
 }
 
 /// Both sweeps of Figure 3.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig3Result {
     /// 3(a): varying workload size at fixed replica counts.
     pub vary_queries: Vec<Fig3Point>,

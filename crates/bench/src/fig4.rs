@@ -5,13 +5,12 @@ use blot_codec::EncodingScheme;
 use blot_core::prelude::*;
 use blot_core::select::{ideal_cost, select_greedy, select_mip, select_single};
 use blot_mip::MipSolver;
-use serde::Serialize;
 use std::time::Duration;
 
 use crate::Context;
 
 /// One budget point.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig4Row {
     /// Budget relative to the reference (3 copies of the optimal single
     /// replica).
@@ -27,7 +26,7 @@ pub struct Fig4Row {
 }
 
 /// The full budget sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig4Result {
     /// Unconstrained lower bound (every candidate available).
     pub ideal: f64,

@@ -2,12 +2,11 @@
 //! fitted straight lines of the cost model.
 
 use blot_core::cost::{CalibrationConfig, CostModel, MeasurePoint};
-use serde::Serialize;
 
 use crate::{Context, Scale};
 
 /// Measurement points and fitted parameters for one environment.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig5Env {
     /// Environment name.
     pub env: String,
@@ -20,7 +19,7 @@ pub struct Fig5Env {
 }
 
 /// Figure 5 for both environments.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig5Result {
     /// Sub-figures (a)/(c): the cloud environment.
     pub cloud: Fig5Env,

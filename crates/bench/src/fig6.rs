@@ -5,13 +5,12 @@ use blot_codec::EncodingScheme;
 use blot_core::prelude::*;
 use blot_core::select::{select_greedy, select_mip, select_single, Selection};
 use blot_mip::MipSolver;
-use serde::Serialize;
 use std::time::Duration;
 
 use crate::Context;
 
 /// Results at one dataset scale.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig6Scale {
     /// Nominal dataset size in GB (the paper's 3.7 / 37 / 370 / 3700).
     pub gb: f64,
@@ -30,7 +29,7 @@ pub struct Fig6Scale {
 }
 
 /// The four-scale sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig6Result {
     /// One entry per dataset scale.
     pub scales: Vec<Fig6Scale>,

@@ -1,0 +1,195 @@
+//! JSON emission for the result files under `results/`.
+//!
+//! Hand-written [`ToJson`] impls replacing the former serde derives;
+//! field names match the previous serde output so existing tooling
+//! that reads `results/*.json` keeps working.
+
+use crate::fig5::Fig5Env;
+use crate::{
+    Fig2Case, Fig2Result, Fig3Point, Fig3Result, Fig4Result, Fig4Row, Fig5Result, Fig6Result,
+    Fig6Scale, Table1Result, Table2Result, Table2Row,
+};
+use blot_core::cost::MeasurePoint;
+use blot_json::{Json, ToJson};
+
+impl ToJson for Table1Result {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "ratios",
+            Json::Arr(
+                self.ratios
+                    .iter()
+                    .map(|(name, ratio)| Json::Arr(vec![name.to_json(), Json::Num(*ratio)]))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl ToJson for Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheme", self.scheme.to_json()),
+            (
+                "inv_scan_rate_ms_per_10k",
+                Json::Num(self.inv_scan_rate_ms_per_10k),
+            ),
+            ("extra_cost_ms", Json::Num(self.extra_cost_ms)),
+        ])
+    }
+}
+
+impl ToJson for Table2Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cloud", self.cloud.to_json()),
+            ("local", self.local.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig2Case {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheme", self.scheme.to_json()),
+            ("partitions", self.partitions.to_json()),
+            ("involved", self.involved.to_json()),
+            ("scanned_fraction", Json::Num(self.scanned_fraction)),
+            ("est_cost_ms", Json::Num(self.est_cost_ms)),
+        ])
+    }
+}
+
+impl ToJson for Fig2Result {
+    fn to_json(&self) -> Json {
+        Json::obj([("cases", self.cases.to_json())])
+    }
+}
+
+impl ToJson for Fig3Point {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("queries", self.queries.to_json()),
+            ("replicas", self.replicas.to_json()),
+            ("solve_ms", Json::Num(self.solve_ms)),
+            ("nodes", self.nodes.to_json()),
+            ("proven", self.proven.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig3Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("vary_queries", self.vary_queries.to_json()),
+            ("vary_replicas", self.vary_replicas.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig4Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("relative_budget", Json::Num(self.relative_budget)),
+            ("single", Json::Num(self.single)),
+            ("greedy", Json::Num(self.greedy)),
+            ("mip", Json::Num(self.mip)),
+            ("mip_proven", self.mip_proven.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig4Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ideal", Json::Num(self.ideal)),
+            (
+                "candidates_after_pruning",
+                self.candidates_after_pruning.to_json(),
+            ),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+fn measure_point_json(m: &MeasurePoint) -> Json {
+    // `MeasurePoint` lives in blot-core, which stays JSON-agnostic; the
+    // orphan rule sends this impl here as a free function.
+    Json::obj([
+        ("scheme", Json::Str(m.scheme.to_string())),
+        ("records", m.records.to_json()),
+        ("avg_ms", Json::Num(m.avg_ms)),
+    ])
+}
+
+impl ToJson for Fig5Env {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("env", self.env.to_json()),
+            (
+                "points",
+                Json::Arr(self.points.iter().map(measure_point_json).collect()),
+            ),
+            (
+                "fits",
+                Json::Arr(
+                    self.fits
+                        .iter()
+                        .map(|(scheme, slope, intercept)| {
+                            Json::Arr(vec![
+                                scheme.to_json(),
+                                Json::Num(*slope),
+                                Json::Num(*intercept),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "r_squared",
+                Json::Arr(
+                    self.r_squared
+                        .iter()
+                        .map(|(scheme, r2)| Json::Arr(vec![scheme.to_json(), Json::Num(*r2)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig5Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cloud", self.cloud.to_json()),
+            ("local", self.local.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Fig6Scale {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("gb", Json::Num(self.gb)),
+            ("records", Json::Num(self.records)),
+            ("single", self.single.to_json()),
+            ("greedy", self.greedy.to_json()),
+            ("mip", self.mip.to_json()),
+            ("ideal", self.ideal.to_json()),
+            (
+                "ratios",
+                Json::Arr(vec![
+                    Json::Num(self.ratios.0),
+                    Json::Num(self.ratios.1),
+                    Json::Num(self.ratios.2),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig6Result {
+    fn to_json(&self) -> Json {
+        Json::obj([("scales", self.scales.to_json())])
+    }
+}

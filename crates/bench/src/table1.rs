@@ -1,13 +1,12 @@
 //! Table I: compression ratio of every encoding scheme.
 
 use blot_codec::{Compression, EncodingScheme, Layout};
-use serde::Serialize;
 
 use crate::Context;
 
 /// Compression ratios relative to the uncompressed row layout, in the
 /// paper's Table I arrangement.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table1Result {
     /// `(scheme name, ratio)` for all seven schemes.
     pub ratios: Vec<(String, f64)>,

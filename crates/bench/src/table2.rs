@@ -2,12 +2,11 @@
 //! both execution environments.
 
 use blot_codec::EncodingScheme;
-use serde::Serialize;
 
 use crate::Context;
 
 /// One row of Table II.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table2Row {
     /// Encoding scheme name.
     pub scheme: String,
@@ -19,7 +18,7 @@ pub struct Table2Row {
 }
 
 /// Table II for both environments.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table2Result {
     /// Amazon-S3 + EMR style environment.
     pub cloud: Vec<Table2Row>,

@@ -11,6 +11,11 @@ pub struct Args {
 
 impl Args {
     /// Parses `--key value` pairs and bare `--switch` flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a positional (non-`--`) argument is
+    /// encountered; the CLI takes flags only.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
         let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
         let mut switches = Vec::new();
@@ -19,12 +24,9 @@ impl Args {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument `{arg}`"));
             };
-            match it.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let v = it.next().expect("peeked").clone();
-                    values.entry(key.to_owned()).or_default().push(v);
-                }
-                _ => switches.push(key.to_owned()),
+            match it.next_if(|next| !next.starts_with("--")) {
+                Some(v) => values.entry(key.to_owned()).or_default().push(v.clone()),
+                None => switches.push(key.to_owned()),
             }
         }
         Ok(Self { values, switches })
@@ -52,12 +54,21 @@ impl Args {
     }
 
     /// Required `--key value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when `--key` was not given.
     pub fn require(&self, key: &str) -> Result<&str, String> {
         self.get(key)
             .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Optional `--key value` parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present but its value does
+    /// not parse as `T`.
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         self.get(key)
             .map(|v| {

@@ -113,9 +113,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn universe_for(batch: &RecordBatch) -> Cuboid {
+fn universe_for(batch: &RecordBatch) -> Result<Cuboid, String> {
     // A tight bounding box breaks future inserts on the boundary; pad 1%.
-    let bb = batch.bounding_box().expect("non-empty data");
+    let bb = batch
+        .bounding_box()
+        .ok_or_else(|| "dataset is empty".to_owned())?;
     let pad = |lo: f64, hi: f64| {
         let d = (hi - lo).max(1e-9) * 0.01;
         (lo - d, hi + d)
@@ -123,7 +125,7 @@ fn universe_for(batch: &RecordBatch) -> Cuboid {
     let (x0, x1) = pad(bb.min().x, bb.max().x);
     let (y0, y1) = pad(bb.min().y, bb.max().y);
     let (t0, t1) = pad(bb.min().t, bb.max().t);
-    Cuboid::new(Point::new(x0, y0, t0), Point::new(x1, y1, t1))
+    Ok(Cuboid::new(Point::new(x0, y0, t0), Point::new(x1, y1, t1)))
 }
 
 fn cmd_build(args: &Args) -> Result<(), String> {
@@ -142,7 +144,7 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     if data.is_empty() {
         return Err("input data is empty".into());
     }
-    let universe = universe_for(&data);
+    let universe = universe_for(&data)?;
     let model = CostModel::calibrate(&env, &data, 0xB107);
     let backend = FileBackend::new(store_dir).map_err(|e| e.to_string())?;
     let mut store = BlotStore::new(backend, env, universe, model);
@@ -150,12 +152,13 @@ fn cmd_build(args: &Args) -> Result<(), String> {
         let id = store
             .build_replica(&data, *config)
             .map_err(|e| e.to_string())?;
-        let r = &store.replicas()[id as usize];
-        println!(
-            "built replica {id}: {config} — {} units, {:.1} KiB",
-            r.scheme.len(),
-            r.bytes as f64 / 1024.0
-        );
+        if let Some(r) = store.replicas().get(id as usize) {
+            println!(
+                "built replica {id}: {config} — {} units, {:.1} KiB",
+                r.scheme.len(),
+                r.bytes as f64 / 1024.0
+            );
+        }
     }
     Manifest::from_store(&store).save(store_dir)?;
     println!(
@@ -260,7 +263,7 @@ fn cmd_select(args: &Args) -> Result<(), String> {
     if data.is_empty() {
         return Err("input data is empty".into());
     }
-    let universe = universe_for(&data);
+    let universe = universe_for(&data)?;
     let model = CostModel::calibrate(&env, &data, 0xB107);
     let candidates = ReplicaConfig::grid(&SchemeSpec::paper_grid(), &EncodingScheme::all());
     let workload = Workload::paper_synthetic(&universe);
@@ -271,7 +274,12 @@ fn cmd_select(args: &Args) -> Result<(), String> {
     let matrix =
         CostMatrix::estimate_scaled(&model, &workload, &candidates, &data, universe, records);
     let copies = args.get_parsed::<f64>("budget-copies")?.unwrap_or(3.0);
-    let budget = copies * matrix.storage[matrix.optimal_single().0];
+    let budget = copies
+        * matrix
+            .storage
+            .get(matrix.optimal_single().0)
+            .copied()
+            .unwrap_or(0.0);
     let kept = prune_dominated(&matrix);
     println!(
         "{} candidates ({} after dominance pruning), budget = {:.2} GiB",
@@ -292,11 +300,10 @@ fn cmd_select(args: &Args) -> Result<(), String> {
         selection.workload_cost / ideal
     );
     for &j in &selection.chosen {
-        println!(
-            "  {} — {:.2} GiB",
-            candidates[j],
-            matrix.storage[j] / (1024.0 * 1024.0 * 1024.0)
-        );
+        let (Some(cand), Some(&stored)) = (candidates.get(j), matrix.storage.get(j)) else {
+            continue;
+        };
+        println!("  {cand} — {:.2} GiB", stored / (1024.0 * 1024.0 * 1024.0));
     }
     Ok(())
 }

@@ -5,12 +5,11 @@ use blot_core::prelude::*;
 use blot_core::store::BlotStore;
 use blot_geo::Cuboid;
 use blot_index::PartitioningScheme;
+use blot_json::{FromJson, Json, JsonError, ToJson};
 use blot_storage::{Backend, FileBackend};
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// One replica's persisted metadata.
-#[derive(Serialize, Deserialize)]
 struct ReplicaEntry {
     config: ReplicaConfig,
     scheme: PartitioningScheme,
@@ -18,12 +17,67 @@ struct ReplicaEntry {
     bytes: u64,
 }
 
+impl ToJson for ReplicaEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            // `ReplicaConfig` has a lossless Display/FromStr pair
+            // (`S16xT8/ROW-LZF`); persist that form.
+            ("config", Json::Str(self.config.to_string())),
+            ("scheme", self.scheme.to_json()),
+            ("records", self.records.to_json()),
+            ("bytes", self.bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ReplicaEntry {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let config: ReplicaConfig = value
+            .field("config")?
+            .as_str()
+            .ok_or_else(|| JsonError::shape("replica config must be a string"))?
+            .parse()
+            .map_err(JsonError::shape)?;
+        let scheme = PartitioningScheme::from_json(value.field("scheme")?)?;
+        if scheme.spec() != config.spec {
+            return Err(JsonError::shape(format!(
+                "scheme shape {} does not match replica config {}",
+                scheme.spec(),
+                config
+            )));
+        }
+        Ok(Self {
+            config,
+            scheme,
+            records: u64::from_json(value.field("records")?)?,
+            bytes: u64::from_json(value.field("bytes")?)?,
+        })
+    }
+}
+
 /// `manifest.json`: universe + replica metadata (schemes included, so
 /// reopening needs no data and no rebuild).
-#[derive(Serialize, Deserialize)]
 pub struct Manifest {
     universe: Cuboid,
     replicas: Vec<ReplicaEntry>,
+}
+
+impl ToJson for Manifest {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("universe", self.universe.to_json()),
+            ("replicas", self.replicas.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Manifest {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            universe: Cuboid::from_json(value.field("universe")?)?,
+            replicas: Vec::<ReplicaEntry>::from_json(value.field("replicas")?)?,
+        })
+    }
 }
 
 impl Manifest {
@@ -45,18 +99,28 @@ impl Manifest {
     }
 
     /// Writes `manifest.json` into the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file cannot be written.
     pub fn save(&self, dir: &str) -> Result<(), String> {
-        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        let json = self.to_json().pretty();
         std::fs::write(Path::new(dir).join("manifest.json"), json)
             .map_err(|e| format!("cannot write manifest: {e}"))
     }
 
     /// Reads `manifest.json` from a store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file is unreadable, not valid JSON, or
+    /// not a structurally valid manifest.
     pub fn load(dir: &str) -> Result<Self, String> {
         let path = Path::new(dir).join("manifest.json");
         let json = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        serde_json::from_str(&json).map_err(|e| format!("corrupt manifest: {e}"))
+        let tree = Json::parse(&json).map_err(|e| format!("corrupt manifest: {e}"))?;
+        Self::from_json(&tree).map_err(|e| format!("corrupt manifest: {e}"))
     }
 
     /// Opens the store: attaches the file backend and restores every
@@ -66,6 +130,11 @@ impl Manifest {
     /// sample read back out of the first replica's units (the store
     /// carries no raw data); if that fails, a flat default model is used
     /// — routing degrades gracefully to partition-count ranking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file backend cannot attach to `dir`
+    /// or a replica's metadata cannot be restored.
     pub fn open(self, dir: &str, env: EnvProfile) -> Result<BlotStore<FileBackend>, String> {
         let backend = FileBackend::new(dir).map_err(|e| e.to_string())?;
         // Rebuild a routing model from one storage unit's records.
@@ -87,7 +156,9 @@ impl Manifest {
         };
         let mut store = BlotStore::new(backend, env, self.universe, model);
         for r in self.replicas {
-            store.restore_replica(r.config, r.scheme, r.records, r.bytes);
+            store
+                .restore_replica(r.config, r.scheme, r.records, r.bytes)
+                .map_err(|e| e.to_string())?;
         }
         Ok(store)
     }

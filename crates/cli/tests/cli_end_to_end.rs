@@ -1,6 +1,17 @@
 //! End-to-end exercise of the `blot` binary: generate → build → info →
 //! query → scrub → (damage) → repair.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use std::path::PathBuf;
 use std::process::Command;
 

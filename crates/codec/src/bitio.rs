@@ -25,7 +25,7 @@ impl BitWriter {
     pub fn write_bits(&mut self, bits: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
         for i in 0..count {
-            let bit = ((bits >> i) & 1) as u8;
+            let bit = u8::from((bits >> i) & 1 != 0);
             self.current |= bit << self.bit_pos;
             self.bit_pos += 1;
             if self.bit_pos == 8 {
@@ -44,7 +44,7 @@ impl BitWriter {
     /// Number of bits written so far.
     #[must_use]
     pub fn bit_len(&self) -> usize {
-        self.buf.len() * 8 + self.bit_pos as usize
+        self.buf.len() * 8 + usize::try_from(self.bit_pos).unwrap_or(0)
     }
 
     /// Pads the final partial byte with zeros and returns the buffer.
@@ -89,12 +89,12 @@ impl<'a> BitReader<'a> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
         let mut out = 0u64;
         for i in 0..count {
-            if self.byte_pos >= self.buf.len() {
+            let Some(&byte) = self.buf.get(self.byte_pos) else {
                 return Err(CodecError::UnexpectedEof {
                     context: "bit stream",
                 });
-            }
-            let bit = u64::from((self.buf[self.byte_pos] >> self.bit_pos) & 1);
+            };
+            let bit = u64::from((byte >> self.bit_pos) & 1);
             out |= bit << i;
             self.bit_pos += 1;
             if self.bit_pos == 8 {
@@ -117,7 +117,7 @@ impl<'a> BitReader<'a> {
     /// Number of bits consumed so far.
     #[must_use]
     pub fn bits_read(&self) -> usize {
-        self.byte_pos * 8 + self.bit_pos as usize
+        self.byte_pos * 8 + usize::try_from(self.bit_pos).unwrap_or(0)
     }
 }
 

@@ -100,32 +100,35 @@ const DIST_TABLE: [(u32, u8); 30] = [
 
 fn length_symbol(len: usize) -> (u16, u8, u16) {
     debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
-    let mut slot = LEN_TABLE.len() - 1;
-    for (i, &(base, _)) in LEN_TABLE.iter().enumerate() {
-        if usize::from(base) > len {
-            slot = i - 1;
-            break;
-        }
-    }
-    // Length 258 has its own dedicated final slot.
-    if len == usize::from(LEN_TABLE[28].0) {
-        slot = 28;
-    }
-    let (base, extra) = LEN_TABLE[slot];
-    (257 + slot as u16, extra, (len - usize::from(base)) as u16)
+    // Length 258 belongs to the dedicated final slot, not the longest
+    // extra-bits range; for every other length take the last slot whose
+    // base does not exceed it.
+    let slot = LEN_TABLE
+        .iter()
+        .rposition(|&(base, _)| usize::from(base) <= len)
+        .unwrap_or(0);
+    let (base, extra) = LEN_TABLE.get(slot).copied().unwrap_or((3, 0));
+    (
+        // slot < 29 and the offset fits the slot's extra bits.
+        257 + u16::try_from(slot).unwrap_or(28),
+        extra,
+        u16::try_from(len.saturating_sub(usize::from(base))).unwrap_or(u16::MAX),
+    )
 }
 
 fn dist_symbol(dist: usize) -> (u16, u8, u32) {
     debug_assert!((1..=WINDOW).contains(&dist));
-    let mut slot = DIST_TABLE.len() - 1;
-    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
-        if base as usize > dist {
-            slot = i - 1;
-            break;
-        }
-    }
-    let (base, extra) = DIST_TABLE[slot];
-    (slot as u16, extra, (dist - base as usize) as u32)
+    let slot = DIST_TABLE
+        .iter()
+        .rposition(|&(base, _)| base as usize <= dist)
+        .unwrap_or(0);
+    let (base, extra) = DIST_TABLE.get(slot).copied().unwrap_or((1, 0));
+    (
+        // slot < 30 and the offset fits the slot's extra bits.
+        u16::try_from(slot).unwrap_or(29),
+        extra,
+        u32::try_from(dist.saturating_sub(base as usize)).unwrap_or(u32::MAX),
+    )
 }
 
 enum Token {
@@ -150,7 +153,8 @@ fn lz_parse(data: &[u8]) -> Vec<Token> {
                 pos += m.len;
             }
             None => {
-                tokens.push(Token::Literal(data[pos]));
+                let Some(&b) = data.get(pos) else { break };
+                tokens.push(Token::Literal(b));
                 mf.insert(data, pos);
                 pos += 1;
             }
@@ -167,13 +171,18 @@ pub fn deflate_compress(data: &[u8]) -> Vec<u8> {
     // Gather symbol statistics.
     let mut lit_freq = vec![0u64; LITLEN_SYMBOLS];
     let mut dist_freq = vec![0u64; DIST_SYMBOLS];
-    lit_freq[usize::from(EOB)] = 1;
+    let bump = |freq: &mut Vec<u64>, sym: usize| {
+        if let Some(f) = freq.get_mut(sym) {
+            *f += 1;
+        }
+    };
+    bump(&mut lit_freq, usize::from(EOB));
     for t in &tokens {
         match *t {
-            Token::Literal(b) => lit_freq[usize::from(b)] += 1,
+            Token::Literal(b) => bump(&mut lit_freq, usize::from(b)),
             Token::Match { len, dist } => {
-                lit_freq[usize::from(length_symbol(len).0)] += 1;
-                dist_freq[usize::from(dist_symbol(dist).0)] += 1;
+                bump(&mut lit_freq, usize::from(length_symbol(len).0));
+                bump(&mut dist_freq, usize::from(dist_symbol(dist).0));
             }
         }
     }
@@ -221,24 +230,33 @@ pub fn deflate_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     if declared > (1 << 30) {
         return Err(CodecError::TooLarge { declared });
     }
-    let declared = declared as usize;
-    let header_len = read_varint_u64(buf, &mut pos)? as usize;
+    let declared = usize::try_from(declared).map_err(|_| CodecError::TooLarge { declared })?;
+    let header_len =
+        usize::try_from(read_varint_u64(buf, &mut pos)?).map_err(|_| CodecError::Corrupt {
+            context: "deflate header length",
+        })?;
     let header_end = pos
         .checked_add(header_len)
         .filter(|&e| e <= buf.len())
         .ok_or(CodecError::UnexpectedEof {
             context: "deflate header",
         })?;
-    let header = rle_decode(&buf[pos..header_end])?;
+    let header = rle_decode(buf.get(pos..header_end).unwrap_or_default())?;
     if header.len() != LITLEN_SYMBOLS + DIST_SYMBOLS {
         return Err(CodecError::Corrupt {
             context: "deflate header length",
         });
     }
-    let lit_dec = HuffmanDecoder::from_lengths(&header[..LITLEN_SYMBOLS]);
-    let dist_dec = HuffmanDecoder::from_lengths(&header[LITLEN_SYMBOLS..]);
+    let (lit_lengths, dist_lengths) =
+        header
+            .split_at_checked(LITLEN_SYMBOLS)
+            .ok_or(CodecError::Corrupt {
+                context: "deflate header length",
+            })?;
+    let lit_dec = HuffmanDecoder::from_lengths(lit_lengths);
+    let dist_dec = HuffmanDecoder::from_lengths(dist_lengths);
 
-    let mut r = BitReader::new(&buf[header_end..]);
+    let mut r = BitReader::new(buf.get(header_end..).unwrap_or_default());
     let mut out = Vec::with_capacity(declared);
     loop {
         let sym = lit_dec.decode(&mut r)?;
@@ -246,25 +264,21 @@ pub fn deflate_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
             break;
         }
         if sym < 256 {
-            out.push(sym as u8);
+            out.push(u8::try_from(sym).unwrap_or(u8::MAX));
             continue;
         }
         let slot = usize::from(sym) - 257;
-        if slot >= LEN_TABLE.len() {
-            return Err(CodecError::Corrupt {
-                context: "bad length symbol",
-            });
-        }
-        let (base, extra) = LEN_TABLE[slot];
-        let len = usize::from(base) + r.read_bits(u32::from(extra))? as usize;
+        let (base, extra) = LEN_TABLE.get(slot).copied().ok_or(CodecError::Corrupt {
+            context: "bad length symbol",
+        })?;
+        // At most 5 extra bits, so the value always fits in usize.
+        let len = usize::from(base) + usize::try_from(r.read_bits(u32::from(extra))?).unwrap_or(0);
         let dslot = usize::from(dist_dec.decode(&mut r)?);
-        if dslot >= DIST_TABLE.len() {
-            return Err(CodecError::Corrupt {
-                context: "bad distance symbol",
-            });
-        }
-        let (dbase, dextra) = DIST_TABLE[dslot];
-        let dist = dbase as usize + r.read_bits(u32::from(dextra))? as usize;
+        let (dbase, dextra) = DIST_TABLE.get(dslot).copied().ok_or(CodecError::Corrupt {
+            context: "bad distance symbol",
+        })?;
+        // At most 13 extra bits, so the value always fits in usize.
+        let dist = dbase as usize + usize::try_from(r.read_bits(u32::from(dextra))?).unwrap_or(0);
         if dist > out.len() {
             return Err(CodecError::BadReference {
                 offset: dist,
@@ -278,7 +292,13 @@ pub fn deflate_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
         }
         let start = out.len() - dist;
         for i in 0..len {
-            let b = out[start + i];
+            let b = out
+                .get(start + i)
+                .copied()
+                .ok_or(CodecError::BadReference {
+                    offset: dist,
+                    decoded_len: out.len(),
+                })?;
             out.push(b);
         }
     }

@@ -67,6 +67,23 @@ impl EncodingScheme {
     }
 }
 
+/// The `N`-byte field starting at `at` in `row`, as a fixed array.
+fn field<const N: usize>(row: &[u8], at: usize) -> Result<[u8; N], CodecError> {
+    at.checked_add(N)
+        .and_then(|end| row.get(at..end))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(CodecError::UnexpectedEof {
+            context: "record field",
+        })
+}
+
+/// The single byte at `at` in `row`.
+fn byte(row: &[u8], at: usize) -> Result<u8, CodecError> {
+    row.get(at).copied().ok_or(CodecError::UnexpectedEof {
+        context: "record field",
+    })
+}
+
 /// Streams fixed-width rows, keeping only in-range records.
 fn filter_rows(buf: &[u8], range: &Cuboid) -> Result<Filtered, CodecError> {
     let mut pos = 0usize;
@@ -74,40 +91,56 @@ fn filter_rows(buf: &[u8], range: &Cuboid) -> Result<Filtered, CodecError> {
     if count > (1 << 26) {
         return Err(CodecError::TooLarge { declared: count });
     }
-    let count = count as usize;
-    if buf.len() < pos + count * ROW_WIDTH {
-        return Err(CodecError::UnexpectedEof {
+    let count = usize::try_from(count).map_err(|_| CodecError::TooLarge { declared: count })?;
+    let rows = count
+        .checked_mul(ROW_WIDTH)
+        .and_then(|len| pos.checked_add(len))
+        .and_then(|end| buf.get(pos..end))
+        .ok_or(CodecError::UnexpectedEof {
             context: "row records",
-        });
-    }
+        })?;
     let mut matched = RecordBatch::new();
-    for i in 0..count {
-        let row = &buf[pos + i * ROW_WIDTH..pos + (i + 1) * ROW_WIDTH];
+    for row in rows.chunks_exact(ROW_WIDTH) {
         // Core attributes sit at fixed offsets: oid 0..4, time 4..12,
         // x 12..20, y 20..28.
-        let time = i64::from_le_bytes(row[4..12].try_into().expect("fixed width"));
-        let x = f64::from_le_bytes(row[12..20].try_into().expect("fixed width"));
-        let y = f64::from_le_bytes(row[20..28].try_into().expect("fixed width"));
+        let time = i64::from_le_bytes(field::<8>(row, 4)?);
+        let x = f64::from_le_bytes(field::<8>(row, 12)?);
+        let y = f64::from_le_bytes(field::<8>(row, 20)?);
         #[allow(clippy::cast_precision_loss)]
         let inside = range.contains_point(&blot_geo::Point::new(x, y, time as f64));
         if !inside {
             continue;
         }
         matched.push(Record {
-            oid: u32::from_le_bytes(row[0..4].try_into().expect("fixed width")),
+            oid: u32::from_le_bytes(field::<4>(row, 0)?),
             time,
             x,
             y,
-            speed: f32::from_le_bytes(row[28..32].try_into().expect("fixed width")),
-            heading: f32::from_le_bytes(row[32..36].try_into().expect("fixed width")),
-            occupied: row[36] != 0,
-            passengers: row[37],
+            speed: f32::from_le_bytes(field::<4>(row, 28)?),
+            heading: f32::from_le_bytes(field::<4>(row, 32)?),
+            occupied: byte(row, 36)? != 0,
+            passengers: byte(row, 37)?,
         });
     }
     Ok(Filtered {
         matched,
         scanned: count,
     })
+}
+
+/// Reads a length-prefixed column chunk and advances `pos` past it.
+fn read_chunk<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CodecError> {
+    let len = read_varint_u64(buf, pos)?;
+    let len = usize::try_from(len).map_err(|_| CodecError::TooLarge { declared: len })?;
+    let start = *pos;
+    let chunk = start
+        .checked_add(len)
+        .and_then(|end| buf.get(start..end))
+        .ok_or(CodecError::UnexpectedEof {
+            context: "column chunk",
+        })?;
+    *pos = start + len;
+    Ok(chunk)
 }
 
 /// Decodes core columns, masks, then materialises only matching rows.
@@ -117,49 +150,41 @@ fn filter_columns(buf: &[u8], range: &Cuboid) -> Result<Filtered, CodecError> {
     if count > (1 << 26) {
         return Err(CodecError::TooLarge { declared: count });
     }
-    let n = count as usize;
-
-    let read_chunk = |buf: &[u8], pos: &mut usize| -> Result<(usize, usize), CodecError> {
-        let len = read_varint_u64(buf, pos)?;
-        let len = usize::try_from(len).map_err(|_| CodecError::TooLarge { declared: len })?;
-        let start = *pos;
-        let end = start.checked_add(len).filter(|&e| e <= buf.len()).ok_or(
-            CodecError::UnexpectedEof {
-                context: "column chunk",
-            },
-        )?;
-        *pos = end;
-        Ok((start, end))
-    };
+    let n = usize::try_from(count).map_err(|_| CodecError::TooLarge { declared: count })?;
 
     // Column order matches layout::encode_columns:
     // oid, time, x, y, speed, heading, occupied, passengers.
-    let (oid_s, oid_e) = read_chunk(buf, &mut pos)?;
-    let (time_s, time_e) = read_chunk(buf, &mut pos)?;
-    let (x_s, x_e) = read_chunk(buf, &mut pos)?;
-    let (y_s, y_e) = read_chunk(buf, &mut pos)?;
-    let (sp_s, sp_e) = read_chunk(buf, &mut pos)?;
-    let (hd_s, hd_e) = read_chunk(buf, &mut pos)?;
-    let (oc_s, oc_e) = read_chunk(buf, &mut pos)?;
-    let (pa_s, pa_e) = read_chunk(buf, &mut pos)?;
+    let oid_c = read_chunk(buf, &mut pos)?;
+    let time_c = read_chunk(buf, &mut pos)?;
+    let x_c = read_chunk(buf, &mut pos)?;
+    let y_c = read_chunk(buf, &mut pos)?;
+    let sp_c = read_chunk(buf, &mut pos)?;
+    let hd_c = read_chunk(buf, &mut pos)?;
+    let oc_c = read_chunk(buf, &mut pos)?;
+    let pa_c = read_chunk(buf, &mut pos)?;
 
     // Core columns first.
     let mut times = Vec::with_capacity(n);
     {
-        let chunk = &buf[time_s..time_e];
         let mut cpos = 0usize;
         let mut prev = 0i64;
         for _ in 0..n {
-            prev = prev.wrapping_add(read_varint_i64(chunk, &mut cpos)?);
+            prev = prev.wrapping_add(read_varint_i64(time_c, &mut cpos)?);
             times.push(prev);
         }
     }
-    let xs = crate::gorilla::decode_f64_column(&buf[x_s..x_e], n)?;
-    let ys = crate::gorilla::decode_f64_column(&buf[y_s..y_e], n)?;
+    let xs = crate::gorilla::decode_f64_column(x_c, n)?;
+    let ys = crate::gorilla::decode_f64_column(y_c, n)?;
 
-    #[allow(clippy::cast_precision_loss)]
-    let mask: Vec<bool> = (0..n)
-        .map(|i| range.contains_point(&blot_geo::Point::new(xs[i], ys[i], times[i] as f64)))
+    let mask: Vec<bool> = xs
+        .iter()
+        .zip(&ys)
+        .zip(&times)
+        .map(|((&x, &y), &t)| {
+            #[allow(clippy::cast_precision_loss)]
+            let t = t as f64;
+            range.contains_point(&blot_geo::Point::new(x, y, t))
+        })
         .collect();
     let matched_count = mask.iter().filter(|&&m| m).count();
     if matched_count == 0 {
@@ -172,21 +197,20 @@ fn filter_columns(buf: &[u8], range: &Cuboid) -> Result<Filtered, CodecError> {
     // Remaining columns, then gather by mask.
     let mut oids = Vec::with_capacity(n);
     {
-        let chunk = &buf[oid_s..oid_e];
         let mut cpos = 0usize;
         let mut prev = 0i64;
         for _ in 0..n {
-            prev += read_varint_i64(chunk, &mut cpos)?;
+            prev += read_varint_i64(oid_c, &mut cpos)?;
             let oid = u32::try_from(prev).map_err(|_| CodecError::Corrupt {
                 context: "oid column out of range",
             })?;
             oids.push(oid);
         }
     }
-    let speeds = crate::gorilla::decode_f32_column(&buf[sp_s..sp_e], n)?;
-    let headings = crate::gorilla::decode_f32_column(&buf[hd_s..hd_e], n)?;
-    let occ = crate::rle::rle_decode(&buf[oc_s..oc_e])?;
-    let passengers = crate::rle::rle_decode(&buf[pa_s..pa_e])?;
+    let speeds = crate::gorilla::decode_f32_column(sp_c, n)?;
+    let headings = crate::gorilla::decode_f32_column(hd_c, n)?;
+    let occ = crate::rle::rle_decode(oc_c)?;
+    let passengers = crate::rle::rle_decode(pa_c)?;
     if occ.len() != n || passengers.len() != n {
         return Err(CodecError::Corrupt {
             context: "column length mismatch",
@@ -194,17 +218,25 @@ fn filter_columns(buf: &[u8], range: &Cuboid) -> Result<Filtered, CodecError> {
     }
 
     let mut matched = RecordBatch::with_capacity(matched_count);
-    for i in 0..n {
-        if mask[i] {
+    let cols = oids
+        .into_iter()
+        .zip(times)
+        .zip(xs.into_iter().zip(ys))
+        .zip(speeds.into_iter().zip(headings))
+        .zip(occ.into_iter().zip(passengers));
+    for (&keep, ((((oid, time), (x, y)), (speed, heading)), (occupied, passengers))) in
+        mask.iter().zip(cols)
+    {
+        if keep {
             matched.push(Record {
-                oid: oids[i],
-                time: times[i],
-                x: xs[i],
-                y: ys[i],
-                speed: speeds[i],
-                heading: headings[i],
-                occupied: occ[i] != 0,
-                passengers: passengers[i],
+                oid,
+                time,
+                x,
+                y,
+                speed,
+                heading,
+                occupied: occupied != 0,
+                passengers,
             });
         }
     }
@@ -215,6 +247,11 @@ fn filter_columns(buf: &[u8], range: &Cuboid) -> Result<Filtered, CodecError> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
 mod tests {
     use super::*;
     use blot_geo::Point;

@@ -78,8 +78,9 @@ pub fn decode_f64_bits(r: &mut BitReader<'_>, count: usize) -> Result<Vec<u64>, 
             continue;
         }
         if r.read_bit()? {
-            leading = r.read_bits(6)? as u32;
-            width = r.read_bits(6)? as u32 + 1;
+            // A 6-bit read is at most 63, so the conversions always fit.
+            leading = u32::try_from(r.read_bits(6)?).unwrap_or(63);
+            width = u32::try_from(r.read_bits(6)?).unwrap_or(63) + 1;
             if leading + width > 64 {
                 return Err(CodecError::Corrupt {
                     context: "gorilla window exceeds 64 bits",
@@ -143,7 +144,7 @@ pub fn decode_f32_column(buf: &[u8], count: usize) -> Result<Vec<f32>, CodecErro
                     context: "f32 column has f64-only bits",
                 });
             }
-            Ok(f32::from_bits((bits >> 32) as u32))
+            Ok(f32::from_bits(u32::try_from(bits >> 32).unwrap_or(0)))
         })
         .collect()
 }

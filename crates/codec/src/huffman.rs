@@ -26,16 +26,24 @@ pub const MAX_CODE_LEN: u8 = 15;
 #[must_use]
 pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
     assert!(max_len > 0, "max_len must be positive");
-    let used: Vec<u16> = (0..freqs.len())
-        .filter(|&i| freqs[i] > 0)
-        .map(|i| u16::try_from(i).expect("alphabet fits u16"))
+    // Symbols beyond u16::MAX cannot appear in a u16 symbol stream, so
+    // they get no code either way.
+    let used: Vec<u16> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .filter_map(|(i, _)| u16::try_from(i).ok())
         .collect();
     let mut lengths = vec![0u8; freqs.len()];
     match used.len() {
         0 => return lengths,
         1 => {
             // A single symbol still needs one bit on the wire.
-            lengths[used[0] as usize] = 1;
+            if let Some((&s, _)) = used.split_first() {
+                if let Some(slot) = lengths.get_mut(usize::from(s)) {
+                    *slot = 1;
+                }
+            }
             return lengths;
         }
         n => assert!(
@@ -54,7 +62,7 @@ pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
     let mut singletons: Vec<Package> = used
         .iter()
         .map(|&s| Package {
-            weight: freqs[s as usize],
+            weight: freqs.get(usize::from(s)).copied().unwrap_or(0),
             symbols: vec![s],
         })
         .collect();
@@ -64,27 +72,32 @@ pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
     for _ in 1..max_len {
         // Pair adjacent packages of the previous level…
         let mut paired: Vec<Package> = Vec::with_capacity(level.len() / 2);
-        let mut it = level.chunks_exact(2);
-        for pair in &mut it {
-            let mut symbols = pair[0].symbols.clone();
-            symbols.extend_from_slice(&pair[1].symbols);
-            paired.push(Package {
-                weight: pair[0].weight + pair[1].weight,
-                symbols,
-            });
+        for pair in level.chunks_exact(2) {
+            if let [a, b] = pair {
+                let mut symbols = a.symbols.clone();
+                symbols.extend_from_slice(&b.symbols);
+                paired.push(Package {
+                    weight: a.weight + b.weight,
+                    symbols,
+                });
+            }
         }
         // …and merge with a fresh copy of the singletons.
         let mut merged = Vec::with_capacity(paired.len() + singletons.len());
-        let (mut i, mut j) = (0, 0);
-        while i < singletons.len() || j < paired.len() {
-            let take_singleton = j >= paired.len()
-                || (i < singletons.len() && singletons[i].weight <= paired[j].weight);
-            if take_singleton {
-                merged.push(singletons[i].clone());
-                i += 1;
-            } else {
-                merged.push(paired[j].clone());
-                j += 1;
+        let mut si = singletons.iter().peekable();
+        let mut pj = paired.into_iter().peekable();
+        loop {
+            match (si.peek(), pj.peek()) {
+                (Some(s), Some(p)) => {
+                    if s.weight <= p.weight {
+                        merged.extend(si.next().cloned());
+                    } else {
+                        merged.extend(pj.next());
+                    }
+                }
+                (Some(_), None) => merged.extend(si.next().cloned()),
+                (None, Some(_)) => merged.extend(pj.next()),
+                (None, None) => break,
             }
         }
         level = merged;
@@ -94,7 +107,9 @@ pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
     // occurrence of a symbol adds one to its code length.
     for p in level.iter().take(2 * used.len() - 2) {
         for &s in &p.symbols {
-            lengths[s as usize] += 1;
+            if let Some(l) = lengths.get_mut(usize::from(s)) {
+                *l += 1;
+            }
         }
     }
     lengths
@@ -107,24 +122,30 @@ fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
     let mut bl_count = vec![0u32; usize::from(max) + 1];
     for &l in lengths {
         if l > 0 {
-            bl_count[usize::from(l)] += 1;
+            if let Some(c) = bl_count.get_mut(usize::from(l)) {
+                *c += 1;
+            }
         }
     }
     let mut next_code = vec![0u32; usize::from(max) + 2];
     let mut code = 0u32;
     for len in 1..=usize::from(max) {
-        code = (code + bl_count[len - 1]) << 1;
-        next_code[len] = code;
+        code = (code + bl_count.get(len - 1).copied().unwrap_or(0)) << 1;
+        if let Some(slot) = next_code.get_mut(len) {
+            *slot = code;
+        }
     }
     lengths
         .iter()
         .map(|&l| {
             if l == 0 {
                 (0, 0)
-            } else {
-                let c = next_code[usize::from(l)];
-                next_code[usize::from(l)] += 1;
+            } else if let Some(slot) = next_code.get_mut(usize::from(l)) {
+                let c = *slot;
+                *slot += 1;
                 (c, l)
+            } else {
+                (0, 0)
             }
         })
         .collect()
@@ -161,7 +182,11 @@ impl HuffmanEncoder {
     ///
     /// Panics if `symbol` has no code (zero frequency at build time).
     pub fn encode(&self, w: &mut BitWriter, symbol: u16) {
-        let (code, len) = self.codes[usize::from(symbol)];
+        let (code, len) = self
+            .codes
+            .get(usize::from(symbol))
+            .copied()
+            .unwrap_or((0, 0));
         assert!(len > 0, "symbol {symbol} has no code");
         w.write_bits(u64::from(code), u32::from(len));
     }
@@ -174,7 +199,7 @@ pub struct HuffmanDecoder {
     /// length `len`.
     first_code: Vec<u32>,
     /// `offset[len]` — index into `symbols` of that first code.
-    offset: Vec<u32>,
+    offset: Vec<usize>,
     /// `count[len]` — number of codes of length `len`.
     count: Vec<u32>,
     /// Symbols ordered by (length, symbol).
@@ -186,23 +211,32 @@ impl HuffmanDecoder {
     /// Builds a decoder from the same code-length vector as the encoder.
     #[must_use]
     pub fn from_lengths(lengths: &[u8]) -> Self {
+        let len_of = |s: u16| lengths.get(usize::from(s)).copied().unwrap_or(0);
         let max_len = lengths.iter().copied().max().unwrap_or(0);
-        let mut symbols: Vec<u16> = (0..lengths.len())
-            .filter(|&i| lengths[i] > 0)
-            .map(|i| u16::try_from(i).expect("alphabet fits u16"))
+        let mut symbols: Vec<u16> = lengths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .filter_map(|(i, _)| u16::try_from(i).ok())
             .collect();
-        symbols.sort_by_key(|&s| (lengths[usize::from(s)], s));
+        symbols.sort_by_key(|&s| (len_of(s), s));
         let codes = canonical_codes(lengths);
         let mut first_code = vec![u32::MAX; usize::from(max_len) + 1];
-        let mut offset = vec![0u32; usize::from(max_len) + 1];
+        let mut offset = vec![0usize; usize::from(max_len) + 1];
         let mut count = vec![0u32; usize::from(max_len) + 1];
         for (idx, &s) in symbols.iter().enumerate() {
-            let len = usize::from(lengths[usize::from(s)]);
-            if first_code[len] == u32::MAX {
-                first_code[len] = codes[usize::from(s)].0;
-                offset[len] = u32::try_from(idx).expect("alphabet fits u32");
+            let len = usize::from(len_of(s));
+            if first_code.get(len).copied() == Some(u32::MAX) {
+                if let Some(slot) = first_code.get_mut(len) {
+                    *slot = codes.get(usize::from(s)).copied().unwrap_or((0, 0)).0;
+                }
+                if let Some(slot) = offset.get_mut(len) {
+                    *slot = idx;
+                }
             }
-            count[len] += 1;
+            if let Some(c) = count.get_mut(len) {
+                *c += 1;
+            }
         }
         Self {
             first_code,
@@ -223,13 +257,19 @@ impl HuffmanDecoder {
         let mut code = 0u32;
         for len in 1..=usize::from(self.max_len) {
             code = (code << 1) | u32::from(r.read_bit()?);
-            let first = self.first_code[len];
+            let Some(&first) = self.first_code.get(len) else {
+                break;
+            };
             if first == u32::MAX {
                 continue;
             }
-            let count = self.count[len];
+            let count = self.count.get(len).copied().unwrap_or(0);
             if code >= first && code < first + count {
-                return Ok(self.symbols[(self.offset[len] + (code - first)) as usize]);
+                let base = self.offset.get(len).copied().unwrap_or(0);
+                let idx = base + (code - first) as usize;
+                return self.symbols.get(idx).copied().ok_or(CodecError::Corrupt {
+                    context: "invalid Huffman code",
+                });
             }
         }
         Err(CodecError::Corrupt {

@@ -58,11 +58,12 @@ fn take<const N: usize>(
     what: &'static str,
 ) -> Result<[u8; N], CodecError> {
     let end = *pos + N;
-    let slice = buf
+    let arr = buf
         .get(*pos..end)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
         .ok_or(CodecError::UnexpectedEof { context: what })?;
     *pos = end;
-    Ok(slice.try_into().expect("slice length checked"))
+    Ok(arr)
 }
 
 /// Deserialises a row-layout stream.
@@ -76,7 +77,7 @@ pub fn decode_rows(buf: &[u8]) -> Result<RecordBatch, CodecError> {
     if count > MAX_RECORDS {
         return Err(CodecError::TooLarge { declared: count });
     }
-    let count = count as usize;
+    let count = usize::try_from(count).map_err(|_| CodecError::TooLarge { declared: count })?;
     let mut batch = RecordBatch::with_capacity(count);
     for _ in 0..count {
         let oid = u32::from_le_bytes(take::<4>(buf, &mut pos, "row oid")?);
@@ -109,14 +110,13 @@ fn write_chunk(out: &mut Vec<u8>, chunk: &[u8]) {
 fn read_chunk<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CodecError> {
     let len = read_varint_u64(buf, pos)?;
     let len = usize::try_from(len).map_err(|_| CodecError::TooLarge { declared: len })?;
-    let end =
-        pos.checked_add(len)
-            .filter(|&e| e <= buf.len())
-            .ok_or(CodecError::UnexpectedEof {
-                context: "column chunk",
-            })?;
-    let chunk = &buf[*pos..end];
-    *pos = end;
+    let chunk = pos
+        .checked_add(len)
+        .and_then(|end| buf.get(*pos..end))
+        .ok_or(CodecError::UnexpectedEof {
+            context: "column chunk",
+        })?;
+    *pos += len;
     Ok(chunk)
 }
 
@@ -172,7 +172,7 @@ pub fn decode_columns(buf: &[u8]) -> Result<RecordBatch, CodecError> {
     if count > MAX_RECORDS {
         return Err(CodecError::TooLarge { declared: count });
     }
-    let n = count as usize;
+    let n = usize::try_from(count).map_err(|_| CodecError::TooLarge { declared: count })?;
 
     let chunk = read_chunk(buf, &mut pos)?;
     let mut oids = Vec::with_capacity(n);
@@ -220,6 +220,11 @@ pub fn decode_columns(buf: &[u8]) -> Result<RecordBatch, CodecError> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
 mod tests {
     use super::*;
     use blot_model::Record;

@@ -22,9 +22,12 @@ pub struct MatchFinder {
 
 const HASH_BITS: u32 = 15;
 
-fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = u32::from(data[pos]) | u32::from(data[pos + 1]) << 8 | u32::from(data[pos + 2]) << 16;
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+fn hash3(data: &[u8], pos: usize) -> Option<usize> {
+    let &[a, b, c] = data.get(pos..pos.checked_add(3)?)? else {
+        return None;
+    };
+    let v = u32::from(a) | u32::from(b) << 8 | u32::from(c) << 16;
+    Some((v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize)
 }
 
 impl MatchFinder {
@@ -56,12 +59,16 @@ impl MatchFinder {
     /// every position in order, including positions inside emitted
     /// matches.
     pub fn insert(&mut self, data: &[u8], pos: usize) {
-        if pos + 3 > data.len() {
-            return;
+        let Some(h) = hash3(data, pos) else { return };
+        let chain = self.head.get(h).copied().unwrap_or(-1);
+        if let Some(slot) = self.prev.get_mut(pos) {
+            *slot = chain;
         }
-        let h = hash3(data, pos);
-        self.prev[pos] = self.head[h];
-        self.head[h] = pos as i64;
+        if let Some(slot) = self.head.get_mut(h) {
+            // An input longer than i64::MAX bytes cannot exist; treat a
+            // failed conversion as "no entry".
+            *slot = i64::try_from(pos).unwrap_or(-1);
+        }
     }
 
     /// Finds the longest match at `pos` against previously inserted
@@ -72,15 +79,15 @@ impl MatchFinder {
             return None;
         }
         let max_here = self.max_len.min(data.len() - pos);
-        let h = hash3(data, pos);
-        let mut cand = self.head[h];
+        let h = hash3(data, pos)?;
+        let here = data.get(pos..pos + max_here).unwrap_or_default();
+        let mut cand = self.head.get(h).copied().unwrap_or(-1);
         let mut best: Option<Match> = None;
         let mut chain = 0;
         while cand >= 0 && chain < self.max_chain {
-            #[allow(clippy::cast_sign_loss)]
-            let c = cand as usize;
+            let Ok(c) = usize::try_from(cand) else { break };
             if c >= pos {
-                cand = self.prev[c];
+                cand = self.prev.get(c).copied().unwrap_or(-1);
                 continue;
             }
             let dist = pos - c;
@@ -88,12 +95,14 @@ impl MatchFinder {
                 break; // chains are in decreasing position order
             }
             let already = best.map_or(self.min_len - 1, |m| m.len);
+            let there = data.get(c..c + max_here).unwrap_or_default();
             // Quick reject: the match must beat `already`.
-            if already < max_here && data[c + already] == data[pos + already] {
-                let mut len = 0;
-                while len < max_here && data[c + len] == data[pos + len] {
-                    len += 1;
-                }
+            let beats = there
+                .get(already)
+                .zip(here.get(already))
+                .is_some_and(|(x, y)| x == y);
+            if beats {
+                let len = there.iter().zip(here).take_while(|(x, y)| x == y).count();
                 if len >= self.min_len && len > already {
                     best = Some(Match { len, dist });
                     if len == max_here {
@@ -101,7 +110,7 @@ impl MatchFinder {
                     }
                 }
             }
-            cand = self.prev[c];
+            cand = self.prev.get(c).copied().unwrap_or(-1);
             chain += 1;
         }
         best

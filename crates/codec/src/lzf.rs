@@ -25,9 +25,12 @@ const HASH_BITS: u32 = 14;
 /// Safety limit on declared decompressed sizes (1 GiB).
 const MAX_DECODED: u64 = 1 << 30;
 
-fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = u32::from(data[pos]) | u32::from(data[pos + 1]) << 8 | u32::from(data[pos + 2]) << 16;
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+fn hash3(data: &[u8], pos: usize) -> Option<usize> {
+    let &[a, b, c] = data.get(pos..pos.checked_add(3)?)? else {
+        return None;
+    };
+    let v = u32::from(a) | u32::from(b) << 8 | u32::from(c) << 16;
+    Some((v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize)
 }
 
 /// Compresses `data`. The output starts with the decoded length as a
@@ -44,39 +47,53 @@ pub fn lzf_compress(data: &[u8]) -> Vec<u8> {
         let mut s = from;
         while s < to {
             let run = (to - s).min(MAX_LITERAL_RUN);
-            out.push((run - 1) as u8);
-            out.extend_from_slice(&data[s..s + run]);
+            // run <= MAX_LITERAL_RUN, so run - 1 always fits a byte.
+            out.push(u8::try_from(run - 1).unwrap_or(u8::MAX));
+            out.extend_from_slice(data.get(s..s + run).unwrap_or_default());
             s += run;
         }
     };
 
     while pos + MIN_MATCH <= data.len() {
-        let h = hash3(data, pos);
-        let cand = table[h];
-        table[h] = pos;
+        let Some(h) = hash3(data, pos) else { break };
+        let cand = table.get(h).copied().unwrap_or(usize::MAX);
+        if let Some(slot) = table.get_mut(h) {
+            *slot = pos;
+        }
         let mut matched = 0usize;
         if cand != usize::MAX && pos - cand <= WINDOW {
             let max_len = MAX_MATCH.min(data.len() - pos);
-            while matched < max_len && data[cand + matched] == data[pos + matched] {
-                matched += 1;
-            }
+            matched = data
+                .get(cand..cand + max_len)
+                .unwrap_or_default()
+                .iter()
+                .zip(data.get(pos..pos + max_len).unwrap_or_default())
+                .take_while(|(a, b)| a == b)
+                .count();
         }
         if matched >= MIN_MATCH {
             flush_literals(&mut out, literal_start, pos);
             let off = pos - cand - 1;
             let l = matched - 2;
+            // off < WINDOW (8 KiB), so off >> 8 fits in 5 bits; the
+            // length fields are bounded by MAX_MATCH.
+            let off_hi = u8::try_from(off >> 8).unwrap_or(0x1F);
             if l < 7 {
-                out.push(((l as u8) << 5) | (off >> 8) as u8);
+                out.push((u8::try_from(l).unwrap_or(7) << 5) | off_hi);
             } else {
-                out.push((7u8 << 5) | (off >> 8) as u8);
-                out.push((l - 7) as u8);
+                out.push((7u8 << 5) | off_hi);
+                out.push(u8::try_from(l - 7).unwrap_or(u8::MAX));
             }
-            out.push((off & 0xFF) as u8);
+            out.push(u8::try_from(off & 0xFF).unwrap_or(0xFF));
             // Seed the table inside the match so later data can reference it.
             let end = pos + matched;
             pos += 1;
             while pos < end && pos + MIN_MATCH <= data.len() {
-                table[hash3(data, pos)] = pos;
+                if let Some(h) = hash3(data, pos) {
+                    if let Some(slot) = table.get_mut(h) {
+                        *slot = pos;
+                    }
+                }
                 pos += 1;
             }
             pos = end;
@@ -101,20 +118,17 @@ pub fn lzf_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     if declared > MAX_DECODED {
         return Err(CodecError::TooLarge { declared });
     }
-    let declared = declared as usize;
+    let declared = usize::try_from(declared).map_err(|_| CodecError::TooLarge { declared })?;
     let mut out = Vec::with_capacity(declared);
-    while pos < buf.len() {
-        let ctrl = buf[pos];
+    while let Some(&ctrl) = buf.get(pos) {
         pos += 1;
         if ctrl < 32 {
             let run = usize::from(ctrl) + 1;
             let end = pos + run;
-            if end > buf.len() {
-                return Err(CodecError::UnexpectedEof {
-                    context: "LZF literal run",
-                });
-            }
-            out.extend_from_slice(&buf[pos..end]);
+            let lits = buf.get(pos..end).ok_or(CodecError::UnexpectedEof {
+                context: "LZF literal run",
+            })?;
+            out.extend_from_slice(lits);
             pos = end;
         } else {
             let mut len = usize::from(ctrl >> 5) + 2;
@@ -139,7 +153,13 @@ pub fn lzf_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
             }
             let start = out.len() - off;
             for i in 0..len {
-                let b = out[start + i];
+                let b = out
+                    .get(start + i)
+                    .copied()
+                    .ok_or(CodecError::BadReference {
+                        offset: off,
+                        decoded_len: out.len(),
+                    })?;
                 out.push(b);
             }
         }

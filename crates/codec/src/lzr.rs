@@ -73,6 +73,23 @@ impl Models {
             dist_slot_tree: BitTree::new(DIST_SLOTS),
         }
     }
+
+    /// The `is_match` model conditioned on the previous packet type.
+    fn is_match_model(&mut self, prev_was_match: bool) -> &mut BitModel {
+        let [lit, mat] = &mut self.is_match;
+        if prev_was_match {
+            mat
+        } else {
+            lit
+        }
+    }
+
+    /// The order-1 literal tree for context byte `ctx`.
+    #[allow(clippy::indexing_slicing)]
+    fn literal_model(&mut self, ctx: u8) -> &mut BitTree {
+        // audit: allow(indexing, a u8 context always lands in the 256-entry table)
+        &mut self.literal[usize::from(ctx)]
+    }
 }
 
 /// Compresses `data`.
@@ -84,15 +101,17 @@ pub fn lzr_compress(data: &[u8]) -> Vec<u8> {
     let mut models = Models::new();
     let mut mf = MatchFinder::new(data.len(), WINDOW, MIN_MATCH, MAX_MATCH, MAX_CHAIN);
     let mut pos = 0usize;
-    let mut prev_was_match = 0usize;
+    let mut prev_was_match = false;
     let mut last_dist = 0u32;
     while pos < data.len() {
         let m = mf.find(data, pos);
         match m {
             Some(m) => {
-                enc.encode_bit(&mut models.is_match[prev_was_match], true);
-                let dist = u32::try_from(m.dist).expect("window fits u32");
-                let len_payload = u32::try_from(m.len - MIN_MATCH).expect("len capped");
+                enc.encode_bit(models.is_match_model(prev_was_match), true);
+                // The window is 1 MiB and lengths are capped at
+                // MIN_MATCH + 255, so both conversions always fit.
+                let dist = u32::try_from(m.dist).unwrap_or(u32::MAX);
+                let len_payload = u32::try_from(m.len.saturating_sub(MIN_MATCH)).unwrap_or(255);
                 if dist == last_dist && last_dist != 0 {
                     enc.encode_bit(&mut models.is_rep, true);
                     models.rep_len_tree.encode(&mut enc, len_payload);
@@ -110,19 +129,20 @@ pub fn lzr_compress(data: &[u8]) -> Vec<u8> {
                     mf.insert(data, p);
                 }
                 pos += m.len;
-                prev_was_match = 1;
+                prev_was_match = true;
             }
             None => {
-                enc.encode_bit(&mut models.is_match[prev_was_match], false);
-                let ctx = if pos == 0 {
-                    0
-                } else {
-                    usize::from(data[pos - 1])
-                };
-                models.literal[ctx].encode(&mut enc, u32::from(data[pos]));
+                let Some(&cur) = data.get(pos) else { break };
+                enc.encode_bit(models.is_match_model(prev_was_match), false);
+                let ctx = pos
+                    .checked_sub(1)
+                    .and_then(|p| data.get(p))
+                    .copied()
+                    .unwrap_or(0);
+                models.literal_model(ctx).encode(&mut enc, u32::from(cur));
                 mf.insert(data, pos);
                 pos += 1;
-                prev_was_match = 0;
+                prev_was_match = false;
             }
         }
     }
@@ -141,17 +161,17 @@ pub fn lzr_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     if declared > MAX_DECODED {
         return Err(CodecError::TooLarge { declared });
     }
-    let declared = declared as usize;
+    let declared = usize::try_from(declared).map_err(|_| CodecError::TooLarge { declared })?;
     let mut out = Vec::with_capacity(declared);
     if declared == 0 {
         return Ok(out);
     }
-    let mut dec = RangeDecoder::new(&buf[hdr..])?;
+    let mut dec = RangeDecoder::new(buf.get(hdr..).unwrap_or_default())?;
     let mut models = Models::new();
-    let mut prev_was_match = 0usize;
+    let mut prev_was_match = false;
     let mut last_dist = 0u32;
     while out.len() < declared {
-        if dec.decode_bit(&mut models.is_match[prev_was_match]) {
+        if dec.decode_bit(models.is_match_model(prev_was_match)) {
             let (len_payload, dist) = if dec.decode_bit(&mut models.is_rep) {
                 if last_dist == 0 {
                     return Err(CodecError::Corrupt {
@@ -186,15 +206,25 @@ pub fn lzr_decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
             }
             let start = out.len() - dist;
             for i in 0..len {
-                let b = out[start + i];
+                let b = out
+                    .get(start + i)
+                    .copied()
+                    .ok_or(CodecError::BadReference {
+                        offset: dist,
+                        decoded_len: out.len(),
+                    })?;
                 out.push(b);
             }
-            prev_was_match = 1;
+            prev_was_match = true;
         } else {
-            let ctx = out.last().map_or(0usize, |&b| usize::from(b));
-            let byte = models.literal[ctx].decode(&mut dec) as u8;
+            let ctx = out.last().copied().unwrap_or(0);
+            let byte = u8::try_from(models.literal_model(ctx).decode(&mut dec)).map_err(|_| {
+                CodecError::Corrupt {
+                    context: "literal out of byte range",
+                }
+            })?;
             out.push(byte);
-            prev_was_match = 0;
+            prev_was_match = false;
         }
     }
     Ok(out)

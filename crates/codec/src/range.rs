@@ -18,7 +18,7 @@ pub struct BitModel(u16);
 
 impl Default for BitModel {
     fn default() -> Self {
-        Self((PROB_ONE / 2) as u16)
+        Self(u16::try_from(PROB_ONE / 2).unwrap_or(u16::MAX))
     }
 }
 
@@ -61,7 +61,8 @@ impl RangeEncoder {
 
     fn shift_low(&mut self) {
         if self.low < 0xFF00_0000 || self.low > u64::from(u32::MAX) {
-            let carry = (self.low >> 32) as u8;
+            // `low` never exceeds 33 bits, so the carry is 0 or 1.
+            let carry = u8::try_from(self.low >> 32).unwrap_or(1);
             let mut first = true;
             while self.cache_size > 0 {
                 let byte = if first {
@@ -73,7 +74,7 @@ impl RangeEncoder {
                 self.out.push(byte);
                 self.cache_size -= 1;
             }
-            self.cache = ((self.low >> 24) & 0xFF) as u8;
+            self.cache = u8::try_from((self.low >> 24) & 0xFF).unwrap_or(0xFF);
         }
         self.cache_size += 1;
         self.low = (self.low << 8) & 0xFFFF_FFFF;
@@ -86,10 +87,10 @@ impl RangeEncoder {
         if bit {
             self.low += u64::from(bound);
             self.range -= bound;
-            model.0 = (prob - (prob >> MOVE_BITS)) as u16;
+            model.0 = u16::try_from(prob - (prob >> MOVE_BITS)).unwrap_or(u16::MAX);
         } else {
             self.range = bound;
-            model.0 = (prob + ((PROB_ONE - prob) >> MOVE_BITS)) as u16;
+            model.0 = u16::try_from(prob + ((PROB_ONE - prob) >> MOVE_BITS)).unwrap_or(u16::MAX);
         }
         while self.range < TOP {
             self.range <<= 8;
@@ -145,7 +146,7 @@ impl<'a> RangeDecoder<'a> {
             });
         }
         let mut code = 0u32;
-        for &b in &buf[1..5] {
+        for &b in buf.get(1..5).unwrap_or_default() {
             code = (code << 8) | u32::from(b);
         }
         Ok(Self {
@@ -177,12 +178,12 @@ impl<'a> RangeDecoder<'a> {
         let bound = (self.range >> 11) * prob;
         let bit = if self.code < bound {
             self.range = bound;
-            model.0 = (prob + ((PROB_ONE - prob) >> MOVE_BITS)) as u16;
+            model.0 = u16::try_from(prob + ((PROB_ONE - prob) >> MOVE_BITS)).unwrap_or(u16::MAX);
             false
         } else {
             self.code -= bound;
             self.range -= bound;
-            model.0 = (prob - (prob >> MOVE_BITS)) as u16;
+            model.0 = u16::try_from(prob - (prob >> MOVE_BITS)).unwrap_or(u16::MAX);
             true
         };
         self.normalize();
@@ -231,7 +232,10 @@ impl BitTree {
         let mut node = 1usize;
         for i in (0..self.bits).rev() {
             let bit = (value >> i) & 1 != 0;
-            enc.encode_bit(&mut self.models[node], bit);
+            // The walk visits nodes 1..2^(bits+1), exactly the table size.
+            if let Some(m) = self.models.get_mut(node) {
+                enc.encode_bit(m, bit);
+            }
             node = (node << 1) | usize::from(bit);
         }
     }
@@ -240,10 +244,12 @@ impl BitTree {
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u32 {
         let mut node = 1usize;
         for _ in 0..self.bits {
-            let bit = dec.decode_bit(&mut self.models[node]);
+            let bit = self.models.get_mut(node).is_some_and(|m| dec.decode_bit(m));
             node = (node << 1) | usize::from(bit);
         }
-        (node as u32) - (1 << self.bits)
+        u32::try_from(node)
+            .unwrap_or(0)
+            .saturating_sub(1 << self.bits)
     }
 }
 

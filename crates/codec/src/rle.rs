@@ -13,16 +13,12 @@ use crate::CodecError;
 pub fn rle_encode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 + data.len() / 16);
     write_varint_u64(&mut out, data.len() as u64);
-    let mut i = 0;
-    while i < data.len() {
-        let value = data[i];
-        let mut run = 1usize;
-        while i + run < data.len() && data[i + run] == value {
-            run += 1;
-        }
+    let mut rest = data;
+    while let Some((&value, _)) = rest.split_first() {
+        let run = rest.iter().take_while(|&&b| b == value).count();
         write_varint_u64(&mut out, run as u64);
         out.push(value);
-        i += run;
+        rest = rest.get(run..).unwrap_or_default();
     }
     out
 }
@@ -40,7 +36,7 @@ pub fn rle_decode(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     if total > (1 << 30) {
         return Err(CodecError::TooLarge { declared: total });
     }
-    let total = total as usize;
+    let total = usize::try_from(total).map_err(|_| CodecError::TooLarge { declared: total })?;
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         let run = read_varint_u64(buf, &mut pos)?;

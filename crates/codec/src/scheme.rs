@@ -1,14 +1,13 @@
 //! Encoding schemes: the layout × compression grid of Table I.
 
 use blot_model::RecordBatch;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::layout;
 use crate::CodecError;
 
 /// Physical record layout inside a storage unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layout {
     /// Fixed-width binary rows.
     Row,
@@ -21,7 +20,7 @@ pub enum Layout {
 ///
 /// The three compressors span the speed/ratio spectrum of the paper's
 /// Snappy / Gzip / LZMA2 lineup (see the crate docs for the mapping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Compression {
     /// No compression.
     Plain,
@@ -53,7 +52,7 @@ impl Compression {
 /// uncompressed column store, which is dominated on both size and scan
 /// speed ("poor performance in terms of both compression ratio and scan
 /// speed", §V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EncodingScheme {
     /// Record layout.
     pub layout: Layout,
@@ -229,6 +228,11 @@ impl fmt::Display for EncodingScheme {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
 mod tests {
     use super::*;
     use blot_model::Record;

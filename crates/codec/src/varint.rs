@@ -9,7 +9,7 @@ use crate::CodecError;
 /// Appends `value` as an LEB128 varint (1–10 bytes).
 pub fn write_varint_u64(out: &mut Vec<u8>, mut value: u64) {
     loop {
-        let byte = (value & 0x7F) as u8;
+        let byte = u8::try_from(value & 0x7F).unwrap_or(0x7F);
         value >>= 7;
         if value == 0 {
             out.push(byte);
@@ -55,13 +55,13 @@ pub fn read_varint_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
 /// magnitude (of either sign) get small codes: `0 → 0, -1 → 1, 1 → 2, …`.
 #[must_use]
 pub fn zigzag_encode(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    ((v << 1) ^ (v >> 63)).cast_unsigned()
 }
 
 /// Inverse of [`zigzag_encode`].
 #[must_use]
 pub fn zigzag_decode(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
+    (v >> 1).cast_signed() ^ -((v & 1).cast_signed())
 }
 
 /// Appends a signed value as a zigzag varint.

@@ -1,6 +1,17 @@
 //! Property-based tests: every codec and layout must round-trip arbitrary
 //! inputs, and compressed streams must decode to exactly the original.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_codec::{
     deflate_compress, deflate_decompress, lzf_compress, lzf_decompress, lzr_compress,
     lzr_decompress, EncodingScheme, Layout,

@@ -19,7 +19,6 @@
 use blot_geo::{Cuboid, QuerySize};
 use blot_mip::MipSolver;
 use blot_model::RecordBatch;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::cost::CostModel;
@@ -29,7 +28,7 @@ use crate::select::{kmeans_group, select_greedy, select_mip, CostMatrix, Selecti
 use crate::CoreError;
 
 /// A bounded log of executed query ranges.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryLog {
     sizes: VecDeque<QuerySize>,
     capacity: usize,
@@ -157,7 +156,11 @@ pub fn recommend(
         Strategy::Greedy => select_greedy(&matrix, budget),
         Strategy::Exact => select_mip(&matrix, budget, &MipSolver::default())?,
     };
-    let configs: Vec<ReplicaConfig> = selection.chosen.iter().map(|&j| all[j]).collect();
+    let configs: Vec<ReplicaConfig> = selection
+        .chosen
+        .iter()
+        .filter_map(|&j| all.get(j).copied())
+        .collect();
     let to_build: Vec<ReplicaConfig> = configs
         .iter()
         .copied()
@@ -168,8 +171,11 @@ pub fn recommend(
         .copied()
         .filter(|c| !configs.contains(c))
         .collect();
-    let current_idx: Vec<usize> = (0..all.len())
-        .filter(|&j| current.contains(&all[j]))
+    let current_idx: Vec<usize> = all
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| current.contains(c))
+        .map(|(j, _)| j)
         .collect();
     let current_cost = matrix.workload_cost(&current_idx);
     Ok(Recommendation {

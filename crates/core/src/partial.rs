@@ -20,14 +20,13 @@
 use blot_geo::{intersection_probability_within, Cuboid, QuerySize};
 use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
-use serde::{Deserialize, Serialize};
 
 use crate::cost::CostModel;
 use crate::replica::ReplicaConfig;
 use crate::select::CostMatrix;
 
 /// A grouped query restricted to a hot region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HotGroupedQuery {
     /// The query extent ⟨W, H, T⟩.
     pub size: QuerySize,
@@ -56,7 +55,7 @@ impl HotGroupedQuery {
 }
 
 /// A candidate replica that may cover only part of the universe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartialCandidate {
     /// Partitioning and encoding.
     pub config: ReplicaConfig,
@@ -380,9 +379,20 @@ mod tests {
         for j in 3..6 {
             assert!(m_ext.storage[j] < m_ext.storage[j - 3]);
         }
-        // Budget: one full replica plus change — too tight for two full
-        // replicas, enough for full + partial.
-        let budget = m_full.storage.iter().copied().fold(f64::INFINITY, f64::min) * 1.7;
+        // Budget: the cheapest full replica plus the cheapest partial,
+        // with a little slack — enough for full + partial, too tight for
+        // two full replicas (guarded below so data drift in the sample
+        // generator cannot silently leave the regime this test is about).
+        let min_full = m_full.storage.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_partial = m_ext.storage[3..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let budget = (min_full + min_partial) * 1.02;
+        assert!(
+            budget < 2.0 * min_full,
+            "test regime broken: two full replicas fit the budget"
+        );
         let solver = MipSolver::default();
         let best_full = select_mip(&m_full, budget, &solver).expect("full-only");
         let best_ext = select_mip(&m_ext, budget, &solver).expect("extended");

@@ -1,14 +1,13 @@
 //! Grouped queries and weighted workloads (Definition 6, §III-C1).
 
 use blot_geo::{Cuboid, QuerySize};
-use serde::{Deserialize, Serialize};
 
 /// A grouped query `Q_G = ⟨W, H, T⟩`: all range queries of one extent,
 /// with centroid position uniform over the feasible range (§III-C1).
 ///
 /// Grouped queries are the unit of the input workload — "queries with
 /// the same size of range often occur many times in real situations".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupedQuery {
     /// The common extent of the group.
     pub size: QuerySize,
@@ -38,7 +37,7 @@ impl GroupedQuery {
 
 /// A weighted set of grouped queries
 /// `W = {(q₁, w₁), …, (q_n, w_n)}` (Definition 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     entries: Vec<(GroupedQuery, f64)>,
 }

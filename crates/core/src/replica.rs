@@ -3,13 +3,12 @@
 
 use blot_codec::EncodingScheme;
 use blot_index::SchemeSpec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A candidate replica `r = ⟨D, P, E⟩` before it is built: the
 /// partitioning shape `P` and the encoding scheme `E` (the dataset `D`
 /// is implicit — all replicas share it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReplicaConfig {
     /// Partitioning scheme shape.
     pub spec: SchemeSpec,

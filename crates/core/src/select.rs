@@ -7,13 +7,15 @@
 //! `Cost(W, R) = Σᵢ wᵢ · min_{r ∈ R} Cost(qᵢ, r)` — proven at least
 //! NP-complete by reduction from set covering (Theorem 1).
 
+// audit: allow-file(indexing, dense cost-matrix/clustering loops index within dimensions fixed at construction)
+#![allow(clippy::indexing_slicing)]
+
 use blot_geo::QuerySize;
 use blot_index::PartitioningScheme;
 use blot_mip::{MipSolver, Problem, Relation, SolveStats};
 use blot_model::RecordBatch;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::cost::CostModel;
@@ -23,7 +25,7 @@ use crate::CoreError;
 
 /// The input of the selection problem: `Cost(qᵢ, rⱼ)` for every workload
 /// query and candidate replica, plus per-candidate storage sizes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostMatrix {
     /// `costs[i][j]` — estimated cost (simulated ms) of query `i` on
     /// candidate `j`.
@@ -143,15 +145,13 @@ impl CostMatrix {
     /// The single replica with the lowest workload cost, ignoring any
     /// budget — the paper's "Single" baseline configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if the matrix has no candidates.
+    /// An empty matrix yields `(0, f64::INFINITY)`.
     #[must_use]
     pub fn optimal_single(&self) -> (usize, f64) {
         (0..self.n_candidates())
             .map(|j| (j, self.workload_cost(&[j])))
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("matrix must have candidates")
+            .unwrap_or((0, f64::INFINITY))
     }
 
     /// Smallest single-candidate storage (useful for sizing budgets in
@@ -373,12 +373,16 @@ pub fn select_mip(
             values[j] = 1.0;
         }
         for i in 0..n {
-            let best = greedy
+            // `chosen` is non-empty on this branch, so the minimum
+            // exists; a missing entry would only weaken the warm start.
+            let Some(best) = greedy
                 .chosen
                 .iter()
                 .copied()
                 .min_by(|&a, &b| matrix.costs[i][a].total_cmp(&matrix.costs[i][b]))
-                .expect("chosen non-empty");
+            else {
+                continue;
+            };
             values[m + i * m + best] = 1.0;
         }
         Some(values)
@@ -483,32 +487,33 @@ pub fn kmeans_group(sizes: &[QuerySize], k: usize, seed: u64) -> Workload {
     // k-means++-light seeding: first centre random, then farthest-point.
     let mut centres: Vec<QuerySize> = vec![sizes[rng.gen_range(0..sizes.len())]];
     while centres.len() < k {
-        let far = sizes
-            .iter()
-            .max_by(|a, b| {
-                let da = centres
-                    .iter()
-                    .map(|c| a.distance(c, scale))
-                    .fold(f64::INFINITY, f64::min);
-                let db = centres
-                    .iter()
-                    .map(|c| b.distance(c, scale))
-                    .fold(f64::INFINITY, f64::min);
-                da.total_cmp(&db)
-            })
-            .expect("sizes not empty");
+        // `sizes` is non-empty (guarded above), so a farthest point
+        // always exists.
+        let Some(far) = sizes.iter().max_by(|a, b| {
+            let da = centres
+                .iter()
+                .map(|c| a.distance(c, scale))
+                .fold(f64::INFINITY, f64::min);
+            let db = centres
+                .iter()
+                .map(|c| b.distance(c, scale))
+                .fold(f64::INFINITY, f64::min);
+            da.total_cmp(&db)
+        }) else {
+            break;
+        };
         centres.push(*far);
     }
     let mut assignment = vec![0usize; sizes.len()];
     for _ in 0..32 {
         let mut changed = false;
         for (i, s) in sizes.iter().enumerate() {
-            let best = (0..centres.len())
-                .min_by(|&a, &b| {
-                    s.distance(&centres[a], scale)
-                        .total_cmp(&s.distance(&centres[b], scale))
-                })
-                .expect("k >= 1");
+            let Some(best) = (0..centres.len()).min_by(|&a, &b| {
+                s.distance(&centres[a], scale)
+                    .total_cmp(&s.distance(&centres[b], scale))
+            }) else {
+                continue;
+            };
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;

@@ -13,8 +13,8 @@ use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
 use blot_storage::job::MapOnlyJob;
 use blot_storage::scan::{run_scan, ScanTask};
+use blot_storage::sync::Mutex;
 use blot_storage::{Backend, EnvProfile, StorageError, UnitKey};
-use parking_lot::Mutex;
 
 use crate::adapt::QueryLog;
 use crate::cost::CostModel;
@@ -150,7 +150,8 @@ impl<B: Backend> BlotStore<B> {
         data: &RecordBatch,
         config: ReplicaConfig,
     ) -> Result<u32, CoreError> {
-        let id = u32::try_from(self.replicas.len()).expect("replica count fits u32");
+        let id = u32::try_from(self.replicas.len())
+            .map_err(|_| CoreError::IdOverflow { what: "replica" })?;
         let scheme = PartitioningScheme::build(data, self.universe, config.spec);
         let parts = scheme.assign_batch(data);
         let mut bytes = 0u64;
@@ -160,7 +161,8 @@ impl<B: Backend> BlotStore<B> {
             self.backend.put(
                 UnitKey {
                     replica: id,
-                    partition: u32::try_from(pid).expect("partition id"),
+                    partition: u32::try_from(pid)
+                        .map_err(|_| CoreError::IdOverflow { what: "partition" })?,
                 },
                 unit,
             )?;
@@ -180,14 +182,20 @@ impl<B: Backend> BlotStore<B> {
     /// written, only the in-memory metadata is restored. The caller is
     /// responsible for `scheme` matching what the units were built with
     /// — [`scrub`](Self::scrub) will flag any mismatch as corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IdOverflow`] if the store already holds
+    /// `u32::MAX` replicas.
     pub fn restore_replica(
         &mut self,
         config: ReplicaConfig,
         scheme: PartitioningScheme,
         records: u64,
         bytes: u64,
-    ) -> u32 {
-        let id = u32::try_from(self.replicas.len()).expect("replica count fits u32");
+    ) -> Result<u32, CoreError> {
+        let id = u32::try_from(self.replicas.len())
+            .map_err(|_| CoreError::IdOverflow { what: "replica" })?;
         self.replicas.push(BuiltReplica {
             id,
             config,
@@ -195,7 +203,7 @@ impl<B: Backend> BlotStore<B> {
             records,
             bytes,
         });
-        id
+        Ok(id)
     }
 
     /// Appends a batch of new records to **every** replica, preserving
@@ -241,7 +249,7 @@ impl<B: Backend> BlotStore<B> {
             for (pid, additions) in by_partition {
                 let key = UnitKey {
                     replica: replica.id,
-                    partition: pid as u32,
+                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
                 };
                 let bytes = self.backend.get(key)?;
                 let mut records = replica
@@ -317,9 +325,12 @@ impl<B: Backend> BlotStore<B> {
                 Err(other) => return Err(other),
             }
         }
-        Err(CoreError::Storage(
-            last_err.expect("at least one replica failed"),
-        ))
+        // Every candidate either returned early or recorded a storage
+        // error; an empty `last_err` can only mean no replica ran.
+        match last_err {
+            Some(e) => Err(CoreError::Storage(e)),
+            None => Err(CoreError::NoReplicas),
+        }
     }
 
     /// Executes a range query on a specific replica (§II-D: find the
@@ -340,7 +351,7 @@ impl<B: Backend> BlotStore<B> {
             .map(|&pid| ScanTask {
                 key: UnitKey {
                     replica: id,
-                    partition: pid as u32,
+                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
                 },
                 scheme: replica.config.encoding,
                 range: Some(*range),
@@ -371,7 +382,7 @@ impl<B: Backend> BlotStore<B> {
             for pid in 0..replica.scheme.len() {
                 let key = UnitKey {
                     replica: replica.id,
-                    partition: pid as u32,
+                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
                 };
                 let ok = run_scan(
                     &self.backend,
@@ -418,7 +429,11 @@ impl<B: Backend> BlotStore<B> {
             .replicas
             .get(key.replica as usize)
             .ok_or(CoreError::NoSuchReplica { id: key.replica })?;
-        let partition = &owner.scheme.partitions()[key.partition as usize];
+        let partition = owner
+            .scheme
+            .partitions()
+            .get(key.partition as usize)
+            .ok_or(CoreError::NoSuchReplica { id: key.replica })?;
         let is_member = |records: &RecordBatch, i: usize| {
             let p = records.point(i);
             owner.scheme.assign_point(p.x, p.y, p.t) == key.partition as usize
@@ -478,7 +493,7 @@ impl<B: Backend> BlotStore<B> {
                     &ScanTask {
                         key: UnitKey {
                             replica: source.id,
-                            partition: pid as u32,
+                            partition: u32::try_from(pid).unwrap_or(u32::MAX),
                         },
                         scheme: source.config.encoding,
                         range: Some(partition.range),
@@ -662,7 +677,7 @@ mod tests {
             store.backend().inject(
                 UnitKey {
                     replica: 0,
-                    partition: pid as u32,
+                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
                 },
                 FailureMode::Drop,
             );
@@ -733,7 +748,7 @@ mod tests {
                 store.backend().inject(
                     UnitKey {
                         replica: replica.id,
-                        partition: pid as u32,
+                        partition: u32::try_from(pid).unwrap_or(u32::MAX),
                     },
                     FailureMode::Drop,
                 );
@@ -761,7 +776,7 @@ mod tests {
             store.backend().inject(
                 UnitKey {
                     replica: 1,
-                    partition: pid as u32,
+                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
                 },
                 FailureMode::Drop,
             );

@@ -1,6 +1,17 @@
 //! Continuous-ingest integration: new GPS fixes land in every replica,
 //! queries see them immediately, and repair still works afterwards.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_core::prelude::*;
 use blot_core::store::BlotStore;
 use blot_core::CoreError;

@@ -1,6 +1,17 @@
 //! Property-based tests for the selection algorithms on random cost
 //! matrices.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_core::select::{
     ideal_cost, prune_dominated, select_greedy, select_mip, select_single, CostMatrix,
 };

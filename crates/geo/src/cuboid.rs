@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Point, QuerySize};
 
 /// An axis-aligned cuboid in (x, y, t) space.
@@ -10,7 +8,7 @@ use crate::{Point, QuerySize};
 /// partition boundaries are assigned to exactly one partition by the
 /// partitioner — but intersection tests here are closed, matching the
 /// paper's `Range(p) ∩ Range(q) ≠ ∅` involvement test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cuboid {
     min: Point,
     max: Point,
@@ -114,10 +112,9 @@ impl Cuboid {
     /// closed.
     #[must_use]
     pub fn contains_point_half_open(&self, p: &Point, upper_closed: [bool; 3]) -> bool {
-        (0..3).all(|a| {
+        upper_closed.iter().enumerate().all(|(a, &closed)| {
             let v = p.axis(a);
-            v >= self.min.axis(a)
-                && (v < self.max.axis(a) || (upper_closed[a] && v <= self.max.axis(a)))
+            v >= self.min.axis(a) && (v < self.max.axis(a) || (closed && v <= self.max.axis(a)))
         })
     }
 

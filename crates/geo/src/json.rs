@@ -1,0 +1,89 @@
+//! JSON round-trips for the geometry types (manifest persistence).
+
+use crate::{Cuboid, Point};
+use blot_json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Point {
+    /// `[x, y, t]`.
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            Json::Num(self.x),
+            Json::Num(self.y),
+            Json::Num(self.t),
+        ])
+    }
+}
+
+impl FromJson for Point {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_array() {
+            Some([x, y, t]) => {
+                let coord = |v: &Json, name| {
+                    v.as_f64()
+                        .ok_or_else(|| JsonError::shape(format!("point {name} must be a number")))
+                };
+                Ok(Point::new(coord(x, "x")?, coord(y, "y")?, coord(t, "t")?))
+            }
+            _ => Err(JsonError::shape("expected a 3-element [x, y, t] array")),
+        }
+    }
+}
+
+impl ToJson for Cuboid {
+    /// `{"min": [...], "max": [...]}`.
+    fn to_json(&self) -> Json {
+        Json::obj([("min", self.min().to_json()), ("max", self.max().to_json())])
+    }
+}
+
+impl FromJson for Cuboid {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let min = Point::from_json(value.field("min")?)?;
+        let max = Point::from_json(value.field("max")?)?;
+        // `Cuboid::new` asserts the ordering invariant; validate here so
+        // corrupt input surfaces as an error rather than a panic.
+        for axis in 0..3 {
+            if min.axis(axis) > max.axis(axis) || min.axis(axis).is_nan() || max.axis(axis).is_nan()
+            {
+                return Err(JsonError::shape(format!(
+                    "cuboid min exceeds max on axis {axis}"
+                )));
+            }
+        }
+        Ok(Cuboid::new(min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_round_trips() {
+        let p = Point::new(121.47, 31.23, 86_400.0);
+        let j = p.to_json();
+        assert_eq!(Point::from_json(&j).expect("round-trip"), p);
+    }
+
+    #[test]
+    fn cuboid_round_trips_through_text() {
+        let c = Cuboid::new(Point::new(-1.0, 2.0, 0.0), Point::new(3.5, 2.0, 10.0));
+        let text = c.to_json().pretty();
+        let back = Cuboid::from_json(&Json::parse(&text).expect("parse")).expect("shape");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn inverted_cuboid_is_rejected_not_panicking() {
+        let bad = Json::parse(r#"{"min":[1,0,0],"max":[0,0,0]}"#).expect("parse");
+        assert!(Cuboid::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn nan_becomes_null_and_is_rejected() {
+        let j = Point::new(f64::NAN, 0.0, 0.0).to_json();
+        let text = j.to_string();
+        let parsed = Json::parse(&text).expect("parse");
+        assert!(Point::from_json(&parsed).is_err());
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod cuboid;
+mod json;
 mod point;
 mod query_size;
 

@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// A point in the spatio-temporal universe: two spatial coordinates and a
 /// temporal coordinate.
 ///
 /// In the BLOT data model, `x` is typically a longitude, `y` a latitude
 /// and `t` a timestamp (seconds since some epoch), but the geometry is
 /// agnostic to units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// First spatial coordinate (e.g. longitude, degrees).
     pub x: f64,
@@ -29,6 +27,7 @@ impl Point {
     ///
     /// Panics if `axis >= 3`.
     #[must_use]
+    #[allow(clippy::panic)]
     pub fn axis(&self, axis: usize) -> f64 {
         match axis {
             0 => self.x,
@@ -44,6 +43,7 @@ impl Point {
     ///
     /// Panics if `axis >= 3`.
     #[must_use]
+    #[allow(clippy::panic)]
     pub fn with_axis(mut self, axis: usize, value: f64) -> Self {
         match axis {
             0 => self.x = value,

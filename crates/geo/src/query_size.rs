@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// The spatio-temporal extent ⟨W, H, T⟩ of a (grouped) range query.
 ///
 /// §III-C1 of the paper reduces the workload size by replacing concrete
 /// queries `⟨W, H, T, x, y, t⟩` with *grouped queries* `⟨W, H, T⟩` that fix
 /// only the query extent and leave the centroid position random. This type
 /// is that extent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuerySize {
     /// Extent along the first spatial axis (width, W).
     pub w: f64,
@@ -37,6 +35,7 @@ impl QuerySize {
     ///
     /// Panics if `axis >= 3`.
     #[must_use]
+    #[allow(clippy::panic)]
     pub fn axis(&self, axis: usize) -> f64 {
         match axis {
             0 => self.w,

@@ -11,12 +11,11 @@
 
 use blot_geo::Cuboid;
 use blot_model::RecordBatch;
-use serde::{Deserialize, Serialize};
 
 use crate::Partition;
 
 /// A uniform spatio-temporal grid over a universe.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridScheme {
     universe: Cuboid,
     nx: usize,
@@ -72,7 +71,9 @@ impl GridScheme {
         for i in 0..sample.len() {
             let p = sample.point(i);
             let id = grid.assign_point(p.x, p.y, p.t);
-            grid.partitions[id].count += 1;
+            if let Some(part) = grid.partitions.get_mut(id) {
+                part.count += 1;
+            }
         }
         grid
     }
@@ -161,7 +162,11 @@ impl GridScheme {
                     let id = (ix * self.ny + iy) * self.nt + it;
                     // The floor arithmetic can over-approximate on exact
                     // boundaries; confirm geometrically.
-                    if self.partitions[id].range.intersects(query) {
+                    if self
+                        .partitions
+                        .get(id)
+                        .is_some_and(|part| part.range.intersects(query))
+                    {
                         out.push(id);
                     }
                 }

@@ -1,0 +1,226 @@
+//! JSON round-trips for partitioning schemes (manifest persistence).
+//!
+//! A [`PartitioningScheme`] serialises losslessly: spec, universe, the
+//! k-d tree, cell footprints, per-cell time boundaries and the
+//! partition table. Reconstruction re-validates every structural
+//! invariant (cell counts, boundary lengths, partition ids) so corrupt
+//! manifests surface as [`JsonError`]s rather than panics deep inside
+//! query routing.
+
+use crate::scheme::KdNode;
+use crate::{Partition, PartitioningScheme, SchemeSpec};
+use blot_geo::Cuboid;
+use blot_json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for SchemeSpec {
+    /// The `Display` form, e.g. `"S16xT8"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for SchemeSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .ok_or_else(|| JsonError::shape("expected a scheme-spec string"))?
+            .parse()
+            .map_err(JsonError::shape)
+    }
+}
+
+impl ToJson for Partition {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("range", self.range.to_json()),
+            ("count", self.count.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Partition {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Partition {
+            id: usize::from_json(value.field("id")?)?,
+            range: Cuboid::from_json(value.field("range")?)?,
+            count: usize::from_json(value.field("count")?)?,
+        })
+    }
+}
+
+impl ToJson for KdNode {
+    fn to_json(&self) -> Json {
+        match self {
+            KdNode::Leaf { cell } => Json::obj([("cell", cell.to_json())]),
+            KdNode::Split {
+                axis,
+                value,
+                low,
+                high,
+            } => Json::obj([
+                ("axis", axis.to_json()),
+                ("value", Json::Num(*value)),
+                ("low", low.to_json()),
+                ("high", high.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for KdNode {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Some(cell) = value.get("cell") {
+            return Ok(KdNode::Leaf {
+                cell: usize::from_json(cell)?,
+            });
+        }
+        let axis = usize::from_json(value.field("axis")?)?;
+        if axis > 1 {
+            return Err(JsonError::shape(format!(
+                "k-d split axis {axis} not in 0..2"
+            )));
+        }
+        Ok(KdNode::Split {
+            axis,
+            value: f64::from_json(value.field("value")?)?,
+            low: Box::new(KdNode::from_json(value.field("low")?)?),
+            high: Box::new(KdNode::from_json(value.field("high")?)?),
+        })
+    }
+}
+
+impl ToJson for PartitioningScheme {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("spec", self.spec.to_json()),
+            ("universe", self.universe.to_json()),
+            ("root", self.root.to_json()),
+            ("cells", self.cells.to_json()),
+            (
+                "time_bounds",
+                Json::Arr(self.time_bounds.iter().map(|b| b.to_json()).collect()),
+            ),
+            ("partitions", self.partitions.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PartitioningScheme {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let spec = SchemeSpec::from_json(value.field("spec")?)?;
+        let universe = Cuboid::from_json(value.field("universe")?)?;
+        let root = KdNode::from_json(value.field("root")?)?;
+        let cells = Vec::<Cuboid>::from_json(value.field("cells")?)?;
+        let time_bounds: Vec<Vec<f64>> = value
+            .field("time_bounds")?
+            .as_array()
+            .ok_or_else(|| JsonError::shape("time_bounds must be an array"))?
+            .iter()
+            .map(Vec::<f64>::from_json)
+            .collect::<Result<_, _>>()?;
+        let partitions = Vec::<Partition>::from_json(value.field("partitions")?)?;
+
+        // Structural invariants the query paths rely on.
+        if cells.len() != spec.spatial {
+            return Err(JsonError::shape(format!(
+                "expected {} cells, found {}",
+                spec.spatial,
+                cells.len()
+            )));
+        }
+        if time_bounds.len() != cells.len() {
+            return Err(JsonError::shape("one time-bound row per cell required"));
+        }
+        if time_bounds.iter().any(|b| b.len() != spec.temporal + 1) {
+            return Err(JsonError::shape(format!(
+                "each cell needs {} time boundaries",
+                spec.temporal + 1
+            )));
+        }
+        let expected = spec.total_partitions();
+        if partitions.len() != expected {
+            return Err(JsonError::shape(format!(
+                "expected {expected} partitions, found {}",
+                partitions.len()
+            )));
+        }
+        if partitions.iter().enumerate().any(|(i, p)| p.id != i) {
+            return Err(JsonError::shape("partition ids must be dense 0..n"));
+        }
+        let mut leaf_cells = Vec::new();
+        collect_leaves(&root, &mut leaf_cells);
+        leaf_cells.sort_unstable();
+        if leaf_cells.len() != cells.len() || leaf_cells.iter().enumerate().any(|(i, &c)| c != i) {
+            return Err(JsonError::shape(
+                "k-d leaves must reference each cell exactly once",
+            ));
+        }
+        Ok(PartitioningScheme {
+            spec,
+            universe,
+            root,
+            cells,
+            time_bounds,
+            partitions,
+        })
+    }
+}
+
+fn collect_leaves(node: &KdNode, out: &mut Vec<usize>) {
+    match node {
+        KdNode::Leaf { cell } => out.push(*cell),
+        KdNode::Split { low, high, .. } => {
+            collect_leaves(low, out);
+            collect_leaves(high, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blot_tracegen::FleetConfig;
+
+    #[test]
+    fn scheme_round_trips_losslessly() {
+        let config = FleetConfig::small();
+        let sample = config.generate();
+        let universe = config.universe();
+        let scheme = PartitioningScheme::build(&sample, universe, SchemeSpec::new(16, 4));
+        let text = scheme.to_json().pretty();
+        let back =
+            PartitioningScheme::from_json(&Json::parse(&text).expect("parse")).expect("shape");
+        assert_eq!(back.spec(), scheme.spec());
+        assert_eq!(back.universe(), scheme.universe());
+        assert_eq!(back.partitions(), scheme.partitions());
+        // Routing behaviour must be identical, not just field equality.
+        for i in (0..sample.len()).step_by(31) {
+            let p = sample.point(i);
+            assert_eq!(
+                back.assign_point(p.x, p.y, p.t),
+                scheme.assign_point(p.x, p.y, p.t)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_scheme_is_rejected() {
+        let config = FleetConfig::small();
+        let scheme =
+            PartitioningScheme::build(&config.generate(), config.universe(), SchemeSpec::new(4, 2));
+        let mut j = scheme.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "partitions");
+        }
+        assert!(PartitioningScheme::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn spec_string_form() {
+        let spec = SchemeSpec::new(64, 8);
+        assert_eq!(spec.to_json(), Json::Str("S64xT8".into()));
+        assert_eq!(SchemeSpec::from_json(&spec.to_json()).expect("parse"), spec);
+        assert!(SchemeSpec::from_json(&Json::Str("S5xT3".into())).is_err());
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod grid;
+mod json;
 mod partition;
 mod scheme;
 

@@ -1,10 +1,9 @@
 use blot_geo::Cuboid;
-use serde::{Deserialize, Serialize};
 
 /// One space-time partition of a partitioning scheme (Definitions 1–2 of
 /// the paper): its id, spatio-temporal range, and the number of sample
 /// records that fell into it at build time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     /// Dense id in `0..scheme.len()`; equals
     /// `cell_index * temporal_partitions + time_slice`.

@@ -1,13 +1,12 @@
 use blot_geo::Cuboid;
 use blot_model::RecordBatch;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::Partition;
 
 /// The shape of a partitioning scheme: how many spatial cells and how
 /// many temporal slices per cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SchemeSpec {
     /// Number of spatial k-d cells; must be a power of 4 so the k-d tree
     /// alternates x/y splits evenly (4² … 4⁶ in the paper).
@@ -106,8 +105,8 @@ impl std::str::FromStr for SchemeSpec {
 }
 
 /// Node of the spatial k-d tree. Leaves index into the cell table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-enum KdNode {
+#[derive(Debug, Clone)]
+pub(crate) enum KdNode {
     Leaf {
         cell: usize,
     },
@@ -124,18 +123,18 @@ enum KdNode {
 /// A built partitioning scheme `P` (Definition 1): an equal-count k-d
 /// decomposition of space, refined by per-cell temporal quantiles, plus
 /// the partitioning index over the resulting partitions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PartitioningScheme {
-    spec: SchemeSpec,
-    universe: Cuboid,
-    root: KdNode,
+    pub(crate) spec: SchemeSpec,
+    pub(crate) universe: Cuboid,
+    pub(crate) root: KdNode,
     /// Spatial footprint of each cell (time axis spans the universe).
-    cells: Vec<Cuboid>,
+    pub(crate) cells: Vec<Cuboid>,
     /// Per cell: `temporal + 1` boundaries covering the universe's time
     /// extent. Slice `k` of cell `c` is `[bounds[c][k], bounds[c][k+1])`
     /// (last slice closed above).
-    time_bounds: Vec<Vec<f64>>,
-    partitions: Vec<Partition>,
+    pub(crate) time_bounds: Vec<Vec<f64>>,
+    pub(crate) partitions: Vec<Partition>,
 }
 
 impl PartitioningScheme {
@@ -187,14 +186,14 @@ impl PartitioningScheme {
             let mut bounds = Vec::with_capacity(m + 1);
             bounds.push(t_lo);
             for k in 1..m {
-                let b = if times.is_empty() {
+                let quantile = (times.len() * k / m).min(times.len().saturating_sub(1));
+                let b = times.get(quantile).copied().unwrap_or_else(|| {
                     // Empty cell: fall back to uniform slicing.
                     t_lo + (t_hi - t_lo) * (k as f64) / (m as f64)
-                } else {
-                    times[(times.len() * k / m).min(times.len() - 1)]
-                };
-                // Boundaries must be non-decreasing and inside the span.
-                let prev = *bounds.last().expect("non-empty");
+                });
+                // Boundaries must be non-decreasing and inside the span
+                // (`bounds` always starts with `t_lo`).
+                let prev = bounds.last().copied().unwrap_or(t_lo);
                 bounds.push(b.clamp(prev, t_hi));
             }
             bounds.push(t_hi);
@@ -218,11 +217,13 @@ impl PartitioningScheme {
     fn rebuild_partitions(&mut self, sample: &RecordBatch) {
         let m = self.spec.temporal;
         let mut partitions = Vec::with_capacity(self.cells.len() * m);
-        for (c, cell) in self.cells.iter().enumerate() {
-            let bounds = &self.time_bounds[c];
-            for k in 0..m {
-                let min = cell.min().with_axis(2, bounds[k]);
-                let max = cell.max().with_axis(2, bounds[k + 1]);
+        for (c, (cell, bounds)) in self.cells.iter().zip(&self.time_bounds).enumerate() {
+            // `bounds` has m + 1 entries, so `windows(2)` yields exactly
+            // the m consecutive (lower, upper) slice pairs.
+            for (k, pair) in bounds.windows(2).enumerate() {
+                let &[lo, hi] = pair else { continue };
+                let min = cell.min().with_axis(2, lo);
+                let max = cell.max().with_axis(2, hi);
                 partitions.push(Partition {
                     id: c * m + k,
                     range: Cuboid::new(min, max),
@@ -233,7 +234,9 @@ impl PartitioningScheme {
         for i in 0..sample.len() {
             let p = sample.point(i);
             let id = self.assign_point(p.x, p.y, p.t);
-            partitions[id].count += 1;
+            if let Some(part) = partitions.get_mut(id) {
+                part.count += 1;
+            }
         }
         self.partitions = partitions;
     }
@@ -259,11 +262,12 @@ impl PartitioningScheme {
             // No sample here: split geometrically.
             (footprint.min().axis(axis) + footprint.max().axis(axis)) / 2.0
         } else {
-            let mid = points.len() / 2;
-            points.select_nth_unstable_by(mid.min(points.len() - 1), |a, b| {
-                key(a).total_cmp(&key(b))
-            });
-            key(&points[mid.min(points.len() - 1)])
+            let mid = (points.len() / 2).min(points.len() - 1);
+            points.select_nth_unstable_by(mid, |a, b| key(a).total_cmp(&key(b)));
+            points
+                .get(mid)
+                .map(key)
+                .unwrap_or_else(|| (footprint.min().axis(axis) + footprint.max().axis(axis)) / 2.0)
                 .clamp(footprint.min().axis(axis), footprint.max().axis(axis))
         };
         let (low_box, high_box) = footprint.split_at(axis, value);
@@ -341,10 +345,15 @@ impl PartitioningScheme {
                 }
             }
         };
-        let bounds = &self.time_bounds[cell];
-        // Find the slice with bounds[k] <= t < bounds[k+1]; clamp ends.
         let m = self.spec.temporal;
-        let mut k = match bounds[1..m].binary_search_by(|b| b.total_cmp(&t)) {
+        let Some(bounds) = self.time_bounds.get(cell) else {
+            // Leaves and `time_bounds` are built together; an unknown
+            // cell (impossible for built schemes) maps to slice 0.
+            return cell * m;
+        };
+        // Find the slice with bounds[k] <= t < bounds[k+1]; clamp ends.
+        let interior = bounds.get(1..m).unwrap_or_default();
+        let mut k = match interior.binary_search_by(|b| b.total_cmp(&t)) {
             // t equals an interior boundary: boundary belongs to the
             // upper slice.
             Ok(i) => i + 1,
@@ -362,7 +371,9 @@ impl PartitioningScheme {
         for i in 0..batch.len() {
             let p = batch.point(i);
             let id = self.assign_point(p.x, p.y, p.t);
-            out[id].push(batch.get(i));
+            if let Some(part) = out.get_mut(id) {
+                part.push(batch.get(i));
+            }
         }
         out
     }
@@ -374,7 +385,9 @@ impl PartitioningScheme {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    #[allow(clippy::indexing_slicing)]
     pub fn note_insertions(&mut self, id: usize, n: usize) {
+        // audit: allow(indexing, documented `# Panics` contract; ids come from `assign_point`)
         self.partitions[id].count += n;
     }
 
@@ -389,17 +402,23 @@ impl PartitioningScheme {
         let (t0, t1) = (query.min().t, query.max().t);
         let mut out = Vec::new();
         for cell in cells {
-            if !self.cells[cell].intersects(query) {
+            if !self
+                .cells
+                .get(cell)
+                .is_some_and(|range| range.intersects(query))
+            {
                 continue; // tree walk prunes by x/y only; confirm in 3-D
             }
-            let bounds = &self.time_bounds[cell];
+            let Some(bounds) = self.time_bounds.get(cell) else {
+                continue;
+            };
             // First slice whose upper bound reaches t0, last whose lower
             // bound is ≤ t1 (closed intersection test, like Range ∩).
             let mut k = 0;
-            while k < m && bounds[k + 1] < t0 {
+            while k < m && bounds.get(k + 1).is_some_and(|&b| b < t0) {
                 k += 1;
             }
-            while k < m && bounds[k] <= t1 {
+            while k < m && bounds.get(k).is_some_and(|&b| b <= t1) {
                 out.push(cell * m + k);
                 k += 1;
             }
@@ -428,7 +447,7 @@ fn itertools_partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize 
     let mut i = 0;
     let mut j = slice.len();
     while i < j {
-        if pred(&slice[i]) {
+        if slice.get(i).is_some_and(&pred) {
             i += 1;
         } else {
             j -= 1;

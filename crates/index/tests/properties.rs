@@ -1,5 +1,16 @@
 //! Property-based tests for partitioning-scheme invariants.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_geo::{Cuboid, Point, QuerySize};
 use blot_index::{PartitioningScheme, SchemeSpec};
 use blot_model::{Record, RecordBatch};

@@ -192,8 +192,11 @@ impl MipSolver {
             let branch_var = problem
                 .binary_vars()
                 .into_iter()
-                .filter(|&j| (node.bounds[j].1 - node.bounds[j].0) > 0.5)
-                .map(|j| (j, (node.fractional[j] - 0.5).abs()))
+                .filter(|&j| node.bounds.get(j).is_some_and(|&(lo, hi)| (hi - lo) > 0.5))
+                .map(|j| {
+                    let frac = node.fractional.get(j).copied().unwrap_or(0.0);
+                    (j, (frac - 0.5).abs())
+                })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
 
             let Some((var, _)) = branch_var else {
@@ -203,7 +206,10 @@ impl MipSolver {
 
             for fix in [1.0, 0.0] {
                 let mut bounds = node.bounds.clone();
-                bounds[var] = (fix, fix);
+                let Some(slot) = bounds.get_mut(var) else {
+                    continue;
+                };
+                *slot = (fix, fix);
                 let lp = solve_lp(problem, Some(&bounds));
                 stats.nodes_explored += 1;
                 stats.lp_iterations += lp.iterations;
@@ -216,14 +222,17 @@ impl MipSolver {
                         continue;
                     }
                 }
-                let is_integral = problem
-                    .binary_vars()
-                    .iter()
-                    .all(|&j| lp.values[j] < INT_TOL || lp.values[j] > 1.0 - INT_TOL);
+                let is_integral = problem.binary_vars().iter().all(|&j| {
+                    lp.values
+                        .get(j)
+                        .is_some_and(|&v| !(INT_TOL..=1.0 - INT_TOL).contains(&v))
+                });
                 if is_integral {
                     let mut values = lp.values.clone();
                     for j in problem.binary_vars() {
-                        values[j] = values[j].round();
+                        if let Some(v) = values.get_mut(j) {
+                            *v = v.round();
+                        }
                     }
                     let objective = problem.objective_value(&values);
                     if incumbent

@@ -1,10 +1,9 @@
 //! Modelling API: minimisation problems over non-negative variables.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Relation of a linear constraint row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Relation {
     /// `Σ aᵢxᵢ ≤ b`
     Le,
@@ -15,7 +14,7 @@ pub enum Relation {
 }
 
 /// One linear constraint in sparse form.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Constraint {
     /// `(variable index, coefficient)` pairs; unmentioned variables have
     /// coefficient 0.
@@ -32,7 +31,7 @@ pub struct Constraint {
 /// Continuous variables are bounded below by 0 and above only by the
 /// constraints; binary variables additionally get an implicit `x ≤ 1`
 /// bound and an integrality requirement enforced by branch & bound.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Problem {
     num_vars: usize,
     objective: Vec<f64>,
@@ -145,19 +144,21 @@ impl Problem {
     /// Panics if `j` is out of range.
     pub fn mark_binary(&mut self, j: usize) {
         assert!(j < self.num_vars, "variable index {j} out of range");
-        self.binary[j] = true;
+        if let Some(b) = self.binary.get_mut(j) {
+            *b = true;
+        }
     }
 
     /// Whether variable `j` is binary.
     #[must_use]
     pub fn is_binary(&self, j: usize) -> bool {
-        self.binary[j]
+        self.binary.get(j).copied().unwrap_or(false)
     }
 
     /// Indices of the binary variables.
     #[must_use]
     pub fn binary_vars(&self) -> Vec<usize> {
-        (0..self.num_vars).filter(|&j| self.binary[j]).collect()
+        (0..self.num_vars).filter(|&j| self.is_binary(j)).collect()
     }
 
     /// Objective value of an assignment.
@@ -184,12 +185,16 @@ impl Problem {
             if v < -tol {
                 return false;
             }
-            if self.binary[j] && v > 1.0 + tol {
+            if self.is_binary(j) && v > 1.0 + tol {
                 return false;
             }
         }
         self.constraints.iter().all(|c| {
-            let lhs: f64 = c.coeffs.iter().map(|&(j, a)| a * values[j]).sum();
+            let lhs: f64 = c
+                .coeffs
+                .iter()
+                .map(|&(j, a)| a * values.get(j).copied().unwrap_or(0.0))
+                .sum();
             match c.relation {
                 Relation::Le => lhs <= c.rhs + tol,
                 Relation::Ge => lhs >= c.rhs - tol,
@@ -198,6 +203,14 @@ impl Problem {
         })
     }
 }
+
+// Compile-time guarantee that the error type is usable across threads
+// and in `Box<dyn Error>` chains; `cargo xtask lint` (rule
+// `error-traits`) checks that this assertion exists.
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<MipError>()
+};
 
 #[cfg(test)]
 mod tests {

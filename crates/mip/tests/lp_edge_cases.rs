@@ -1,6 +1,17 @@
 //! Extra LP edge cases: degenerate, redundant and near-singular
 //! instances that historically break naive simplex implementations.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_mip::{solve_lp, LpStatus, Problem, Relation};
 
 fn close(a: f64, b: f64) {

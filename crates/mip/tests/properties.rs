@@ -1,6 +1,17 @@
 //! Property tests: branch & bound must agree with brute force on every
 //! random instance where brute force is feasible.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot_mip::{solve_brute_force, MipError, MipSolver, Problem, Relation};
 use proptest::prelude::*;
 

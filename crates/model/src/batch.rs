@@ -1,5 +1,4 @@
 use blot_geo::{Cuboid, Point};
-use serde::{Deserialize, Serialize};
 
 use crate::{ParseError, Record};
 
@@ -8,7 +7,7 @@ use crate::{ParseError, Record};
 /// Every column has the same length. The batch preserves insertion order;
 /// partitioners typically sort batches by `(oid, time)` before encoding so
 /// that delta encodings compress well (§II-C of the paper).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecordBatch {
     /// Object identifiers.
     pub oids: Vec<u32>,
@@ -92,6 +91,7 @@ impl RecordBatch {
     ///
     /// Panics if `i >= self.len()`.
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn get(&self, i: usize) -> Record {
         Record {
             oid: self.oids[i],
@@ -111,6 +111,7 @@ impl RecordBatch {
     ///
     /// Panics if `i >= self.len()`.
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn point(&self, i: usize) -> Point {
         #[allow(clippy::cast_precision_loss)]
         Point::new(self.xs[i], self.ys[i], self.times[i] as f64)
@@ -139,6 +140,7 @@ impl RecordBatch {
 
     /// Reorders the batch in place so records are sorted by `(oid, time)`
     /// — the order column encodings expect.
+    #[allow(clippy::indexing_slicing)] // indices come from 0..len
     pub fn sort_by_oid_time(&mut self) {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.sort_by_key(|&i| (self.oids[i], self.times[i]));
@@ -146,6 +148,7 @@ impl RecordBatch {
     }
 
     /// Reorders the batch in place so records are sorted by time.
+    #[allow(clippy::indexing_slicing)] // indices come from 0..len
     pub fn sort_by_time(&mut self) {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.sort_by_key(|&i| self.times[i]);
@@ -153,6 +156,7 @@ impl RecordBatch {
     }
 
     fn permute(&mut self, idx: &[usize]) {
+        #[allow(clippy::indexing_slicing)] // callers pass a permutation of 0..len
         fn apply<T: Copy>(v: &[T], idx: &[usize]) -> Vec<T> {
             idx.iter().map(|&i| v[i]).collect()
         }

@@ -32,3 +32,11 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+// Compile-time guarantee that the error type is usable across threads
+// and in `Box<dyn Error>` chains; `cargo xtask lint` (rule
+// `error-traits`) checks that this assertion exists.
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<ParseError>()
+};

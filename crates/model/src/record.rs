@@ -1,5 +1,4 @@
 use blot_geo::{Cuboid, Point};
-use serde::{Deserialize, Serialize};
 
 use crate::ParseError;
 
@@ -9,7 +8,7 @@ use crate::ParseError;
 /// [`oid`](Self::oid), [`time`](Self::time) and the location
 /// ([`x`](Self::x), [`y`](Self::y)). The remaining five *common
 /// attributes* model the telemetry a taxi GPS logger typically reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Record {
     /// Object (vehicle) identifier.
     pub oid: u32,

@@ -6,8 +6,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
-
+use crate::sync::RwLock;
 use crate::StorageError;
 
 /// Address of one storage unit: `(replica id, partition id)`.
@@ -226,6 +225,7 @@ pub enum FailureMode {
 /// Wraps a backend and injects per-unit failures — the fault model used
 /// to demonstrate that diverse replicas "can recover each other when
 /// failures occur because they share the same logical view" (§I).
+#[derive(Debug)]
 pub struct FailingBackend<B> {
     inner: B,
     failures: RwLock<HashMap<UnitKey, FailureMode>>,

@@ -13,8 +13,6 @@
 //! simulated scans by the calibration harness (§V-B), never read from
 //! these constants directly.
 
-use serde::{Deserialize, Serialize};
-
 /// Latency structure of one execution environment.
 ///
 /// Simulated time for scanning a unit of `b` bytes whose decode+filter
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// extra = task_startup_ms + open_latency_ms
 /// scan  = b / bandwidth_bytes_per_ms + cpu × cpu_factor
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnvProfile {
     /// Human-readable environment name.
     pub name: &'static str,

@@ -28,6 +28,8 @@ pub enum StorageError {
         /// The OS error.
         source: std::io::Error,
     },
+    /// A scan worker thread panicked instead of returning a result.
+    WorkerPanicked,
 }
 
 impl fmt::Display for StorageError {
@@ -36,6 +38,7 @@ impl fmt::Display for StorageError {
             Self::NotFound { key } => write!(f, "storage unit {key} not found"),
             Self::Corrupt { key, source } => write!(f, "storage unit {key} corrupt: {source}"),
             Self::Io { key, source } => write!(f, "I/O error on storage unit {key}: {source}"),
+            Self::WorkerPanicked => write!(f, "a scan worker thread panicked"),
         }
     }
 }
@@ -46,6 +49,15 @@ impl std::error::Error for StorageError {
             Self::NotFound { .. } => None,
             Self::Corrupt { source, .. } => Some(source),
             Self::Io { source, .. } => Some(source),
+            Self::WorkerPanicked => None,
         }
     }
 }
+
+// Compile-time guarantee that the error type is usable across threads
+// and in `Box<dyn Error>` chains; `cargo xtask lint` (rule
+// `error-traits`) checks that this assertion exists.
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<StorageError>()
+};

@@ -5,8 +5,6 @@
 //! map-only MapReduce job … with each mapper scanning exactly one of the
 //! involved partitions" (§V-A).
 
-use crossbeam::thread;
-
 use crate::scan::{run_scan, ScanReport, ScanTask};
 use crate::{Backend, EnvProfile, StorageError};
 
@@ -62,28 +60,28 @@ impl MapOnlyJob {
                     .collect()
             })
             .collect();
-        let results: Vec<Result<Vec<(usize, ScanReport)>, StorageError>> = thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .enumerate()
-                .map(|(t, chunk)| {
-                    s.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(i, task)| {
-                                run_scan(backend, env, task).map(|r| (t + i * host_threads, r))
-                            })
-                            .collect()
+        let results: Vec<Result<Vec<(usize, ScanReport)>, StorageError>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(t, chunk)| {
+                        s.spawn(move || {
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(i, task)| {
+                                    run_scan(backend, env, task).map(|r| (t + i * host_threads, r))
+                                })
+                                .collect()
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan thread panicked"))
-                .collect()
-        })
-        .expect("scope failed");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(Err(StorageError::WorkerPanicked)))
+                    .collect()
+            });
 
         let mut indexed: Vec<(usize, ScanReport)> = Vec::with_capacity(self.tasks.len());
         for r in results {
@@ -115,11 +113,14 @@ fn makespan(durations: &[f64], slots: usize) -> f64 {
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
     let mut loads = vec![0.0f64; slots];
     for d in sorted {
-        let min = loads
+        // `slots` is clamped to 1 above, so a least-loaded machine
+        // always exists.
+        if let Some(min) = loads
             .iter_mut()
             .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("slots >= 1");
-        *min += d;
+        {
+            *min += d;
+        }
     }
     loads.into_iter().fold(0.0, f64::max)
 }

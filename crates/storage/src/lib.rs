@@ -61,6 +61,7 @@ mod env;
 mod error;
 pub mod job;
 pub mod scan;
+pub mod sync;
 
 pub use backend::{Backend, FailingBackend, FailureMode, FileBackend, MemBackend, UnitKey};
 pub use env::EnvProfile;

@@ -1,0 +1,70 @@
+//! Poison-recovering wrappers over [`std::sync`] locks.
+//!
+//! A poisoned lock only means some thread panicked while holding it.
+//! Every structure guarded here (unit maps, failure tables, query logs)
+//! is valid after any prefix of its mutations, so recovering the guard
+//! is always sound — and it keeps panic paths out of library code,
+//! which the workspace audit (`cargo xtask lint`) forbids.
+
+use std::sync::{MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
+
+/// An [`std::sync::RwLock`] whose accessors recover from poisoning
+/// instead of panicking.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// An [`std::sync::Mutex`] whose accessor recovers from poisoning
+/// instead of panicking.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the mutex.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let m = std::sync::Arc::new(Mutex::new(1u32));
+        let r = std::sync::Arc::new(RwLock::new(2u32));
+        let (mc, rc) = (m.clone(), r.clone());
+        let _ = std::thread::spawn(move || {
+            let _g1 = mc.lock();
+            let _g2 = rc.write();
+            panic!("poison both");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+        assert_eq!(*r.read(), 2);
+        *r.write() = 3;
+        assert_eq!(*r.read(), 3);
+    }
+}

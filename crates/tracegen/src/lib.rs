@@ -43,13 +43,12 @@ use blot_geo::{Cuboid, Point};
 use blot_model::{Record, RecordBatch};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Seconds in the paper's 28-day observation window.
 pub const PAPER_DURATION_SECS: i64 = 28 * 24 * 3600;
 
 /// Configuration of the synthetic fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Number of vehicles.
     pub num_taxis: u32,
@@ -152,7 +151,8 @@ impl FleetConfig {
     /// then time).
     #[must_use]
     pub fn generate(&self) -> RecordBatch {
-        let mut batch = RecordBatch::with_capacity(self.total_records() as usize);
+        let mut batch =
+            RecordBatch::with_capacity(usize::try_from(self.total_records()).unwrap_or(0));
         for taxi in 0..self.num_taxis {
             for r in self.taxi_trace(taxi) {
                 batch.push(r);
@@ -202,7 +202,10 @@ impl TaxiTrace {
         let mut rng = SmallRng::seed_from_u64(config.seed ^ (u64::from(taxi) << 20) ^ 0xA5A5);
         let hotspots = config.hotspots();
         // Start near a random hotspot.
-        let h = hotspots[rng.gen_range(0..hotspots.len())];
+        let h = hotspots
+            .get(rng.gen_range(0..hotspots.len()))
+            .copied()
+            .unwrap_or((0.0, 0.0));
         let x = h.0 + rng.gen_range(-0.05..0.05);
         let y = h.1 + rng.gen_range(-0.05..0.05);
         // Stagger vehicle start times across one interval.
@@ -236,7 +239,7 @@ impl TaxiTrace {
             } else {
                 self.rng.gen_range(0..self.hotspots.len())
             };
-            let (hx, hy) = self.hotspots[idx];
+            let (hx, hy) = self.hotspots.get(idx).copied().unwrap_or((0.0, 0.0));
             (
                 hx + self.rng.gen_range(-0.08..0.08),
                 hy + self.rng.gen_range(-0.08..0.08),

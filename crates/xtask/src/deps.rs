@@ -1,0 +1,137 @@
+//! Offline dependency audit over `cargo metadata`.
+//!
+//! No network access is assumed (or available): the audit inspects the
+//! resolved metadata only — every package must declare a license, and
+//! no two versions of the same package may differ in major version
+//! (which would mean two copies compiled into the binaries).
+
+use crate::rules::{Rule, Violation};
+use blot_json::Json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs `cargo metadata` and audits the package graph.
+///
+/// # Errors
+///
+/// Returns a message if `cargo metadata` cannot be run or its output
+/// cannot be parsed.
+pub fn audit_dependencies(workspace_root: &Path) -> Result<Vec<Violation>, String> {
+    let output = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(["metadata", "--format-version", "1", "--offline"])
+        .current_dir(workspace_root)
+        .output()
+        .map_err(|e| format!("cannot run cargo metadata: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "cargo metadata failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    let text = String::from_utf8_lossy(&output.stdout);
+    let tree = Json::parse(&text).map_err(|e| format!("cargo metadata output: {e}"))?;
+    audit_metadata(&tree)
+}
+
+/// The metadata-level checks, separated out for testability.
+///
+/// # Errors
+///
+/// Returns a message if the JSON lacks the expected `packages` shape.
+pub fn audit_metadata(tree: &Json) -> Result<Vec<Violation>, String> {
+    let packages = tree
+        .get("packages")
+        .and_then(Json::as_array)
+        .ok_or("metadata has no packages array")?;
+
+    let mut violations = Vec::new();
+    let mut versions: std::collections::HashMap<String, Vec<(String, PathBuf)>> =
+        std::collections::HashMap::new();
+
+    for p in packages {
+        let name = p.get("name").and_then(Json::as_str).unwrap_or("?");
+        let manifest = PathBuf::from(
+            p.get("manifest_path")
+                .and_then(Json::as_str)
+                .unwrap_or("Cargo.toml"),
+        );
+        let license = p.get("license").and_then(Json::as_str).unwrap_or("");
+        let license_file = p.get("license_file").and_then(Json::as_str).unwrap_or("");
+        if license.is_empty() && license_file.is_empty() {
+            violations.push(Violation {
+                rule: Rule::Deps,
+                file: manifest.clone(),
+                line: 1,
+                message: format!("package `{name}` declares no license"),
+            });
+        }
+        let version = p.get("version").and_then(Json::as_str).unwrap_or("0.0.0");
+        versions
+            .entry(name.to_string())
+            .or_default()
+            .push((version.to_string(), manifest));
+    }
+
+    for (name, vs) in versions {
+        let mut majors: Vec<String> = vs.iter().map(|(v, _)| major_of(v)).collect();
+        majors.sort();
+        majors.dedup();
+        if majors.len() > 1 {
+            if let Some((_, manifest)) = vs.first() {
+                violations.push(Violation {
+                    rule: Rule::Deps,
+                    file: manifest.clone(),
+                    line: 1,
+                    message: format!(
+                        "package `{name}` resolved at incompatible majors: {}",
+                        majors.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// The semver-major key of a version: `1.2.3` → `1`, but `0.2.3` → `0.2`
+/// (pre-1.0 minors are breaking).
+fn major_of(version: &str) -> String {
+    let mut parts = version.split('.');
+    let major = parts.next().unwrap_or("0");
+    if major == "0" {
+        format!("0.{}", parts.next().unwrap_or("0"))
+    } else {
+        major.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_license_and_duplicate_majors_fire() {
+        let meta = Json::parse(
+            r#"{"packages": [
+                {"name": "a", "version": "1.0.0", "license": "MIT", "manifest_path": "a/Cargo.toml"},
+                {"name": "b", "version": "0.2.0", "license": null, "manifest_path": "b/Cargo.toml"},
+                {"name": "c", "version": "0.2.0", "license": "MIT", "manifest_path": "c1/Cargo.toml"},
+                {"name": "c", "version": "0.3.1", "license": "MIT", "manifest_path": "c2/Cargo.toml"}
+            ]}"#,
+        )
+        .expect("parse");
+        let v = audit_metadata(&meta).expect("audit");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("`b` declares no license")));
+        assert!(v.iter().any(|x| x.message.contains("incompatible majors")));
+    }
+
+    #[test]
+    fn major_keys() {
+        assert_eq!(major_of("1.2.3"), "1");
+        assert_eq!(major_of("0.2.3"), "0.2");
+        assert_eq!(major_of("2.0.0"), "2");
+    }
+}

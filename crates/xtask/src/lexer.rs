@@ -1,0 +1,344 @@
+//! A small Rust lexer: enough token structure for the audit rules.
+//!
+//! This is not a full Rust grammar — it tokenises identifiers,
+//! punctuation, literals and comments with line numbers, and it gets
+//! the hard cases right that would otherwise break a regex-based scan:
+//! nested block comments, raw strings (`r#"…"#`), byte strings, char
+//! literals vs. lifetimes, and doc comments vs. plain comments.
+
+/// What a token is, at the granularity the audit rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+    /// String / char / numeric literal (content not preserved for
+    /// strings — only that a literal occupies the position).
+    Literal,
+    /// `//` or `/* */` comment that is not a doc comment.
+    Comment,
+    /// `///`, `//!`, `/** */` or `/*! */` doc comment.
+    Doc,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Source text (for comments and idents; literals keep a marker).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+/// Lexes `source`, never failing: unterminated constructs consume the
+/// rest of the input as a single token.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: usize) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c == 'r' || c == 'b' => self.ident_or_prefixed_literal(line),
+                _ if c.is_alphabetic() || c == '_' => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(Kind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                Kind::Doc
+            } else {
+                Kind::Comment
+            };
+        self.push(kind, text, line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let kind = if (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+            || text.starts_with("/*!")
+        {
+            Kind::Doc
+        } else {
+            Kind::Comment
+        };
+        self.push(kind, text, line);
+    }
+
+    fn string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Kind::Literal, "\"…\"".into(), line);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // the quote
+        let is_lifetime = match (self.peek(0), self.peek(1)) {
+            // `'a'` is a char; `'a` followed by anything but `'` is a
+            // lifetime (labels lex the same way, which is fine here).
+            (Some(c), Some('\'')) if c != '\\' => false,
+            (Some(c), _) if c.is_alphabetic() || c == '_' => true,
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Kind::Ident, text, line);
+            return;
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(Kind::Literal, "'…'".into(), line);
+    }
+
+    /// Identifiers starting `r`/`b` may instead open raw or byte
+    /// literals (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`).
+    fn ident_or_prefixed_literal(&mut self, line: usize) {
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1, c2) {
+            (Some('b'), Some('\''), _) => {
+                self.bump();
+                self.char_or_lifetime(line);
+            }
+            (Some('b'), Some('"'), _) => {
+                self.bump();
+                self.string(line);
+            }
+            (Some('r'), Some('"' | '#'), _)
+                if c1 == Some('"') || c2 == Some('"') || c2 == Some('#') =>
+            {
+                self.bump();
+                self.raw_string(line);
+            }
+            (Some('b'), Some('r'), Some('"' | '#')) => {
+                self.bump();
+                self.bump();
+                self.raw_string(line);
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    fn raw_string(&mut self, line: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` (raw identifier): lex the identifier itself.
+            self.ident(line);
+            return;
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Kind::Literal, "r\"…\"".into(), line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            // Defensive: only reachable on stray non-ident bytes.
+            if let Some(c) = self.bump() {
+                self.push(Kind::Punct, c.to_string(), line);
+            }
+            return;
+        }
+        self.push(Kind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Digits, hex letters, suffixes and `_`; `.` is left to
+            // punct so ranges (`0..10`) lex cleanly.
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Kind::Literal, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_docs_are_distinguished() {
+        let toks = kinds("// plain\n/// doc\n//! inner\n/* block */\n/** docblock */");
+        assert_eq!(toks[0].0, Kind::Comment);
+        assert_eq!(toks[1].0, Kind::Doc);
+        assert_eq!(toks[2].0, Kind::Doc);
+        assert_eq!(toks[3].0, Kind::Comment);
+        assert_eq!(toks[4].0, Kind::Doc);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap() // not a comment";"#);
+        assert!(toks.iter().all(|(_, t)| !t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"embedded "quotes" here"#; x"###);
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(Kind::Ident));
+        let n_literals = toks.iter().filter(|(k, _)| *k == Kind::Literal).count();
+        assert_eq!(n_literals, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes = toks.iter().filter(|(_, t)| t == "'a").count();
+        assert_eq!(lifetimes, 2);
+        let chars = toks.iter().filter(|(k, _)| *k == Kind::Literal).count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still outer */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].0, Kind::Ident);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,267 @@
+//! blot-audit: the workspace's static-analysis gate.
+//!
+//! `cargo xtask lint` walks every workspace crate and enforces the
+//! invariants the replica-selection hot paths rely on:
+//!
+//! * **panic** — no `.unwrap()` / `.expect(…)` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in the non-test
+//!   library code of the audited crates (`core`, `storage`, `codec`,
+//!   `mip`, `index`): a query must fail over to another replica, not
+//!   abort the process;
+//! * **indexing** — no `expr[…]` in the same scope (prefer `.get(…)`;
+//!   structurally-safe dense loops carry a justification);
+//! * **lossy-cast** — the codec's bit-level files may not narrow
+//!   integers with `as`; conversions are `try_from`/checked or
+//!   individually justified;
+//! * **errors-doc** — every `pub fn` returning `Result` documents its
+//!   `# Errors`;
+//! * **error-traits** — every public error enum has an
+//!   `std::error::Error` impl and a `require_error_traits::<…>`
+//!   Send + Sync compile-time assertion;
+//! * **deps** — offline `cargo metadata` audit: licenses declared,
+//!   no duplicate semver-major versions.
+//!
+//! Waivers are per-site `// audit: allow(rule, reason)` comments (or
+//! `allow-file` for whole files); the lint prints the full ledger and
+//! fails on waivers that no longer waive anything.
+
+// Token-index arithmetic throughout this crate works on indices the
+// scanners themselves produced; `.get()` chains would only obscure it.
+// The audited product crates do NOT get this waiver.
+#![allow(clippy::indexing_slicing)]
+
+pub mod deps;
+pub mod lexer;
+pub mod rules;
+
+use rules::{Allow, Rule, RuleSet, Violation};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must be panic-free (rule `panic` and
+/// `indexing`): these implement the query/repair hot paths.
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "storage", "codec", "mip", "index"];
+
+/// Codec files holding bit-level encode/decode state machines (rule
+/// `lossy-cast`).
+pub const BIT_LEVEL_FILES: &[&str] = &["bitio.rs", "varint.rs", "gorilla.rs", "range.rs"];
+
+/// Aggregated result of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations across all rules, in walk order.
+    pub violations: Vec<Violation>,
+    /// Every `audit: allow` comment found, with use counts.
+    pub allows: Vec<Allow>,
+    /// Waived sites per rule.
+    pub waived: HashMap<Rule, usize>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace passes the audit.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one rule.
+    #[must_use]
+    pub fn count(&self, rule: Rule) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{v}");
+        }
+        let _ = writeln!(out, "---");
+        let _ = writeln!(
+            out,
+            "blot-audit: {} file(s) scanned, {} violation(s)",
+            self.files_scanned,
+            self.violations.len()
+        );
+        for rule in [
+            Rule::Panic,
+            Rule::Indexing,
+            Rule::LossyCast,
+            Rule::ErrorsDoc,
+            Rule::ErrorTraits,
+            Rule::Deps,
+            Rule::UnusedAllow,
+        ] {
+            let n = self.count(rule);
+            let waived = self.waived.get(&rule).copied().unwrap_or(0);
+            if n > 0 || waived > 0 {
+                let _ = writeln!(out, "  {rule:<14} {n} violation(s), {waived} waived");
+            }
+        }
+        let used: Vec<&Allow> = self.allows.iter().filter(|a| a.used > 0).collect();
+        if !used.is_empty() {
+            let _ = writeln!(out, "allow ledger ({} entr{}):", used.len(), {
+                if used.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            });
+            for a in used {
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: {}({}) ×{} — {}",
+                    a.file.display(),
+                    a.line,
+                    if a.file_wide { "allow-file" } else { "allow" },
+                    a.rule,
+                    a.used,
+                    if a.reason.is_empty() {
+                        "(no reason given)"
+                    } else {
+                        &a.reason
+                    }
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// `with_deps` controls whether the `cargo metadata` dependency audit
+/// runs (fixture tests skip it to stay hermetic).
+///
+/// # Errors
+///
+/// Returns a message when the workspace cannot be walked or the
+/// dependency metadata cannot be obtained.
+pub fn lint_workspace(root: &Path, with_deps: bool) -> Result<Report, String> {
+    let mut report = Report::default();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        lint_crate(root, &dir, &crate_name, &mut report)?;
+    }
+    // The facade crate's own sources.
+    lint_crate(root, root, "blot", &mut report)?;
+
+    if with_deps {
+        report.violations.extend(deps::audit_dependencies(root)?);
+    }
+
+    // Stale allows are violations too — the ledger must stay honest.
+    for a in &report.allows {
+        if a.used == 0 {
+            report.violations.push(Violation {
+                rule: Rule::UnusedAllow,
+                file: a.file.clone(),
+                line: a.line,
+                message: format!("allow({}) waives nothing — remove it", a.rule),
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn lint_crate(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    report: &mut Report,
+) -> Result<(), String> {
+    let src = dir.join("src");
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut files = Vec::new();
+    collect_rs_files(&src, &mut files)?;
+    files.sort();
+
+    let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
+    let mut error_enums: Vec<(String, usize, PathBuf)> = Vec::new();
+    let mut assertions: Vec<String> = Vec::new();
+    let mut impls: Vec<String> = Vec::new();
+
+    for file in &files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let file_name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let rules = RuleSet {
+            panic: panic_free,
+            indexing: panic_free,
+            lossy_cast: crate_name == "codec" && BIT_LEVEL_FILES.contains(&file_name),
+            errors_doc: true,
+        };
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        let fr = rules::audit_file(rel, &source, rules);
+        report.files_scanned += 1;
+        report.violations.extend(fr.violations);
+        report.allows.extend(fr.allows);
+        for (rule, n) in fr.waived {
+            *report.waived.entry(rule).or_default() += n;
+        }
+        for (name, line) in fr.error_enums {
+            error_enums.push((name, line, rel.to_path_buf()));
+        }
+        assertions.extend(fr.trait_assertions);
+        impls.extend(fr.error_impls);
+    }
+
+    for (name, line, file) in error_enums {
+        if !impls.iter().any(|i| i == &name) {
+            report.violations.push(Violation {
+                rule: Rule::ErrorTraits,
+                file: file.clone(),
+                line,
+                message: format!("`{name}` has no `std::error::Error` impl in its crate"),
+            });
+        }
+        if !assertions.iter().any(|a| a == &name) {
+            report.violations.push(Violation {
+                rule: Rule::ErrorTraits,
+                file,
+                line,
+                message: format!(
+                    "`{name}` has no `require_error_traits::<{name}>` Send + Sync assertion"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! `cargo xtask` — workspace maintenance commands.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let with_deps = !args.iter().any(|a| a == "--no-deps");
+            lint(with_deps)
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--no-deps]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(with_deps: bool) -> ExitCode {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::lint_workspace(&root, with_deps) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> Result<PathBuf, String> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".into())
+}

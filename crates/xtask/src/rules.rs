@@ -1,0 +1,649 @@
+//! The audit rules: panic-freedom, indexing, lossy casts, error-enum
+//! hygiene and `# Errors` documentation.
+//!
+//! All rules work on the token stream from [`crate::lexer`]; none of
+//! them require type information. Violations can be waived site by
+//! site with a justification comment, on the offending line or the
+//! line above:
+//!
+//! ```text
+//! // audit: allow(indexing, row length checked by the caller)
+//! ```
+//!
+//! or for a whole file (pervasive, structurally-safe patterns such as
+//! dense matrix code):
+//!
+//! ```text
+//! // audit: allow-file(indexing, dense simplex tableau, bounds by construction)
+//! ```
+//!
+//! Every allow is collected into a ledger that `cargo xtask lint`
+//! prints; allows that waive nothing are themselves violations, so the
+//! ledger cannot rot.
+
+use crate::lexer::{lex, Kind, Token};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, as used in `audit: allow(<rule>, …)` comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`,
+    /// `unimplemented!` in non-test library code.
+    Panic,
+    /// `expr[…]` indexing (prefer `.get(…)`) in non-test library code.
+    Indexing,
+    /// `as` casts to narrower numeric types in bit-level codec files.
+    LossyCast,
+    /// `pub fn … -> Result` without a `# Errors` doc section.
+    ErrorsDoc,
+    /// Public error enum without an `std::error::Error` impl or without
+    /// a `require_error_traits::<…>` Send + Sync assertion.
+    ErrorTraits,
+    /// Dependency-graph problems (unknown license, duplicate majors).
+    Deps,
+    /// An `audit: allow` comment that waives nothing.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// The name used in allow comments and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Indexing => "indexing",
+            Rule::LossyCast => "lossy-cast",
+            Rule::ErrorsDoc => "errors-doc",
+            Rule::ErrorTraits => "error-traits",
+            Rule::Deps => "deps",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "panic" => Rule::Panic,
+            "indexing" => Rule::Indexing,
+            "lossy-cast" => Rule::LossyCast,
+            "errors-doc" => Rule::ErrorsDoc,
+            "error-traits" => Rule::ErrorTraits,
+            "deps" => Rule::Deps,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A parsed `audit: allow` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule being waived.
+    pub rule: Rule,
+    /// Justification text (everything after the comma).
+    pub reason: String,
+    /// File the comment is in.
+    pub file: PathBuf,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Whole-file waiver (`allow-file`) instead of site waiver.
+    pub file_wide: bool,
+    /// How many violations this comment waived.
+    pub used: usize,
+}
+
+/// Result of auditing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived the allowlist.
+    pub violations: Vec<Violation>,
+    /// All allow comments found (with use counts).
+    pub allows: Vec<Allow>,
+    /// Public error enums declared in this file (for the crate-level
+    /// error-traits aggregation).
+    pub error_enums: Vec<(String, usize)>,
+    /// Names asserted via `require_error_traits::<Name>`.
+    pub trait_assertions: Vec<String>,
+    /// Names with an `… Error for Name` impl in this file.
+    pub error_impls: Vec<String>,
+    /// Waived-site counts per rule (for the summary).
+    pub waived: Vec<(Rule, usize)>,
+}
+
+/// Which rules to run on a file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// Panic-freedom (rule `panic`).
+    pub panic: bool,
+    /// Indexing-without-get (rule `indexing`).
+    pub indexing: bool,
+    /// Narrowing `as` casts (rule `lossy-cast`).
+    pub lossy_cast: bool,
+    /// `# Errors` sections on fallible `pub fn`s (rule `errors-doc`).
+    pub errors_doc: bool,
+}
+
+/// Keywords that can precede `[` without the bracket being an index
+/// expression (`let [a, b] = …`, `return [x]`, …).
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "continue", "const", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield", "Self",
+];
+
+/// Cast targets considered lossy without a checked conversion.
+const NARROW_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "f32",
+];
+
+/// Audits one file's source text.
+///
+/// `rules` selects the per-site rules; enum/impl collection for the
+/// crate-level `error-traits` rule always runs.
+#[must_use]
+pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
+    let tokens = lex(source);
+    let mut report = FileReport::default();
+
+    // 1. Allow ledger.
+    for t in &tokens {
+        if t.kind != Kind::Comment {
+            continue;
+        }
+        if let Some(mut allow) = parse_allow(&t.text) {
+            allow.file = file.to_path_buf();
+            allow.line = t.line;
+            report.allows.push(allow);
+        }
+    }
+
+    // 2. Significant tokens outside `#[cfg(test)]` items.
+    let sig = significant_non_test(&tokens);
+
+    // 3. Per-site rules.
+    let mut raw: Vec<Violation> = Vec::new();
+    if rules.panic {
+        scan_panic_sites(file, &tokens, &sig, &mut raw);
+    }
+    if rules.indexing {
+        scan_indexing(file, &tokens, &sig, &mut raw);
+    }
+    if rules.lossy_cast {
+        scan_lossy_casts(file, &tokens, &sig, &mut raw);
+    }
+    if rules.errors_doc {
+        scan_errors_doc(file, &tokens, &sig, &mut raw);
+    }
+
+    // 4. Error enums / impls / assertions (crate-level aggregation).
+    collect_error_items(&tokens, &sig, &mut report);
+
+    // 5. Apply the allowlist.
+    let mut waived: std::collections::HashMap<Rule, usize> = std::collections::HashMap::new();
+    for v in raw {
+        let allow = report.allows.iter_mut().find(|a| {
+            a.rule == v.rule && (a.file_wide || a.line == v.line || a.line + 1 == v.line)
+        });
+        if let Some(a) = allow {
+            a.used += 1;
+            *waived.entry(v.rule).or_default() += 1;
+        } else {
+            report.violations.push(v);
+        }
+    }
+    report.waived = waived.into_iter().collect();
+    report
+}
+
+/// Parses `audit: allow(rule, reason)` / `audit: allow-file(rule, reason)`
+/// out of a comment's text.
+fn parse_allow(comment: &str) -> Option<Allow> {
+    let at = comment.find("audit:")?;
+    let rest = comment[at + "audit:".len()..].trim_start();
+    let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule_name, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    Some(Allow {
+        rule: Rule::from_name(rule_name)?,
+        reason: reason.to_string(),
+        file: PathBuf::new(),
+        line: 0,
+        file_wide,
+        used: 0,
+    })
+}
+
+/// Indices of Ident/Punct/Literal tokens that are not inside a
+/// `#[cfg(test)]` item.
+fn significant_non_test(tokens: &[Token]) -> Vec<usize> {
+    let all: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.kind, Kind::Ident | Kind::Punct | Kind::Literal))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut keep = Vec::with_capacity(all.len());
+    let mut k = 0usize;
+    while k < all.len() {
+        if is_cfg_test_attr(tokens, &all, k) {
+            k = skip_attributed_item(tokens, &all, k);
+        } else {
+            keep.push(all[k]);
+            k += 1;
+        }
+    }
+    keep
+}
+
+/// Does the significant-token position `k` start a `#[cfg(test)]`-style
+/// attribute (any `cfg(…)` mentioning `test`)?
+fn is_cfg_test_attr(tokens: &[Token], all: &[usize], k: usize) -> bool {
+    let text = |j: usize| all.get(j).map(|&i| tokens[i].text.as_str());
+    if text(k) != Some("#") || text(k + 1) != Some("[") || text(k + 2) != Some("cfg") {
+        return false;
+    }
+    // Scan the attribute's bracket group for the ident `test`.
+    let mut depth = 0usize;
+    let mut j = k + 1;
+    while let Some(t) = text(j) {
+        match t {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "test" => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Skips from an attribute at position `k` past the item it decorates:
+/// any further attributes, then either a braced body or a `;`.
+fn skip_attributed_item(tokens: &[Token], all: &[usize], k: usize) -> usize {
+    let text = |j: usize| all.get(j).map(|&i| tokens[i].text.as_str());
+    let mut j = k;
+    let mut brace_depth = 0usize;
+    let mut bracket_depth = 0usize;
+    while let Some(t) = text(j) {
+        match t {
+            "[" => bracket_depth += 1,
+            "]" => bracket_depth = bracket_depth.saturating_sub(1),
+            "{" => brace_depth += 1,
+            "}" => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    return j + 1;
+                }
+            }
+            ";" if brace_depth == 0 && bracket_depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    all.len()
+}
+
+fn scan_panic_sites(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    let text = |j: usize| sig.get(j).map(|&i| tokens[i].text.as_str());
+    for j in 0..sig.len() {
+        let line = tokens[sig[j]].line;
+        // `.unwrap()` / `.expect(`
+        if text(j) == Some(".") {
+            if let (Some(m), Some("(")) = (text(j + 1), text(j + 2)) {
+                if m == "unwrap" || m == "expect" {
+                    out.push(Violation {
+                        rule: Rule::Panic,
+                        file: file.to_path_buf(),
+                        line: tokens[sig[j + 1]].line,
+                        message: format!("`.{m}(…)` in library code — propagate the error"),
+                    });
+                }
+            }
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+        if let Some(m) = text(j) {
+            if matches!(m, "panic" | "unreachable" | "todo" | "unimplemented")
+                && text(j + 1) == Some("!")
+            {
+                out.push(Violation {
+                    rule: Rule::Panic,
+                    file: file.to_path_buf(),
+                    line,
+                    message: format!("`{m}!` in library code — return an error instead"),
+                });
+            }
+        }
+    }
+}
+
+fn scan_indexing(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for j in 1..sig.len() {
+        if tokens[sig[j]].text != "[" {
+            continue;
+        }
+        let prev = &tokens[sig[j - 1]];
+        let is_index_base = match prev.kind {
+            Kind::Ident => {
+                !NON_VALUE_KEYWORDS.contains(&prev.text.as_str()) && !prev.text.starts_with('\'')
+            }
+            Kind::Punct => prev.text == ")" || prev.text == "]",
+            Kind::Literal | Kind::Comment | Kind::Doc => false,
+        };
+        if is_index_base {
+            out.push(Violation {
+                rule: Rule::Indexing,
+                file: file.to_path_buf(),
+                line: tokens[sig[j]].line,
+                message: format!(
+                    "`{}[…]` indexing in library code — use `.get(…)` or justify",
+                    prev.text
+                ),
+            });
+        }
+    }
+}
+
+fn scan_lossy_casts(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for j in 0..sig.len().saturating_sub(1) {
+        if tokens[sig[j]].text != "as" || tokens[sig[j]].kind != Kind::Ident {
+            continue;
+        }
+        let target = &tokens[sig[j + 1]];
+        if target.kind == Kind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+            out.push(Violation {
+                rule: Rule::LossyCast,
+                file: file.to_path_buf(),
+                line: target.line,
+                message: format!(
+                    "`as {}` in bit-level code — use `try_from`/checked conversion or justify",
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+fn scan_errors_doc(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    let text = |j: usize| sig.get(j).map(|&i| tokens[i].text.as_str());
+    for j in 0..sig.len() {
+        if text(j) != Some("pub") || text(j + 1) == Some("(") {
+            continue; // not `pub`, or restricted `pub(crate)` visibility
+        }
+        // Allow qualifiers between `pub` and `fn`.
+        let mut f = j + 1;
+        while matches!(text(f), Some("const" | "async" | "unsafe" | "extern")) {
+            f += 1;
+        }
+        if text(f) != Some("fn") {
+            continue;
+        }
+        let name = text(f + 1).unwrap_or("?").to_string();
+        // Signature: everything up to the body `{` or a trait-decl `;`.
+        let mut returns_result = false;
+        let mut saw_arrow = false;
+        let mut k = f + 2;
+        while let Some(t) = text(k) {
+            match t {
+                "{" | ";" => break,
+                "-" if text(k + 1) == Some(">") => saw_arrow = true,
+                "Result" if saw_arrow => returns_result = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        if !returns_result {
+            continue;
+        }
+        if !docs_before(tokens, sig[j]).contains("# Errors") {
+            out.push(Violation {
+                rule: Rule::ErrorsDoc,
+                file: file.to_path_buf(),
+                line: tokens[sig[j]].line,
+                message: format!("`pub fn {name}` returns `Result` but has no `# Errors` section"),
+            });
+        }
+    }
+}
+
+/// Concatenated doc-comment text immediately above full-token index
+/// `start` (skipping attributes between the docs and the item).
+fn docs_before(tokens: &[Token], start: usize) -> String {
+    let mut docs = Vec::new();
+    let mut i = start;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        match t.kind {
+            Kind::Doc => docs.push(t.text.clone()),
+            Kind::Comment => {}
+            // Attributes between docs and item: skip the `#[…]` group.
+            Kind::Punct | Kind::Ident | Kind::Literal => {
+                if t.text == "]" {
+                    let mut depth = 0usize;
+                    loop {
+                        match tokens[i].text.as_str() {
+                            "]" => depth += 1,
+                            "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if i == 0 {
+                            break;
+                        }
+                        i -= 1;
+                    }
+                    // Step over the `#` that opens the attribute.
+                    if i > 0 && tokens[i - 1].text == "#" {
+                        i -= 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    docs.reverse();
+    docs.join("\n")
+}
+
+fn collect_error_items(tokens: &[Token], sig: &[usize], report: &mut FileReport) {
+    let text = |j: usize| sig.get(j).map(|&i| tokens[i].text.as_str());
+    for j in 0..sig.len() {
+        // `pub enum FooError`
+        if text(j) == Some("pub") && text(j + 1) == Some("enum") {
+            if let Some(name) = text(j + 2) {
+                if name.ends_with("Error") {
+                    report
+                        .error_enums
+                        .push((name.to_string(), tokens[sig[j]].line));
+                }
+            }
+        }
+        // `require_error_traits::<Name>` (the Send + Sync assertion)
+        if text(j) == Some("require_error_traits")
+            && text(j + 1) == Some(":")
+            && text(j + 2) == Some(":")
+            && text(j + 3) == Some("<")
+        {
+            if let Some(name) = text(j + 4) {
+                report.trait_assertions.push(name.to_string());
+            }
+        }
+        // `… Error for Name`
+        if text(j) == Some("Error") && text(j + 1) == Some("for") {
+            if let Some(name) = text(j + 2) {
+                report.error_impls.push(name.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(source: &str) -> FileReport {
+        audit_file(
+            Path::new("test.rs"),
+            source,
+            RuleSet {
+                panic: true,
+                indexing: true,
+                lossy_cast: true,
+                errors_doc: true,
+            },
+        )
+    }
+
+    #[test]
+    fn unwrap_fires_and_tests_are_exempt() {
+        let r = audit(
+            "fn f() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n",
+        );
+        assert_eq!(
+            r.violations
+                .iter()
+                .filter(|v| v.rule == Rule::Panic)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn allow_comment_waives_and_is_counted() {
+        let r = audit(
+            "fn f() {\n    // audit: allow(panic, impossible by construction)\n    x.unwrap();\n}\n",
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.allows.len(), 1);
+        assert_eq!(r.allows[0].used, 1);
+        assert_eq!(r.allows[0].reason, "impossible by construction");
+    }
+
+    #[test]
+    fn unused_allow_stays_unused() {
+        let r = audit("// audit: allow(panic, stale)\nfn f() { let x = 1; }\n");
+        assert_eq!(r.allows[0].used, 0);
+    }
+
+    #[test]
+    fn indexing_fires_but_not_on_patterns_or_types() {
+        let r = audit("fn f(v: &[u8], a: [u8; 2]) { let [x, y] = a; let b = v[0]; }\n");
+        let idx: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::Indexing)
+            .collect();
+        assert_eq!(idx.len(), 1, "{idx:?}");
+        assert!(idx[0].message.contains("`v[…]`"));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let r = audit("fn f() { let s = \"a.unwrap()\"; } // .unwrap() in a comment\n");
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_fires_only_on_narrow_targets() {
+        let r = audit("fn f(x: u64) -> u64 { let a = x as u8; let b = a as u64; b }\n");
+        let casts: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::LossyCast)
+            .collect();
+        assert_eq!(casts.len(), 1);
+        assert!(casts[0].message.contains("as u8"));
+    }
+
+    #[test]
+    fn errors_doc_required_for_fallible_pub_fns() {
+        let bad = audit("pub fn f() -> Result<(), E> { Ok(()) }\n");
+        assert_eq!(bad.violations.len(), 1);
+        assert_eq!(bad.violations[0].rule, Rule::ErrorsDoc);
+
+        let good = audit(
+            "/// Does a thing.\n///\n/// # Errors\n///\n/// Never.\npub fn f() -> Result<(), E> { Ok(()) }\n",
+        );
+        assert!(good.violations.is_empty(), "{:?}", good.violations);
+
+        let crate_vis = audit("pub(crate) fn f() -> Result<(), E> { Ok(()) }\n");
+        assert!(crate_vis.violations.is_empty());
+    }
+
+    #[test]
+    fn error_items_are_collected() {
+        let r = audit(
+            "pub enum FooError { A }\n\
+             impl std::error::Error for FooError {}\n\
+             const _: () = require_error_traits::<FooError>();\n",
+        );
+        assert_eq!(r.error_enums.len(), 1);
+        assert_eq!(r.error_impls, vec!["FooError".to_string()]);
+        assert_eq!(r.trait_assertions, vec!["FooError".to_string()]);
+    }
+
+    #[test]
+    fn file_wide_allow_covers_every_site() {
+        let r = audit(
+            "// audit: allow-file(indexing, dense tableau, bounds by construction)\n\
+             fn f(v: &[f64]) -> f64 { v[0] + v[1] }\n",
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.allows[0].used, 2);
+        assert!(r.allows[0].file_wide);
+    }
+}

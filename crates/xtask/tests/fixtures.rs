@@ -1,0 +1,139 @@
+//! blot-audit acceptance tests: every rule must fire on its known-bad
+//! fixture, waivers must ledger correctly, and the real workspace must
+//! pass clean.
+
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
+use xtask::rules::{audit_file, FileReport, Rule, RuleSet};
+
+const ALL_RULES: RuleSet = RuleSet {
+    panic: true,
+    indexing: true,
+    lossy_cast: true,
+    errors_doc: true,
+};
+
+fn audit_fixture(name: &str, rules: RuleSet) -> FileReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    audit_file(Path::new(name), &source, rules)
+}
+
+fn count(report: &FileReport, rule: Rule) -> usize {
+    report.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn panic_rule_fires_on_every_macro_and_method() {
+    let r = audit_fixture("panic_sites.rs", ALL_RULES);
+    // unwrap, expect, panic!, unreachable!, todo!, unimplemented!
+    assert_eq!(count(&r, Rule::Panic), 6, "violations: {:?}", r.violations);
+}
+
+#[test]
+fn panic_rule_skips_test_modules() {
+    let r = audit_fixture("panic_sites.rs", ALL_RULES);
+    assert!(
+        !r.violations
+            .iter()
+            .any(|v| v.message.contains("unwrap") && v.line > 19),
+        "the #[cfg(test)] unwrap must not be flagged: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn indexing_rule_fires_on_index_and_slice_only() {
+    let r = audit_fixture("indexing.rs", ALL_RULES);
+    // `v[i]` and `&v[1..3]`; `.get()` and slice patterns stay quiet.
+    assert_eq!(
+        count(&r, Rule::Indexing),
+        2,
+        "violations: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn lossy_cast_rule_fires_on_narrowing_only() {
+    let r = audit_fixture("lossy_cast.rs", ALL_RULES);
+    // `as u8` and `as u16`; the widening `as u64` stays quiet.
+    assert_eq!(
+        count(&r, Rule::LossyCast),
+        2,
+        "violations: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn lossy_cast_rule_is_opt_in_per_file() {
+    let rules = RuleSet {
+        lossy_cast: false,
+        ..ALL_RULES
+    };
+    let r = audit_fixture("lossy_cast.rs", rules);
+    assert_eq!(count(&r, Rule::LossyCast), 0);
+}
+
+#[test]
+fn errors_doc_rule_fires_on_undocumented_pub_fn_only() {
+    let r = audit_fixture("errors_doc.rs", ALL_RULES);
+    assert_eq!(
+        count(&r, Rule::ErrorsDoc),
+        1,
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(r.violations[0].message.contains("undocumented"));
+}
+
+#[test]
+fn error_enums_are_reported_for_crate_level_aggregation() {
+    let r = audit_fixture("error_enum.rs", ALL_RULES);
+    assert_eq!(r.error_enums.len(), 1);
+    assert_eq!(r.error_enums[0].0, "BadError");
+    assert!(r.trait_assertions.is_empty());
+    assert!(r.error_impls.is_empty());
+}
+
+#[test]
+fn allow_comments_waive_and_stale_allows_are_ledgered() {
+    let r = audit_fixture("allowed.rs", ALL_RULES);
+    assert_eq!(
+        count(&r, Rule::Indexing),
+        0,
+        "the waived site must not be reported: {:?}",
+        r.violations
+    );
+    let used: Vec<_> = r.allows.iter().filter(|a| a.used > 0).collect();
+    let stale: Vec<_> = r.allows.iter().filter(|a| a.used == 0).collect();
+    assert_eq!(used.len(), 1, "allows: {:?}", r.allows);
+    assert_eq!(used[0].rule, Rule::Indexing);
+    assert_eq!(stale.len(), 1, "allows: {:?}", r.allows);
+    assert_eq!(stale[0].rule, Rule::Panic);
+}
+
+/// The acceptance gate: the real workspace passes the full audit with
+/// zero violations (dep audit skipped to stay hermetic — it shells out
+/// to `cargo metadata`).
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = xtask::lint_workspace(&root, false).expect("lint runs");
+    assert!(
+        report.is_clean(),
+        "workspace audit found violations:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}

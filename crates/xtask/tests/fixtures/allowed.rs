@@ -1,0 +1,10 @@
+//! Fixture for the waiver ledger: one allow that waives a real site,
+//! one stale allow that waives nothing.
+
+pub fn sanctioned(v: &[u8]) -> u8 {
+    // audit: allow(indexing, fixture exercises the waiver path)
+    v[0]
+}
+
+// audit: allow(panic, stale — this waives nothing)
+pub fn clean() {}

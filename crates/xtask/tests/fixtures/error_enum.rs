@@ -1,0 +1,9 @@
+//! Known-bad fixture: a public error enum with neither an
+//! `std::error::Error` impl nor a `require_error_traits` assertion.
+
+/// An error type missing its trait plumbing.
+#[derive(Debug)]
+pub enum BadError {
+    /// Something broke.
+    Oops,
+}

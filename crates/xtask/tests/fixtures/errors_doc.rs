@@ -1,0 +1,20 @@
+//! Known-bad fixture: a fallible `pub fn` whose docs lack the required
+//! errors section, next to a correctly documented one.
+
+/// Parses a number (no errors section — must be flagged).
+pub fn undocumented(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_owned())
+}
+
+/// Parses a number.
+///
+/// # Errors
+///
+/// Returns a message when `s` is not a decimal integer.
+pub fn documented(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_owned())
+}
+
+fn private_needs_no_docs(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_owned())
+}

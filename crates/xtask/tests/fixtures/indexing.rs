@@ -1,0 +1,21 @@
+//! Known-bad fixture: `expr[…]` indexing and slicing the audit must
+//! flag, plus the safe patterns it must NOT flag.
+
+pub fn pick(v: &[u8], i: usize) -> u8 {
+    v[i]
+}
+
+pub fn window(v: &[u8]) -> &[u8] {
+    &v[1..3]
+}
+
+pub fn fine(v: &[u8], i: usize) -> u8 {
+    // `.get()` is the approved access — no violation here.
+    v.get(i).copied().unwrap_or_default()
+}
+
+pub fn patterns_are_fine(v: &[u8]) -> u8 {
+    // A slice pattern is not an index expression.
+    let [a, _b] = v else { return 0 };
+    *a
+}

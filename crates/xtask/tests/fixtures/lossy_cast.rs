@@ -1,0 +1,15 @@
+//! Known-bad fixture: narrowing `as` casts the audit must flag in
+//! bit-level codec files, plus widening casts it must NOT flag.
+
+pub fn narrow(x: u64) -> u8 {
+    x as u8
+}
+
+pub fn narrow_mid(x: usize) -> u16 {
+    x as u16
+}
+
+pub fn widen(x: u8) -> u64 {
+    // Widening never loses bits — no violation.
+    u64::from(x) + (x as u64)
+}

@@ -1,0 +1,27 @@
+//! Known-bad fixture: every `panic`-rule site the audit must flag, plus
+//! test code it must NOT flag.
+
+pub fn all_the_panics(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b: Option<u32> = None;
+    let c = b.expect("value");
+    if v.is_empty() {
+        panic!("no data");
+    }
+    if *a > 10 {
+        unreachable!("bounded above");
+    }
+    if c > 5 {
+        todo!()
+    }
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -8,6 +8,18 @@
 //! cargo run --release --example budget_tuning
 //! ```
 
+// Example code favours directness: `expect` on infallible-by-construction
+// setup keeps the walkthrough readable.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot::core::prelude::*;
 use blot::mip::MipSolver;
 use blot::tracegen::FleetConfig;

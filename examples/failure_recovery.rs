@@ -15,6 +15,18 @@
 //! cargo run --release --example failure_recovery
 //! ```
 
+// Example code favours directness: `expect` on infallible-by-construction
+// setup keeps the walkthrough readable.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot::core::prelude::*;
 use blot::storage::{FailingBackend, FailureMode, MemBackend, UnitKey};
 use blot::tracegen::FleetConfig;
@@ -125,21 +137,21 @@ fn main() {
     store.backend().inject(
         UnitKey {
             replica: 0,
-            partition: u as u32,
+            partition: u32::try_from(u).unwrap_or(u32::MAX),
         },
         FailureMode::Drop,
     );
     store.backend().inject(
         UnitKey {
             replica: 1,
-            partition: v as u32,
+            partition: u32::try_from(v).unwrap_or(u32::MAX),
         },
         FailureMode::Corrupt,
     );
     store.backend().inject(
         UnitKey {
             replica: 2,
-            partition: w as u32,
+            partition: u32::try_from(w).unwrap_or(u32::MAX),
         },
         FailureMode::Drop,
     );

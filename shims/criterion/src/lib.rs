@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the BLOT benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] — backed by a simple
+//! wall-clock harness: a warm-up pass sizes each batch, then
+//! `sample_size` batches are timed and min / median / mean are printed.
+//! There is no statistical analysis, plotting or HTML report.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter taken from the command line, like criterion's.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's CLI loosely: any non-flag argument filters
+        // benchmark names; `--bench`/`--test` etc. are accepted and
+        // ignored so `cargo bench` / `cargo test` invocations work.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_owned());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Throughput annotation; reported as elements or bytes per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates per-iteration throughput for the rate column.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, self.sample_size, self.throughput, |b| f(b));
+        }
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Sizes a batch via warm-up, then times `sample_size` batches.
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: find how many iterations fit in ~50 ms.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    // Aim for ~25 ms per recorded sample. The ratio is positive and the
+    // clamp bounds it, so the float-to-int conversion cannot misbehave.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let batch = ((0.025 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let min = samples.first().copied().unwrap_or(0.0);
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12}/s", human(n as f64 / median)),
+        Throughput::Bytes(n) => format!("  {:>10}B/s", human(n as f64 / median)),
+    });
+    println!(
+        "bench {name:<48} min {:>10}  med {:>10}  mean {:>10}{}",
+        human_time(min),
+        human_time(median),
+        human_time(mean),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} k", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Declares a group of benchmark functions (criterion-compatible form;
+/// configuration arguments are not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench binaries with `--test`; compile
+            // checking is enough there, so skip the timing loops.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,131 @@
+//! Test configuration, RNG plumbing and the `proptest!` entry macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test RNG handed to strategies.
+///
+/// Wraps the vendored [`SmallRng`]; the `rng` field is public to the
+/// crate's strategy implementations.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+impl TestRng {
+    /// Derives a deterministic RNG from a test's name, so every run of
+    /// a given test replays the same case sequence (reproducible CI
+    /// without a regressions file).
+    #[must_use]
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// Subset of proptest's run configuration: the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0..10u32, v in prop::collection::vec(any::<u8>(), 0..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each function runs `config.cases` cases; a failing case panics with
+/// the case number (the sequence is deterministic per test name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            // A tuple of strategies is itself a strategy over a tuple of
+            // values; destructuring it lets each arg be any irrefutable
+            // pattern (`mut data`, `(a, b)`, …).
+            let __strategies = ($($strat,)+);
+            for __case in 0..config.cases {
+                let __result = {
+                    #[allow(unused_mut)]
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body))
+                };
+                if let Err(payload) = __result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic per test name)",
+                        __case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)) => {};
+    (@funcs ($cfg:expr) $($rest:tt)+) => {
+        compile_error!(
+            "proptest shim: expected `#[test] fn name(pat in strategy, ...) { ... }`"
+        );
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}

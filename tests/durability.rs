@@ -1,6 +1,17 @@
 //! Durability integration: on-disk storage units, process-independent
 //! recovery, and cross-replica repair through the file backend.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot::core::prelude::*;
 use blot::storage::{Backend, FileBackend, UnitKey};
 use blot::tracegen::FleetConfig;
@@ -69,7 +80,7 @@ fn store_on_files_answers_and_repairs() {
         .id;
     let k2 = UnitKey {
         replica: 1,
-        partition: k2_pid as u32,
+        partition: u32::try_from(k2_pid).unwrap_or(u32::MAX),
     };
     std::fs::remove_file(dir.join("r0").join("p7.unit")).expect("rm");
     // Truncate (torn write) instead of deleting.

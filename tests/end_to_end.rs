@@ -1,6 +1,17 @@
 //! End-to-end integration: generate → calibrate → estimate → select →
 //! build → query, across every crate in the workspace.
 
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use blot::core::prelude::*;
 use blot::mip::MipSolver;
 use blot::storage::MemBackend;
