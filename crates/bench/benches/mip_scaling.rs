@@ -14,12 +14,13 @@
     clippy::cast_precision_loss
 )]
 use blot_core::select::{build_selection_problem, CostMatrix};
+use blot_core::units::Bytes;
 use blot_mip::MipSolver;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn instance(n: usize, m: usize, seed: u64) -> (CostMatrix, f64) {
+fn instance(n: usize, m: usize, seed: u64) -> (CostMatrix, Bytes) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let quality: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..2.0)).collect();
     let costs = (0..n)
@@ -29,8 +30,10 @@ fn instance(n: usize, m: usize, seed: u64) -> (CostMatrix, f64) {
                 .collect()
         })
         .collect();
-    let storage: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..20.0)).collect();
-    let budget = storage.iter().sum::<f64>() * 0.3;
+    let storage: Vec<Bytes> = (0..m)
+        .map(|_| Bytes::new(rng.gen_range(1.0..20.0)))
+        .collect();
+    let budget = storage.iter().copied().sum::<Bytes>() * 0.3;
     (
         CostMatrix {
             costs,

@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 struct Setup {
     matrix: CostMatrix,
-    budget: f64,
+    budget: Bytes,
 }
 
 fn setup() -> Setup {

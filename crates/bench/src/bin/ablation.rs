@@ -130,9 +130,11 @@ fn ablate_warm_start(_ctx: &Context) {
             })
             .collect(),
         weights: vec![1.0; n],
-        storage: (0..m).map(|_| rng.gen_range(1.0..20.0)).collect(),
+        storage: (0..m)
+            .map(|_| Bytes::new(rng.gen_range(1.0..20.0)))
+            .collect(),
     };
-    let budget = sub.storage.iter().sum::<f64>() * 0.3;
+    let budget = sub.storage.iter().copied().sum::<Bytes>() * 0.3;
     let problem = build_selection_problem(&sub, budget);
     let solver = MipSolver::default();
 
@@ -183,7 +185,7 @@ fn ablate_eq11(ctx: &Context) {
     println!("  scheme {spec}: query   analytic Np   empirical Np   rel.err");
     let mut worst: f64 = 0.0;
     for (gi, (q, _)) in workload.entries().iter().enumerate() {
-        let analytic = CostModel::expected_involved(&scheme, q.size);
+        let analytic = CostModel::expected_involved(&scheme, q.size).get();
         // Grid-sample centroid positions.
         let steps = 8;
         let mut total = 0usize;
@@ -317,7 +319,7 @@ fn ablate_partial(ctx: &Context) {
     );
     let hot_frac = ctx.sample.count_in_range(&region) as f64 / ctx.sample.len() as f64;
     println!("  hot region holds {:.0}% of the records", hot_frac * 100.0);
-    let reference = m_full.storage.iter().copied().fold(f64::INFINITY, f64::min);
+    let reference = m_full.cheapest_storage();
     println!("  budget  full-only cost   with-partials cost   gain");
     let solver = MipSolver::default();
     for rel in [1.2, 1.5, 2.0, 3.0] {

@@ -61,13 +61,15 @@ pub fn fig2(ctx: &Context) -> Fig2Result {
             .iter()
             .map(|&pid| scheme.partitions()[pid].count)
             .sum();
-        #[allow(clippy::cast_precision_loss)]
-        let est_cost_ms = ctx.cloud_model.cost_with_np(
-            involved.len() as f64,
-            scheme.len(),
-            enc,
-            ctx.dataset_records * 100.0,
-        );
+        let est_cost_ms = ctx
+            .cloud_model
+            .cost_with_np(
+                blot_core::units::PartitionCount::of(involved.len()),
+                scheme.len(),
+                enc,
+                ctx.dataset_records * 100.0,
+            )
+            .get();
         Fig2Case {
             scheme: spec.to_string(),
             partitions: scheme.len(),

@@ -9,6 +9,7 @@
 //! which only sharpens the figure's message.
 
 use blot_core::select::{build_selection_problem, CostMatrix};
+use blot_core::units::Bytes;
 use blot_mip::MipSolver;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -44,7 +45,7 @@ pub struct Fig3Result {
 /// per-query costs correlated across replicas (each replica has a
 /// quality factor) with heavy noise, random storage sizes, budget at
 /// 30 % of total storage.
-fn random_instance(n: usize, m: usize, rng: &mut SmallRng) -> (CostMatrix, f64) {
+fn random_instance(n: usize, m: usize, rng: &mut SmallRng) -> (CostMatrix, Bytes) {
     let quality: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..2.0)).collect();
     let costs: Vec<Vec<f64>> = (0..n)
         .map(|_| {
@@ -53,8 +54,10 @@ fn random_instance(n: usize, m: usize, rng: &mut SmallRng) -> (CostMatrix, f64) 
                 .collect()
         })
         .collect();
-    let storage: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..20.0)).collect();
-    let budget = storage.iter().sum::<f64>() * 0.3;
+    let storage: Vec<Bytes> = (0..m)
+        .map(|_| Bytes::new(rng.gen_range(1.0..20.0)))
+        .collect();
+    let budget = storage.iter().copied().sum::<Bytes>() * 0.3;
     let weights = vec![1.0; n];
     (
         CostMatrix {

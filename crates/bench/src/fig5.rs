@@ -40,7 +40,7 @@ fn measure(ctx: &Context, env: &blot_storage::EnvProfile) -> Fig5Env {
     let mut r_squared = Vec::new();
     for scheme in blot_codec::EncodingScheme::all() {
         let p = model.params(scheme);
-        fits.push((scheme.to_string(), p.ms_per_record, p.extra_ms));
+        fits.push((scheme.to_string(), p.ms_per_record.get(), p.extra_ms.get()));
         // R² of the fit over this scheme's points.
         let pts: Vec<&MeasurePoint> = points.iter().filter(|m| m.scheme == scheme).collect();
         let mean = pts.iter().map(|m| m.avg_ms).sum::<f64>() / pts.len() as f64;
@@ -49,7 +49,7 @@ fn measure(ctx: &Context, env: &blot_storage::EnvProfile) -> Fig5Env {
         let ss_res: f64 = pts
             .iter()
             .map(|m| {
-                let pred = p.extra_ms + p.ms_per_record * m.records as f64;
+                let pred = (p.extra_ms + p.ms_per_record * m.records as f64).get();
                 (m.avg_ms - pred).powi(2)
             })
             .sum();

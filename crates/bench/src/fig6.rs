@@ -53,7 +53,7 @@ fn ideal_per_query(matrix: &CostMatrix) -> Vec<f64> {
     let sel = Selection {
         chosen: all,
         workload_cost: 0.0,
-        storage: 0.0,
+        storage: blot_core::units::Bytes::ZERO,
         proven_optimal: false,
         stats: None,
     };

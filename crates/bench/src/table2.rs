@@ -33,8 +33,8 @@ fn rows(model: &blot_core::cost::CostModel) -> Vec<Table2Row> {
             let p = model.params(s);
             Table2Row {
                 scheme: s.to_string(),
-                inv_scan_rate_ms_per_10k: p.ms_per_record * 1e4,
-                extra_cost_ms: p.extra_ms,
+                inv_scan_rate_ms_per_10k: (p.ms_per_record * 1e4).get(),
+                extra_cost_ms: p.extra_ms.get(),
             }
         })
         .collect()

@@ -279,13 +279,13 @@ fn cmd_select(args: &Args) -> Result<(), String> {
             .storage
             .get(matrix.optimal_single().0)
             .copied()
-            .unwrap_or(0.0);
+            .unwrap_or(blot_core::units::Bytes::ZERO);
     let kept = prune_dominated(&matrix);
     println!(
         "{} candidates ({} after dominance pruning), budget = {:.2} GiB",
         matrix.n_candidates(),
         kept.len(),
-        budget / (1024.0 * 1024.0 * 1024.0)
+        budget.get() / (1024.0 * 1024.0 * 1024.0)
     );
     let selection = if args.has("exact") {
         select_mip(&matrix, budget, &MipSolver::default()).map_err(|e| e.to_string())?
@@ -303,7 +303,10 @@ fn cmd_select(args: &Args) -> Result<(), String> {
         let (Some(cand), Some(&stored)) = (candidates.get(j), matrix.storage.get(j)) else {
             continue;
         };
-        println!("  {cand} — {:.2} GiB", stored / (1024.0 * 1024.0 * 1024.0));
+        println!(
+            "  {cand} — {:.2} GiB",
+            stored.get() / (1024.0 * 1024.0 * 1024.0)
+        );
     }
     Ok(())
 }

@@ -167,17 +167,10 @@ impl Manifest {
 /// A neutral model (equal per-record cost for every scheme) used when no
 /// sample is available for calibration.
 fn flat_model() -> CostModel {
-    let mut params = std::collections::HashMap::new();
-    let mut bpr = std::collections::HashMap::new();
-    for scheme in EncodingScheme::all() {
-        params.insert(
-            scheme,
-            blot_core::cost::CostParams {
-                ms_per_record: 1e-3,
-                extra_ms: 100.0,
-            },
-        );
-        bpr.insert(scheme, 38.0);
-    }
+    let params = blot_codec::SchemeTable::build(|_| blot_core::cost::CostParams {
+        ms_per_record: blot_core::units::Millis::new(1e-3),
+        extra_ms: blot_core::units::Millis::new(100.0),
+    });
+    let bpr = blot_codec::SchemeTable::build(|_| 38.0);
     CostModel::from_params("flat", params, bpr)
 }

@@ -65,7 +65,7 @@ mod varint;
 pub use bitio::{BitReader, BitWriter};
 pub use error::CodecError;
 pub use filter::Filtered;
-pub use scheme::{Compression, EncodingScheme, Layout};
+pub use scheme::{Compression, EncodingScheme, Layout, SchemeTable};
 
 pub use deflate::{deflate_compress, deflate_decompress};
 pub use lzf::{lzf_compress, lzf_decompress};

@@ -14,7 +14,8 @@
 )]
 use blot_codec::{
     deflate_compress, deflate_decompress, lzf_compress, lzf_decompress, lzr_compress,
-    lzr_decompress, EncodingScheme, Layout,
+    lzr_decompress, read_varint_i64, read_varint_u64, rle_decode, rle_encode, write_varint_i64,
+    write_varint_u64, zigzag_decode, zigzag_encode, BitReader, BitWriter, EncodingScheme, Layout,
 };
 use blot_model::{Record, RecordBatch};
 use proptest::prelude::*;
@@ -128,5 +129,92 @@ proptest! {
         prop_assert!(lzf_compress(&data).len() <= bound);
         prop_assert!(deflate_compress(&data).len() <= bound + 400); // header tables
         prop_assert!(lzr_compress(&data).len() <= bound);
+    }
+
+    #[test]
+    fn varint_u64_roundtrips(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(read_varint_u64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_roundtrips(values in prop::collection::vec(any::<i64>(), 0..200)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(read_varint_i64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_u64_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..40)) {
+        let mut pos = 0;
+        while pos < data.len() {
+            let before = pos;
+            if read_varint_u64(&data, &mut pos).is_err() || pos == before {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        // Small magnitudes must map to small codes: that is the whole
+        // point of the transform ahead of the varint stage.
+        if v > -(1 << 20) && v < (1 << 20) {
+            prop_assert!(zigzag_encode(v) < (1 << 21));
+        }
+    }
+
+    #[test]
+    fn rle_roundtrips(data in arb_bytes()) {
+        prop_assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = rle_decode(&data);
+    }
+
+    #[test]
+    fn bitio_roundtrips(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 0..120)) {
+        let mut w = BitWriter::new();
+        for &(raw, width) in &fields {
+            let masked = if width == 64 { raw } else { raw & ((1u64 << width) - 1) };
+            w.write_bits(masked, width);
+        }
+        let expected_bits = w.bit_len();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(raw, width) in &fields {
+            let masked = if width == 64 { raw } else { raw & ((1u64 << width) - 1) };
+            prop_assert_eq!(r.read_bits(width).unwrap(), masked);
+        }
+        prop_assert_eq!(r.bits_read(), expected_bits);
+    }
+
+    #[test]
+    fn bitio_single_bits_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.write_bit(b);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.read_bit().unwrap(), b);
+        }
     }
 }

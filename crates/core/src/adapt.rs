@@ -25,6 +25,7 @@ use crate::cost::CostModel;
 use crate::query::Workload;
 use crate::replica::ReplicaConfig;
 use crate::select::{kmeans_group, select_greedy, select_mip, CostMatrix, Selection};
+use crate::units::Bytes;
 use crate::CoreError;
 
 /// A bounded log of executed query ranges.
@@ -141,7 +142,7 @@ pub fn recommend(
     sample: &RecordBatch,
     universe: Cuboid,
     dataset_records: f64,
-    budget: f64,
+    budget: Bytes,
     strategy: Strategy,
 ) -> Result<Recommendation, CoreError> {
     let mut all: Vec<ReplicaConfig> = candidates.to_vec();
@@ -191,25 +192,20 @@ pub fn recommend(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blot_codec::SchemeTable;
     use blot_codec::{Compression, EncodingScheme, Layout};
     use blot_geo::Point;
     use blot_index::SchemeSpec;
     use blot_tracegen::FleetConfig;
-    use std::collections::HashMap;
+
+    use crate::units::Millis;
 
     fn synthetic_model() -> CostModel {
-        let mut params = HashMap::new();
-        let mut bpr = HashMap::new();
-        for scheme in EncodingScheme::all() {
-            params.insert(
-                scheme,
-                crate::cost::CostParams {
-                    ms_per_record: 1e-3,
-                    extra_ms: 100.0,
-                },
-            );
-            bpr.insert(scheme, 38.0);
-        }
+        let params = SchemeTable::build(|_| crate::cost::CostParams {
+            ms_per_record: Millis::new(1e-3),
+            extra_ms: Millis::new(100.0),
+        });
+        let bpr = SchemeTable::build(|_| 38.0);
         CostModel::from_params("synthetic", params, bpr)
     }
 
@@ -271,7 +267,7 @@ mod tests {
             SchemeSpec::new(4, 2),
             EncodingScheme::new(Layout::Row, Compression::Plain),
         )];
-        let budget = 38.0 * 65e6 * 2.5; // room for ~2.5 plain replicas
+        let budget = Bytes::new(38.0 * 65e6 * 2.5); // room for ~2.5 plain replicas
         let rec = recommend(
             &model,
             &workload,
@@ -329,7 +325,7 @@ mod tests {
             &sample,
             universe,
             1e6,
-            1e12,
+            Bytes::new(1e12),
             Strategy::Greedy,
         )
         .expect("recommend");

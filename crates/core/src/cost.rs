@@ -27,9 +27,7 @@
 //! exposes the measured points so the benchmark harness can reproduce
 //! that figure.
 
-use std::collections::HashMap;
-
-use blot_codec::{EncodingScheme, Layout};
+use blot_codec::{EncodingScheme, Layout, SchemeTable};
 use blot_geo::{intersection_probability, Cuboid, QuerySize};
 use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
@@ -38,15 +36,17 @@ use blot_storage::{Backend, EnvProfile, MemBackend, UnitKey};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::units::{Bytes, Millis, PartitionCount};
+
 /// Fitted parameters of one encoding scheme in one environment: the
 /// `1/ScanRate` slope (ms per record) and `ExtraTime` intercept (ms) of
 /// Equation 6.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostParams {
-    /// Milliseconds to scan one record (`1/ScanRate`).
-    pub ms_per_record: f64,
-    /// Fixed per-partition milliseconds (`ExtraTime`).
-    pub extra_ms: f64,
+    /// Simulated milliseconds to scan one record (`1/ScanRate`).
+    pub ms_per_record: Millis,
+    /// Fixed per-partition simulated milliseconds (`ExtraTime`).
+    pub extra_ms: Millis,
 }
 
 /// One calibration measurement: the average simulated cost of scanning
@@ -91,14 +91,24 @@ impl CalibrationConfig {
     }
 }
 
+/// Per-scheme calibration outcome: fitted cost parameters plus the
+/// measured encoded bytes per record (drives `Storage(r)` estimates;
+/// the ratio to `ROW-PLAIN` is Table I).
+#[derive(Debug, Clone, Copy, Default)]
+struct Calibration {
+    params: CostParams,
+    bytes_per_record: f64,
+}
+
 /// A calibrated cost model for one execution environment.
+///
+/// Calibration covers the full [`EncodingScheme::grid`] (every scheme a
+/// storage-unit tag can decode to), so per-scheme lookups are total —
+/// there is no "scheme not calibrated" panic path.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     env_name: String,
-    params: HashMap<EncodingScheme, CostParams>,
-    /// Encoded bytes per record, measured per scheme (drives `Storage(r)`
-    /// estimates; the ratio to `ROW-PLAIN` is Table I).
-    bytes_per_record: HashMap<EncodingScheme, f64>,
+    cal: SchemeTable<Calibration>,
 }
 
 /// Ordinary least squares for `y = slope·x + intercept`.
@@ -119,7 +129,7 @@ fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
 }
 
 impl CostModel {
-    /// Calibrates all seven encoding schemes in `env` with the quick
+    /// Calibrates every encoding scheme in `env` with the quick
     /// configuration. `seed` controls which sample slices become the
     /// measured partitions.
     #[must_use]
@@ -127,9 +137,9 @@ impl CostModel {
         Self::calibrate_with(env, sample, &CalibrationConfig::quick(), seed).0
     }
 
-    /// Full calibration: measures every scheme over the given partition
-    /// sets (§V-B) and returns both the fitted model and the raw
-    /// measurement points (Figure 5).
+    /// Full calibration: measures every scheme of the full grid over
+    /// the given partition sets (§V-B) and returns both the fitted
+    /// model and the raw measurement points (Figure 5).
     ///
     /// # Panics
     ///
@@ -146,11 +156,11 @@ impl CostModel {
         assert!(config.sizes.len() >= 2, "need at least two partition sizes");
         let mut rng = SmallRng::seed_from_u64(seed);
         let backend = MemBackend::new();
-        let mut params = HashMap::new();
-        let mut bytes_per_record = HashMap::new();
         let mut points = Vec::new();
 
-        for (si, scheme) in EncodingScheme::all().into_iter().enumerate() {
+        let mut si = 0u32;
+        let cal = SchemeTable::build(|scheme| {
+            si += 1;
             let mut fit_points = Vec::with_capacity(config.sizes.len());
             let mut total_bytes = 0u64;
             let mut total_records = 0u64;
@@ -164,8 +174,8 @@ impl CostModel {
                     part.push(sample.get(i));
                 }
                 let key = UnitKey {
-                    // The calibration scheme index is tiny (one per scheme).
-                    replica: u32::try_from(si).unwrap_or(u32::MAX),
+                    // One replica id per scheme; `si` is a tiny counter.
+                    replica: si,
                     partition: u32::MAX,
                 };
                 // MemBackend cannot fail; a lost warm-up is harmless.
@@ -194,7 +204,7 @@ impl CostModel {
                     }
                     let key = UnitKey {
                         // Calibration sets are small; both ids fit u32.
-                        replica: u32::try_from(si).unwrap_or(u32::MAX),
+                        replica: si,
                         partition: u32::try_from(zi * config.partitions_per_set + pi)
                             .unwrap_or(u32::MAX),
                     };
@@ -238,21 +248,19 @@ impl CostModel {
                 });
             }
             let (slope, intercept) = linear_fit(&fit_points);
-            params.insert(
-                scheme,
-                CostParams {
-                    ms_per_record: slope.max(0.0),
-                    extra_ms: intercept.max(0.0),
-                },
-            );
             #[allow(clippy::cast_precision_loss)]
-            bytes_per_record.insert(scheme, total_bytes as f64 / total_records as f64);
-        }
+            Calibration {
+                params: CostParams {
+                    ms_per_record: Millis::new(slope.max(0.0)),
+                    extra_ms: Millis::new(intercept.max(0.0)),
+                },
+                bytes_per_record: total_bytes as f64 / total_records as f64,
+            }
+        });
         (
             Self {
                 env_name: env.name.to_owned(),
-                params,
-                bytes_per_record,
+                cal,
             },
             points,
         )
@@ -260,26 +268,20 @@ impl CostModel {
 
     /// Builds a model from explicit parameters instead of measurement —
     /// e.g. to plug in the paper's own Table II numbers, or fully
-    /// deterministic values in tests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the two maps do not cover the same schemes.
+    /// deterministic values in tests. The tables are total over the
+    /// scheme grid by construction.
     #[must_use]
     pub fn from_params(
         env_name: impl Into<String>,
-        params: HashMap<EncodingScheme, CostParams>,
-        bytes_per_record: HashMap<EncodingScheme, f64>,
+        params: SchemeTable<CostParams>,
+        bytes_per_record: SchemeTable<f64>,
     ) -> Self {
-        assert!(
-            params.keys().all(|k| bytes_per_record.contains_key(k))
-                && bytes_per_record.keys().all(|k| params.contains_key(k)),
-            "params and bytes_per_record must cover the same schemes"
-        );
         Self {
             env_name: env_name.into(),
-            params,
-            bytes_per_record,
+            cal: SchemeTable::build(|s| Calibration {
+                params: *params.get(s),
+                bytes_per_record: *bytes_per_record.get(s),
+            }),
         }
     }
 
@@ -289,36 +291,22 @@ impl CostModel {
         &self.env_name
     }
 
-    /// Fitted parameters for `scheme`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheme was not calibrated.
+    /// Fitted parameters for `scheme`. Total: calibration covers the
+    /// full scheme grid.
     #[must_use]
-    #[allow(clippy::indexing_slicing)]
     pub fn params(&self, scheme: EncodingScheme) -> CostParams {
-        // audit: allow(indexing, documented `# Panics` contract — constructors cover every scheme)
-        self.params[&scheme]
+        self.cal.get(scheme).params
     }
 
-    /// Measured encoded bytes per record for `scheme`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheme was not calibrated.
+    /// Measured encoded bytes per record for `scheme`. Total: calibration
+    /// covers the full scheme grid.
     #[must_use]
-    #[allow(clippy::indexing_slicing)]
     pub fn bytes_per_record(&self, scheme: EncodingScheme) -> f64 {
-        // audit: allow(indexing, documented `# Panics` contract — constructors cover every scheme)
-        self.bytes_per_record[&scheme]
+        self.cal.get(scheme).bytes_per_record
     }
 
     /// Compression ratio relative to the uncompressed row layout — the
     /// quantity Table I reports.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheme (or `ROW-PLAIN`) was not calibrated.
     #[must_use]
     pub fn compression_ratio(&self, scheme: EncodingScheme) -> f64 {
         let base = self.bytes_per_record(EncodingScheme::new(
@@ -330,40 +318,38 @@ impl CostModel {
 
     /// Estimated storage size of a replica over a dataset of
     /// `dataset_records` records (`Storage(r)`, Definition 5).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheme was not calibrated.
     #[must_use]
-    pub fn replica_storage_bytes(&self, encoding: EncodingScheme, dataset_records: f64) -> f64 {
-        self.bytes_per_record(encoding) * dataset_records
+    pub fn replica_storage_bytes(&self, encoding: EncodingScheme, dataset_records: f64) -> Bytes {
+        Bytes::new(self.bytes_per_record(encoding) * dataset_records)
     }
 
     /// Expected number of involved partitions for a grouped query
     /// (Equation 11): `Σ_p P{I(p, q) = 1}`.
     #[must_use]
-    pub fn expected_involved(scheme: &PartitioningScheme, size: QuerySize) -> f64 {
+    pub fn expected_involved(scheme: &PartitioningScheme, size: QuerySize) -> PartitionCount {
         let u = scheme.universe();
-        scheme
-            .partitions()
-            .iter()
-            .map(|p| intersection_probability(&u, size, &p.range))
-            .sum()
+        PartitionCount::new(
+            scheme
+                .partitions()
+                .iter()
+                .map(|p| intersection_probability(&u, size, &p.range))
+                .sum(),
+        )
     }
 
     /// Equation 7 with a known involved-partition count.
     #[must_use]
     pub fn cost_with_np(
         &self,
-        np: f64,
+        np: PartitionCount,
         total_partitions: usize,
         encoding: EncodingScheme,
         dataset_records: f64,
-    ) -> f64 {
+    ) -> Millis {
         let p = self.params(encoding);
         #[allow(clippy::cast_precision_loss)]
         let per_partition_records = dataset_records / total_partitions as f64;
-        np * (per_partition_records * p.ms_per_record + p.extra_ms)
+        np.get() * (p.ms_per_record * per_partition_records + p.extra_ms)
     }
 
     /// Estimated cost of a *grouped* query on a replica (Equations 7 and
@@ -375,7 +361,7 @@ impl CostModel {
         scheme: &PartitioningScheme,
         encoding: EncodingScheme,
         dataset_records: f64,
-    ) -> f64 {
+    ) -> Millis {
         let np = Self::expected_involved(scheme, size);
         self.cost_with_np(np, scheme.len(), encoding, dataset_records)
     }
@@ -389,9 +375,8 @@ impl CostModel {
         scheme: &PartitioningScheme,
         encoding: EncodingScheme,
         dataset_records: f64,
-    ) -> f64 {
-        #[allow(clippy::cast_precision_loss)]
-        let np = scheme.involved(range).len() as f64;
+    ) -> Millis {
+        let np = PartitionCount::of(scheme.involved(range).len());
         self.cost_with_np(np, scheme.len(), encoding, dataset_records)
     }
 }
@@ -463,7 +448,7 @@ mod tests {
         let universe = config.universe();
         let scheme = PartitioningScheme::build(&s, universe, SchemeSpec::new(16, 4));
         let size = QuerySize::new(0.4, 0.4, universe.extent(2) / 8.0);
-        let analytic = CostModel::expected_involved(&scheme, size);
+        let analytic = CostModel::expected_involved(&scheme, size).get();
         // Monte-Carlo over a grid of centroid positions.
         let q = crate::query::GroupedQuery::new(size);
         let mut total = 0usize;
@@ -515,18 +500,11 @@ mod tests {
         // Synthetic parameters keep the test deterministic under host
         // load; the trade-off is a property of the Equation 7 arithmetic,
         // not of measurement.
-        let mut params = HashMap::new();
-        let mut bpr = HashMap::new();
-        for scheme in EncodingScheme::all() {
-            params.insert(
-                scheme,
-                CostParams {
-                    ms_per_record: 6e-3,
-                    extra_ms: 5200.0,
-                },
-            );
-            bpr.insert(scheme, 38.0);
-        }
+        let params = SchemeTable::build(|_| CostParams {
+            ms_per_record: Millis::new(6e-3),
+            extra_ms: Millis::new(5200.0),
+        });
+        let bpr = SchemeTable::build(|_| 38.0);
         let model = CostModel::from_params("synthetic-local", params, bpr);
         let enc = EncodingScheme::new(Layout::Row, Compression::Plain);
         let records = 6.5e7;
@@ -556,8 +534,8 @@ mod tests {
         let model = CostModel::calibrate(&EnvProfile::local_cluster(), &s, 5);
         let enc = EncodingScheme::new(Layout::Row, Compression::Plain);
         let whole = model.concrete_query_cost(&universe, &scheme, enc, 1e6);
-        let np_all = scheme.len() as f64;
+        let np_all = PartitionCount::of(scheme.len());
         let expect = model.cost_with_np(np_all, scheme.len(), enc, 1e6);
-        assert!((whole - expect).abs() < 1e-9);
+        assert!((whole.get() - expect.get()).abs() < 1e-9);
     }
 }

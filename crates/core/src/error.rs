@@ -1,5 +1,6 @@
 use std::fmt;
 
+use blot_index::UnknownPartition;
 use blot_mip::MipError;
 use blot_storage::StorageError;
 
@@ -34,6 +35,9 @@ pub enum CoreError {
         /// What overflowed (`"replica"` or `"partition"`).
         what: &'static str,
     },
+    /// A partition id fell outside its scheme's range during ingest
+    /// bookkeeping.
+    UnknownPartition(UnknownPartition),
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +59,7 @@ impl fmt::Display for CoreError {
             Self::IdOverflow { what } => {
                 write!(f, "{what} id exceeds the u32 key space")
             }
+            Self::UnknownPartition(e) => write!(f, "ingest bookkeeping failed: {e}"),
         }
     }
 }
@@ -64,6 +69,7 @@ impl std::error::Error for CoreError {
         match self {
             Self::Storage(e) => Some(e),
             Self::Mip(e) => Some(e),
+            Self::UnknownPartition(e) => Some(e),
             _ => None,
         }
     }
@@ -78,6 +84,12 @@ impl From<StorageError> for CoreError {
 impl From<MipError> for CoreError {
     fn from(e: MipError) -> Self {
         Self::Mip(e)
+    }
+}
+
+impl From<UnknownPartition> for CoreError {
+    fn from(e: UnknownPartition) -> Self {
+        Self::UnknownPartition(e)
     }
 }
 

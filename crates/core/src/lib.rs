@@ -71,6 +71,7 @@ pub mod query;
 pub mod replica;
 pub mod select;
 pub mod store;
+pub mod units;
 
 pub use error::CoreError;
 
@@ -84,6 +85,7 @@ pub mod prelude {
         Selection,
     };
     pub use crate::store::{BlotStore, QueryResult};
+    pub use crate::units::{Bytes, Millis, PartitionCount, Seconds};
     pub use crate::CoreError;
     pub use blot_codec::{Compression, EncodingScheme, Layout};
     pub use blot_geo::{Cuboid, Point, QuerySize};

@@ -24,6 +24,7 @@ use blot_model::RecordBatch;
 use crate::cost::CostModel;
 use crate::replica::ReplicaConfig;
 use crate::select::CostMatrix;
+use crate::units::PartitionCount;
 
 /// A grouped query restricted to a hot region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,7 +175,16 @@ pub fn estimate_matrix(
                         )
                     })
                     .sum();
-                Some(model.cost_with_np(np, b.scheme.len(), c.config.encoding, b.records))
+                Some(
+                    model
+                        .cost_with_np(
+                            PartitionCount::new(np),
+                            b.scheme.len(),
+                            c.config.encoding,
+                            b.records,
+                        )
+                        .get(),
+                )
             })
             .collect();
         costs.push(row);
@@ -219,18 +229,11 @@ mod tests {
         // A synthetic scan-dominated model keeps this test deterministic
         // (measured debug-build decode times would drown the signal in
         // the cloud profile's huge ExtraTime).
-        let mut params = std::collections::HashMap::new();
-        let mut bpr = std::collections::HashMap::new();
-        for scheme in EncodingScheme::all() {
-            params.insert(
-                scheme,
-                crate::cost::CostParams {
-                    ms_per_record: 1e-3,
-                    extra_ms: 50.0,
-                },
-            );
-            bpr.insert(scheme, 38.0);
-        }
+        let params = blot_codec::SchemeTable::build(|_| crate::cost::CostParams {
+            ms_per_record: crate::units::Millis::new(1e-3),
+            extra_ms: crate::units::Millis::new(50.0),
+        });
+        let bpr = blot_codec::SchemeTable::build(|_| 38.0);
         let model = CostModel::from_params("synthetic", params, bpr);
 
         // The hot region: the quarter of the universe around downtown.
@@ -383,11 +386,11 @@ mod tests {
         // with a little slack — enough for full + partial, too tight for
         // two full replicas (guarded below so data drift in the sample
         // generator cannot silently leave the regime this test is about).
-        let min_full = m_full.storage.iter().copied().fold(f64::INFINITY, f64::min);
-        let min_partial = m_ext.storage[3..]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min_full = m_full.cheapest_storage();
+        let min_partial = m_ext.storage[3..].iter().copied().fold(
+            crate::units::Bytes::new(f64::INFINITY),
+            crate::units::Bytes::min,
+        );
         let budget = (min_full + min_partial) * 1.02;
         assert!(
             budget < 2.0 * min_full,

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use crate::cost::CostModel;
 use crate::query::Workload;
 use crate::replica::ReplicaConfig;
+use crate::units::{Bytes, PartitionCount};
 use crate::CoreError;
 
 /// The input of the selection problem: `Cost(qᵢ, rⱼ)` for every workload
@@ -32,8 +33,8 @@ pub struct CostMatrix {
     pub costs: Vec<Vec<f64>>,
     /// Query weights `wᵢ`.
     pub weights: Vec<f64>,
-    /// `Storage(rⱼ)` in bytes.
-    pub storage: Vec<f64>,
+    /// `Storage(rⱼ)`.
+    pub storage: Vec<Bytes>,
 }
 
 impl CostMatrix {
@@ -74,7 +75,7 @@ impl CostMatrix {
                 .entry(c.spec)
                 .or_insert_with(|| PartitioningScheme::build(sample, universe, c.spec));
         }
-        let mut np: HashMap<(usize, blot_index::SchemeSpec), f64> = HashMap::new();
+        let mut np: HashMap<(usize, blot_index::SchemeSpec), PartitionCount> = HashMap::new();
         for (i, (q, _)) in workload.entries().iter().enumerate() {
             for (&spec, scheme) in &schemes {
                 np.insert((i, spec), CostModel::expected_involved(scheme, q.size));
@@ -88,12 +89,14 @@ impl CostMatrix {
                 candidates
                     .iter()
                     .map(|c| {
-                        model.cost_with_np(
-                            np[&(i, c.spec)],
-                            schemes[&c.spec].len(),
-                            c.encoding,
-                            dataset_records,
-                        )
+                        model
+                            .cost_with_np(
+                                np[&(i, c.spec)],
+                                schemes[&c.spec].len(),
+                                c.encoding,
+                                dataset_records,
+                            )
+                            .get()
                     })
                     .collect()
             })
@@ -138,7 +141,7 @@ impl CostMatrix {
 
     /// Total storage of a chosen index set.
     #[must_use]
-    pub fn storage_of(&self, chosen: &[usize]) -> f64 {
+    pub fn storage_of(&self, chosen: &[usize]) -> Bytes {
         chosen.iter().map(|&j| self.storage[j]).sum()
     }
 
@@ -155,14 +158,13 @@ impl CostMatrix {
     }
 
     /// Smallest single-candidate storage (useful for sizing budgets in
-    /// examples).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the matrix has no candidates.
+    /// examples). An empty matrix yields `+∞` bytes.
     #[must_use]
-    pub fn cheapest_storage(&self) -> f64 {
-        self.storage.iter().copied().fold(f64::INFINITY, f64::min)
+    pub fn cheapest_storage(&self) -> Bytes {
+        self.storage
+            .iter()
+            .copied()
+            .fold(Bytes::new(f64::INFINITY), Bytes::min)
     }
 }
 
@@ -174,7 +176,7 @@ pub struct Selection {
     /// `Cost(W, R)` of the chosen set.
     pub workload_cost: f64,
     /// `Storage(R)` of the chosen set.
-    pub storage: f64,
+    pub storage: Bytes,
     /// Whether this set is provably optimal for its matrix and budget
     /// (`true` only on the exact path with a closed search tree).
     pub proven_optimal: bool,
@@ -194,7 +196,7 @@ pub fn ideal_cost(matrix: &CostMatrix) -> f64 {
 /// budget (the remaining budget is assumed to be spent on exact copies
 /// for fault tolerance, which do not change query cost).
 #[must_use]
-pub fn select_single(matrix: &CostMatrix, budget: f64) -> Selection {
+pub fn select_single(matrix: &CostMatrix, budget: Bytes) -> Selection {
     let best = (0..matrix.n_candidates())
         .filter(|&j| matrix.storage[j] <= budget)
         .map(|j| (j, matrix.workload_cost(&[j])))
@@ -210,7 +212,7 @@ pub fn select_single(matrix: &CostMatrix, budget: f64) -> Selection {
         None => Selection {
             chosen: Vec::new(),
             workload_cost: f64::INFINITY,
-            storage: 0.0,
+            storage: Bytes::ZERO,
             proven_optimal: false,
             stats: None,
         },
@@ -225,7 +227,7 @@ pub fn select_single(matrix: &CostMatrix, budget: f64) -> Selection {
 /// upper bound so the first pick maximises improvement per byte exactly
 /// like later picks (the paper leaves the empty-set cost implicit).
 #[must_use]
-pub fn select_greedy(matrix: &CostMatrix, budget: f64) -> Selection {
+pub fn select_greedy(matrix: &CostMatrix, budget: Bytes) -> Selection {
     let n = matrix.n_queries();
     // best_cost[i] = current min over chosen replicas, seeded with the
     // worst candidate per query (the finite empty-set convention).
@@ -239,7 +241,7 @@ pub fn select_greedy(matrix: &CostMatrix, budget: f64) -> Selection {
         .collect();
     let mut chosen: Vec<usize> = Vec::new();
     let mut remaining: Vec<usize> = (0..matrix.n_candidates()).collect();
-    let mut used = 0.0;
+    let mut used = Bytes::ZERO;
 
     while used < budget {
         let mut best: Option<(usize, f64)> = None; // (candidate, score)
@@ -253,7 +255,7 @@ pub fn select_greedy(matrix: &CostMatrix, budget: f64) -> Selection {
             if gain <= 0.0 {
                 continue;
             }
-            let score = gain / matrix.storage[j];
+            let score = gain / matrix.storage[j].get();
             if best.is_none_or(|(_, s)| score > s) {
                 best = Some((j, score));
             }
@@ -291,7 +293,7 @@ pub fn select_greedy(matrix: &CostMatrix, budget: f64) -> Selection {
 /// Costs are normalised by their maximum and storage by the budget for
 /// simplex conditioning; the optimal *set* is unaffected.
 #[must_use]
-pub fn build_selection_problem(matrix: &CostMatrix, budget: f64) -> Problem {
+pub fn build_selection_problem(matrix: &CostMatrix, budget: Bytes) -> Problem {
     let n = matrix.n_queries();
     let m = matrix.n_candidates();
     let num_vars = m + n * m;
@@ -312,8 +314,12 @@ pub fn build_selection_problem(matrix: &CostMatrix, budget: f64) -> Problem {
     }
     p.set_objective(&objective);
 
-    // Eq. 1: storage budget.
-    let budget_scale = if budget > 0.0 { budget } else { 1.0 };
+    // Eq. 1: storage budget (normalised to dimensionless ratios).
+    let budget_scale = if budget > Bytes::ZERO {
+        budget
+    } else {
+        Bytes::new(1.0)
+    };
     let storage_row: Vec<(usize, f64)> = (0..m)
         .map(|j| (j, matrix.storage[j] / budget_scale))
         .collect();
@@ -354,7 +360,7 @@ pub fn build_selection_problem(matrix: &CostMatrix, budget: f64) -> Problem {
 /// node budget of `solver` is exhausted.
 pub fn select_mip(
     matrix: &CostMatrix,
-    budget: f64,
+    budget: Bytes,
     solver: &MipSolver,
 ) -> Result<Selection, CoreError> {
     let n = matrix.n_queries();
@@ -563,7 +569,7 @@ mod tests {
         CostMatrix {
             costs: vec![vec![1.0, 100.0, 30.0, 40.0], vec![100.0, 1.0, 30.0, 40.0]],
             weights: vec![1.0, 1.0],
-            storage: vec![10.0, 10.0, 10.0, 10.0],
+            storage: vec![Bytes::new(10.0); 4],
         }
     }
 
@@ -579,10 +585,10 @@ mod tests {
     #[test]
     fn single_picks_the_best_affordable() {
         let m = toy_matrix();
-        let s = select_single(&m, 10.0);
+        let s = select_single(&m, Bytes::new(10.0));
         assert_eq!(s.chosen, vec![2]);
         assert_eq!(s.workload_cost, 60.0);
-        let none = select_single(&m, 5.0);
+        let none = select_single(&m, Bytes::new(5.0));
         assert!(none.chosen.is_empty());
         assert!(none.workload_cost.is_infinite());
     }
@@ -595,13 +601,13 @@ mod tests {
         // optimum is the complementary pair {0, 1} with cost 2. This is
         // exactly the approximation gap Figures 4/6 measure.
         let m = toy_matrix();
-        let greedy = select_greedy(&m, 20.0);
+        let greedy = select_greedy(&m, Bytes::new(20.0));
         let mut chosen = greedy.chosen.clone();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![0, 2]);
         assert_eq!(greedy.workload_cost, 31.0);
-        assert_eq!(greedy.storage, 20.0);
-        let mip = select_mip(&m, 20.0, &MipSolver::default()).unwrap();
+        assert_eq!(greedy.storage, Bytes::new(20.0));
+        let mip = select_mip(&m, Bytes::new(20.0), &MipSolver::default()).unwrap();
         assert!(mip.workload_cost < greedy.workload_cost);
     }
 
@@ -610,7 +616,7 @@ mod tests {
         // With budget for three replicas greedy recovers: after the
         // generalist it still adds both specialists.
         let m = toy_matrix();
-        let s = select_greedy(&m, 30.0);
+        let s = select_greedy(&m, Bytes::new(30.0));
         assert_eq!(s.workload_cost, 2.0);
         assert!(s.chosen.contains(&0) && s.chosen.contains(&1));
     }
@@ -618,9 +624,9 @@ mod tests {
     #[test]
     fn greedy_respects_budget() {
         let m = toy_matrix();
-        let s = select_greedy(&m, 10.0);
+        let s = select_greedy(&m, Bytes::new(10.0));
         assert_eq!(s.chosen.len(), 1);
-        assert!(s.storage <= 10.0);
+        assert!(s.storage <= Bytes::new(10.0));
         // With one slot, the balanced candidate wins.
         assert_eq!(s.chosen, vec![2]);
     }
@@ -628,7 +634,7 @@ mod tests {
     #[test]
     fn mip_matches_brute_force_on_toy() {
         let m = toy_matrix();
-        let sel = select_mip(&m, 20.0, &MipSolver::default()).unwrap();
+        let sel = select_mip(&m, Bytes::new(20.0), &MipSolver::default()).unwrap();
         assert_eq!(sel.workload_cost, 2.0);
         let mut chosen = sel.chosen.clone();
         chosen.sort_unstable();
@@ -648,9 +654,11 @@ mod tests {
                     .map(|_| (0..m).map(|_| rng.gen_range(1.0..100.0)).collect())
                     .collect(),
                 weights: (0..n).map(|_| rng.gen_range(0.5..2.0)).collect(),
-                storage: (0..m).map(|_| rng.gen_range(1.0..20.0)).collect(),
+                storage: (0..m)
+                    .map(|_| Bytes::new(rng.gen_range(1.0..20.0)))
+                    .collect(),
             };
-            let budget = matrix.storage.iter().sum::<f64>() * 0.5;
+            let budget = matrix.storage.iter().copied().sum::<Bytes>() * 0.5;
             let greedy = select_greedy(&matrix, budget);
             let mip = select_mip(&matrix, budget, &MipSolver::default()).unwrap();
             assert!(
@@ -659,7 +667,7 @@ mod tests {
                 mip.workload_cost,
                 greedy.workload_cost
             );
-            assert!(mip.storage <= budget + 1e-6);
+            assert!(mip.storage <= budget + Bytes::new(1e-6));
         }
     }
 
@@ -669,7 +677,7 @@ mod tests {
         let ideal = ideal_cost(&m);
         assert_eq!(ideal, 2.0);
         for budget in [10.0, 20.0, 40.0] {
-            assert!(select_greedy(&m, budget).workload_cost >= ideal - 1e-12);
+            assert!(select_greedy(&m, Bytes::new(budget)).workload_cost >= ideal - 1e-12);
         }
     }
 
@@ -681,7 +689,7 @@ mod tests {
         assert!(!kept.contains(&3));
         assert!(kept.contains(&0) && kept.contains(&1));
         // Pruning never changes the optimum.
-        let budget = 20.0;
+        let budget = Bytes::new(20.0);
         let full = select_mip(&m, budget, &MipSolver::default()).unwrap();
         let sub = CostMatrix {
             costs: m
@@ -702,7 +710,7 @@ mod tests {
         let m = CostMatrix {
             costs: vec![vec![1.0, 50.0, 5.0], vec![50.0, 1.0, 5.0]],
             weights: vec![1.0, 1.0],
-            storage: vec![5.0, 5.0, 10.0],
+            storage: vec![Bytes::new(5.0), Bytes::new(5.0), Bytes::new(10.0)],
         };
         let kept = prune_dominated(&m);
         assert_eq!(kept, vec![0, 1]);

@@ -261,7 +261,7 @@ impl<B: Backend> BlotStore<B> {
                 let unit = replica.config.encoding.encode(&records);
                 replica.bytes = replica.bytes - bytes.len() as u64 + unit.len() as u64;
                 self.backend.put(key, unit)?;
-                replica.scheme.note_insertions(pid, additions.len());
+                replica.scheme.note_insertions(pid, additions.len())?;
                 report.units_rewritten += 1;
             }
             replica.records += batch.len() as u64;
@@ -287,7 +287,7 @@ impl<B: Backend> BlotStore<B> {
                     r.config.encoding,
                     r.records as f64,
                 );
-                (r.id, cost)
+                (r.id, cost.get())
             })
             .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -622,18 +622,11 @@ mod tests {
         config.records_per_taxi = 120;
         let data = config.generate();
         let universe = config.universe();
-        let mut params = std::collections::HashMap::new();
-        let mut bpr = std::collections::HashMap::new();
-        for scheme in EncodingScheme::all() {
-            params.insert(
-                scheme,
-                crate::cost::CostParams {
-                    ms_per_record: 1.0,
-                    extra_ms: 50.0,
-                },
-            );
-            bpr.insert(scheme, 38.0);
-        }
+        let params = blot_codec::SchemeTable::build(|_| crate::cost::CostParams {
+            ms_per_record: crate::units::Millis::new(1.0),
+            extra_ms: crate::units::Millis::new(50.0),
+        });
+        let bpr = blot_codec::SchemeTable::build(|_| 38.0);
         let model = CostModel::from_params("synthetic", params, bpr);
         let mut store = BlotStore::new(
             FailingBackend::new(MemBackend::new()),

@@ -12,30 +12,23 @@
     clippy::cast_sign_loss,
     clippy::cast_precision_loss
 )]
+use blot_codec::SchemeTable;
 use blot_core::adapt::{recommend, Strategy};
 use blot_core::cost::{CostModel, CostParams};
 use blot_core::prelude::*;
 use blot_core::store::BlotStore;
 use blot_storage::MemBackend;
 use blot_tracegen::FleetConfig;
-use std::collections::HashMap;
 
 fn synthetic_model() -> CostModel {
     // Scan-dominated, deterministic.
-    let mut params = HashMap::new();
-    let mut bpr = HashMap::new();
-    for scheme in EncodingScheme::all() {
-        params.insert(
-            scheme,
-            CostParams {
-                ms_per_record: 1e-2,
-                // Small enough that per-record scanning dominates even
-                // for tiny probes — the regime this test is about.
-                extra_ms: 2.0,
-            },
-        );
-        bpr.insert(scheme, 38.0);
-    }
+    let params = SchemeTable::build(|_| CostParams {
+        ms_per_record: Millis::new(1e-2),
+        // Small enough that per-record scanning dominates even for tiny
+        // probes — the regime this test is about.
+        extra_ms: Millis::new(2.0),
+    });
+    let bpr = SchemeTable::build(|_| 38.0);
     CostModel::from_params("synthetic", params, bpr)
 }
 
@@ -87,7 +80,7 @@ fn adaptive_loop_improves_a_mismatched_store() {
             EncodingScheme::new(Layout::Row, Compression::Lzf),
         ],
     );
-    let budget = 38.0 * 6.5e7 * 3.0; // three plain copies
+    let budget = Bytes::new(38.0 * 6.5e7 * 3.0); // three plain copies
     let rec = recommend(
         &model,
         &workload,

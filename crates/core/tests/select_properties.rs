@@ -15,6 +15,7 @@
 use blot_core::select::{
     ideal_cost, prune_dominated, select_greedy, select_mip, select_single, CostMatrix,
 };
+use blot_core::units::Bytes;
 use blot_mip::MipSolver;
 use proptest::prelude::*;
 
@@ -26,13 +27,13 @@ fn arb_matrix() -> impl Strategy<Value = CostMatrix> {
         (costs, weights, storage).prop_map(|(costs, weights, storage)| CostMatrix {
             costs,
             weights,
-            storage,
+            storage: storage.into_iter().map(Bytes::new).collect(),
         })
     })
 }
 
 /// Brute-force the optimal subset (m ≤ 8 ⇒ ≤ 256 subsets).
-fn brute_force(matrix: &CostMatrix, budget: f64) -> f64 {
+fn brute_force(matrix: &CostMatrix, budget: Bytes) -> f64 {
     let m = matrix.n_candidates();
     let mut best = f64::INFINITY;
     for mask in 1u32..(1 << m) {
@@ -49,7 +50,7 @@ proptest! {
 
     #[test]
     fn mip_is_exact_on_random_matrices(matrix in arb_matrix(), budget_frac in 0.2f64..1.0) {
-        let budget = matrix.storage.iter().sum::<f64>() * budget_frac;
+        let budget = matrix.storage.iter().copied().sum::<Bytes>() * budget_frac;
         let brute = brute_force(&matrix, budget);
         if brute.is_finite() {
             let mip = select_mip(&matrix, budget, &MipSolver::default()).expect("feasible");
@@ -59,13 +60,13 @@ proptest! {
                 mip.workload_cost,
                 brute
             );
-            prop_assert!(mip.storage <= budget + 1e-9);
+            prop_assert!(mip.storage <= budget + Bytes::new(1e-9));
         }
     }
 
     #[test]
     fn strategy_ordering_always_holds(matrix in arb_matrix(), budget_frac in 0.2f64..1.5) {
-        let budget = matrix.storage.iter().sum::<f64>() * budget_frac;
+        let budget = matrix.storage.iter().copied().sum::<Bytes>() * budget_frac;
         let single = select_single(&matrix, budget).workload_cost;
         let greedy = select_greedy(&matrix, budget).workload_cost;
         let ideal = ideal_cost(&matrix);
@@ -84,7 +85,7 @@ proptest! {
 
     #[test]
     fn pruning_never_changes_the_optimum(matrix in arb_matrix(), budget_frac in 0.3f64..1.0) {
-        let budget = matrix.storage.iter().sum::<f64>() * budget_frac;
+        let budget = matrix.storage.iter().copied().sum::<Bytes>() * budget_frac;
         let kept = prune_dominated(&matrix);
         prop_assert!(!kept.is_empty());
         let before = brute_force(&matrix, budget);
@@ -113,9 +114,9 @@ proptest! {
         matrix in arb_matrix(),
         budget_frac in 0.1f64..2.0,
     ) {
-        let budget = matrix.storage.iter().sum::<f64>() * budget_frac;
+        let budget = matrix.storage.iter().copied().sum::<Bytes>() * budget_frac;
         let sel = select_greedy(&matrix, budget);
-        prop_assert!(sel.storage <= budget + 1e-9);
+        prop_assert!(sel.storage <= budget + Bytes::new(1e-9));
         // Each chosen prefix must cost no more than the previous one.
         let mut prev = f64::INFINITY;
         for k in 1..=sel.chosen.len() {

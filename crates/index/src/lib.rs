@@ -54,4 +54,4 @@ mod scheme;
 
 pub use grid::{skew, GridScheme};
 pub use partition::Partition;
-pub use scheme::{PartitioningScheme, SchemeSpec};
+pub use scheme::{PartitioningScheme, SchemeSpec, UnknownPartition};

@@ -4,6 +4,28 @@ use std::fmt;
 
 use crate::Partition;
 
+/// A partition id outside the scheme's `0..len` range was passed to a
+/// count-maintenance call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownPartition {
+    /// The offending partition id.
+    pub id: usize,
+    /// Number of partitions in the scheme.
+    pub len: usize,
+}
+
+impl fmt::Display for UnknownPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "partition id {} out of range for scheme with {} partitions",
+            self.id, self.len
+        )
+    }
+}
+
+impl std::error::Error for UnknownPartition {}
+
 /// The shape of a partitioning scheme: how many spatial cells and how
 /// many temporal slices per cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -382,13 +404,17 @@ impl PartitioningScheme {
     /// (keeps the per-partition counts — and any skew statistics derived
     /// from them — truthful under continuous ingest).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` is out of range.
-    #[allow(clippy::indexing_slicing)]
-    pub fn note_insertions(&mut self, id: usize, n: usize) {
-        // audit: allow(indexing, documented `# Panics` contract; ids come from `assign_point`)
-        self.partitions[id].count += n;
+    /// [`UnknownPartition`] if `id` is out of range for this scheme.
+    pub fn note_insertions(&mut self, id: usize, n: usize) -> Result<(), UnknownPartition> {
+        let len = self.partitions.len();
+        let part = self
+            .partitions
+            .get_mut(id)
+            .ok_or(UnknownPartition { id, len })?;
+        part.count += n;
+        Ok(())
     }
 
     /// The partitioning-index lookup (§II-B): ids of the partitions whose

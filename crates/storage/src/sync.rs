@@ -67,4 +67,73 @@ mod tests {
         *r.write() = 3;
         assert_eq!(*r.read(), 3);
     }
+
+    /// A panic after a partial mutation must leave that prefix visible:
+    /// the wrappers promise prefix-validity, not rollback.
+    #[test]
+    fn partial_mutation_before_poison_is_preserved() {
+        let m = std::sync::Arc::new(Mutex::new(Vec::<u32>::new()));
+        let mc = m.clone();
+        let _ = std::thread::spawn(move || {
+            let mut g = mc.lock();
+            g.push(1);
+            g.push(2);
+            panic!("poison mid-update");
+        })
+        .join();
+        assert_eq!(*m.lock(), vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    /// After recovery the lock must still coordinate normally across
+    /// threads — poisoning is a one-time event, not a sticky failure.
+    #[test]
+    fn recovered_locks_remain_usable_across_threads() {
+        let r = std::sync::Arc::new(RwLock::new(0u32));
+        let rc = r.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = rc.write();
+            panic!("poison");
+        })
+        .join();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rc = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        *rc.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().is_ok());
+        }
+        assert_eq!(*r.read(), 400);
+    }
+
+    /// Readers recover too, and a poisoned `RwLock` still admits
+    /// concurrent shared readers afterwards.
+    #[test]
+    fn poisoned_rwlock_still_allows_concurrent_readers() {
+        let r = std::sync::Arc::new(RwLock::new(7u32));
+        let rc = r.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = rc.write();
+            panic!("poison");
+        })
+        .join();
+        let g1 = r.read();
+        let g2 = r.read();
+        assert_eq!(*g1 + *g2, 14);
+    }
+
+    #[test]
+    fn default_constructs_empty_values() {
+        let m: Mutex<Vec<u8>> = Mutex::default();
+        let r: RwLock<u32> = RwLock::default();
+        assert!(m.lock().is_empty());
+        assert_eq!(*r.read(), 0);
+    }
 }

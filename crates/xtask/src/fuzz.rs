@@ -1,0 +1,394 @@
+//! `cargo xtask fuzz` — a native, dependency-free fuzz runner for the
+//! codec decode paths.
+//!
+//! The container has no cargo-fuzz/libFuzzer, so the harness lives
+//! here: a deterministic xorshift RNG drives structured mutations of
+//! valid encodings (bit flips, truncations, splices, raw noise) into
+//! every decoder, under `std::panic::catch_unwind`. The workspace audit
+//! bans panics in the codec, and the `decoders_never_panic_on_garbage`
+//! property test samples the same contract — the fuzz lane just pushes
+//! orders of magnitude more inputs through it on a time budget.
+//!
+//! There is one target per decoder — twelve in all: the three
+//! general-purpose decompressors, the tag-sniffing `decode_auto`, and
+//! the eight per-scheme `EncodingScheme::decode` paths of the full
+//! layout × compression grid. The `registry` lint cross-checks this
+//! list against the parsed `Compression`/`Layout` variants, so adding a
+//! variant without its fuzz target fails `cargo xtask lint`.
+
+use blot_codec::{
+    deflate_compress, deflate_decompress, lzf_compress, lzf_decompress, lzr_compress,
+    lzr_decompress, Compression, EncodingScheme, Layout,
+};
+use blot_model::{Record, RecordBatch};
+use std::time::{Duration, Instant};
+
+/// One fuzz target: a named decoder entry point that must never panic.
+#[derive(Debug)]
+pub struct FuzzTarget {
+    /// Registry name (`lzf`, `decode_row_deflate`, …).
+    pub name: &'static str,
+    run: fn(&[u8]),
+}
+
+fn t_lzf(d: &[u8]) {
+    let _ = lzf_decompress(d);
+}
+fn t_deflate(d: &[u8]) {
+    let _ = deflate_decompress(d);
+}
+fn t_lzr(d: &[u8]) {
+    let _ = lzr_decompress(d);
+}
+fn t_decode_auto(d: &[u8]) {
+    let _ = EncodingScheme::decode_auto(d);
+}
+
+macro_rules! scheme_target {
+    ($fn_name:ident, $layout:ident, $comp:ident) => {
+        fn $fn_name(d: &[u8]) {
+            let _ = EncodingScheme::new(Layout::$layout, Compression::$comp).decode(d);
+        }
+    };
+}
+
+scheme_target!(t_row_plain, Row, Plain);
+scheme_target!(t_row_lzf, Row, Lzf);
+scheme_target!(t_row_deflate, Row, Deflate);
+scheme_target!(t_row_lzr, Row, Lzr);
+scheme_target!(t_column_plain, Column, Plain);
+scheme_target!(t_column_lzf, Column, Lzf);
+scheme_target!(t_column_deflate, Column, Deflate);
+scheme_target!(t_column_lzr, Column, Lzr);
+
+/// The twelve decoder targets.
+pub const TARGETS: &[FuzzTarget] = &[
+    FuzzTarget {
+        name: "lzf",
+        run: t_lzf,
+    },
+    FuzzTarget {
+        name: "deflate",
+        run: t_deflate,
+    },
+    FuzzTarget {
+        name: "lzr",
+        run: t_lzr,
+    },
+    FuzzTarget {
+        name: "decode_auto",
+        run: t_decode_auto,
+    },
+    FuzzTarget {
+        name: "decode_row_plain",
+        run: t_row_plain,
+    },
+    FuzzTarget {
+        name: "decode_row_lzf",
+        run: t_row_lzf,
+    },
+    FuzzTarget {
+        name: "decode_row_deflate",
+        run: t_row_deflate,
+    },
+    FuzzTarget {
+        name: "decode_row_lzr",
+        run: t_row_lzr,
+    },
+    FuzzTarget {
+        name: "decode_column_plain",
+        run: t_column_plain,
+    },
+    FuzzTarget {
+        name: "decode_column_lzf",
+        run: t_column_lzf,
+    },
+    FuzzTarget {
+        name: "decode_column_deflate",
+        run: t_column_deflate,
+    },
+    FuzzTarget {
+        name: "decode_column_lzr",
+        run: t_column_lzr,
+    },
+];
+
+/// The registered target names (for the `registry` lint and `--help`).
+#[must_use]
+pub fn target_names() -> Vec<&'static str> {
+    TARGETS.iter().map(|t| t.name).collect()
+}
+
+/// A panic caught in one decoder.
+#[derive(Debug)]
+pub struct Failure {
+    /// Hex dump of the offending input (truncated to 256 bytes).
+    pub input_hex: String,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+/// Result of fuzzing one target.
+#[derive(Debug)]
+pub struct TargetSummary {
+    /// Target name.
+    pub name: &'static str,
+    /// Inputs executed.
+    pub execs: u64,
+    /// Panics caught (fuzzing a target stops after the first few).
+    pub failures: Vec<Failure>,
+}
+
+/// Deterministic xorshift64* generator — the fuzzer must reproduce a
+/// run exactly from the target name alone.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            usize::try_from(self.next() % n as u64).unwrap_or(0)
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A deterministic trajectory-shaped batch for seed corpora.
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_precision_loss
+)]
+fn seed_batch(n: usize) -> RecordBatch {
+    (0..n)
+        .map(|i| {
+            let f = i as f64;
+            let mut r = Record::new(
+                (i % 8) as u32,
+                1000 + (i as i64) * 15,
+                121.0 + f * 1e-4,
+                31.0 + f * 1e-5,
+            );
+            r.speed = (i % 60) as f32;
+            r.occupied = i % 2 == 0;
+            r
+        })
+        .collect()
+}
+
+/// Valid encodings plus raw patterns: mutations of real streams reach
+/// much deeper decoder states than pure noise.
+fn build_seeds() -> Vec<Vec<u8>> {
+    let batch = seed_batch(64);
+    let mut seeds: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        vec![0u8],
+        (0u8..64).collect(),
+        b"abcabcabcabcabcabcabcabcabcabc".to_vec(),
+    ];
+    for scheme in EncodingScheme::grid() {
+        seeds.push(scheme.encode(&batch));
+    }
+    let pattern: Vec<u8> = (0u8..200).map(|i| i % 17).collect();
+    seeds.push(lzf_compress(&pattern));
+    seeds.push(deflate_compress(&pattern));
+    seeds.push(lzr_compress(&pattern));
+    seeds
+}
+
+fn mutate(rng: &mut Rng, seeds: &[Vec<u8>]) -> Vec<u8> {
+    let mut input = seeds
+        .get(rng.below(seeds.len()))
+        .cloned()
+        .unwrap_or_default();
+    match rng.below(6) {
+        // Bit flips.
+        0 => {
+            for _ in 0..=rng.below(8) {
+                if input.is_empty() {
+                    break;
+                }
+                let i = rng.below(input.len());
+                if let Some(b) = input.get_mut(i) {
+                    *b ^= 1 << rng.below(8);
+                }
+            }
+        }
+        // Byte overwrites.
+        1 => {
+            for _ in 0..=rng.below(4) {
+                if input.is_empty() {
+                    break;
+                }
+                let i = rng.below(input.len());
+                #[allow(clippy::cast_possible_truncation)]
+                let v = rng.next() as u8;
+                if let Some(b) = input.get_mut(i) {
+                    *b = v;
+                }
+            }
+        }
+        // Truncation.
+        2 => {
+            input.truncate(rng.below(input.len() + 1));
+        }
+        // Random extension.
+        3 => {
+            for _ in 0..rng.below(64) {
+                #[allow(clippy::cast_possible_truncation)]
+                input.push(rng.next() as u8);
+            }
+        }
+        // Splice a window of another seed into this one.
+        4 => {
+            if let Some(other) = seeds.get(rng.below(seeds.len())) {
+                if !other.is_empty() {
+                    let from = rng.below(other.len());
+                    let len = rng.below(other.len() - from + 1);
+                    let at = rng.below(input.len() + 1);
+                    let window: Vec<u8> = other.iter().skip(from).take(len).copied().collect();
+                    input.splice(at..at, window);
+                }
+            }
+        }
+        // Pure noise.
+        _ => {
+            input.clear();
+            for _ in 0..rng.below(300) {
+                #[allow(clippy::cast_possible_truncation)]
+                input.push(rng.next() as u8);
+            }
+        }
+    }
+    input
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().min(256) * 2);
+    for b in bytes.iter().take(256) {
+        out.push_str(&format!("{b:02x}"));
+    }
+    if bytes.len() > 256 {
+        out.push('…');
+    }
+    out
+}
+
+/// Fuzzes the registered targets for `millis_per_target` each.
+///
+/// `filter` restricts the run to one target by name. The caller gets a
+/// summary per target; any non-empty `failures` list is a bug in the
+/// decoder under test.
+///
+/// # Errors
+///
+/// Returns a message when `filter` names no registered target.
+pub fn run(filter: Option<&str>, millis_per_target: u64) -> Result<Vec<TargetSummary>, String> {
+    let targets: Vec<&FuzzTarget> = TARGETS
+        .iter()
+        .filter(|t| filter.is_none_or(|f| t.name == f))
+        .collect();
+    if targets.is_empty() {
+        return Err(format!(
+            "unknown fuzz target `{}`; registered: {}",
+            filter.unwrap_or_default(),
+            target_names().join(", ")
+        ));
+    }
+    let seeds = build_seeds();
+    // Silence the default per-panic backtrace spew while fuzzing.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut summaries = Vec::with_capacity(targets.len());
+    for target in targets {
+        let mut rng = Rng::new(fnv(target.name));
+        let budget = Duration::from_millis(millis_per_target);
+        let start = Instant::now();
+        let mut summary = TargetSummary {
+            name: target.name,
+            execs: 0,
+            failures: Vec::new(),
+        };
+        while start.elapsed() < budget && summary.failures.len() < 4 {
+            let input = mutate(&mut rng, &seeds);
+            let run = target.run;
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&input)))
+            {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                summary.failures.push(Failure {
+                    input_hex: hex(&input),
+                    message,
+                });
+            }
+            summary.execs += 1;
+        }
+        summaries.push(summary);
+    }
+    std::panic::set_hook(prev_hook);
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_targets_cover_the_grid() {
+        assert_eq!(TARGETS.len(), 12);
+        let names = target_names();
+        assert!(names.contains(&"decode_auto"));
+        for scheme in EncodingScheme::grid() {
+            let layout = match scheme.layout {
+                Layout::Row => "row",
+                Layout::Column => "column",
+            };
+            let comp = match scheme.compression {
+                Compression::Plain => "plain",
+                Compression::Lzf => "lzf",
+                Compression::Deflate => "deflate",
+                Compression::Lzr => "lzr",
+            };
+            assert!(names.contains(&format!("decode_{layout}_{comp}").as_str()));
+        }
+    }
+
+    #[test]
+    fn smoke_run_is_deterministic_and_clean() {
+        let a = run(Some("decode_auto"), 50).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(a[0].execs > 0);
+        assert!(a[0].failures.is_empty(), "{:?}", a[0].failures);
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        assert!(run(Some("nope"), 10).is_err());
+    }
+}

@@ -21,6 +21,23 @@
 //! * **deps** — offline `cargo metadata` audit: licenses declared,
 //!   no duplicate semver-major versions.
 //!
+//! v2 adds three semantic rule families on top, built on the parsed
+//! workspace model in [`ast`]:
+//!
+//! * **unit-safety** — no additive arithmetic mixing unit families
+//!   (milliseconds, bytes, partition counts, record counts) in the
+//!   cost-model modules; see [`units`];
+//! * **lock-discipline** — no `storage::sync` guard held across
+//!   backend I/O, and lock acquisitions follow the declared order; see
+//!   [`locks`];
+//! * **registry** — every `codec::scheme` variant resolves to an
+//!   encoder, a decoder, a round-trip proptest, and a fuzz target; see
+//!   [`registry`];
+//!
+//! plus the **ratchet**: `crates/xtask/ratchet.toml` pins the
+//! per-rule waiver counts, and the lint fails when the live ledger
+//! drifts from the pin in either direction (see [`ratchet`]).
+//!
 //! Waivers are per-site `// audit: allow(rule, reason)` comments (or
 //! `allow-file` for whole files); the lint prints the full ledger and
 //! fails on waivers that no longer waive anything.
@@ -30,9 +47,15 @@
 // The audited product crates do NOT get this waiver.
 #![allow(clippy::indexing_slicing)]
 
+pub mod ast;
 pub mod deps;
+pub mod fuzz;
 pub mod lexer;
+pub mod locks;
+pub mod ratchet;
+pub mod registry;
 pub mod rules;
+pub mod units;
 
 use rules::{Allow, Rule, RuleSet, Violation};
 use std::collections::HashMap;
@@ -46,6 +69,21 @@ pub const PANIC_FREE_CRATES: &[&str] = &["core", "storage", "codec", "mip", "ind
 /// Codec files holding bit-level encode/decode state machines (rule
 /// `lossy-cast`).
 pub const BIT_LEVEL_FILES: &[&str] = &["bitio.rs", "varint.rs", "gorilla.rs", "range.rs"];
+
+/// `(crate, file)` pairs carrying dimensioned quantities (rule
+/// `unit-safety`). `geo` and `mip` sit below `core` in the dependency
+/// order and cannot import the unit newtypes, so the lint is their only
+/// cover.
+pub const UNIT_SAFETY_FILES: &[(&str, &str)] = &[
+    ("core", "cost.rs"),
+    ("core", "select.rs"),
+    ("geo", "query_size.rs"),
+    ("mip", "problem.rs"),
+];
+
+/// Crates whose code uses the `storage::sync` lock wrappers (rule
+/// `lock-discipline`).
+pub const LOCK_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
 
 /// Aggregated result of a workspace lint run.
 #[derive(Debug, Default)]
@@ -94,6 +132,10 @@ impl Report {
             Rule::ErrorsDoc,
             Rule::ErrorTraits,
             Rule::Deps,
+            Rule::UnitSafety,
+            Rule::LockDiscipline,
+            Rule::Registry,
+            Rule::Ratchet,
             Rule::UnusedAllow,
         ] {
             let n = self.count(rule);
@@ -168,6 +210,27 @@ pub fn lint_workspace(root: &Path, with_deps: bool) -> Result<Report, String> {
         report.violations.extend(deps::audit_dependencies(root)?);
     }
 
+    // Registry completeness: the codec scheme enums against their
+    // encoder/decoder arms, property tests and fuzz targets.
+    let scheme_file = Path::new("crates/codec/src/scheme.rs");
+    let props_file = Path::new("crates/codec/tests/properties.rs");
+    let scheme_src = std::fs::read_to_string(root.join(scheme_file))
+        .map_err(|e| format!("cannot read {}: {e}", scheme_file.display()))?;
+    let props_src = std::fs::read_to_string(root.join(props_file))
+        .map_err(|e| format!("cannot read {}: {e}", props_file.display()))?;
+    report.violations.extend(registry::check_registry(
+        scheme_file,
+        &scheme_src,
+        props_file,
+        &props_src,
+        &fuzz::target_names(),
+    ));
+
+    // The waiver ratchet: live allow-comment counts against the pins.
+    report
+        .violations
+        .extend(ratchet::check(root, &report.allows));
+
     // Stale allows are violations too — the ledger must stay honest.
     for a in &report.allows {
         if a.used == 0 {
@@ -213,6 +276,8 @@ fn lint_crate(
             indexing: panic_free,
             lossy_cast: crate_name == "codec" && BIT_LEVEL_FILES.contains(&file_name),
             errors_doc: true,
+            unit_safety: UNIT_SAFETY_FILES.contains(&(crate_name, file_name)),
+            lock_discipline: LOCK_DISCIPLINE_CRATES.contains(&crate_name),
         };
         let rel = file.strip_prefix(root).unwrap_or(file);
         let fr = rules::audit_file(rel, &source, rules);

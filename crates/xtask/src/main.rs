@@ -3,21 +3,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: cargo xtask lint [--no-deps] [--update-ratchet]\n       cargo xtask fuzz [--target NAME] [--millis N]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
             let with_deps = !args.iter().any(|a| a == "--no-deps");
-            lint(with_deps)
+            let update_ratchet = args.iter().any(|a| a == "--update-ratchet");
+            lint(with_deps, update_ratchet)
         }
+        Some("fuzz") => fuzz(args.get(1..).unwrap_or(&[])),
         _ => {
-            eprintln!("usage: cargo xtask lint [--no-deps]");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint(with_deps: bool) -> ExitCode {
+fn lint(with_deps: bool, update_ratchet: bool) -> ExitCode {
     let root = match workspace_root() {
         Ok(r) => r,
         Err(e) => {
@@ -25,6 +29,23 @@ fn lint(with_deps: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if update_ratchet {
+        // First pass only collects the ledger; ratchet mismatches in it
+        // are exactly what the update is about to resolve.
+        match xtask::lint_workspace(&root, false) {
+            Ok(report) => match xtask::ratchet::update(&root, &report.allows) {
+                Ok(path) => println!("ratchet updated: {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match xtask::lint_workspace(&root, with_deps) {
         Ok(report) => {
             print!("{}", report.render());
@@ -39,6 +60,65 @@ fn lint(with_deps: bool) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut target: Option<String> = None;
+    let mut millis: u64 = 1000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--target" => match it.next() {
+                Some(name) => target = Some(name.clone()),
+                None => {
+                    eprintln!("--target needs a name; registered: {}", names());
+                    return ExitCode::from(2);
+                }
+            },
+            "--millis" => match it.next().map(|m| m.parse()) {
+                Some(Ok(m)) => millis = m,
+                _ => {
+                    eprintln!("--millis needs an integer millisecond budget per target");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown fuzz option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match xtask::fuzz::run(target.as_deref(), millis) {
+        Ok(summaries) => {
+            let mut failed = false;
+            for s in &summaries {
+                println!(
+                    "fuzz {:<22} {:>9} execs, {} failure(s)",
+                    s.name,
+                    s.execs,
+                    s.failures.len()
+                );
+                for f in &s.failures {
+                    failed = true;
+                    println!("  panic: {}", f.message);
+                    println!("  input: {}", f.input_hex);
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn names() -> String {
+    xtask::fuzz::target_names().join(", ")
 }
 
 /// The workspace root: two levels above this crate's manifest.

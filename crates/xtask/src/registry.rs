@@ -1,0 +1,143 @@
+//! Rule `registry`: the codec scheme registry must be complete.
+//!
+//! Every `codec::scheme::{Layout, Compression}` variant must resolve to
+//! a full toolchain before it can ship: an encoder dispatch arm, a
+//! decoder dispatch arm, a round-trip property test in
+//! `codec/tests/properties.rs`, and a fuzz target. The expected names
+//! are **derived from the parsed enum variants**, so adding a variant
+//! without the rest of its toolchain fails `cargo xtask lint` the same
+//! commit it lands.
+
+use crate::ast::{self, View};
+use crate::rules::{self, Rule, Violation};
+use std::path::Path;
+
+/// Checks scheme-registry completeness from source text.
+///
+/// `scheme_src` is `crates/codec/src/scheme.rs`, `props_src` is
+/// `crates/codec/tests/properties.rs`, `fuzz_targets` the names the
+/// fuzz registry compiles in. Pure so the fixture tests can feed it
+/// known-bad sources.
+#[must_use]
+pub fn check_registry(
+    scheme_file: &Path,
+    scheme_src: &str,
+    props_file: &Path,
+    props_src: &str,
+    fuzz_targets: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let scheme_tokens = rules::lex_significant(scheme_src);
+    let scheme_view = View::new(&scheme_tokens.0, &scheme_tokens.1);
+    let scheme_ast = ast::parse(scheme_view);
+
+    let props_tokens = rules::lex_significant(props_src);
+    let props_view = View::new(&props_tokens.0, &props_tokens.1);
+    let props_ast = ast::parse(props_view);
+
+    let Some(layouts) = scheme_ast.enum_named("Layout").cloned() else {
+        out.push(missing(scheme_file, "cannot find `enum Layout`"));
+        return out;
+    };
+    let Some(comps) = scheme_ast.enum_named("Compression").cloned() else {
+        out.push(missing(scheme_file, "cannot find `enum Compression`"));
+        return out;
+    };
+
+    // 1. Dispatch arms: every variant must appear in the bodies of
+    //    `EncodingScheme::{encode, decode}`.
+    for method in ["encode", "decode"] {
+        let Some(f) = scheme_ast
+            .fns_named(method)
+            .find(|f| f.owner.as_deref() == Some("EncodingScheme") && f.body.is_some())
+        else {
+            out.push(missing(
+                scheme_file,
+                &format!("cannot find `EncodingScheme::{method}`"),
+            ));
+            continue;
+        };
+        let (b0, b1) = f.body.unwrap_or_default();
+        for (enum_name, decl) in [("Layout", &layouts), ("Compression", &comps)] {
+            for v in &decl.variants {
+                if !(b0..b1).any(|j| scheme_view.is_ident(j, v)) {
+                    out.push(Violation {
+                        rule: Rule::Registry,
+                        file: scheme_file.to_path_buf(),
+                        line: f.line,
+                        message: format!(
+                            "`{enum_name}::{v}` has no dispatch arm in `EncodingScheme::{method}`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. Round-trip property tests: `<variant>_roundtrips` for every
+    //    real compressor, and the batch-level scheme round-trip that
+    //    covers the layouts.
+    for v in &comps.variants {
+        if v == "Plain" {
+            continue; // identity codec; covered by the scheme round-trip
+        }
+        let want = format!("{}_roundtrips", v.to_lowercase());
+        if !props_ast.fns.iter().any(|f| f.name == want) {
+            out.push(Violation {
+                rule: Rule::Registry,
+                file: props_file.to_path_buf(),
+                line: 1,
+                message: format!(
+                    "`Compression::{v}` has no `{want}` property test in {}",
+                    props_file.display()
+                ),
+            });
+        }
+    }
+    if !props_ast
+        .fns
+        .iter()
+        .any(|f| f.name.contains("schemes_roundtrip"))
+    {
+        out.push(Violation {
+            rule: Rule::Registry,
+            file: props_file.to_path_buf(),
+            line: 1,
+            message: "no `schemes_roundtrip*` property test covering the layout grid".to_string(),
+        });
+    }
+
+    // 3. Fuzz targets: one per real compressor, one per (layout,
+    //    compression) scheme decode, plus the tag-sniffing decoder.
+    let mut want_targets: Vec<String> = vec!["decode_auto".to_string()];
+    for c in &comps.variants {
+        if c != "Plain" {
+            want_targets.push(c.to_lowercase());
+        }
+        for l in &layouts.variants {
+            want_targets.push(format!("decode_{}_{}", l.to_lowercase(), c.to_lowercase()));
+        }
+    }
+    for want in want_targets {
+        if !fuzz_targets.contains(&want.as_str()) {
+            out.push(Violation {
+                rule: Rule::Registry,
+                file: scheme_file.to_path_buf(),
+                line: comps.line,
+                message: format!("no fuzz target `{want}` registered in xtask::fuzz"),
+            });
+        }
+    }
+
+    out
+}
+
+fn missing(file: &Path, what: &str) -> Violation {
+    Violation {
+        rule: Rule::Registry,
+        file: file.to_path_buf(),
+        line: 1,
+        message: what.to_string(),
+    }
+}

@@ -42,6 +42,17 @@ pub enum Rule {
     ErrorTraits,
     /// Dependency-graph problems (unknown license, duplicate majors).
     Deps,
+    /// Additive arithmetic mixing unit families (ms, bytes, partition
+    /// counts, record counts) in the cost-model modules.
+    UnitSafety,
+    /// A `storage::sync` guard held across backend I/O, or a lock
+    /// acquisition violating the declared lock order.
+    LockDiscipline,
+    /// A `codec::scheme` variant without a complete toolchain (encoder,
+    /// decoder, round-trip proptest, fuzz target).
+    Registry,
+    /// The live waiver count differs from the `ratchet.toml` pin.
+    Ratchet,
     /// An `audit: allow` comment that waives nothing.
     UnusedAllow,
 }
@@ -57,6 +68,10 @@ impl Rule {
             Rule::ErrorsDoc => "errors-doc",
             Rule::ErrorTraits => "error-traits",
             Rule::Deps => "deps",
+            Rule::UnitSafety => "unit-safety",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::Registry => "registry",
+            Rule::Ratchet => "ratchet",
             Rule::UnusedAllow => "unused-allow",
         }
     }
@@ -69,6 +84,10 @@ impl Rule {
             "errors-doc" => Rule::ErrorsDoc,
             "error-traits" => Rule::ErrorTraits,
             "deps" => Rule::Deps,
+            "unit-safety" => Rule::UnitSafety,
+            "lock-discipline" => Rule::LockDiscipline,
+            // `registry` and `ratchet` are workspace-level structural
+            // checks and deliberately cannot be waived site by site.
             _ => return None,
         })
     }
@@ -152,6 +171,10 @@ pub struct RuleSet {
     pub lossy_cast: bool,
     /// `# Errors` sections on fallible `pub fn`s (rule `errors-doc`).
     pub errors_doc: bool,
+    /// Unit-family mixing in additive arithmetic (rule `unit-safety`).
+    pub unit_safety: bool,
+    /// Guard liveness and lock ordering (rule `lock-discipline`).
+    pub lock_discipline: bool,
 }
 
 /// Keywords that can precede `[` without the bracket being an index
@@ -206,6 +229,16 @@ pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     if rules.errors_doc {
         scan_errors_doc(file, &tokens, &sig, &mut raw);
     }
+    if rules.unit_safety || rules.lock_discipline {
+        let view = crate::ast::View::new(&tokens, &sig);
+        let ast = crate::ast::parse(view);
+        if rules.unit_safety {
+            crate::units::scan(file, view, &ast, &mut raw);
+        }
+        if rules.lock_discipline {
+            crate::locks::scan(file, view, &ast, &mut raw);
+        }
+    }
 
     // 4. Error enums / impls / assertions (crate-level aggregation).
     collect_error_items(&tokens, &sig, &mut report);
@@ -253,6 +286,16 @@ fn parse_allow(comment: &str) -> Option<Allow> {
         file_wide,
         used: 0,
     })
+}
+
+/// Lexes `source` and returns the token list together with the indices
+/// of its significant non-test tokens — the inputs the [`crate::ast`]
+/// layer works from.
+#[must_use]
+pub fn lex_significant(source: &str) -> (Vec<Token>, Vec<usize>) {
+    let tokens = lex(source);
+    let sig = significant_non_test(&tokens);
+    (tokens, sig)
 }
 
 /// Indices of Ident/Punct/Literal tokens that are not inside a
@@ -543,6 +586,7 @@ mod tests {
                 indexing: true,
                 lossy_cast: true,
                 errors_doc: true,
+                ..RuleSet::default()
             },
         )
     }

@@ -1,0 +1,231 @@
+//! Rule `unit-safety`: no additive arithmetic across unit families.
+//!
+//! The cost model mixes four physical dimensions — milliseconds, bytes,
+//! partition counts and record counts — and before the `core::units`
+//! newtypes they were all bare `f64`s, so nothing stopped
+//! `extra_ms + total_bytes` from compiling. The newtypes close that
+//! hole where they are in scope, but `geo` and `mip` sit *below*
+//! `core` in the dependency order and cannot import them; this lint
+//! covers the gap with suffix-based unit inference on the modules that
+//! carry dimensioned quantities.
+//!
+//! The check is deliberately conservative: it only fires on `+`, `-`,
+//! `+=` and `-=` where **both** operands are simple identifier paths
+//! (optionally ending in an empty `.get()`-style call) whose final
+//! segment carries a recognisable unit suffix, and the two units
+//! differ. Multiplicative expressions produce derived units and are
+//! exempt, as are literals and anything structurally complex — a lint
+//! that cries wolf on `slope * records + intercept_ms` would be
+//! deleted within a week.
+
+use crate::ast::{self, View};
+use crate::lexer::Kind;
+use crate::rules::{Rule, Violation};
+use std::path::Path;
+
+/// The unit families the suffix heuristics can recognise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Milliseconds (`_ms`, `ms_per_*`).
+    Millis,
+    /// Seconds (`_secs`, `_seconds`).
+    Seconds,
+    /// Bytes (`_bytes`, `bytes_per_*`, `storage`, `budget`).
+    Bytes,
+    /// Partition counts (`np`, `*partitions`).
+    Partitions,
+    /// Record counts (`records`, `*_records`).
+    Records,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Millis => "milliseconds",
+            Family::Seconds => "seconds",
+            Family::Bytes => "bytes",
+            Family::Partitions => "partition-count",
+            Family::Records => "record-count",
+        }
+    }
+}
+
+/// Infers the unit family of one identifier from its name.
+#[must_use]
+pub fn family_of(ident: &str) -> Option<Family> {
+    if ident == "ms" || ident.ends_with("_ms") || ident.starts_with("ms_per") {
+        return Some(Family::Millis);
+    }
+    if ident == "secs" || ident.ends_with("_secs") || ident.ends_with("_seconds") {
+        return Some(Family::Seconds);
+    }
+    if ident == "bytes"
+        || ident.ends_with("_bytes")
+        || ident.starts_with("bytes_per")
+        || ident == "storage"
+        || ident == "budget"
+    {
+        return Some(Family::Bytes);
+    }
+    if ident == "np" || ident.ends_with("partitions") {
+        return Some(Family::Partitions);
+    }
+    if ident == "records" || ident.ends_with("_records") {
+        return Some(Family::Records);
+    }
+    None
+}
+
+/// Tokens that make the `+`/`-` before an operand a unary sign rather
+/// than a binary operator.
+const UNARY_CONTEXT: &[&str] = &[
+    "(", "[", "{", ",", ";", "=", "+", "-", "*", "/", "%", "<", ">", "&", "|", "!", ":", "=>",
+    "return", "if", "else", "match", "in", "while", "break",
+];
+
+/// Accessor methods that do not change an operand's unit.
+const UNIT_PRESERVING_METHODS: &[&str] = &["get", "abs", "copied", "clone", "min", "max"];
+
+/// Scans every function body for additive mixing of unit families.
+pub fn scan(file: &Path, view: View<'_>, ast: &ast::Ast, out: &mut Vec<Violation>) {
+    for f in &ast.fns {
+        let Some((start, end)) = f.body else {
+            continue;
+        };
+        scan_range(file, view, start, end, out);
+    }
+}
+
+fn scan_range(file: &Path, view: View<'_>, start: usize, end: usize, out: &mut Vec<Violation>) {
+    for j in start..end {
+        let op = match view.text(j) {
+            Some(t @ ("+" | "-")) if view.kind(j) == Some(Kind::Punct) => t.to_string(),
+            _ => continue,
+        };
+        // `->` and `several-token` operators are not arithmetic.
+        if op == "-" && view.text(j + 1) == Some(">") {
+            continue;
+        }
+        // Unary sign: no left operand.
+        if j == start || UNARY_CONTEXT.contains(&view.text(j - 1).unwrap_or_default()) {
+            continue;
+        }
+        // Compound assignment (`+=` / `-=`) shifts the right operand.
+        let rhs_at = if view.text(j + 1) == Some("=") {
+            j + 2
+        } else {
+            j + 1
+        };
+        let Some((left, l_edge)) = left_operand(view, start, j) else {
+            continue;
+        };
+        let Some((right, r_edge)) = right_operand(view, rhs_at, end) else {
+            continue;
+        };
+        // A `*`/`/` on either flank makes the operand a derived unit.
+        if l_edge > start && matches!(view.text(l_edge - 1), Some("*" | "/" | "%")) {
+            continue;
+        }
+        if matches!(view.text(r_edge), Some("*" | "/" | "%")) {
+            continue;
+        }
+        let (Some(lf), Some(rf)) = (
+            family_of(&left_segment(&left)),
+            family_of(&left_segment(&right)),
+        ) else {
+            continue;
+        };
+        if lf != rf {
+            out.push(Violation {
+                rule: Rule::UnitSafety,
+                file: file.to_path_buf(),
+                line: view.line(j),
+                message: format!(
+                    "`{left} {op} {right}` mixes {} and {} — use the `blot_core::units` newtypes \
+                     or convert explicitly",
+                    lf.name(),
+                    rf.name()
+                ),
+            });
+        }
+    }
+}
+
+/// Final path segment (`p.extra_ms` → `extra_ms`).
+fn left_segment(path: &str) -> String {
+    path.rsplit('.').next().unwrap_or(path).to_string()
+}
+
+/// The simple path ending just before `op` (walking left), with the
+/// index of its first token. `None` when the operand is structurally
+/// complex.
+fn left_operand(view: View<'_>, floor: usize, op: usize) -> Option<(String, usize)> {
+    let mut k = op; // exclusive end
+                    // Optional trailing unit-preserving empty call: `… .get()`.
+    if k >= floor + 4
+        && view.text(k - 1) == Some(")")
+        && view.text(k - 2) == Some("(")
+        && view.text(k - 4) == Some(".")
+    {
+        let m = view.text(k - 3).unwrap_or_default();
+        if view.kind(k - 3) == Some(Kind::Ident) && UNIT_PRESERVING_METHODS.contains(&m) {
+            k -= 4;
+        } else {
+            return None;
+        }
+    }
+    // Now a dotted ident path, read right to left.
+    if k == floor || view.kind(k - 1) != Some(Kind::Ident) {
+        return None;
+    }
+    let mut parts = vec![view.text(k - 1).unwrap_or_default().to_string()];
+    let mut p = k - 1;
+    while p >= floor + 2 && view.text(p - 1) == Some(".") && view.kind(p - 2) == Some(Kind::Ident) {
+        parts.push(view.text(p - 2).unwrap_or_default().to_string());
+        p -= 2;
+    }
+    // A `.` or `::` still hanging off the left edge means the path is a
+    // fragment of something more complex (`foo().x`, `Type::CONST`).
+    if p > floor && matches!(view.text(p - 1), Some("." | ":")) {
+        return None;
+    }
+    parts.reverse();
+    Some((parts.join("."), p))
+}
+
+/// The simple path starting at `at` (walking right), with the index
+/// just past its last token. `None` when the operand is complex.
+fn right_operand(view: View<'_>, at: usize, end: usize) -> Option<(String, usize)> {
+    if at >= end || view.kind(at) != Some(Kind::Ident) {
+        return None;
+    }
+    let mut parts = vec![view.text(at).unwrap_or_default().to_string()];
+    let mut p = at + 1;
+    while p + 1 < end && view.text(p) == Some(".") && view.kind(p + 1) == Some(Kind::Ident) {
+        // Stop the path before a unit-preserving empty call.
+        if view.text(p + 2) == Some("(") {
+            break;
+        }
+        parts.push(view.text(p + 1).unwrap_or_default().to_string());
+        p += 2;
+    }
+    // Optional trailing `.get()`.
+    if p + 3 < end
+        && view.text(p) == Some(".")
+        && view.kind(p + 1) == Some(Kind::Ident)
+        && view.text(p + 2) == Some("(")
+        && view.text(p + 3) == Some(")")
+    {
+        let m = view.text(p + 1).unwrap_or_default();
+        if UNIT_PRESERVING_METHODS.contains(&m) {
+            p += 4;
+        } else {
+            return None;
+        }
+    }
+    // A call or index right after the path makes it complex.
+    if matches!(view.text(p), Some("(" | "[" | "." | ":")) {
+        return None;
+    }
+    Some((parts.join("."), p))
+}

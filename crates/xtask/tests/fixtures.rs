@@ -8,11 +8,33 @@
 use std::path::{Path, PathBuf};
 use xtask::rules::{audit_file, FileReport, Rule, RuleSet};
 
-const ALL_RULES: RuleSet = RuleSet {
+/// The v1 lexer rules; the semantic rules get their own targeted sets
+/// so the older fixtures stay focused on what they prove.
+const LEXER_RULES: RuleSet = RuleSet {
     panic: true,
     indexing: true,
     lossy_cast: true,
     errors_doc: true,
+    unit_safety: false,
+    lock_discipline: false,
+};
+
+const UNIT_RULES: RuleSet = RuleSet {
+    panic: false,
+    indexing: false,
+    lossy_cast: false,
+    errors_doc: false,
+    unit_safety: true,
+    lock_discipline: false,
+};
+
+const LOCK_RULES: RuleSet = RuleSet {
+    panic: false,
+    indexing: false,
+    lossy_cast: false,
+    errors_doc: false,
+    unit_safety: false,
+    lock_discipline: true,
 };
 
 fn audit_fixture(name: &str, rules: RuleSet) -> FileReport {
@@ -30,14 +52,14 @@ fn count(report: &FileReport, rule: Rule) -> usize {
 
 #[test]
 fn panic_rule_fires_on_every_macro_and_method() {
-    let r = audit_fixture("panic_sites.rs", ALL_RULES);
+    let r = audit_fixture("panic_sites.rs", LEXER_RULES);
     // unwrap, expect, panic!, unreachable!, todo!, unimplemented!
     assert_eq!(count(&r, Rule::Panic), 6, "violations: {:?}", r.violations);
 }
 
 #[test]
 fn panic_rule_skips_test_modules() {
-    let r = audit_fixture("panic_sites.rs", ALL_RULES);
+    let r = audit_fixture("panic_sites.rs", LEXER_RULES);
     assert!(
         !r.violations
             .iter()
@@ -49,7 +71,7 @@ fn panic_rule_skips_test_modules() {
 
 #[test]
 fn indexing_rule_fires_on_index_and_slice_only() {
-    let r = audit_fixture("indexing.rs", ALL_RULES);
+    let r = audit_fixture("indexing.rs", LEXER_RULES);
     // `v[i]` and `&v[1..3]`; `.get()` and slice patterns stay quiet.
     assert_eq!(
         count(&r, Rule::Indexing),
@@ -61,7 +83,7 @@ fn indexing_rule_fires_on_index_and_slice_only() {
 
 #[test]
 fn lossy_cast_rule_fires_on_narrowing_only() {
-    let r = audit_fixture("lossy_cast.rs", ALL_RULES);
+    let r = audit_fixture("lossy_cast.rs", LEXER_RULES);
     // `as u8` and `as u16`; the widening `as u64` stays quiet.
     assert_eq!(
         count(&r, Rule::LossyCast),
@@ -75,7 +97,7 @@ fn lossy_cast_rule_fires_on_narrowing_only() {
 fn lossy_cast_rule_is_opt_in_per_file() {
     let rules = RuleSet {
         lossy_cast: false,
-        ..ALL_RULES
+        ..LEXER_RULES
     };
     let r = audit_fixture("lossy_cast.rs", rules);
     assert_eq!(count(&r, Rule::LossyCast), 0);
@@ -83,7 +105,7 @@ fn lossy_cast_rule_is_opt_in_per_file() {
 
 #[test]
 fn errors_doc_rule_fires_on_undocumented_pub_fn_only() {
-    let r = audit_fixture("errors_doc.rs", ALL_RULES);
+    let r = audit_fixture("errors_doc.rs", LEXER_RULES);
     assert_eq!(
         count(&r, Rule::ErrorsDoc),
         1,
@@ -95,7 +117,7 @@ fn errors_doc_rule_fires_on_undocumented_pub_fn_only() {
 
 #[test]
 fn error_enums_are_reported_for_crate_level_aggregation() {
-    let r = audit_fixture("error_enum.rs", ALL_RULES);
+    let r = audit_fixture("error_enum.rs", LEXER_RULES);
     assert_eq!(r.error_enums.len(), 1);
     assert_eq!(r.error_enums[0].0, "BadError");
     assert!(r.trait_assertions.is_empty());
@@ -104,7 +126,7 @@ fn error_enums_are_reported_for_crate_level_aggregation() {
 
 #[test]
 fn allow_comments_waive_and_stale_allows_are_ledgered() {
-    let r = audit_fixture("allowed.rs", ALL_RULES);
+    let r = audit_fixture("allowed.rs", LEXER_RULES);
     assert_eq!(
         count(&r, Rule::Indexing),
         0,
@@ -119,9 +141,127 @@ fn allow_comments_waive_and_stale_allows_are_ledgered() {
     assert_eq!(stale[0].rule, Rule::Panic);
 }
 
+#[test]
+fn unit_safety_rule_fires_on_mixed_families_only() {
+    let r = audit_fixture("unit_mixing.rs", UNIT_RULES);
+    // elapsed_ms + total_bytes, p.extra_ms - np, total_ms += dataset_records;
+    // the derived product, same-family sums and the waived site stay quiet.
+    assert_eq!(
+        count(&r, Rule::UnitSafety),
+        3,
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(
+        r.violations
+            .iter()
+            .all(|v| v.message.contains("blot_core::units")),
+        "messages must point at the newtypes: {:?}",
+        r.violations
+    );
+    let used: Vec<_> = r.allows.iter().filter(|a| a.used > 0).collect();
+    assert_eq!(used.len(), 1, "allows: {:?}", r.allows);
+    assert_eq!(used[0].rule, Rule::UnitSafety);
+}
+
+#[test]
+fn lock_discipline_rule_fires_on_guards_held_across_io() {
+    let r = audit_fixture("guard_io.rs", LOCK_RULES);
+    // backend.get, std::fs::read, run_scan + backend.list; the dropped,
+    // temporary and scoped guards stay quiet.
+    assert_eq!(
+        count(&r, Rule::LockDiscipline),
+        4,
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(
+        !r.violations.iter().any(|v| v.line >= 30),
+        "the ok_* methods must stay quiet: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn lock_discipline_rule_fires_on_order_inversions() {
+    let r = audit_fixture("lock_order.rs", LOCK_RULES);
+    // units→failures twice (let-bound and temporary); the correctly
+    // ordered pairs and the full chain stay quiet.
+    assert_eq!(
+        count(&r, Rule::LockDiscipline),
+        2,
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(
+        r.violations.iter().all(|v| v.line < 24),
+        "ordered acquisitions must stay quiet: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn registry_rule_fires_on_every_gap_of_a_new_variant() {
+    let read = |name: &str| {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+    };
+    let scheme = read("registry_gap_scheme.rs");
+    let props = read("registry_gap_properties.rs");
+    let violations = xtask::registry::check_registry(
+        Path::new("registry_gap_scheme.rs"),
+        &scheme,
+        Path::new("registry_gap_properties.rs"),
+        &props,
+        &xtask::fuzz::target_names(),
+    );
+    // The fixture's Zstd variant has an encode arm but nothing else:
+    // missing decode arm, missing zstd_roundtrips, and three missing
+    // fuzz targets (zstd, decode_row_zstd, decode_column_zstd).
+    assert_eq!(violations.len(), 5, "violations: {violations:?}");
+    let messages: Vec<_> = violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("Zstd") && m.contains("decode")),
+        "missing decode arm must be reported: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("zstd_roundtrips")),
+        "missing property test must be reported: {messages:?}"
+    );
+    assert_eq!(
+        messages
+            .iter()
+            .filter(|m| m.contains("no fuzz target"))
+            .count(),
+        3,
+        "missing fuzz targets must be reported: {messages:?}"
+    );
+}
+
+/// The ratchet pins must track the live ledger (enforced in full by
+/// `real_workspace_is_clean`) and stay strictly below the six waivers
+/// the burn-down started from.
+#[test]
+fn ratchet_total_stays_below_the_burn_down_baseline() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("ratchet.toml");
+    let src = std::fs::read_to_string(&path).expect("ratchet.toml exists");
+    let ratchet = xtask::ratchet::Ratchet::parse(&src).expect("ratchet.toml parses");
+    assert!(
+        ratchet.total() < 6,
+        "waiver total {} regressed past the pre-burn-down baseline",
+        ratchet.total()
+    );
+}
+
 /// The acceptance gate: the real workspace passes the full audit with
 /// zero violations (dep audit skipped to stay hermetic — it shells out
-/// to `cargo metadata`).
+/// to `cargo metadata`). This also exercises the registry and ratchet
+/// rules against the live codec and waiver ledger.
 #[test]
 fn real_workspace_is_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -1,0 +1,16 @@
+//! Companion fixture to `registry_gap_scheme.rs`: property tests that
+//! cover Lzf and the scheme grid, but not the new Zstd variant.
+
+proptest! {
+    #[test]
+    fn lzf_roundtrips(data in arb_bytes()) {
+        prop_assert_eq!(lzf_decompress(&lzf_compress(&data)), data);
+    }
+
+    #[test]
+    fn schemes_roundtrip_batches(batch in arb_batch(64)) {
+        for scheme in EncodingScheme::all() {
+            prop_assert_eq!(scheme.decode(&scheme.encode(&batch)), batch);
+        }
+    }
+}

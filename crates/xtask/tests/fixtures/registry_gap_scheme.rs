@@ -1,0 +1,45 @@
+//! Known-bad fixture for rule `registry`: a `Zstd` compression variant
+//! was declared and wired into `encode`, but its decoder arm, property
+//! test and fuzz targets were all forgotten.
+
+pub enum Layout {
+    Row,
+    Column,
+}
+
+pub enum Compression {
+    Plain,
+    Lzf,
+    Zstd,
+}
+
+pub struct EncodingScheme {
+    pub layout: Layout,
+    pub compression: Compression,
+}
+
+impl EncodingScheme {
+    pub fn encode(self, data: &[u8]) -> Vec<u8> {
+        let laid_out = match self.layout {
+            Layout::Row => rows(data),
+            Layout::Column => columns(data),
+        };
+        match self.compression {
+            Compression::Plain => laid_out,
+            Compression::Lzf => lzf_compress(&laid_out),
+            Compression::Zstd => zstd_compress(&laid_out),
+        }
+    }
+
+    pub fn decode(self, bytes: &[u8]) -> Vec<u8> {
+        let laid_out = match self.compression {
+            Compression::Plain => bytes.to_vec(),
+            Compression::Lzf => lzf_decompress(bytes),
+            // Zstd arm forgotten.
+        };
+        match self.layout {
+            Layout::Row => unrows(&laid_out),
+            Layout::Column => uncolumns(&laid_out),
+        }
+    }
+}

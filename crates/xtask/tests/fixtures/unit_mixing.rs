@@ -1,0 +1,38 @@
+//! Known-bad fixture for rule `unit-safety`: additive arithmetic that
+//! mixes unit families must fire; derived products, same-family sums
+//! and waived sites must stay quiet.
+
+pub struct Params {
+    pub extra_ms: f64,
+    pub total_bytes: f64,
+}
+
+pub fn mixed_add(elapsed_ms: f64, total_bytes: f64) -> f64 {
+    elapsed_ms + total_bytes // fires: milliseconds + bytes
+}
+
+pub fn mixed_field_sub(p: &Params, np: f64) -> f64 {
+    p.extra_ms - np // fires: milliseconds - partition-count
+}
+
+pub fn mixed_compound(total_ms: f64, dataset_records: f64) -> f64 {
+    let mut total_ms = total_ms;
+    total_ms += dataset_records; // fires: milliseconds += record-count
+    total_ms
+}
+
+pub fn derived_products_are_quiet(ms_per_record: f64, records: f64, extra_ms: f64) -> f64 {
+    // The product has a derived unit; adding milliseconds to it is the
+    // cost model's own shape and must not fire.
+    ms_per_record * records + extra_ms
+}
+
+pub fn same_family_is_quiet(extra_ms: f64, avg_ms: f64) -> f64 {
+    let slack_ms = extra_ms + avg_ms;
+    slack_ms - extra_ms
+}
+
+pub fn waived_site(elapsed_ms: f64, budget: f64) -> f64 {
+    // audit: allow(unit-safety, normalised scalar — both sides are unitless here)
+    elapsed_ms + budget
+}

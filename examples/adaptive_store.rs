@@ -94,7 +94,7 @@ fn main() {
         ],
         &EncodingScheme::all(),
     );
-    let budget = 3.0 * 38.0 * 65e6; // three plain copies of a 65 M-record set
+    let budget = Bytes::new(3.0 * 38.0 * 65e6); // three plain copies of a 65 M-record set
     let rec = recommend(
         &model,
         &workload,

@@ -47,8 +47,8 @@ fn full_pipeline_selects_builds_and_answers() {
     assert!(mip.workload_cost <= greedy.workload_cost + 1e-9);
     assert!(greedy.workload_cost <= single_cost + 1e-9);
     assert!(ideal <= mip.workload_cost + 1e-9);
-    assert!(mip.storage <= budget + 1.0);
-    assert!(greedy.storage <= budget + 1.0);
+    assert!(mip.storage <= budget + Bytes::new(1.0));
+    assert!(greedy.storage <= budget + Bytes::new(1.0));
     assert!(
         greedy.chosen.len() > 1,
         "budget for 3 copies must buy diversity"
