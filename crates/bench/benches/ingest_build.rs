@@ -1,0 +1,88 @@
+//! Criterion bench: replica build and ingest throughput — the
+//! unit-granular encode/decode paths that run through the shared
+//! scan-executor pool.
+
+// Bench/driver code runs on data it constructs; panics here indicate a
+// harness bug, not a recoverable condition.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+use blot_core::prelude::*;
+use blot_model::RecordBatch;
+use blot_storage::MemBackend;
+use blot_tracegen::FleetConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn dataset() -> (RecordBatch, Cuboid, CostModel) {
+    let config = FleetConfig::small();
+    let data = config.generate();
+    let universe = config.universe();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 0x1B);
+    (data, universe, model)
+}
+
+fn fresh_store(universe: Cuboid, model: &CostModel) -> BlotStore<MemBackend> {
+    BlotStore::new(
+        MemBackend::new(),
+        EnvProfile::local_cluster(),
+        universe,
+        model.clone(),
+    )
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (data, universe, model) = dataset();
+    let mut group = c.benchmark_group("ingest_build");
+    group.sample_size(10);
+    group.bench_function("build_replica", |b| {
+        b.iter(|| {
+            let mut store = fresh_store(universe, &model);
+            store
+                .build_replica(
+                    &data,
+                    ReplicaConfig::new(
+                        SchemeSpec::new(64, 8),
+                        EncodingScheme::new(Layout::Row, Compression::Deflate),
+                    ),
+                )
+                .expect("build");
+            store
+        });
+    });
+    group.bench_function("ingest_batch", |b| {
+        let mut store = fresh_store(universe, &model);
+        for (spec, enc) in [
+            (
+                SchemeSpec::new(64, 8),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+            (
+                SchemeSpec::new(4, 2),
+                EncodingScheme::new(Layout::Column, Compression::Deflate),
+            ),
+        ] {
+            store
+                .build_replica(&data, ReplicaConfig::new(spec, enc))
+                .expect("build");
+        }
+        // A small tail of the dataset re-offered as fresh points: every
+        // iteration rewrites the touched units of both replicas.
+        let mut batch = RecordBatch::new();
+        for i in 0..1000.min(data.len()) {
+            batch.push(data.get(i));
+        }
+        b.iter(|| store.ingest(&batch).expect("ingest"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

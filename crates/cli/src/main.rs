@@ -313,7 +313,7 @@ fn cmd_select(args: &Args) -> Result<(), String> {
 
 fn cmd_scrub(args: &Args) -> Result<(), String> {
     let store = open_store(args)?;
-    let damaged = store.scrub();
+    let damaged = store.scrub().map_err(|e| format!("scrub failed: {e}"))?;
     if damaged.is_empty() {
         println!(
             "all {} units healthy",

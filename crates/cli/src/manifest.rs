@@ -82,7 +82,7 @@ impl FromJson for Manifest {
 
 impl Manifest {
     /// Captures a store's metadata.
-    pub fn from_store<B: Backend>(store: &BlotStore<B>) -> Self {
+    pub fn from_store<B: Backend + 'static>(store: &BlotStore<B>) -> Self {
         Self {
             universe: store.universe(),
             replicas: store

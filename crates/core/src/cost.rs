@@ -132,6 +132,14 @@ impl CostModel {
     /// Calibrates every encoding scheme in `env` with the quick
     /// configuration. `seed` controls which sample slices become the
     /// measured partitions.
+    ///
+    /// Calibration stays deliberately serial even though the rest of
+    /// the scan paths run on the shared [`ScanExecutor`] pool:
+    /// calibration *times* encode/decode work, and running the timed
+    /// probes concurrently would contend for cores and inflate the
+    /// measured per-record latencies the whole cost model is fitted to.
+    ///
+    /// [`ScanExecutor`]: blot_storage::ScanExecutor
     #[must_use]
     pub fn calibrate(env: &EnvProfile, sample: &RecordBatch, seed: u64) -> Self {
         Self::calibrate_with(env, sample, &CalibrationConfig::quick(), seed).0

@@ -113,6 +113,76 @@ impl CostMatrix {
         }
     }
 
+    /// [`estimate_scaled`](Self::estimate_scaled), with the per-query
+    /// work — expected partition involvement and the cost row over all
+    /// candidates — fanned out over a shared [`ScanExecutor`] pool. The
+    /// resulting matrix is bit-for-bit identical to the serial path
+    /// (each query's row is computed by the same code on one worker and
+    /// rows are reassembled in query order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Storage`] only if a pool worker panics.
+    pub fn estimate_scaled_on(
+        pool: &blot_storage::ScanExecutor,
+        model: &CostModel,
+        workload: &Workload,
+        candidates: &[ReplicaConfig],
+        sample: &RecordBatch,
+        universe: blot_geo::Cuboid,
+        dataset_records: f64,
+    ) -> Result<Self, CoreError> {
+        use std::sync::Arc;
+        let mut schemes: HashMap<blot_index::SchemeSpec, PartitioningScheme> = HashMap::new();
+        for c in candidates {
+            schemes
+                .entry(c.spec)
+                .or_insert_with(|| PartitioningScheme::build(sample, universe, c.spec));
+        }
+        let schemes = Arc::new(schemes);
+        let model = Arc::new(model.clone());
+        let candidates_arc: Arc<Vec<ReplicaConfig>> = Arc::new(candidates.to_vec());
+        let rows: Vec<_> = workload
+            .entries()
+            .iter()
+            .map(|&(q, _)| {
+                let schemes = Arc::clone(&schemes);
+                let model = Arc::clone(&model);
+                let cands = Arc::clone(&candidates_arc);
+                move || {
+                    let np: HashMap<blot_index::SchemeSpec, PartitionCount> = schemes
+                        .iter()
+                        .map(|(&spec, scheme)| (spec, CostModel::expected_involved(scheme, q.size)))
+                        .collect();
+                    Ok(cands
+                        .iter()
+                        .map(|c| {
+                            model
+                                .cost_with_np(
+                                    np[&c.spec],
+                                    schemes[&c.spec].len(),
+                                    c.encoding,
+                                    dataset_records,
+                                )
+                                .get()
+                        })
+                        .collect::<Vec<f64>>())
+                }
+            })
+            .collect();
+        let costs = pool.execute_all(rows)?;
+        let storage = candidates
+            .iter()
+            .map(|c| model.replica_storage_bytes(c.encoding, dataset_records))
+            .collect();
+        let weights = workload.entries().iter().map(|&(_, w)| w).collect();
+        Ok(Self {
+            costs,
+            weights,
+            storage,
+        })
+    }
+
     /// Number of workload queries `n`.
     #[must_use]
     pub fn n_queries(&self) -> usize {
@@ -219,26 +289,188 @@ pub fn select_single(matrix: &CostMatrix, budget: Bytes) -> Selection {
     }
 }
 
-/// Algorithm 1: greedily add the replica maximising
-/// `(Cost(W, R) − Cost(W, R ∪ {r})) / Storage(r)` until the budget is
-/// exhausted or no candidate improves the cost.
-///
-/// `Cost(W, ∅)` is taken as `Σᵢ wᵢ · max_j Cost(qᵢ, rⱼ)` — a finite
-/// upper bound so the first pick maximises improvement per byte exactly
-/// like later picks (the paper leaves the empty-set cost implicit).
-#[must_use]
-pub fn select_greedy(matrix: &CostMatrix, budget: Bytes) -> Selection {
-    let n = matrix.n_queries();
-    // best_cost[i] = current min over chosen replicas, seeded with the
-    // worst candidate per query (the finite empty-set convention).
-    let mut best_cost: Vec<f64> = (0..n)
+/// Work counters for a greedy run, used to demonstrate (and test) the
+/// lazy evaluation's advantage over the naive loop.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyStats {
+    /// Times the full `Σᵢ wᵢ·(best − cost)⁺` marginal gain was computed
+    /// for some candidate.
+    pub gain_evaluations: usize,
+}
+
+/// The marginal gain of adding candidate `j` given the per-query best
+/// costs so far. Shared by the lazy and reference greedy so both
+/// evaluate bit-for-bit identical floats.
+fn gain_of(matrix: &CostMatrix, best_cost: &[f64], j: usize) -> f64 {
+    best_cost
+        .iter()
+        .enumerate()
+        .map(|(i, &bc)| matrix.weights[i] * (bc - matrix.costs[i][j]).max(0.0))
+        .sum()
+}
+
+/// The finite empty-set convention: `best_cost[i]` seeded with the worst
+/// candidate per query, so the first pick maximises improvement per byte
+/// exactly like later picks (the paper leaves `Cost(W, ∅)` implicit).
+fn seed_best_cost(matrix: &CostMatrix) -> Vec<f64> {
+    (0..matrix.n_queries())
         .map(|i| {
             matrix.costs[i]
                 .iter()
                 .copied()
                 .fold(f64::NEG_INFINITY, f64::max)
         })
-        .collect();
+        .collect()
+}
+
+/// Wraps up a finished greedy run (either implementation).
+fn finish_greedy(matrix: &CostMatrix, budget: Bytes, chosen: Vec<usize>, used: Bytes) -> Selection {
+    if chosen.is_empty() {
+        // The finite empty-set convention yields zero gain when every
+        // candidate is equally good (e.g. a single candidate): fall back
+        // to the best affordable single replica, which is what Algorithm
+        // 1 with Cost(W, ∅) = +∞ would have picked first.
+        return select_single(matrix, budget);
+    }
+    let workload_cost = matrix.workload_cost(&chosen);
+    Selection {
+        chosen,
+        workload_cost,
+        storage: used,
+        proven_optimal: false,
+        stats: None,
+    }
+}
+
+/// A lazy-greedy heap entry: a candidate with the score it had when it
+/// was last evaluated (`round` identifies that evaluation). Ordered so
+/// the max-heap pops the highest score first and, among equal scores,
+/// the lowest candidate index — matching the naive loop's first-maximum
+/// tie-break.
+#[derive(Debug)]
+struct CelfEntry {
+    score: f64,
+    round: usize,
+    j: usize,
+}
+
+impl PartialEq for CelfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for CelfEntry {}
+impl PartialOrd for CelfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CelfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+/// Algorithm 1: greedily add the replica maximising
+/// `(Cost(W, R) − Cost(W, R ∪ {r})) / Storage(r)` until the budget is
+/// exhausted or no candidate improves the cost.
+///
+/// Implemented as **lazy greedy** (CELF — Leskovec et al., KDD 2007):
+/// the workload-cost improvement is monotone non-increasing in the
+/// chosen set (adding replicas only lowers `best_cost`), so a
+/// candidate's score from an earlier round is a valid *upper bound* on
+/// its current score. Candidates sit in a max-heap keyed by these stale
+/// bounds; a popped entry is re-evaluated only if stale, and a stale
+/// entry that still tops the heap after re-evaluation is the true
+/// argmax. Selections are bit-for-bit identical to the naive
+/// full-rescan loop (see [`select_greedy_reference`], property-tested),
+/// with far fewer gain evaluations.
+#[must_use]
+pub fn select_greedy(matrix: &CostMatrix, budget: Bytes) -> Selection {
+    select_greedy_with_stats(matrix, budget).0
+}
+
+/// [`select_greedy`] with its work counters.
+#[must_use]
+pub fn select_greedy_with_stats(matrix: &CostMatrix, budget: Bytes) -> (Selection, GreedyStats) {
+    let mut stats = GreedyStats::default();
+    let mut best_cost = seed_best_cost(matrix);
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut used = Bytes::ZERO;
+    let mut heap: std::collections::BinaryHeap<CelfEntry> = std::collections::BinaryHeap::new();
+
+    if used < budget {
+        for j in 0..matrix.n_candidates() {
+            if used + matrix.storage[j] > budget {
+                continue; // the budget only shrinks: never affordable
+            }
+            stats.gain_evaluations += 1;
+            let gain = gain_of(matrix, &best_cost, j);
+            if gain <= 0.0 {
+                continue; // gains only shrink: never selectable
+            }
+            heap.push(CelfEntry {
+                score: gain / matrix.storage[j].get(),
+                round: 0,
+                j,
+            });
+        }
+    }
+
+    let mut round = 0usize;
+    while used < budget {
+        let Some(entry) = heap.pop() else {
+            break;
+        };
+        if used + matrix.storage[entry.j] > budget {
+            continue; // permanently discard: `used` never decreases
+        }
+        if entry.round != round {
+            // Stale upper bound: refresh and re-insert. If it still
+            // surfaces first, it is the true maximum.
+            stats.gain_evaluations += 1;
+            let gain = gain_of(matrix, &best_cost, entry.j);
+            if gain <= 0.0 {
+                continue; // monotone: this candidate is dead for good
+            }
+            heap.push(CelfEntry {
+                score: gain / matrix.storage[entry.j].get(),
+                round,
+                j: entry.j,
+            });
+            continue;
+        }
+        // Fresh entry on top: every other candidate's true score is
+        // bounded by its (stale or fresh) key ≤ this score — select it.
+        for (i, bc) in best_cost.iter_mut().enumerate() {
+            *bc = bc.min(matrix.costs[i][entry.j]);
+        }
+        used += matrix.storage[entry.j];
+        chosen.push(entry.j);
+        round += 1;
+    }
+    (finish_greedy(matrix, budget, chosen, used), stats)
+}
+
+/// The naive full-rescan implementation of Algorithm 1: every round
+/// re-evaluates the gain of every remaining affordable candidate.
+/// Retained as the oracle the lazy implementation is property-tested
+/// against; prefer [`select_greedy`].
+#[must_use]
+pub fn select_greedy_reference(matrix: &CostMatrix, budget: Bytes) -> Selection {
+    select_greedy_reference_with_stats(matrix, budget).0
+}
+
+/// [`select_greedy_reference`] with its work counters.
+#[must_use]
+pub fn select_greedy_reference_with_stats(
+    matrix: &CostMatrix,
+    budget: Bytes,
+) -> (Selection, GreedyStats) {
+    let mut stats = GreedyStats::default();
+    let mut best_cost = seed_best_cost(matrix);
     let mut chosen: Vec<usize> = Vec::new();
     let mut remaining: Vec<usize> = (0..matrix.n_candidates()).collect();
     let mut used = Bytes::ZERO;
@@ -249,9 +481,8 @@ pub fn select_greedy(matrix: &CostMatrix, budget: Bytes) -> Selection {
             if used + matrix.storage[j] > budget {
                 continue;
             }
-            let gain: f64 = (0..n)
-                .map(|i| matrix.weights[i] * (best_cost[i] - matrix.costs[i][j]).max(0.0))
-                .sum();
+            stats.gain_evaluations += 1;
+            let gain = gain_of(matrix, &best_cost, j);
             if gain <= 0.0 {
                 continue;
             }
@@ -270,21 +501,7 @@ pub fn select_greedy(matrix: &CostMatrix, budget: Bytes) -> Selection {
         chosen.push(j);
         remaining.retain(|&r| r != j);
     }
-    if chosen.is_empty() {
-        // The finite empty-set convention yields zero gain when every
-        // candidate is equally good (e.g. a single candidate): fall back
-        // to the best affordable single replica, which is what Algorithm
-        // 1 with Cost(W, ∅) = +∞ would have picked first.
-        return select_single(matrix, budget);
-    }
-    let workload_cost = matrix.workload_cost(&chosen);
-    Selection {
-        chosen,
-        workload_cost,
-        storage: used,
-        proven_optimal: false,
-        stats: None,
-    }
+    (finish_greedy(matrix, budget, chosen, used), stats)
 }
 
 /// Builds the 0-1 MIP of Equations 1–5 for a selection instance.

@@ -8,13 +8,15 @@
 //! failures occur \[since\] they share the same logical view of the data"
 //! (§I).
 
+use std::sync::Arc;
+
 use blot_geo::Cuboid;
 use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
 use blot_storage::job::MapOnlyJob;
 use blot_storage::scan::{run_scan, ScanTask};
 use blot_storage::sync::Mutex;
-use blot_storage::{Backend, EnvProfile, StorageError, UnitKey};
+use blot_storage::{Backend, EnvProfile, ScanExecutor, StorageError, UnitKey};
 
 use crate::adapt::QueryLog;
 use crate::cost::CostModel;
@@ -73,29 +75,75 @@ pub struct IngestReport {
 }
 
 /// A BLOT store over a storage backend and a simulated environment.
+///
+/// All unit-granular work — query scans, replica builds, ingest
+/// re-encodes, scrub verifies, repair extraction — runs on one shared
+/// [`ScanExecutor`] pool created with the store (or passed in via
+/// [`with_pool`](Self::with_pool) to share across stores).
 #[derive(Debug)]
 pub struct BlotStore<B> {
-    backend: B,
+    backend: Arc<B>,
     env: EnvProfile,
     universe: Cuboid,
     model: CostModel,
     replicas: Vec<BuiltReplica>,
     /// Optional query log feeding adaptive reconfiguration (§II-E).
     log: Option<Mutex<QueryLog>>,
+    /// Shared executor for all unit-granular work.
+    pool: Arc<ScanExecutor>,
 }
 
-impl<B: Backend> BlotStore<B> {
-    /// Creates an empty store.
+/// Converts a partition index to its storage id, surfacing overflow
+/// instead of silently truncating.
+fn partition_id(pid: usize) -> Result<u32, CoreError> {
+    u32::try_from(pid).map_err(|_| CoreError::IdOverflow { what: "partition" })
+}
+
+impl<B: Backend + 'static> BlotStore<B> {
+    /// Creates an empty store with its own executor pool sized from
+    /// [`std::thread::available_parallelism`].
     #[must_use]
     pub fn new(backend: B, env: EnvProfile, universe: Cuboid, model: CostModel) -> Self {
-        Self {
+        Self::with_pool(
             backend,
+            env,
+            universe,
+            model,
+            Arc::new(ScanExecutor::with_default_parallelism()),
+        )
+    }
+
+    /// Creates an empty store sharing an existing executor pool —
+    /// multiple stores on one host should share one pool rather than
+    /// oversubscribing the machine.
+    #[must_use]
+    pub fn with_pool(
+        backend: B,
+        env: EnvProfile,
+        universe: Cuboid,
+        model: CostModel,
+        pool: Arc<ScanExecutor>,
+    ) -> Self {
+        Self {
+            backend: Arc::new(backend),
             env,
             universe,
             model,
             replicas: Vec::new(),
             log: None,
+            pool,
         }
+    }
+
+    /// The store's shared scan-executor pool.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ScanExecutor> {
+        &self.pool
+    }
+
+    /// The backend as a shareable trait object (what pool tasks capture).
+    fn backend_dyn(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend) as Arc<dyn Backend>
     }
 
     /// Starts recording executed query ranges into a bounded
@@ -117,7 +165,7 @@ impl<B: Backend> BlotStore<B> {
     /// inspecting storage use).
     #[must_use]
     pub fn backend(&self) -> &B {
-        &self.backend
+        self.backend.as_ref()
     }
 
     /// The built replicas.
@@ -139,8 +187,9 @@ impl<B: Backend> BlotStore<B> {
     }
 
     /// Builds a physical replica of `data` under `config`: partitions
-    /// the records, encodes every partition, and writes the storage
-    /// units. Returns the new replica's id.
+    /// the records, encodes every partition on the executor pool, and
+    /// writes the storage units in partition order. Returns the new
+    /// replica's id.
     ///
     /// # Errors
     ///
@@ -154,18 +203,26 @@ impl<B: Backend> BlotStore<B> {
             .map_err(|_| CoreError::IdOverflow { what: "replica" })?;
         let scheme = PartitioningScheme::build(data, self.universe, config.spec);
         let parts = scheme.assign_batch(data);
-        let mut bytes = 0u64;
-        for (pid, part) in parts.iter().enumerate() {
-            let unit = config.encoding.encode(part);
-            bytes += unit.len() as u64;
-            self.backend.put(
-                UnitKey {
+        let keys: Vec<UnitKey> = (0..parts.len())
+            .map(|pid| {
+                Ok(UnitKey {
                     replica: id,
-                    partition: u32::try_from(pid)
-                        .map_err(|_| CoreError::IdOverflow { what: "partition" })?,
-                },
-                unit,
-            )?;
+                    partition: partition_id(pid)?,
+                })
+            })
+            .collect::<Result<_, CoreError>>()?;
+        // CPU-heavy encodes fan out on the pool; the (ordered) backend
+        // puts stay on this thread.
+        let encoding = config.encoding;
+        let encodes: Vec<_> = parts
+            .into_iter()
+            .map(|part| move || Ok(encoding.encode(&part)))
+            .collect();
+        let units = self.pool.execute_all(encodes)?;
+        let mut bytes = 0u64;
+        for (key, unit) in keys.into_iter().zip(units) {
+            bytes += unit.len() as u64;
+            self.backend.put(key, unit)?;
         }
         self.replicas.push(BuiltReplica {
             id,
@@ -246,22 +303,36 @@ impl<B: Backend> BlotStore<B> {
                 let pid = replica.scheme.assign_point(p.x, p.y, p.t);
                 by_partition.entry(pid).or_default().push(batch.get(i));
             }
-            for (pid, additions) in by_partition {
+            let mut touched: Vec<(usize, RecordBatch)> = by_partition.into_iter().collect();
+            touched.sort_unstable_by_key(|&(pid, _)| pid);
+            // Decode → extend → re-encode of each touched unit runs on
+            // the pool; metadata updates and the ordered puts stay here.
+            let encoding = replica.config.encoding;
+            let rid = replica.id;
+            let mut meta = Vec::with_capacity(touched.len());
+            let mut rewrites = Vec::with_capacity(touched.len());
+            for (pid, additions) in touched {
                 let key = UnitKey {
-                    replica: replica.id,
-                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
+                    replica: rid,
+                    partition: partition_id(pid)?,
                 };
-                let bytes = self.backend.get(key)?;
-                let mut records = replica
-                    .config
-                    .encoding
-                    .decode(&bytes)
-                    .map_err(|source| StorageError::Corrupt { key, source })?;
-                records.extend_from(&additions);
-                let unit = replica.config.encoding.encode(&records);
-                replica.bytes = replica.bytes - bytes.len() as u64 + unit.len() as u64;
+                meta.push((pid, additions.len()));
+                let backend: Arc<dyn Backend> = self.backend.clone();
+                rewrites.push(move || {
+                    let bytes = backend.get(key)?;
+                    let mut records = encoding
+                        .decode(&bytes)
+                        .map_err(|source| StorageError::Corrupt { key, source })?;
+                    records.extend_from(&additions);
+                    let unit = encoding.encode(&records);
+                    Ok((key, bytes.len(), unit))
+                });
+            }
+            let rewritten = self.pool.execute_all(rewrites)?;
+            for ((pid, added), (key, old_len, unit)) in meta.into_iter().zip(rewritten) {
+                replica.bytes = replica.bytes - old_len as u64 + unit.len() as u64;
                 self.backend.put(key, unit)?;
-                replica.scheme.note_insertions(pid, additions.len())?;
+                replica.scheme.note_insertions(pid, added)?;
                 report.units_rewritten += 1;
             }
             replica.records += batch.len() as u64;
@@ -348,17 +419,19 @@ impl<B: Backend> BlotStore<B> {
         let involved = replica.scheme.involved(range);
         let tasks: Vec<ScanTask> = involved
             .iter()
-            .map(|&pid| ScanTask {
-                key: UnitKey {
-                    replica: id,
-                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
-                },
-                scheme: replica.config.encoding,
-                range: Some(*range),
+            .map(|&pid| {
+                Ok(ScanTask {
+                    key: UnitKey {
+                        replica: id,
+                        partition: partition_id(pid)?,
+                    },
+                    scheme: replica.config.encoding,
+                    range: Some(*range),
+                })
             })
-            .collect();
+            .collect::<Result<_, CoreError>>()?;
         let job = MapOnlyJob::fully_parallel(tasks);
-        let report = job.run(&self.backend, &self.env)?;
+        let report = job.run(&self.pool, &self.backend_dyn(), &self.env)?;
         let mut records = RecordBatch::new();
         for r in &report.reports {
             records.extend_from(&r.output);
@@ -373,33 +446,43 @@ impl<B: Backend> BlotStore<B> {
         })
     }
 
-    /// Reads every storage unit of every replica and reports the keys
-    /// that are missing or no longer decode.
-    #[must_use]
-    pub fn scrub(&self) -> Vec<UnitKey> {
-        let mut damaged = Vec::new();
+    /// Reads every storage unit of every replica (verification scans
+    /// run in parallel on the pool) and reports the keys that are
+    /// missing or no longer decode, in unit order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IdOverflow`] if a replica somehow holds
+    /// more than `u32::MAX` partitions; damaged units are *data*, not
+    /// errors.
+    pub fn scrub(&self) -> Result<Vec<UnitKey>, CoreError> {
+        let env = self.env;
+        let mut verifies = Vec::new();
         for replica in &self.replicas {
             for pid in 0..replica.scheme.len() {
                 let key = UnitKey {
                     replica: replica.id,
-                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
+                    partition: partition_id(pid)?,
                 };
-                let ok = run_scan(
-                    &self.backend,
-                    &self.env,
-                    &ScanTask {
-                        key,
-                        scheme: replica.config.encoding,
-                        range: None,
-                    },
-                )
-                .is_ok();
-                if !ok {
-                    damaged.push(key);
-                }
+                let scheme = replica.config.encoding;
+                let backend: Arc<dyn Backend> = self.backend.clone();
+                verifies.push(move || {
+                    let ok = run_scan(
+                        backend.as_ref(),
+                        &env,
+                        &ScanTask {
+                            key,
+                            scheme,
+                            range: None,
+                        },
+                    )
+                    .is_ok();
+                    Ok(if ok { None } else { Some(key) })
+                });
             }
         }
-        damaged
+        let damaged = self.pool.execute_all(verifies)?;
+        Ok(damaged.into_iter().flatten().collect())
     }
 
     /// Rebuilds one damaged unit from the other replicas.
@@ -486,21 +569,24 @@ impl<B: Backend> BlotStore<B> {
             }
             let mut counts: std::collections::HashMap<RecordKey, (blot_model::Record, usize)> =
                 std::collections::HashMap::new();
+            // Extraction scans over this source's involved units run on
+            // the pool; an unreadable unit contributes nothing (another
+            // source may cover it) rather than failing the batch.
+            let mut scans = Vec::new();
             for pid in source.scheme.involved(&partition.range) {
-                let Ok(report) = run_scan(
-                    &self.backend,
-                    &self.env,
-                    &ScanTask {
-                        key: UnitKey {
-                            replica: source.id,
-                            partition: u32::try_from(pid).unwrap_or(u32::MAX),
-                        },
-                        scheme: source.config.encoding,
-                        range: Some(partition.range),
+                let task = ScanTask {
+                    key: UnitKey {
+                        replica: source.id,
+                        partition: partition_id(pid)?,
                     },
-                ) else {
-                    continue; // unreadable unit: skip, others may cover it
+                    scheme: source.config.encoding,
+                    range: Some(partition.range),
                 };
+                let backend: Arc<dyn Backend> = self.backend.clone();
+                let env = self.env;
+                scans.push(move || Ok(run_scan(backend.as_ref(), &env, &task).ok()));
+            }
+            for report in self.pool.execute_all(scans)?.into_iter().flatten() {
                 for i in 0..report.output.len() {
                     if is_member(&report.output, i) {
                         let k = key_of(&report.output, i);
@@ -539,7 +625,7 @@ impl<B: Backend> BlotStore<B> {
     /// no surviving source are reported, not errored.
     pub fn repair_all(&self) -> Result<RepairReport, CoreError> {
         let mut report = RepairReport::default();
-        for key in self.scrub() {
+        for key in self.scrub()? {
             match self.repair_unit(key) {
                 Ok(()) => report.repaired.push(key),
                 Err(CoreError::Unrecoverable { .. }) => report.unrecoverable.push(key),
@@ -693,7 +779,7 @@ mod tests {
         };
         store.backend().inject(k1, FailureMode::Drop);
         store.backend().inject(k2, FailureMode::Corrupt);
-        let damaged = store.scrub();
+        let damaged = store.scrub().unwrap();
         assert!(
             damaged.contains(&k1) && damaged.contains(&k2),
             "{damaged:?}"
@@ -702,7 +788,10 @@ mod tests {
         let report = store.repair_all().unwrap();
         assert!(report.unrecoverable.is_empty());
         assert!(report.repaired.contains(&k1) && report.repaired.contains(&k2));
-        assert!(store.scrub().is_empty(), "store must be clean after repair");
+        assert!(
+            store.scrub().unwrap().is_empty(),
+            "store must be clean after repair"
+        );
 
         // Full-universe query returns every record again, on both replicas.
         let u = store.universe();

@@ -5,6 +5,10 @@
 //! map-only MapReduce job … with each mapper scanning exactly one of the
 //! involved partitions" (§V-A).
 
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::pool::ScanExecutor;
 use crate::scan::{run_scan, ScanReport, ScanTask};
 use crate::{Backend, EnvProfile, StorageError};
 
@@ -41,54 +45,31 @@ impl MapOnlyJob {
         Self { tasks, slots }
     }
 
-    /// Runs all tasks (host-parallel up to 8 threads; simulated
-    /// parallelism is governed by `slots`).
+    /// Runs all tasks on the shared executor pool (simulated
+    /// parallelism is governed by `slots`; host parallelism by the
+    /// pool's thread count).
     ///
     /// # Errors
     ///
     /// Fails fast with the first [`StorageError`] encountered; partial
     /// results are discarded, matching a failed MapReduce job.
-    pub fn run(&self, backend: &dyn Backend, env: &EnvProfile) -> Result<JobReport, StorageError> {
-        let host_threads = self.tasks.len().clamp(1, 8);
-        let chunks: Vec<Vec<ScanTask>> = (0..host_threads)
-            .map(|t| {
-                self.tasks
-                    .iter()
-                    .skip(t)
-                    .step_by(host_threads)
-                    .copied()
-                    .collect()
+    pub fn run(
+        &self,
+        pool: &ScanExecutor,
+        backend: &Arc<dyn Backend>,
+        env: &EnvProfile,
+    ) -> Result<JobReport, StorageError> {
+        let env = *env;
+        let closures: Vec<_> = self
+            .tasks
+            .iter()
+            .map(|task| {
+                let backend = Arc::clone(backend);
+                let task = *task;
+                move || run_scan(backend.as_ref(), &env, &task)
             })
             .collect();
-        let results: Vec<Result<Vec<(usize, ScanReport)>, StorageError>> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .enumerate()
-                    .map(|(t, chunk)| {
-                        s.spawn(move || {
-                            chunk
-                                .iter()
-                                .enumerate()
-                                .map(|(i, task)| {
-                                    run_scan(backend, env, task).map(|r| (t + i * host_threads, r))
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or(Err(StorageError::WorkerPanicked)))
-                    .collect()
-            });
-
-        let mut indexed: Vec<(usize, ScanReport)> = Vec::with_capacity(self.tasks.len());
-        for r in results {
-            indexed.extend(r?);
-        }
-        indexed.sort_by_key(|(i, _)| *i);
-        let reports: Vec<ScanReport> = indexed.into_iter().map(|(_, r)| r).collect();
+        let reports = pool.execute_all(closures)?;
 
         let total_ms: f64 = reports.iter().map(|r| r.sim_ms).sum();
         let makespan_ms = makespan(
@@ -105,24 +86,41 @@ impl MapOnlyJob {
     }
 }
 
+/// A machine load ordered so the *least*-loaded machine pops first from
+/// a [`BinaryHeap`] (which is a max-heap): the comparison is reversed,
+/// and `total_cmp` keeps it a total order over floats.
+#[derive(PartialEq)]
+struct MinLoad(f64);
+
+impl Eq for MinLoad {}
+
+impl PartialOrd for MinLoad {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinLoad {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.total_cmp(&self.0)
+    }
+}
+
 /// Greedy longest-processing-time makespan for `durations` on `slots`
-/// machines.
+/// machines: O(n log slots) via a min-heap of machine loads (the old
+/// linear rescan of every slot per task was O(n · slots)).
 fn makespan(durations: &[f64], slots: usize) -> f64 {
     let slots = slots.max(1);
     let mut sorted: Vec<f64> = durations.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    let mut loads = vec![0.0f64; slots];
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let mut loads: BinaryHeap<MinLoad> = (0..slots).map(|_| MinLoad(0.0)).collect();
     for d in sorted {
-        // `slots` is clamped to 1 above, so a least-loaded machine
-        // always exists.
-        if let Some(min) = loads
-            .iter_mut()
-            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-        {
-            *min += d;
+        // `slots` is clamped to 1 above, so the heap is never empty.
+        if let Some(MinLoad(least)) = loads.pop() {
+            loads.push(MinLoad(least + d));
         }
     }
-    loads.into_iter().fold(0.0, f64::max)
+    loads.into_iter().fold(0.0, |acc, MinLoad(l)| acc.max(l))
 }
 
 #[cfg(test)]
@@ -132,7 +130,7 @@ mod tests {
     use blot_codec::{Compression, EncodingScheme, Layout};
     use blot_model::{Record, RecordBatch};
 
-    fn backend_with_units(n: u32) -> (MemBackend, EncodingScheme) {
+    fn backend_with_units(n: u32) -> (Arc<dyn Backend>, EncodingScheme) {
         let scheme = EncodingScheme::new(Layout::Row, Compression::Plain);
         let backend = MemBackend::new();
         for p in 0..n {
@@ -149,11 +147,12 @@ mod tests {
                 )
                 .unwrap();
         }
-        (backend, scheme)
+        (Arc::new(backend), scheme)
     }
 
     #[test]
     fn job_aggregates_all_tasks() {
+        let pool = ScanExecutor::new(4);
         let (backend, scheme) = backend_with_units(6);
         let tasks: Vec<ScanTask> = (0..6)
             .map(|p| ScanTask {
@@ -166,7 +165,9 @@ mod tests {
             })
             .collect();
         let job = MapOnlyJob::fully_parallel(tasks);
-        let report = job.run(&backend, &EnvProfile::local_cluster()).unwrap();
+        let report = job
+            .run(&pool, &backend, &EnvProfile::local_cluster())
+            .unwrap();
         assert_eq!(report.reports.len(), 6);
         assert_eq!(report.records_matched, 3000);
         // Fully parallel: makespan is the longest single task.
@@ -181,6 +182,7 @@ mod tests {
 
     #[test]
     fn limited_slots_stretch_the_makespan() {
+        let pool = ScanExecutor::new(4);
         let (backend, scheme) = backend_with_units(8);
         let tasks: Vec<ScanTask> = (0..8)
             .map(|p| ScanTask {
@@ -196,10 +198,10 @@ mod tests {
             tasks: tasks.clone(),
             slots: 8,
         }
-        .run(&backend, &EnvProfile::local_cluster())
+        .run(&pool, &backend, &EnvProfile::local_cluster())
         .unwrap();
         let serial = MapOnlyJob { tasks, slots: 1 }
-            .run(&backend, &EnvProfile::local_cluster())
+            .run(&pool, &backend, &EnvProfile::local_cluster())
             .unwrap();
         assert!(serial.makespan_ms > 3.0 * parallel.makespan_ms);
         assert!((serial.makespan_ms - serial.total_ms).abs() < 1e-6);
@@ -207,6 +209,7 @@ mod tests {
 
     #[test]
     fn failing_task_fails_the_job() {
+        let pool = ScanExecutor::new(4);
         let (backend, scheme) = backend_with_units(3);
         let mut tasks: Vec<ScanTask> = (0..3)
             .map(|p| ScanTask {
@@ -227,7 +230,9 @@ mod tests {
             range: None,
         });
         let job = MapOnlyJob::fully_parallel(tasks);
-        assert!(job.run(&backend, &EnvProfile::local_cluster()).is_err());
+        assert!(job
+            .run(&pool, &backend, &EnvProfile::local_cluster())
+            .is_err());
     }
 
     #[test]
@@ -235,8 +240,7 @@ mod tests {
         assert_eq!(makespan(&[], 4), 0.0);
         assert_eq!(makespan(&[5.0], 4), 5.0);
         assert_eq!(makespan(&[3.0, 3.0, 3.0, 3.0], 2), 6.0);
-        // LPT on {5,4,3,3,3} over 2 slots: {5,3,3}? no — LPT gives
-        // 5+3 = 8 vs 4+3+3 = 10 → 10? Let's verify: loads 5,4 → add 3 to
+        // LPT on {5,4,3,3,3} over 2 slots: loads 5,4 → add 3 to
         // 4 (7), add 3 to 5 (8), add 3 to 7 (10). Result 10.
         assert_eq!(makespan(&[5.0, 4.0, 3.0, 3.0, 3.0], 2), 10.0);
     }

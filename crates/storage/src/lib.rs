@@ -60,9 +60,11 @@ mod backend;
 mod env;
 mod error;
 pub mod job;
+pub mod pool;
 pub mod scan;
 pub mod sync;
 
 pub use backend::{Backend, FailingBackend, FailureMode, FileBackend, MemBackend, UnitKey};
 pub use env::EnvProfile;
 pub use error::StorageError;
+pub use pool::ScanExecutor;

@@ -88,7 +88,8 @@ mod makespan_bounds {
     use blot_model::{Record, RecordBatch};
     use blot_storage::job::MapOnlyJob;
     use blot_storage::scan::ScanTask;
-    use blot_storage::EnvProfile;
+    use blot_storage::{EnvProfile, ScanExecutor};
+    use std::sync::Arc;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
@@ -109,7 +110,9 @@ mod makespan_bounds {
                 tasks.push(ScanTask { key, scheme, range: None });
             }
             let job = MapOnlyJob { tasks, slots };
-            let report = job.run(&backend, &EnvProfile::local_cluster()).unwrap();
+            let pool = ScanExecutor::new(4);
+            let backend: Arc<dyn Backend> = Arc::new(backend);
+            let report = job.run(&pool, &backend, &EnvProfile::local_cluster()).unwrap();
             let durations: Vec<f64> = report.reports.iter().map(|r| r.sim_ms).collect();
             let longest = durations.iter().copied().fold(0.0, f64::max);
             let total: f64 = durations.iter().sum();

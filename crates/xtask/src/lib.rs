@@ -85,6 +85,14 @@ pub const UNIT_SAFETY_FILES: &[(&str, &str)] = &[
 /// `lock-discipline`).
 pub const LOCK_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
 
+/// Crates that must run all parallel work on the shared scan-executor
+/// pool instead of spawning ad-hoc OS threads (rule `thread-discipline`).
+/// The pool's own implementation file is exempt.
+pub const THREAD_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
+
+/// The one file allowed to create OS threads: the pool itself.
+pub const THREAD_DISCIPLINE_EXEMPT_FILE: &str = "pool.rs";
+
 /// Aggregated result of a workspace lint run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -134,6 +142,7 @@ impl Report {
             Rule::Deps,
             Rule::UnitSafety,
             Rule::LockDiscipline,
+            Rule::ThreadDiscipline,
             Rule::Registry,
             Rule::Ratchet,
             Rule::UnusedAllow,
@@ -278,6 +287,8 @@ fn lint_crate(
             errors_doc: true,
             unit_safety: UNIT_SAFETY_FILES.contains(&(crate_name, file_name)),
             lock_discipline: LOCK_DISCIPLINE_CRATES.contains(&crate_name),
+            thread_discipline: THREAD_DISCIPLINE_CRATES.contains(&crate_name)
+                && file_name != THREAD_DISCIPLINE_EXEMPT_FILE,
         };
         let rel = file.strip_prefix(root).unwrap_or(file);
         let fr = rules::audit_file(rel, &source, rules);

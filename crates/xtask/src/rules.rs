@@ -48,6 +48,10 @@ pub enum Rule {
     /// A `storage::sync` guard held across backend I/O, or a lock
     /// acquisition violating the declared lock order.
     LockDiscipline,
+    /// Ad-hoc OS-thread creation (`thread::spawn`, `thread::scope`,
+    /// `thread::Builder`) outside the shared scan-executor pool — all
+    /// unit-granular parallelism must go through `ScanExecutor`.
+    ThreadDiscipline,
     /// A `codec::scheme` variant without a complete toolchain (encoder,
     /// decoder, round-trip proptest, fuzz target).
     Registry,
@@ -70,6 +74,7 @@ impl Rule {
             Rule::Deps => "deps",
             Rule::UnitSafety => "unit-safety",
             Rule::LockDiscipline => "lock-discipline",
+            Rule::ThreadDiscipline => "thread-discipline",
             Rule::Registry => "registry",
             Rule::Ratchet => "ratchet",
             Rule::UnusedAllow => "unused-allow",
@@ -86,6 +91,7 @@ impl Rule {
             "deps" => Rule::Deps,
             "unit-safety" => Rule::UnitSafety,
             "lock-discipline" => Rule::LockDiscipline,
+            "thread-discipline" => Rule::ThreadDiscipline,
             // `registry` and `ratchet` are workspace-level structural
             // checks and deliberately cannot be waived site by site.
             _ => return None,
@@ -175,6 +181,9 @@ pub struct RuleSet {
     pub unit_safety: bool,
     /// Guard liveness and lock ordering (rule `lock-discipline`).
     pub lock_discipline: bool,
+    /// No ad-hoc thread creation outside the executor pool (rule
+    /// `thread-discipline`).
+    pub thread_discipline: bool,
 }
 
 /// Keywords that can precede `[` without the bracket being an index
@@ -228,6 +237,9 @@ pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     }
     if rules.errors_doc {
         scan_errors_doc(file, &tokens, &sig, &mut raw);
+    }
+    if rules.thread_discipline {
+        scan_thread_spawns(file, &tokens, &sig, &mut raw);
     }
     if rules.unit_safety || rules.lock_discipline {
         let view = crate::ast::View::new(&tokens, &sig);
@@ -401,6 +413,31 @@ fn scan_panic_sites(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<
                     file: file.to_path_buf(),
                     line,
                     message: format!("`{m}!` in library code — return an error instead"),
+                });
+            }
+        }
+    }
+}
+
+/// Flags `thread::spawn`, `thread::scope` and `thread::Builder` in
+/// non-test library code: every unit-granular task must run on the
+/// shared `ScanExecutor` pool (whose own `pool.rs` is exempt at the
+/// crate-wiring level).
+fn scan_thread_spawns(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    let text = |j: usize| sig.get(j).map(|&i| tokens[i].text.as_str());
+    for j in 0..sig.len() {
+        if text(j) != Some("thread") || text(j + 1) != Some(":") || text(j + 2) != Some(":") {
+            continue;
+        }
+        if let Some(m) = text(j + 3) {
+            if matches!(m, "spawn" | "scope" | "Builder") {
+                out.push(Violation {
+                    rule: Rule::ThreadDiscipline,
+                    file: file.to_path_buf(),
+                    line: tokens[sig[j]].line,
+                    message: format!(
+                        "`thread::{m}` outside the executor pool — run tasks on `ScanExecutor`"
+                    ),
                 });
             }
         }

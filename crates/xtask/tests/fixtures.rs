@@ -17,6 +17,7 @@ const LEXER_RULES: RuleSet = RuleSet {
     errors_doc: true,
     unit_safety: false,
     lock_discipline: false,
+    thread_discipline: false,
 };
 
 const UNIT_RULES: RuleSet = RuleSet {
@@ -26,6 +27,7 @@ const UNIT_RULES: RuleSet = RuleSet {
     errors_doc: false,
     unit_safety: true,
     lock_discipline: false,
+    thread_discipline: false,
 };
 
 const LOCK_RULES: RuleSet = RuleSet {
@@ -35,6 +37,17 @@ const LOCK_RULES: RuleSet = RuleSet {
     errors_doc: false,
     unit_safety: false,
     lock_discipline: true,
+    thread_discipline: false,
+};
+
+const THREAD_RULES: RuleSet = RuleSet {
+    panic: false,
+    indexing: false,
+    lossy_cast: false,
+    errors_doc: false,
+    unit_safety: false,
+    lock_discipline: false,
+    thread_discipline: true,
 };
 
 fn audit_fixture(name: &str, rules: RuleSet) -> FileReport {
@@ -196,6 +209,24 @@ fn lock_discipline_rule_fires_on_order_inversions() {
     assert!(
         r.violations.iter().all(|v| v.line < 24),
         "ordered acquisitions must stay quiet: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn thread_discipline_rule_fires_on_creation_only() {
+    let r = audit_fixture("thread_spawn.rs", THREAD_RULES);
+    // thread::spawn, thread::scope, thread::Builder; sleep,
+    // available_parallelism and the #[cfg(test)] spawn stay quiet.
+    assert_eq!(
+        count(&r, Rule::ThreadDiscipline),
+        3,
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(
+        !r.violations.iter().any(|v| v.line >= 20),
+        "thread queries and test code must stay quiet: {:?}",
         r.violations
     );
 }

@@ -1,0 +1,34 @@
+//! Known-bad fixture for the `thread-discipline` rule: ad-hoc OS-thread
+//! creation outside the scan-executor pool.
+
+pub fn spawns_directly() {
+    std::thread::spawn(|| {});
+}
+
+pub fn uses_scoped_threads(items: &[u32]) -> u32 {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| items.iter().sum());
+        h.join().unwrap_or(0)
+    })
+}
+
+pub fn uses_builder() {
+    let _ = std::thread::Builder::new().name("rogue".into());
+}
+
+/// Sleeping and asking for parallelism are fine — only creation is
+/// disciplined.
+pub fn ok_thread_queries() -> usize {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may spawn freely.
+    #[test]
+    fn spawning_in_tests_is_fine() {
+        let h = std::thread::spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

@@ -98,7 +98,7 @@ fn main() {
     assert_eq!(result.records.len(), data.count_in_range(&q));
 
     // ---- Incident 2: scrub + repair from the intact replicas. ----
-    let damaged = store.scrub();
+    let damaged = store.scrub().expect("scrub");
     let report = store.repair_all().expect("repair");
     println!(
         "incident 2: scrub found {} damaged units, repair rebuilt {} (unrecoverable: {})",
@@ -107,7 +107,7 @@ fn main() {
         report.unrecoverable.len()
     );
     assert!(report.unrecoverable.is_empty());
-    assert!(store.scrub().is_empty());
+    assert!(store.scrub().expect("scrub").is_empty());
 
     // ---- Incident 3: every replica is damaged over one region. ----
     // Pick a unit u of replica 0 plus one unit of replica 1 and one of
@@ -163,7 +163,7 @@ fn main() {
     );
     assert_eq!(report.repaired.len(), 3);
     assert!(report.unrecoverable.is_empty());
-    assert!(store.scrub().is_empty());
+    assert!(store.scrub().expect("scrub").is_empty());
 
     for id in 0..3 {
         let n = store

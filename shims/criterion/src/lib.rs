@@ -7,6 +7,12 @@
 //! wall-clock harness: a warm-up pass sizes each batch, then
 //! `sample_size` batches are timed and min / median / mean are printed.
 //! There is no statistical analysis, plotting or HTML report.
+//!
+//! Passing `--test` (as `cargo bench -- --test` does, and as `cargo
+//! test` does when it runs bench targets) switches to smoke mode: each
+//! matching benchmark runs exactly one iteration with no warm-up or
+//! timing, so CI can prove every bench still executes without paying
+//! for a full measurement run.
 
 use std::fmt::Display;
 use std::hint;
@@ -22,15 +28,26 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     /// Substring filter taken from the command line, like criterion's.
     filter: Option<String>,
+    /// `--test` smoke mode: run each bench once, skip timing.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Mirror criterion's CLI loosely: any non-flag argument filters
-        // benchmark names; `--bench`/`--test` etc. are accepted and
-        // ignored so `cargo bench` / `cargo test` invocations work.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Self { filter }
+        // benchmark names; `--test` selects one-iteration smoke mode;
+        // other flags (`--bench`, …) are accepted and ignored so
+        // `cargo bench` / `cargo test` invocations work.
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self { filter, test_mode }
     }
 }
 
@@ -139,7 +156,11 @@ impl BenchmarkGroup<'_> {
             format!("{}/{}", self.name, id.id)
         };
         if self.criterion.matches(&full) {
-            run_benchmark(&full, self.sample_size, self.throughput, |b| f(b));
+            if self.criterion.test_mode {
+                run_once(&full, |b| f(b));
+            } else {
+                run_benchmark(&full, self.sample_size, self.throughput, |b| f(b));
+            }
         }
         self
     }
@@ -152,7 +173,11 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.id);
         if self.criterion.matches(&full) {
-            run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+            if self.criterion.test_mode {
+                run_once(&full, |b| f(b, input));
+            } else {
+                run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+            }
         }
         self
     }
@@ -177,6 +202,19 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+}
+
+/// `--test` smoke mode: one untimed iteration, pass/fail only.
+fn run_once<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("test bench {name:<48} ... ok");
 }
 
 /// Sizes a batch via warm-up, then times `sample_size` batches.
@@ -270,11 +308,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo test` runs bench binaries with `--test`; compile
-            // checking is enough there, so skip the timing loops.
-            if std::env::args().any(|a| a == "--test") {
-                return;
-            }
+            // `--test` (from `cargo bench -- --test` or `cargo test`)
+            // is handled inside the harness: each bench runs exactly
+            // one iteration so regressions that panic still surface.
             $($group();)+
         }
     };

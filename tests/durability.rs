@@ -88,14 +88,14 @@ fn store_on_files_answers_and_repairs() {
     let bytes = std::fs::read(&p2).expect("read");
     std::fs::write(&p2, &bytes[..bytes.len() / 3]).expect("truncate");
 
-    let damaged = store.scrub();
+    let damaged = store.scrub().expect("scrub");
     let mut expect = vec![k1, k2];
     expect.sort_unstable();
     assert_eq!(damaged, expect);
     let report = store.repair_all().expect("repair");
     assert_eq!(report.repaired.len(), 2);
     assert!(report.unrecoverable.is_empty());
-    assert!(store.scrub().is_empty());
+    assert!(store.scrub().expect("scrub").is_empty());
 
     // Every record still accounted for on both replicas.
     for id in 0..2 {
