@@ -8,6 +8,7 @@
 //! blot select   --data fleet.csv --budget-copies 3 [--exact] [--records 65000000]
 //! blot scrub    --store ./store
 //! blot repair   --store ./store
+//! blot stats    --store ./store [--queries 12] [--json] [--band 0.5,2.0]
 //! ```
 //!
 //! A store directory holds one file per storage unit plus
@@ -18,6 +19,7 @@ mod args;
 mod manifest;
 
 use blot_core::prelude::*;
+use blot_json::Json;
 use blot_mip::MipSolver;
 use blot_storage::FileBackend;
 use blot_tracegen::FleetConfig;
@@ -47,8 +49,9 @@ fn main() -> ExitCode {
         "select" => cmd_select(&args),
         "scrub" => cmd_scrub(&args),
         "repair" => cmd_repair(&args),
+        "stats" => cmd_stats(&args),
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            pipe_println(USAGE);
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -73,6 +76,7 @@ commands:
   select    --data FILE [--budget-copies X] [--exact] [--records N] [--env local|cloud]
   scrub     --store DIR
   repair    --store DIR
+  stats     --store DIR [--queries N] [--json] [--band LO,HI]
 
 replica syntax: S<spatial>xT<temporal>/<LAYOUT>-<CODEC>, e.g. S64xT16/COL-GZIP
   spatial ∈ {4,16,64,256,1024,4096}; temporal a power of two
@@ -105,11 +109,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     }
     let batch = config.generate();
     std::fs::write(out, batch.to_csv()).map_err(|e| format!("cannot write {out}: {e}"))?;
-    println!(
+    pipe_println(&format!(
         "wrote {} records from {} taxis to {out}",
         batch.len(),
         config.num_taxis
-    );
+    ));
     Ok(())
 }
 
@@ -153,18 +157,18 @@ fn cmd_build(args: &Args) -> Result<(), String> {
             .build_replica(&data, *config)
             .map_err(|e| e.to_string())?;
         if let Some(r) = store.replicas().get(id as usize) {
-            println!(
+            pipe_println(&format!(
                 "built replica {id}: {config} — {} units, {:.1} KiB",
                 r.scheme.len(),
                 r.bytes as f64 / 1024.0
-            );
+            ));
         }
     }
     Manifest::from_store(&store).save(store_dir)?;
-    println!(
+    pipe_println(&format!(
         "store ready at {store_dir} ({:.1} KiB total, manifest.json written)",
         store.total_bytes() as f64 / 1024.0
-    );
+    ));
     Ok(())
 }
 
@@ -177,7 +181,7 @@ fn open_store(args: &Args) -> Result<BlotStore<FileBackend>, String> {
 fn cmd_info(args: &Args) -> Result<(), String> {
     let store = open_store(args)?;
     let u = store.universe();
-    println!(
+    pipe_println(&format!(
         "universe: lon [{:.4}, {:.4}] lat [{:.4}, {:.4}] time [{:.0}, {:.0}]",
         u.min().x,
         u.max().x,
@@ -185,7 +189,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         u.max().y,
         u.min().t,
         u.max().t
-    );
+    ));
     for r in store.replicas() {
         pipe_println(&format!(
             "replica {}: {} — {} partitions, {} records, {:.1} KiB",
@@ -217,13 +221,18 @@ fn parse_triple(s: &str, what: &str) -> Result<(f64, f64, f64), String> {
 }
 
 /// Prints a line, exiting quietly if stdout is a closed pipe (e.g. the
-/// output is being piped into `head`).
+/// output is being piped into `head`). Any *other* write failure — a
+/// full disk, an I/O error on a redirected file — is reported on stderr
+/// and exits non-zero (74, `EX_IOERR`): silently dropping output while
+/// reporting success would corrupt whatever consumes it.
 fn pipe_println(line: &str) {
     use std::io::Write;
     if let Err(e) = writeln!(std::io::stdout(), "{line}") {
         if e.kind() == std::io::ErrorKind::BrokenPipe {
             std::process::exit(0);
         }
+        eprintln!("error: cannot write to stdout: {e}");
+        std::process::exit(74);
     }
 }
 
@@ -281,32 +290,32 @@ fn cmd_select(args: &Args) -> Result<(), String> {
             .copied()
             .unwrap_or(blot_core::units::Bytes::ZERO);
     let kept = prune_dominated(&matrix);
-    println!(
+    pipe_println(&format!(
         "{} candidates ({} after dominance pruning), budget = {:.2} GiB",
         matrix.n_candidates(),
         kept.len(),
         budget.get() / (1024.0 * 1024.0 * 1024.0)
-    );
+    ));
     let selection = if args.has("exact") {
         select_mip(&matrix, budget, &MipSolver::default()).map_err(|e| e.to_string())?
     } else {
         select_greedy(&matrix, budget)
     };
     let ideal = ideal_cost(&matrix);
-    println!(
+    pipe_println(&format!(
         "selected {} replicas — estimated workload cost {:.3e} ms ({:.2}× the ideal):",
         selection.chosen.len(),
         selection.workload_cost,
         selection.workload_cost / ideal
-    );
+    ));
     for &j in &selection.chosen {
         let (Some(cand), Some(&stored)) = (candidates.get(j), matrix.storage.get(j)) else {
             continue;
         };
-        println!(
+        pipe_println(&format!(
             "  {cand} — {:.2} GiB",
             stored.get() / (1024.0 * 1024.0 * 1024.0)
-        );
+        ));
     }
     Ok(())
 }
@@ -314,15 +323,24 @@ fn cmd_select(args: &Args) -> Result<(), String> {
 fn cmd_scrub(args: &Args) -> Result<(), String> {
     let store = open_store(args)?;
     let damaged = store.scrub().map_err(|e| format!("scrub failed: {e}"))?;
+    let m = store.metrics();
+    if blot_obs::enabled() {
+        pipe_println(&format!(
+            "scanned {} units: {} verified, {} damaged",
+            m.scrub_units_scanned.value(),
+            m.scrub_units_verified.value(),
+            m.scrub_units_damaged.value()
+        ));
+    }
     if damaged.is_empty() {
-        println!(
+        pipe_println(&format!(
             "all {} units healthy",
             store
                 .replicas()
                 .iter()
                 .map(|r| r.scheme.len())
                 .sum::<usize>()
-        );
+        ));
     } else {
         pipe_println(&format!("{} damaged units:", damaged.len()));
         for key in damaged {
@@ -335,11 +353,16 @@ fn cmd_scrub(args: &Args) -> Result<(), String> {
 fn cmd_repair(args: &Args) -> Result<(), String> {
     let store = open_store(args)?;
     let report = store.repair_all().map_err(|e| e.to_string())?;
-    println!(
+    if blot_obs::enabled() {
+        pipe_println(&format!(
+            "scanned {} units ({} verified clean)",
+            report.units_scanned, report.units_verified
+        ));
+    }
+    pipe_println(&format!(
         "repaired {} units, {} unrecoverable",
-        report.repaired.len(),
-        report.unrecoverable.len()
-    );
+        report.units_repaired, report.units_failed
+    ));
     for key in &report.unrecoverable {
         pipe_println(&format!("  unrecoverable: {key}"));
     }
@@ -348,4 +371,119 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
     } else {
         Err("some units could not be recovered".into())
     }
+}
+
+/// Parses `--band LO,HI` into a [`DriftBand`] (defaults otherwise).
+fn parse_band(args: &Args) -> Result<DriftBand, String> {
+    let Some(s) = args.get("band") else {
+        return Ok(DriftBand::default());
+    };
+    let parts: Vec<&str> = s.split(',').collect();
+    let [lo, hi] = parts.as_slice() else {
+        return Err(format!("--band must be LO,HI, got `{s}`"));
+    };
+    let parse = |p: &str| -> Result<f64, String> {
+        p.trim()
+            .parse()
+            .map_err(|_| format!("bad number `{p}` in --band"))
+    };
+    Ok(DriftBand {
+        lo: parse(lo)?,
+        hi: parse(hi)?,
+        ..DriftBand::default()
+    })
+}
+
+fn drift_to_json(report: &blot_core::obs::DriftReport) -> Json {
+    #[allow(clippy::cast_precision_loss)]
+    let schemes: Vec<Json> = report
+        .schemes
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("scheme", Json::Str(s.scheme.metric_label().to_owned())),
+                ("samples", Json::Num(s.samples as f64)),
+                ("median_ratio", Json::Num(s.median_ratio)),
+                ("mean_ratio", Json::Num(s.mean_ratio)),
+                ("flagged", Json::Bool(s.flagged)),
+            ])
+        })
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let band = Json::obj([
+        ("lo", Json::Num(report.band.lo)),
+        ("hi", Json::Num(report.band.hi)),
+        ("min_samples", Json::Num(report.band.min_samples as f64)),
+    ]);
+    Json::obj([
+        ("band", band),
+        ("calibrated", Json::Bool(report.is_calibrated())),
+        ("schemes", Json::Arr(schemes)),
+    ])
+}
+
+/// Runs a deterministic probe workload (centroid queries of shrinking
+/// extent plus one scrub pass) against an existing store and reports
+/// the collected metrics and the cost-model drift per encoding scheme.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let rounds = args.get_parsed::<u32>("queries")?.unwrap_or(12);
+    let band = parse_band(args)?;
+    let u = store.universe();
+    for k in 0..rounds {
+        let f = 2.0 + f64::from(k);
+        let q = Cuboid::from_centroid(
+            u.centroid(),
+            QuerySize::new(u.extent(0) / f, u.extent(1) / f, u.extent(2) / f),
+        );
+        store
+            .query(&q)
+            .map_err(|e| format!("probe query failed: {e}"))?;
+    }
+    let damaged = store.scrub().map_err(|e| format!("scrub failed: {e}"))?;
+    let snapshot = store.metrics_snapshot();
+    let drift = store.drift_report(band);
+    if args.has("json") {
+        let metrics = Json::parse(&snapshot.to_json())
+            .map_err(|e| format!("internal error: metrics snapshot is not valid JSON: {e}"))?;
+        let doc = Json::obj([
+            ("enabled", Json::Bool(blot_obs::enabled())),
+            ("metrics", metrics),
+            ("drift", drift_to_json(&drift)),
+        ]);
+        pipe_println(&doc.to_string());
+        return Ok(());
+    }
+    if !blot_obs::enabled() {
+        pipe_println("metrics are compiled out (blot-obs `off` feature)");
+    }
+    pipe_println(snapshot.render_text().trim_end());
+    pipe_println("");
+    pipe_println(&format!(
+        "cost-model drift (median predicted/actual, band [{}, {}], min {} samples):",
+        drift.band.lo, drift.band.hi, drift.band.min_samples
+    ));
+    for row in &drift.schemes {
+        if row.samples == 0 {
+            continue;
+        }
+        pipe_println(&format!(
+            "  {:<12} {:>6} samples  median {:>8.3}  mean {:>8.3}  {}",
+            row.scheme.metric_label(),
+            row.samples,
+            row.median_ratio,
+            row.mean_ratio,
+            if row.flagged { "DRIFTED" } else { "ok" }
+        ));
+    }
+    if drift.schemes.iter().all(|s| s.samples == 0) {
+        pipe_println("  (no drift samples)");
+    }
+    if !damaged.is_empty() {
+        pipe_println(&format!(
+            "note: scrub found {} damaged units",
+            damaged.len()
+        ));
+    }
+    Ok(())
 }

@@ -20,8 +20,8 @@ struct Dirs {
 }
 
 impl Dirs {
-    fn new() -> Self {
-        let root = std::env::temp_dir().join(format!("blot-cli-{}", std::process::id()));
+    fn new(label: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("blot-cli-{}-{label}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).unwrap();
         Self { root }
@@ -53,7 +53,7 @@ fn blot(args: &[&str]) -> (bool, String) {
 
 #[test]
 fn full_cli_lifecycle() {
-    let dirs = Dirs::new();
+    let dirs = Dirs::new("lifecycle");
     let data = dirs.path("fleet.csv");
     let store = dirs.path("store");
 
@@ -131,8 +131,78 @@ fn full_cli_lifecycle() {
 }
 
 #[test]
+fn stats_reports_metrics_and_drift() {
+    let dirs = Dirs::new("stats");
+    let data = dirs.path("fleet.csv");
+    let store = dirs.path("store");
+    let (ok, out) = blot(&[
+        "generate",
+        "--out",
+        &data,
+        "--taxis",
+        "40",
+        "--records",
+        "100",
+        "--seed",
+        "11",
+    ]);
+    assert!(ok, "{out}");
+    let (ok, out) = blot(&[
+        "build",
+        "--data",
+        &data,
+        "--store",
+        &store,
+        "--replica",
+        "S16xT4/ROW-SNAPPY",
+        "--replica",
+        "S4xT2/COL-GZIP",
+    ]);
+    assert!(ok, "{out}");
+
+    // Text mode: metric table plus the drift section.
+    let (ok, out) = blot(&["stats", "--store", &store, "--queries", "10"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("store.queries"), "{out}");
+    assert!(out.contains("cost-model drift"), "{out}");
+
+    // JSON mode: parse and assert the probe workload left non-zero
+    // query / scan / pool metrics and a per-scheme drift section.
+    let (ok, out) = blot(&["stats", "--store", &store, "--queries", "10", "--json"]);
+    assert!(ok, "{out}");
+    let doc = blot_json::Json::parse(out.trim()).expect("stats --json emits valid JSON");
+    assert_eq!(doc.field("enabled").unwrap().as_bool(), Some(true));
+    let counters = doc.field("metrics").unwrap().field("counters").unwrap();
+    let counter = |name: &str| counters.get(name).and_then(blot_json::Json::as_u64);
+    assert_eq!(counter("store.queries"), Some(10), "{out}");
+    assert!(counter("store.units_scanned").unwrap() > 0, "{out}");
+    assert!(counter("store.records_decoded").unwrap() > 0, "{out}");
+    let pool_tasks =
+        counter("pool.tasks_inline").unwrap_or(0) + counter("pool.tasks_pooled").unwrap_or(0);
+    assert!(pool_tasks > 0, "executor pool saw no tasks: {out}");
+    let drift = doc.field("drift").unwrap();
+    let schemes = drift.field("schemes").unwrap().as_array().unwrap();
+    assert_eq!(schemes.len(), 8, "one drift row per grid scheme");
+    let sampled: Vec<&str> = schemes
+        .iter()
+        .filter(|s| s.field("samples").unwrap().as_u64().unwrap() > 0)
+        .map(|s| s.field("scheme").unwrap().as_str().unwrap())
+        .collect();
+    assert!(
+        !sampled.is_empty(),
+        "probe queries must leave drift samples"
+    );
+    for s in &sampled {
+        assert!(
+            *s == "row-lzf" || *s == "col-deflate",
+            "unexpected sampled scheme {s}: {out}"
+        );
+    }
+}
+
+#[test]
 fn select_prints_a_recommendation() {
-    let dirs = Dirs::new();
+    let dirs = Dirs::new("select");
     let data = dirs.path("fleet.csv");
     let (ok, out) = blot(&[
         "generate",

@@ -112,6 +112,26 @@ impl EncodingScheme {
         ]
     }
 
+    /// Stable lowercase label for metric names and machine-readable
+    /// output (`"row-lzf"`, `"col-deflate"`, …). Unlike [`Display`]
+    /// (paper-style `ROW-LZF`), this never changes shape: it is safe to
+    /// embed in dotted metric keys.
+    ///
+    /// [`Display`]: fmt::Display
+    #[must_use]
+    pub const fn metric_label(self) -> &'static str {
+        match (self.layout, self.compression) {
+            (Layout::Row, Compression::Plain) => "row-plain",
+            (Layout::Row, Compression::Lzf) => "row-lzf",
+            (Layout::Row, Compression::Deflate) => "row-deflate",
+            (Layout::Row, Compression::Lzr) => "row-lzr",
+            (Layout::Column, Compression::Plain) => "col-plain",
+            (Layout::Column, Compression::Lzf) => "col-lzf",
+            (Layout::Column, Compression::Deflate) => "col-deflate",
+            (Layout::Column, Compression::Lzr) => "col-lzr",
+        }
+    }
+
     /// Stable single-byte tag identifying the scheme on the wire.
     #[must_use]
     pub fn tag(self) -> u8 {
@@ -348,6 +368,20 @@ mod tests {
             assert!(grid.contains(&s));
         }
         assert!(grid.contains(&EncodingScheme::new(Layout::Column, Compression::Plain)));
+    }
+
+    #[test]
+    fn metric_labels_are_unique_and_lowercase() {
+        let grid = EncodingScheme::grid();
+        let mut labels: Vec<&str> = grid.iter().map(|s| s.metric_label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+        for s in grid {
+            let label = s.metric_label();
+            assert_eq!(label, label.to_lowercase());
+            assert!(!label.contains(' '));
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   routes each query to the estimated-cheapest replica, runs map-only
 //!   scan jobs, and repairs damaged units from *any* other replica
 //!   (diverse replicas "can recover each other … because they share the
-//!   same logical view", §II-E).
+//!   same logical view", §II-E);
+//! * [`obs`] — store metrics and cost-model drift accounting: every
+//!   query records predicted vs. measured cost, and [`obs::DriftReport`]
+//!   flags encoding schemes whose calibration no longer holds.
 //!
 //! # Quick start
 //!
@@ -66,6 +69,7 @@
 pub mod adapt;
 pub mod cost;
 mod error;
+pub mod obs;
 pub mod partial;
 pub mod query;
 pub mod replica;
@@ -78,6 +82,7 @@ pub use error::CoreError;
 /// Convenient re-exports of the types most applications need.
 pub mod prelude {
     pub use crate::cost::{CostModel, CostParams};
+    pub use crate::obs::{DriftBand, DriftReport, StoreMetrics};
     pub use crate::query::{GroupedQuery, Workload};
     pub use crate::replica::ReplicaConfig;
     pub use crate::select::{

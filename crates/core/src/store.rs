@@ -13,6 +13,7 @@ use std::sync::Arc;
 use blot_geo::Cuboid;
 use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
+use blot_obs::{Snapshot, Span};
 use blot_storage::job::MapOnlyJob;
 use blot_storage::scan::{run_scan, ScanTask};
 use blot_storage::sync::Mutex;
@@ -20,6 +21,7 @@ use blot_storage::{Backend, EnvProfile, ScanExecutor, StorageError, UnitKey};
 
 use crate::adapt::QueryLog;
 use crate::cost::CostModel;
+use crate::obs::{DriftBand, DriftReport, ReplicaMetrics, StoreMetrics};
 use crate::replica::ReplicaConfig;
 use crate::CoreError;
 
@@ -37,6 +39,9 @@ pub struct BuiltReplica {
     pub records: u64,
     /// Encoded bytes across all its storage units.
     pub bytes: u64,
+    /// Per-replica instrument handles (routing wins, query costs,
+    /// cost-model drift).
+    pub obs: ReplicaMetrics,
 }
 
 /// Result of one range query.
@@ -63,6 +68,16 @@ pub struct RepairReport {
     pub repaired: Vec<UnitKey>,
     /// Units found damaged with no surviving source.
     pub unrecoverable: Vec<UnitKey>,
+    /// Units examined by the scrub phase of this pass. Sourced from the
+    /// store metrics: 0 when `blot-obs` is compiled out.
+    pub units_scanned: u64,
+    /// Units that read back and decoded cleanly during the scrub phase.
+    /// Sourced from the store metrics: 0 when `blot-obs` is compiled out.
+    pub units_verified: u64,
+    /// Damaged units successfully rebuilt (`repaired.len()`).
+    pub units_repaired: u64,
+    /// Damaged units with no surviving source (`unrecoverable.len()`).
+    pub units_failed: u64,
 }
 
 /// Result of one [`BlotStore::ingest`] call.
@@ -91,6 +106,8 @@ pub struct BlotStore<B> {
     log: Option<Mutex<QueryLog>>,
     /// Shared executor for all unit-granular work.
     pool: Arc<ScanExecutor>,
+    /// Instrument handles (see [`crate::obs`]).
+    metrics: StoreMetrics,
 }
 
 /// Converts a partition index to its storage id, surfacing overflow
@@ -124,6 +141,8 @@ impl<B: Backend + 'static> BlotStore<B> {
         model: CostModel,
         pool: Arc<ScanExecutor>,
     ) -> Self {
+        let metrics = StoreMetrics::new();
+        pool.attach_metrics(metrics.registry());
         Self {
             backend: Arc::new(backend),
             env,
@@ -132,6 +151,7 @@ impl<B: Backend + 'static> BlotStore<B> {
             replicas: Vec::new(),
             log: None,
             pool,
+            metrics,
         }
     }
 
@@ -139,6 +159,32 @@ impl<B: Backend + 'static> BlotStore<B> {
     #[must_use]
     pub fn pool(&self) -> &Arc<ScanExecutor> {
         &self.pool
+    }
+
+    /// The store's instrument handles.
+    #[must_use]
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of every metric the store (and its executor
+    /// pool) has recorded. Empty when `blot-obs` is compiled out.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.registry().snapshot()
+    }
+
+    /// Evaluates cost-model drift against `band`: per-replica
+    /// predicted/actual ratio histograms are merged by encoding scheme
+    /// and each scheme's median is checked against the band.
+    #[must_use]
+    pub fn drift_report(&self, band: DriftBand) -> DriftReport {
+        DriftReport::from_samples(
+            band,
+            self.replicas
+                .iter()
+                .map(|r| (r.config.encoding, r.obs.drift.snapshot())),
+        )
     }
 
     /// The backend as a shareable trait object (what pool tasks capture).
@@ -201,6 +247,7 @@ impl<B: Backend + 'static> BlotStore<B> {
     ) -> Result<u32, CoreError> {
         let id = u32::try_from(self.replicas.len())
             .map_err(|_| CoreError::IdOverflow { what: "replica" })?;
+        let _span = Span::start(&self.metrics.build_wall_ms);
         let scheme = PartitioningScheme::build(data, self.universe, config.spec);
         let parts = scheme.assign_batch(data);
         let keys: Vec<UnitKey> = (0..parts.len())
@@ -222,6 +269,7 @@ impl<B: Backend + 'static> BlotStore<B> {
         let mut bytes = 0u64;
         for (key, unit) in keys.into_iter().zip(units) {
             bytes += unit.len() as u64;
+            self.metrics.build_units.inc();
             self.backend.put(key, unit)?;
         }
         self.replicas.push(BuiltReplica {
@@ -230,6 +278,7 @@ impl<B: Backend + 'static> BlotStore<B> {
             scheme,
             records: data.len() as u64,
             bytes,
+            obs: self.metrics.replica(id, config.encoding),
         });
         Ok(id)
     }
@@ -259,6 +308,7 @@ impl<B: Backend + 'static> BlotStore<B> {
             scheme,
             records,
             bytes,
+            obs: self.metrics.replica(id, config.encoding),
         });
         Ok(id)
     }
@@ -290,6 +340,8 @@ impl<B: Backend + 'static> BlotStore<B> {
         if rejected > 0 {
             return Err(CoreError::OutOfUniverse { rejected });
         }
+        let _span = Span::start(&self.metrics.ingest_wall_ms);
+        self.metrics.ingest_records.add(batch.len() as u64);
         let mut report = IngestReport {
             records: batch.len(),
             units_rewritten: 0,
@@ -318,11 +370,17 @@ impl<B: Backend + 'static> BlotStore<B> {
                 };
                 meta.push((pid, additions.len()));
                 let backend: Arc<dyn Backend> = self.backend.clone();
+                let decodes = self.metrics.decode_counter(encoding);
+                let records_decoded = self.metrics.records_decoded.clone();
+                let bytes_read = self.metrics.bytes_read.clone();
                 rewrites.push(move || {
                     let bytes = backend.get(key)?;
                     let mut records = encoding
                         .decode(&bytes)
                         .map_err(|source| StorageError::Corrupt { key, source })?;
+                    decodes.inc();
+                    records_decoded.add(records.len() as u64);
+                    bytes_read.add(bytes.len() as u64);
                     records.extend_from(&additions);
                     let unit = encoding.encode(&records);
                     Ok((key, bytes.len(), unit))
@@ -333,6 +391,7 @@ impl<B: Backend + 'static> BlotStore<B> {
                 replica.bytes = replica.bytes - old_len as u64 + unit.len() as u64;
                 self.backend.put(key, unit)?;
                 replica.scheme.note_insertions(pid, added)?;
+                self.metrics.ingest_units_rewritten.inc();
                 report.units_rewritten += 1;
             }
             replica.records += batch.len() as u64;
@@ -362,6 +421,12 @@ impl<B: Backend + 'static> BlotStore<B> {
             })
             .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some(winner) = ranked
+            .first()
+            .and_then(|&(id, _)| self.replicas.get(id as usize))
+        {
+            winner.obs.routed_first.inc();
+        }
         ranked.into_iter().map(|(id, _)| id).collect()
     }
 
@@ -377,6 +442,8 @@ impl<B: Backend + 'static> BlotStore<B> {
         if let Some(log) = &self.log {
             log.lock().observe(range);
         }
+        self.metrics.queries.inc();
+        let _span = Span::start(&self.metrics.query_wall_ms);
         let order = self.route(range);
         if order.is_empty() {
             return Err(CoreError::NoReplicas);
@@ -386,6 +453,10 @@ impl<B: Backend + 'static> BlotStore<B> {
         for id in order {
             match self.query_on(id, range) {
                 Ok(mut result) => {
+                    self.metrics
+                        .records_returned
+                        .add(result.records.len() as u64);
+                    self.metrics.query_failovers.add(failed_over.len() as u64);
                     result.failed_over = failed_over;
                     return Ok(result);
                 }
@@ -416,6 +487,15 @@ impl<B: Backend + 'static> BlotStore<B> {
             .replicas
             .get(id as usize)
             .ok_or(CoreError::NoSuchReplica { id })?;
+        // Predicted Cost(q, r) (Eq. 6/7), captured before execution so
+        // the drift histogram compares the same quantity routing used.
+        #[allow(clippy::cast_precision_loss)]
+        let predicted = self.model.concrete_query_cost(
+            range,
+            &replica.scheme,
+            replica.config.encoding,
+            replica.records as f64,
+        );
         let involved = replica.scheme.involved(range);
         let tasks: Vec<ScanTask> = involved
             .iter()
@@ -435,6 +515,26 @@ impl<B: Backend + 'static> BlotStore<B> {
         let mut records = RecordBatch::new();
         for r in &report.reports {
             records.extend_from(&r.output);
+        }
+        self.metrics.units_scanned.add(report.reports.len() as u64);
+        self.metrics
+            .decode_counter(replica.config.encoding)
+            .add(report.reports.len() as u64);
+        self.metrics.records_decoded.add(
+            report
+                .reports
+                .iter()
+                .map(|r| r.records_scanned as u64)
+                .sum(),
+        );
+        self.metrics
+            .bytes_read
+            .add(report.reports.iter().map(|r| r.bytes).sum());
+        self.metrics.query_sim_ms.record(report.total_ms);
+        replica.obs.queries.inc();
+        replica.obs.sim_ms.record(report.total_ms);
+        if report.total_ms > 0.0 {
+            replica.obs.drift.record(predicted.get() / report.total_ms);
         }
         Ok(QueryResult {
             records,
@@ -457,6 +557,7 @@ impl<B: Backend + 'static> BlotStore<B> {
     /// errors.
     pub fn scrub(&self) -> Result<Vec<UnitKey>, CoreError> {
         let env = self.env;
+        let _span = Span::start(&self.metrics.scrub_wall_ms);
         let mut verifies = Vec::new();
         for replica in &self.replicas {
             for pid in 0..replica.scheme.len() {
@@ -466,8 +567,15 @@ impl<B: Backend + 'static> BlotStore<B> {
                 };
                 let scheme = replica.config.encoding;
                 let backend: Arc<dyn Backend> = self.backend.clone();
+                let scanned = self.metrics.scrub_units_scanned.clone();
+                let verified = self.metrics.scrub_units_verified.clone();
+                let damaged = self.metrics.scrub_units_damaged.clone();
+                let decodes = self.metrics.decode_counter(scheme);
+                let records_decoded = self.metrics.records_decoded.clone();
+                let bytes_read = self.metrics.bytes_read.clone();
                 verifies.push(move || {
-                    let ok = run_scan(
+                    scanned.inc();
+                    match run_scan(
                         backend.as_ref(),
                         &env,
                         &ScanTask {
@@ -475,9 +583,19 @@ impl<B: Backend + 'static> BlotStore<B> {
                             scheme,
                             range: None,
                         },
-                    )
-                    .is_ok();
-                    Ok(if ok { None } else { Some(key) })
+                    ) {
+                        Ok(report) => {
+                            verified.inc();
+                            decodes.inc();
+                            records_decoded.add(report.records_scanned as u64);
+                            bytes_read.add(report.bytes);
+                            Ok(None)
+                        }
+                        Err(_) => {
+                            damaged.inc();
+                            Ok(Some(key))
+                        }
+                    }
                 });
             }
         }
@@ -508,6 +626,22 @@ impl<B: Backend + 'static> BlotStore<B> {
     ///   every record of the partition (both copies of some region are
     ///   gone).
     pub fn repair_unit(&self, key: UnitKey) -> Result<(), CoreError> {
+        let _span = Span::start(&self.metrics.repair_wall_ms);
+        match self.repair_unit_inner(key) {
+            Ok(()) => {
+                self.metrics.repair_units_repaired.inc();
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, CoreError::Unrecoverable { .. }) {
+                    self.metrics.repair_units_failed.inc();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn repair_unit_inner(&self, key: UnitKey) -> Result<(), CoreError> {
         let owner = self
             .replicas
             .get(key.replica as usize)
@@ -624,6 +758,8 @@ impl<B: Backend + 'static> BlotStore<B> {
     /// Returns [`CoreError::Storage`] only on write failures; units with
     /// no surviving source are reported, not errored.
     pub fn repair_all(&self) -> Result<RepairReport, CoreError> {
+        let scanned_before = self.metrics.scrub_units_scanned.value();
+        let verified_before = self.metrics.scrub_units_verified.value();
         let mut report = RepairReport::default();
         for key in self.scrub()? {
             match self.repair_unit(key) {
@@ -632,6 +768,18 @@ impl<B: Backend + 'static> BlotStore<B> {
                 Err(e) => return Err(e),
             }
         }
+        report.units_scanned = self
+            .metrics
+            .scrub_units_scanned
+            .value()
+            .saturating_sub(scanned_before);
+        report.units_verified = self
+            .metrics
+            .scrub_units_verified
+            .value()
+            .saturating_sub(verified_before);
+        report.units_repaired = report.repaired.len() as u64;
+        report.units_failed = report.unrecoverable.len() as u64;
         Ok(report)
     }
 }

@@ -1,0 +1,143 @@
+//! Cost-model drift accounting, end to end: a store with a
+//! mis-calibrated cost model must flag the affected encoding scheme in
+//! its [`DriftReport`], while a calibrated store stays in band.
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use blot_core::obs::DriftBand;
+use blot_core::prelude::*;
+use blot_storage::MemBackend;
+use blot_tracegen::FleetConfig;
+
+const GOOD: EncodingScheme = EncodingScheme::new(Layout::Row, Compression::Lzf);
+const BAD: EncodingScheme = EncodingScheme::new(Layout::Column, Compression::Deflate);
+
+fn fleet() -> FleetConfig {
+    let mut config = FleetConfig::small();
+    config.num_taxis = 60;
+    config.records_per_taxi = 150;
+    config
+}
+
+/// A dozen distinct centroid queries of varying extent.
+fn queries(universe: &Cuboid) -> Vec<Cuboid> {
+    (2..14)
+        .map(|k| {
+            let f = f64::from(k);
+            Cuboid::from_centroid(
+                universe.centroid(),
+                QuerySize::new(
+                    universe.extent(0) / f,
+                    universe.extent(1) / f,
+                    universe.extent(2) / f,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn store_with_model(model: CostModel) -> BlotStore<MemBackend> {
+    let config = fleet();
+    let data = config.generate();
+    let universe = config.universe();
+    let mut store = BlotStore::new(
+        MemBackend::new(),
+        EnvProfile::local_cluster(),
+        universe,
+        model,
+    );
+    store
+        .build_replica(&data, ReplicaConfig::new(SchemeSpec::new(16, 4), GOOD))
+        .unwrap();
+    store
+        .build_replica(&data, ReplicaConfig::new(SchemeSpec::new(4, 2), BAD))
+        .unwrap();
+    store
+}
+
+/// The band used by both tests: wide enough to absorb calibration
+/// noise, far narrower than a 1000× parameter error.
+fn band() -> DriftBand {
+    DriftBand {
+        lo: 0.05,
+        hi: 20.0,
+        min_samples: 8,
+    }
+}
+
+fn calibrated_model() -> CostModel {
+    let config = fleet();
+    CostModel::calibrate(&EnvProfile::local_cluster(), &config.generate(), 0xD81F7)
+}
+
+#[test]
+fn calibrated_store_stays_in_band() {
+    if !blot_obs::enabled() {
+        return;
+    }
+    let store = store_with_model(calibrated_model());
+    for q in queries(&store.universe()) {
+        for replica in 0..2 {
+            store.query_on(replica, &q).unwrap();
+        }
+    }
+    let report = store.drift_report(band());
+    for row in &report.schemes {
+        if row.scheme == GOOD || row.scheme == BAD {
+            assert!(
+                row.samples >= 12,
+                "{:?}: {} samples",
+                row.scheme,
+                row.samples
+            );
+        }
+    }
+    assert!(
+        report.is_calibrated(),
+        "calibrated model must stay in band: {:?}",
+        report.flagged().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn miscalibrated_scheme_is_flagged() {
+    if !blot_obs::enabled() {
+        return;
+    }
+    // Take the calibrated parameters and corrupt one scheme's ScanRate
+    // by 1000×: predictions for that scheme (and only that scheme) are
+    // now three orders of magnitude too expensive.
+    let calibrated = calibrated_model();
+    let params = blot_codec::SchemeTable::build(|s| {
+        let p = calibrated.params(s);
+        if s == BAD {
+            CostParams {
+                ms_per_record: Millis::new(p.ms_per_record.get() * 1000.0),
+                extra_ms: Millis::new(p.extra_ms.get() * 1000.0),
+            }
+        } else {
+            p
+        }
+    });
+    let bpr = blot_codec::SchemeTable::build(|s| calibrated.bytes_per_record(s));
+    let store = store_with_model(CostModel::from_params("miscalibrated", params, bpr));
+    for q in queries(&store.universe()) {
+        for replica in 0..2 {
+            store.query_on(replica, &q).unwrap();
+        }
+    }
+    let report = store.drift_report(band());
+    let flagged: Vec<EncodingScheme> = report.flagged().map(|s| s.scheme).collect();
+    assert_eq!(flagged, vec![BAD], "exactly the corrupted scheme drifts");
+    let bad_row = report
+        .schemes
+        .iter()
+        .find(|s| s.scheme == BAD)
+        .expect("BAD row present");
+    assert!(
+        bad_row.median_ratio > band().hi,
+        "1000× over-prediction must blow the upper bound, got {}",
+        bad_row.median_ratio
+    );
+    assert!(!report.is_calibrated());
+}

@@ -1,0 +1,125 @@
+//! Monotone counters and signed gauges.
+
+#[cfg(not(feature = "off"))]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+#[cfg(not(feature = "off"))]
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+///
+/// Cloning produces another handle to the same cell; recording is one
+/// relaxed `fetch_add`. With the `off` feature the handle is zero-sized
+/// and every operation is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    #[cfg(not(feature = "off"))]
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a detached counter (not listed in any registry).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "off"))]
+        self.cell.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "off")]
+        let _ = n;
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 in a compiled-out build).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        #[cfg(not(feature = "off"))]
+        {
+            self.cell.load(Ordering::Relaxed)
+        }
+        #[cfg(feature = "off")]
+        {
+            0
+        }
+    }
+}
+
+/// A signed gauge: a value that goes up and down (queue depths,
+/// in-flight work).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    #[cfg(not(feature = "off"))]
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a detached gauge (not listed in any registry).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` (negative to decrement).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(not(feature = "off"))]
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "off")]
+        let _ = delta;
+    }
+
+    /// Sets the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        #[cfg(not(feature = "off"))]
+        self.cell.store(value, Ordering::Relaxed);
+        #[cfg(feature = "off")]
+        let _ = value;
+    }
+
+    /// Current value (0 in a compiled-out build).
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        #[cfg(not(feature = "off"))]
+        {
+            self.cell.load(Ordering::Relaxed)
+        }
+        #[cfg(feature = "off")]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_cell() {
+        let c = Counter::new();
+        let d = c.clone();
+        c.inc();
+        d.add(2);
+        assert_eq!(c.value(), 3);
+        assert_eq!(d.value(), 3);
+    }
+
+    #[test]
+    fn gauge_goes_both_ways() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.value(), 3);
+        g.set(-7);
+        assert_eq!(g.value(), -7);
+    }
+}

@@ -1,0 +1,290 @@
+//! Fixed-bucket log-scale histograms with a lock-free record path.
+//!
+//! Values (simulated milliseconds, wall milliseconds, predicted/actual
+//! ratios) span many orders of magnitude, so buckets grow geometrically
+//! with ratio √2: bucket `i ≥ 1` covers `[2^((i-1)/2 - 32), 2^(i/2 - 32))`,
+//! bucket 0 collects everything at or below `2^-32` (including zero and
+//! non-finite junk), and the last bucket is the overflow. 128 buckets
+//! therefore cover `2^-32 … 2^31.5` — sub-nanosecond to roughly three
+//! weeks when the unit is milliseconds — with every bucket at most √2
+//! wide, bounding the quantile error at ~±19%.
+//!
+//! Recording touches exactly one bucket counter (relaxed `fetch_add`)
+//! plus a CAS loop on the bit-packed f64 running sum. Snapshots derive
+//! the total count from the bucket counts, so a snapshot taken while
+//! other threads record can never *tear* — report a count that its own
+//! buckets do not add up to.
+
+#[cfg(not(feature = "off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "off"))]
+use std::sync::Arc;
+
+/// Number of buckets in every histogram.
+pub const BUCKETS: usize = 128;
+
+/// Growth exponent denominator: bucket bounds are powers of `2^(1/2)`.
+const HALF_STEPS_OFFSET: f64 = 32.0;
+
+/// Lower bound of bucket `i` (0 for the underflow bucket). Bounds are
+/// strictly increasing in `i`; bucket `i` covers
+/// `[bucket_lower_bound(i), bucket_lower_bound(i + 1))`.
+#[must_use]
+pub fn bucket_lower_bound(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let half_steps = (i - 1) as f64;
+    (half_steps / 2.0 - HALF_STEPS_OFFSET).exp2()
+}
+
+/// Representative value of bucket `i`: the geometric midpoint of its
+/// bounds (0 for the underflow bucket, the lower bound for overflow).
+#[must_use]
+fn bucket_midpoint(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    if i >= BUCKETS - 1 {
+        return bucket_lower_bound(BUCKETS - 1);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let half_steps = (i - 1) as f64;
+    ((half_steps + 0.5) / 2.0 - HALF_STEPS_OFFSET).exp2()
+}
+
+/// Bucket index for a recorded value.
+#[cfg(not(feature = "off"))]
+fn bucket_index(value: f64) -> usize {
+    let floor = bucket_lower_bound(1);
+    if !value.is_finite() || value <= floor {
+        return 0;
+    }
+    let raw = ((value.log2() + HALF_STEPS_OFFSET) * 2.0)
+        .floor()
+        .clamp(0.0, (BUCKETS - 2) as f64);
+    // In-range by the clamp above.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = raw as usize;
+    idx + 1
+}
+
+#[cfg(not(feature = "off"))]
+#[derive(Debug)]
+struct Inner {
+    buckets: [AtomicU64; BUCKETS],
+    /// Running Σ of recorded values, stored as f64 bits and updated by
+    /// compare-exchange (no float atomics in std).
+    sum_bits: AtomicU64,
+}
+
+#[cfg(not(feature = "off"))]
+impl Default for Inner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+}
+
+/// A concurrent log-scale histogram. Cloning produces another handle to
+/// the same buckets; with the `off` feature the handle is zero-sized
+/// and recording is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    #[cfg(not(feature = "off"))]
+    inner: Arc<Inner>,
+}
+
+impl Histogram {
+    /// Creates a detached histogram (not listed in any registry).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value. Non-finite and non-positive values land in
+    /// the underflow bucket and contribute nothing to the sum.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        #[cfg(not(feature = "off"))]
+        {
+            let i = bucket_index(value);
+            if let Some(bucket) = self.inner.buckets.get(i) {
+                bucket.fetch_add(1, Ordering::Relaxed);
+            }
+            if value.is_finite() && value > 0.0 {
+                let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+                loop {
+                    let next = (f64::from_bits(cur) + value).to_bits();
+                    match self.inner.sum_bits.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+        }
+        #[cfg(feature = "off")]
+        let _ = value;
+    }
+
+    /// A consistent point-in-time copy of the distribution (empty in a
+    /// compiled-out build).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(not(feature = "off"))]
+        {
+            HistogramSnapshot {
+                buckets: self
+                    .inner
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                sum: f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed)),
+            }
+        }
+        #[cfg(feature = "off")]
+        {
+            HistogramSnapshot::default()
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state. The total count is
+/// always derived from the buckets, so it cannot disagree with them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts ([`BUCKETS`] entries; empty when the histogram
+    /// was compiled out or never recorded into a registry snapshot).
+    pub buckets: Vec<u64>,
+    /// Σ of recorded (finite, positive) values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded events.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let nf = n as f64;
+        self.sum / nf
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the geometric midpoint of the
+    /// bucket where the cumulative count crosses `q·count` (0 when
+    /// empty). Error is bounded by the √2 bucket width.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let target_f = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0);
+        let mut remaining = target_f;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            let cf = c as f64;
+            if cf >= remaining {
+                return bucket_midpoint(i);
+            }
+            remaining -= cf;
+        }
+        bucket_midpoint(BUCKETS - 1)
+    }
+
+    /// Folds `other` into `self` (used to aggregate per-replica drift
+    /// histograms by scheme). An empty side adopts the other's buckets.
+    pub fn merge(&mut self, other: &Self) {
+        if self.buckets.is_empty() {
+            self.buckets.clone_from(&other.buckets);
+        } else {
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += b;
+            }
+        }
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_strictly_monotone() {
+        for i in 1..=BUCKETS {
+            assert!(
+                bucket_lower_bound(i) > bucket_lower_bound(i - 1),
+                "bound {i} must exceed bound {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn values_land_in_their_bucket() {
+        for &v in &[1e-9, 0.5, 1.0, 3.0, 250.0, 1e9] {
+            let i = bucket_index(v);
+            assert!(v >= bucket_lower_bound(i), "{v} vs bucket {i}");
+            if i < BUCKETS - 1 {
+                assert!(v < bucket_lower_bound(i + 1), "{v} vs bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        assert_eq!(bucket_index(1e30), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(10.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert!((s.mean() - 10.0).abs() < 1e-9);
+        let p50 = s.quantile(0.5);
+        assert!(
+            (7.0..15.0).contains(&p50),
+            "p50 {p50} must be within one bucket of 10"
+        );
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(1.0);
+        b.record(4.0);
+        b.record(16.0);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 3);
+        assert!((s.sum - 21.0).abs() < 1e-9);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&s);
+        assert_eq!(empty.count(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! The metrics registry: names instruments, hands out handles, takes
+//! snapshots.
+//!
+//! Registration is the *cold* path and takes a mutex; it happens once,
+//! when a store / pool / subsystem is constructed. The returned handles
+//! are the hot path and never touch the registry again.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of instruments.
+///
+/// Cloning produces another handle to the same registry. Instrument
+/// lookups are get-or-create: asking twice for the same name and kind
+/// returns handles to the same cell. Asking for an existing name with a
+/// *different* kind returns a detached instrument (recorded values are
+/// kept but never appear in snapshots) — silently shadowing a metric
+/// would corrupt both series, and the record path must not fail.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_map<T>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> T) -> T {
+        // Recover from poisoning like `storage::sync`: the map is a
+        // name table, always valid.
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut map)
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.with_map(|map| {
+            match map
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Counter(Counter::new()))
+            {
+                Metric::Counter(c) => c.clone(),
+                Metric::Gauge(_) | Metric::Histogram(_) => Counter::new(),
+            }
+        })
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.with_map(|map| {
+            match map
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Gauge(Gauge::new()))
+            {
+                Metric::Gauge(g) => g.clone(),
+                Metric::Counter(_) | Metric::Histogram(_) => Gauge::new(),
+            }
+        })
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.with_map(|map| {
+            match map
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Histogram(Histogram::new()))
+            {
+                Metric::Histogram(h) => h.clone(),
+                Metric::Counter(_) | Metric::Gauge(_) => Histogram::new(),
+            }
+        })
+    }
+
+    /// A point-in-time copy of every registered instrument, sorted by
+    /// name. Concurrent recording keeps going; each instrument is read
+    /// atomically (see the histogram tear-freedom note).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.with_map(|map| {
+            let mut snap = Snapshot::default();
+            for (name, metric) in map.iter() {
+                match metric {
+                    Metric::Counter(c) => snap.counters.push((name.clone(), c.value())),
+                    Metric::Gauge(g) => snap.gauges.push((name.clone(), g.value())),
+                    Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+            snap
+        })
+    }
+}
+
+/// A point-in-time copy of a registry's instruments, sorted by name
+/// within each kind.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram states.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// State of the histogram named `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_cell() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        if crate::enabled() {
+            assert_eq!(r.snapshot().counter("x"), Some(2));
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_detaches_instead_of_shadowing() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("x");
+        c.add(5);
+        let h = r.histogram("x"); // wrong kind: detached
+        h.record(1.0);
+        if crate::enabled() {
+            assert_eq!(r.snapshot().counter("x"), Some(5));
+        }
+        assert!(r.snapshot().histogram("x").is_none());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("zeta");
+        let _ = r.counter("alpha");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! RAII wall-time spans.
+//!
+//! A [`Span`] samples [`std::time::Instant`] (monotonic) on creation
+//! and records the elapsed milliseconds into its histogram when
+//! dropped — covering early returns and `?` propagation for free. The
+//! overhead budget is two `Instant` samples plus one histogram record
+//! (≈ tens of nanoseconds), which is why every `BlotStore` operation
+//! can afford one.
+
+use crate::histogram::Histogram;
+
+/// Records wall-clock milliseconds into a [`Histogram`] on drop.
+#[must_use = "a span records on drop — bind it (`let _span = …`) for the scope to measure"]
+#[derive(Debug)]
+pub struct Span {
+    #[cfg(not(feature = "off"))]
+    histogram: Histogram,
+    #[cfg(not(feature = "off"))]
+    started: std::time::Instant,
+}
+
+impl Span {
+    /// Starts a span that records into `histogram` when dropped.
+    pub fn start(histogram: &Histogram) -> Self {
+        #[cfg(not(feature = "off"))]
+        {
+            Self {
+                histogram: histogram.clone(),
+                started: std::time::Instant::now(),
+            }
+        }
+        #[cfg(feature = "off")]
+        {
+            let _ = histogram;
+            Self {}
+        }
+    }
+
+    /// Ends the span now (alias for dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "off"))]
+        self.histogram
+            .record(self.started.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_time_on_drop() {
+        let h = Histogram::new();
+        {
+            let _span = Span::start(&h);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert!(s.sum >= 1.0, "slept 2ms but recorded {}", s.sum);
+    }
+
+    #[test]
+    fn explicit_finish_records_once() {
+        let h = Histogram::new();
+        let span = Span::start(&h);
+        span.finish();
+        assert_eq!(h.snapshot().count(), 1);
+    }
+}

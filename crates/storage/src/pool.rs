@@ -39,8 +39,10 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, PoisonError};
+use std::sync::{Arc, Condvar, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+
+use blot_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 
 use crate::sync::Mutex;
 use crate::StorageError;
@@ -76,6 +78,25 @@ struct BatchSlots<T> {
     first_error: Option<StorageError>,
 }
 
+/// Instrument handles for one pool, fetched once from a
+/// [`MetricsRegistry`] and cloned into queued jobs.
+#[derive(Debug)]
+struct PoolMetrics {
+    /// Jobs currently sitting in the queue (decremented when a job is
+    /// popped and run, whether or not its batch was already aborted).
+    queue_depth: Gauge,
+    /// Tasks executed on the inline fast path (≤ 1 worker or 1 task).
+    inline_tasks: Counter,
+    /// Tasks that went through the job queue.
+    pooled_tasks: Counter,
+    /// Tasks whose closure panicked (inline or pooled); each also
+    /// surfaces as [`StorageError::WorkerPanicked`] to its batch.
+    worker_panics: Counter,
+    /// Wall-clock milliseconds per `execute_all` batch (the batch's
+    /// real makespan, caller participation included).
+    batch_ms: Histogram,
+}
+
 /// A persistent, fixed-size worker pool executing ordered, fail-fast
 /// batches of fallible tasks.
 ///
@@ -84,6 +105,10 @@ struct BatchSlots<T> {
 pub struct ScanExecutor {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Set once by [`attach_metrics`](Self::attach_metrics); `None`
+    /// until an owner registers the pool, so an unowned pool records
+    /// nothing.
+    metrics: OnceLock<PoolMetrics>,
 }
 
 impl std::fmt::Debug for ScanExecutor {
@@ -122,7 +147,26 @@ impl ScanExecutor {
                     .ok()
             })
             .collect();
-        Self { shared, workers }
+        Self {
+            shared,
+            workers,
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Registers this pool's instruments (queue depth, inline vs pooled
+    /// task counts, worker panics, per-batch makespan) in `registry`
+    /// under the `pool.*` names. The first call wins: a pool shared
+    /// across stores reports into the registry of the store that
+    /// attached first, and later calls are no-ops.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self.metrics.set(PoolMetrics {
+            queue_depth: registry.gauge("pool.queue_depth"),
+            inline_tasks: registry.counter("pool.tasks_inline"),
+            pooled_tasks: registry.counter("pool.tasks_pooled"),
+            worker_panics: registry.counter("pool.worker_panics"),
+            batch_ms: registry.histogram("pool.batch_ms"),
+        });
     }
 
     /// Creates a pool sized from [`std::thread::available_parallelism`]
@@ -156,6 +200,8 @@ impl ScanExecutor {
         if n == 0 {
             return Ok(Vec::new());
         }
+        let metrics = self.metrics.get();
+        let _batch_span = metrics.map(|m| Span::start(&m.batch_ms));
         // Inline fast path: with at most one worker (or one task) there
         // is no parallelism to win, so the job queue's lock/wakeup
         // traffic and the caller↔worker context switches are pure
@@ -163,12 +209,20 @@ impl ScanExecutor {
         // identical: task order, fail-fast, panics surface as
         // `WorkerPanicked`.
         if self.workers.len() <= 1 || n == 1 {
+            if let Some(m) = metrics {
+                m.inline_tasks.add(n as u64);
+            }
             let mut out = Vec::with_capacity(n);
             for task in tasks {
                 match catch_unwind(AssertUnwindSafe(task)) {
                     Ok(Ok(value)) => out.push(value),
                     Ok(Err(e)) => return Err(e),
-                    Err(_panic) => return Err(StorageError::WorkerPanicked),
+                    Err(_panic) => {
+                        if let Some(m) = metrics {
+                            m.worker_panics.inc();
+                        }
+                        return Err(StorageError::WorkerPanicked);
+                    }
                 }
             }
             return Ok(out);
@@ -183,12 +237,32 @@ impl ScanExecutor {
             aborted: AtomicBool::new(false),
         });
 
-        // Queue every task, then wake the workers once.
+        // Queue every task, then wake the workers once. Metric handles
+        // are cloned into each job so recording stays lock-free on the
+        // worker side.
+        let depth = metrics.map(|m| m.queue_depth.clone());
+        let panics = metrics.map(|m| m.worker_panics.clone());
+        if let Some(m) = metrics {
+            m.pooled_tasks.add(n as u64);
+            m.queue_depth.add(i64::try_from(n).unwrap_or(i64::MAX));
+        }
         {
             let mut jobs = self.shared.jobs.lock();
             for (i, task) in tasks.into_iter().enumerate() {
                 let batch = Arc::clone(&batch);
-                jobs.push_back(Box::new(move || run_task(&batch, i, task)));
+                let depth = depth.clone();
+                let panics = panics.clone();
+                jobs.push_back(Box::new(move || {
+                    if let Some(d) = &depth {
+                        d.add(-1);
+                    }
+                    let panicked = run_task(&batch, i, task);
+                    if panicked {
+                        if let Some(p) = &panics {
+                            p.inc();
+                        }
+                    }
+                }));
             }
         }
         self.shared.available.notify_all();
@@ -232,8 +306,9 @@ impl ScanExecutor {
     }
 }
 
-/// Runs one queued task and records its outcome in the batch.
-fn run_task<T, F>(batch: &Batch<T>, i: usize, task: F)
+/// Runs one queued task and records its outcome in the batch. Returns
+/// true when the task panicked (for the caller's panic counter).
+fn run_task<T, F>(batch: &Batch<T>, i: usize, task: F) -> bool
 where
     F: FnOnce() -> Result<T, StorageError>,
 {
@@ -242,6 +317,7 @@ where
     } else {
         Some(catch_unwind(AssertUnwindSafe(task)))
     };
+    let mut panicked = false;
     let mut slots = batch.slots.lock();
     match outcome {
         Some(Ok(Ok(value))) => {
@@ -256,6 +332,7 @@ where
             batch.aborted.store(true, Ordering::Release);
         }
         Some(Err(_panic)) => {
+            panicked = true;
             if slots.first_error.is_none() {
                 slots.first_error = Some(StorageError::WorkerPanicked);
             }
@@ -267,6 +344,7 @@ where
     if slots.remaining == 0 {
         batch.done.notify_all();
     }
+    panicked
 }
 
 fn worker_loop(shared: &Shared) {

@@ -30,6 +30,10 @@
 //! * **lock-discipline** — no `storage::sync` guard held across
 //!   backend I/O, and lock acquisitions follow the declared order; see
 //!   [`locks`];
+//! * **metrics-discipline** — no ad-hoc `static` atomics in the
+//!   instrumented crates (`core`, `storage`): every global counter is
+//!   a registered `blot-obs` instrument, so `metrics_snapshot()` and
+//!   `blot stats` see all of them;
 //! * **registry** — every `codec::scheme` variant resolves to an
 //!   encoder, a decoder, a round-trip proptest, and a fuzz target; see
 //!   [`registry`];
@@ -52,6 +56,7 @@ pub mod deps;
 pub mod fuzz;
 pub mod lexer;
 pub mod locks;
+pub mod overhead;
 pub mod ratchet;
 pub mod registry;
 pub mod rules;
@@ -92,6 +97,12 @@ pub const THREAD_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
 
 /// The one file allowed to create OS threads: the pool itself.
 pub const THREAD_DISCIPLINE_EXEMPT_FILE: &str = "pool.rs";
+
+/// Crates whose global counters must be `blot-obs` registry
+/// instruments rather than ad-hoc `static` atomics (rule
+/// `metrics-discipline`). The `obs` crate itself — where the
+/// instruments live — is exempt by omission.
+pub const METRICS_DISCIPLINE_CRATES: &[&str] = &["core", "storage"];
 
 /// Aggregated result of a workspace lint run.
 #[derive(Debug, Default)]
@@ -143,6 +154,7 @@ impl Report {
             Rule::UnitSafety,
             Rule::LockDiscipline,
             Rule::ThreadDiscipline,
+            Rule::MetricsDiscipline,
             Rule::Registry,
             Rule::Ratchet,
             Rule::UnusedAllow,
@@ -289,6 +301,7 @@ fn lint_crate(
             lock_discipline: LOCK_DISCIPLINE_CRATES.contains(&crate_name),
             thread_discipline: THREAD_DISCIPLINE_CRATES.contains(&crate_name)
                 && file_name != THREAD_DISCIPLINE_EXEMPT_FILE,
+            metrics_discipline: METRICS_DISCIPLINE_CRATES.contains(&crate_name),
         };
         let rel = file.strip_prefix(root).unwrap_or(file);
         let fr = rules::audit_file(rel, &source, rules);

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--no-deps] [--update-ratchet]\n       cargo xtask fuzz [--target NAME] [--millis N]";
+const USAGE: &str = "usage: cargo xtask lint [--no-deps] [--update-ratchet]\n       cargo xtask fuzz [--target NAME] [--millis N]\n       cargo xtask metrics-overhead";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,6 +14,7 @@ fn main() -> ExitCode {
             lint(with_deps, update_ratchet)
         }
         Some("fuzz") => fuzz(args.get(1..).unwrap_or(&[])),
+        Some("metrics-overhead") => metrics_overhead(),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -108,6 +109,38 @@ fn fuzz(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn metrics_overhead() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::overhead::check(&root) {
+        Ok(probe) => {
+            println!(
+                "metrics overhead: instrumented {:.2} ms vs compiled-out {:.2} ms \
+                 (ratio {:.3}, budget {:.2})",
+                probe.enabled_min_ms,
+                probe.disabled_min_ms,
+                probe.ratio,
+                xtask::overhead::MAX_RATIO
+            );
+            if probe.within_budget() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: instrumentation exceeds the overhead budget");
+                ExitCode::FAILURE
             }
         }
         Err(e) => {

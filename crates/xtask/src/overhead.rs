@@ -1,0 +1,131 @@
+//! The metrics-overhead guard: `cargo xtask metrics-overhead`.
+//!
+//! Builds and runs the `metrics_overhead` probe from `blot-bench`
+//! twice — once with the observability layer compiled in (the
+//! default) and once compiled down to no-ops (`--features obs-off`) —
+//! and compares the minimum per-round wall time of the two runs. The
+//! minimum is the right statistic here: it is the run least disturbed
+//! by scheduler noise, so the ratio isolates what the instrumentation
+//! itself costs on the query hot path.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Budget for the instrumented/compiled-out minimum-round-time ratio.
+pub const MAX_RATIO: f64 = 1.05;
+
+/// Result of one guard run: both probe timings and their ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe {
+    /// Minimum round time with metrics compiled in, in milliseconds.
+    pub enabled_min_ms: f64,
+    /// Minimum round time with metrics compiled out, in milliseconds.
+    pub disabled_min_ms: f64,
+    /// `enabled_min_ms / disabled_min_ms`.
+    pub ratio: f64,
+}
+
+impl Probe {
+    /// True when instrumentation stays within the [`MAX_RATIO`] budget.
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.ratio <= MAX_RATIO
+    }
+}
+
+/// Runs the overhead probe in both feature modes and returns the pair
+/// of timings.
+///
+/// # Errors
+///
+/// Returns a message when either probe build fails to run, exits
+/// non-zero, or prints output the guard cannot parse.
+pub fn check(root: &Path) -> Result<Probe, String> {
+    let enabled_min_ms = run_probe(root, false)?;
+    let disabled_min_ms = run_probe(root, true)?;
+    if disabled_min_ms <= 0.0 {
+        return Err(format!(
+            "compiled-out probe reported a non-positive round time ({disabled_min_ms} ms)"
+        ));
+    }
+    Ok(Probe {
+        enabled_min_ms,
+        disabled_min_ms,
+        ratio: enabled_min_ms / disabled_min_ms,
+    })
+}
+
+fn run_probe(root: &Path, obs_off: bool) -> Result<f64, String> {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root).args([
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "blot-bench",
+        "--bin",
+        "metrics_overhead",
+    ]);
+    if obs_off {
+        cmd.args(["--features", "obs-off"]);
+    }
+    let out = cmd
+        .output()
+        .map_err(|e| format!("cannot run the overhead probe: {e}"))?;
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        return Err(format!(
+            "overhead probe (obs_off={obs_off}) failed: {}{}",
+            stdout,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"min_ms\""))
+        .ok_or_else(|| format!("overhead probe printed no min_ms line:\n{stdout}"))?;
+    field_f64(line, "min_ms")
+        .ok_or_else(|| format!("cannot parse min_ms from probe output: {line}"))
+}
+
+/// Extracts a numeric field from one line of flat JSON. The probe's
+/// output is machine-generated and non-nested, so a key scan suffices —
+/// no JSON parser dependency in the audit tooling.
+fn field_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)?;
+    let rest = json.get(at + pat.len()..)?;
+    let end = rest.find([',', '}'])?;
+    rest.get(..end)?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_handles_probe_output() {
+        let line = r#"{"enabled":true,"rounds":12,"min_ms":98.078,"median_ms":100.66}"#;
+        assert_eq!(field_f64(line, "min_ms"), Some(98.078));
+        assert_eq!(field_f64(line, "median_ms"), Some(100.66));
+        assert_eq!(field_f64(line, "max_ms"), None);
+        assert_eq!(field_f64(line, "enabled"), None);
+    }
+
+    #[test]
+    fn budget_compares_on_ratio() {
+        let ok = Probe {
+            enabled_min_ms: 103.0,
+            disabled_min_ms: 100.0,
+            ratio: 1.03,
+        };
+        assert!(ok.within_budget());
+        let slow = Probe {
+            enabled_min_ms: 110.0,
+            disabled_min_ms: 100.0,
+            ratio: 1.10,
+        };
+        assert!(!slow.within_budget());
+    }
+}

@@ -52,6 +52,10 @@ pub enum Rule {
     /// `thread::Builder`) outside the shared scan-executor pool — all
     /// unit-granular parallelism must go through `ScanExecutor`.
     ThreadDiscipline,
+    /// A `static` holding an `Atomic*` in the instrumented crates —
+    /// global counters must be registered instruments in the
+    /// `blot-obs` registry, or they are invisible to snapshots.
+    MetricsDiscipline,
     /// A `codec::scheme` variant without a complete toolchain (encoder,
     /// decoder, round-trip proptest, fuzz target).
     Registry,
@@ -75,6 +79,7 @@ impl Rule {
             Rule::UnitSafety => "unit-safety",
             Rule::LockDiscipline => "lock-discipline",
             Rule::ThreadDiscipline => "thread-discipline",
+            Rule::MetricsDiscipline => "metrics-discipline",
             Rule::Registry => "registry",
             Rule::Ratchet => "ratchet",
             Rule::UnusedAllow => "unused-allow",
@@ -92,6 +97,7 @@ impl Rule {
             "unit-safety" => Rule::UnitSafety,
             "lock-discipline" => Rule::LockDiscipline,
             "thread-discipline" => Rule::ThreadDiscipline,
+            "metrics-discipline" => Rule::MetricsDiscipline,
             // `registry` and `ratchet` are workspace-level structural
             // checks and deliberately cannot be waived site by site.
             _ => return None,
@@ -184,6 +190,9 @@ pub struct RuleSet {
     /// No ad-hoc thread creation outside the executor pool (rule
     /// `thread-discipline`).
     pub thread_discipline: bool,
+    /// No `static` atomics outside the metrics registry (rule
+    /// `metrics-discipline`).
+    pub metrics_discipline: bool,
 }
 
 /// Keywords that can precede `[` without the bracket being an index
@@ -240,6 +249,9 @@ pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     }
     if rules.thread_discipline {
         scan_thread_spawns(file, &tokens, &sig, &mut raw);
+    }
+    if rules.metrics_discipline {
+        scan_static_atomics(file, &tokens, &sig, &mut raw);
     }
     if rules.unit_safety || rules.lock_discipline {
         let view = crate::ast::View::new(&tokens, &sig);
@@ -440,6 +452,42 @@ fn scan_thread_spawns(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Ve
                     ),
                 });
             }
+        }
+    }
+}
+
+/// Flags `static` items whose declared type mentions an `Atomic*`
+/// type: an ad-hoc global counter bypasses the `blot-obs` registry, so
+/// it never shows up in `metrics_snapshot()` or `blot stats`. The
+/// `'static` lifetime lexes as a single identifier starting with `'`,
+/// so only the keyword itself can match here; atomics owned by
+/// registry-managed instruments are instance fields and stay quiet.
+fn scan_static_atomics(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    let text = |j: usize| sig.get(j).map(|&i| tokens[i].text.as_str());
+    for j in 0..sig.len() {
+        if text(j) != Some("static") || tokens[sig[j]].kind != Kind::Ident {
+            continue;
+        }
+        // Walk the declaration's type portion: everything up to the
+        // initialiser `=` or the end of the item.
+        let mut k = j + 1;
+        while let Some(t) = text(k) {
+            if matches!(t, "=" | ";" | "{") {
+                break;
+            }
+            if t.starts_with("Atomic") {
+                out.push(Violation {
+                    rule: Rule::MetricsDiscipline,
+                    file: file.to_path_buf(),
+                    line: tokens[sig[j]].line,
+                    message: format!(
+                        "`static …: {t}` outside the metrics registry — register a \
+                         `blot_obs` instrument instead"
+                    ),
+                });
+                break;
+            }
+            k += 1;
         }
     }
 }

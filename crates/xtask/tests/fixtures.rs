@@ -18,6 +18,7 @@ const LEXER_RULES: RuleSet = RuleSet {
     unit_safety: false,
     lock_discipline: false,
     thread_discipline: false,
+    metrics_discipline: false,
 };
 
 const UNIT_RULES: RuleSet = RuleSet {
@@ -28,6 +29,7 @@ const UNIT_RULES: RuleSet = RuleSet {
     unit_safety: true,
     lock_discipline: false,
     thread_discipline: false,
+    metrics_discipline: false,
 };
 
 const LOCK_RULES: RuleSet = RuleSet {
@@ -38,6 +40,7 @@ const LOCK_RULES: RuleSet = RuleSet {
     unit_safety: false,
     lock_discipline: true,
     thread_discipline: false,
+    metrics_discipline: false,
 };
 
 const THREAD_RULES: RuleSet = RuleSet {
@@ -48,6 +51,18 @@ const THREAD_RULES: RuleSet = RuleSet {
     unit_safety: false,
     lock_discipline: false,
     thread_discipline: true,
+    metrics_discipline: false,
+};
+
+const METRICS_RULES: RuleSet = RuleSet {
+    panic: false,
+    indexing: false,
+    lossy_cast: false,
+    errors_doc: false,
+    unit_safety: false,
+    lock_discipline: false,
+    thread_discipline: false,
+    metrics_discipline: true,
 };
 
 fn audit_fixture(name: &str, rules: RuleSet) -> FileReport {
@@ -227,6 +242,29 @@ fn thread_discipline_rule_fires_on_creation_only() {
     assert!(
         !r.violations.iter().any(|v| v.line >= 20),
         "thread queries and test code must stay quiet: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn metrics_discipline_rule_fires_on_static_atomics_only() {
+    let r = audit_fixture("static_atomic.rs", METRICS_RULES);
+    // The two ad-hoc globals; instance fields, `'static` lifetimes,
+    // non-atomic statics and the #[cfg(test)] static stay quiet.
+    assert_eq!(
+        count(&r, Rule::MetricsDiscipline),
+        2,
+        "violations: {:?}",
+        r.violations
+    );
+    assert!(
+        !r.violations.iter().any(|v| v.line >= 14),
+        "only the two globals at the top may fire: {:?}",
+        r.violations
+    );
+    assert!(
+        r.violations.iter().all(|v| v.message.contains("blot_obs")),
+        "messages must point at the registry: {:?}",
         r.violations
     );
 }

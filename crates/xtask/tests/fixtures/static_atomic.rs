@@ -1,0 +1,49 @@
+//! Fixture: `static` atomics for the `metrics-discipline` rule. The
+//! two ad-hoc globals must fire; instance fields, `'static` lifetimes,
+//! non-atomic statics and test statics must stay quiet.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+// Violation: ad-hoc global counter invisible to the metrics registry.
+static QUERY_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// Violation: still a global, even behind `pub` and a container type.
+pub static SCAN_DEPTH: [AtomicUsize; 2] = [AtomicUsize::new(0), AtomicUsize::new(0)];
+
+// Quiet: an atomic as an instance field is owned by a registered
+// instrument, not a process-wide global.
+pub struct Inline {
+    hits: AtomicU64,
+}
+
+// Quiet: `&'static str` mentions the lifetime, not the keyword.
+pub fn name() -> &'static str {
+    "inline"
+}
+
+// Quiet: a non-atomic static.
+static LABEL: &str = "probe";
+
+pub fn bump() -> u64 {
+    QUERY_COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Quiet: test code may keep local atomics.
+    static TEST_HITS: AtomicU64 = AtomicU64::new(0);
+
+    #[test]
+    fn counts() {
+        TEST_HITS.fetch_add(1, Ordering::Relaxed);
+        let _ = Inline {
+            hits: AtomicU64::new(0),
+        };
+        assert_eq!(name(), "inline");
+        let _ = LABEL;
+        let _ = SCAN_DEPTH.len();
+        let _ = bump();
+    }
+}
