@@ -9,6 +9,9 @@
 //! blot scrub    --store ./store
 //! blot repair   --store ./store
 //! blot stats    --store ./store [--queries 12] [--json] [--band 0.5,2.0]
+//! blot serve    --store ./store [--addr 127.0.0.1:7407] [--max-conns 64] [--queue-depth 256]
+//! blot query    --remote 127.0.0.1:7407 --center LON,LAT,T --size W,H,T
+//! blot stats    --remote 127.0.0.1:7407 [--json]
 //! ```
 //!
 //! A store directory holds one file per storage unit plus
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
         "scrub" => cmd_scrub(&args),
         "repair" => cmd_repair(&args),
         "stats" => cmd_stats(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             pipe_println(USAGE);
             Ok(())
@@ -73,10 +77,13 @@ commands:
   build     --data FILE --store DIR --replica SPEC/ENC [--replica …] [--env local|cloud]
   info      --store DIR
   query     --store DIR --center LON,LAT,T --size W,H,T [--limit N] [--replica-id N]
+  query     --remote ADDR --center LON,LAT,T --size W,H,T [--limit N]
   select    --data FILE [--budget-copies X] [--exact] [--records N] [--env local|cloud]
   scrub     --store DIR
   repair    --store DIR
   stats     --store DIR [--queries N] [--json] [--band LO,HI]
+  stats     --remote ADDR [--json] [--band LO,HI]
+  serve     --store DIR [--addr HOST:PORT] [--max-conns N] [--queue-depth N] [--handlers N]
 
 replica syntax: S<spatial>xT<temporal>/<LAYOUT>-<CODEC>, e.g. S64xT16/COL-GZIP
   spatial ∈ {4,16,64,256,1024,4096}; temporal a power of two
@@ -236,32 +243,70 @@ fn pipe_println(line: &str) {
     }
 }
 
+/// Shared result rendering for the local and remote query paths.
+fn print_query_result(
+    records: &RecordBatch,
+    replica: u32,
+    partitions_scanned: usize,
+    sim_ms: f64,
+    makespan_ms: f64,
+    limit: usize,
+) {
+    pipe_println(&format!(
+        "{} records from replica {} — {} partitions scanned, {:.0} simulated ms ({:.0} ms wall)",
+        records.len(),
+        replica,
+        partitions_scanned,
+        sim_ms,
+        makespan_ms
+    ));
+    for r in records.iter().take(limit) {
+        pipe_println(&format!("  {}", r.to_csv_line()));
+    }
+    if records.len() > limit {
+        pipe_println(&format!("  … {} more", records.len() - limit));
+    }
+}
+
 fn cmd_query(args: &Args) -> Result<(), String> {
-    let store = open_store(args)?;
     let (cx, cy, ct) = parse_triple(args.require("center")?, "--center")?;
     let (w, h, t) = parse_triple(args.require("size")?, "--size")?;
     let range = Cuboid::from_centroid(Point::new(cx, cy, ct), QuerySize::new(w, h, t));
+    let limit = args.get_parsed::<usize>("limit")?.unwrap_or(5);
+    if let Some(addr) = args.get("remote") {
+        if args.get("replica-id").is_some() {
+            return Err(
+                "--replica-id is not supported with --remote (routing is server-side)".into(),
+            );
+        }
+        let mut client =
+            blot_server::Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+        let result = client.query(&range).map_err(|e| e.to_string())?;
+        print_query_result(
+            &result.records,
+            result.replica,
+            usize::try_from(result.partitions_scanned).unwrap_or(usize::MAX),
+            result.sim_ms,
+            result.makespan_ms,
+            limit,
+        );
+        return Ok(());
+    }
+    let store = open_store(args)?;
     let result = if let Some(id) = args.get_parsed::<u32>("replica-id")? {
         store.query_on(id, &range)
     } else {
         store.query(&range)
     }
     .map_err(|e| e.to_string())?;
-    pipe_println(&format!(
-        "{} records from replica {} — {} partitions scanned, {:.0} simulated ms ({:.0} ms wall)",
-        result.records.len(),
+    print_query_result(
+        &result.records,
         result.replica,
         result.partitions_scanned,
         result.sim_ms,
-        result.makespan_ms
-    ));
-    let limit = args.get_parsed::<usize>("limit")?.unwrap_or(5);
-    for r in result.records.iter().take(limit) {
-        pipe_println(&format!("  {}", r.to_csv_line()));
-    }
-    if result.records.len() > limit {
-        pipe_println(&format!("  … {} more", result.records.len() - limit));
-    }
+        result.makespan_ms,
+        limit,
+    );
     Ok(())
 }
 
@@ -394,38 +439,47 @@ fn parse_band(args: &Args) -> Result<DriftBand, String> {
     })
 }
 
-fn drift_to_json(report: &blot_core::obs::DriftReport) -> Json {
-    #[allow(clippy::cast_precision_loss)]
-    let schemes: Vec<Json> = report
-        .schemes
-        .iter()
-        .map(|s| {
-            Json::obj([
-                ("scheme", Json::Str(s.scheme.metric_label().to_owned())),
-                ("samples", Json::Num(s.samples as f64)),
-                ("median_ratio", Json::Num(s.median_ratio)),
-                ("mean_ratio", Json::Num(s.mean_ratio)),
-                ("flagged", Json::Bool(s.flagged)),
-            ])
-        })
-        .collect();
-    #[allow(clippy::cast_precision_loss)]
-    let band = Json::obj([
-        ("lo", Json::Num(report.band.lo)),
-        ("hi", Json::Num(report.band.hi)),
-        ("min_samples", Json::Num(report.band.min_samples as f64)),
-    ]);
-    Json::obj([
-        ("band", band),
-        ("calibrated", Json::Bool(report.is_calibrated())),
-        ("schemes", Json::Arr(schemes)),
-    ])
-}
+// The server's `Stats` reply and the local path must render drift
+// identically, so the JSON shape lives in `blot_server::stats`.
+use blot_server::stats::drift_to_json;
 
 /// Runs a deterministic probe workload (centroid queries of shrinking
 /// extent plus one scrub pass) against an existing store and reports
 /// the collected metrics and the cost-model drift per encoding scheme.
+/// `blot stats --remote ADDR`: fetch the server's `Stats` reply and
+/// render the same text/JSON the local path produces.
+fn cmd_stats_remote(args: &Args, addr: &str) -> Result<(), String> {
+    let band = if args.get("band").is_some() {
+        Some(parse_band(args)?)
+    } else {
+        None
+    };
+    let mut client =
+        blot_server::Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let json = client.stats(band).map_err(|e| e.to_string())?;
+    let doc = Json::parse(&json).map_err(|e| format!("server sent invalid stats JSON: {e}"))?;
+    if args.has("json") {
+        // Drop the pre-rendered text: the JSON consumer has the
+        // structured fields.
+        let filtered = match doc {
+            Json::Obj(pairs) => Json::Obj(pairs.into_iter().filter(|(k, _)| k != "text").collect()),
+            other => other,
+        };
+        pipe_println(&filtered.to_string());
+        return Ok(());
+    }
+    let text = doc
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "stats reply carries no text rendering".to_owned())?;
+    pipe_println(text.trim_end());
+    Ok(())
+}
+
 fn cmd_stats(args: &Args) -> Result<(), String> {
+    if let Some(addr) = args.get("remote") {
+        return cmd_stats_remote(args, addr);
+    }
     let store = open_store(args)?;
     let rounds = args.get_parsed::<u32>("queries")?.unwrap_or(12);
     let band = parse_band(args)?;
@@ -485,5 +539,66 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             damaged.len()
         ));
     }
+    Ok(())
+}
+
+/// `blot serve`: run the TCP serving layer over a store directory.
+///
+/// The workspace forbids `unsafe`, so there is no SIGTERM handler;
+/// shutdown is cooperative — EOF or a `quit`/`stop` line on stdin trips
+/// the latch, then the server drains in-flight requests and exits 0.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7407");
+    let mut config = blot_server::ServerConfig::default();
+    if let Some(n) = args.get_parsed::<usize>("max-conns")? {
+        config.max_conns = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<usize>("queue-depth")? {
+        config.queue_depth = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<usize>("handlers")? {
+        config.handlers = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<usize>("max-batch")? {
+        config.max_batch = n.max(1);
+    }
+    let server = blot_server::Server::start(std::sync::Arc::new(store), addr, config)
+        .map_err(|e| e.to_string())?;
+    pipe_println(&format!(
+        "serving on {} — EOF or `quit` on stdin shuts down",
+        server.local_addr()
+    ));
+    let flag = server.shutdown_flag();
+    {
+        let flag = flag.clone();
+        // Watcher thread: lives for the process; detached on exit.
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        let word = line.trim();
+                        if word.eq_ignore_ascii_case("quit") || word.eq_ignore_ascii_case("stop") {
+                            break;
+                        }
+                    }
+                }
+            }
+            flag.trigger();
+        });
+    }
+    flag.wait();
+    pipe_println("shutting down — draining in-flight requests");
+    let report = server.shutdown(std::time::Duration::from_secs(30));
+    let served = report.snapshot.counter("server.requests").unwrap_or(0);
+    let shed = report.snapshot.counter("server.shed").unwrap_or(0);
+    pipe_println(&format!(
+        "drained (threads joined: {}, scan pool drained: {}) — {served} requests served, {shed} shed",
+        report.threads_joined, report.pool_drained
+    ));
     Ok(())
 }

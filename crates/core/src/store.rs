@@ -13,9 +13,8 @@ use std::sync::Arc;
 use blot_geo::Cuboid;
 use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
-use blot_obs::{Snapshot, Span};
-use blot_storage::job::MapOnlyJob;
-use blot_storage::scan::{run_scan, ScanTask};
+use blot_obs::{MetricsRegistry, Snapshot, Span};
+use blot_storage::scan::{run_scan, ScanReport, ScanTask};
 use blot_storage::sync::Mutex;
 use blot_storage::{Backend, EnvProfile, ScanExecutor, StorageError, UnitKey};
 
@@ -224,6 +223,12 @@ impl<B: Backend + 'static> BlotStore<B> {
     #[must_use]
     pub fn universe(&self) -> Cuboid {
         self.universe
+    }
+
+    /// The calibrated cost model routing queries.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
     }
 
     /// Total encoded bytes across all replicas.
@@ -445,12 +450,21 @@ impl<B: Backend + 'static> BlotStore<B> {
         self.metrics.queries.inc();
         let _span = Span::start(&self.metrics.query_wall_ms);
         let order = self.route(range);
-        if order.is_empty() {
-            return Err(CoreError::NoReplicas);
-        }
-        let mut failed_over = Vec::new();
-        let mut last_err: Option<StorageError> = None;
-        for id in order {
+        self.query_failover(range, &order, Vec::new(), None)
+    }
+
+    /// Runs `query_on` down a ranked replica list, recording failovers,
+    /// until one replica answers. `failed_over` and `last_err` seed the
+    /// state for callers (the batch path) that already burned the
+    /// cheapest replica.
+    fn query_failover(
+        &self,
+        range: &Cuboid,
+        order: &[u32],
+        mut failed_over: Vec<u32>,
+        mut last_err: Option<StorageError>,
+    ) -> Result<QueryResult, CoreError> {
+        for &id in order {
             match self.query_on(id, range) {
                 Ok(mut result) => {
                     self.metrics
@@ -475,20 +489,19 @@ impl<B: Backend + 'static> BlotStore<B> {
         }
     }
 
-    /// Executes a range query on a specific replica (§II-D: find the
-    /// involved partitions, scan each in a map-only job, filter).
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::NoSuchReplica`] — unknown id;
-    /// * [`CoreError::Storage`] — a unit could not be read or decoded.
-    pub fn query_on(&self, id: u32, range: &Cuboid) -> Result<QueryResult, CoreError> {
+    /// Plans a query on one replica: predicted `Cost(q, r)` (Eq. 6/7,
+    /// captured before execution so the drift histogram compares the
+    /// same quantity routing used) plus one scan task per involved
+    /// partition.
+    fn plan_on(
+        &self,
+        id: u32,
+        range: &Cuboid,
+    ) -> Result<(&BuiltReplica, f64, Vec<ScanTask>), CoreError> {
         let replica = self
             .replicas
             .get(id as usize)
             .ok_or(CoreError::NoSuchReplica { id })?;
-        // Predicted Cost(q, r) (Eq. 6/7), captured before execution so
-        // the drift histogram compares the same quantity routing used.
         #[allow(clippy::cast_precision_loss)]
         let predicted = self.model.concrete_query_cost(
             range,
@@ -496,8 +509,9 @@ impl<B: Backend + 'static> BlotStore<B> {
             replica.config.encoding,
             replica.records as f64,
         );
-        let involved = replica.scheme.involved(range);
-        let tasks: Vec<ScanTask> = involved
+        let tasks: Vec<ScanTask> = replica
+            .scheme
+            .involved(range)
             .iter()
             .map(|&pid| {
                 Ok(ScanTask {
@@ -510,40 +524,198 @@ impl<B: Backend + 'static> BlotStore<B> {
                 })
             })
             .collect::<Result<_, CoreError>>()?;
-        let job = MapOnlyJob::fully_parallel(tasks);
-        let report = job.run(&self.pool, &self.backend_dyn(), &self.env)?;
+        Ok((replica, predicted.get(), tasks))
+    }
+
+    /// Turns the per-partition scan reports of one planned query into a
+    /// [`QueryResult`], recording the store and replica instruments
+    /// exactly as a standalone `query_on` would. With one mapper slot
+    /// per task (the paper's fully-parallel configuration) the
+    /// simulated makespan is the longest single task.
+    fn assemble(
+        &self,
+        replica: &BuiltReplica,
+        predicted: f64,
+        reports: &[ScanReport],
+    ) -> QueryResult {
         let mut records = RecordBatch::new();
-        for r in &report.reports {
+        for r in reports {
             records.extend_from(&r.output);
         }
-        self.metrics.units_scanned.add(report.reports.len() as u64);
+        let total_ms: f64 = reports.iter().map(|r| r.sim_ms).sum();
+        let makespan_ms = reports.iter().map(|r| r.sim_ms).fold(0.0, f64::max);
+        self.metrics.units_scanned.add(reports.len() as u64);
         self.metrics
             .decode_counter(replica.config.encoding)
-            .add(report.reports.len() as u64);
-        self.metrics.records_decoded.add(
-            report
-                .reports
-                .iter()
-                .map(|r| r.records_scanned as u64)
-                .sum(),
-        );
+            .add(reports.len() as u64);
+        self.metrics
+            .records_decoded
+            .add(reports.iter().map(|r| r.records_scanned as u64).sum());
         self.metrics
             .bytes_read
-            .add(report.reports.iter().map(|r| r.bytes).sum());
-        self.metrics.query_sim_ms.record(report.total_ms);
+            .add(reports.iter().map(|r| r.bytes).sum());
+        self.metrics.query_sim_ms.record(total_ms);
         replica.obs.queries.inc();
-        replica.obs.sim_ms.record(report.total_ms);
-        if report.total_ms > 0.0 {
-            replica.obs.drift.record(predicted.get() / report.total_ms);
+        replica.obs.sim_ms.record(total_ms);
+        if total_ms > 0.0 {
+            replica.obs.drift.record(predicted / total_ms);
         }
-        Ok(QueryResult {
+        QueryResult {
             records,
-            replica: id,
-            sim_ms: report.total_ms,
-            makespan_ms: report.makespan_ms,
-            partitions_scanned: involved.len(),
+            replica: replica.id,
+            sim_ms: total_ms,
+            makespan_ms,
+            partitions_scanned: reports.len(),
             failed_over: Vec::new(),
-        })
+        }
+    }
+
+    /// Executes a range query on a specific replica (§II-D: find the
+    /// involved partitions, scan each in a map-only job, filter).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoSuchReplica`] — unknown id;
+    /// * [`CoreError::Storage`] — a unit could not be read or decoded.
+    pub fn query_on(&self, id: u32, range: &Cuboid) -> Result<QueryResult, CoreError> {
+        let (replica, predicted, tasks) = self.plan_on(id, range)?;
+        let env = self.env;
+        let backend = self.backend_dyn();
+        let closures: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                let backend = Arc::clone(&backend);
+                move || run_scan(backend.as_ref(), &env, &task)
+            })
+            .collect();
+        let reports = self.pool.execute_all(closures)?;
+        Ok(self.assemble(replica, predicted, &reports))
+    }
+
+    /// Executes a micro-batch of range queries in **one** pooled
+    /// `execute_all` round: every query is routed to its cheapest
+    /// replica, the scan tasks of all queries are flattened into a
+    /// single batch (so a burst of small queries pays the pool's
+    /// submission overhead once), and per-query results are sliced back
+    /// out in order. A query whose cheapest replica fails falls over to
+    /// the remaining replicas serially, exactly like [`query`]; one
+    /// query's failure never aborts its neighbours.
+    ///
+    /// The returned vector holds one entry per input range, in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The call itself is infallible; each element is `Err` under the
+    /// same conditions as [`query`](Self::query)
+    /// ([`CoreError::NoReplicas`], [`CoreError::Storage`], …).
+    pub fn query_batch(&self, ranges: &[Cuboid]) -> Vec<Result<QueryResult, CoreError>> {
+        struct Pending<'a> {
+            index: usize,
+            range: Cuboid,
+            first: u32,
+            rest: Vec<u32>,
+            replica: &'a BuiltReplica,
+            predicted: f64,
+            n_tasks: usize,
+        }
+        type ScanClosure = Box<
+            dyn FnOnce() -> Result<Result<ScanReport, StorageError>, StorageError> + Send + 'static,
+        >;
+        let mut results: Vec<Option<Result<QueryResult, CoreError>>> =
+            ranges.iter().map(|_| None).collect();
+        let mut pending: Vec<Pending<'_>> = Vec::new();
+        let mut closures: Vec<ScanClosure> = Vec::new();
+        let env = self.env;
+        let shared_backend = self.backend_dyn();
+        for (index, range) in ranges.iter().enumerate() {
+            if let Some(log) = &self.log {
+                log.lock().observe(range);
+            }
+            self.metrics.queries.inc();
+            let mut order = self.route(range);
+            let planned = match order.first().copied() {
+                None => Some(Err(CoreError::NoReplicas)),
+                Some(first) => match self.plan_on(first, range) {
+                    // Scan failures stay *inside* the closure result so
+                    // one damaged replica aborts only its own query,
+                    // not the whole batch.
+                    Ok((replica, predicted, tasks)) => {
+                        let n_tasks = tasks.len();
+                        for task in tasks {
+                            let backend = Arc::clone(&shared_backend);
+                            closures.push(Box::new(move || {
+                                Ok(run_scan(backend.as_ref(), &env, &task))
+                            }));
+                        }
+                        order.remove(0);
+                        pending.push(Pending {
+                            index,
+                            range: *range,
+                            first,
+                            rest: order,
+                            replica,
+                            predicted,
+                            n_tasks,
+                        });
+                        None
+                    }
+                    Err(e) => Some(Err(e)),
+                },
+            };
+            if let (Some(r), Some(slot)) = (planned, results.get_mut(index)) {
+                *slot = Some(r);
+            }
+        }
+        match self.pool.execute_all(closures) {
+            Ok(outcomes) => {
+                let mut cursor = outcomes.into_iter();
+                for p in pending {
+                    let mut reports = Vec::with_capacity(p.n_tasks);
+                    let mut scan_err: Option<StorageError> = None;
+                    for _ in 0..p.n_tasks {
+                        match cursor.next() {
+                            Some(Ok(report)) => reports.push(report),
+                            Some(Err(e)) => scan_err = Some(e),
+                            None => scan_err = Some(StorageError::WorkerPanicked),
+                        }
+                    }
+                    let result = match scan_err {
+                        None => {
+                            let r = self.assemble(p.replica, p.predicted, &reports);
+                            self.metrics.records_returned.add(r.records.len() as u64);
+                            Ok(r)
+                        }
+                        // The cheapest replica failed mid-scan: fail
+                        // over down the rest of the ranking, seeded so
+                        // a store with no surviving replica reports the
+                        // storage error, not `NoReplicas`.
+                        Some(e) => self.query_failover(&p.range, &p.rest, vec![p.first], Some(e)),
+                    };
+                    if let Some(slot) = results.get_mut(p.index) {
+                        *slot = Some(result);
+                    }
+                }
+            }
+            // The pooled round itself died (a task panicked hard
+            // enough to abort the batch): re-run each planned query
+            // through the serial failover path.
+            Err(_) => {
+                for p in pending {
+                    let mut order = Vec::with_capacity(p.rest.len() + 1);
+                    order.push(p.first);
+                    order.extend_from_slice(&p.rest);
+                    let result = self.query_failover(&p.range, &order, Vec::new(), None);
+                    if let Some(slot) = results.get_mut(p.index) {
+                        *slot = Some(result);
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(CoreError::NoReplicas)))
+            .collect()
     }
 
     /// Reads every storage unit of every replica (verification scans
@@ -783,6 +955,76 @@ impl<B: Backend + 'static> BlotStore<B> {
         Ok(report)
     }
 }
+
+/// A shared, thread-safe handle to a store, for subsystems (the server,
+/// background scrubbers) that answer queries from many threads at once.
+pub type SharedStore<B> = Arc<BlotStore<B>>;
+
+/// The query-side surface a serving layer needs, object-safe and
+/// backend-agnostic: answer range queries (singly or micro-batched),
+/// expose the metrics registry and drift report, and share the scan
+/// executor so a server can drain it on shutdown.
+pub trait QueryService: Send + Sync {
+    /// Routes and executes one range query with failover.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BlotStore::query`]: [`CoreError::NoReplicas`]
+    /// when the store is empty, [`CoreError::Storage`] when every
+    /// candidate replica failed.
+    fn query(&self, range: &Cuboid) -> Result<QueryResult, CoreError>;
+
+    /// Executes a micro-batch of queries in one pooled round; one entry
+    /// per input range, in order. See [`BlotStore::query_batch`].
+    fn query_batch(&self, ranges: &[Cuboid]) -> Vec<Result<QueryResult, CoreError>>;
+
+    /// A handle to the registry all of this service's instruments live
+    /// in, so a server can register its own alongside them.
+    fn metrics_registry(&self) -> MetricsRegistry;
+
+    /// Cost-model drift, per encoding scheme.
+    fn drift_report(&self, band: DriftBand) -> DriftReport;
+
+    /// The data universe (used to validate / clamp remote queries).
+    fn universe(&self) -> Cuboid;
+
+    /// The scan executor the service runs on, so graceful shutdown can
+    /// drain it after the last request completes.
+    fn executor(&self) -> Arc<ScanExecutor>;
+}
+
+impl<B: Backend + 'static> QueryService for BlotStore<B> {
+    fn query(&self, range: &Cuboid) -> Result<QueryResult, CoreError> {
+        BlotStore::query(self, range)
+    }
+
+    fn query_batch(&self, ranges: &[Cuboid]) -> Vec<Result<QueryResult, CoreError>> {
+        BlotStore::query_batch(self, ranges)
+    }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.metrics.registry().clone()
+    }
+
+    fn drift_report(&self, band: DriftBand) -> DriftReport {
+        BlotStore::drift_report(self, band)
+    }
+
+    fn universe(&self) -> Cuboid {
+        BlotStore::universe(self)
+    }
+
+    fn executor(&self) -> Arc<ScanExecutor> {
+        Arc::clone(&self.pool)
+    }
+}
+
+// The server hands one store to many connection threads; losing either
+// auto-trait would surface as a distant, confusing bound failure there.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<BlotStore<blot_storage::MemBackend>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -1052,5 +1294,69 @@ mod tests {
             store.query_on(9, &u),
             Err(CoreError::NoSuchReplica { id: 9 })
         ));
+    }
+
+    #[test]
+    fn query_batch_matches_serial_query() {
+        let (store, data) = small_store();
+        let u = store.universe();
+        let mut ranges = vec![test_query(&store), u];
+        for k in 1..5_u32 {
+            let f = f64::from(k) / 6.0;
+            ranges.push(Cuboid::from_centroid(
+                u.centroid(),
+                QuerySize::new(u.extent(0) * f, u.extent(1) * f, u.extent(2) * f),
+            ));
+        }
+        let batch = store.query_batch(&ranges);
+        assert_eq!(batch.len(), ranges.len());
+        for (q, result) in ranges.iter().zip(batch) {
+            let got = result.unwrap();
+            let serial = store.query(q).unwrap();
+            assert_eq!(got.records, serial.records, "records must be bit-identical");
+            assert_eq!(got.replica, serial.replica);
+            assert_eq!(got.partitions_scanned, serial.partitions_scanned);
+            assert_eq!(got.records.len(), data.count_in_range(q));
+            assert!(got.failed_over.is_empty());
+        }
+    }
+
+    #[test]
+    fn query_batch_fails_over_per_query() {
+        let (store, data) = small_store();
+        let q = test_query(&store);
+        let first = store.route(&q)[0];
+        // Kill the cheapest replica for this query: the batch path must
+        // fail over to the survivor without disturbing its neighbours.
+        for pid in 0..store.replicas()[first as usize].scheme.len() {
+            store.backend().inject(
+                UnitKey {
+                    replica: first,
+                    partition: u32::try_from(pid).unwrap_or(u32::MAX),
+                },
+                FailureMode::Drop,
+            );
+        }
+        let batch = store.query_batch(&[q, q]);
+        for result in batch {
+            let got = result.unwrap();
+            assert_ne!(got.replica, first);
+            assert_eq!(got.failed_over, vec![first]);
+            assert_eq!(got.records.len(), data.count_in_range(&q));
+        }
+    }
+
+    #[test]
+    fn query_batch_on_empty_input_and_empty_store() {
+        let (store, _) = small_store();
+        assert!(store.query_batch(&[]).is_empty());
+        let empty: BlotStore<MemBackend> = BlotStore::new(
+            MemBackend::new(),
+            EnvProfile::local_cluster(),
+            store.universe(),
+            store.model().clone(),
+        );
+        let batch = empty.query_batch(&[store.universe()]);
+        assert!(matches!(batch.as_slice(), [Err(CoreError::NoReplicas)]));
     }
 }

@@ -32,11 +32,13 @@ mod counter;
 mod export;
 mod histogram;
 mod registry;
+mod server;
 mod span;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricsRegistry, Snapshot};
+pub use server::ServerMetrics;
 pub use span::Span;
 
 /// True when the record path is compiled in (the `off` feature is not

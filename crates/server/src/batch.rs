@@ -1,0 +1,334 @@
+//! Admission control and query micro-batching.
+//!
+//! Every `RangeQuery` a connection handler decodes goes through the
+//! bounded [`AdmissionQueue`]. A full queue sheds the query immediately
+//! with [`SubmitError::Overloaded`] (carrying a retry-after hint sized
+//! from the most recent batch's wall time) — the queue never grows
+//! without bound and the connection never blocks inside `submit`. A
+//! single batcher thread drains the queue in FIFO order, groups up to
+//! `max_batch` queries, and executes them in **one**
+//! [`QueryService::query_batch`] round, so a burst of small queries
+//! pays the scan-pool submission overhead once instead of per query.
+//!
+//! Results travel back to the waiting connection handler through a
+//! [`ResponseSlot`] — a one-shot mutex/condvar cell.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, PoisonError};
+use std::time::{Duration, Instant};
+
+use blot_core::prelude::*;
+use blot_obs::ServerMetrics;
+use blot_storage::sync::Mutex;
+use blot_storage::StorageError;
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity; retry after the hint.
+    Overloaded {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server is draining and admits no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "admission queue full; retry after {retry_after_ms} ms")
+            }
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<SubmitError>()
+};
+
+/// A one-shot result cell: the batcher fills it, the connection handler
+/// waits on it.
+#[derive(Debug, Default)]
+pub struct ResponseSlot {
+    cell: Mutex<Option<Result<QueryResult, CoreError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Stores the result and wakes the waiter. A second fill is ignored
+    /// (the slot is one-shot).
+    pub fn fill(&self, result: Result<QueryResult, CoreError>) {
+        let mut cell = self.cell.lock();
+        if cell.is_none() {
+            *cell = Some(result);
+        }
+        drop(cell);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the slot is filled or `timeout` elapses; `None`
+    /// means the batcher never answered in time.
+    ///
+    /// # Errors
+    ///
+    /// The inner `Result` is the query's own outcome as produced by
+    /// the batcher: any [`CoreError`] from routing or scanning.
+    #[must_use]
+    pub fn wait(&self, timeout: Duration) -> Option<Result<QueryResult, CoreError>> {
+        let deadline = Instant::now() + timeout;
+        let mut cell = self.cell.lock();
+        while cell.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // `storage::sync::Mutex` hands out a std guard, so the
+            // condvar composes; recover from poisoning like the lock
+            // itself does.
+            let (guard, _timed_out) = self
+                .ready
+                .wait_timeout(cell, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            cell = guard;
+        }
+        cell.take()
+    }
+}
+
+struct PendingQuery {
+    range: Cuboid,
+    slot: Arc<ResponseSlot>,
+}
+
+impl std::fmt::Debug for PendingQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingQuery")
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The bounded queue between connection handlers and the batcher.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    pending: Mutex<VecDeque<PendingQuery>>,
+    submitted: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    linger: Duration,
+    closed: AtomicBool,
+    /// Wall time of the most recent batch, feeding the retry-after
+    /// hint: a client should wait roughly two batch rounds.
+    last_batch_ms: AtomicU32,
+    metrics: ServerMetrics,
+}
+
+/// Floor for the retry-after hint, so an idle server still tells
+/// clients to back off a little instead of hammering.
+const MIN_RETRY_HINT_MS: u32 = 25;
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `capacity` waiting queries,
+    /// batching up to `max_batch` of them per round after lingering
+    /// `linger` for stragglers.
+    #[must_use]
+    pub fn new(
+        capacity: usize,
+        max_batch: usize,
+        linger: Duration,
+        metrics: ServerMetrics,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            pending: Mutex::new(VecDeque::new()),
+            submitted: Condvar::new(),
+            capacity: capacity.max(1),
+            max_batch: max_batch.max(1),
+            linger,
+            closed: AtomicBool::new(false),
+            last_batch_ms: AtomicU32::new(0),
+            metrics,
+        })
+    }
+
+    /// Admits one query, returning the slot its result will arrive in.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] once [`close`](Self::close) ran.
+    /// Neither blocks.
+    pub fn submit(&self, range: Cuboid) -> Result<Arc<ResponseSlot>, SubmitError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let slot = ResponseSlot::new();
+        {
+            let mut pending = self.pending.lock();
+            if pending.len() >= self.capacity {
+                drop(pending);
+                self.metrics.shed.inc();
+                return Err(SubmitError::Overloaded {
+                    retry_after_ms: self.retry_hint_ms(),
+                });
+            }
+            pending.push_back(PendingQuery {
+                range,
+                slot: Arc::clone(&slot),
+            });
+            self.metrics.queue_depth.add(1);
+        }
+        self.submitted.notify_all();
+        Ok(slot)
+    }
+
+    /// Current retry-after suggestion: about two batch rounds.
+    fn retry_hint_ms(&self) -> u32 {
+        self.last_batch_ms
+            .load(Ordering::Relaxed)
+            .saturating_mul(2)
+            .max(MIN_RETRY_HINT_MS)
+    }
+
+    /// Stops admitting new queries. Already-queued queries still run;
+    /// the batcher exits once the queue is empty.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.submitted.notify_all();
+    }
+
+    /// True once [`close`](Self::close) ran.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Queries currently waiting (test/diagnostic helper).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Blocks until at least one query is queued or the queue is
+    /// closed, then drains up to `max_batch` queries. `None` means
+    /// closed *and* drained: the batcher should exit.
+    fn next_batch(&self) -> Option<Vec<PendingQuery>> {
+        let mut pending = self.pending.lock();
+        while pending.is_empty() {
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .submitted
+                .wait_timeout(pending, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            pending = guard;
+        }
+        drop(pending);
+        // Linger briefly so a burst arriving over a few hundred
+        // microseconds coalesces into one pooled round.
+        if !self.linger.is_zero() {
+            std::thread::sleep(self.linger);
+        }
+        let mut pending = self.pending.lock();
+        let take = pending.len().min(self.max_batch);
+        let batch: Vec<PendingQuery> = pending.drain(..take).collect();
+        drop(pending);
+        self.metrics
+            .queue_depth
+            .add(-(i64::try_from(batch.len()).unwrap_or(i64::MAX)));
+        Some(batch)
+    }
+}
+
+/// The batcher loop: drains the queue until it is closed *and* empty,
+/// executing each batch in one [`QueryService::query_batch`] round.
+/// Run on a dedicated thread by `Server::start`.
+pub fn run_batcher<S: QueryService + ?Sized>(service: &S, queue: &AdmissionQueue) {
+    while let Some(batch) = queue.next_batch() {
+        let started = Instant::now();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            queue.metrics.batches.inc();
+            queue.metrics.batch_size.record(batch.len() as f64);
+        }
+        let ranges: Vec<Cuboid> = batch.iter().map(|p| p.range).collect();
+        let mut results = service.query_batch(&ranges).into_iter();
+        for p in batch {
+            // `query_batch` returns exactly one entry per range; a
+            // short answer would be an internal bug, surfaced to the
+            // client as a storage-class error rather than a hang.
+            let result = results
+                .next()
+                .unwrap_or(Err(CoreError::Storage(StorageError::WorkerPanicked)));
+            p.slot.fill(result);
+        }
+        let elapsed = started.elapsed().as_millis();
+        queue.last_batch_ms.store(
+            u32::try_from(elapsed).unwrap_or(u32::MAX),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
+
+    use super::*;
+    use blot_obs::MetricsRegistry;
+
+    fn metrics() -> ServerMetrics {
+        ServerMetrics::register(&MetricsRegistry::new())
+    }
+
+    #[test]
+    fn queue_sheds_above_capacity_without_blocking() {
+        let q = AdmissionQueue::new(2, 8, Duration::ZERO, metrics());
+        let range = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 1.0));
+        assert!(q.submit(range).is_ok());
+        assert!(q.submit(range).is_ok());
+        match q.submit(range) {
+            Err(SubmitError::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms >= MIN_RETRY_HINT_MS);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_with_shutting_down() {
+        let q = AdmissionQueue::new(4, 8, Duration::ZERO, metrics());
+        q.close();
+        let range = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 1.0));
+        assert!(matches!(q.submit(range), Err(SubmitError::ShuttingDown)));
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn response_slot_times_out_then_delivers() {
+        let slot = ResponseSlot::new();
+        assert!(slot.wait(Duration::from_millis(10)).is_none());
+        slot.fill(Err(CoreError::NoReplicas));
+        match slot.wait(Duration::from_millis(10)) {
+            Some(Err(CoreError::NoReplicas)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! A blocking client for the BLOT wire protocol.
+//!
+//! One [`Client`] owns one TCP connection, reconnecting once per call
+//! if the transport drops. [`Client::query`] retries `Overloaded`
+//! replies with capped exponential backoff, honouring the server's
+//! retry-after hint — the behaviour both `blot query --remote` and the
+//! load generator want. [`Client::query_once`] exposes the raw
+//! single-shot outcome for overload tests and latency measurement.
+
+use std::fmt;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use blot_core::obs::DriftBand;
+use blot_geo::Cuboid;
+
+use crate::wire::{
+    self, ErrorCode, Frame, FrameError, RemoteQueryResult, Request, Response, WireError,
+};
+
+/// Client-side tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-read/write transport timeout.
+    pub io_timeout: Duration,
+    /// Retry attempts for an `Overloaded` query before giving up.
+    pub max_retries: u32,
+    /// Backoff ceiling between retries.
+    pub max_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            io_timeout: Duration::from_secs(10),
+            max_retries: 8,
+            max_backoff: Duration::from_millis(2000),
+        }
+    }
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a frame.
+    Frame(FrameError),
+    /// The server answered with a structured error.
+    Server(WireError),
+    /// The server answered with the wrong reply kind.
+    Protocol {
+        /// What the client was waiting for.
+        expected: &'static str,
+    },
+    /// Every retry of an `Overloaded` query was shed.
+    Exhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Frame(e) => write!(f, "protocol error: {e}"),
+            Self::Server(e) => write!(f, "server error: {e}"),
+            Self::Protocol { expected } => {
+                write!(f, "unexpected reply kind (wanted {expected})")
+            }
+            Self::Exhausted { attempts } => {
+                write!(f, "server overloaded after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => Self::Io(io),
+            other => Self::Frame(other),
+        }
+    }
+}
+
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<ClientError>()
+};
+
+/// A blocking BLOT client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+    config: ClientConfig,
+    /// Cumulative `Overloaded` retries performed by [`Client::query`].
+    retries: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7407"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the connection cannot be established.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit tunables.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the connection cannot be established.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Self, ClientError> {
+        let mut client = Self {
+            addr: addr.to_owned(),
+            stream: None,
+            config,
+            retries: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            self.stream = Some(stream);
+        }
+        self.stream.as_mut().ok_or(ClientError::Protocol {
+            expected: "connection",
+        })
+    }
+
+    /// One request/reply exchange; a transport error drops the cached
+    /// connection so the next call reconnects.
+    fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let (kind, payload) = request.encode();
+        let result = (|| {
+            let stream = self.ensure_connected()?;
+            wire::write_frame(stream, kind, &payload)?;
+            let frame: Frame = wire::read_frame(stream)?;
+            Ok(Response::decode(&frame)?)
+        })();
+        if matches!(result, Err(ClientError::Io(_))) {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors; [`ClientError::Server`] if the server
+    /// answered with an error frame.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol { expected: "Pong" }),
+        }
+    }
+
+    /// One query attempt, no retry: `Ok(Ok(result))`, or
+    /// `Ok(Err(wire_error))` when the server answered with a structured
+    /// error (e.g. `Overloaded`).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors only; server-side errors land in the
+    /// inner `Result`.
+    pub fn query_once(
+        &mut self,
+        range: &Cuboid,
+    ) -> Result<Result<RemoteQueryResult, WireError>, ClientError> {
+        match self.exchange(&Request::RangeQuery(*range))? {
+            Response::QueryOk(r) => Ok(Ok(*r)),
+            Response::Error(e) => Ok(Err(e)),
+            _ => Err(ClientError::Protocol {
+                expected: "QueryOk",
+            }),
+        }
+    }
+
+    /// Executes a range query, retrying `Overloaded` replies with
+    /// backoff (the server's retry-after hint, doubled per attempt, and
+    /// capped by the config ceiling).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] when every attempt was shed;
+    /// [`ClientError::Server`] for non-overload server errors;
+    /// transport/protocol errors as usual.
+    pub fn query(&mut self, range: &Cuboid) -> Result<RemoteQueryResult, ClientError> {
+        let attempts = self.config.max_retries.saturating_add(1);
+        let mut backoff = Duration::from_millis(10);
+        for attempt in 0..attempts {
+            match self.query_once(range)? {
+                Ok(result) => return Ok(result),
+                Err(e) if e.code == ErrorCode::Overloaded => {
+                    self.retries += 1;
+                    let hinted = Duration::from_millis(u64::from(e.retry_after_ms));
+                    let wait = hinted.max(backoff).min(self.config.max_backoff);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(wait);
+                    }
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(ClientError::Server(e)),
+            }
+        }
+        Err(ClientError::Exhausted { attempts })
+    }
+
+    /// Fetches the server's stats snapshot as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors; [`ClientError::Server`] for error
+    /// replies.
+    pub fn stats(&mut self, band: Option<DriftBand>) -> Result<String, ClientError> {
+        match self.exchange(&Request::Stats(band))? {
+            Response::StatsOk(json) => Ok(json),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol {
+                expected: "StatsOk",
+            }),
+        }
+    }
+
+    /// Cumulative `Overloaded` retries performed by [`Client::query`]
+    /// over this client's lifetime.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}

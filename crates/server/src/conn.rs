@@ -1,0 +1,380 @@
+//! The accept loop and connection handlers.
+//!
+//! This file is the only place in the workspace's serving layer that
+//! creates OS threads (the `thread-discipline` audit waives exactly
+//! these sites): one accept-loop thread, a fixed pool of connection
+//! handlers, and the batcher. All *scan* parallelism still runs on the
+//! shared [`blot_storage::ScanExecutor`], reached through
+//! [`QueryService::query_batch`].
+//!
+//! Connection lifecycle: the accept loop admits a socket if the open-
+//! connection count is under `max_conns` (otherwise it replies
+//! `Overloaded` and closes — never a silent drop), then parks it on
+//! the [`ConnQueue`] until a handler picks it up. Handlers poll one
+//! byte at a time between frames so shutdown and idle deadlines are
+//! observed within a tick (~150 ms) even on a silent connection.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use blot_core::prelude::*;
+use blot_obs::ServerMetrics;
+use blot_storage::sync::Mutex;
+
+use crate::batch::{AdmissionQueue, SubmitError};
+use crate::server::ServerConfig;
+use crate::shutdown::ShutdownFlag;
+use crate::stats;
+use crate::wire::{
+    self, ErrorCode, Frame, FrameError, RemoteQueryResult, Request, Response, WireError,
+};
+
+/// How often blocked loops (accept, frame poll) re-check the shutdown
+/// flag and deadlines.
+const POLL_TICK: Duration = Duration::from_millis(150);
+/// Accept-loop poll interval while no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+/// Spawns a named service thread. Centralised here so the
+/// `thread-discipline` waiver covers every serving-layer spawn site.
+///
+/// # Errors
+///
+/// Propagates the OS error if the thread cannot be created.
+pub(crate) fn spawn_named(
+    name: &str,
+    f: impl FnOnce() + Send + 'static,
+) -> std::io::Result<JoinHandle<()>> {
+    // audit: allow(thread-discipline, serving-layer accept/handler/batcher threads are long-lived I/O loops, not unit-scan work; scans still run on the shared ScanExecutor)
+    std::thread::Builder::new()
+        .name(format!("blot-server-{name}"))
+        .spawn(f)
+}
+
+/// Bounded hand-off of accepted sockets from the accept loop to the
+/// handler pool.
+#[derive(Debug, Default)]
+pub(crate) struct ConnQueue {
+    sockets: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    closed: AtomicBool,
+}
+
+impl ConnQueue {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn push(&self, stream: TcpStream) {
+        self.sockets.lock().push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a socket arrives or the queue closes. `None` means
+    /// closed and drained: the handler should exit.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut sockets = self.sockets.lock();
+        loop {
+            if let Some(stream) = sockets.pop_front() {
+                return Some(stream);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .ready
+                .wait_timeout(sockets, POLL_TICK)
+                .unwrap_or_else(PoisonError::into_inner);
+            sockets = guard;
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+}
+
+/// Everything a connection thread needs, cheaply clonable.
+pub(crate) struct ConnContext<S: ?Sized> {
+    pub(crate) service: Arc<S>,
+    pub(crate) queue: Arc<AdmissionQueue>,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) flag: ShutdownFlag,
+    pub(crate) config: ServerConfig,
+    /// Open connections (admitted by the accept loop, not yet finished
+    /// serving). A plain atomic, not the metrics gauge: with the
+    /// `blot-obs` `off` feature gauges read zero, and admission control
+    /// must not depend on observability being compiled in.
+    pub(crate) active: Arc<AtomicUsize>,
+}
+
+impl<S: ?Sized> Clone for ConnContext<S> {
+    fn clone(&self) -> Self {
+        Self {
+            service: Arc::clone(&self.service),
+            queue: Arc::clone(&self.queue),
+            metrics: self.metrics.clone(),
+            flag: self.flag.clone(),
+            config: self.config.clone(),
+            active: Arc::clone(&self.active),
+        }
+    }
+}
+
+impl<S: ?Sized> std::fmt::Debug for ConnContext<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnContext")
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The accept loop: non-blocking accept polled against the shutdown
+/// flag. On shutdown it closes the hand-off queue and returns.
+pub(crate) fn accept_loop<S: QueryService + ?Sized>(
+    listener: &TcpListener,
+    connq: &ConnQueue,
+    ctx: &ConnContext<S>,
+) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if ctx.flag.is_triggered() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctx.metrics.accepted.inc();
+                if ctx.active.load(Ordering::Acquire) >= ctx.config.max_conns {
+                    // At capacity: answer, don't silently drop.
+                    ctx.metrics.rejected.inc();
+                    reject_overloaded(stream, "connection limit reached");
+                    continue;
+                }
+                ctx.active.fetch_add(1, Ordering::AcqRel);
+                connq.push(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off a tick and keep serving.
+                std::thread::sleep(ACCEPT_TICK);
+            }
+        }
+    }
+    connq.close();
+}
+
+/// Best-effort `Overloaded` reply to a connection turned away at the
+/// accept loop; the socket is closed afterwards either way.
+fn reject_overloaded(mut stream: TcpStream, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let (kind, payload) = Response::Error(WireError {
+        code: ErrorCode::Overloaded,
+        retry_after_ms: 100,
+        message: message.to_owned(),
+    })
+    .encode();
+    let _ = wire::write_frame(&mut stream, kind, &payload);
+}
+
+/// One handler-pool thread: serve sockets until the queue closes.
+pub(crate) fn handler_loop<S: QueryService + ?Sized>(connq: &ConnQueue, ctx: &ConnContext<S>) {
+    while let Some(stream) = connq.pop() {
+        serve_connection(stream, ctx);
+        ctx.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Outcome of polling for the next request frame.
+enum Poll {
+    Frame(Frame),
+    /// Clean EOF from the peer.
+    Eof,
+    /// Idle deadline passed with no frame started.
+    Idle,
+    /// Shutdown flag tripped between frames.
+    Shutdown,
+    /// The frame was malformed at the framing layer (stream cannot be
+    /// resynchronised).
+    Fault(FrameError),
+    /// Transport error.
+    Io,
+}
+
+/// Waits for the next frame, checking the shutdown flag and the idle
+/// deadline every [`POLL_TICK`].
+fn poll_frame<S: ?Sized>(stream: &mut TcpStream, ctx: &ConnContext<S>) -> Poll {
+    let idle_deadline = Instant::now() + ctx.config.idle_timeout;
+    loop {
+        if ctx.flag.is_triggered() {
+            return Poll::Shutdown;
+        }
+        let _ = stream.set_read_timeout(Some(POLL_TICK));
+        let mut first = [0_u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return Poll::Eof,
+            Ok(_) => {
+                // Frame under way: switch to the full I/O timeout for
+                // the remainder.
+                let _ = stream.set_read_timeout(Some(ctx.config.io_timeout));
+                let [first_byte] = first;
+                return match wire::read_frame_rest(stream, first_byte) {
+                    Ok(frame) => Poll::Frame(frame),
+                    Err(FrameError::Io(_)) => Poll::Io,
+                    Err(e) => Poll::Fault(e),
+                };
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if Instant::now() >= idle_deadline {
+                    return Poll::Idle;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Poll::Io,
+        }
+    }
+}
+
+fn send<S: ?Sized>(stream: &mut TcpStream, ctx: &ConnContext<S>, resp: &Response) -> bool {
+    let _ = stream.set_write_timeout(Some(ctx.config.io_timeout));
+    let (kind, payload) = resp.encode();
+    wire::write_frame(stream, kind, &payload).is_ok()
+}
+
+fn error_response(code: ErrorCode, retry_after_ms: u32, message: String) -> Response {
+    Response::Error(WireError {
+        code,
+        retry_after_ms,
+        message,
+    })
+}
+
+/// Serves one connection until EOF, idle timeout, fault, or shutdown.
+fn serve_connection<S: QueryService + ?Sized>(mut stream: TcpStream, ctx: &ConnContext<S>) {
+    let _ = stream.set_nodelay(true);
+    ctx.metrics.connections.add(1);
+    loop {
+        match poll_frame(&mut stream, ctx) {
+            Poll::Frame(frame) => {
+                let started = Instant::now();
+                ctx.metrics.requests.inc();
+                let (resp, keep_open) = handle_frame(&frame, ctx);
+                if matches!(resp, Response::Error(_)) {
+                    ctx.metrics.request_errors.inc();
+                }
+                let sent = send(&mut stream, ctx, &resp);
+                #[allow(clippy::cast_precision_loss)]
+                ctx.metrics
+                    .request_ms
+                    .record(started.elapsed().as_secs_f64() * 1e3);
+                if !sent || !keep_open {
+                    break;
+                }
+            }
+            Poll::Eof | Poll::Io => break,
+            Poll::Idle => {
+                let _ = send(
+                    &mut stream,
+                    ctx,
+                    &error_response(ErrorCode::IdleTimeout, 0, "idle timeout".to_owned()),
+                );
+                break;
+            }
+            Poll::Shutdown => {
+                let _ = send(
+                    &mut stream,
+                    ctx,
+                    &error_response(
+                        ErrorCode::ShuttingDown,
+                        0,
+                        "server shutting down".to_owned(),
+                    ),
+                );
+                break;
+            }
+            Poll::Fault(e) => {
+                // The stream cannot be resynchronised after a framing
+                // fault; reply (structured, never a silent drop), then
+                // close.
+                let code = match e {
+                    FrameError::BadVersion { .. } => ErrorCode::BadVersion,
+                    _ => ErrorCode::Malformed,
+                };
+                let _ = send(&mut stream, ctx, &error_response(code, 0, e.to_string()));
+                break;
+            }
+        }
+    }
+    ctx.metrics.connections.add(-1);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Decodes and executes one well-framed request. Returns the reply and
+/// whether the connection stays open.
+fn handle_frame<S: QueryService + ?Sized>(frame: &Frame, ctx: &ConnContext<S>) -> (Response, bool) {
+    let request = match Request::decode(frame) {
+        Ok(r) => r,
+        // A payload-level fault is recoverable — the frame boundary
+        // held — so the connection stays open.
+        Err(e) => return (error_response(ErrorCode::Malformed, 0, e.to_string()), true),
+    };
+    match request {
+        Request::Ping => (Response::Pong, true),
+        Request::Stats(band) => (
+            Response::StatsOk(stats::stats_payload(ctx.service.as_ref(), band)),
+            true,
+        ),
+        Request::RangeQuery(range) => match ctx.queue.submit(range) {
+            Err(SubmitError::Overloaded { retry_after_ms }) => (
+                error_response(
+                    ErrorCode::Overloaded,
+                    retry_after_ms,
+                    "admission queue full".to_owned(),
+                ),
+                true,
+            ),
+            Err(SubmitError::ShuttingDown) => (
+                error_response(
+                    ErrorCode::ShuttingDown,
+                    0,
+                    "server shutting down".to_owned(),
+                ),
+                false,
+            ),
+            Ok(slot) => match slot.wait(ctx.config.request_timeout) {
+                Some(Ok(result)) => (
+                    Response::QueryOk(Box::new(RemoteQueryResult {
+                        replica: result.replica,
+                        sim_ms: result.sim_ms,
+                        makespan_ms: result.makespan_ms,
+                        partitions_scanned: u32::try_from(result.partitions_scanned)
+                            .unwrap_or(u32::MAX),
+                        failed_over: result.failed_over,
+                        records: result.records,
+                    })),
+                    true,
+                ),
+                Some(Err(e)) => (
+                    error_response(ErrorCode::from_core(&e), 0, e.to_string()),
+                    true,
+                ),
+                None => (
+                    error_response(
+                        ErrorCode::Internal,
+                        0,
+                        "request timed out in the batcher".to_owned(),
+                    ),
+                    true,
+                ),
+            },
+        },
+    }
+}

@@ -1,0 +1,118 @@
+//! The `Stats` reply payload: one JSON document carrying the metrics
+//! snapshot, the cost-model drift report, and a pre-rendered text
+//! table, so `blot stats --remote` can show exactly what the local
+//! path shows without re-implementing the renderer client-side.
+
+use blot_core::obs::{DriftBand, DriftReport};
+use blot_core::prelude::*;
+use blot_json::Json;
+
+/// Renders a drift report as JSON (shared by the server's `Stats`
+/// reply and the CLI's local `blot stats --json` path).
+#[must_use]
+pub fn drift_to_json(report: &DriftReport) -> Json {
+    #[allow(clippy::cast_precision_loss)]
+    let schemes: Vec<Json> = report
+        .schemes
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("scheme", Json::Str(s.scheme.metric_label().to_owned())),
+                ("samples", Json::Num(s.samples as f64)),
+                ("median_ratio", Json::Num(s.median_ratio)),
+                ("mean_ratio", Json::Num(s.mean_ratio)),
+                ("flagged", Json::Bool(s.flagged)),
+            ])
+        })
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let band = Json::obj([
+        ("lo", Json::Num(report.band.lo)),
+        ("hi", Json::Num(report.band.hi)),
+        ("min_samples", Json::Num(report.band.min_samples as f64)),
+    ]);
+    Json::obj([
+        ("band", band),
+        ("calibrated", Json::Bool(report.is_calibrated())),
+        ("schemes", Json::Arr(schemes)),
+    ])
+}
+
+/// Renders a drift report as the CLI's text table (one line per scheme
+/// with samples).
+#[must_use]
+pub fn drift_to_text(report: &DriftReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cost-model drift (median predicted/actual, band [{}, {}], min {} samples):\n",
+        report.band.lo, report.band.hi, report.band.min_samples
+    ));
+    let mut any = false;
+    for row in &report.schemes {
+        if row.samples == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!(
+            "  {:<12} {:>6} samples  median {:>8.3}  mean {:>8.3}  {}\n",
+            row.scheme.metric_label(),
+            row.samples,
+            row.median_ratio,
+            row.mean_ratio,
+            if row.flagged { "DRIFTED" } else { "ok" }
+        ));
+    }
+    if !any {
+        out.push_str("  (no drift samples)\n");
+    }
+    out
+}
+
+/// Builds the `StatsOk` JSON payload for a service: `enabled` (is the
+/// metrics build live), `metrics` (the registry snapshot), `drift`,
+/// and `text` (the same information pre-rendered as the local CLI's
+/// text output).
+#[must_use]
+pub fn stats_payload<S: QueryService + ?Sized>(service: &S, band: Option<DriftBand>) -> String {
+    let snapshot = service.metrics_registry().snapshot();
+    let drift = service.drift_report(band.unwrap_or_default());
+    let metrics = Json::parse(&snapshot.to_json()).unwrap_or_else(|_| Json::Obj(Vec::new()));
+    let mut text = String::new();
+    if !blot_obs::enabled() {
+        text.push_str("metrics are compiled out (blot-obs `off` feature)\n");
+    }
+    text.push_str(snapshot.render_text().trim_end());
+    text.push_str("\n\n");
+    text.push_str(&drift_to_text(&drift));
+    let doc = Json::obj([
+        ("enabled", Json::Bool(blot_obs::enabled())),
+        ("metrics", metrics),
+        ("drift", drift_to_json(&drift)),
+        ("text", Json::Str(text)),
+    ]);
+    doc.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
+
+    use super::*;
+    use blot_core::obs::DriftReport;
+
+    #[test]
+    fn drift_json_and_text_cover_empty_reports() {
+        let report = DriftReport::from_samples(
+            DriftBand::default(),
+            std::iter::empty::<(EncodingScheme, blot_obs::HistogramSnapshot)>(),
+        );
+        let json = drift_to_json(&report);
+        assert_eq!(json.get("calibrated").and_then(Json::as_bool), Some(true));
+        assert!(drift_to_text(&report).contains("no drift samples"));
+    }
+}

@@ -1,0 +1,817 @@
+//! The BLOT wire protocol: length-prefixed binary frames.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "BLOT"
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame kind
+//! 6       2     reserved (must be zero)
+//! 8       4     payload length, little-endian
+//! 12      n     payload (kind-specific, every integer little-endian)
+//! ```
+//!
+//! Requests are `Ping` (empty), `RangeQuery` (six `f64`s: the min and
+//! max corners of the cuboid) and `Stats` (empty for the default drift
+//! band, or `lo: f64, hi: f64, min_samples: u64`). Replies are `Pong`,
+//! `QueryOk` (routing metadata plus the result records as a
+//! `ROW`/`PLAIN` storage unit — the same lossless codec the store
+//! uses on disk, so remote results are bit-identical to local ones),
+//! `StatsOk` (a UTF-8 JSON document) and `Error` (a numeric
+//! [`ErrorCode`], a retry-after hint in milliseconds, and a human
+//! message). A server never answers a decodable-but-invalid frame by
+//! dropping the connection; it answers with `Error`.
+//!
+//! Decoding never panics and never trusts a length field beyond
+//! [`MAX_PAYLOAD`]; the fuzz target [`fuzz_decode`] feeds arbitrary
+//! bytes through every decoder.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use blot_codec::{Compression, EncodingScheme, Layout};
+use blot_core::obs::DriftBand;
+use blot_core::CoreError;
+use blot_geo::{Cuboid, Point};
+use blot_model::RecordBatch;
+
+/// Frame magic: every frame starts with these four bytes.
+pub const MAGIC: [u8; 4] = *b"BLOT";
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on a frame payload. A header claiming more is rejected
+/// before any allocation happens.
+pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+
+/// Frame kind tags. Requests have the high bit clear, replies set
+/// (`ERROR` deliberately stands out as `0xFF`).
+pub mod kind {
+    /// Liveness probe.
+    pub const PING: u8 = 0x01;
+    /// Range query over the store.
+    pub const RANGE_QUERY: u8 = 0x02;
+    /// Metrics + drift snapshot.
+    pub const STATS: u8 = 0x03;
+    /// Reply to `PING`.
+    pub const PONG: u8 = 0x81;
+    /// Successful query reply.
+    pub const QUERY_OK: u8 = 0x82;
+    /// Successful stats reply.
+    pub const STATS_OK: u8 = 0x83;
+    /// Structured error reply.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// The lossless scheme used for the records blob in `QueryOk` replies.
+#[must_use]
+pub fn records_scheme() -> EncodingScheme {
+    EncodingScheme::new(Layout::Row, Compression::Plain)
+}
+
+/// Wire-protocol decode/transport failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    BadVersion {
+        /// Version byte received.
+        got: u8,
+    },
+    /// Unknown frame kind for this direction.
+    UnknownKind {
+        /// Kind byte received.
+        got: u8,
+    },
+    /// The header claimed a payload larger than [`MAX_PAYLOAD`].
+    Oversize {
+        /// Claimed payload length.
+        len: u32,
+    },
+    /// The payload ended before its advertised content.
+    Truncated,
+    /// The payload continued past its advertised content.
+    Trailing,
+    /// A payload field failed validation.
+    BadPayload {
+        /// Which field, for diagnostics.
+        what: &'static str,
+    },
+    /// Transport failure underneath the framing.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad frame magic (expected \"BLOT\")"),
+            Self::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (speak {VERSION})")
+            }
+            Self::UnknownKind { got } => write!(f, "unknown frame kind 0x{got:02X}"),
+            Self::Oversize { len } => {
+                write!(f, "payload length {len} exceeds limit {MAX_PAYLOAD}")
+            }
+            Self::Truncated => write!(f, "truncated frame payload"),
+            Self::Trailing => write!(f, "trailing bytes after frame payload"),
+            Self::BadPayload { what } => write!(f, "invalid payload field: {what}"),
+            Self::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<FrameError>()
+};
+
+/// Numeric error codes carried by `Error` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame could not be decoded.
+    Malformed = 1,
+    /// The client spoke an unsupported protocol version.
+    BadVersion = 2,
+    /// The admission queue is full; retry after the hint.
+    Overloaded = 3,
+    /// The server is draining and accepts no new queries.
+    ShuttingDown = 4,
+    /// Every candidate replica failed at the storage layer.
+    Storage = 5,
+    /// The store holds no replicas.
+    NoReplicas = 6,
+    /// The query named a replica that was never built.
+    NoSuchReplica = 7,
+    /// Any other server-side failure.
+    Internal = 8,
+    /// The connection sat idle past the server's idle timeout.
+    IdleTimeout = 9,
+}
+
+impl ErrorCode {
+    /// The wire representation.
+    #[must_use]
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Parses a wire code; unknown codes collapse to [`Self::Internal`]
+    /// so old clients survive new servers.
+    #[must_use]
+    pub fn from_u16(raw: u16) -> Self {
+        match raw {
+            1 => Self::Malformed,
+            2 => Self::BadVersion,
+            3 => Self::Overloaded,
+            4 => Self::ShuttingDown,
+            5 => Self::Storage,
+            6 => Self::NoReplicas,
+            7 => Self::NoSuchReplica,
+            9 => Self::IdleTimeout,
+            _ => Self::Internal,
+        }
+    }
+
+    /// Maps a store error onto the wire.
+    #[must_use]
+    pub fn from_core(e: &CoreError) -> Self {
+        match e {
+            CoreError::Storage(_) => Self::Storage,
+            CoreError::NoReplicas => Self::NoReplicas,
+            CoreError::NoSuchReplica { .. } => Self::NoSuchReplica,
+            _ => Self::Internal,
+        }
+    }
+}
+
+/// The structured payload of an `Error` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// For [`ErrorCode::Overloaded`]: how long the client should wait
+    /// before retrying, in milliseconds. Zero means "no hint".
+    pub retry_after_ms: u32,
+    /// Human-readable detail (never required for correct behaviour).
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)?;
+        if self.retry_after_ms > 0 {
+            write!(f, " (retry after {} ms)", self.retry_after_ms)?;
+        }
+        Ok(())
+    }
+}
+
+/// A query result as carried on the wire (the subset of
+/// [`blot_core::store::QueryResult`] a remote client can see).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteQueryResult {
+    /// The matching records, in the replica's scan order.
+    pub records: RecordBatch,
+    /// Replica that served the query.
+    pub replica: u32,
+    /// Simulated total scan cost, ms.
+    pub sim_ms: f64,
+    /// Simulated makespan, ms.
+    pub makespan_ms: f64,
+    /// Partitions scanned.
+    pub partitions_scanned: u32,
+    /// Replicas that failed before one answered.
+    pub failed_over: Vec<u32>,
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Execute a range query.
+    RangeQuery(Cuboid),
+    /// Snapshot metrics and drift; `None` uses the server's default
+    /// band.
+    Stats(Option<DriftBand>),
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Successful query.
+    QueryOk(Box<RemoteQueryResult>),
+    /// Stats snapshot (a JSON document).
+    StatsOk(String),
+    /// Structured failure; the connection stays usable unless the code
+    /// says otherwise.
+    Error(WireError),
+}
+
+/// A decoded frame: kind byte plus raw payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame kind (see [`kind`]).
+    pub kind: u8,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+// ---------------------------------------------------------------------
+// Payload cursor: bounds-checked little-endian reads, no indexing.
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(FrameError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(b.try_into().unwrap_or([0; 2])))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap_or([0; 4])))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap_or([0; 8])))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Trailing)
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn read_cuboid(c: &mut Cursor<'_>) -> Result<Cuboid, FrameError> {
+    let vals = [c.f64()?, c.f64()?, c.f64()?, c.f64()?, c.f64()?, c.f64()?];
+    if vals.iter().any(|v| !v.is_finite()) {
+        return Err(FrameError::BadPayload {
+            what: "non-finite query coordinate",
+        });
+    }
+    let [x0, y0, t0, x1, y1, t1] = vals;
+    let (min, max) = (Point::new(x0, y0, t0), Point::new(x1, y1, t1));
+    // `Cuboid::new` panics on inverted bounds; the wire layer must not.
+    for axis in 0..3 {
+        if min.axis(axis) > max.axis(axis) {
+            return Err(FrameError::BadPayload {
+                what: "query min exceeds max",
+            });
+        }
+    }
+    Ok(Cuboid::new(min, max))
+}
+
+fn put_cuboid(out: &mut Vec<u8>, q: &Cuboid) {
+    let (min, max) = (q.min(), q.max());
+    for v in [min.x, min.y, min.t, max.x, max.y, max.t] {
+        put_f64(out, v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame transport.
+
+/// Serialises one frame (header + payload) into a byte vector.
+///
+/// Payloads larger than [`MAX_PAYLOAD`] cannot be produced by this
+/// crate's encoders; if one ever is, the length field saturates and the
+/// peer rejects the frame rather than mis-framing the stream.
+#[must_use]
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u16(&mut out, 0);
+    put_u32(&mut out, u32::try_from(payload.len()).unwrap_or(u32::MAX));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame to `w` (single `write_all`, then flush).
+///
+/// # Errors
+///
+/// Propagates transport errors from `w`.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&encode_frame(kind, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one complete frame from `r`.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on transport failure (including EOF mid-frame),
+/// or any framing error from the header.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut first = [0_u8; 1];
+    r.read_exact(&mut first)?;
+    let [first_byte] = first;
+    read_frame_rest(r, first_byte)
+}
+
+/// Reads the remainder of a frame whose first byte was already
+/// consumed (connection handlers poll a single byte so they can check
+/// shutdown and idle deadlines between frames).
+///
+/// # Errors
+///
+/// Same contract as [`read_frame`].
+pub fn read_frame_rest<R: Read>(r: &mut R, first: u8) -> Result<Frame, FrameError> {
+    let mut rest = [0_u8; HEADER_LEN - 1];
+    r.read_exact(&mut rest)?;
+    let mut header = [0_u8; HEADER_LEN];
+    if let Some(h0) = header.first_mut() {
+        *h0 = first;
+    }
+    if let Some(dst) = header.get_mut(1..) {
+        dst.copy_from_slice(&rest);
+    }
+    let mut c = Cursor::new(&header);
+    if c.take(4)? != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = c.take(1)?.first().copied().unwrap_or(0);
+    if version != VERSION {
+        return Err(FrameError::BadVersion { got: version });
+    }
+    let kind = c.take(1)?.first().copied().unwrap_or(0);
+    let _reserved = c.u16()?;
+    let len = c.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversize { len });
+    }
+    // Bound the read with `take` so a lying peer cannot make us wait
+    // for more than the advertised payload.
+    let mut payload = Vec::with_capacity(len as usize);
+    let got = r.take(u64::from(len)).read_to_end(&mut payload)?;
+    if got < len as usize {
+        return Err(FrameError::Truncated);
+    }
+    Ok(Frame { kind, payload })
+}
+
+// ---------------------------------------------------------------------
+// Request / response codecs.
+
+impl Request {
+    /// Serialises into `(kind, payload)`.
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Self::Ping => (kind::PING, Vec::new()),
+            Self::RangeQuery(q) => {
+                let mut out = Vec::with_capacity(48);
+                put_cuboid(&mut out, q);
+                (kind::RANGE_QUERY, out)
+            }
+            Self::Stats(None) => (kind::STATS, Vec::new()),
+            Self::Stats(Some(band)) => {
+                let mut out = Vec::with_capacity(24);
+                put_f64(&mut out, band.lo);
+                put_f64(&mut out, band.hi);
+                put_u64(&mut out, band.min_samples);
+                (kind::STATS, out)
+            }
+        }
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::UnknownKind`] for reply kinds or garbage;
+    /// [`FrameError::Truncated`] / [`FrameError::Trailing`] /
+    /// [`FrameError::BadPayload`] for a payload that does not match its
+    /// kind.
+    pub fn decode(frame: &Frame) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(&frame.payload);
+        let req = match frame.kind {
+            kind::PING => Self::Ping,
+            kind::RANGE_QUERY => Self::RangeQuery(read_cuboid(&mut c)?),
+            kind::STATS => {
+                if frame.payload.is_empty() {
+                    Self::Stats(None)
+                } else {
+                    let (lo, hi) = (c.f64()?, c.f64()?);
+                    let min_samples = c.u64()?;
+                    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                        return Err(FrameError::BadPayload {
+                            what: "drift band bounds",
+                        });
+                    }
+                    Self::Stats(Some(DriftBand {
+                        lo,
+                        hi,
+                        min_samples,
+                    }))
+                }
+            }
+            got => return Err(FrameError::UnknownKind { got }),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialises into `(kind, payload)`.
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Self::Pong => (kind::PONG, Vec::new()),
+            Self::QueryOk(r) => {
+                let blob = records_scheme().encode(&r.records);
+                let mut out = Vec::with_capacity(32 + 4 * r.failed_over.len() + blob.len());
+                put_u32(&mut out, r.replica);
+                put_u32(&mut out, r.partitions_scanned);
+                put_u32(
+                    &mut out,
+                    u32::try_from(r.failed_over.len()).unwrap_or(u32::MAX),
+                );
+                put_f64(&mut out, r.sim_ms);
+                put_f64(&mut out, r.makespan_ms);
+                for &id in &r.failed_over {
+                    put_u32(&mut out, id);
+                }
+                put_u32(&mut out, u32::try_from(blob.len()).unwrap_or(u32::MAX));
+                out.extend_from_slice(&blob);
+                (kind::QUERY_OK, out)
+            }
+            Self::StatsOk(json) => (kind::STATS_OK, json.clone().into_bytes()),
+            Self::Error(e) => {
+                let msg = e.message.as_bytes();
+                let msg_len = u16::try_from(msg.len()).unwrap_or(u16::MAX);
+                let mut out = Vec::with_capacity(8 + usize::from(msg_len));
+                put_u16(&mut out, e.code.as_u16());
+                put_u32(&mut out, e.retry_after_ms);
+                put_u16(&mut out, msg_len);
+                out.extend_from_slice(msg.get(..usize::from(msg_len)).unwrap_or(msg));
+                (kind::ERROR, out)
+            }
+        }
+    }
+
+    /// Decodes a reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Request::decode`], mirrored for reply kinds.
+    pub fn decode(frame: &Frame) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(&frame.payload);
+        let resp = match frame.kind {
+            kind::PONG => Self::Pong,
+            kind::QUERY_OK => {
+                let replica = c.u32()?;
+                let partitions_scanned = c.u32()?;
+                let n_failed = c.u32()?;
+                let sim_ms = c.f64()?;
+                let makespan_ms = c.f64()?;
+                // `n_failed` is untrusted: bound it by the bytes that
+                // actually remain before allocating.
+                let remaining = frame.payload.len().saturating_sub(c.pos) / 4;
+                if n_failed as usize > remaining {
+                    return Err(FrameError::Truncated);
+                }
+                let mut failed_over = Vec::with_capacity(n_failed as usize);
+                for _ in 0..n_failed {
+                    failed_over.push(c.u32()?);
+                }
+                let blob_len = c.u32()? as usize;
+                let blob = c.take(blob_len)?;
+                let records =
+                    records_scheme()
+                        .decode(blob)
+                        .map_err(|_| FrameError::BadPayload {
+                            what: "records blob",
+                        })?;
+                Self::QueryOk(Box::new(RemoteQueryResult {
+                    records,
+                    replica,
+                    sim_ms,
+                    makespan_ms,
+                    partitions_scanned,
+                    failed_over,
+                }))
+            }
+            kind::STATS_OK => {
+                let json = String::from_utf8(frame.payload.clone()).map_err(|_| {
+                    FrameError::BadPayload {
+                        what: "stats JSON is not UTF-8",
+                    }
+                })?;
+                // The cursor never advanced; consume it so `finish`
+                // does not flag the payload as trailing.
+                let _ = c.take(frame.payload.len());
+                Self::StatsOk(json)
+            }
+            kind::ERROR => {
+                let code = ErrorCode::from_u16(c.u16()?);
+                let retry_after_ms = c.u32()?;
+                let msg_len = usize::from(c.u16()?);
+                let msg = c.take(msg_len)?;
+                let message = String::from_utf8_lossy(msg).into_owned();
+                Self::Error(WireError {
+                    code,
+                    retry_after_ms,
+                    message,
+                })
+            }
+            got => return Err(FrameError::UnknownKind { got }),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Fuzz entry point: decoding arbitrary bytes must never panic,
+/// whatever corner of the grammar they land in. Wired into
+/// `cargo xtask fuzz` as the `server_frame` target.
+pub fn fuzz_decode(bytes: &[u8]) {
+    // Full frames from a byte stream.
+    let mut reader = bytes;
+    if let Ok(frame) = read_frame(&mut reader) {
+        let _ = Request::decode(&frame);
+        let _ = Response::decode(&frame);
+    }
+    // Raw kind + payload splits, bypassing the header.
+    if let Some((&kind, payload)) = bytes.split_first() {
+        let frame = Frame {
+            kind,
+            payload: payload.to_vec(),
+        };
+        let _ = Request::decode(&frame);
+        let _ = Response::decode(&frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::indexing_slicing
+    )]
+
+    use super::*;
+    use blot_model::Record;
+
+    fn sample_batch() -> RecordBatch {
+        let mut b = RecordBatch::new();
+        for i in 0..20_u32 {
+            b.push(Record {
+                oid: i,
+                time: 1_300_000_000 + i64::from(i) * 7,
+                x: f64::from(i) * 0.25,
+                y: 40.0 - f64::from(i) * 0.125,
+                speed: 13.5,
+                heading: 270.0,
+                occupied: i % 2 == 0,
+                passengers: (i % 4) as u8,
+            });
+        }
+        b
+    }
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let (kind, payload) = req.encode();
+        let bytes = encode_frame(kind, &payload);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap();
+        Request::decode(&frame).unwrap()
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let (kind, payload) = resp.encode();
+        let bytes = encode_frame(kind, &payload);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap();
+        Response::decode(&frame).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let q = Cuboid::new(Point::new(-1.0, 2.0, 0.0), Point::new(3.5, 4.0, 600.0));
+        for req in [
+            Request::Ping,
+            Request::RangeQuery(q),
+            Request::Stats(None),
+            Request::Stats(Some(DriftBand {
+                lo: 0.25,
+                hi: 4.0,
+                min_samples: 3,
+            })),
+        ] {
+            assert_eq!(roundtrip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_identically() {
+        let result = RemoteQueryResult {
+            records: sample_batch(),
+            replica: 2,
+            sim_ms: 123.5,
+            makespan_ms: 60.25,
+            partitions_scanned: 7,
+            failed_over: vec![0, 1],
+        };
+        let resp = Response::QueryOk(Box::new(result.clone()));
+        match roundtrip_response(&resp) {
+            Response::QueryOk(got) => {
+                assert_eq!(got.records, result.records);
+                assert_eq!(*got, result);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        let err = Response::Error(WireError {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: 40,
+            message: "queue full".to_owned(),
+        });
+        assert_eq!(roundtrip_response(&err), err);
+        let stats = Response::StatsOk("{\"enabled\":true}".to_owned());
+        assert_eq!(roundtrip_response(&stats), stats);
+        assert_eq!(roundtrip_response(&Response::Pong), Response::Pong);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_panicked() {
+        // Bad magic.
+        let mut bytes = encode_frame(kind::PING, &[]);
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::BadMagic)
+        ));
+        // Bad version.
+        let mut bytes = encode_frame(kind::PING, &[]);
+        bytes[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::BadVersion { got: 99 })
+        ));
+        // Oversize claim.
+        let mut bytes = encode_frame(kind::PING, &[]);
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::Oversize { .. })
+        ));
+        // Truncated payload.
+        let bytes = encode_frame(kind::RANGE_QUERY, &[0_u8; 10]);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap();
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FrameError::Truncated)
+        ));
+        // Trailing bytes.
+        let bytes = encode_frame(kind::PING, &[1, 2, 3]);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap();
+        assert!(matches!(Request::decode(&frame), Err(FrameError::Trailing)));
+        // Non-finite coordinates.
+        let mut payload = Vec::new();
+        for _ in 0..6 {
+            put_f64(&mut payload, f64::NAN);
+        }
+        let frame = Frame {
+            kind: kind::RANGE_QUERY,
+            payload,
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FrameError::BadPayload { .. })
+        ));
+        // Inverted bounds.
+        let mut payload = Vec::new();
+        for v in [1.0, 0.0, 0.0, 0.0, 1.0, 1.0] {
+            put_f64(&mut payload, v);
+        }
+        let frame = Frame {
+            kind: kind::RANGE_QUERY,
+            payload,
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FrameError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn fuzz_decode_survives_garbage_smoke() {
+        fuzz_decode(&[]);
+        fuzz_decode(b"BLOT");
+        fuzz_decode(&encode_frame(kind::QUERY_OK, &[0xFF; 64]));
+        let mut state = 0x9E37_79B9_u32;
+        let mut bytes = vec![0_u8; 512];
+        for b in &mut bytes {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            *b = (state & 0xFF) as u8;
+        }
+        fuzz_decode(&bytes);
+    }
+}

@@ -1,0 +1,319 @@
+//! Loopback end-to-end tests: a real TCP server on port 0, real
+//! clients, asserting remote results are bit-identical to in-process
+//! ones, overload is shed with `Overloaded` (never a hang or a silent
+//! drop), and graceful shutdown drains in-flight work.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_precision_loss
+)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use blot_core::prelude::*;
+use blot_server::client::{Client, ClientConfig};
+use blot_server::server::{Server, ServerConfig};
+use blot_server::wire::{self, ErrorCode, Response};
+use blot_storage::MemBackend;
+use blot_tracegen::FleetConfig;
+
+type TestStore = BlotStore<MemBackend>;
+
+fn build_store() -> (TestStore, RecordBatch) {
+    let mut config = FleetConfig::small();
+    config.num_taxis = 40;
+    config.records_per_taxi = 120;
+    let data = config.generate();
+    let universe = config.universe();
+    let env = EnvProfile::local_cluster();
+    let model = CostModel::calibrate(&env, &data, 23);
+    let mut store = BlotStore::new(MemBackend::new(), env, universe, model);
+    store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(16, 4),
+                EncodingScheme::new(Layout::Row, Compression::Lzf),
+            ),
+        )
+        .unwrap();
+    store
+        .build_replica(
+            &data,
+            ReplicaConfig::new(
+                SchemeSpec::new(4, 2),
+                EncodingScheme::new(Layout::Column, Compression::Deflate),
+            ),
+        )
+        .unwrap();
+    (store, data)
+}
+
+fn probe_queries(universe: &Cuboid, n: usize) -> Vec<Cuboid> {
+    (0..n)
+        .map(|k| {
+            let f = 1.5 + k as f64;
+            Cuboid::from_centroid(
+                universe.centroid(),
+                QuerySize::new(
+                    universe.extent(0) / f,
+                    universe.extent(1) / f,
+                    universe.extent(2) / f,
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_remote_queries_are_bit_identical_to_in_process() {
+    let (store, _data) = build_store();
+    let store = Arc::new(store);
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let universe = store.universe();
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client.ping().unwrap();
+                for q in probe_queries(&universe, 8 + c) {
+                    let remote = client.query(&q).unwrap();
+                    let local = store.query(&q).unwrap();
+                    assert_eq!(
+                        remote.records, local.records,
+                        "remote records must be bit-identical"
+                    );
+                    assert_eq!(remote.replica, local.replica);
+                    assert_eq!(remote.partitions_scanned as usize, local.partitions_scanned);
+                    assert!(remote.failed_over.is_empty());
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let report = server.shutdown(Duration::from_secs(10));
+    assert!(report.threads_joined, "service threads must join");
+    assert!(report.pool_drained, "scan pool must drain");
+    assert!(report.snapshot.counter("server.requests").unwrap_or(0) > 0);
+}
+
+#[test]
+fn burst_over_queue_depth_is_shed_with_overloaded() {
+    let (store, _) = build_store();
+    let store = Arc::new(store);
+    let config = ServerConfig {
+        queue_depth: 2,
+        // A long linger holds admitted queries in the queue, making the
+        // overload window deterministic for the burst below.
+        batch_linger: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+    let q = probe_queries(&store.universe(), 1)[0];
+
+    let burst: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                // Single shot, no retry: each attempt must get *some*
+                // structured answer within the timeout.
+                client.query_once(&q).unwrap()
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = burst.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let succeeded = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed: Vec<_> = outcomes.iter().filter_map(|o| o.as_ref().err()).collect();
+    assert_eq!(succeeded + shed.len(), 8, "every request must be answered");
+    assert!(
+        !shed.is_empty(),
+        "a burst of 8 against queue depth 2 must shed at least one query"
+    );
+    for e in &shed {
+        assert_eq!(e.code, ErrorCode::Overloaded);
+        assert!(e.retry_after_ms > 0, "shed replies must carry a retry hint");
+    }
+
+    let report = server.shutdown(Duration::from_secs(10));
+    let shed_count = report.snapshot.counter("server.shed").unwrap_or(0);
+    assert!(shed_count >= shed.len() as u64);
+}
+
+#[test]
+fn client_retry_with_backoff_survives_overload() {
+    let (store, _) = build_store();
+    let store = Arc::new(store);
+    let config = ServerConfig {
+        queue_depth: 1,
+        batch_linger: Duration::from_millis(250),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+    let q = probe_queries(&store.universe(), 1)[0];
+
+    // Occupy the queue: this query lingers ~250 ms before its batch.
+    let occupant = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            client.query(&q).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(60));
+    // The retrying client is shed at least once, then admitted.
+    let mut client = Client::connect_with(
+        &addr,
+        ClientConfig {
+            max_retries: 20,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let result = client.query(&q).unwrap();
+    assert!(!result.records.is_empty());
+    assert!(
+        client.retries() > 0,
+        "the second client must have been shed and retried"
+    );
+    occupant.join().unwrap();
+    let _ = server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn graceful_shutdown_answers_in_flight_queries() {
+    let (store, _) = build_store();
+    let store = Arc::new(store);
+    let config = ServerConfig {
+        batch_linger: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+    let universe = store.universe();
+
+    // Four queries land in the admission queue and sit in the linger
+    // window when shutdown begins; all must still be answered.
+    let in_flight: Vec<_> = probe_queries(&universe, 4)
+        .into_iter()
+        .map(|q| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client.query(&q).map(|r| r.records.len()).unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(80));
+    let report = server.shutdown(Duration::from_secs(10));
+    for h in in_flight {
+        let n = h.join().unwrap();
+        assert!(n > 0, "in-flight queries must be answered during drain");
+    }
+    assert!(report.threads_joined);
+    assert!(report.pool_drained);
+
+    // After shutdown the port no longer answers.
+    assert!(
+        Client::connect(&addr).is_err() || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}
+
+#[test]
+fn stats_remote_reply_matches_local_snapshot_shape() {
+    let (store, _) = build_store();
+    let store = Arc::new(store);
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let q = probe_queries(&store.universe(), 1)[0];
+    let _ = client.query(&q).unwrap();
+
+    let json = client.stats(None).unwrap();
+    let doc = blot_json::Json::parse(&json).unwrap();
+    assert_eq!(
+        doc.get("enabled").and_then(blot_json::Json::as_bool),
+        Some(blot_obs::enabled())
+    );
+    let metrics = doc.get("metrics").unwrap();
+    if blot_obs::enabled() {
+        let counters = metrics.get("counters").unwrap();
+        assert!(counters.get("server.requests").is_some());
+        assert!(
+            counters.get("store.queries").is_some() || {
+                // Store counter names are the store's concern; just require
+                // a non-empty counter table alongside the server's.
+                matches!(counters, blot_json::Json::Obj(pairs) if !pairs.is_empty())
+            }
+        );
+    }
+    assert!(doc.get("drift").is_some());
+    let text = doc.get("text").and_then(blot_json::Json::as_str).unwrap();
+    assert!(text.contains("cost-model drift"));
+    let _ = server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_not_dropped_connections() {
+    let (store, _) = build_store();
+    let server = Server::start(Arc::new(store), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Well-framed but bogus payload: connection must stay open.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let bad = wire::encode_frame(wire::kind::RANGE_QUERY, &[0xAB; 10]);
+        stream.write_all(&bad).unwrap();
+        let frame = wire::read_frame(&mut stream).unwrap();
+        match Response::decode(&frame).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Malformed),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // Same connection still serves a valid request.
+        let (kind, payload) = blot_server::wire::Request::Ping.encode();
+        wire::write_frame(&mut stream, kind, &payload).unwrap();
+        let frame = wire::read_frame(&mut stream).unwrap();
+        assert!(matches!(Response::decode(&frame).unwrap(), Response::Pong));
+    }
+
+    // Broken framing (bad magic): a structured reply arrives before the
+    // connection closes.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"GARBAGE-NOT-A-FRAME!").unwrap();
+        let frame = wire::read_frame(&mut stream).unwrap();
+        match Response::decode(&frame).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Malformed),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // The server closes after a framing fault; the read drains to
+        // EOF rather than hanging.
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+    }
+}

@@ -38,9 +38,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use blot_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 
@@ -104,7 +105,12 @@ struct PoolMetrics {
 /// supported directly — share one executor with [`Arc`].
 pub struct ScanExecutor {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Join handles, drained by [`shutdown`](Self::shutdown) (which
+    /// takes `&self` — hence the mutex) or by `Drop`.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Live worker count: `workers.len()` until shutdown, then 0. Kept
+    /// separately so the `execute_all` fast-path check stays lock-free.
+    threads: AtomicUsize,
     /// Set once by [`attach_metrics`](Self::attach_metrics); `None`
     /// until an owner registers the pool, so an unowned pool records
     /// nothing.
@@ -114,7 +120,7 @@ pub struct ScanExecutor {
 impl std::fmt::Debug for ScanExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScanExecutor")
-            .field("threads", &self.workers.len())
+            .field("threads", &self.threads())
             .finish_non_exhaustive()
     }
 }
@@ -135,7 +141,7 @@ impl ScanExecutor {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let workers = (0..threads)
+        let workers: Vec<JoinHandle<()>> = (0..threads)
             .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 // A failed spawn only shrinks the pool: the submitting
@@ -147,9 +153,11 @@ impl ScanExecutor {
                     .ok()
             })
             .collect();
+        let count = workers.len();
         Self {
             shared,
-            workers,
+            workers: Mutex::new(workers),
+            threads: AtomicUsize::new(count),
             metrics: OnceLock::new(),
         }
     }
@@ -176,10 +184,62 @@ impl ScanExecutor {
         Self::new(std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get))
     }
 
-    /// Number of worker threads actually running.
+    /// Number of worker threads actually running (0 after
+    /// [`shutdown`](Self::shutdown); batches then run inline on the
+    /// submitting thread).
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.threads.load(Ordering::Acquire)
+    }
+
+    /// Gracefully stops the pool: waits (up to `timeout`) for the job
+    /// queue to drain, then signals the workers to exit and joins them
+    /// with whatever budget remains. Returns `true` when the queue
+    /// drained and every worker was joined inside the deadline; `false`
+    /// leaves stragglers detached (they still exit once their current
+    /// job finishes).
+    ///
+    /// The pool stays usable afterwards in a degraded mode: with zero
+    /// workers every later `execute_all` runs inline on the submitting
+    /// thread, so nothing that still holds the pool breaks. Calling
+    /// `shutdown` twice is a cheap no-op the second time.
+    pub fn shutdown(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let poll = Duration::from_millis(2);
+        // Drain first: queued jobs belong to in-flight `execute_all`
+        // batches whose callers are participating right now. Workers
+        // check the shutdown flag *before* popping, so flipping the
+        // flag early would abandon queued jobs to their (single)
+        // submitting thread and serialize the tail of every batch.
+        let mut drained = false;
+        loop {
+            if self.shared.jobs.lock().is_empty() {
+                drained = true;
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(poll);
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        self.threads.store(0, Ordering::Release);
+        let mut joined_all = true;
+        for handle in handles {
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(poll);
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                // Deadline blown: detach. The worker exits on its own
+                // as soon as its current job returns.
+                joined_all = false;
+            }
+        }
+        drained && joined_all
     }
 
     /// Runs every task of the batch on the pool (the calling thread
@@ -208,7 +268,7 @@ impl ScanExecutor {
         // overhead — measurably so on single-core hosts. Semantics are
         // identical: task order, fail-fast, panics surface as
         // `WorkerPanicked`.
-        if self.workers.len() <= 1 || n == 1 {
+        if self.threads() <= 1 || n == 1 {
             if let Some(m) = metrics {
                 m.inline_tasks.add(n as u64);
             }
@@ -372,7 +432,8 @@ impl Drop for ScanExecutor {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
-        for worker in self.workers.drain(..) {
+        self.threads.store(0, Ordering::Release);
+        for worker in self.workers.lock().drain(..) {
             // A worker that panicked outside `catch_unwind` (impossible
             // for queued jobs, which are wrapped) is already gone;
             // nothing to clean up.
@@ -541,5 +602,42 @@ mod tests {
     fn default_pool_sizes_from_host() {
         let p = ScanExecutor::default();
         assert!(p.threads() >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_and_joins_workers() {
+        let p = Arc::new(ScanExecutor::new(3));
+        // Keep the pool busy while shutdown is requested.
+        let busy = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || {
+                let tasks: Vec<_> = (0..32)
+                    .map(|i| {
+                        move || {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            Ok(i)
+                        }
+                    })
+                    .collect();
+                p.execute_all(tasks).unwrap()
+            })
+        };
+        assert!(p.shutdown(Duration::from_secs(10)), "drain within budget");
+        assert_eq!(p.threads(), 0);
+        // The in-flight batch still completed (caller participation).
+        assert_eq!(busy.join().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_still_executes_inline_after_shutdown() {
+        let p = ScanExecutor::new(4);
+        assert!(p.shutdown(Duration::from_secs(5)));
+        // Degraded mode: everything runs inline on this thread.
+        let out = p
+            .execute_all((0..8).map(|i| move || Ok(i)).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        // Idempotent.
+        assert!(p.shutdown(Duration::from_millis(10)));
     }
 }

@@ -9,12 +9,13 @@
 //! property test samples the same contract — the fuzz lane just pushes
 //! orders of magnitude more inputs through it on a time budget.
 //!
-//! There is one target per decoder — twelve in all: the three
-//! general-purpose decompressors, the tag-sniffing `decode_auto`, and
-//! the eight per-scheme `EncodingScheme::decode` paths of the full
-//! layout × compression grid. The `registry` lint cross-checks this
-//! list against the parsed `Compression`/`Layout` variants, so adding a
-//! variant without its fuzz target fails `cargo xtask lint`.
+//! There is one target per decoder — thirteen in all: the three
+//! general-purpose decompressors, the tag-sniffing `decode_auto`, the
+//! eight per-scheme `EncodingScheme::decode` paths of the full
+//! layout × compression grid, and the `blot-server` wire-frame decoder
+//! (`server_frame`). The `registry` lint cross-checks the codec part of
+//! this list against the parsed `Compression`/`Layout` variants, so
+//! adding a variant without its fuzz target fails `cargo xtask lint`.
 
 use blot_codec::{
     deflate_compress, deflate_decompress, lzf_compress, lzf_decompress, lzr_compress,
@@ -43,6 +44,9 @@ fn t_lzr(d: &[u8]) {
 fn t_decode_auto(d: &[u8]) {
     let _ = EncodingScheme::decode_auto(d);
 }
+fn t_server_frame(d: &[u8]) {
+    blot_server::wire::fuzz_decode(d);
+}
 
 macro_rules! scheme_target {
     ($fn_name:ident, $layout:ident, $comp:ident) => {
@@ -61,7 +65,7 @@ scheme_target!(t_column_lzf, Column, Lzf);
 scheme_target!(t_column_deflate, Column, Deflate);
 scheme_target!(t_column_lzr, Column, Lzr);
 
-/// The twelve decoder targets.
+/// The thirteen decoder targets.
 pub const TARGETS: &[FuzzTarget] = &[
     FuzzTarget {
         name: "lzf",
@@ -110,6 +114,10 @@ pub const TARGETS: &[FuzzTarget] = &[
     FuzzTarget {
         name: "decode_column_lzr",
         run: t_column_lzr,
+    },
+    FuzzTarget {
+        name: "server_frame",
+        run: t_server_frame,
     },
 ];
 
@@ -360,10 +368,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twelve_targets_cover_the_grid() {
-        assert_eq!(TARGETS.len(), 12);
+    fn thirteen_targets_cover_the_grid_and_the_wire() {
+        assert_eq!(TARGETS.len(), 13);
         let names = target_names();
         assert!(names.contains(&"decode_auto"));
+        assert!(names.contains(&"server_frame"));
         for scheme in EncodingScheme::grid() {
             let layout = match scheme.layout {
                 Layout::Row => "row",

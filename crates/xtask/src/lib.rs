@@ -68,8 +68,9 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be panic-free (rule `panic` and
-/// `indexing`): these implement the query/repair hot paths.
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "storage", "codec", "mip", "index"];
+/// `indexing`): these implement the query/repair hot paths and the
+/// network serving layer (a panic there kills a connection handler).
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "storage", "codec", "mip", "index", "server"];
 
 /// Codec files holding bit-level encode/decode state machines (rule
 /// `lossy-cast`).
@@ -84,6 +85,8 @@ pub const UNIT_SAFETY_FILES: &[(&str, &str)] = &[
     ("core", "select.rs"),
     ("geo", "query_size.rs"),
     ("mip", "problem.rs"),
+    ("server", "wire.rs"),
+    ("server", "batch.rs"),
 ];
 
 /// Crates whose code uses the `storage::sync` lock wrappers (rule
@@ -92,8 +95,10 @@ pub const LOCK_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
 
 /// Crates that must run all parallel work on the shared scan-executor
 /// pool instead of spawning ad-hoc OS threads (rule `thread-discipline`).
-/// The pool's own implementation file is exempt.
-pub const THREAD_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
+/// The pool's own implementation file is exempt, and `server`'s
+/// long-lived accept/handler/batcher threads carry a waiver at their
+/// single spawn site (`conn.rs::spawn_named`).
+pub const THREAD_DISCIPLINE_CRATES: &[&str] = &["storage", "core", "server"];
 
 /// The one file allowed to create OS threads: the pool itself.
 pub const THREAD_DISCIPLINE_EXEMPT_FILE: &str = "pool.rs";
