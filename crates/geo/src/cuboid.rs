@@ -36,17 +36,9 @@ impl Cuboid {
     /// (the paper's `⟨W, H, T, x, y, t⟩` form of Definition 6).
     #[must_use]
     pub fn from_centroid(centroid: Point, size: QuerySize) -> Self {
-        let half = [size.w / 2.0, size.h / 2.0, size.t / 2.0];
-        let min = Point::new(
-            centroid.x - half[0],
-            centroid.y - half[1],
-            centroid.t - half[2],
-        );
-        let max = Point::new(
-            centroid.x + half[0],
-            centroid.y + half[1],
-            centroid.t + half[2],
-        );
+        let (hw, hh, ht) = (size.w / 2.0, size.h / 2.0, size.t / 2.0);
+        let min = Point::new(centroid.x - hw, centroid.y - hh, centroid.t - ht);
+        let max = Point::new(centroid.x + hw, centroid.y + hh, centroid.t + ht);
         Self::new(min, max)
     }
 

@@ -33,6 +33,7 @@ impl Point {
             0 => self.x,
             1 => self.y,
             2 => self.t,
+            // audit: allow(panic-reachability, axis is a literal or 0..3 loop index at every call site; documented invariant)
             _ => panic!("axis out of range: {axis}"),
         }
     }
@@ -49,6 +50,7 @@ impl Point {
             0 => self.x = value,
             1 => self.y = value,
             2 => self.t = value,
+            // audit: allow(panic-reachability, axis is a literal or 0..3 loop index at every call site; documented invariant)
             _ => panic!("axis out of range: {axis}"),
         }
         self

@@ -41,6 +41,7 @@ impl QuerySize {
             0 => self.w,
             1 => self.h,
             2 => self.t,
+            // audit: allow(panic-reachability, axis is a literal or 0..3 loop index at every call site; documented invariant)
             _ => panic!("axis out of range: {axis}"),
         }
     }
@@ -56,9 +57,10 @@ impl QuerySize {
     /// heterogeneous units (degrees vs. seconds).
     #[must_use]
     pub fn distance(&self, other: &Self, weights: [f64; 3]) -> f64 {
-        let dw = (self.w - other.w) * weights[0];
-        let dh = (self.h - other.h) * weights[1];
-        let dt = (self.t - other.t) * weights[2];
+        let [ww, wh, wt] = weights;
+        let dw = (self.w - other.w) * ww;
+        let dh = (self.h - other.h) * wh;
+        let dt = (self.t - other.t) * wt;
         (dw * dw + dh * dh + dt * dt).sqrt()
     }
 }

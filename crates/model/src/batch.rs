@@ -1,3 +1,4 @@
+// audit: allow-file(panic-reachability, columnar SoA accessors; every index is bounds-documented or derived from 0..len)
 use blot_geo::{Cuboid, Point};
 
 use crate::{ParseError, Record};

@@ -106,6 +106,41 @@ const _: () = {
     require_error_traits::<ClientError>()
 };
 
+/// How a [`Client`] should react to a structured server error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Transient overload: wait out the server's retry-after hint (with
+    /// backoff) and try again.
+    RetryAfterHint,
+    /// The cached connection is stale (the server reaped it as idle):
+    /// reconnect and retry immediately — queries are read-only, so a
+    /// repeat is safe.
+    Reconnect,
+    /// Permanent for this request — surface to the caller.
+    Fatal,
+}
+
+/// The client-side disposition of every wire error code.
+///
+/// Exhaustive on purpose: adding an `ErrorCode` variant without
+/// deciding its client behaviour fails to compile here, and
+/// `cargo xtask lint` (rule `wire-registry`) checks the variant is
+/// handled and test-covered.
+#[must_use]
+pub fn disposition(code: ErrorCode) -> Disposition {
+    match code {
+        ErrorCode::Overloaded => Disposition::RetryAfterHint,
+        ErrorCode::IdleTimeout => Disposition::Reconnect,
+        ErrorCode::Malformed
+        | ErrorCode::BadVersion
+        | ErrorCode::ShuttingDown
+        | ErrorCode::Storage
+        | ErrorCode::NoReplicas
+        | ErrorCode::NoSuchReplica
+        | ErrorCode::Internal => Disposition::Fatal,
+    }
+}
+
 /// A blocking BLOT client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
@@ -221,16 +256,22 @@ impl Client {
         for attempt in 0..attempts {
             match self.query_once(range)? {
                 Ok(result) => return Ok(result),
-                Err(e) if e.code == ErrorCode::Overloaded => {
-                    self.retries += 1;
-                    let hinted = Duration::from_millis(u64::from(e.retry_after_ms));
-                    let wait = hinted.max(backoff).min(self.config.max_backoff);
-                    if attempt + 1 < attempts {
-                        std::thread::sleep(wait);
+                Err(e) => match disposition(e.code) {
+                    Disposition::RetryAfterHint => {
+                        self.retries += 1;
+                        let hinted = Duration::from_millis(u64::from(e.retry_after_ms));
+                        let wait = hinted.max(backoff).min(self.config.max_backoff);
+                        if attempt + 1 < attempts {
+                            std::thread::sleep(wait);
+                        }
+                        backoff = backoff.saturating_mul(2);
                     }
-                    backoff = backoff.saturating_mul(2);
-                }
-                Err(e) => return Err(ClientError::Server(e)),
+                    Disposition::Reconnect => {
+                        self.retries += 1;
+                        self.stream = None;
+                    }
+                    Disposition::Fatal => return Err(ClientError::Server(e)),
+                },
             }
         }
         Err(ClientError::Exhausted { attempts })
@@ -257,5 +298,32 @@ impl Client {
     #[must_use]
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn every_error_code_has_a_disposition() {
+        assert_eq!(
+            disposition(ErrorCode::Overloaded),
+            Disposition::RetryAfterHint
+        );
+        assert_eq!(disposition(ErrorCode::IdleTimeout), Disposition::Reconnect);
+        for fatal in [
+            ErrorCode::Malformed,
+            ErrorCode::BadVersion,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Storage,
+            ErrorCode::NoReplicas,
+            ErrorCode::NoSuchReplica,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(disposition(fatal), Disposition::Fatal);
+        }
     }
 }

@@ -800,6 +800,23 @@ mod tests {
     }
 
     #[test]
+    fn every_error_code_roundtrips_u16() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::BadVersion,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Storage,
+            ErrorCode::NoReplicas,
+            ErrorCode::NoSuchReplica,
+            ErrorCode::Internal,
+            ErrorCode::IdleTimeout,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), code);
+        }
+    }
+
+    #[test]
     fn fuzz_decode_survives_garbage_smoke() {
         fuzz_decode(&[]);
         fuzz_decode(b"BLOT");

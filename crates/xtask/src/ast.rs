@@ -184,7 +184,13 @@ fn parse_items(view: View<'_>, start: usize, end: usize, owner: Option<&str>, as
 
 /// Index just past the group opened at `open` (which must hold `open_t`);
 /// `end` bounds the search.
-fn matching_close(view: View<'_>, open: usize, end: usize, open_t: &str, close_t: &str) -> usize {
+pub(crate) fn matching_close(
+    view: View<'_>,
+    open: usize,
+    end: usize,
+    open_t: &str,
+    close_t: &str,
+) -> usize {
     let mut depth = 0usize;
     let mut j = open;
     while j < end {

@@ -1,0 +1,1271 @@
+//! Whole-workspace call-graph analyses: rules `panic-reachability` and
+//! `deadlock`.
+//!
+//! The per-file rules in [`crate::rules`] and [`crate::locks`] cannot
+//! see across a call: a panic hidden behind a cross-crate helper, or a
+//! lock acquired three frames below a held guard, escapes them
+//! entirely. This module resolves every intra-workspace call into one
+//! directed graph and propagates per-function facts through it:
+//!
+//! * does the function (transitively) reach a panic/unwrap/indexing
+//!   site?
+//! * which `storage::sync` locks can it (transitively) acquire?
+//! * can it (transitively) perform blocking fs/backend I/O?
+//! * can it (transitively) submit to `ScanExecutor::execute_all`?
+//!
+//! **Resolution policy (conservative over-approximation).** Calls are
+//! resolved by name, filtered by the crate dependency graph (an edge
+//! `core → xtask` is impossible and never created):
+//!
+//! * `Type::method` and `Self::method` paths match methods of that
+//!   owner anywhere in the dependency closure;
+//! * `self.method(…)` matches the enclosing impl's method first;
+//! * other `.method(…)` calls fall back to *every* workspace method of
+//!   that name (trait dispatch cannot be resolved without type
+//!   information, so all candidates get an edge) — **except** names in
+//!   [`PERVASIVE_METHODS`], which collide with `std` types so often
+//!   that the fallback would be noise; those calls stay unresolved and
+//!   are the documented under-approximation boundary (backend I/O via
+//!   `.get(…)` is still caught by the receiver-based heuristic in
+//!   [`crate::locks`]);
+//! * `std::`/`core::`/`alloc::` paths are external and never resolve.
+//!
+//! **Waiver semantics.** A panic site in a non-panic-free crate can be
+//! *vetted at the source* with `// audit: allow(panic-reachability,
+//! reason)` on (or above) the panicking line: the site stops counting
+//! for every caller at once. A frontier call can instead be waived at
+//! the call site, which also stops propagation past it. `deadlock`
+//! findings are waived at the reported call site. All waivers land in
+//! the ledger and the `ratchet.toml` pin.
+
+use crate::ast::{self, View};
+use crate::lexer::Kind;
+use crate::locks;
+use crate::rules::{self, Allow, Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+
+/// One workspace source file, as collected by the lint walk.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate directory name (`core`, `geo`, …; `blot` for the facade).
+    pub crate_name: String,
+    /// Workspace-relative path (`crates/core/src/store.rs`).
+    pub path: PathBuf,
+    /// File contents.
+    pub source: String,
+}
+
+/// Bare method names that collide with `std` collection/iterator/sync
+/// APIs so often that name-based trait-dispatch fallback would drown
+/// the graph in false edges. Calls to these stay unresolved unless the
+/// receiver is `self` or the path names the owner explicitly.
+pub const PERVASIVE_METHODS: &[&str] = &[
+    "abs",
+    "add",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "ceil",
+    "chain",
+    "checked_add",
+    "checked_mul",
+    "checked_sub",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "drain",
+    "elapsed",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "extend_from_slice",
+    "fetch_add",
+    "filter",
+    "filter_map",
+    "find",
+    "finish",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "min",
+    "mul",
+    "next",
+    "not",
+    "notify_all",
+    "notify_one",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "pop_front",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_back",
+    "push_str",
+    "read",
+    "recv",
+    "rem_euclid",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "splitn",
+    "sqrt",
+    "starts_with",
+    "store",
+    "sub",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_from",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Path roots that are external to the workspace.
+const STD_ROOTS: &[&str] = &["std", "core", "alloc"];
+
+/// One resolved call site.
+#[derive(Debug, Clone)]
+struct CallEdge {
+    /// Called name (path or bare method name).
+    callee: String,
+    /// Dotted receiver path for method calls.
+    receiver: Option<String>,
+    /// 1-based line of the callee token.
+    line: usize,
+    /// Significant-token index of the callee token (for guard spans).
+    pos: usize,
+    /// Resolved target node indices (empty when unresolved).
+    targets: Vec<usize>,
+    /// The call itself is a direct I/O site per the lexical heuristic
+    /// (already `lock-discipline`'s jurisdiction under a guard).
+    direct_io: bool,
+}
+
+/// One guard's live range inside a function body.
+#[derive(Debug, Clone)]
+struct GuardSpan {
+    /// Final path segment of the locked field.
+    lock: String,
+    /// 1-based line of the binding.
+    line: usize,
+    /// Indices into the node's `calls` that happen while it is live.
+    calls: Vec<usize>,
+    /// Direct lock acquisitions (bound or temporary) while it is live.
+    inner_acquires: Vec<(String, usize)>,
+}
+
+/// Transitive facts of one function (fixpoint result). Witnesses are
+/// formatted site descriptions; merging always keeps the minimum
+/// string so the fixpoint is independent of iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Summary {
+    /// Reaches a panic/unwrap/indexing site (non-panic-free crates
+    /// only).
+    panic: Option<String>,
+    /// Acquirable locks, each with a witness site.
+    acquires: BTreeMap<String, String>,
+    /// Reaches blocking fs/backend I/O.
+    io: Option<String>,
+    /// Reaches a `ScanExecutor::execute_all` submission.
+    submit: Option<String>,
+}
+
+/// One function node.
+#[derive(Debug, Clone)]
+struct FnNode {
+    crate_name: String,
+    file: PathBuf,
+    /// `crate::Owner::name` display form for messages.
+    display: String,
+    name: String,
+    owner: Option<String>,
+    calls: Vec<CallEdge>,
+    guards: Vec<GuardSpan>,
+    direct_panic: Option<String>,
+    direct_acquires: BTreeMap<String, String>,
+    direct_io: Option<String>,
+    direct_submit: Option<String>,
+    summary: Summary,
+}
+
+/// The resolved workspace call graph with computed transitive facts.
+#[derive(Debug)]
+pub struct Graph {
+    nodes: Vec<FnNode>,
+    panic_free: Vec<String>,
+}
+
+impl Graph {
+    /// Number of function nodes in the graph.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sorted `(caller, callee)` display-name pairs for every resolved
+    /// edge — the unit tests' window into resolution.
+    #[must_use]
+    pub fn edge_names(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for n in &self.nodes {
+            for c in &n.calls {
+                for &t in &c.targets {
+                    if let Some(tn) = self.nodes.get(t) {
+                        out.push((n.display.clone(), tn.display.clone()));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether the function displayed as `display` transitively
+    /// reaches a panic site.
+    #[must_use]
+    pub fn reaches_panic(&self, display: &str) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.display == display && n.summary.panic.is_some())
+    }
+
+    /// Locks transitively acquirable from the function displayed as
+    /// `display`, sorted.
+    #[must_use]
+    pub fn acquires(&self, display: &str) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|n| n.display == display)
+            .flat_map(|n| n.summary.acquires.keys().cloned())
+            .collect()
+    }
+}
+
+/// Parses the workspace crate dependency graph from the `Cargo.toml`
+/// manifests: `crates/<dir>/Cargo.toml` for every crate directory plus
+/// the root manifest for the `blot` facade. Only `blot-*` path
+/// dependencies matter; the result maps each crate directory name to
+/// the *transitive closure* of its workspace dependencies.
+///
+/// # Errors
+///
+/// Returns a message when a crate directory's manifest cannot be read.
+pub fn crate_deps(root: &Path) -> Result<BTreeMap<String, BTreeSet<String>>, String> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let manifest = dir.join("Cargo.toml");
+        let src = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+        direct.insert(name, manifest_deps(&src));
+    }
+    let facade = std::fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("cannot read root Cargo.toml: {e}"))?;
+    direct.insert("blot".to_string(), manifest_deps(&facade));
+    Ok(transitive_closure(&direct))
+}
+
+/// Workspace dependency directory names (`blot-core` → `core`) from
+/// one manifest's `[dependencies]` / `[dev-dependencies]` sections.
+fn manifest_deps(manifest: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = matches!(line, "[dependencies]" | "[dev-dependencies]");
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some((key, _)) = line.split_once('=') {
+            let key = key.trim();
+            if let Some(dep) = key.strip_prefix("blot-") {
+                out.insert(dep.to_string());
+            }
+        }
+    }
+    out
+}
+
+fn transitive_closure(
+    direct: &BTreeMap<String, BTreeSet<String>>,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut closed = direct.clone();
+    loop {
+        let mut changed = false;
+        let snapshot = closed.clone();
+        for deps in closed.values_mut() {
+            let mut add = BTreeSet::new();
+            for d in deps.iter() {
+                if let Some(dd) = snapshot.get(d) {
+                    add.extend(dd.iter().cloned());
+                }
+            }
+            for a in add {
+                changed |= deps.insert(a);
+            }
+        }
+        if !changed {
+            return closed;
+        }
+    }
+}
+
+/// Builds the workspace call graph from parsed sources, resolves call
+/// edges under the dependency graph, and runs the transitive-fact
+/// fixpoint. `allows` is the live waiver ledger: panic sites vetted at
+/// the source consume their `allow(panic-reachability, …)` entries
+/// here.
+#[must_use]
+pub fn build(
+    files: &[SourceFile],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+    panic_free: &[&str],
+    allows: &mut Vec<Allow>,
+) -> Graph {
+    let mut nodes: Vec<FnNode> = Vec::new();
+    for file in files {
+        let (tokens, sig) = rules::lex_significant(&file.source);
+        let view = View::new(&tokens, &sig);
+        let parsed = ast::parse(view);
+        // A file that defines its own `fn expect` / `fn unwrap` (the
+        // blot-json parser does) calls them as `self.expect(…)`; those
+        // are not Option/Result panic methods.
+        let local_panic_methods: BTreeSet<&str> = parsed
+            .fns
+            .iter()
+            .filter(|f| matches!(f.name.as_str(), "expect" | "unwrap"))
+            .map(|f| f.name.as_str())
+            .collect();
+        let is_panic_free = panic_free.contains(&file.crate_name.as_str());
+        for f in &parsed.fns {
+            let Some((b0, b1)) = f.body else {
+                continue;
+            };
+            nodes.push(extract_fn(
+                file,
+                view,
+                f,
+                b0,
+                b1,
+                is_panic_free,
+                &local_panic_methods,
+                allows,
+            ));
+        }
+    }
+    resolve(&mut nodes, deps);
+    fixpoint(&mut nodes, panic_free);
+    Graph {
+        nodes,
+        panic_free: panic_free.iter().map(|s| (*s).to_string()).collect(),
+    }
+}
+
+/// Runs both call-graph rule families and returns the raw violations
+/// (the caller applies the site-waiver ledger).
+#[must_use]
+pub fn check_workspace(
+    files: &[SourceFile],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+    panic_free: &[&str],
+    allows: &mut Vec<Allow>,
+) -> Vec<Violation> {
+    let graph = build(files, deps, panic_free, allows);
+    let mut out = check_panic_reach(&graph);
+    out.extend(check_deadlock(&graph));
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out.dedup_by(|a, b| {
+        a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+    });
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_fn(
+    file: &SourceFile,
+    view: View<'_>,
+    f: &ast::FnDecl,
+    b0: usize,
+    b1: usize,
+    is_panic_free: bool,
+    local_panic_methods: &BTreeSet<&str>,
+    allows: &mut Vec<Allow>,
+) -> FnNode {
+    let display = match &f.owner {
+        Some(o) => format!("{}::{o}::{}", file.crate_name, f.name),
+        None => format!("{}::{}", file.crate_name, f.name),
+    };
+    let raw_calls = ast::calls_in(view, b0, b1);
+    let mut calls = Vec::with_capacity(raw_calls.len());
+    let mut direct_io: Option<String> = None;
+    let mut direct_submit: Option<String> = None;
+    for c in &raw_calls {
+        let io = locks::is_io_call(c);
+        if io {
+            merge_min(
+                &mut direct_io,
+                format!("`{}` I/O at {}:{}", c.callee, file.path.display(), c.line),
+            );
+        }
+        if c.callee == "execute_all" || c.callee.ends_with("::execute_all") {
+            merge_min(
+                &mut direct_submit,
+                format!(
+                    "`ScanExecutor::execute_all` submission at {}:{}",
+                    file.path.display(),
+                    c.line
+                ),
+            );
+        }
+        calls.push(CallEdge {
+            callee: c.callee.clone(),
+            receiver: c.receiver.clone(),
+            line: c.line,
+            pos: c.pos,
+            targets: Vec::new(),
+            direct_io: io,
+        });
+    }
+
+    // Direct lock acquisitions (bound or temporary), for the lock graph
+    // and the transitive-acquisition facts.
+    let mut direct_acquires: BTreeMap<String, String> = BTreeMap::new();
+    let mut acquire_sites: Vec<(String, usize)> = Vec::new();
+    for j in b0..b1 {
+        if let Some((lock, _)) = locks::acquisition_at(view, b0, j) {
+            let line = view.line(j);
+            acquire_sites.push((lock.clone(), line));
+            let witness = format!("lock `{lock}` acquired at {}:{line}", file.path.display());
+            match direct_acquires.entry(lock) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(witness);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if witness < *e.get() {
+                        e.insert(witness);
+                    }
+                }
+            }
+        }
+    }
+
+    // Guard spans: which calls and which further acquisitions happen
+    // while each bound guard is live.
+    let depths = locks::brace_depths(view, b0, b1);
+    let mut guards = Vec::new();
+    for g in locks::collect_guards(view, b0, b1, &depths) {
+        let call_idx: Vec<usize> = calls
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.pos >= g.from && c.pos < g.until)
+            .map(|(i, _)| i)
+            .collect();
+        let inner_acquires: Vec<(String, usize)> = (g.from..g.until)
+            .filter_map(|j| locks::acquisition_at(view, b0, j).map(|(l, _)| (l, view.line(j))))
+            .collect();
+        guards.push(GuardSpan {
+            lock: g.lock,
+            line: g.line,
+            calls: call_idx,
+            inner_acquires,
+        });
+    }
+
+    // Panic/unwrap/indexing sites. Panic-free crates are the lexical
+    // `panic` rule's jurisdiction (their sites are either violations
+    // there or carry `allow(panic, …)` vets), so only other crates
+    // seed reachability.
+    let direct_panic = if is_panic_free {
+        None
+    } else {
+        direct_panic_site(file, view, b0, b1, local_panic_methods, allows)
+    };
+    let _ = acquire_sites; // folded into direct_acquires above
+
+    FnNode {
+        crate_name: file.crate_name.clone(),
+        file: file.path.clone(),
+        display,
+        name: f.name.clone(),
+        owner: f.owner.clone(),
+        calls,
+        guards,
+        direct_panic,
+        direct_acquires,
+        direct_io,
+        direct_submit,
+        summary: Summary::default(),
+    }
+}
+
+/// The minimum unvetted panic-site description in `[b0, b1)`, if any.
+/// Vetted sites consume their `allow(panic-reachability)` ledger entry.
+fn direct_panic_site(
+    file: &SourceFile,
+    view: View<'_>,
+    b0: usize,
+    b1: usize,
+    local_panic_methods: &BTreeSet<&str>,
+    allows: &mut Vec<Allow>,
+) -> Option<String> {
+    let mut out: Option<String> = None;
+    let mut site = |desc: String, line: usize, allows: &mut Vec<Allow>| {
+        if !vetted(allows, &file.path, line) {
+            merge_min(&mut out, desc);
+        }
+    };
+    for j in b0..b1 {
+        // `.unwrap()` / `.expect(`
+        if view.text(j) == Some(".") {
+            if let (Some(m), Some("(")) = (view.text(j + 1), view.text(j + 2)) {
+                if matches!(m, "unwrap" | "expect") {
+                    let own_method = local_panic_methods.contains(m)
+                        && j > b0
+                        && view.text(j - 1) == Some("self");
+                    if !own_method {
+                        let line = view.line(j + 1);
+                        site(
+                            format!("`.{m}(…)` at {}:{line}", file.path.display()),
+                            line,
+                            allows,
+                        );
+                    }
+                }
+            }
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+        if let Some(m) = view.text(j) {
+            if matches!(m, "panic" | "unreachable" | "todo" | "unimplemented")
+                && view.text(j + 1) == Some("!")
+            {
+                let line = view.line(j);
+                site(
+                    format!("`{m}!` at {}:{line}", file.path.display()),
+                    line,
+                    allows,
+                );
+            }
+        }
+        // `expr[…]` indexing
+        if view.text(j) == Some("[") && j > b0 {
+            let is_index_base = match view.kind(j - 1) {
+                Some(Kind::Ident) => {
+                    let prev = view.text(j - 1).unwrap_or_default();
+                    !rules::NON_VALUE_KEYWORDS.contains(&prev) && !prev.starts_with('\'')
+                }
+                Some(Kind::Punct) => matches!(view.text(j - 1), Some(")" | "]")),
+                _ => false,
+            };
+            if is_index_base {
+                let line = view.line(j);
+                site(
+                    format!("`[…]` indexing at {}:{line}", file.path.display()),
+                    line,
+                    allows,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Marks a matching source-vet allow used, if present.
+fn vetted(allows: &mut [Allow], file: &Path, line: usize) -> bool {
+    if let Some(a) = allows.iter_mut().find(|a| {
+        a.rule == Rule::PanicReach
+            && a.file == file
+            && (a.file_wide || a.line == line || a.line + 1 == line)
+    }) {
+        a.used += 1;
+        return true;
+    }
+    false
+}
+
+fn merge_min(dst: &mut Option<String>, src: String) {
+    match dst {
+        Some(cur) if *cur <= src => {}
+        _ => *dst = Some(src),
+    }
+}
+
+/// Resolves every call to its candidate target nodes, filtered by the
+/// crate dependency graph.
+fn resolve(nodes: &mut [FnNode], deps: &BTreeMap<String, BTreeSet<String>>) {
+    let mut free_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut methods_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut by_owner: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        match &n.owner {
+            Some(o) => {
+                methods_by_name.entry(n.name.clone()).or_default().push(i);
+                by_owner
+                    .entry((o.clone(), n.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+            None => free_by_name.entry(n.name.clone()).or_default().push(i),
+        }
+    }
+    let crates: Vec<String> = nodes.iter().map(|n| n.crate_name.clone()).collect();
+    let owners: Vec<Option<String>> = nodes.iter().map(|n| n.owner.clone()).collect();
+
+    for i in 0..nodes.len() {
+        let caller_crate = crates[i].clone();
+        let caller_deps = deps.get(&caller_crate);
+        let allowed = |t: usize, crates: &[String]| {
+            crates[t] == caller_crate || caller_deps.is_some_and(|d| d.contains(&crates[t]))
+        };
+        for k in 0..nodes[i].calls.len() {
+            let (callee, receiver) = {
+                let c = &nodes[i].calls[k];
+                (c.callee.clone(), c.receiver.clone())
+            };
+            let empty: Vec<usize> = Vec::new();
+            let candidates: &Vec<usize> = if let Some((path, last)) = callee.rsplit_once("::") {
+                let root = path.split("::").next().unwrap_or_default();
+                if STD_ROOTS.contains(&root) {
+                    &empty
+                } else {
+                    let qual = path.rsplit("::").next().unwrap_or_default();
+                    if qual == "Self" {
+                        match &owners[i] {
+                            Some(o) => by_owner
+                                .get(&(o.clone(), last.to_string()))
+                                .unwrap_or(&empty),
+                            None => &empty,
+                        }
+                    } else if qual.chars().next().is_some_and(char::is_uppercase) {
+                        by_owner
+                            .get(&(qual.to_string(), last.to_string()))
+                            .unwrap_or(&empty)
+                    } else {
+                        free_by_name.get(last).unwrap_or(&empty)
+                    }
+                }
+            } else if receiver.is_some() {
+                let own = owners[i].as_ref().and_then(|o| {
+                    (receiver.as_deref() == Some("self"))
+                        .then(|| by_owner.get(&(o.clone(), callee.clone())))
+                        .flatten()
+                });
+                match own {
+                    Some(ids) if !ids.is_empty() => ids,
+                    _ if PERVASIVE_METHODS.contains(&callee.as_str()) => &empty,
+                    _ => methods_by_name.get(&callee).unwrap_or(&empty),
+                }
+            } else {
+                free_by_name.get(&callee).unwrap_or(&empty)
+            };
+            let targets: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&t| allowed(t, &crates))
+                .collect();
+            nodes[i].calls[k].targets = targets;
+        }
+    }
+}
+
+/// Jacobi fixpoint over the transitive facts. Witness strings merge by
+/// minimum, so the result is independent of node order.
+fn fixpoint(nodes: &mut [FnNode], panic_free: &[&str]) {
+    loop {
+        let mut changed = false;
+        let fresh: Vec<Summary> = nodes
+            .iter()
+            .map(|n| {
+                let is_pf = panic_free.contains(&n.crate_name.as_str());
+                let mut s = Summary {
+                    panic: if is_pf { None } else { n.direct_panic.clone() },
+                    acquires: n.direct_acquires.clone(),
+                    io: n.direct_io.clone(),
+                    submit: n.direct_submit.clone(),
+                };
+                for c in &n.calls {
+                    for &t in &c.targets {
+                        let Some(tn) = nodes.get(t) else { continue };
+                        if !is_pf && !panic_free.contains(&tn.crate_name.as_str()) {
+                            if let Some(p) = &tn.summary.panic {
+                                merge_min(&mut s.panic, p.clone());
+                            }
+                        }
+                        for (lock, w) in &tn.summary.acquires {
+                            match s.acquires.get(lock) {
+                                Some(cur) if cur <= w => {}
+                                _ => {
+                                    s.acquires.insert(lock.clone(), w.clone());
+                                }
+                            }
+                        }
+                        if let Some(w) = &tn.summary.io {
+                            merge_min(&mut s.io, w.clone());
+                        }
+                        if let Some(w) = &tn.summary.submit {
+                            merge_min(&mut s.submit, w.clone());
+                        }
+                    }
+                }
+                s
+            })
+            .collect();
+        for (n, s) in nodes.iter_mut().zip(fresh) {
+            if n.summary != s {
+                n.summary = s;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Rule `panic-reachability`: report every *frontier* call — a call in
+/// a panic-free crate whose target lives outside the panic-free set
+/// and can transitively reach a panic site. Reporting the frontier
+/// (not every transitive caller) yields one finding per escape hatch,
+/// and a waiver there cuts propagation for every caller above it.
+fn check_panic_reach(graph: &Graph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for n in &graph.nodes {
+        if !graph.panic_free.contains(&n.crate_name) {
+            continue;
+        }
+        for c in &n.calls {
+            for &t in &c.targets {
+                let Some(tn) = graph.nodes.get(t) else {
+                    continue;
+                };
+                if graph.panic_free.contains(&tn.crate_name) {
+                    continue;
+                }
+                if let Some(site) = &tn.summary.panic {
+                    out.push(Violation {
+                        rule: Rule::PanicReach,
+                        file: n.file.clone(),
+                        line: c.line,
+                        message: format!(
+                            "`{}` calls `{}` which can reach {site} — handle the failure \
+                             or vet the site with `audit: allow(panic-reachability, …)`",
+                            n.display, tn.display
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule `deadlock`: transitive hazards while a guard is held, plus
+/// cycles in the workspace lock-acquisition graph.
+fn check_deadlock(graph: &Graph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Edges of the lock graph: held → acquired, with one witness each.
+    let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+    let edge = |held: &str,
+                acquired: &str,
+                witness: String,
+                edges: &mut BTreeMap<(String, String), String>| {
+        let key = (held.to_string(), acquired.to_string());
+        match edges.get(&key) {
+            Some(cur) if *cur <= witness => {}
+            _ => {
+                edges.insert(key, witness);
+            }
+        }
+    };
+    for n in &graph.nodes {
+        for g in &n.guards {
+            for (l2, line) in &g.inner_acquires {
+                let witness = format!(
+                    "`{}` acquires `{l2}` at {}:{line} while `{}` is held",
+                    n.display,
+                    n.file.display(),
+                    g.lock
+                );
+                if *l2 == g.lock {
+                    out.push(Violation {
+                        rule: Rule::Deadlock,
+                        file: n.file.clone(),
+                        line: *line,
+                        message: format!(
+                            "lock `{}` (guard bound on line {}) re-acquired in the same \
+                             scope — self-deadlock",
+                            g.lock, g.line
+                        ),
+                    });
+                } else {
+                    edge(&g.lock, l2, witness, &mut edges);
+                }
+            }
+            for &ci in &g.calls {
+                let Some(c) = n.calls.get(ci) else { continue };
+                let direct_submit =
+                    c.callee == "execute_all" || c.callee.ends_with("::execute_all");
+                if direct_submit {
+                    out.push(Violation {
+                        rule: Rule::Deadlock,
+                        file: n.file.clone(),
+                        line: c.line,
+                        message: format!(
+                            "`ScanExecutor::execute_all` submitted while guard `{}` \
+                             (bound on line {}) is held — the batch can need this \
+                             thread's lock to finish",
+                            g.lock, g.line
+                        ),
+                    });
+                }
+                for &t in &c.targets {
+                    let Some(tn) = graph.nodes.get(t) else {
+                        continue;
+                    };
+                    for (l2, w) in &tn.summary.acquires {
+                        if *l2 == g.lock {
+                            out.push(Violation {
+                                rule: Rule::Deadlock,
+                                file: n.file.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "calling `{}` while guard `{}` (bound on line {}) is \
+                                     held re-acquires `{}` ({w})",
+                                    tn.display, g.lock, g.line, g.lock
+                                ),
+                            });
+                        } else {
+                            if let (Some(ra), Some(rh)) = (locks::rank(l2), locks::rank(&g.lock)) {
+                                if ra < rh {
+                                    out.push(Violation {
+                                        rule: Rule::Deadlock,
+                                        file: n.file.clone(),
+                                        line: c.line,
+                                        message: format!(
+                                            "calling `{}` while guard `{}` is held acquires \
+                                             `{l2}` against the declared order {:?} ({w})",
+                                            tn.display,
+                                            g.lock,
+                                            locks::LOCK_ORDER
+                                        ),
+                                    });
+                                }
+                            }
+                            let witness = format!(
+                                "`{}` calls `{}` at {}:{} which {w}",
+                                n.display,
+                                tn.display,
+                                n.file.display(),
+                                c.line
+                            );
+                            edge(&g.lock, l2, witness, &mut edges);
+                        }
+                    }
+                    if !c.direct_io {
+                        if let Some(w) = &tn.summary.io {
+                            out.push(Violation {
+                                rule: Rule::Deadlock,
+                                file: n.file.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "calling `{}` while guard `{}` (bound on line {}) is \
+                                     held reaches blocking I/O ({w})",
+                                    tn.display, g.lock, g.line
+                                ),
+                            });
+                        }
+                    }
+                    if !direct_submit {
+                        if let Some(w) = &tn.summary.submit {
+                            out.push(Violation {
+                                rule: Rule::Deadlock,
+                                file: n.file.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "calling `{}` while guard `{}` (bound on line {}) is \
+                                     held reaches {w}",
+                                    tn.display, g.lock, g.line
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.extend(lock_cycles(&edges));
+    out
+}
+
+/// Cycle detection over the lock graph. Mutually-reachable lock sets
+/// (size ≥ 2) are reported once each, at the witness of their
+/// lexicographically first internal edge.
+fn lock_cycles(edges: &BTreeMap<(String, String), String>) -> Vec<Violation> {
+    let locks: BTreeSet<&str> = edges
+        .keys()
+        .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+        .collect();
+    // Transitive closure by iteration (the graph has a handful of
+    // nodes).
+    let mut reach: BTreeMap<&str, BTreeSet<&str>> = locks
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                edges
+                    .keys()
+                    .filter(|(a, _)| a == l)
+                    .map(|(_, b)| b.as_str())
+                    .collect(),
+            )
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        let snapshot = reach.clone();
+        for set in reach.values_mut() {
+            let mut add = BTreeSet::new();
+            for &m in set.iter() {
+                if let Some(ms) = snapshot.get(m) {
+                    add.extend(ms.iter().copied());
+                }
+            }
+            for a in add {
+                changed |= set.insert(a);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<Vec<&str>> = BTreeSet::new();
+    for &l in &locks {
+        let mutual: Vec<&str> = locks
+            .iter()
+            .copied()
+            .filter(|&m| {
+                m != l
+                    && reach.get(l).is_some_and(|s| s.contains(m))
+                    && reach.get(m).is_some_and(|s| s.contains(l))
+            })
+            .collect();
+        if mutual.is_empty() {
+            continue;
+        }
+        let mut members: Vec<&str> = mutual;
+        members.push(l);
+        members.sort_unstable();
+        if !seen.insert(members.clone()) {
+            continue;
+        }
+        // Witness: the first edge between two members.
+        let witness = edges
+            .iter()
+            .find(|((a, b), _)| members.contains(&a.as_str()) && members.contains(&b.as_str()))
+            .map(|(_, w)| w.as_str())
+            .unwrap_or_default();
+        out.push(Violation {
+            rule: Rule::Deadlock,
+            file: PathBuf::from("workspace"),
+            line: 1,
+            message: format!(
+                "lock-acquisition cycle between {}: {witness}",
+                members
+                    .iter()
+                    .map(|m| format!("`{m}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, name: &str, source: &str) -> SourceFile {
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            path: PathBuf::from(format!("crates/{crate_name}/src/{name}")),
+            source: source.to_string(),
+        }
+    }
+
+    fn deps(pairs: &[(&str, &[&str])]) -> BTreeMap<String, BTreeSet<String>> {
+        pairs
+            .iter()
+            .map(|(c, ds)| {
+                (
+                    (*c).to_string(),
+                    ds.iter().map(|d| (*d).to_string()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve_and_respect_the_dep_graph() {
+        let files = [
+            file(
+                "core",
+                "a.rs",
+                "pub fn caller() { helper(); blot_geo::helper(); }\n",
+            ),
+            file("geo", "b.rs", "pub fn helper() { }\n"),
+            file("xtask", "c.rs", "pub fn helper() { }\n"),
+        ];
+        let d = deps(&[("core", &["geo"]), ("geo", &[]), ("xtask", &[])]);
+        let mut allows = Vec::new();
+        let g = build(&files, &d, &["core"], &mut allows);
+        let edges = g.edge_names();
+        assert!(
+            edges.contains(&("core::caller".to_string(), "geo::helper".to_string())),
+            "edges: {edges:?}"
+        );
+        // `xtask` is not in core's dependency closure: no edge.
+        assert!(
+            !edges.iter().any(|(_, callee)| callee == "xtask::helper"),
+            "edges: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn method_dispatch_falls_back_to_every_owner_conservatively() {
+        let files = [file(
+            "core",
+            "m.rs",
+            "struct A; struct B;\n\
+             impl A { fn scan_units(&self) {} }\n\
+             impl B { fn scan_units(&self) {} }\n\
+             pub fn driver(x: &A) { x.scan_units(); }\n",
+        )];
+        let d = deps(&[("core", &[])]);
+        let mut allows = Vec::new();
+        let g = build(&files, &d, &[], &mut allows);
+        let edges = g.edge_names();
+        assert!(
+            edges.contains(&(
+                "core::driver".to_string(),
+                "core::A::scan_units".to_string()
+            )) && edges.contains(&(
+                "core::driver".to_string(),
+                "core::B::scan_units".to_string()
+            )),
+            "trait-dispatch fallback must over-approximate: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn pervasive_method_names_stay_unresolved() {
+        let files = [file(
+            "core",
+            "p.rs",
+            "struct Backend;\n\
+             impl Backend { fn get(&self) { std::fs::read(\"x\"); } }\n\
+             pub fn driver(m: &std::collections::HashMap<u32, u32>) { m.get(&1); }\n",
+        )];
+        let d = deps(&[("core", &[])]);
+        let mut allows = Vec::new();
+        let g = build(&files, &d, &[], &mut allows);
+        assert!(
+            g.edge_names().is_empty(),
+            "`.get(…)` must not resolve by bare name: {:?}",
+            g.edge_names()
+        );
+    }
+
+    #[test]
+    fn self_receiver_resolves_to_the_enclosing_impl_first() {
+        let files = [file(
+            "core",
+            "s.rs",
+            "struct S;\n\
+             impl S { fn outer(&self) { self.helper_step(); } fn helper_step(&self) {} }\n",
+        )];
+        let d = deps(&[("core", &[])]);
+        let mut allows = Vec::new();
+        let g = build(&files, &d, &[], &mut allows);
+        assert_eq!(
+            g.edge_names(),
+            vec![(
+                "core::S::outer".to_string(),
+                "core::S::helper_step".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn panic_facts_propagate_transitively_and_vets_cut_them() {
+        let src_geo = "pub fn outer_helper() { middle_helper(); }\n\
+                       fn middle_helper() { deepest(); }\n\
+                       fn deepest() { panic!(\"boom\"); }\n\
+                       pub fn vetted_helper() {\n\
+                           // audit: allow(panic-reachability, unreachable by contract)\n\
+                           panic!(\"never\");\n\
+                       }\n";
+        let files = [file("geo", "g.rs", src_geo)];
+        let d = deps(&[("geo", &[])]);
+        let mut allows = crate::rules::audit_file(
+            Path::new("crates/geo/src/g.rs"),
+            src_geo,
+            crate::rules::RuleSet::default(),
+        )
+        .allows;
+        let g = build(&files, &d, &[], &mut allows);
+        assert!(g.reaches_panic("geo::outer_helper"));
+        assert!(g.reaches_panic("geo::middle_helper"));
+        assert!(!g.reaches_panic("geo::vetted_helper"));
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].used, 1, "the vet must be ledgered as used");
+    }
+
+    #[test]
+    fn lock_facts_propagate_through_calls() {
+        let files = [file(
+            "storage",
+            "l.rs",
+            "fn low_level() { self_units().units.write().insert(1); }\n\
+             pub fn high_level() { low_level(); }\n",
+        )];
+        let d = deps(&[("storage", &[])]);
+        let mut allows = Vec::new();
+        let g = build(&files, &d, &[], &mut allows);
+        assert_eq!(g.acquires("storage::high_level"), vec!["units".to_string()]);
+    }
+
+    #[test]
+    fn graph_construction_is_deterministic_across_file_orderings() {
+        let a = file(
+            "core",
+            "a.rs",
+            "pub fn f1() { g1(); }\npub fn g1() { blot_geo::boom(); }\n",
+        );
+        let b = file("geo", "b.rs", "pub fn boom() { panic!(\"x\"); }\n");
+        let c = file(
+            "storage",
+            "c.rs",
+            "pub fn hold() { let g = self_log().log.lock(); g1(); drop(g); }\n",
+        );
+        let d = deps(&[
+            ("core", &["geo"]),
+            ("geo", &[]),
+            ("storage", &["core", "geo"]),
+        ]);
+        let orders: Vec<Vec<SourceFile>> = vec![
+            vec![a.clone(), b.clone(), c.clone()],
+            vec![c.clone(), a.clone(), b.clone()],
+            vec![b, c, a],
+        ];
+        let mut reports = Vec::new();
+        for files in orders {
+            let mut allows = Vec::new();
+            let v = check_workspace(&files, &d, &["core"], &mut allows);
+            reports.push(
+                v.iter()
+                    .map(|x| format!("{x}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+    }
+}

@@ -38,6 +38,23 @@
 //!   encoder, a decoder, a round-trip proptest, and a fuzz target; see
 //!   [`registry`];
 //!
+//! v3 adds three *workspace-scoped* analyses that reason across crate
+//! boundaries instead of file by file:
+//!
+//! * **panic-reachability** — no function in a panic-free crate may
+//!   transitively reach a panic/unwrap/indexing site in another
+//!   workspace crate; the workspace call graph closes the cross-crate
+//!   escape hatch the lexical `panic` rule cannot see; see
+//!   [`callgraph`];
+//! * **deadlock** — held-guard sets propagate through call edges:
+//!   transitive re-acquisition, lock-order inversion, blocking I/O or
+//!   `ScanExecutor::execute_all` under a guard, and cycles in the
+//!   workspace lock-acquisition graph all fail; see [`callgraph`];
+//! * **wire-registry** — every `server::wire`
+//!   `Request`/`Response`/`ErrorCode` variant needs encode + decode
+//!   arms, client-side handling, and a test-corpus mention; see
+//!   [`registry`];
+//!
 //! plus the **ratchet**: `crates/xtask/ratchet.toml` pins the
 //! per-rule waiver counts, and the lint fails when the live ledger
 //! drifts from the pin in either direction (see [`ratchet`]).
@@ -52,6 +69,7 @@
 #![allow(clippy::indexing_slicing)]
 
 pub mod ast;
+pub mod callgraph;
 pub mod deps;
 pub mod fuzz;
 pub mod lexer;
@@ -149,28 +167,14 @@ impl Report {
             self.files_scanned,
             self.violations.len()
         );
-        for rule in [
-            Rule::Panic,
-            Rule::Indexing,
-            Rule::LossyCast,
-            Rule::ErrorsDoc,
-            Rule::ErrorTraits,
-            Rule::Deps,
-            Rule::UnitSafety,
-            Rule::LockDiscipline,
-            Rule::ThreadDiscipline,
-            Rule::MetricsDiscipline,
-            Rule::Registry,
-            Rule::Ratchet,
-            Rule::UnusedAllow,
-        ] {
+        for &rule in Rule::ALL {
             let n = self.count(rule);
             let waived = self.waived.get(&rule).copied().unwrap_or(0);
             if n > 0 || waived > 0 {
                 let _ = writeln!(out, "  {rule:<14} {n} violation(s), {waived} waived");
             }
         }
-        let used: Vec<&Allow> = self.allows.iter().filter(|a| a.used > 0).collect();
+        let used: Vec<&Allow> = self.used_allows();
         if !used.is_empty() {
             let _ = writeln!(out, "allow ledger ({} entr{}):", used.len(), {
                 if used.len() == 1 {
@@ -198,6 +202,71 @@ impl Report {
         }
         out
     }
+
+    fn used_allows(&self) -> Vec<&Allow> {
+        self.allows.iter().filter(|a| a.used > 0).collect()
+    }
+
+    /// Machine-readable report for `cargo xtask lint --json`: the
+    /// verdict, every violation, and the live waiver ledger.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // counts, far below 2^52
+    pub fn to_json(&self) -> blot_json::Json {
+        use blot_json::Json;
+        let violations: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("rule", Json::Str(v.rule.name().to_string())),
+                    ("file", Json::Str(v.file.display().to_string())),
+                    ("line", Json::Num(v.line as f64)),
+                    ("message", Json::Str(v.message.clone())),
+                ])
+            })
+            .collect();
+        let allows: Vec<Json> = self
+            .used_allows()
+            .into_iter()
+            .map(|a| {
+                Json::obj([
+                    ("rule", Json::Str(a.rule.name().to_string())),
+                    ("file", Json::Str(a.file.display().to_string())),
+                    ("line", Json::Num(a.line as f64)),
+                    ("file_wide", Json::Bool(a.file_wide)),
+                    ("used", Json::Num(a.used as f64)),
+                    ("reason", Json::Str(a.reason.clone())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("clean", Json::Bool(self.is_clean())),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            ("violations", Json::Arr(violations)),
+            ("allows", Json::Arr(allows)),
+        ])
+    }
+
+    /// GitHub Actions workflow annotations, one `::error` line per
+    /// violation — the CI lint lane emits these so findings surface
+    /// inline on the pull request diff.
+    #[must_use]
+    pub fn github_annotations(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            // Annotation text must be single-line; %0A is the Actions
+            // escape for a literal newline, commas/colons are fine.
+            let message = v.message.replace('\n', "%0A");
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title=blot-audit {}::{message}",
+                v.file.display(),
+                v.line,
+                v.rule
+            );
+        }
+        out
+    }
 }
 
 /// Lints the workspace rooted at `root`.
@@ -221,20 +290,30 @@ pub fn lint_workspace(root: &Path, with_deps: bool) -> Result<Report, String> {
         .collect();
     crate_dirs.sort();
 
+    let mut sources: Vec<callgraph::SourceFile> = Vec::new();
     for dir in crate_dirs {
         let crate_name = dir
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or_default()
             .to_string();
-        lint_crate(root, &dir, &crate_name, &mut report)?;
+        lint_crate(root, &dir, &crate_name, &mut report, &mut sources)?;
     }
     // The facade crate's own sources.
-    lint_crate(root, root, "blot", &mut report)?;
+    lint_crate(root, root, "blot", &mut report, &mut sources)?;
 
     if with_deps {
         report.violations.extend(deps::audit_dependencies(root)?);
     }
+
+    // Workspace call-graph analyses: transitive panic-reachability and
+    // deadlock detection across crate boundaries. Source vets consume
+    // their allow entries inside `check_workspace`; frontier/call-site
+    // waivers apply here like any per-site rule.
+    let dep_graph = callgraph::crate_deps(root)?;
+    let cg_violations =
+        callgraph::check_workspace(&sources, &dep_graph, PANIC_FREE_CRATES, &mut report.allows);
+    apply_allows(cg_violations, &mut report);
 
     // Registry completeness: the codec scheme enums against their
     // encoder/decoder arms, property tests and fuzz targets.
@@ -250,6 +329,26 @@ pub fn lint_workspace(root: &Path, with_deps: bool) -> Result<Report, String> {
         props_file,
         &props_src,
         &fuzz::target_names(),
+    ));
+
+    // Wire-protocol registry: server request/response/error-code
+    // variants against their encode/decode arms, client handling, and
+    // test coverage.
+    let wire_file = Path::new("crates/server/src/wire.rs");
+    let client_file = Path::new("crates/server/src/client.rs");
+    let e2e_file = Path::new("crates/server/tests/e2e.rs");
+    let wire_src = std::fs::read_to_string(root.join(wire_file))
+        .map_err(|e| format!("cannot read {}: {e}", wire_file.display()))?;
+    let client_src = std::fs::read_to_string(root.join(client_file))
+        .map_err(|e| format!("cannot read {}: {e}", client_file.display()))?;
+    let e2e_src = std::fs::read_to_string(root.join(e2e_file))
+        .map_err(|e| format!("cannot read {}: {e}", e2e_file.display()))?;
+    report.violations.extend(registry::check_wire_registry(
+        wire_file,
+        &wire_src,
+        client_file,
+        &client_src,
+        &e2e_src,
     ));
 
     // The waiver ratchet: live allow-comment counts against the pins.
@@ -271,11 +370,31 @@ pub fn lint_workspace(root: &Path, with_deps: bool) -> Result<Report, String> {
     Ok(report)
 }
 
+/// Applies the site-waiver ledger to workspace-scoped violations (the
+/// per-file rules do this inside [`rules::audit_file`]; workspace rules
+/// arrive after the walk, so the match must compare files too).
+fn apply_allows(raw: Vec<Violation>, report: &mut Report) {
+    for v in raw {
+        let allow = report.allows.iter_mut().find(|a| {
+            a.rule == v.rule
+                && a.file == v.file
+                && (a.file_wide || a.line == v.line || a.line + 1 == v.line)
+        });
+        if let Some(a) = allow {
+            a.used += 1;
+            *report.waived.entry(v.rule).or_default() += 1;
+        } else {
+            report.violations.push(v);
+        }
+    }
+}
+
 fn lint_crate(
     root: &Path,
     dir: &Path,
     crate_name: &str,
     report: &mut Report,
+    sources: &mut Vec<callgraph::SourceFile>,
 ) -> Result<(), String> {
     let src = dir.join("src");
     if !src.is_dir() {
@@ -309,6 +428,11 @@ fn lint_crate(
             metrics_discipline: METRICS_DISCIPLINE_CRATES.contains(&crate_name),
         };
         let rel = file.strip_prefix(root).unwrap_or(file);
+        sources.push(callgraph::SourceFile {
+            crate_name: crate_name.to_string(),
+            path: rel.to_path_buf(),
+            source: source.clone(),
+        });
         let fr = rules::audit_file(rel, &source, rules);
         report.files_scanned += 1;
         report.violations.extend(fr.violations);

@@ -34,19 +34,20 @@ const IO_METHODS: &[&str] = &["get", "put", "delete", "list", "size_of", "total_
 /// Receiver path segments that identify a backend value.
 const BACKEND_RECEIVERS: &[&str] = &["backend", "inner"];
 
-/// One tracked guard binding.
-struct Guard {
+/// One tracked guard binding. Shared with [`crate::callgraph`], which
+/// lifts the same liveness model to workspace call edges.
+pub(crate) struct Guard {
     /// Binding name (`_g`, `units`).
-    name: String,
+    pub(crate) name: String,
     /// Final segment of the locked path (`self.units` → `units`).
-    lock: String,
+    pub(crate) lock: String,
     /// Significant-token index where liveness starts (just after the
     /// binding statement's `;`).
-    from: usize,
+    pub(crate) from: usize,
     /// Exclusive end of liveness (enclosing block close or `drop`).
-    until: usize,
+    pub(crate) until: usize,
     /// 1-based line of the binding.
-    line: usize,
+    pub(crate) line: usize,
 }
 
 /// Scans every function body for guard-liveness and lock-order issues.
@@ -105,13 +106,13 @@ fn scan_body(file: &Path, view: View<'_>, start: usize, end: usize, out: &mut Ve
     }
 }
 
-fn rank(lock: &str) -> Option<usize> {
+pub(crate) fn rank(lock: &str) -> Option<usize> {
     LOCK_ORDER.iter().position(|&l| l == lock)
 }
 
 /// Brace depth *after* each token in `[start, end)`, relative to the
 /// body (index 0 ↔ `start`).
-fn brace_depths(view: View<'_>, start: usize, end: usize) -> Vec<i32> {
+pub(crate) fn brace_depths(view: View<'_>, start: usize, end: usize) -> Vec<i32> {
     let mut depths = Vec::with_capacity(end.saturating_sub(start));
     let mut d = 0i32;
     for j in start..end {
@@ -128,7 +129,7 @@ fn brace_depths(view: View<'_>, start: usize, end: usize) -> Vec<i32> {
 /// Is token `j` the method name of an empty-argument `.lock()` /
 /// `.read()` / `.write()` call? Returns the lock's final path segment
 /// and the index just past the call.
-fn acquisition_at(view: View<'_>, floor: usize, j: usize) -> Option<(String, usize)> {
+pub(crate) fn acquisition_at(view: View<'_>, floor: usize, j: usize) -> Option<(String, usize)> {
     if view.kind(j) != Some(Kind::Ident)
         || !matches!(view.text(j), Some("lock" | "read" | "write"))
         || view.text(j + 1) != Some("(")
@@ -146,8 +147,15 @@ fn acquisition_at(view: View<'_>, floor: usize, j: usize) -> Option<(String, usi
 }
 
 /// Finds `let [mut] name = ….lock/read/write();` statements and
-/// computes each guard's live range.
-fn collect_guards(view: View<'_>, start: usize, end: usize, depths: &[i32]) -> Vec<Guard> {
+/// computes each guard's live range. A single trailing
+/// `.unwrap_or_else(…)` after the acquisition is accepted too — the
+/// poison-recovery idiom std-mutex code in `server`/`obs` uses.
+pub(crate) fn collect_guards(
+    view: View<'_>,
+    start: usize,
+    end: usize,
+    depths: &[i32],
+) -> Vec<Guard> {
     let mut guards = Vec::new();
     let mut j = start;
     while j < end {
@@ -190,15 +198,35 @@ fn collect_guards(view: View<'_>, start: usize, end: usize, depths: &[i32]) -> V
         };
         // The initialiser must *end* with the acquisition — a longer
         // chain (`.lock().clone()`) drops the guard inside the
-        // statement.
-        let is_binding = name != "_"
-            && semi >= 4
-            && acquisition_at(view, start, semi - 3).is_some_and(|(_, past)| past == semi);
-        if !is_binding {
+        // statement — except for one trailing `.unwrap_or_else(…)`,
+        // which recovers the guard from a poisoned std mutex.
+        let acq_end = if view.text(semi.wrapping_sub(1)) == Some(")")
+            && acquisition_at(view, start, semi - 3).is_none()
+        {
+            // Look for `….lock().unwrap_or_else( … );`: the closure
+            // call's `(` must close right before the `;`.
+            (n + 2..semi.saturating_sub(3))
+                .find(|&k| {
+                    view.is_ident(k, "unwrap_or_else")
+                        && view.text(k.wrapping_sub(1)) == Some(".")
+                        && view.text(k + 1) == Some("(")
+                        && ast::matching_close(view, k + 1, semi + 1, "(", ")") == semi
+                })
+                .map(|k| k - 1)
+        } else {
+            Some(semi)
+        };
+        let lock = acq_end.filter(|_| name != "_").and_then(|e| {
+            (e >= 4)
+                .then(|| acquisition_at(view, start, e - 3))
+                .flatten()
+                .filter(|&(_, past)| past == e)
+                .map(|(lock, _)| lock)
+        });
+        let Some(lock) = lock else {
             j = semi + 1;
             continue;
-        }
-        let (lock, _) = acquisition_at(view, start, semi - 3).unwrap_or_default();
+        };
         // Liveness: to the close of the enclosing block, or `drop(name)`.
         let let_depth = depths.get(j - start).copied().unwrap_or(0);
         let mut until = end;
@@ -229,7 +257,7 @@ fn collect_guards(view: View<'_>, start: usize, end: usize, depths: &[i32]) -> V
     guards
 }
 
-fn is_io_call(call: &ast::Call) -> bool {
+pub(crate) fn is_io_call(call: &ast::Call) -> bool {
     if call.callee.starts_with("std::fs") || call.callee.starts_with("fs::") {
         return true;
     }

@@ -2,17 +2,31 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-const USAGE: &str = "usage: cargo xtask lint [--no-deps] [--update-ratchet]\n       cargo xtask fuzz [--target NAME] [--millis N]\n       cargo xtask metrics-overhead";
+const USAGE: &str = "usage: cargo xtask lint [--no-deps] [--update-ratchet] [--json] [--github] [--max-seconds N]\n       cargo xtask lint --explain RULE\n       cargo xtask fuzz [--target NAME] [--millis N]\n       cargo xtask metrics-overhead";
+
+/// Parsed options of the `lint` subcommand.
+#[derive(Debug, Default)]
+struct LintOptions {
+    with_deps: bool,
+    update_ratchet: bool,
+    json: bool,
+    github: bool,
+    max_seconds: Option<u64>,
+    explain: Option<String>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let with_deps = !args.iter().any(|a| a == "--no-deps");
-            let update_ratchet = args.iter().any(|a| a == "--update-ratchet");
-            lint(with_deps, update_ratchet)
-        }
+        Some("lint") => match parse_lint_options(args.get(1..).unwrap_or(&[])) {
+            Ok(options) => lint(&options),
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some("fuzz") => fuzz(args.get(1..).unwrap_or(&[])),
         Some("metrics-overhead") => metrics_overhead(),
         _ => {
@@ -22,7 +36,36 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint(with_deps: bool, update_ratchet: bool) -> ExitCode {
+fn parse_lint_options(args: &[String]) -> Result<LintOptions, String> {
+    let mut options = LintOptions {
+        with_deps: true,
+        ..LintOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-deps" => options.with_deps = false,
+            "--update-ratchet" => options.update_ratchet = true,
+            "--json" => options.json = true,
+            "--github" => options.github = true,
+            "--max-seconds" => match it.next().map(|m| m.parse()) {
+                Some(Ok(s)) => options.max_seconds = Some(s),
+                _ => return Err("--max-seconds needs an integer wall-time budget".into()),
+            },
+            "--explain" => match it.next() {
+                Some(rule) => options.explain = Some(rule.clone()),
+                None => return Err(format!("--explain needs a rule name; one of: {}", rules())),
+            },
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn lint(options: &LintOptions) -> ExitCode {
+    if let Some(rule_name) = &options.explain {
+        return explain(rule_name);
+    }
     let root = match workspace_root() {
         Ok(r) => r,
         Err(e) => {
@@ -30,7 +73,7 @@ fn lint(with_deps: bool, update_ratchet: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if update_ratchet {
+    if options.update_ratchet {
         // First pass only collects the ledger; ratchet mismatches in it
         // are exactly what the update is about to resolve.
         match xtask::lint_workspace(&root, false) {
@@ -47,9 +90,27 @@ fn lint(with_deps: bool, update_ratchet: bool) -> ExitCode {
             }
         }
     }
-    match xtask::lint_workspace(&root, with_deps) {
+    let started = Instant::now();
+    match xtask::lint_workspace(&root, options.with_deps) {
         Ok(report) => {
-            print!("{}", report.render());
+            let elapsed = started.elapsed();
+            if options.json {
+                println!("{}", report.to_json().pretty());
+            } else {
+                print!("{}", report.render());
+            }
+            if options.github {
+                print!("{}", report.github_annotations());
+            }
+            if let Some(budget) = options.max_seconds {
+                if elapsed.as_secs() >= budget {
+                    eprintln!(
+                        "error: lint took {:.1} s, over the {budget} s wall-time budget",
+                        elapsed.as_secs_f64()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
@@ -61,6 +122,35 @@ fn lint(with_deps: bool, update_ratchet: bool) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Prints one rule's rationale and fix recipe.
+fn explain(rule_name: &str) -> ExitCode {
+    match xtask::rules::Rule::ALL
+        .iter()
+        .find(|r| r.name() == rule_name)
+    {
+        Some(rule) => {
+            println!(
+                "{rule}\n{}\n\n{}",
+                "=".repeat(rule.name().len()),
+                rule.explain()
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule `{rule_name}`; one of: {}", rules());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn rules() -> String {
+    xtask::rules::Rule::ALL
+        .iter()
+        .map(|r| r.name())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn fuzz(args: &[String]) -> ExitCode {

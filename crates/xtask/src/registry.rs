@@ -1,4 +1,5 @@
-//! Rule `registry`: the codec scheme registry must be complete.
+//! Rules `registry` and `wire-registry`: variant registries must be
+//! complete.
 //!
 //! Every `codec::scheme::{Layout, Compression}` variant must resolve to
 //! a full toolchain before it can ship: an encoder dispatch arm, a
@@ -7,6 +8,13 @@
 //! are **derived from the parsed enum variants**, so adding a variant
 //! without the rest of its toolchain fails `cargo xtask lint` the same
 //! commit it lands.
+//!
+//! The same derivation covers the wire protocol: every
+//! `server::wire::{Request, Response}` variant needs an encode arm, a
+//! decode arm, client-side handling, and a test-corpus mention; every
+//! `ErrorCode` variant needs a `from_u16` arm, a client-side
+//! disposition, and a test-corpus mention. Deleting a match arm in
+//! `wire.rs` or `client.rs` fails the lint the same commit.
 
 use crate::ast::{self, View};
 use crate::rules::{self, Rule, Violation};
@@ -140,4 +148,164 @@ fn missing(file: &Path, what: &str) -> Violation {
         line: 1,
         message: what.to_string(),
     }
+}
+
+/// Checks wire-protocol registry completeness from source text.
+///
+/// `wire_src` is `crates/server/src/wire.rs`, `client_src` is
+/// `crates/server/src/client.rs`, `e2e_src` is
+/// `crates/server/tests/e2e.rs`. The test corpus is `e2e_src` plus the
+/// `#[cfg(test)]` tails of the two source files. Pure so the fixture
+/// tests can feed it known-bad sources.
+#[must_use]
+pub fn check_wire_registry(
+    wire_file: &Path,
+    wire_src: &str,
+    client_file: &Path,
+    client_src: &str,
+    e2e_src: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let wire_tokens = rules::lex_significant(wire_src);
+    let wire_view = View::new(&wire_tokens.0, &wire_tokens.1);
+    let wire_ast = ast::parse(wire_view);
+
+    let client_tokens = rules::lex_significant(client_src);
+    let client_view = View::new(&client_tokens.0, &client_tokens.1);
+
+    let corpus = format!(
+        "{e2e_src}\n{}\n{}",
+        test_tail(wire_src),
+        test_tail(client_src)
+    );
+
+    let wire_missing = |what: &str| Violation {
+        rule: Rule::WireRegistry,
+        file: wire_file.to_path_buf(),
+        line: 1,
+        message: what.to_string(),
+    };
+
+    // 1. `Request` / `Response`: every variant needs an arm in the
+    //    owner's `encode` and `decode`, client-side handling, and a
+    //    test-corpus mention.
+    for owner in ["Request", "Response"] {
+        let Some(decl) = wire_ast.enum_named(owner).cloned() else {
+            out.push(wire_missing(&format!("cannot find `enum {owner}`")));
+            continue;
+        };
+        for method in ["encode", "decode"] {
+            let Some(f) = wire_ast
+                .fns_named(method)
+                .find(|f| f.owner.as_deref() == Some(owner) && f.body.is_some())
+            else {
+                out.push(wire_missing(&format!("cannot find `{owner}::{method}`")));
+                continue;
+            };
+            let (b0, b1) = f.body.unwrap_or_default();
+            for v in &decl.variants {
+                if !(b0..b1).any(|j| wire_view.is_ident(j, v)) {
+                    out.push(Violation {
+                        rule: Rule::WireRegistry,
+                        file: wire_file.to_path_buf(),
+                        line: f.line,
+                        message: format!("`{owner}::{v}` has no arm in `{owner}::{method}`"),
+                    });
+                }
+            }
+        }
+        check_client_and_corpus(
+            &decl,
+            owner,
+            client_file,
+            client_view,
+            &corpus,
+            wire_file,
+            &mut out,
+        );
+    }
+
+    // 2. `ErrorCode`: every variant needs a `from_u16` arm (`as_u16`
+    //    is `self as u16` and has no arms to drop), a client-side
+    //    disposition, and a test-corpus mention.
+    match wire_ast.enum_named("ErrorCode").cloned() {
+        None => out.push(wire_missing("cannot find `enum ErrorCode`")),
+        Some(decl) => {
+            match wire_ast
+                .fns_named("from_u16")
+                .find(|f| f.owner.as_deref() == Some("ErrorCode") && f.body.is_some())
+            {
+                None => out.push(wire_missing("cannot find `ErrorCode::from_u16`")),
+                Some(f) => {
+                    let (b0, b1) = f.body.unwrap_or_default();
+                    for v in &decl.variants {
+                        if !(b0..b1).any(|j| wire_view.is_ident(j, v)) {
+                            out.push(Violation {
+                                rule: Rule::WireRegistry,
+                                file: wire_file.to_path_buf(),
+                                line: f.line,
+                                message: format!(
+                                    "`ErrorCode::{v}` has no arm in `ErrorCode::from_u16`"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            check_client_and_corpus(
+                &decl,
+                "ErrorCode",
+                client_file,
+                client_view,
+                &corpus,
+                wire_file,
+                &mut out,
+            );
+        }
+    }
+
+    out
+}
+
+/// Client-handling and test-corpus checks shared by the three wire
+/// enums.
+fn check_client_and_corpus(
+    decl: &ast::EnumDecl,
+    owner: &str,
+    client_file: &Path,
+    client_view: View<'_>,
+    corpus: &str,
+    wire_file: &Path,
+    out: &mut Vec<Violation>,
+) {
+    for v in &decl.variants {
+        if !(0..client_view.len()).any(|j| client_view.is_ident(j, v)) {
+            out.push(Violation {
+                rule: Rule::WireRegistry,
+                file: client_file.to_path_buf(),
+                line: 1,
+                message: format!(
+                    "`{owner}::{v}` is never handled in {} — add a match arm or disposition",
+                    client_file.display()
+                ),
+            });
+        }
+        if !corpus.contains(v) {
+            out.push(Violation {
+                rule: Rule::WireRegistry,
+                file: wire_file.to_path_buf(),
+                line: decl.line,
+                message: format!(
+                    "`{owner}::{v}` appears in no test (e2e or `#[cfg(test)]` module) — \
+                     cover it or delete it"
+                ),
+            });
+        }
+    }
+}
+
+/// The `#[cfg(test)]` tail of a source file (empty when there is none).
+fn test_tail(src: &str) -> &str {
+    src.find("#[cfg(test)]").map_or("", |i| &src[i..])
 }

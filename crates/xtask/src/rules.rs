@@ -59,6 +59,20 @@ pub enum Rule {
     /// A `codec::scheme` variant without a complete toolchain (encoder,
     /// decoder, round-trip proptest, fuzz target).
     Registry,
+    /// A function in a panic-free crate transitively reaches a
+    /// panic/unwrap/indexing site in another workspace crate (the
+    /// workspace call-graph closes the cross-crate escape hatch the
+    /// lexical `panic` rule cannot see).
+    PanicReach,
+    /// A guard-holding function transitively re-acquires its own lock,
+    /// inverts the declared lock order, performs blocking I/O, or
+    /// submits to `ScanExecutor::execute_all` through a call chain —
+    /// or the workspace lock-acquisition graph has a cycle.
+    Deadlock,
+    /// A `server::wire` `Request`/`Response`/`ErrorCode` variant
+    /// without encode + decode arms, a client-side handling arm, and a
+    /// test-corpus mention.
+    WireRegistry,
     /// The live waiver count differs from the `ratchet.toml` pin.
     Ratchet,
     /// An `audit: allow` comment that waives nothing.
@@ -66,6 +80,26 @@ pub enum Rule {
 }
 
 impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::Panic,
+        Rule::Indexing,
+        Rule::LossyCast,
+        Rule::ErrorsDoc,
+        Rule::ErrorTraits,
+        Rule::Deps,
+        Rule::UnitSafety,
+        Rule::LockDiscipline,
+        Rule::ThreadDiscipline,
+        Rule::MetricsDiscipline,
+        Rule::Registry,
+        Rule::PanicReach,
+        Rule::Deadlock,
+        Rule::WireRegistry,
+        Rule::Ratchet,
+        Rule::UnusedAllow,
+    ];
+
     /// The name used in allow comments and reports.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -81,8 +115,140 @@ impl Rule {
             Rule::ThreadDiscipline => "thread-discipline",
             Rule::MetricsDiscipline => "metrics-discipline",
             Rule::Registry => "registry",
+            Rule::PanicReach => "panic-reachability",
+            Rule::Deadlock => "deadlock",
+            Rule::WireRegistry => "wire-registry",
             Rule::Ratchet => "ratchet",
             Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Rationale and fix recipe, for `cargo xtask lint --explain`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Panic => {
+                "Why: a panic in the query/repair hot path or a connection handler kills the \
+                 whole request (or worker thread) instead of failing over to another replica — \
+                 the paper's availability argument assumes per-replica failure isolation.\n\
+                 Fix: return a `Result` and propagate with `?`; convert `Option` with \
+                 `ok_or(...)`. If the site is provably unreachable, vet it with\n\
+                 `// audit: allow(panic, <why it cannot fire>)`."
+            }
+            Rule::Indexing => {
+                "Why: `expr[i]` panics on a bad index; in panic-free crates that is the same \
+                 hazard as `.unwrap()`. Most out-of-bounds bugs arrive via refactors that \
+                 change a length invariant silently.\n\
+                 Fix: use `.get(i)` and handle `None`, iterate instead of indexing, or \
+                 destructure fixed-size arrays (`let [a, b, c] = arr;`). Structurally-safe \
+                 dense loops can carry `// audit: allow(indexing, <bound argument>)`."
+            }
+            Rule::LossyCast => {
+                "Why: the bit-level codec files narrow integers while packing; a silent `as` \
+                 truncation corrupts frames in a way round-trip tests on small values miss.\n\
+                 Fix: use `u8::try_from(x)` (or checked arithmetic) and propagate the error, \
+                 or justify the site with `// audit: allow(lossy-cast, <range argument>)`."
+            }
+            Rule::ErrorsDoc => {
+                "Why: callers of a fallible `pub fn` need to know *which* failures to expect \
+                 to route them (retry vs fail over vs abort); an undocumented `Result` \
+                 invites `.unwrap()`.\n\
+                 Fix: add a `# Errors` section to the doc comment describing each failure \
+                 case."
+            }
+            Rule::ErrorTraits => {
+                "Why: error enums that do not implement `std::error::Error + Send + Sync` \
+                 cannot cross thread boundaries or be boxed uniformly, which the executor \
+                 and server layers rely on.\n\
+                 Fix: implement `Display` + `std::error::Error`, and add the\n\
+                 `require_error_traits::<YourError>()` compile-time assertion next to the \
+                 enum."
+            }
+            Rule::Deps => {
+                "Why: duplicate semver-major dependency versions bloat builds and split \
+                 trait impls; undeclared licenses block redistribution.\n\
+                 Fix: converge the workspace on one version per crate major and declare a \
+                 `license` field in every manifest."
+            }
+            Rule::UnitSafety => {
+                "Why: the cost model mixes milliseconds, bytes, partition counts and record \
+                 counts; adding two different unit families is always a bug even though the \
+                 types (f64) agree.\n\
+                 Fix: convert explicitly before combining (e.g. bytes → ms via the \
+                 throughput constant), or name the intermediate so its family is clear."
+            }
+            Rule::LockDiscipline => {
+                "Why: a `storage::sync` guard held across backend I/O serialises every \
+                 concurrent reader behind one unit's disk latency; out-of-order acquisition \
+                 can deadlock two threads taking the pair in opposite orders.\n\
+                 Fix: use temporary guards (`self.units.write().insert(...)`), `drop(guard)` \
+                 before I/O, and acquire locks in the declared `LOCK_ORDER` (log before \
+                 failures before units)."
+            }
+            Rule::ThreadDiscipline => {
+                "Why: ad-hoc `thread::spawn` bypasses the shared `ScanExecutor` pool, so \
+                 unit-scan work escapes its admission control and saturates the box under \
+                 load.\n\
+                 Fix: submit work through `ScanExecutor::execute_all`. Long-lived I/O loops \
+                 (accept/handler threads) may carry `// audit: allow(thread-discipline, ...)`."
+            }
+            Rule::MetricsDiscipline => {
+                "Why: a `static` atomic counter is invisible to `metrics_snapshot()` and \
+                 `blot stats`, so drift accounting silently under-reports.\n\
+                 Fix: register the counter as a `blot_obs` instrument and bump it through \
+                 the registry handle."
+            }
+            Rule::Registry => {
+                "Why: a codec scheme variant without an encoder, decoder, round-trip \
+                 proptest and fuzz target can be selected at runtime but not actually \
+                 (de)serialised — a latent data-loss bug.\n\
+                 Fix: add the dispatch arms in `EncodingScheme::{encode,decode}`, a \
+                 `<variant>_roundtrips` property test, and register the fuzz target in \
+                 `xtask::fuzz`. This rule cannot be waived."
+            }
+            Rule::PanicReach => {
+                "Why: the lexical `panic` rule stops at crate boundaries — a panic-free \
+                 crate can still die by calling into a helper crate that panics. The \
+                 workspace call graph closes that escape hatch by propagating \
+                 panic/unwrap/indexing reachability through resolved call edges.\n\
+                 Fix: preferred — make the callee fallible and handle the error at the \
+                 frontier call. If the panic is a documented invariant that holds at every \
+                 call site, vet it at the source with\n\
+                 `// audit: allow(panic-reachability, <invariant argument>)` on the line \
+                 above the panicking site; one source vet covers every caller."
+            }
+            Rule::Deadlock => {
+                "Why: per-file lock analysis cannot see a lock re-acquired three frames \
+                 below a held guard, blocking I/O reached through a call chain, or an \
+                 `execute_all` submission that needs the very lock the submitter holds. Any \
+                 of these can wedge the server under load; cycles in the workspace \
+                 lock-acquisition graph can deadlock two threads.\n\
+                 Fix: drop the guard before calling out (`drop(guard)`), restructure so the \
+                 callee receives data instead of taking locks, and keep acquisitions in the \
+                 declared `LOCK_ORDER`. False positives from conservative trait dispatch \
+                 can carry `// audit: allow(deadlock, <why the call cannot recurse>)` at \
+                 the reported call site."
+            }
+            Rule::WireRegistry => {
+                "Why: a `Request`/`Response`/`ErrorCode` variant without encode + decode \
+                 arms, client handling and test coverage is a protocol hole: one peer can \
+                 emit what the other cannot parse, and nothing fails until production.\n\
+                 Fix: add the arms in `wire.rs` (`encode`, `decode`, `from_u16`), give the \
+                 client a handling arm or `disposition(...)` entry, and cover the variant \
+                 in the e2e or unit tests. This rule cannot be waived."
+            }
+            Rule::Ratchet => {
+                "Why: waiver counts only mean something if they cannot drift — an increase \
+                 is a new unreviewed waiver, a decrease is an improvement that would \
+                 silently regress if the pin stayed loose.\n\
+                 Fix: remove the new waiver, or — after review — run \
+                 `cargo xtask lint --update-ratchet` to re-pin."
+            }
+            Rule::UnusedAllow => {
+                "Why: an `audit: allow` that waives nothing is ledger rot — it documents a \
+                 hazard that no longer exists and hides the day the hazard comes back.\n\
+                 Fix: delete the comment (and run `cargo xtask lint --update-ratchet`)."
+            }
         }
     }
 
@@ -98,8 +264,11 @@ impl Rule {
             "lock-discipline" => Rule::LockDiscipline,
             "thread-discipline" => Rule::ThreadDiscipline,
             "metrics-discipline" => Rule::MetricsDiscipline,
-            // `registry` and `ratchet` are workspace-level structural
-            // checks and deliberately cannot be waived site by site.
+            "panic-reachability" => Rule::PanicReach,
+            "deadlock" => Rule::Deadlock,
+            // `registry`, `wire-registry` and `ratchet` are
+            // workspace-level structural checks and deliberately cannot
+            // be waived site by site.
             _ => return None,
         })
     }
@@ -197,7 +366,7 @@ pub struct RuleSet {
 
 /// Keywords that can precede `[` without the bracket being an index
 /// expression (`let [a, b] = …`, `return [x]`, …).
-const NON_VALUE_KEYWORDS: &[&str] = &[
+pub(crate) const NON_VALUE_KEYWORDS: &[&str] = &[
     "as", "async", "await", "box", "break", "continue", "const", "crate", "dyn", "else", "enum",
     "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
     "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",

@@ -1,0 +1,134 @@
+//! Property test: call-graph construction and the workspace checks
+//! built on it are deterministic — the reported violations do not
+//! depend on the order the source files are fed in.
+
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use xtask::callgraph::{self, SourceFile};
+
+/// A small workspace exercising every fact the analysis propagates:
+/// cross-crate panic reachability, lock acquisition through calls,
+/// blocking I/O under a guard, and a lock-graph edge.
+fn corpus() -> Vec<SourceFile> {
+    let specs: [(&str, &str, &str); 6] = [
+        (
+            "core",
+            "entry.rs",
+            "pub fn entry() { step_one(); }\n\
+             pub fn other_entry() { blot_geo::boom_helper(); }\n",
+        ),
+        (
+            "core",
+            "steps.rs",
+            "pub fn step_one() { step_two(); }\n\
+             pub fn step_two() { blot_geo::boom_helper(); }\n",
+        ),
+        (
+            "geo",
+            "boom.rs",
+            "pub fn boom_helper() { maybe().unwrap(); }\n\
+             fn maybe() -> Option<u32> { None }\n",
+        ),
+        (
+            "storage",
+            "guarded.rs",
+            "pub fn hold_and_call(state: &State) {\n\
+                 let g = state.log.lock();\n\
+                 reacquire(state);\n\
+                 drop(g);\n\
+             }\n\
+             pub fn reacquire(state: &State) { state.log.lock().push(1); }\n",
+        ),
+        (
+            "storage",
+            "io.rs",
+            "pub fn hold_and_read(state: &State) {\n\
+                 let g = state.failures.lock();\n\
+                 slurp();\n\
+                 drop(g);\n\
+             }\n\
+             fn slurp() { let _ = std::fs::read(\"x\"); }\n",
+        ),
+        (
+            "server",
+            "cross.rs",
+            "pub fn ordered(state: &State) {\n\
+                 let g = state.units.lock();\n\
+                 blot_storage::reacquire(state);\n\
+                 drop(g);\n\
+             }\n",
+        ),
+    ];
+    specs
+        .iter()
+        .map(|(krate, name, src)| SourceFile {
+            crate_name: (*krate).to_string(),
+            path: PathBuf::from(format!("crates/{krate}/src/{name}")),
+            source: (*src).to_string(),
+        })
+        .collect()
+}
+
+fn dep_graph() -> BTreeMap<String, BTreeSet<String>> {
+    let pairs: [(&str, &[&str]); 4] = [
+        ("core", &["geo"]),
+        ("geo", &[]),
+        ("storage", &["geo"]),
+        ("server", &["core", "geo", "storage"]),
+    ];
+    pairs
+        .iter()
+        .map(|(c, ds)| {
+            (
+                (*c).to_string(),
+                ds.iter().map(|d| (*d).to_string()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Formats the full observable output of a run: edges, then findings.
+fn run(files: &[SourceFile]) -> String {
+    let deps = dep_graph();
+    let mut allows = Vec::new();
+    let graph = callgraph::build(files, &deps, &["core"], &mut allows);
+    let mut out = String::new();
+    for (from, to) in graph.edge_names() {
+        out.push_str(&format!("{from} -> {to}\n"));
+    }
+    let mut allows = Vec::new();
+    for v in callgraph::check_workspace(files, &deps, &["core"], &mut allows) {
+        out.push_str(&format!("{}:{}: {}\n", v.file.display(), v.line, v.message));
+    }
+    out
+}
+
+/// Fisher–Yates driven by a simple split-mix step, so each proptest
+/// case permutes the corpus differently but reproducibly.
+fn permute(files: &mut [SourceFile], mut seed: u64) {
+    for i in (1..files.len()).rev() {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        seed ^= seed >> 31;
+        #[allow(clippy::cast_possible_truncation)]
+        let j = (seed % (i as u64 + 1)) as usize;
+        files.swap(i, j);
+    }
+}
+
+proptest! {
+    #[test]
+    fn violations_are_identical_across_file_orderings(seed in any::<u64>()) {
+        let canonical = run(&corpus());
+        prop_assert!(!canonical.is_empty(), "the corpus must produce findings");
+        let mut shuffled = corpus();
+        permute(&mut shuffled, seed);
+        prop_assert_eq!(&run(&shuffled), &canonical);
+    }
+}

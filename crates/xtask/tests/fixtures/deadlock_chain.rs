@@ -1,0 +1,52 @@
+//! Known-bad fixture for rule `deadlock`: every hazard hides behind a
+//! call edge, so the per-file `lock-discipline` rule cannot see it.
+
+/// Re-acquires `log` through a call while its guard is held.
+pub fn reacquire_through_call(state: &State) {
+    let g = state.log.lock();
+    bump_log(state);
+    drop(g);
+}
+
+fn bump_log(state: &State) {
+    state.log.lock().push(1);
+}
+
+/// Acquires `log` (rank 0) through a call while `units` (rank 2) is
+/// held — order inversion, and a `units -> log` lock-graph edge.
+pub fn inversion_through_call(state: &State) {
+    let g = state.units.lock();
+    bump_log(state);
+    drop(g);
+}
+
+/// Acquires `units` while `log` is held: ordered correctly on its own,
+/// but together with the inversion above it closes a `log <-> units`
+/// cycle in the workspace lock graph.
+pub fn cycle_closer(state: &State) {
+    let g = state.log.lock();
+    bump_units(state);
+    drop(g);
+}
+
+fn bump_units(state: &State) {
+    state.units.write().insert(1);
+}
+
+/// Reaches blocking I/O through a call while a guard is held.
+pub fn io_through_call(state: &State) {
+    let g = state.failures.lock();
+    read_manifest();
+    drop(g);
+}
+
+fn read_manifest() {
+    let _ = std::fs::read("manifest.bin");
+}
+
+/// Submits a scan batch while a guard is held.
+pub fn submit_under_guard(state: &State, pool: &Pool, jobs: Vec<Job>) {
+    let g = state.failures.lock();
+    pool.execute_all(jobs);
+    drop(g);
+}

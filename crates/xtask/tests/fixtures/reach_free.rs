@@ -1,0 +1,19 @@
+//! Known-bad fixture for rule `panic-reachability`: a panic-free crate
+//! (`core` in the test harness) calling across the crate boundary into
+//! helpers that can panic. The lexical `panic` rule sees nothing here —
+//! only the call graph does.
+
+/// Frontier call into a helper that transitively unwraps: must fire.
+pub fn entry() {
+    helper_boom();
+}
+
+/// Frontier call into a vetted helper: must stay quiet.
+pub fn safe_entry() {
+    helper_vetted();
+}
+
+/// Call into a helper that is genuinely clean: must stay quiet.
+pub fn clean_entry() {
+    helper_clean();
+}

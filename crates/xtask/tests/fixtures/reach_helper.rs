@@ -1,0 +1,27 @@
+//! The helper crate (`geo` in the test harness) for the
+//! `panic-reachability` fixture: not panic-free itself, so its sites
+//! seed reachability facts for callers in panic-free crates.
+
+/// Reaches a panic two frames down.
+pub fn helper_boom() {
+    inner_step();
+}
+
+fn inner_step() {
+    lookup().unwrap();
+}
+
+fn lookup() -> Option<u32> {
+    None
+}
+
+/// The panic here is vetted at the source, so no caller sees it.
+pub fn helper_vetted() {
+    // audit: allow(panic-reachability, fixture vet covering the site below)
+    panic!("never reached in the fixture");
+}
+
+/// No panic anywhere below.
+pub fn helper_clean() {
+    let _ = lookup();
+}

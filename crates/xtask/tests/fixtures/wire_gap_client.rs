@@ -1,0 +1,8 @@
+//! Client half of the `wire-registry` fixture: handles `Ping`, `Pong`
+//! and `Malformed` but not `Echo` or `Overloaded`.
+
+pub fn run() {
+    let _ = Request::Ping;
+    let _ = Response::Pong;
+    let _ = ErrorCode::Malformed;
+}

@@ -1,0 +1,66 @@
+//! Known-bad fixture for rule `wire-registry`: `Request::Echo` has an
+//! encode arm but no decode arm, `Response::Pong` is missing from
+//! `encode`, and `ErrorCode::Overloaded` is missing from `from_u16`;
+//! `Echo` and `Overloaded` also appear in no test.
+
+pub enum Request {
+    Ping,
+    Echo(u32),
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Self::Ping => vec![1],
+            Self::Echo(x) => vec![2, *x as u8],
+        }
+    }
+
+    pub fn decode(frame: &[u8]) -> Result<Self, ()> {
+        match frame {
+            [1] => Ok(Self::Ping),
+            _ => Err(()),
+        }
+    }
+}
+
+pub enum Response {
+    Pong,
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        vec![1]
+    }
+
+    pub fn decode(_frame: &[u8]) -> Result<Self, ()> {
+        Ok(Self::Pong)
+    }
+}
+
+pub enum ErrorCode {
+    Malformed = 1,
+    Overloaded = 2,
+}
+
+impl ErrorCode {
+    pub fn from_u16(raw: u16) -> Self {
+        match raw {
+            1 => Self::Malformed,
+            _ => Self::Malformed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_roundtrips() {
+        let bytes = Request::Ping.encode();
+        let _ = Request::decode(&bytes);
+        let _ = Response::Pong;
+        let _ = ErrorCode::Malformed;
+    }
+}
