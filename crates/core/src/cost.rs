@@ -111,6 +111,30 @@ pub struct CostModel {
     cal: SchemeTable<Calibration>,
 }
 
+/// One calibration probe: store an encoded partition, scan it, then
+/// free it. The delete runs even when the scan fails so a bad probe
+/// cannot leak its unit into later probes' memory footprint.
+fn probe_scan(
+    backend: &MemBackend,
+    env: &EnvProfile,
+    key: UnitKey,
+    scheme: EncodingScheme,
+    bytes: Vec<u8>,
+) -> Result<blot_storage::scan::ScanReport, blot_storage::StorageError> {
+    backend.put(key, bytes)?;
+    let scan = run_scan(
+        backend,
+        env,
+        &ScanTask {
+            key,
+            scheme,
+            range: None,
+        },
+    );
+    backend.delete(key)?;
+    scan
+}
+
 /// Ordinary least squares for `y = slope·x + intercept`.
 fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
     let n = points.len() as f64;
@@ -186,18 +210,8 @@ impl CostModel {
                     replica: si,
                     partition: u32::MAX,
                 };
-                // MemBackend cannot fail; a lost warm-up is harmless.
-                let _ = backend.put(key, scheme.encode(&part));
-                let _ = run_scan(
-                    &backend,
-                    env,
-                    &ScanTask {
-                        key,
-                        scheme,
-                        range: None,
-                    },
-                );
-                let _ = backend.delete(key);
+                // audit: allow(result-discipline, warm-up probe — a failure only readmits the first-touch noise the probe exists to shed)
+                let _ = probe_scan(&backend, env, key, scheme, scheme.encode(&part));
             }
             for (zi, &size) in config.sizes.iter().enumerate() {
                 let mut set_samples = Vec::with_capacity(config.partitions_per_set);
@@ -219,23 +233,10 @@ impl CostModel {
                     let bytes = scheme.encode(&part);
                     total_bytes += bytes.len() as u64;
                     total_records += len as u64;
-                    // MemBackend cannot fail; should a put or scan ever
-                    // error, drop the sample point instead of aborting —
-                    // the median over the remaining points still fits.
-                    if backend.put(key, bytes).is_err() {
-                        continue;
-                    }
-                    let scan = run_scan(
-                        &backend,
-                        env,
-                        &ScanTask {
-                            key,
-                            scheme,
-                            range: None,
-                        },
-                    );
-                    let _ = backend.delete(key);
-                    match scan {
+                    // MemBackend cannot fail; should a probe ever error,
+                    // drop the sample point instead of aborting — the
+                    // median over the remaining points still fits.
+                    match probe_scan(&backend, env, key, scheme, bytes) {
                         Ok(report) => set_samples.push(report.sim_ms),
                         Err(_) => continue,
                     }

@@ -11,12 +11,14 @@
 //! Arithmetic is dimensional: same-unit addition/subtraction, scalar
 //! scaling, and same-unit division yielding a dimensionless ratio.
 //! Cross-unit `+`/`-` simply does not compile — and the workspace audit
-//! (`cargo xtask lint`, rule `unit-safety`) additionally flags raw
-//! `f64` arithmetic that mixes differently-suffixed quantities in the
-//! cost-model modules, so untyped locals cannot smuggle a seconds value
-//! into a bytes slot. `blot-geo` and `blot-mip` sit *below* this crate
-//! in the dependency order, so they cannot import these newtypes; the
-//! lint's suffix-based checking is what covers them.
+//! (`cargo xtask lint`, rule `unit-flow`) additionally infers a unit
+//! family for raw `f64` locals, parameters and returns — seeded by
+//! these newtypes and suffix conventions, propagated workspace-wide
+//! through bindings, `.get()`/`.0` escapes and call summaries — so
+//! untyped locals cannot smuggle a seconds value into a bytes slot
+//! even across crate boundaries. `blot-geo` and `blot-mip` sit *below*
+//! this crate in the dependency order, so they cannot import these
+//! newtypes; the lint's inference is what covers them.
 //!
 //! Convention at the boundary: a raw `f64` extracted with `.get()` is
 //! only ever passed straight into a sink that documents its unit.

@@ -74,11 +74,7 @@ impl Cuboid {
         )
     }
 
-    /// Extent along `axis`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `axis >= 3`.
+    /// Extent along `axis` (wrapping modulo 3, like [`Point::axis`]).
     #[must_use]
     pub fn extent(&self, axis: usize) -> f64 {
         self.max.axis(axis) - self.min.axis(axis)

@@ -22,36 +22,25 @@ impl Point {
     }
 
     /// Returns the coordinate along `axis` (0 = x, 1 = y, 2 = t).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `axis >= 3`.
+    /// Higher axes wrap modulo 3, making the accessor total — every
+    /// caller passes a literal or a `0..3` loop index anyway.
     #[must_use]
-    #[allow(clippy::panic)]
     pub fn axis(&self, axis: usize) -> f64 {
-        match axis {
+        match axis % 3 {
             0 => self.x,
             1 => self.y,
-            2 => self.t,
-            // audit: allow(panic-reachability, axis is a literal or 0..3 loop index at every call site; documented invariant)
-            _ => panic!("axis out of range: {axis}"),
+            _ => self.t,
         }
     }
 
-    /// Returns a copy with the coordinate along `axis` replaced by `value`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `axis >= 3`.
+    /// Returns a copy with the coordinate along `axis` replaced by
+    /// `value`. Higher axes wrap modulo 3, like [`Point::axis`].
     #[must_use]
-    #[allow(clippy::panic)]
     pub fn with_axis(mut self, axis: usize, value: f64) -> Self {
-        match axis {
+        match axis % 3 {
             0 => self.x = value,
             1 => self.y = value,
-            2 => self.t = value,
-            // audit: allow(panic-reachability, axis is a literal or 0..3 loop index at every call site; documented invariant)
-            _ => panic!("axis out of range: {axis}"),
+            _ => self.t = value,
         }
         self
     }
@@ -93,9 +82,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "axis out of range")]
-    fn axis_out_of_range_panics() {
-        let _ = Point::new(0.0, 0.0, 0.0).axis(3);
+    fn axis_wraps_modulo_three() {
+        let p = Point::new(1.0, 2.0, 3.0);
+        assert_eq!(p.axis(3), p.axis(0));
+        assert_eq!(p.axis(5), p.axis(2));
+        assert_eq!(p.with_axis(4, 9.0), p.with_axis(1, 9.0));
     }
 
     #[test]

@@ -29,20 +29,15 @@ impl QuerySize {
         Self { w, h, t }
     }
 
-    /// Returns the extent along `axis` (0 = W, 1 = H, 2 = T).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `axis >= 3`.
+    /// Returns the extent along `axis` (0 = W, 1 = H, 2 = T). Higher
+    /// axes wrap modulo 3, making the accessor total — every caller
+    /// passes a literal or a `0..3` loop index anyway.
     #[must_use]
-    #[allow(clippy::panic)]
     pub fn axis(&self, axis: usize) -> f64 {
-        match axis {
+        match axis % 3 {
             0 => self.w,
             1 => self.h,
-            2 => self.t,
-            // audit: allow(panic-reachability, axis is a literal or 0..3 loop index at every call site; documented invariant)
-            _ => panic!("axis out of range: {axis}"),
+            _ => self.t,
         }
     }
 

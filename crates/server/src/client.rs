@@ -181,8 +181,11 @@ impl Client {
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
             let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(self.config.io_timeout));
-            let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+            // The timeouts are load-bearing: without them a wedged server
+            // would hang `query` forever, so failing to arm them is a
+            // connection-setup failure like `connect` itself.
+            stream.set_read_timeout(Some(self.config.io_timeout))?;
+            stream.set_write_timeout(Some(self.config.io_timeout))?;
             self.stream = Some(stream);
         }
         self.stream.as_mut().ok_or(ClientError::Protocol {

@@ -142,7 +142,13 @@ pub(crate) fn accept_loop<S: QueryService + ?Sized>(
     connq: &ConnQueue,
     ctx: &ConnContext<S>,
 ) {
-    let _ = listener.set_nonblocking(true);
+    // Non-blocking accept is load-bearing: a blocking listener would pin
+    // this thread inside `accept()` past the shutdown flag. Refuse to
+    // serve rather than refuse to stop.
+    if listener.set_nonblocking(true).is_err() {
+        connq.close();
+        return;
+    }
     loop {
         if ctx.flag.is_triggered() {
             break;
@@ -175,13 +181,21 @@ pub(crate) fn accept_loop<S: QueryService + ?Sized>(
 /// Best-effort `Overloaded` reply to a connection turned away at the
 /// accept loop; the socket is closed afterwards either way.
 fn reject_overloaded(mut stream: TcpStream, message: &str) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    // Without the write timeout an unresponsive peer could stall the
+    // accept loop for the whole reply; skip the courtesy and just close.
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        return;
+    }
     let (kind, payload) = Response::Error(WireError {
         code: ErrorCode::Overloaded,
         retry_after_ms: 100,
         message: message.to_owned(),
     })
     .encode();
+    // audit: allow(result-discipline, courtesy reply on a connection already being turned away — the close that follows is the real signal)
     let _ = wire::write_frame(&mut stream, kind, &payload);
 }
 
@@ -217,14 +231,23 @@ fn poll_frame<S: ?Sized>(stream: &mut TcpStream, ctx: &ConnContext<S>) -> Poll {
         if ctx.flag.is_triggered() {
             return Poll::Shutdown;
         }
-        let _ = stream.set_read_timeout(Some(POLL_TICK));
+        // A poll tick that cannot be armed would turn the read below
+        // into an unbounded block; treat it like any transport fault.
+        if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+            return Poll::Io;
+        }
         let mut first = [0_u8; 1];
         match stream.read(&mut first) {
             Ok(0) => return Poll::Eof,
             Ok(_) => {
                 // Frame under way: switch to the full I/O timeout for
                 // the remainder.
-                let _ = stream.set_read_timeout(Some(ctx.config.io_timeout));
+                if stream
+                    .set_read_timeout(Some(ctx.config.io_timeout))
+                    .is_err()
+                {
+                    return Poll::Io;
+                }
                 let [first_byte] = first;
                 return match wire::read_frame_rest(stream, first_byte) {
                     Ok(frame) => Poll::Frame(frame),
@@ -244,7 +267,12 @@ fn poll_frame<S: ?Sized>(stream: &mut TcpStream, ctx: &ConnContext<S>) -> Poll {
 }
 
 fn send<S: ?Sized>(stream: &mut TcpStream, ctx: &ConnContext<S>, resp: &Response) -> bool {
-    let _ = stream.set_write_timeout(Some(ctx.config.io_timeout));
+    if stream
+        .set_write_timeout(Some(ctx.config.io_timeout))
+        .is_err()
+    {
+        return false;
+    }
     let (kind, payload) = resp.encode();
     wire::write_frame(stream, kind, &payload).is_ok()
 }

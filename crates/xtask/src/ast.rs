@@ -78,6 +78,10 @@ pub struct FnDecl {
     pub owner: Option<String>,
     /// 1-based line of the `fn` keyword.
     pub line: usize,
+    /// Signature range `[start, end)` in significant-token space: from
+    /// the token after the fn name to the body `{` (or trait-decl `;`),
+    /// exclusive. Holds the parameter list and the return type.
+    pub sig: (usize, usize),
     /// Body range `[start, end)` in significant-token space, exclusive
     /// of the braces; `None` for bodiless trait declarations.
     pub body: Option<(usize, usize)>,
@@ -92,6 +96,10 @@ pub struct EnumDecl {
     pub line: usize,
     /// Variant names in declaration order.
     pub variants: Vec<String>,
+    /// Largest discriminant value: explicit `= N` assignments are
+    /// honoured, other variants count up from the previous one (the
+    /// language rule). 0 for an empty enum.
+    pub max_discriminant: i128,
 }
 
 /// One parsed impl block.
@@ -229,6 +237,7 @@ fn parse_fn(view: View<'_>, j: usize, end: usize, owner: Option<&str>, ast: &mut
                     name,
                     owner: owner.map(str::to_string),
                     line,
+                    sig: (j + 2, k),
                     body: Some((k + 1, close.saturating_sub(1))),
                 });
                 return close;
@@ -238,6 +247,7 @@ fn parse_fn(view: View<'_>, j: usize, end: usize, owner: Option<&str>, ast: &mut
                     name,
                     owner: owner.map(str::to_string),
                     line,
+                    sig: (j + 2, k),
                     body: None,
                 });
                 return k + 1;
@@ -263,6 +273,8 @@ fn parse_enum(view: View<'_>, j: usize, end: usize, ast: &mut Ast) -> usize {
     let close = matching_close(view, open, end, "{", "}");
     let mut variants = Vec::new();
     let mut expect_variant = true;
+    let mut next_implicit = 0i128;
+    let mut max_discriminant = 0i128;
     let mut k = open + 1;
     while k + 1 < close {
         match view.text(k) {
@@ -282,6 +294,14 @@ fn parse_enum(view: View<'_>, j: usize, end: usize, ast: &mut Ast) -> usize {
             }
             Some(_) if expect_variant && view.kind(k) == Some(Kind::Ident) => {
                 variants.push(view.text(k).unwrap_or_default().to_string());
+                // `Variant = N` pins the discriminant; the next variant
+                // counts up from it.
+                let value = (view.text(k + 1) == Some("="))
+                    .then(|| view.text(k + 2).and_then(parse_int))
+                    .flatten()
+                    .unwrap_or(next_implicit);
+                max_discriminant = max_discriminant.max(value);
+                next_implicit = value + 1;
                 expect_variant = false;
             }
             _ => {}
@@ -292,8 +312,35 @@ fn parse_enum(view: View<'_>, j: usize, end: usize, ast: &mut Ast) -> usize {
         name,
         line,
         variants,
+        max_discriminant,
     });
     close
+}
+
+/// Parses a decimal or `0x`-hex integer literal, tolerating `_`
+/// separators and a type suffix (`7u32`, `0xFF_u16`). Floats parse to
+/// `None`.
+#[must_use]
+pub(crate) fn parse_int(text: &str) -> Option<i128> {
+    let text: String = text.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        return i128::from_str_radix(&digits, 16).ok();
+    }
+    let digits: String = text.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    // Reject floats (`1.5`, `1e3`): after the digits only a type suffix
+    // like `u32` may follow, which never starts with `.`/`e`/`E`.
+    let rest = &text[digits.len()..];
+    if rest.starts_with('.') || rest.starts_with('e') || rest.starts_with('E') {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 fn parse_impl(view: View<'_>, j: usize, end: usize, ast: &mut Ast) -> usize {

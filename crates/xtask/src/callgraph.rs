@@ -678,87 +678,139 @@ fn vetted(allows: &mut [Allow], file: &Path, line: usize) -> bool {
     false
 }
 
-fn merge_min(dst: &mut Option<String>, src: String) {
+pub(crate) fn merge_min(dst: &mut Option<String>, src: String) {
     match dst {
         Some(cur) if *cur <= src => {}
         _ => *dst = Some(src),
     }
 }
 
+/// Name-based call-target index, shared with [`crate::dataflow`] so
+/// both workspace analyses resolve calls under the *same* policy:
+/// owner-qualified paths by `(owner, name)`, `self.m()` into the own
+/// impl first, pervasive method names never by fallback, `std` paths
+/// never, and every candidate filtered by the crate dependency graph.
+pub(crate) struct CallIndex {
+    free_by_name: HashMap<String, Vec<usize>>,
+    methods_by_name: HashMap<String, Vec<usize>>,
+    by_owner: HashMap<(String, String), Vec<usize>>,
+    crates: Vec<String>,
+    owners: Vec<Option<String>>,
+}
+
+impl CallIndex {
+    /// Builds the index from `(crate_name, owner, fn_name)` triples,
+    /// indexed by position.
+    pub(crate) fn new<'a>(
+        items: impl Iterator<Item = (&'a str, Option<&'a str>, &'a str)>,
+    ) -> Self {
+        let mut index = Self {
+            free_by_name: HashMap::new(),
+            methods_by_name: HashMap::new(),
+            by_owner: HashMap::new(),
+            crates: Vec::new(),
+            owners: Vec::new(),
+        };
+        for (i, (krate, owner, name)) in items.enumerate() {
+            match owner {
+                Some(o) => {
+                    index
+                        .methods_by_name
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(i);
+                    index
+                        .by_owner
+                        .entry((o.to_string(), name.to_string()))
+                        .or_default()
+                        .push(i);
+                }
+                None => index
+                    .free_by_name
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(i),
+            }
+            index.crates.push(krate.to_string());
+            index.owners.push(owner.map(str::to_string));
+        }
+        index
+    }
+
+    /// Candidate targets of one call from function `caller`, filtered
+    /// by the dependency graph.
+    pub(crate) fn resolve(
+        &self,
+        caller: usize,
+        callee: &str,
+        receiver: Option<&str>,
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Vec<usize> {
+        let empty: Vec<usize> = Vec::new();
+        let candidates: &Vec<usize> = if let Some((path, last)) = callee.rsplit_once("::") {
+            let root = path.split("::").next().unwrap_or_default();
+            if STD_ROOTS.contains(&root) {
+                &empty
+            } else {
+                let qual = path.rsplit("::").next().unwrap_or_default();
+                if qual == "Self" {
+                    match self.owners.get(caller).and_then(Option::as_ref) {
+                        Some(o) => self
+                            .by_owner
+                            .get(&(o.clone(), last.to_string()))
+                            .unwrap_or(&empty),
+                        None => &empty,
+                    }
+                } else if qual.chars().next().is_some_and(char::is_uppercase) {
+                    self.by_owner
+                        .get(&(qual.to_string(), last.to_string()))
+                        .unwrap_or(&empty)
+                } else {
+                    self.free_by_name.get(last).unwrap_or(&empty)
+                }
+            }
+        } else if receiver.is_some() {
+            let own = self
+                .owners
+                .get(caller)
+                .and_then(Option::as_ref)
+                .and_then(|o| {
+                    (receiver == Some("self"))
+                        .then(|| self.by_owner.get(&(o.clone(), callee.to_string())))
+                        .flatten()
+                });
+            match own {
+                Some(ids) if !ids.is_empty() => ids,
+                _ if PERVASIVE_METHODS.contains(&callee) => &empty,
+                _ => self.methods_by_name.get(callee).unwrap_or(&empty),
+            }
+        } else {
+            self.free_by_name.get(callee).unwrap_or(&empty)
+        };
+        let caller_crate = &self.crates[caller];
+        let caller_deps = deps.get(caller_crate);
+        candidates
+            .iter()
+            .copied()
+            .filter(|&t| {
+                self.crates[t] == *caller_crate
+                    || caller_deps.is_some_and(|d| d.contains(&self.crates[t]))
+            })
+            .collect()
+    }
+}
+
 /// Resolves every call to its candidate target nodes, filtered by the
 /// crate dependency graph.
 fn resolve(nodes: &mut [FnNode], deps: &BTreeMap<String, BTreeSet<String>>) {
-    let mut free_by_name: HashMap<String, Vec<usize>> = HashMap::new();
-    let mut methods_by_name: HashMap<String, Vec<usize>> = HashMap::new();
-    let mut by_owner: HashMap<(String, String), Vec<usize>> = HashMap::new();
-    for (i, n) in nodes.iter().enumerate() {
-        match &n.owner {
-            Some(o) => {
-                methods_by_name.entry(n.name.clone()).or_default().push(i);
-                by_owner
-                    .entry((o.clone(), n.name.clone()))
-                    .or_default()
-                    .push(i);
-            }
-            None => free_by_name.entry(n.name.clone()).or_default().push(i),
-        }
-    }
-    let crates: Vec<String> = nodes.iter().map(|n| n.crate_name.clone()).collect();
-    let owners: Vec<Option<String>> = nodes.iter().map(|n| n.owner.clone()).collect();
-
-    for i in 0..nodes.len() {
-        let caller_crate = crates[i].clone();
-        let caller_deps = deps.get(&caller_crate);
-        let allowed = |t: usize, crates: &[String]| {
-            crates[t] == caller_crate || caller_deps.is_some_and(|d| d.contains(&crates[t]))
-        };
-        for k in 0..nodes[i].calls.len() {
-            let (callee, receiver) = {
-                let c = &nodes[i].calls[k];
-                (c.callee.clone(), c.receiver.clone())
-            };
-            let empty: Vec<usize> = Vec::new();
-            let candidates: &Vec<usize> = if let Some((path, last)) = callee.rsplit_once("::") {
-                let root = path.split("::").next().unwrap_or_default();
-                if STD_ROOTS.contains(&root) {
-                    &empty
-                } else {
-                    let qual = path.rsplit("::").next().unwrap_or_default();
-                    if qual == "Self" {
-                        match &owners[i] {
-                            Some(o) => by_owner
-                                .get(&(o.clone(), last.to_string()))
-                                .unwrap_or(&empty),
-                            None => &empty,
-                        }
-                    } else if qual.chars().next().is_some_and(char::is_uppercase) {
-                        by_owner
-                            .get(&(qual.to_string(), last.to_string()))
-                            .unwrap_or(&empty)
-                    } else {
-                        free_by_name.get(last).unwrap_or(&empty)
-                    }
-                }
-            } else if receiver.is_some() {
-                let own = owners[i].as_ref().and_then(|o| {
-                    (receiver.as_deref() == Some("self"))
-                        .then(|| by_owner.get(&(o.clone(), callee.clone())))
-                        .flatten()
-                });
-                match own {
-                    Some(ids) if !ids.is_empty() => ids,
-                    _ if PERVASIVE_METHODS.contains(&callee.as_str()) => &empty,
-                    _ => methods_by_name.get(&callee).unwrap_or(&empty),
-                }
-            } else {
-                free_by_name.get(&callee).unwrap_or(&empty)
-            };
-            let targets: Vec<usize> = candidates
-                .iter()
-                .copied()
-                .filter(|&t| allowed(t, &crates))
-                .collect();
-            nodes[i].calls[k].targets = targets;
+    let index = CallIndex::new(
+        nodes
+            .iter()
+            .map(|n| (n.crate_name.as_str(), n.owner.as_deref(), n.name.as_str())),
+    );
+    for (i, node) in nodes.iter_mut().enumerate() {
+        for call in &mut node.calls {
+            call.targets = index.resolve(i, &call.callee, call.receiver.as_deref(), deps);
         }
     }
 }

@@ -1,0 +1,2215 @@
+//! Summary-based interprocedural dataflow: the v4 analysis layer.
+//!
+//! Three rule families share one engine:
+//!
+//! * **`unit-flow`** — infers a unit family (ms / sec / bytes /
+//!   partitions / records / ratio) for locals, params and returns from
+//!   the `blot_core::units` newtype constructors, the suffix heuristics
+//!   in [`crate::units`] and a seed table of known std APIs
+//!   (`as_secs_f64` → seconds, …), propagates it through `let`
+//!   bindings, `.get()`/`.0` escapes and call summaries, and flags
+//!   cross-family additive/comparison arithmetic and re-wrapping of an
+//!   escaped value into a different family — workspace-wide.
+//! * **`result-discipline`** — flags silently discarded fallible calls
+//!   (`let _ = …;` and bare `expr;` statements) in panic-free crates,
+//!   where fallibility comes from the resolved callee's signature or a
+//!   seed table of std socket/fs APIs, and cross-checks every wire
+//!   `ErrorCode`'s retryability implied by `client::disposition()`
+//!   against the server's retry-after emission sites.
+//! * **`cast-range`** — forward constant/interval propagation so each
+//!   narrowing `as` cast in the codec/wire bit-level files is either
+//!   *proved* in range (counted as a proof, with the computed interval
+//!   as witness) or flagged for a checked conversion.
+//!
+//! **Engine shape.** Extraction lifts each file into [`FileFacts`]:
+//! flat, order-independent records per function (locals with abstract
+//! initialisers, call sites, arithmetic sites, discard sites, cast
+//! sites, error-code emissions). Calls resolve through the same
+//! [`crate::callgraph::CallIndex`] policy as the panic-reachability
+//! analysis. A Jacobi fixpoint then computes one [`Summary`] per
+//! function — return-unit and return-interval — reading only the
+//! previous round's snapshot, so the result cannot depend on node
+//! order; the property test in `tests/dataflow_props.rs` pins this.
+//!
+//! **Lattices and termination.** Units live in the height-2 lattice
+//! `Bot < Fam(f) < Top` (conflicting families join to `Top` =
+//! unknown). Intervals live in `Bot < [lo, hi] < Top` with hull joins;
+//! because hulls can widen forever through cycles, any interval still
+//! changing after [`WIDEN_ROUND`] rounds is widened straight to `Top`,
+//! after which every chain is finite. Checks run only after the
+//! fixpoint and treat `Bot`/`Top` as "unknown" — the engine stays
+//! conservative: it flags only when both sides of a fact are known.
+//!
+//! **Extraction cache.** Extraction (lex + parse + fact collection) is
+//! the expensive stage and depends only on one file's bytes, so
+//! [`FileFacts`] serialise to `target/xtask-cache/` keyed by an
+//! FNV-1a content hash; warm runs skip re-parsing unchanged files.
+//! The fixpoint is cross-file and always re-runs.
+
+use crate::ast::{self, View};
+use crate::callgraph::{self, SourceFile};
+use crate::lexer::Kind;
+use crate::rules::{self, Rule, Violation};
+use crate::units::{self, Family};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+
+/// Interval fixpoint rounds before a still-changing interval widens to
+/// `Top`. Units need no widening (height-2 lattice).
+const WIDEN_ROUND: usize = 8;
+
+/// Cache format version: bump on any change to [`FileFacts`] or its
+/// serialisation, which invalidates every cached entry at once.
+const CACHE_VERSION: &str = "v2";
+
+/// Std method names returning `Result` whose silent discard is a
+/// `result-discipline` violation when the call does not resolve into
+/// the workspace. Socket configuration and stream I/O: a failure here
+/// means timeouts silently stop applying or bytes silently vanish.
+const FALLIBLE_METHOD_SEEDS: &[&str] = &[
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "send",
+    "set_nonblocking",
+    "set_read_timeout",
+    "set_write_timeout",
+    "write",
+    "write_all",
+];
+
+/// Best-effort calls whose failure has no actionable recovery;
+/// discarding their `Result` is the documented idiom and never flagged
+/// (`set_nodelay` only loses a latency optimisation, `shutdown` runs
+/// on an already-dying connection).
+const BEST_EFFORT_METHODS: &[&str] = &["set_nodelay", "shutdown"];
+
+/// Free-call path prefixes that are always fallible (`io::Result`).
+const FALLIBLE_PATH_PREFIXES: &[&str] = &["std::fs::", "fs::"];
+
+/// Known std APIs with a fixed unit family for the value they return.
+const API_UNIT_SEEDS: &[(&str, Family)] = &[
+    ("as_millis", Family::Millis),
+    ("as_secs", Family::Seconds),
+    ("as_secs_f64", Family::Seconds),
+    ("subsec_millis", Family::Millis),
+];
+
+/// Cast targets the `cast-range` rule examines (same set the old
+/// lexical `lossy-cast` rule used).
+const NARROW_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "f32",
+];
+
+// ---------------------------------------------------------------------
+// Extracted facts (cacheable, per file).
+
+/// Abstract initialiser of one `let` binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Init {
+    /// `Millis::new(arg)` — a unit newtype constructor (also used for
+    /// `let x: Millis = …` type ascriptions, with no argument).
+    Ctor(Family, Option<String>),
+    /// `path.get()` / `path.0` — the raw value escapes its newtype but
+    /// keeps the origin family.
+    Escape(String),
+    /// A call, by index into [`FnFacts::calls`].
+    Call(usize),
+    /// An alias of another simple path.
+    Alias(String),
+    /// A value with a known constant interval (integer literal,
+    /// `x & MASK`, or an integer-typed source).
+    Range(i128, i128),
+    /// A chain ending in a seeded std API with a known unit family.
+    Api(Family),
+    Unknown,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Local {
+    name: String,
+    init: Init,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CallSite {
+    /// `::`-joined path for free calls, bare name for method calls.
+    callee: String,
+    /// Dotted receiver path for method calls on simple receivers.
+    receiver: Option<String>,
+    line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArithSite {
+    /// `+`, `-`, `+=`, `-=`, `<`, `>`, `<=`, `>=`.
+    op: String,
+    left: String,
+    right: String,
+    line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiscardKind {
+    /// `let _ = call(…);`
+    LetUnderscore,
+    /// A bare `call(…);` expression statement.
+    BareStatement,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DiscardSite {
+    call: usize,
+    kind: DiscardKind,
+    line: usize,
+}
+
+/// Source shape of a narrowing `as` cast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CastSrc {
+    Path(String),
+    Call(usize),
+    Lit(i128),
+    /// `(x & MASK) as T` — in `[0, MASK]` regardless of `x`.
+    Masked(i128),
+    /// `self as T` inside an enum's impl block.
+    SelfEnum,
+    Complex,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CastSite {
+    target: String,
+    src: CastSrc,
+    line: usize,
+}
+
+/// Retry-after argument shape at an `ErrorCode` emission site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hint {
+    Zero,
+    NonZero,
+    /// A non-literal expression (computed hint).
+    Dynamic,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Emission {
+    variant: String,
+    hint: Hint,
+    line: usize,
+}
+
+/// Everything the fixpoint and the checks need from one function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct FnFacts {
+    name: String,
+    owner: Option<String>,
+    line: usize,
+    /// The signature returns `Result<…>` or `Option<…>`.
+    fallible: bool,
+    /// Head identifier of the return type (the payload head for
+    /// `Result`/`Option`); empty when the fn returns nothing.
+    ret_head: String,
+    /// `true` when at least one return path is structurally opaque.
+    ret_opaque: bool,
+    params: Vec<(String, String)>,
+    locals: Vec<Local>,
+    calls: Vec<CallSite>,
+    /// Newtype constructor applications: `(family, argument, line)`.
+    ctors: Vec<(Family, Option<String>, usize)>,
+    /// Return sources (tail expression and `return` statements),
+    /// classified like `let` initialisers.
+    rets: Vec<Init>,
+    arith: Vec<ArithSite>,
+    discards: Vec<DiscardSite>,
+    casts: Vec<CastSite>,
+    emissions: Vec<Emission>,
+    /// `ErrorCode` variant → disposition, from `fn disposition` arms.
+    dispositions: Vec<(String, String)>,
+}
+
+/// Cacheable extraction result for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileFacts {
+    crate_name: String,
+    path: PathBuf,
+    /// `(enum name, max discriminant)` for `self as uN` proofs.
+    enums: Vec<(String, i128)>,
+    fns: Vec<FnFacts>,
+}
+
+// ---------------------------------------------------------------------
+// Lattices and summaries.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitLat {
+    Bot,
+    Fam(Family),
+    Top,
+}
+
+impl UnitLat {
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (UnitLat::Bot, x) | (x, UnitLat::Bot) => x,
+            (UnitLat::Fam(a), UnitLat::Fam(b)) if a == b => self,
+            _ => UnitLat::Top,
+        }
+    }
+
+    fn known(self) -> Option<Family> {
+        match self {
+            UnitLat::Fam(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IntLat {
+    Bot,
+    Range(i128, i128),
+    Top,
+}
+
+impl IntLat {
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (IntLat::Bot, x) | (x, IntLat::Bot) => x,
+            (IntLat::Range(a, b), IntLat::Range(c, d)) => IntLat::Range(a.min(c), b.max(d)),
+            _ => IntLat::Top,
+        }
+    }
+}
+
+/// Per-function fixpoint state: facts about the returned value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Summary {
+    unit: UnitLat,
+    range: IntLat,
+}
+
+const BOTTOM: Summary = Summary {
+    unit: UnitLat::Bot,
+    range: IntLat::Bot,
+};
+
+/// Value range of an integer type read as a *source* (what values can
+/// it hold): pointer-width types use the widest supported width.
+fn source_range(ty: &str) -> Option<(i128, i128)> {
+    Some(match ty {
+        "u8" => (0, i128::from(u8::MAX)),
+        "u16" => (0, i128::from(u16::MAX)),
+        "u32" => (0, i128::from(u32::MAX)),
+        "u64" | "usize" => (0, i128::from(u64::MAX)),
+        "i8" => (i128::from(i8::MIN), i128::from(i8::MAX)),
+        "i16" => (i128::from(i16::MIN), i128::from(i16::MAX)),
+        "i32" => (i128::from(i32::MIN), i128::from(i32::MAX)),
+        "i64" | "isize" => (i128::from(i64::MIN), i128::from(i64::MAX)),
+        _ => return None,
+    })
+}
+
+/// Value range of a cast *target* (what must the value fit into):
+/// pointer-width types use the narrowest supported width (32-bit), so
+/// a proof holds on every target the workspace builds for. `f32` is
+/// bounded by its exact-integer range.
+fn target_range(ty: &str) -> Option<(i128, i128)> {
+    Some(match ty {
+        "u8" => (0, i128::from(u8::MAX)),
+        "u16" => (0, i128::from(u16::MAX)),
+        "u32" | "usize" => (0, i128::from(u32::MAX)),
+        "i8" => (i128::from(i8::MIN), i128::from(i8::MAX)),
+        "i16" => (i128::from(i16::MIN), i128::from(i16::MAX)),
+        "i32" | "isize" => (i128::from(i32::MIN), i128::from(i32::MAX)),
+        "f32" => (-(1 << 24), 1 << 24),
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Public entry points.
+
+/// Result of the dataflow pass: raw violations (the caller applies the
+/// allow ledger) plus run statistics.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Raw findings, sorted by `(file, line, message)` and deduped.
+    pub violations: Vec<Violation>,
+    /// Run statistics for the report footer and the JSON output.
+    pub stats: Stats,
+}
+
+/// Statistics of one dataflow run.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Functions summarised across the workspace.
+    pub functions: usize,
+    /// Files whose extraction came from the content-hash cache.
+    pub cache_hits: usize,
+    /// Files that were (re-)extracted this run.
+    pub cache_misses: usize,
+    /// Narrowing casts proved in range (each with an interval witness).
+    pub cast_proofs: usize,
+    /// Milliseconds spent in the extraction stage.
+    pub extract_ms: u128,
+    /// Fixpoint rounds until convergence.
+    pub rounds: usize,
+}
+
+/// Runs the three dataflow rule families over the workspace.
+///
+/// `cast_files` scopes the `cast-range` rule to `(crate, file-name)`
+/// pairs; `panic_free` scopes `result-discipline`. `cache_dir`, when
+/// given, holds the extraction cache.
+#[must_use]
+pub fn check_workspace(
+    files: &[SourceFile],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+    panic_free: &[&str],
+    cast_files: &[(&str, &str)],
+    cache_dir: Option<&Path>,
+) -> Analysis {
+    check_workspace_seeded(files, deps, panic_free, cast_files, cache_dir, 0)
+}
+
+/// [`check_workspace`] with an explicit worklist-order seed: the
+/// fixpoint evaluates nodes in a seed-permuted order each round. Any
+/// seed must produce identical results (the Jacobi iteration reads
+/// only the previous round's snapshot); the property tests call this
+/// with arbitrary seeds to prove it.
+#[must_use]
+pub fn check_workspace_seeded(
+    files: &[SourceFile],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+    panic_free: &[&str],
+    cast_files: &[(&str, &str)],
+    cache_dir: Option<&Path>,
+    seed: u64,
+) -> Analysis {
+    let started = std::time::Instant::now();
+    let mut stats = Stats::default();
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(files.len());
+    for sf in files {
+        match cached_extract(sf, cache_dir) {
+            (f, true) => {
+                stats.cache_hits += 1;
+                facts.push(f);
+            }
+            (f, false) => {
+                stats.cache_misses += 1;
+                facts.push(f);
+            }
+        }
+    }
+    stats.extract_ms = started.elapsed().as_millis();
+
+    // Flatten to one node list; resolve calls under the shared policy.
+    let mut nodes: Vec<(usize, usize)> = Vec::new();
+    for (fi, f) in facts.iter().enumerate() {
+        for ki in 0..f.fns.len() {
+            nodes.push((fi, ki));
+        }
+    }
+    stats.functions = nodes.len();
+    let index = callgraph::CallIndex::new(nodes.iter().map(|&(fi, ki)| {
+        let f = &facts[fi].fns[ki];
+        (
+            facts[fi].crate_name.as_str(),
+            f.owner.as_deref(),
+            f.name.as_str(),
+        )
+    }));
+    let targets: Vec<Vec<Vec<usize>>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &(fi, ki))| {
+            facts[fi].fns[ki]
+                .calls
+                .iter()
+                .map(|c| index.resolve(i, &c.callee, c.receiver.as_deref(), deps))
+                .collect()
+        })
+        .collect();
+
+    let summaries = fixpoint(&facts, &nodes, &targets, seed, &mut stats.rounds);
+
+    let mut violations = Vec::new();
+    for (i, &(fi, ki)) in nodes.iter().enumerate() {
+        let file = &facts[fi];
+        let f = &file.fns[ki];
+        let env = build_env(f, &targets[i], &summaries);
+        check_unit_flow(file, f, &env, &mut violations);
+        if panic_free.contains(&file.crate_name.as_str()) {
+            check_result_discipline(file, f, &targets[i], &facts, &nodes, &mut violations);
+        }
+        let scoped = cast_files.iter().any(|&(c, n)| {
+            c == file.crate_name && file.path.file_name().and_then(|s| s.to_str()) == Some(n)
+        });
+        if scoped {
+            check_cast_range(
+                file,
+                f,
+                &env,
+                &targets[i],
+                &summaries,
+                &mut violations,
+                &mut stats,
+            );
+        }
+    }
+    check_dispositions(&facts, &mut violations);
+
+    violations.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    violations.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    Analysis { violations, stats }
+}
+
+// ---------------------------------------------------------------------
+// Fixpoint.
+
+/// Jacobi iteration: every round computes all fresh summaries from the
+/// previous round's snapshot, in a seed-permuted order that provably
+/// cannot matter. Intervals still changing after [`WIDEN_ROUND`]
+/// rounds widen to `Top`, which bounds every chain.
+fn fixpoint(
+    facts: &[FileFacts],
+    nodes: &[(usize, usize)],
+    targets: &[Vec<Vec<usize>>],
+    seed: u64,
+    rounds_out: &mut usize,
+) -> Vec<Summary> {
+    let mut summaries = vec![BOTTOM; nodes.len()];
+    let order = permuted_order(nodes.len(), seed);
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        let mut fresh = vec![BOTTOM; nodes.len()];
+        for &i in &order {
+            let (fi, ki) = nodes[i];
+            fresh[i] = transfer(&facts[fi].fns[ki], &targets[i], &summaries);
+        }
+        if round > WIDEN_ROUND {
+            for (f, old) in fresh.iter_mut().zip(&summaries) {
+                if f.range != old.range {
+                    f.range = IntLat::Top;
+                }
+            }
+        }
+        if fresh == summaries {
+            break;
+        }
+        summaries = fresh;
+    }
+    *rounds_out = round;
+    summaries
+}
+
+/// Deterministic pseudo-random order of `0..n` (split-mix driven
+/// Fisher–Yates, the same generator the property tests use).
+fn permuted_order(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        seed ^= seed >> 31;
+        #[allow(clippy::cast_possible_truncation)]
+        let j = (seed % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// One function's transfer: rebuild the local environment from the
+/// current summary snapshot, then fold the return sources.
+fn transfer(f: &FnFacts, targets: &[Vec<usize>], summaries: &[Summary]) -> Summary {
+    // Signature facts dominate: a declared newtype return or a unit
+    // suffix on the fn name is a contract, not an inference.
+    let sig_unit = Family::of_newtype(&f.ret_head)
+        .or_else(|| units::family_of(&f.name))
+        .map(UnitLat::Fam);
+    let sig_range = source_range(&f.ret_head).map(|(lo, hi)| IntLat::Range(lo, hi));
+    if let (Some(unit), Some(range)) = (sig_unit, sig_range) {
+        return Summary { unit, range };
+    }
+
+    let env = build_env(f, targets, summaries);
+    let mut unit = UnitLat::Bot;
+    let mut range = IntLat::Bot;
+    for r in &f.rets {
+        let (u, rg) = eval_init(r, &env, targets, summaries);
+        unit = unit.join(u);
+        range = range.join(rg);
+    }
+    if f.ret_opaque {
+        unit = UnitLat::Top;
+        range = IntLat::Top;
+    }
+    Summary {
+        unit: sig_unit.unwrap_or(unit),
+        range: sig_range.unwrap_or(range),
+    }
+}
+
+/// Joined summary over all resolved targets of call `c`; unresolved
+/// calls are unknown (`Top`).
+fn call_summary(c: &usize, targets: &[Vec<usize>], summaries: &[Summary]) -> (UnitLat, IntLat) {
+    let Some(ts) = targets.get(*c) else {
+        return (UnitLat::Top, IntLat::Top);
+    };
+    if ts.is_empty() {
+        return (UnitLat::Top, IntLat::Top);
+    }
+    let mut unit = UnitLat::Bot;
+    let mut range = IntLat::Bot;
+    for &t in ts {
+        let s = summaries.get(t).copied().unwrap_or(BOTTOM);
+        unit = unit.join(s.unit);
+        range = range.join(s.range);
+    }
+    (unit, range)
+}
+
+/// The per-function environment: simple local/param name → lattice
+/// values, built in binding order.
+fn build_env(
+    f: &FnFacts,
+    targets: &[Vec<usize>],
+    summaries: &[Summary],
+) -> HashMap<String, (UnitLat, IntLat)> {
+    let mut env: HashMap<String, (UnitLat, IntLat)> = HashMap::new();
+    for (name, ty) in &f.params {
+        let unit = Family::of_newtype(ty)
+            .or_else(|| units::family_of(name))
+            .map_or(UnitLat::Top, UnitLat::Fam);
+        let range = source_range(ty).map_or(IntLat::Top, |(lo, hi)| IntLat::Range(lo, hi));
+        env.insert(name.clone(), (unit, range));
+    }
+    for l in &f.locals {
+        let value = eval_init(&l.init, &env, targets, summaries);
+        env.insert(l.name.clone(), value);
+    }
+    env
+}
+
+/// Lattice value of an abstract initialiser under `env`.
+fn eval_init(
+    init: &Init,
+    env: &HashMap<String, (UnitLat, IntLat)>,
+    targets: &[Vec<usize>],
+    summaries: &[Summary],
+) -> (UnitLat, IntLat) {
+    match init {
+        Init::Ctor(fam, _) | Init::Api(fam) => (UnitLat::Fam(*fam), IntLat::Top),
+        Init::Escape(p) | Init::Alias(p) => (path_unit(env, p), path_range(env, p)),
+        Init::Call(c) => call_summary(c, targets, summaries),
+        Init::Range(lo, hi) => (UnitLat::Top, IntLat::Range(*lo, *hi)),
+        Init::Unknown => (UnitLat::Top, IntLat::Top),
+    }
+}
+
+/// Unit of a simple dotted path under `env`: a flow-tracked binding
+/// wins, then the suffix heuristic on the final segment.
+fn path_unit(env: &HashMap<String, (UnitLat, IntLat)>, path: &str) -> UnitLat {
+    if let Some(&(u, _)) = env.get(path) {
+        if u != UnitLat::Top {
+            return u;
+        }
+    }
+    units::family_of(units::last_segment(path)).map_or(UnitLat::Top, UnitLat::Fam)
+}
+
+fn path_range(env: &HashMap<String, (UnitLat, IntLat)>, path: &str) -> IntLat {
+    env.get(path).map_or(IntLat::Top, |&(_, r)| r)
+}
+
+// ---------------------------------------------------------------------
+// Checks.
+
+fn check_unit_flow(
+    file: &FileFacts,
+    f: &FnFacts,
+    env: &HashMap<String, (UnitLat, IntLat)>,
+    out: &mut Vec<Violation>,
+) {
+    for a in &f.arith {
+        let (Some(lf), Some(rf)) = (
+            path_unit(env, &a.left).known(),
+            path_unit(env, &a.right).known(),
+        ) else {
+            continue;
+        };
+        if lf == rf {
+            continue;
+        }
+        let verb = if matches!(a.op.as_str(), "<" | ">" | "<=" | ">=") {
+            "compares"
+        } else {
+            "mixes"
+        };
+        out.push(Violation {
+            rule: Rule::UnitFlow,
+            file: file.path.clone(),
+            line: a.line,
+            message: format!(
+                "`{} {} {}` {verb} {} and {} — use the `blot_core::units` newtypes or convert \
+                 explicitly",
+                a.left,
+                a.op,
+                a.right,
+                lf.name(),
+                rf.name()
+            ),
+        });
+    }
+    for (fam, arg, line) in &f.ctors {
+        let Some(arg) = arg else { continue };
+        let Some(af) = path_unit(env, arg).known() else {
+            continue;
+        };
+        if af != *fam {
+            out.push(Violation {
+                rule: Rule::UnitFlow,
+                file: file.path.clone(),
+                line: *line,
+                message: format!(
+                    "`{arg}` carries {} but is re-wrapped as {} — an escaped `.get()`/`.0` value \
+                     keeps its origin family",
+                    af.name(),
+                    fam.name()
+                ),
+            });
+        }
+    }
+}
+
+fn check_result_discipline(
+    file: &FileFacts,
+    f: &FnFacts,
+    targets: &[Vec<usize>],
+    facts: &[FileFacts],
+    nodes: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for d in &f.discards {
+        let Some(c) = f.calls.get(d.call) else {
+            continue;
+        };
+        let dotted = c.callee.replace("::", ".");
+        let name = units::last_segment(&dotted);
+        if BEST_EFFORT_METHODS.contains(&name) {
+            continue;
+        }
+        let resolved = targets.get(d.call).map_or(&[][..], Vec::as_slice);
+        let fallible = if resolved.is_empty() {
+            let seeded = c.receiver.is_some() && FALLIBLE_METHOD_SEEDS.contains(&c.callee.as_str());
+            seeded
+                || FALLIBLE_PATH_PREFIXES
+                    .iter()
+                    .any(|p| c.callee.starts_with(p))
+        } else {
+            resolved.iter().any(|&t| {
+                let (fi, ki) = nodes[t];
+                facts[fi].fns[ki].fallible
+            })
+        };
+        if !fallible {
+            continue;
+        }
+        let shape = match d.kind {
+            DiscardKind::LetUnderscore => "`let _ =` silently discards",
+            DiscardKind::BareStatement => "the bare `;` statement silently discards",
+        };
+        out.push(Violation {
+            rule: Rule::ResultDiscipline,
+            file: file.path.clone(),
+            line: d.line,
+            message: format!(
+                "{shape} the fallible result of `{}` — handle it, `?` it, or vet the drop with \
+                 audit: allow(result-discipline, …)",
+                c.callee
+            ),
+        });
+    }
+}
+
+/// Cross-checks `client::disposition()` retryability against the
+/// server's retry-after emission sites.
+fn check_dispositions(facts: &[FileFacts], out: &mut Vec<Violation>) {
+    // variant → (disposition, file, line); last writer wins but the
+    // workspace has exactly one `disposition` fn.
+    let mut dispositions: BTreeMap<String, (String, PathBuf, usize)> = BTreeMap::new();
+    let mut emissions: Vec<(String, Hint, PathBuf, usize)> = Vec::new();
+    for file in facts {
+        for f in &file.fns {
+            for (variant, disp) in &f.dispositions {
+                dispositions.insert(variant.clone(), (disp.clone(), file.path.clone(), f.line));
+            }
+            for e in &f.emissions {
+                emissions.push((e.variant.clone(), e.hint, file.path.clone(), e.line));
+            }
+        }
+    }
+    if dispositions.is_empty() || emissions.is_empty() {
+        return;
+    }
+    for (variant, hint, file, line) in &emissions {
+        let Some((disp, _, _)) = dispositions.get(variant) else {
+            continue;
+        };
+        if disp != "RetryAfterHint" && *hint != Hint::Zero {
+            out.push(Violation {
+                rule: Rule::ResultDiscipline,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "the server sets a retry-after hint on `ErrorCode::{variant}`, but \
+                     `client::disposition` maps it to `{disp}` — the hint is dead on arrival"
+                ),
+            });
+        }
+    }
+    for (variant, (disp, file, line)) in &dispositions {
+        if disp != "RetryAfterHint" {
+            continue;
+        }
+        let has_hint = emissions
+            .iter()
+            .any(|(v, h, _, _)| v == variant && *h != Hint::Zero);
+        if !has_hint {
+            out.push(Violation {
+                rule: Rule::ResultDiscipline,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "`client::disposition` promises a retry-after hint for \
+                     `ErrorCode::{variant}`, but no server emission site supplies a nonzero \
+                     `retry_after_ms`"
+                ),
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_cast_range(
+    file: &FileFacts,
+    f: &FnFacts,
+    env: &HashMap<String, (UnitLat, IntLat)>,
+    targets: &[Vec<usize>],
+    summaries: &[Summary],
+    out: &mut Vec<Violation>,
+    stats: &mut Stats,
+) {
+    for cast in &f.casts {
+        let Some((tmin, tmax)) = target_range(&cast.target) else {
+            continue;
+        };
+        let interval = match &cast.src {
+            CastSrc::Lit(v) => IntLat::Range(*v, *v),
+            CastSrc::Masked(m) => IntLat::Range(0, *m),
+            CastSrc::Path(p) => path_range(env, p),
+            CastSrc::Call(c) => call_summary(c, targets, summaries).1,
+            CastSrc::SelfEnum => f
+                .owner
+                .as_ref()
+                .and_then(|o| file.enums.iter().find(|(n, _)| n == o))
+                .map_or(IntLat::Top, |&(_, max)| IntLat::Range(0, max)),
+            CastSrc::Complex => IntLat::Top,
+        };
+        match interval {
+            IntLat::Range(lo, hi) if lo >= tmin && hi <= tmax => {
+                // Proved: the computed interval is the witness.
+                stats.cast_proofs += 1;
+            }
+            IntLat::Range(lo, hi) => out.push(Violation {
+                rule: Rule::CastRange,
+                file: file.path.clone(),
+                line: cast.line,
+                message: format!(
+                    "cast to `{}` not provable: computed interval [{lo}, {hi}] exceeds \
+                     [{tmin}, {tmax}] — use a checked conversion",
+                    cast.target
+                ),
+            }),
+            IntLat::Bot | IntLat::Top => out.push(Violation {
+                rule: Rule::CastRange,
+                file: file.path.clone(),
+                line: cast.line,
+                message: format!(
+                    "cast to `{}` not provable: the source value's interval is unknown — use \
+                     `try_from` or vet with audit: allow(cast-range, …)",
+                    cast.target
+                ),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extraction.
+
+/// Extracts facts, going through the content-hash cache when a cache
+/// directory is configured. Returns `(facts, was_cache_hit)`.
+fn cached_extract(sf: &SourceFile, cache_dir: Option<&Path>) -> (FileFacts, bool) {
+    let Some(dir) = cache_dir else {
+        return (extract_file(sf), false);
+    };
+    let key = cache_key(sf);
+    let path = dir.join(key);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(facts) = deserialize(&text) {
+            return (facts, true);
+        }
+    }
+    let facts = extract_file(sf);
+    // Cache writes are best-effort: a read-only target dir only costs
+    // warm-run speed, never correctness.
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(&path, serialize(&facts));
+    }
+    (facts, false)
+}
+
+/// Cache file name: crate, file stem, and an FNV-1a hash of the
+/// content plus the format version.
+fn cache_key(sf: &SourceFile) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in CACHE_VERSION
+        .as_bytes()
+        .iter()
+        .chain(sf.path.to_string_lossy().as_bytes())
+        .chain(sf.source.as_bytes())
+    {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    let stem = sf
+        .path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("file");
+    format!("{}__{stem}__{hash:016x}.facts", sf.crate_name)
+}
+
+fn extract_file(sf: &SourceFile) -> FileFacts {
+    let (tokens, sig) = rules::lex_significant(&sf.source);
+    let view = View::new(&tokens, &sig);
+    let parsed = ast::parse(view);
+    let enums = parsed
+        .enums
+        .iter()
+        .map(|e| (e.name.clone(), e.max_discriminant))
+        .collect();
+    let fns = parsed
+        .fns
+        .iter()
+        .filter_map(|f| f.body.map(|body| extract_fn(view, f, body)))
+        .collect();
+    FileFacts {
+        crate_name: sf.crate_name.clone(),
+        path: sf.path.clone(),
+        enums,
+        fns,
+    }
+}
+
+fn extract_fn(view: View<'_>, decl: &ast::FnDecl, (b0, b1): (usize, usize)) -> FnFacts {
+    let mut f = FnFacts {
+        name: decl.name.clone(),
+        owner: decl.owner.clone(),
+        line: decl.line,
+        ..FnFacts::default()
+    };
+    parse_signature(view, decl.sig, &mut f);
+
+    // Call sites, with each call's close position for covering tests.
+    let raw_calls = ast::calls_in(view, b0, b1);
+    let closes: Vec<usize> = raw_calls
+        .iter()
+        .map(|c| ast::matching_close(view, c.pos + 1, b1, "(", ")"))
+        .collect();
+    for c in &raw_calls {
+        f.calls.push(CallSite {
+            callee: c.callee.clone(),
+            receiver: c.receiver.clone(),
+            line: c.line,
+        });
+    }
+
+    extract_statements(view, b0, b1, &raw_calls, &closes, &mut f);
+    extract_arith(view, b0, b1, &mut f);
+    extract_casts(view, b0, b1, &raw_calls, &closes, &mut f);
+    extract_ctors(view, &raw_calls, &closes, b1, &mut f);
+    extract_emissions(view, &raw_calls, &closes, b0, b1, &mut f);
+    if f.name == "disposition" {
+        extract_dispositions(view, b0, b1, &mut f);
+    }
+    f
+}
+
+/// Parses the parameter list and return type out of the signature
+/// token range.
+fn parse_signature(view: View<'_>, (s0, s1): (usize, usize), f: &mut FnFacts) {
+    // Parameters: the first paren group.
+    let mut j = s0;
+    while j < s1 && view.text(j) != Some("(") {
+        j += 1;
+    }
+    if j < s1 {
+        let close = ast::matching_close(view, j, s1, "(", ")").saturating_sub(1);
+        let mut k = j + 1;
+        while k < close {
+            let (name, next) = parse_param(view, k, close);
+            if let Some((name, ty)) = name {
+                f.params.push((name, ty));
+            }
+            k = next;
+        }
+        j = close + 1;
+    }
+    // Return type: after `->`.
+    while j + 1 < s1 {
+        if view.text(j) == Some("-") && view.text(j + 1) == Some(">") {
+            let head_at = type_head(view, j + 2, s1);
+            let Some(h) = head_at else { return };
+            let head = view.text(h).unwrap_or_default().to_string();
+            if head == "Result" || head == "Option" {
+                f.fallible = true;
+                // Payload head: the first type ident inside the `<…>`;
+                // a bare alias (`io::Result` with no generics) keeps
+                // the payload unknown.
+                if view.text(h + 1) == Some("<") {
+                    if let Some(p) = type_head(view, h + 2, s1) {
+                        f.ret_head = view.text(p).unwrap_or_default().to_string();
+                    }
+                }
+            } else {
+                f.ret_head = head;
+            }
+            return;
+        }
+        j += 1;
+    }
+}
+
+/// One parameter at `k`: returns `((name, type-head), index past the
+/// top-level comma)`.
+fn parse_param(view: View<'_>, k: usize, end: usize) -> (Option<(String, String)>, usize) {
+    // Find the top-level comma bounding this parameter.
+    let mut depth = 0i32;
+    let mut stop = end;
+    for j in k..end {
+        match view.text(j) {
+            Some("(" | "[" | "<") => depth += 1,
+            Some(")" | "]" | ">") => depth -= 1,
+            Some(",") if depth == 0 => {
+                stop = j;
+                break;
+            }
+            _ => {}
+        }
+    }
+    // `self` receivers (`&self`, `&mut self`, `self`) carry no name.
+    let mut j = k;
+    while j < stop && matches!(view.text(j), Some("&" | "mut")) {
+        j += 1;
+    }
+    if view.text(j) == Some("'") {
+        j += 2;
+        while j < stop && matches!(view.text(j), Some("mut")) {
+            j += 1;
+        }
+    }
+    if view.is_ident(j, "self") || view.kind(j) != Some(Kind::Ident) {
+        return (None, stop + 1);
+    }
+    let name = view.text(j).unwrap_or_default().to_string();
+    if view.text(j + 1) != Some(":") {
+        return (None, stop + 1);
+    }
+    let ty = type_head(view, j + 2, stop)
+        .and_then(|h| view.text(h))
+        .unwrap_or_default()
+        .to_string();
+    (Some((name, ty)), stop + 1)
+}
+
+/// Index of the head identifier of a type starting at `j`: skips
+/// references, lifetimes, `mut`/`dyn`/`impl`, and path qualifiers
+/// (`std::io::Result` → the `Result` token).
+fn type_head(view: View<'_>, mut j: usize, end: usize) -> Option<usize> {
+    while j < end {
+        match view.text(j) {
+            Some("&" | "(" | "mut" | "dyn" | "impl") => j += 1,
+            Some("'") => j += 2,
+            _ => break,
+        }
+    }
+    if view.kind(j) != Some(Kind::Ident) {
+        return None;
+    }
+    // Follow `a::b::C` to the last segment.
+    let mut head = j;
+    while view.text(head + 1) == Some(":")
+        && view.text(head + 2) == Some(":")
+        && view.kind(head + 3) == Some(Kind::Ident)
+    {
+        head += 3;
+    }
+    Some(head)
+}
+
+/// Statement walk: `let` bindings (locals + `let _ =` discards), bare
+/// call statements, and return sources.
+fn extract_statements(
+    view: View<'_>,
+    b0: usize,
+    b1: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+    f: &mut FnFacts,
+) {
+    let mut j = b0;
+    while j < b1 {
+        if view.is_ident(j, "let") {
+            j = extract_let(view, j, b1, calls, closes, f);
+            continue;
+        }
+        if view.is_ident(j, "return") {
+            let semi = statement_end(view, j + 1, b1);
+            if semi > j + 1 {
+                match classify_init(view, j + 1, semi, calls, closes) {
+                    Init::Unknown => f.ret_opaque = true,
+                    src => f.rets.push(src),
+                }
+            }
+            j = semi + 1;
+            continue;
+        }
+        // Bare statement discard: a call covering boundary→`;` exactly.
+        let at_boundary = j == b0 || matches!(view.text(j - 1), Some(";" | "{" | "}"));
+        if at_boundary && view.kind(j) == Some(Kind::Ident) {
+            let semi = statement_end(view, j, b1);
+            if semi < b1 && view.text(semi) == Some(";") {
+                if let Some(ci) = covering_call(view, j, semi, calls, closes) {
+                    // `call()?;` propagates the error — consumed.
+                    if view.text(closes[ci]) != Some("?") {
+                        f.discards.push(DiscardSite {
+                            call: ci,
+                            kind: DiscardKind::BareStatement,
+                            line: calls[ci].line,
+                        });
+                    }
+                    j = semi + 1;
+                    continue;
+                }
+            }
+        }
+        j += 1;
+    }
+    // Tail expression: after the last top-level `;` (or the whole
+    // body), a covering path/call is a return source.
+    extract_tail(view, b0, b1, calls, closes, f);
+}
+
+/// The `;` ending the statement starting at `j`, at zero bracket
+/// depth; `b1` when the statement runs to the end of the body.
+fn statement_end(view: View<'_>, j: usize, b1: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    for k in j..b1 {
+        match view.text(k) {
+            Some("(") => paren += 1,
+            Some(")") => paren -= 1,
+            Some("[") => bracket += 1,
+            Some("]") => bracket -= 1,
+            Some("{") => brace += 1,
+            Some("}") => brace -= 1,
+            Some(";") if paren == 0 && bracket == 0 && brace == 0 => return k,
+            _ => {}
+        }
+        if brace < 0 {
+            return k;
+        }
+    }
+    b1
+}
+
+/// Handles one `let` statement starting at `j`; returns the index past
+/// its `;`.
+fn extract_let(
+    view: View<'_>,
+    j: usize,
+    b1: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+    f: &mut FnFacts,
+) -> usize {
+    let mut n = j + 1;
+    if view.is_ident(n, "mut") {
+        n += 1;
+    }
+    let name = match view.kind(n) {
+        Some(Kind::Ident) => view.text(n).unwrap_or_default().to_string(),
+        Some(Kind::Punct) if view.text(n) == Some("_") => "_".to_string(),
+        _ => return j + 1, // destructuring / `let (a, b) =` — skip.
+    };
+    // Optional `: Type` ascription.
+    let mut ty = None;
+    let mut eq = n + 1;
+    if view.text(eq) == Some(":") {
+        ty = type_head(view, eq + 1, b1)
+            .and_then(|h| view.text(h))
+            .map(str::to_string);
+        while eq < b1 && !matches!(view.text(eq), Some("=" | ";")) {
+            eq += 1;
+        }
+    }
+    if view.text(eq) != Some("=") {
+        return eq + 1; // `let x;` or `let x: T;`
+    }
+    let semi = statement_end(view, eq + 1, b1);
+    let expr = (eq + 1, semi);
+
+    if name == "_" {
+        if let Some(ci) = covering_call(view, expr.0, expr.1, calls, closes) {
+            if view.text(closes[ci]) != Some("?") {
+                f.discards.push(DiscardSite {
+                    call: ci,
+                    kind: DiscardKind::LetUnderscore,
+                    line: calls[ci].line,
+                });
+            }
+        }
+        return eq + 1;
+    }
+
+    let mut init = classify_init(view, expr.0, expr.1, calls, closes);
+    // A type ascription refines an otherwise unknown initialiser: an
+    // integer type bounds the value, a unit newtype fixes the family.
+    if let Some(ty) = ty {
+        if init == Init::Unknown || matches!(init, Init::Call(_) | Init::Alias(_)) {
+            if let Some((lo, hi)) = source_range(&ty) {
+                init = Init::Range(lo, hi);
+            } else if let Some(fam) = Family::of_newtype(&ty) {
+                init = Init::Ctor(fam, None);
+            }
+        }
+    }
+    f.locals.push(Local { name, init });
+    // Resume INSIDE the initialiser rather than past the `;`: a match
+    // or closure initialiser (`let cal = Table::build(|s| { … });`)
+    // contains whole statement trees of its own, and skipping them
+    // would hide every nested `let` binding and discard.
+    eq + 1
+}
+
+/// The call whose text covers `[lo, hi)` exactly (its close paren — or
+/// trailing `?` — lands at `hi`, and its leading receiver/path starts
+/// at `lo`). Chain tails (`a().b()`) are accepted with an unverified
+/// start, which is safe: misclassified chains resolve to unknown.
+fn covering_call(
+    view: View<'_>,
+    lo: usize,
+    hi: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+) -> Option<usize> {
+    for (i, c) in calls.iter().enumerate() {
+        if c.pos < lo || c.pos >= hi {
+            continue;
+        }
+        let close = closes[i];
+        let end = if view.text(close) == Some("?") {
+            close + 1
+        } else {
+            close
+        };
+        if end != hi {
+            continue;
+        }
+        // Verify the call starts the expression where the shape is
+        // simple enough to check.
+        // A receiver segment is `ident .` (2 tokens); a path segment is
+        // `ident : :` (3 tokens — `::` lexes as two `:` puncts).
+        let start = if let Some(recv) = &c.receiver {
+            c.pos - 2 * recv.split('.').count()
+        } else {
+            c.pos - 3 * (c.callee.split("::").count() - 1)
+        };
+        if start == lo || c.receiver.is_none() && view.text(c.pos.wrapping_sub(1)) == Some(".") {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Classifies a `let` initialiser expression.
+fn classify_init(
+    view: View<'_>,
+    lo: usize,
+    hi: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+) -> Init {
+    if lo >= hi {
+        return Init::Unknown;
+    }
+    // Single integer literal.
+    if hi == lo + 1 && view.kind(lo) == Some(Kind::Literal) {
+        if let Some(v) = view.text(lo).and_then(ast::parse_int) {
+            return Init::Range(v, v);
+        }
+        return Init::Unknown;
+    }
+    // A covering call.
+    if let Some(ci) = covering_call(view, lo, hi, calls, closes) {
+        let c = &calls[ci];
+        if let Some((fam, arg)) = ctor_of(view, c, closes[ci]) {
+            return Init::Ctor(fam, arg);
+        }
+        // `path.get()` — the newtype escape: the raw value keeps the
+        // receiver's family.
+        if c.callee == "get" && closes[ci] == c.pos + 3 {
+            if let Some(recv) = &c.receiver {
+                return Init::Escape(recv.clone());
+            }
+        }
+        // `u32::from_be_bytes(…)` and friends: full type range.
+        if let Some((ty, _)) = c.callee.split_once("::") {
+            if let Some((lo, hi)) = source_range(ty) {
+                return Init::Range(lo, hi);
+            }
+        }
+        if let Some(&(_, fam)) = API_UNIT_SEEDS.iter().find(|&&(n, _)| n == c.callee) {
+            return Init::Api(fam);
+        }
+        return Init::Call(ci);
+    }
+    // `path.get()` escape.
+    if hi >= lo + 4
+        && view.text(hi - 1) == Some(")")
+        && view.text(hi - 2) == Some("(")
+        && view.is_ident(hi - 3, "get")
+        && view.text(hi - 4) == Some(".")
+    {
+        if let Some(p) = simple_path(view, lo, hi - 4) {
+            return Init::Escape(p);
+        }
+    }
+    // `path.0` escape.
+    if hi >= lo + 3
+        && view.kind(hi - 1) == Some(Kind::Literal)
+        && view.text(hi - 1) == Some("0")
+        && view.text(hi - 2) == Some(".")
+    {
+        if let Some(p) = simple_path(view, lo, hi - 2) {
+            return Init::Escape(p);
+        }
+    }
+    // `x & MASK` (or `MASK & x`): the mask bounds the value whatever
+    // `x` is, for a non-negative mask.
+    if let Some(m) = mask_pattern(view, lo, hi) {
+        return Init::Range(0, m);
+    }
+    // A plain simple path.
+    if let Some(p) = simple_path(view, lo, hi) {
+        return Init::Alias(p);
+    }
+    Init::Unknown
+}
+
+/// Recognises `Millis::new(arg)`-shaped newtype constructor calls.
+/// Returns the family and the simple-path first argument when present.
+fn ctor_of(view: View<'_>, c: &ast::Call, close: usize) -> Option<(Family, Option<String>)> {
+    let mut segs: Vec<&str> = c.callee.split("::").collect();
+    let method = segs.pop()?;
+    if !matches!(method, "new" | "of") {
+        return None;
+    }
+    let fam = Family::of_newtype(segs.last()?)?;
+    // First argument: a simple path (possibly `.get()`-suffixed),
+    // bounded by a `,` or the close paren.
+    let open = c.pos + 1;
+    let arg = units::right_operand(view, open + 1, close)
+        .filter(|&(_, edge)| matches!(view.text(edge), Some("," | ")")))
+        .map(|(p, _)| p);
+    Some((fam, arg))
+}
+
+/// The dotted simple path covering `[lo, hi)` exactly, if any.
+fn simple_path(view: View<'_>, lo: usize, hi: usize) -> Option<String> {
+    units::right_operand(view, lo, hi).and_then(|(p, edge)| (edge == hi).then_some(p))
+}
+
+/// `[path, &, lit]` / `[lit, &, path]` mask patterns.
+fn mask_pattern(view: View<'_>, lo: usize, hi: usize) -> Option<i128> {
+    let amp = (lo..hi).find(|&j| view.text(j) == Some("&") && view.text(j + 1) != Some("&"))?;
+    if amp == lo || amp + 1 >= hi {
+        return None; // leading `&expr` reference, or trailing garbage
+    }
+    let lit_right = view.kind(amp + 1) == Some(Kind::Literal);
+    let (lit_at, path_lo, path_hi) = if lit_right {
+        (amp + 1, lo, amp)
+    } else if view.kind(hi - 1) == Some(Kind::Literal) {
+        // not a simple `lit & path` — require the literal adjacent
+        (hi - 1, amp + 1, hi - 1)
+    } else {
+        return None;
+    };
+    if lit_right && amp + 2 != hi {
+        return None;
+    }
+    if !lit_right && (view.kind(lo) != Some(Kind::Literal) || lo + 1 != amp) {
+        return None;
+    }
+    simple_path(view, path_lo, path_hi)?;
+    let m = view.text(lit_at).and_then(ast::parse_int)?;
+    (m >= 0).then_some(m)
+}
+
+/// Classifies the body's tail expression (after the last top-level
+/// `;`/`}`) as a return source.
+fn extract_tail(
+    view: View<'_>,
+    b0: usize,
+    b1: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+    f: &mut FnFacts,
+) {
+    // Find the start of the trailing expression: walk statements.
+    let mut tail = b0;
+    let mut j = b0;
+    let mut depth = 0i32;
+    while j < b1 {
+        match view.text(j) {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    tail = j + 1;
+                }
+            }
+            Some("(") => {
+                j = ast::matching_close(view, j, b1, "(", ")");
+                continue;
+            }
+            Some(";") if depth == 0 => tail = j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    if tail >= b1 {
+        return;
+    }
+    match classify_init(view, tail, b1, calls, closes) {
+        // A structurally opaque tail (an `if`/`match` value, an
+        // arithmetic expression) makes the return unknown — except a
+        // lone literal, which simply has no unit.
+        Init::Unknown => {
+            if !(b1 == tail + 1 && view.kind(tail) == Some(Kind::Literal)) {
+                f.ret_opaque = true;
+            }
+        }
+        src => f.rets.push(src),
+    }
+}
+
+/// Additive and comparison arithmetic sites (the conservative operand
+/// model from the old lexical rule, kept verbatim).
+fn extract_arith(view: View<'_>, b0: usize, b1: usize, f: &mut FnFacts) {
+    for j in b0..b1 {
+        if view.kind(j) != Some(Kind::Punct) {
+            continue;
+        }
+        let t = view.text(j).unwrap_or_default();
+        let (op, rhs_at) = match t {
+            "+" | "-" => {
+                if t == "-" && view.text(j + 1) == Some(">") {
+                    continue;
+                }
+                if view.text(j + 1) == Some("=") {
+                    (format!("{t}="), j + 2)
+                } else {
+                    (t.to_string(), j + 1)
+                }
+            }
+            "<" | ">" => {
+                // Skip `<<`/`>>`, `->`/`=>` tails and generics-ish
+                // `::<`; comparisons against *unit-typed* operands are
+                // what we're after.
+                if view.text(j + 1) == Some(t)
+                    || matches!(view.text(j - 1), Some("-" | "=" | "<" | ">" | ":"))
+                {
+                    continue;
+                }
+                if view.text(j + 1) == Some("=") {
+                    (format!("{t}="), j + 2)
+                } else {
+                    (t.to_string(), j + 1)
+                }
+            }
+            _ => continue,
+        };
+        // Unary sign: no left operand.
+        if j == b0 || units::UNARY_CONTEXT.contains(&view.text(j - 1).unwrap_or_default()) {
+            continue;
+        }
+        let Some((left, l_edge)) = units::left_operand(view, b0, j) else {
+            continue;
+        };
+        let Some((right, r_edge)) = units::right_operand(view, rhs_at, b1) else {
+            continue;
+        };
+        // A `*`/`/`/`%` on either flank makes the operand a derived
+        // unit — exempt.
+        if l_edge > b0 && matches!(view.text(l_edge - 1), Some("*" | "/" | "%")) {
+            continue;
+        }
+        if matches!(view.text(r_edge), Some("*" | "/" | "%")) {
+            continue;
+        }
+        f.arith.push(ArithSite {
+            op,
+            left,
+            right,
+            line: view.line(j),
+        });
+    }
+}
+
+/// Narrowing `as` casts with their abstract source shape.
+fn extract_casts(
+    view: View<'_>,
+    b0: usize,
+    b1: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+    f: &mut FnFacts,
+) {
+    for j in b0..b1 {
+        if !view.is_ident(j, "as") {
+            continue;
+        }
+        let Some(target) = view.text(j + 1) else {
+            continue;
+        };
+        if !NARROW_TARGETS.contains(&target) {
+            continue;
+        }
+        let target = target.to_string();
+        let line = view.line(j);
+        let src = cast_source(view, b0, j, calls, closes);
+        f.casts.push(CastSite { target, src, line });
+    }
+}
+
+/// The abstract source of the cast whose `as` sits at `j`.
+fn cast_source(
+    view: View<'_>,
+    b0: usize,
+    j: usize,
+    calls: &[ast::Call],
+    closes: &[usize],
+) -> CastSrc {
+    if j == b0 {
+        return CastSrc::Complex;
+    }
+    let prev = view.text(j - 1).unwrap_or_default();
+    // Literal source.
+    if view.kind(j - 1) == Some(Kind::Literal) {
+        return ast::parse_int(prev).map_or(CastSrc::Complex, CastSrc::Lit);
+    }
+    // `self as T` in an enum impl.
+    if view.is_ident(j - 1, "self") && view.text(j.wrapping_sub(2)) != Some(".") {
+        return CastSrc::SelfEnum;
+    }
+    // `call()? as T` / `call() as T`.
+    let close = if prev == "?" { j - 1 } else { j };
+    if let Some(ci) = (0..calls.len()).find(|&i| closes[i] == close) {
+        return CastSrc::Call(ci);
+    }
+    // `(x & MASK) as T`.
+    if prev == ")" {
+        // Walk back to the matching open paren.
+        let mut depth = 0i32;
+        let mut open = None;
+        for k in (b0..j).rev() {
+            match view.text(k) {
+                Some(")") => depth += 1,
+                Some("(") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(o) = open {
+            if let Some(m) = mask_pattern(view, o + 1, j - 1) {
+                return CastSrc::Masked(m);
+            }
+        }
+        return CastSrc::Complex;
+    }
+    // A simple path.
+    units::left_operand(view, b0, j).map_or(CastSrc::Complex, |(p, _)| CastSrc::Path(p))
+}
+
+/// All newtype-constructor call sites (for the re-wrap check), not
+/// just `let`-bound ones.
+fn extract_ctors(
+    view: View<'_>,
+    calls: &[ast::Call],
+    closes: &[usize],
+    _b1: usize,
+    f: &mut FnFacts,
+) {
+    for (i, c) in calls.iter().enumerate() {
+        if let Some((fam, arg)) = ctor_of(view, c, closes[i]) {
+            f.ctors.push((fam, arg, c.line));
+        }
+    }
+}
+
+/// `ErrorCode` emission sites: `error_response(ErrorCode::X, hint, …)`
+/// calls and `WireError { code: ErrorCode::X, retry_after_ms: … }`
+/// struct literals.
+fn extract_emissions(
+    view: View<'_>,
+    calls: &[ast::Call],
+    closes: &[usize],
+    b0: usize,
+    b1: usize,
+    f: &mut FnFacts,
+) {
+    for (i, c) in calls.iter().enumerate() {
+        if units::last_segment(&c.callee.replace("::", ".")) != "error_response" {
+            continue;
+        }
+        let open = c.pos + 1;
+        let close = closes[i].saturating_sub(1);
+        // First argument must be a literal `ErrorCode::X` path.
+        if !(view.is_ident(open + 1, "ErrorCode")
+            && view.text(open + 2) == Some(":")
+            && view.text(open + 3) == Some(":")
+            && view.kind(open + 4) == Some(Kind::Ident)
+            && view.text(open + 5) == Some(","))
+        {
+            continue;
+        }
+        let variant = view.text(open + 4).unwrap_or_default().to_string();
+        // The hint argument runs to the next top-level comma (or the
+        // close paren for a two-argument call).
+        let mut depth = 0i32;
+        let stop = (open + 6..close)
+            .find(|&g| match view.text(g) {
+                Some("(" | "[" | "{") => {
+                    depth += 1;
+                    false
+                }
+                Some(")" | "]" | "}") => {
+                    depth -= 1;
+                    false
+                }
+                Some(",") => depth == 0,
+                _ => false,
+            })
+            .unwrap_or(close);
+        let hint = hint_of(view, open + 6, stop);
+        f.emissions.push(Emission {
+            variant,
+            hint,
+            line: c.line,
+        });
+    }
+    // Struct-literal emissions.
+    for j in b0..b1 {
+        if !view.is_ident(j, "WireError") || view.text(j + 1) != Some("{") {
+            continue;
+        }
+        let close = ast::matching_close(view, j + 1, b1, "{", "}").saturating_sub(1);
+        let mut variant = None;
+        let mut hint = Hint::Zero;
+        for k in j + 2..close {
+            if view.is_ident(k, "code")
+                && view.text(k + 1) == Some(":")
+                && view.is_ident(k + 2, "ErrorCode")
+                && view.text(k + 5).is_some()
+            {
+                variant = view.text(k + 5).map(str::to_string);
+            }
+            if view.is_ident(k, "retry_after_ms") && view.text(k + 1) == Some(":") {
+                let stop = (k + 2..close)
+                    .find(|&g| view.text(g) == Some(","))
+                    .unwrap_or(close);
+                hint = hint_of(view, k + 2, stop);
+            }
+        }
+        if let Some(variant) = variant {
+            f.emissions.push(Emission {
+                variant,
+                hint,
+                line: view.line(j),
+            });
+        }
+    }
+}
+
+/// Classifies a retry-after argument in `[at, stop)`.
+fn hint_of(view: View<'_>, at: usize, stop: usize) -> Hint {
+    if at < stop && at + 1 >= stop && view.kind(at) == Some(Kind::Literal) {
+        return match ast::parse_int(view.text(at).unwrap_or_default()) {
+            Some(0) => Hint::Zero,
+            Some(_) => Hint::NonZero,
+            None => Hint::Dynamic,
+        };
+    }
+    Hint::Dynamic
+}
+
+/// Arms of `fn disposition`: `ErrorCode::A | ErrorCode::B => D::X`.
+fn extract_dispositions(view: View<'_>, b0: usize, b1: usize, f: &mut FnFacts) {
+    let mut pending: Vec<String> = Vec::new();
+    let mut j = b0;
+    while j < b1 {
+        if view.is_ident(j, "ErrorCode")
+            && view.text(j + 1) == Some(":")
+            && view.text(j + 2) == Some(":")
+            && view.kind(j + 3) == Some(Kind::Ident)
+        {
+            pending.push(view.text(j + 3).unwrap_or_default().to_string());
+            j += 4;
+            continue;
+        }
+        if view.text(j) == Some("=") && view.text(j + 1) == Some(">") {
+            // The arm value: the last ident before the arm-ending `,`.
+            let stop = statement_arm_end(view, j + 2, b1);
+            let disp = (j + 2..stop)
+                .rev()
+                .find(|&g| view.kind(g) == Some(Kind::Ident))
+                .and_then(|g| view.text(g))
+                .unwrap_or_default()
+                .to_string();
+            if !disp.is_empty() {
+                for v in pending.drain(..) {
+                    f.dispositions.push((v, disp.clone()));
+                }
+            }
+            pending.clear();
+            j = stop + 1;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// End of a match arm value starting at `j`: the `,` (or closing `}`)
+/// at zero depth.
+fn statement_arm_end(view: View<'_>, j: usize, b1: usize) -> usize {
+    let mut depth = 0i32;
+    for k in j..b1 {
+        match view.text(k) {
+            Some("(" | "[" | "{") => depth += 1,
+            Some(")" | "]") => depth -= 1,
+            Some("}") => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            Some(",") if depth == 0 => return k,
+            _ => {}
+        }
+    }
+    b1
+}
+
+// ---------------------------------------------------------------------
+// Cache serialisation: a line-based text format. Identifiers and paths
+// never contain spaces, so space-separated fields round-trip exactly;
+// any malformed line fails the whole parse and falls back to
+// re-extraction.
+
+fn serialize(facts: &FileFacts) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("blot-dataflow-cache {CACHE_VERSION}\n");
+    let _ = writeln!(out, "crate {}", facts.crate_name);
+    let _ = writeln!(out, "path {}", facts.path.display());
+    for (name, max) in &facts.enums {
+        let _ = writeln!(out, "enum {name} {max}");
+    }
+    for f in &facts.fns {
+        let _ = writeln!(
+            out,
+            "fn {} {} {} {} {} {}",
+            f.name,
+            f.owner.as_deref().unwrap_or("-"),
+            f.line,
+            u8::from(f.fallible),
+            if f.ret_head.is_empty() {
+                "-"
+            } else {
+                &f.ret_head
+            },
+            u8::from(f.ret_opaque),
+        );
+        for (n, t) in &f.params {
+            let _ = writeln!(out, "param {n} {}", if t.is_empty() { "-" } else { t });
+        }
+        for c in &f.calls {
+            let _ = writeln!(
+                out,
+                "call {} {} {}",
+                c.callee,
+                c.receiver.as_deref().unwrap_or("-"),
+                c.line
+            );
+        }
+        for l in &f.locals {
+            let _ = writeln!(out, "local {} {}", l.name, init_tag(&l.init));
+        }
+        for (fam, arg, line) in &f.ctors {
+            let _ = writeln!(
+                out,
+                "ctor {} {} {line}",
+                fam.tag(),
+                arg.as_deref().unwrap_or("-")
+            );
+        }
+        for r in &f.rets {
+            let _ = writeln!(out, "ret {}", init_tag(r));
+        }
+        for a in &f.arith {
+            let _ = writeln!(out, "arith {} {} {} {}", a.op, a.left, a.right, a.line);
+        }
+        for d in &f.discards {
+            let kind = match d.kind {
+                DiscardKind::LetUnderscore => "let",
+                DiscardKind::BareStatement => "bare",
+            };
+            let _ = writeln!(out, "discard {} {kind} {}", d.call, d.line);
+        }
+        for c in &f.casts {
+            let src = match &c.src {
+                CastSrc::Path(p) => format!("path {p}"),
+                CastSrc::Call(i) => format!("call {i}"),
+                CastSrc::Lit(v) => format!("lit {v}"),
+                CastSrc::Masked(m) => format!("mask {m}"),
+                CastSrc::SelfEnum => "selfenum".to_string(),
+                CastSrc::Complex => "complex".to_string(),
+            };
+            let _ = writeln!(out, "cast {} {} {src}", c.target, c.line);
+        }
+        for e in &f.emissions {
+            let hint = match e.hint {
+                Hint::Zero => "zero",
+                Hint::NonZero => "nonzero",
+                Hint::Dynamic => "dynamic",
+            };
+            let _ = writeln!(out, "emit {} {hint} {}", e.variant, e.line);
+        }
+        for (v, d) in &f.dispositions {
+            let _ = writeln!(out, "disp {v} {d}");
+        }
+    }
+    out
+}
+
+fn init_tag(init: &Init) -> String {
+    match init {
+        Init::Ctor(fam, arg) => format!("ctor {} {}", fam.tag(), arg.as_deref().unwrap_or("-")),
+        Init::Escape(p) => format!("escape {p}"),
+        Init::Call(i) => format!("call {i}"),
+        Init::Alias(p) => format!("alias {p}"),
+        Init::Range(lo, hi) => format!("range {lo} {hi}"),
+        Init::Api(fam) => format!("api {}", fam.tag()),
+        Init::Unknown => "unknown".to_string(),
+    }
+}
+
+fn deserialize(text: &str) -> Option<FileFacts> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("blot-dataflow-cache {CACHE_VERSION}") {
+        return None;
+    }
+    let crate_name = lines.next()?.strip_prefix("crate ")?.to_string();
+    let path = PathBuf::from(lines.next()?.strip_prefix("path ")?);
+    let mut facts = FileFacts {
+        crate_name,
+        path,
+        enums: Vec::new(),
+        fns: Vec::new(),
+    };
+    for line in lines {
+        let mut it = line.split(' ');
+        let tag = it.next()?;
+        let mut next = || it.next();
+        match tag {
+            "enum" => {
+                let name = next()?.to_string();
+                facts.enums.push((name, next()?.parse().ok()?));
+            }
+            "fn" => {
+                let mut f = FnFacts {
+                    name: next()?.to_string(),
+                    owner: opt(next()?),
+                    ..FnFacts::default()
+                };
+                f.line = next()?.parse().ok()?;
+                f.fallible = next()? == "1";
+                f.ret_head = opt(next()?).unwrap_or_default();
+                f.ret_opaque = next()? == "1";
+                facts.fns.push(f);
+            }
+            _ => {
+                let f = facts.fns.last_mut()?;
+                match tag {
+                    "param" => {
+                        let n = next()?.to_string();
+                        f.params.push((n, opt(next()?).unwrap_or_default()));
+                    }
+                    "call" => {
+                        let callee = next()?.to_string();
+                        let receiver = opt(next()?);
+                        f.calls.push(CallSite {
+                            callee,
+                            receiver,
+                            line: next()?.parse().ok()?,
+                        });
+                    }
+                    "local" => {
+                        let name = next()?.to_string();
+                        let init = parse_init(&mut it)?;
+                        f.locals.push(Local { name, init });
+                    }
+                    "ctor" => {
+                        let fam = Family::from_tag(next()?)?;
+                        let arg = opt(next()?);
+                        f.ctors.push((fam, arg, next()?.parse().ok()?));
+                    }
+                    "ret" => f.rets.push(parse_init(&mut it)?),
+                    "arith" => {
+                        let op = next()?.to_string();
+                        let left = next()?.to_string();
+                        let right = next()?.to_string();
+                        f.arith.push(ArithSite {
+                            op,
+                            left,
+                            right,
+                            line: next()?.parse().ok()?,
+                        });
+                    }
+                    "discard" => {
+                        let call = next()?.parse().ok()?;
+                        let kind = match next()? {
+                            "let" => DiscardKind::LetUnderscore,
+                            "bare" => DiscardKind::BareStatement,
+                            _ => return None,
+                        };
+                        f.discards.push(DiscardSite {
+                            call,
+                            kind,
+                            line: next()?.parse().ok()?,
+                        });
+                    }
+                    "cast" => {
+                        let target = next()?.to_string();
+                        let line = next()?.parse().ok()?;
+                        let src = match next()? {
+                            "path" => CastSrc::Path(next()?.to_string()),
+                            "call" => CastSrc::Call(next()?.parse().ok()?),
+                            "lit" => CastSrc::Lit(next()?.parse().ok()?),
+                            "mask" => CastSrc::Masked(next()?.parse().ok()?),
+                            "selfenum" => CastSrc::SelfEnum,
+                            "complex" => CastSrc::Complex,
+                            _ => return None,
+                        };
+                        f.casts.push(CastSite { target, src, line });
+                    }
+                    "emit" => {
+                        let variant = next()?.to_string();
+                        let hint = match next()? {
+                            "zero" => Hint::Zero,
+                            "nonzero" => Hint::NonZero,
+                            "dynamic" => Hint::Dynamic,
+                            _ => return None,
+                        };
+                        f.emissions.push(Emission {
+                            variant,
+                            hint,
+                            line: next()?.parse().ok()?,
+                        });
+                    }
+                    "disp" => {
+                        let v = next()?.to_string();
+                        f.dispositions.push((v, next()?.to_string()));
+                    }
+                    "" => {}
+                    _ => return None,
+                }
+            }
+        }
+    }
+    Some(facts)
+}
+
+fn parse_init<'a>(it: &mut impl Iterator<Item = &'a str>) -> Option<Init> {
+    Some(match it.next()? {
+        "ctor" => {
+            let fam = Family::from_tag(it.next()?)?;
+            Init::Ctor(fam, opt(it.next()?))
+        }
+        "escape" => Init::Escape(it.next()?.to_string()),
+        "call" => Init::Call(it.next()?.parse().ok()?),
+        "alias" => Init::Alias(it.next()?.to_string()),
+        "range" => {
+            let lo = it.next()?.parse().ok()?;
+            Init::Range(lo, it.next()?.parse().ok()?)
+        }
+        "api" => Init::Api(Family::from_tag(it.next()?)?),
+        "unknown" => Init::Unknown,
+        _ => return None,
+    })
+}
+
+fn opt(s: &str) -> Option<String> {
+    (s != "-").then(|| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(krate: &str, name: &str, src: &str) -> SourceFile {
+        SourceFile {
+            crate_name: krate.to_string(),
+            path: PathBuf::from(format!("crates/{krate}/src/{name}")),
+            source: src.to_string(),
+        }
+    }
+
+    fn deps() -> BTreeMap<String, BTreeSet<String>> {
+        let mut m = BTreeMap::new();
+        m.insert("core".to_string(), BTreeSet::new());
+        m
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<Violation> {
+        check_workspace(files, &deps(), &["core"], &[("core", "wire.rs")], None).violations
+    }
+
+    #[test]
+    fn extraction_round_trips_through_the_cache_format() {
+        let sf = file(
+            "core",
+            "wire.rs",
+            "pub fn f(len_bytes: u32) -> Result<u32, E> {\n\
+                 let wait = start.elapsed().as_secs_f64();\n\
+                 let m = Millis::new(wait);\n\
+                 let raw = m.get();\n\
+                 let masked = raw_bits & 0x3F;\n\
+                 let _ = sock.set_read_timeout(None);\n\
+                 if wait + len_bytes > 0.0 { return helper(); }\n\
+                 Ok(masked as u32)\n\
+             }\n",
+        );
+        let facts = extract_file(&sf);
+        let round = deserialize(&serialize(&facts)).expect("cache text parses");
+        assert_eq!(facts, round);
+        let f = &facts.fns[0];
+        assert!(f.fallible);
+        assert_eq!(f.ret_head, "u32");
+        assert!(f
+            .locals
+            .iter()
+            .any(|l| l.init == Init::Api(Family::Seconds)));
+        assert!(f
+            .locals
+            .iter()
+            .any(|l| matches!(l.init, Init::Ctor(Family::Millis, Some(_)))));
+        assert!(f.locals.iter().any(|l| l.init == Init::Escape("m".into())));
+        assert!(f.locals.iter().any(|l| l.init == Init::Range(0, 0x3F)));
+        assert_eq!(f.discards.len(), 1);
+    }
+
+    #[test]
+    fn interprocedural_unit_flow_catches_suffixless_mixing() {
+        // `t` has no unit suffix; its family arrives through the call
+        // summary of `scan_cost`, which itself flows from a seeded API.
+        let files = [
+            file(
+                "core",
+                "a.rs",
+                "pub fn scan_cost() -> f64 { elapsed_secs_probe() }\n\
+                 fn elapsed_secs_probe() -> f64 { now.elapsed().as_secs_f64() }\n",
+            ),
+            file(
+                "core",
+                "b.rs",
+                "pub fn total(batch_bytes: f64) -> f64 {\n\
+                     let t = scan_cost();\n\
+                     t + batch_bytes\n\
+                 }\n",
+            ),
+        ];
+        let v = run(&files);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnitFlow);
+        assert!(v[0].message.contains("seconds"), "{}", v[0].message);
+        assert!(v[0].message.contains("bytes"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn escaped_values_keep_their_family_through_rewrap() {
+        let files = [file(
+            "core",
+            "a.rs",
+            "pub fn launder(window: Millis) -> Bytes {\n\
+                 let raw = window.get();\n\
+                 Bytes::new(raw)\n\
+             }\n\
+             pub fn fine(window: Millis) -> Millis {\n\
+                 let raw = window.get();\n\
+                 Millis::new(raw)\n\
+             }\n",
+        )];
+        let v = run(&files);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("re-wrapped"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn result_discipline_flags_discards_only_in_panic_free_crates() {
+        let src = "pub fn f(sock: &S) {\n\
+                       let _ = sock.set_read_timeout(None);\n\
+                       let _ = sock.set_nodelay(true);\n\
+                   }\n";
+        let flagged = run(&[file("core", "a.rs", src)]);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert!(flagged[0].message.contains("set_read_timeout"));
+        // `cli` is not panic-free: nothing fires.
+        let spared = run(&[file("cli", "a.rs", src)]);
+        assert!(spared.is_empty(), "{spared:?}");
+    }
+
+    #[test]
+    fn workspace_fallibility_flows_through_call_resolution() {
+        let files = [file(
+            "core",
+            "a.rs",
+            "pub fn fallible() -> Result<(), E> { Ok(()) }\n\
+             pub fn infallible() -> u32 { 1 }\n\
+             pub fn caller() {\n\
+                 let _ = fallible();\n\
+                 let _ = infallible();\n\
+                 fallible();\n\
+             }\n",
+        )];
+        let v = run(&files);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("bare `;`")));
+    }
+
+    #[test]
+    fn disposition_cross_check_fires_in_both_directions() {
+        let files = [
+            file(
+                "core",
+                "client.rs",
+                "pub fn disposition(code: ErrorCode) -> Disposition {\n\
+                     match code {\n\
+                         ErrorCode::Overloaded => Disposition::RetryAfterHint,\n\
+                         ErrorCode::Slow => Disposition::RetryAfterHint,\n\
+                         ErrorCode::Malformed | ErrorCode::Internal => Disposition::Fatal,\n\
+                     }\n\
+                 }\n",
+            ),
+            file(
+                "core",
+                "conn.rs",
+                "pub fn reply(q: &Q) -> Response {\n\
+                     let hinted = error_response(ErrorCode::Overloaded, 100, msg());\n\
+                     let dead = error_response(ErrorCode::Malformed, 250, msg());\n\
+                     let fine = error_response(ErrorCode::Internal, 0, msg());\n\
+                     pick(hinted, dead, fine)\n\
+                 }\n",
+            ),
+        ];
+        let v = run(&files);
+        // `Malformed` gets a hint the client throws away; `Slow` promises
+        // a hint no server site supplies.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("dead on arrival")));
+        assert!(v.iter().any(|x| x.message.contains("no server emission")));
+    }
+
+    #[test]
+    fn cast_range_proves_and_flags() {
+        let files = [file(
+            "core",
+            "wire.rs",
+            "impl ErrorCode { pub fn as_u16(self) -> u16 { self as u16 } }\n\
+             pub enum ErrorCode { A = 1, B = 9 }\n\
+             pub fn read_len(c: &mut Cur) -> Result<usize, E> {\n\
+                 let len = c.u32()?;\n\
+                 Ok(len as usize)\n\
+             }\n\
+             impl Cur { pub fn u32(&mut self) -> Result<u32, E> { Ok(0) } }\n\
+             pub fn bad(total: f64) -> u16 {\n\
+                 let masked = big & 0xFFFF;\n\
+                 let ok = masked as u16;\n\
+                 total as u16\n\
+             }\n",
+        )];
+        let analysis = check_workspace(&files, &deps(), &[], &[("core", "wire.rs")], None);
+        let v = analysis.violations;
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("unknown"), "{}", v[0].message);
+        assert_eq!(analysis.stats.cast_proofs, 3, "enum, u32→usize, mask");
+    }
+
+    #[test]
+    fn cache_hits_on_identical_content_and_misses_on_change() {
+        let dir = std::env::temp_dir().join(format!("xtask-dataflow-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = [file("core", "a.rs", "pub fn f() -> u32 { 1 }\n")];
+        let cold = check_workspace(&files, &deps(), &[], &[], Some(&dir));
+        assert_eq!((cold.stats.cache_hits, cold.stats.cache_misses), (0, 1));
+        let warm = check_workspace(&files, &deps(), &[], &[], Some(&dir));
+        assert_eq!((warm.stats.cache_hits, warm.stats.cache_misses), (1, 0));
+        let changed = [file("core", "a.rs", "pub fn f() -> u32 { 2 }\n")];
+        let miss = check_workspace(&changed, &deps(), &[], &[], Some(&dir));
+        assert_eq!((miss.stats.cache_hits, miss.stats.cache_misses), (0, 1));
+        // A corrupt cache entry falls back to extraction.
+        for entry in std::fs::read_dir(&dir).expect("cache dir") {
+            let p = entry.expect("entry").path();
+            std::fs::write(&p, "garbage").expect("corrupt");
+        }
+        let healed = check_workspace(&files, &deps(), &[], &[], Some(&dir));
+        assert_eq!(healed.stats.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_family_arithmetic_and_derived_units_stay_quiet() {
+        let files = [file(
+            "core",
+            "a.rs",
+            "pub fn f(a_ms: f64, b_ms: f64, n_records: f64, slope: f64) -> f64 {\n\
+                 let total = a_ms + b_ms;\n\
+                 total + slope * n_records\n\
+             }\n",
+        )];
+        let v = run(&files);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

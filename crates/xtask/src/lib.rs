@@ -10,9 +10,6 @@
 //!   abort the process;
 //! * **indexing** — no `expr[…]` in the same scope (prefer `.get(…)`;
 //!   structurally-safe dense loops carry a justification);
-//! * **lossy-cast** — the codec's bit-level files may not narrow
-//!   integers with `as`; conversions are `try_from`/checked or
-//!   individually justified;
 //! * **errors-doc** — every `pub fn` returning `Result` documents its
 //!   `# Errors`;
 //! * **error-traits** — every public error enum has an
@@ -21,12 +18,9 @@
 //! * **deps** — offline `cargo metadata` audit: licenses declared,
 //!   no duplicate semver-major versions.
 //!
-//! v2 adds three semantic rule families on top, built on the parsed
+//! v2 adds semantic rule families on top, built on the parsed
 //! workspace model in [`ast`]:
 //!
-//! * **unit-safety** — no additive arithmetic mixing unit families
-//!   (milliseconds, bytes, partition counts, record counts) in the
-//!   cost-model modules; see [`units`];
 //! * **lock-discipline** — no `storage::sync` guard held across
 //!   backend I/O, and lock acquisitions follow the declared order; see
 //!   [`locks`];
@@ -55,6 +49,23 @@
 //!   arms, client-side handling, and a test-corpus mention; see
 //!   [`registry`];
 //!
+//! v4 adds the summary-based interprocedural dataflow engine in
+//! [`dataflow`], with three rule families running to a deterministic
+//! fixpoint over the whole workspace:
+//!
+//! * **unit-flow** — unit-family inference (ms / sec / bytes /
+//!   partitions / records / ratio) for locals, params and returns,
+//!   propagated through `let` bindings, `.get()`/`.0` escapes and call
+//!   summaries; flags cross-family additive/comparison arithmetic and
+//!   re-wrapping an escaped value into a different family (supersedes
+//!   the old file-scoped lexical `unit-safety` rule);
+//! * **result-discipline** — silently discarded fallible calls in the
+//!   panic-free crates, plus the wire `ErrorCode`
+//!   retryability-vs-emission cross-check;
+//! * **cast-range** — interval propagation proving each narrowing `as`
+//!   cast in the bit-level codec/wire files in-range, or flagging it
+//!   (supersedes the old lexical `lossy-cast` rule);
+//!
 //! plus the **ratchet**: `crates/xtask/ratchet.toml` pins the
 //! per-rule waiver counts, and the lint fails when the live ledger
 //! drifts from the pin in either direction (see [`ratchet`]).
@@ -70,6 +81,7 @@
 
 pub mod ast;
 pub mod callgraph;
+pub mod dataflow;
 pub mod deps;
 pub mod fuzz;
 pub mod lexer;
@@ -90,21 +102,15 @@ use std::path::{Path, PathBuf};
 /// network serving layer (a panic there kills a connection handler).
 pub const PANIC_FREE_CRATES: &[&str] = &["core", "storage", "codec", "mip", "index", "server"];
 
-/// Codec files holding bit-level encode/decode state machines (rule
-/// `lossy-cast`).
-pub const BIT_LEVEL_FILES: &[&str] = &["bitio.rs", "varint.rs", "gorilla.rs", "range.rs"];
-
-/// `(crate, file)` pairs carrying dimensioned quantities (rule
-/// `unit-safety`). `geo` and `mip` sit below `core` in the dependency
-/// order and cannot import the unit newtypes, so the lint is their only
-/// cover.
-pub const UNIT_SAFETY_FILES: &[(&str, &str)] = &[
-    ("core", "cost.rs"),
-    ("core", "select.rs"),
-    ("geo", "query_size.rs"),
-    ("mip", "problem.rs"),
+/// `(crate, file)` pairs holding bit-level encode/decode state
+/// machines, where every narrowing `as` cast must carry an interval
+/// proof (rule `cast-range`).
+pub const CAST_RANGE_FILES: &[(&str, &str)] = &[
+    ("codec", "bitio.rs"),
+    ("codec", "varint.rs"),
+    ("codec", "gorilla.rs"),
+    ("codec", "range.rs"),
     ("server", "wire.rs"),
-    ("server", "batch.rs"),
 ];
 
 /// Crates whose code uses the `storage::sync` lock wrappers (rule
@@ -138,6 +144,8 @@ pub struct Report {
     pub waived: HashMap<Rule, usize>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Statistics from the interprocedural dataflow pass.
+    pub dataflow: dataflow::Stats,
 }
 
 impl Report {
@@ -166,6 +174,17 @@ impl Report {
             "blot-audit: {} file(s) scanned, {} violation(s)",
             self.files_scanned,
             self.violations.len()
+        );
+        let _ = writeln!(
+            out,
+            "dataflow: {} fn(s) summarised in {} round(s), {} cast proof(s), cache {} hit / {} \
+             miss, extract {} ms",
+            self.dataflow.functions,
+            self.dataflow.rounds,
+            self.dataflow.cast_proofs,
+            self.dataflow.cache_hits,
+            self.dataflow.cache_misses,
+            self.dataflow.extract_ms
         );
         for &rule in Rule::ALL {
             let n = self.count(rule);
@@ -239,11 +258,20 @@ impl Report {
                 ])
             })
             .collect();
+        let dataflow = Json::obj([
+            ("functions", Json::Num(self.dataflow.functions as f64)),
+            ("rounds", Json::Num(self.dataflow.rounds as f64)),
+            ("cast_proofs", Json::Num(self.dataflow.cast_proofs as f64)),
+            ("cache_hits", Json::Num(self.dataflow.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.dataflow.cache_misses as f64)),
+            ("extract_ms", Json::Num(self.dataflow.extract_ms as f64)),
+        ]);
         Json::obj([
             ("clean", Json::Bool(self.is_clean())),
             ("files_scanned", Json::Num(self.files_scanned as f64)),
             ("violations", Json::Arr(violations)),
             ("allows", Json::Arr(allows)),
+            ("dataflow", dataflow),
         ])
     }
 
@@ -314,6 +342,19 @@ pub fn lint_workspace(root: &Path, with_deps: bool) -> Result<Report, String> {
     let cg_violations =
         callgraph::check_workspace(&sources, &dep_graph, PANIC_FREE_CRATES, &mut report.allows);
     apply_allows(cg_violations, &mut report);
+
+    // Interprocedural dataflow: unit-flow, result-discipline and
+    // cast-range, sharing the call-resolution policy with the call
+    // graph above. Extraction goes through the content-hash cache.
+    let df = dataflow::check_workspace(
+        &sources,
+        &dep_graph,
+        PANIC_FREE_CRATES,
+        CAST_RANGE_FILES,
+        Some(&root.join("target/xtask-cache")),
+    );
+    apply_allows(df.violations, &mut report);
+    report.dataflow = df.stats;
 
     // Registry completeness: the codec scheme enums against their
     // encoder/decoder arms, property tests and fuzz targets.
@@ -419,9 +460,7 @@ fn lint_crate(
         let rules = RuleSet {
             panic: panic_free,
             indexing: panic_free,
-            lossy_cast: crate_name == "codec" && BIT_LEVEL_FILES.contains(&file_name),
             errors_doc: true,
-            unit_safety: UNIT_SAFETY_FILES.contains(&(crate_name, file_name)),
             lock_discipline: LOCK_DISCIPLINE_CRATES.contains(&crate_name),
             thread_discipline: THREAD_DISCIPLINE_CRATES.contains(&crate_name)
                 && file_name != THREAD_DISCIPLINE_EXEMPT_FILE,

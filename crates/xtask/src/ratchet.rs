@@ -8,9 +8,15 @@
 //! `cargo xtask lint --update-ratchet`) so the improvement cannot
 //! silently regress later.
 //!
-//! The file is hand-parsed — one `[waivers]` section of `rule = count`
-//! lines — because the workspace has no TOML crate and does not need
-//! one for this grammar.
+//! On top of the exact per-rule pins, an optional `[ceiling]` section
+//! pins `total = N`: the live grand total may never exceed it, and
+//! `--update-ratchet` preserves the ceiling as-is (never raises it), so
+//! trading one waiver for another cannot quietly grow the overall
+//! surface either.
+//!
+//! The file is hand-parsed — a `[waivers]` section of `rule = count`
+//! lines plus the optional `[ceiling]` — because the workspace has no
+//! TOML crate and does not need one for this grammar.
 
 use crate::rules::{Allow, Rule, Violation};
 use std::collections::BTreeMap;
@@ -24,6 +30,9 @@ pub const RATCHET_PATH: &str = "crates/xtask/ratchet.toml";
 pub struct Ratchet {
     /// `rule name → pinned allow-comment count`, sorted by name.
     pub pins: BTreeMap<String, usize>,
+    /// Optional cap on the grand-total waiver count (`[ceiling]`
+    /// section, `total = N`), preserved verbatim by `--update-ratchet`.
+    pub ceiling: Option<usize>,
 }
 
 impl Ratchet {
@@ -35,35 +44,51 @@ impl Ratchet {
     /// the `[waivers]` header, or `rule = count` pairs.
     pub fn parse(src: &str) -> Result<Self, String> {
         let mut pins = BTreeMap::new();
-        let mut in_waivers = false;
+        let mut ceiling = None;
+        let mut section = String::new();
         for (i, raw) in src.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                in_waivers = section.trim() == "waivers";
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!("{RATCHET_PATH}:{}: expected `rule = count`", i + 1));
             };
-            if !in_waivers {
-                return Err(format!(
-                    "{RATCHET_PATH}:{}: key outside the [waivers] section",
-                    i + 1
-                ));
-            }
             let key = key.trim().to_string();
             let count: usize = value
                 .trim()
                 .parse()
                 .map_err(|e| format!("{RATCHET_PATH}:{}: bad count: {e}", i + 1))?;
-            if pins.insert(key.clone(), count).is_some() {
-                return Err(format!("{RATCHET_PATH}:{}: duplicate rule `{key}`", i + 1));
+            match section.as_str() {
+                "waivers" => {
+                    if pins.insert(key.clone(), count).is_some() {
+                        return Err(format!("{RATCHET_PATH}:{}: duplicate rule `{key}`", i + 1));
+                    }
+                }
+                "ceiling" if key == "total" => {
+                    if ceiling.replace(count).is_some() {
+                        return Err(format!("{RATCHET_PATH}:{}: duplicate ceiling", i + 1));
+                    }
+                }
+                "ceiling" => {
+                    return Err(format!(
+                        "{RATCHET_PATH}:{}: unknown ceiling key `{key}` (only `total`)",
+                        i + 1
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "{RATCHET_PATH}:{}: key outside the [waivers] section",
+                        i + 1
+                    ));
+                }
             }
         }
-        Ok(Self { pins })
+        Ok(Self { pins, ceiling })
     }
 
     /// Renders the canonical file text for `pins`.
@@ -78,6 +103,12 @@ impl Ratchet {
         );
         for (rule, count) in &self.pins {
             out.push_str(&format!("{rule} = {count}\n"));
+        }
+        if let Some(ceiling) = self.ceiling {
+            out.push_str(&format!(
+                "\n# Grand-total cap — never raised by --update-ratchet.\n\
+                 [ceiling]\ntotal = {ceiling}\n"
+            ));
         }
         out
     }
@@ -140,6 +171,15 @@ pub fn check(root: &Path, allows: &[Allow]) -> Vec<Violation> {
             )));
         }
     }
+    if let Some(ceiling) = ratchet.ceiling {
+        let live_total: usize = actual.values().sum();
+        if live_total > ceiling {
+            out.push(violation(format!(
+                "total waiver count {live_total} exceeds the ceiling of {ceiling} — burn a \
+                 waiver down before adding a new one"
+            )));
+        }
+    }
     out
 }
 
@@ -149,8 +189,15 @@ pub fn check(root: &Path, allows: &[Allow]) -> Vec<Violation> {
 ///
 /// Returns a message when the file cannot be written.
 pub fn update(root: &Path, allows: &[Allow]) -> Result<PathBuf, String> {
+    // Preserve an existing ceiling verbatim: updating the per-rule pins
+    // must never loosen the grand-total cap.
+    let ceiling = std::fs::read_to_string(root.join(RATCHET_PATH))
+        .ok()
+        .and_then(|src| Ratchet::parse(&src).ok())
+        .and_then(|r| r.ceiling);
     let ratchet = Ratchet {
         pins: actual_counts(allows),
+        ceiling,
     };
     let path = root.join(RATCHET_PATH);
     std::fs::write(&path, ratchet.render())
@@ -207,6 +254,28 @@ mod tests {
         // Unpinned rule appearing: rose.
         let unpinned = check(&dir, &[allow(Rule::Indexing), allow(Rule::Panic)]);
         assert_eq!(unpinned.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ceiling_caps_the_total_and_survives_update() {
+        let dir = std::env::temp_dir().join(format!("blot-ratchet-ceil-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("crates/xtask")).unwrap();
+        std::fs::write(
+            dir.join(RATCHET_PATH),
+            "[waivers]\nindexing = 2\n\n[ceiling]\ntotal = 1\n",
+        )
+        .unwrap();
+        // Per-rule pin matches but the total exceeds the ceiling.
+        let over = check(&dir, &[allow(Rule::Indexing), allow(Rule::Indexing)]);
+        assert_eq!(over.len(), 1, "{over:?}");
+        assert!(over[0].message.contains("ceiling"));
+        // An update re-pins the rule counts but keeps the ceiling.
+        update(&dir, &[allow(Rule::Panic)]).unwrap();
+        let kept =
+            Ratchet::parse(&std::fs::read_to_string(dir.join(RATCHET_PATH)).unwrap()).unwrap();
+        assert_eq!(kept.ceiling, Some(1));
+        assert_eq!(kept.pins.get("panic"), Some(&1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

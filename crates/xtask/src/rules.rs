@@ -1,5 +1,6 @@
-//! The audit rules: panic-freedom, indexing, lossy casts, error-enum
-//! hygiene and `# Errors` documentation.
+//! The audit rules: panic-freedom, indexing, error-enum hygiene and
+//! `# Errors` documentation (the interprocedural families live in
+//! [`crate::dataflow`]).
 //!
 //! All rules work on the token stream from [`crate::lexer`]; none of
 //! them require type information. Violations can be waived site by
@@ -33,8 +34,6 @@ pub enum Rule {
     Panic,
     /// `expr[…]` indexing (prefer `.get(…)`) in non-test library code.
     Indexing,
-    /// `as` casts to narrower numeric types in bit-level codec files.
-    LossyCast,
     /// `pub fn … -> Result` without a `# Errors` doc section.
     ErrorsDoc,
     /// Public error enum without an `std::error::Error` impl or without
@@ -42,9 +41,22 @@ pub enum Rule {
     ErrorTraits,
     /// Dependency-graph problems (unknown license, duplicate majors).
     Deps,
-    /// Additive arithmetic mixing unit families (ms, bytes, partition
-    /// counts, record counts) in the cost-model modules.
-    UnitSafety,
+    /// Interprocedural unit-family inference: cross-family additive or
+    /// comparison arithmetic, or re-wrapping an escaped `.get()`/`.0`
+    /// value into a different `blot_core::units` family — workspace
+    /// wide, through call summaries (the dataflow successor of the old
+    /// file-scoped lexical `unit-safety` rule).
+    UnitFlow,
+    /// A silently discarded fallible call (`let _ =` or a bare `;`
+    /// statement dropping a `Result`) in a panic-free crate, or a wire
+    /// `ErrorCode` whose `client::disposition()` retryability is
+    /// inconsistent with the server's retry-after emission sites.
+    ResultDiscipline,
+    /// A narrowing `as` cast in the codec/wire bit-level files that the
+    /// interval analysis cannot prove in-range (the dataflow successor
+    /// of the old lexical `lossy-cast` rule; proved casts are
+    /// auto-vetted with the computed interval as witness).
+    CastRange,
     /// A `storage::sync` guard held across backend I/O, or a lock
     /// acquisition violating the declared lock order.
     LockDiscipline,
@@ -84,11 +96,12 @@ impl Rule {
     pub const ALL: &'static [Rule] = &[
         Rule::Panic,
         Rule::Indexing,
-        Rule::LossyCast,
         Rule::ErrorsDoc,
         Rule::ErrorTraits,
         Rule::Deps,
-        Rule::UnitSafety,
+        Rule::UnitFlow,
+        Rule::ResultDiscipline,
+        Rule::CastRange,
         Rule::LockDiscipline,
         Rule::ThreadDiscipline,
         Rule::MetricsDiscipline,
@@ -106,11 +119,12 @@ impl Rule {
         match self {
             Rule::Panic => "panic",
             Rule::Indexing => "indexing",
-            Rule::LossyCast => "lossy-cast",
             Rule::ErrorsDoc => "errors-doc",
             Rule::ErrorTraits => "error-traits",
             Rule::Deps => "deps",
-            Rule::UnitSafety => "unit-safety",
+            Rule::UnitFlow => "unit-flow",
+            Rule::ResultDiscipline => "result-discipline",
+            Rule::CastRange => "cast-range",
             Rule::LockDiscipline => "lock-discipline",
             Rule::ThreadDiscipline => "thread-discipline",
             Rule::MetricsDiscipline => "metrics-discipline",
@@ -143,12 +157,6 @@ impl Rule {
                  destructure fixed-size arrays (`let [a, b, c] = arr;`). Structurally-safe \
                  dense loops can carry `// audit: allow(indexing, <bound argument>)`."
             }
-            Rule::LossyCast => {
-                "Why: the bit-level codec files narrow integers while packing; a silent `as` \
-                 truncation corrupts frames in a way round-trip tests on small values miss.\n\
-                 Fix: use `u8::try_from(x)` (or checked arithmetic) and propagate the error, \
-                 or justify the site with `// audit: allow(lossy-cast, <range argument>)`."
-            }
             Rule::ErrorsDoc => {
                 "Why: callers of a fallible `pub fn` need to know *which* failures to expect \
                  to route them (retry vs fail over vs abort); an undocumented `Result` \
@@ -170,12 +178,39 @@ impl Rule {
                  Fix: converge the workspace on one version per crate major and declare a \
                  `license` field in every manifest."
             }
-            Rule::UnitSafety => {
-                "Why: the cost model mixes milliseconds, bytes, partition counts and record \
-                 counts; adding two different unit families is always a bug even though the \
-                 types (f64) agree.\n\
+            Rule::UnitFlow => {
+                "Why: the cost model mixes milliseconds, bytes, partition counts, record \
+                 counts and ratios; adding or comparing two different unit families is \
+                 always a bug even though the types (f64) agree, and a `.get()`/`.0` escape \
+                 followed by a re-wrap in another crate launders the mistake past any \
+                 file-scoped check. The dataflow engine infers each value's family from the \
+                 `blot_core::units` constructors, name suffixes and call summaries, \
+                 workspace-wide.\n\
                  Fix: convert explicitly before combining (e.g. bytes → ms via the \
-                 throughput constant), or name the intermediate so its family is clear."
+                 throughput constant), keep values inside their newtypes across function \
+                 boundaries, or vet a true false positive with\n\
+                 `// audit: allow(unit-flow, <why the families agree>)`."
+            }
+            Rule::ResultDiscipline => {
+                "Why: in the panic-free crates a discarded `Result` is the silent twin of \
+                 `.unwrap()` — a failed `set_read_timeout` means the socket blocks forever, \
+                 a dropped `write` result loses bytes with no trace. The same rule \
+                 cross-checks the wire contract: an `ErrorCode` the server decorates with a \
+                 retry-after hint must map to `RetryAfterHint` in `client::disposition`, \
+                 and vice versa, or the hint is dead protocol surface.\n\
+                 Fix: handle the error, propagate with `?`, or vet a genuinely best-effort \
+                 drop with `// audit: allow(result-discipline, <why the loss is harmless>)`."
+            }
+            Rule::CastRange => {
+                "Why: the bit-level codec/wire files narrow integers while packing; a \
+                 silent `as` truncation corrupts frames in a way round-trip tests on small \
+                 values miss. The interval analysis proves most sites safe (a masked value, \
+                 a length already bounds-checked, an enum's discriminant range) and only \
+                 flags the remainder.\n\
+                 Fix: use `u8::try_from(x)` (or checked arithmetic) and propagate the \
+                 error, tighten the value's range so the proof goes through (mask first, \
+                 compare against a bound), or justify the site with\n\
+                 `// audit: allow(cast-range, <range argument>)`."
             }
             Rule::LockDiscipline => {
                 "Why: a `storage::sync` guard held across backend I/O serialises every \
@@ -256,11 +291,12 @@ impl Rule {
         Some(match name {
             "panic" => Rule::Panic,
             "indexing" => Rule::Indexing,
-            "lossy-cast" => Rule::LossyCast,
             "errors-doc" => Rule::ErrorsDoc,
             "error-traits" => Rule::ErrorTraits,
             "deps" => Rule::Deps,
-            "unit-safety" => Rule::UnitSafety,
+            "unit-flow" => Rule::UnitFlow,
+            "result-discipline" => Rule::ResultDiscipline,
+            "cast-range" => Rule::CastRange,
             "lock-discipline" => Rule::LockDiscipline,
             "thread-discipline" => Rule::ThreadDiscipline,
             "metrics-discipline" => Rule::MetricsDiscipline,
@@ -348,12 +384,8 @@ pub struct RuleSet {
     pub panic: bool,
     /// Indexing-without-get (rule `indexing`).
     pub indexing: bool,
-    /// Narrowing `as` casts (rule `lossy-cast`).
-    pub lossy_cast: bool,
     /// `# Errors` sections on fallible `pub fn`s (rule `errors-doc`).
     pub errors_doc: bool,
-    /// Unit-family mixing in additive arithmetic (rule `unit-safety`).
-    pub unit_safety: bool,
     /// Guard liveness and lock ordering (rule `lock-discipline`).
     pub lock_discipline: bool,
     /// No ad-hoc thread creation outside the executor pool (rule
@@ -371,11 +403,6 @@ pub(crate) const NON_VALUE_KEYWORDS: &[&str] = &[
     "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
     "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
     "while", "yield", "Self",
-];
-
-/// Cast targets considered lossy without a checked conversion.
-const NARROW_TARGETS: &[&str] = &[
-    "u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "f32",
 ];
 
 /// Audits one file's source text.
@@ -410,9 +437,6 @@ pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     if rules.indexing {
         scan_indexing(file, &tokens, &sig, &mut raw);
     }
-    if rules.lossy_cast {
-        scan_lossy_casts(file, &tokens, &sig, &mut raw);
-    }
     if rules.errors_doc {
         scan_errors_doc(file, &tokens, &sig, &mut raw);
     }
@@ -422,15 +446,10 @@ pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     if rules.metrics_discipline {
         scan_static_atomics(file, &tokens, &sig, &mut raw);
     }
-    if rules.unit_safety || rules.lock_discipline {
+    if rules.lock_discipline {
         let view = crate::ast::View::new(&tokens, &sig);
         let ast = crate::ast::parse(view);
-        if rules.unit_safety {
-            crate::units::scan(file, view, &ast, &mut raw);
-        }
-        if rules.lock_discipline {
-            crate::locks::scan(file, view, &ast, &mut raw);
-        }
+        crate::locks::scan(file, view, &ast, &mut raw);
     }
 
     // 4. Error enums / impls / assertions (crate-level aggregation).
@@ -451,6 +470,30 @@ pub fn audit_file(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     }
     report.waived = waived.into_iter().collect();
     report
+}
+
+/// Applies an already-collected allow ledger to a batch of raw
+/// violations produced by a workspace-level pass (the call-graph and
+/// dataflow analyses), using the same matching policy as
+/// [`audit_file`]: same rule, and file-wide or on the offending line or
+/// the line above. Matched allows have their use counts bumped;
+/// unmatched violations are returned.
+#[must_use]
+pub fn apply_site_allows(raw: Vec<Violation>, allows: &mut [Allow]) -> Vec<Violation> {
+    let mut surviving = Vec::new();
+    for v in raw {
+        let allow = allows.iter_mut().find(|a| {
+            a.rule == v.rule
+                && a.file == v.file
+                && (a.file_wide || a.line == v.line || a.line + 1 == v.line)
+        });
+        if let Some(a) = allow {
+            a.used += 1;
+        } else {
+            surviving.push(v);
+        }
+    }
+    surviving
 }
 
 /// Parses `audit: allow(rule, reason)` / `audit: allow-file(rule, reason)`
@@ -688,26 +731,6 @@ fn scan_indexing(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Vio
     }
 }
 
-fn scan_lossy_casts(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
-    for j in 0..sig.len().saturating_sub(1) {
-        if tokens[sig[j]].text != "as" || tokens[sig[j]].kind != Kind::Ident {
-            continue;
-        }
-        let target = &tokens[sig[j + 1]];
-        if target.kind == Kind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
-            out.push(Violation {
-                rule: Rule::LossyCast,
-                file: file.to_path_buf(),
-                line: target.line,
-                message: format!(
-                    "`as {}` in bit-level code — use `try_from`/checked conversion or justify",
-                    target.text
-                ),
-            });
-        }
-    }
-}
-
 fn scan_errors_doc(file: &Path, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
     let text = |j: usize| sig.get(j).map(|&i| tokens[i].text.as_str());
     for j in 0..sig.len() {
@@ -838,7 +861,6 @@ mod tests {
             RuleSet {
                 panic: true,
                 indexing: true,
-                lossy_cast: true,
                 errors_doc: true,
                 ..RuleSet::default()
             },
@@ -896,15 +918,33 @@ mod tests {
     }
 
     #[test]
-    fn lossy_cast_fires_only_on_narrow_targets() {
-        let r = audit("fn f(x: u64) -> u64 { let a = x as u8; let b = a as u64; b }\n");
-        let casts: Vec<_> = r
-            .violations
-            .iter()
-            .filter(|v| v.rule == Rule::LossyCast)
-            .collect();
-        assert_eq!(casts.len(), 1);
-        assert!(casts[0].message.contains("as u8"));
+    fn site_allows_apply_to_workspace_level_violations() {
+        let mut allows = vec![Allow {
+            rule: Rule::CastRange,
+            reason: "mask bounds the value".to_string(),
+            file: PathBuf::from("a.rs"),
+            line: 9,
+            file_wide: false,
+            used: 0,
+        }];
+        let raw = vec![
+            Violation {
+                rule: Rule::CastRange,
+                file: PathBuf::from("a.rs"),
+                line: 10,
+                message: "waived".to_string(),
+            },
+            Violation {
+                rule: Rule::CastRange,
+                file: PathBuf::from("b.rs"),
+                line: 10,
+                message: "other file".to_string(),
+            },
+        ];
+        let surviving = apply_site_allows(raw, &mut allows);
+        assert_eq!(surviving.len(), 1);
+        assert_eq!(surviving[0].message, "other file");
+        assert_eq!(allows[0].used, 1);
     }
 
     #[test]

@@ -1,29 +1,24 @@
-//! Rule `unit-safety`: no additive arithmetic across unit families.
+//! Unit vocabulary shared by the `unit-flow` dataflow analysis.
 //!
-//! The cost model mixes four physical dimensions — milliseconds, bytes,
-//! partition counts and record counts — and before the `core::units`
-//! newtypes they were all bare `f64`s, so nothing stopped
-//! `extra_ms + total_bytes` from compiling. The newtypes close that
-//! hole where they are in scope, but `geo` and `mip` sit *below*
-//! `core` in the dependency order and cannot import them; this lint
-//! covers the gap with suffix-based unit inference on the modules that
-//! carry dimensioned quantities.
+//! The cost model mixes several physical dimensions — milliseconds,
+//! seconds, bytes, partition counts, record counts and dimensionless
+//! ratios — and before the `core::units` newtypes they were all bare
+//! `f64`s, so nothing stopped `extra_ms + total_bytes` from compiling.
+//! The newtypes close that hole where they are in scope, but `geo` and
+//! `mip` sit *below* `core` in the dependency order and cannot import
+//! them; the [`crate::dataflow`] unit-flow rule covers the gap with
+//! workspace-wide inference seeded by the suffix heuristics here.
 //!
-//! The check is deliberately conservative: it only fires on `+`, `-`,
-//! `+=` and `-=` where **both** operands are simple identifier paths
-//! (optionally ending in an empty `.get()`-style call) whose final
-//! segment carries a recognisable unit suffix, and the two units
-//! differ. Multiplicative expressions produce derived units and are
-//! exempt, as are literals and anything structurally complex — a lint
-//! that cries wolf on `slope * records + intercept_ms` would be
-//! deleted within a week.
+//! This module holds only the vocabulary: the [`Family`] lattice
+//! element, the suffix heuristics, and the conservative operand
+//! extraction the arithmetic check uses. The propagation itself —
+//! through `let` bindings, `.get()`/`.0` escapes and call summaries —
+//! lives in [`crate::dataflow`].
 
-use crate::ast::{self, View};
+use crate::ast::View;
 use crate::lexer::Kind;
-use crate::rules::{Rule, Violation};
-use std::path::Path;
 
-/// The unit families the suffix heuristics can recognise.
+/// The unit families the analysis tracks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Milliseconds (`_ms`, `ms_per_*`).
@@ -36,16 +31,56 @@ pub enum Family {
     Partitions,
     /// Record counts (`records`, `*_records`).
     Records,
+    /// Dimensionless ratios (`_ratio`).
+    Ratio,
 }
 
 impl Family {
-    fn name(self) -> &'static str {
+    /// Human-readable name used in violation messages.
+    pub(crate) fn name(self) -> &'static str {
         match self {
             Family::Millis => "milliseconds",
             Family::Seconds => "seconds",
             Family::Bytes => "bytes",
             Family::Partitions => "partition-count",
             Family::Records => "record-count",
+            Family::Ratio => "ratio",
+        }
+    }
+
+    /// Stable short tag used by the analysis cache.
+    pub(crate) fn tag(self) -> &'static str {
+        match self {
+            Family::Millis => "ms",
+            Family::Seconds => "sec",
+            Family::Bytes => "bytes",
+            Family::Partitions => "np",
+            Family::Records => "rec",
+            Family::Ratio => "ratio",
+        }
+    }
+
+    /// Inverse of [`Family::tag`].
+    pub(crate) fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "ms" => Some(Family::Millis),
+            "sec" => Some(Family::Seconds),
+            "bytes" => Some(Family::Bytes),
+            "np" => Some(Family::Partitions),
+            "rec" => Some(Family::Records),
+            "ratio" => Some(Family::Ratio),
+            _ => None,
+        }
+    }
+
+    /// The family wrapped by a `blot_core::units` newtype, by type name.
+    pub(crate) fn of_newtype(type_name: &str) -> Option<Self> {
+        match type_name {
+            "Millis" => Some(Family::Millis),
+            "Seconds" => Some(Family::Seconds),
+            "Bytes" => Some(Family::Bytes),
+            "PartitionCount" => Some(Family::Partitions),
+            _ => None,
         }
     }
 }
@@ -73,93 +108,32 @@ pub fn family_of(ident: &str) -> Option<Family> {
     if ident == "records" || ident.ends_with("_records") {
         return Some(Family::Records);
     }
+    if ident == "ratio" || ident.ends_with("_ratio") {
+        return Some(Family::Ratio);
+    }
     None
 }
 
 /// Tokens that make the `+`/`-` before an operand a unary sign rather
 /// than a binary operator.
-const UNARY_CONTEXT: &[&str] = &[
+pub(crate) const UNARY_CONTEXT: &[&str] = &[
     "(", "[", "{", ",", ";", "=", "+", "-", "*", "/", "%", "<", ">", "&", "|", "!", ":", "=>",
     "return", "if", "else", "match", "in", "while", "break",
 ];
 
 /// Accessor methods that do not change an operand's unit.
-const UNIT_PRESERVING_METHODS: &[&str] = &["get", "abs", "copied", "clone", "min", "max"];
-
-/// Scans every function body for additive mixing of unit families.
-pub fn scan(file: &Path, view: View<'_>, ast: &ast::Ast, out: &mut Vec<Violation>) {
-    for f in &ast.fns {
-        let Some((start, end)) = f.body else {
-            continue;
-        };
-        scan_range(file, view, start, end, out);
-    }
-}
-
-fn scan_range(file: &Path, view: View<'_>, start: usize, end: usize, out: &mut Vec<Violation>) {
-    for j in start..end {
-        let op = match view.text(j) {
-            Some(t @ ("+" | "-")) if view.kind(j) == Some(Kind::Punct) => t.to_string(),
-            _ => continue,
-        };
-        // `->` and `several-token` operators are not arithmetic.
-        if op == "-" && view.text(j + 1) == Some(">") {
-            continue;
-        }
-        // Unary sign: no left operand.
-        if j == start || UNARY_CONTEXT.contains(&view.text(j - 1).unwrap_or_default()) {
-            continue;
-        }
-        // Compound assignment (`+=` / `-=`) shifts the right operand.
-        let rhs_at = if view.text(j + 1) == Some("=") {
-            j + 2
-        } else {
-            j + 1
-        };
-        let Some((left, l_edge)) = left_operand(view, start, j) else {
-            continue;
-        };
-        let Some((right, r_edge)) = right_operand(view, rhs_at, end) else {
-            continue;
-        };
-        // A `*`/`/` on either flank makes the operand a derived unit.
-        if l_edge > start && matches!(view.text(l_edge - 1), Some("*" | "/" | "%")) {
-            continue;
-        }
-        if matches!(view.text(r_edge), Some("*" | "/" | "%")) {
-            continue;
-        }
-        let (Some(lf), Some(rf)) = (
-            family_of(&left_segment(&left)),
-            family_of(&left_segment(&right)),
-        ) else {
-            continue;
-        };
-        if lf != rf {
-            out.push(Violation {
-                rule: Rule::UnitSafety,
-                file: file.to_path_buf(),
-                line: view.line(j),
-                message: format!(
-                    "`{left} {op} {right}` mixes {} and {} — use the `blot_core::units` newtypes \
-                     or convert explicitly",
-                    lf.name(),
-                    rf.name()
-                ),
-            });
-        }
-    }
-}
+pub(crate) const UNIT_PRESERVING_METHODS: &[&str] =
+    &["get", "abs", "copied", "clone", "min", "max"];
 
 /// Final path segment (`p.extra_ms` → `extra_ms`).
-fn left_segment(path: &str) -> String {
-    path.rsplit('.').next().unwrap_or(path).to_string()
+pub(crate) fn last_segment(path: &str) -> &str {
+    path.rsplit('.').next().unwrap_or(path)
 }
 
 /// The simple path ending just before `op` (walking left), with the
 /// index of its first token. `None` when the operand is structurally
 /// complex.
-fn left_operand(view: View<'_>, floor: usize, op: usize) -> Option<(String, usize)> {
+pub(crate) fn left_operand(view: View<'_>, floor: usize, op: usize) -> Option<(String, usize)> {
     let mut k = op; // exclusive end
                     // Optional trailing unit-preserving empty call: `… .get()`.
     if k >= floor + 4
@@ -195,7 +169,7 @@ fn left_operand(view: View<'_>, floor: usize, op: usize) -> Option<(String, usiz
 
 /// The simple path starting at `at` (walking right), with the index
 /// just past its last token. `None` when the operand is complex.
-fn right_operand(view: View<'_>, at: usize, end: usize) -> Option<(String, usize)> {
+pub(crate) fn right_operand(view: View<'_>, at: usize, end: usize) -> Option<(String, usize)> {
     if at >= end || view.kind(at) != Some(Kind::Ident) {
         return None;
     }

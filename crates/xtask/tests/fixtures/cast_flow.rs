@@ -1,0 +1,29 @@
+//! Fixture for rule `cast-range`: narrowing casts whose operand
+//! interval provably fits the target are auto-vetted with the interval
+//! as witness; unbounded operands fire unless waived.
+
+pub fn masked_is_proved(word: u64) -> u8 {
+    (word & 0xFF) as u8 // proved: the mask pins [0, 255]
+}
+
+pub fn widening_source_is_proved(small: u8) -> u16 {
+    small as u16 // proved: u8 always fits u16
+}
+
+fn tiny(flag: bool) -> u8 {
+    u8::from(flag)
+}
+
+pub fn call_range_is_proved(flag: bool) -> u16 {
+    let n = tiny(flag);
+    n as u16 // proved: `tiny` returns a u8
+}
+
+pub fn unbounded_fires(len: u64) -> u8 {
+    len as u8 // fires: [0, u64::MAX] cannot fit u8
+}
+
+pub fn vetted_cast(len: u64) -> u16 {
+    // audit: allow(cast-range, fixture vet — upstream framing caps len at 512)
+    len as u16
+}

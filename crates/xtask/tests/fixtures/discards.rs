@@ -1,0 +1,37 @@
+//! Known-bad fixture for rule `result-discipline`: fallible results
+//! silently discarded in a panic-free crate must fire; propagated,
+//! bound, best-effort and waived drops stay quiet.
+
+pub fn fallible(flag: bool) -> Result<u32, String> {
+    if flag {
+        Ok(1)
+    } else {
+        Err("boom".to_owned())
+    }
+}
+
+pub fn dropped_let(flag: bool) {
+    let _ = fallible(flag); // fires: `let _ =` on a workspace fallible
+}
+
+pub fn dropped_bare(flag: bool) {
+    fallible(flag); // fires: bare-statement drop
+}
+
+pub fn seeded_method_drop(stream: &mut std::net::TcpStream) {
+    let _ = stream.set_read_timeout(None); // fires: std seed table
+}
+
+pub fn best_effort_is_quiet(stream: &std::net::TcpStream) {
+    let _ = stream.set_nodelay(true); // quiet: best-effort courtesy
+}
+
+pub fn handled_is_quiet(flag: bool) -> Result<u32, String> {
+    let v = fallible(flag)?; // quiet: propagated
+    Ok(v + 1)
+}
+
+pub fn vetted_drop(flag: bool) {
+    // audit: allow(result-discipline, fixture vet — the drop is deliberate)
+    let _ = fallible(flag);
+}

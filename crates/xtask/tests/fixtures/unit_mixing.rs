@@ -1,6 +1,7 @@
-//! Known-bad fixture for rule `unit-safety`: additive arithmetic that
-//! mixes unit families must fire; derived products, same-family sums
-//! and waived sites must stay quiet.
+//! Known-bad fixture for rule `unit-flow`: additive arithmetic that
+//! mixes inferred unit families must fire — including through a call
+//! summary — while derived products, same-family sums and waived
+//! sites stay quiet.
 
 pub struct Params {
     pub extra_ms: f64,
@@ -21,6 +22,17 @@ pub fn mixed_compound(total_ms: f64, dataset_records: f64) -> f64 {
     total_ms
 }
 
+/// Suffixless name, suffixless return: only the summary knows the
+/// returned value is milliseconds.
+pub fn grace(anchor_ms: f64) -> f64 {
+    anchor_ms
+}
+
+pub fn mixed_through_call(total_bytes: f64) -> f64 {
+    let w = grace(2.0);
+    w + total_bytes // fires: milliseconds + bytes, via grace's summary
+}
+
 pub fn derived_products_are_quiet(ms_per_record: f64, records: f64, extra_ms: f64) -> f64 {
     // The product has a derived unit; adding milliseconds to it is the
     // cost model's own shape and must not fire.
@@ -33,6 +45,6 @@ pub fn same_family_is_quiet(extra_ms: f64, avg_ms: f64) -> f64 {
 }
 
 pub fn waived_site(elapsed_ms: f64, budget: f64) -> f64 {
-    // audit: allow(unit-safety, normalised scalar — both sides are unitless here)
+    // audit: allow(unit-flow, normalised scalar — both sides are unitless here)
     elapsed_ms + budget
 }
