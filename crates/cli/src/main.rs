@@ -8,7 +8,7 @@
 //! blot select   --data fleet.csv --budget-copies 3 [--exact] [--records 65000000]
 //! blot scrub    --store ./store
 //! blot repair   --store ./store
-//! blot stats    --store ./store [--queries 12] [--json] [--band 0.5,2.0]
+//! blot stats    --store ./store [--queries 12] [--probe centroid|tail|mixed] [--json] [--band 0.5,2.0]
 //! blot serve    --store ./store [--addr 127.0.0.1:7407] [--max-conns 64] [--queue-depth 256]
 //! blot query    --remote 127.0.0.1:7407 --center LON,LAT,T --size W,H,T
 //! blot stats    --remote 127.0.0.1:7407 [--json]
@@ -81,7 +81,7 @@ commands:
   select    --data FILE [--budget-copies X] [--exact] [--records N] [--env local|cloud]
   scrub     --store DIR
   repair    --store DIR
-  stats     --store DIR [--queries N] [--json] [--band LO,HI]
+  stats     --store DIR [--queries N] [--probe centroid|tail|mixed] [--json] [--band LO,HI]
   stats     --remote ADDR [--json] [--band LO,HI]
   serve     --store DIR [--addr HOST:PORT] [--max-conns N] [--queue-depth N] [--handlers N]
 
@@ -243,20 +243,28 @@ fn pipe_println(line: &str) {
     }
 }
 
-/// Shared result rendering for the local and remote query paths.
+/// Shared result rendering for the local and remote query paths. The
+/// remote wire reply predates zone maps and carries no skip count, so
+/// `units_skipped` is optional.
 fn print_query_result(
     records: &RecordBatch,
     replica: u32,
     partitions_scanned: usize,
+    units_skipped: Option<usize>,
     sim_ms: f64,
     makespan_ms: f64,
     limit: usize,
 ) {
+    let skipped = match units_skipped {
+        Some(n) if n > 0 => format!(" ({n} skipped via zone maps)"),
+        _ => String::new(),
+    };
     pipe_println(&format!(
-        "{} records from replica {} — {} partitions scanned, {:.0} simulated ms ({:.0} ms wall)",
+        "{} records from replica {} — {} partitions scanned{}, {:.0} simulated ms ({:.0} ms wall)",
         records.len(),
         replica,
         partitions_scanned,
+        skipped,
         sim_ms,
         makespan_ms
     ));
@@ -286,6 +294,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             &result.records,
             result.replica,
             usize::try_from(result.partitions_scanned).unwrap_or(usize::MAX),
+            None,
             result.sim_ms,
             result.makespan_ms,
             limit,
@@ -303,6 +312,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         &result.records,
         result.replica,
         result.partitions_scanned,
+        Some(result.units_skipped),
         result.sim_ms,
         result.makespan_ms,
         limit,
@@ -371,10 +381,11 @@ fn cmd_scrub(args: &Args) -> Result<(), String> {
     let m = store.metrics();
     if blot_obs::enabled() {
         pipe_println(&format!(
-            "scanned {} units: {} verified, {} damaged",
+            "scanned {} units: {} verified, {} damaged ({} footer mismatches)",
             m.scrub_units_scanned.value(),
             m.scrub_units_verified.value(),
-            m.scrub_units_damaged.value()
+            m.scrub_units_damaged.value(),
+            m.scrub_footer_mismatches.value()
         ));
     }
     if damaged.is_empty() {
@@ -400,8 +411,8 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
     let report = store.repair_all().map_err(|e| e.to_string())?;
     if blot_obs::enabled() {
         pipe_println(&format!(
-            "scanned {} units ({} verified clean)",
-            report.units_scanned, report.units_verified
+            "scanned {} units ({} verified clean, {} footer mismatches)",
+            report.units_scanned, report.units_verified, report.units_footer_mismatch
         ));
     }
     pipe_println(&format!(
@@ -444,8 +455,12 @@ fn parse_band(args: &Args) -> Result<DriftBand, String> {
 use blot_server::stats::drift_to_json;
 
 /// Runs a deterministic probe workload (centroid queries of shrinking
-/// extent plus one scrub pass) against an existing store and reports
-/// the collected metrics and the cost-model drift per encoding scheme.
+/// extent alternating with "everything since T" tail probes of
+/// shrinking tail, plus one scrub pass) against an existing store and
+/// reports the collected metrics and the cost-model drift per encoding
+/// scheme. The tail probes are the zone-map-sensitive half: on a store
+/// whose units carry footers they prune, which is exactly the workload
+/// shape whose measured cost drifts away from the Eq. 6 prediction.
 /// `blot stats --remote ADDR`: fetch the server's `Stats` reply and
 /// render the same text/JSON the local path produces.
 fn cmd_stats_remote(args: &Args, addr: &str) -> Result<(), String> {
@@ -483,13 +498,38 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let store = open_store(args)?;
     let rounds = args.get_parsed::<u32>("queries")?.unwrap_or(12);
     let band = parse_band(args)?;
+    let probe = args.get("probe").unwrap_or("mixed");
+    if !matches!(probe, "centroid" | "tail" | "mixed") {
+        return Err(format!(
+            "unknown --probe `{probe}` (expected centroid|tail|mixed)"
+        ));
+    }
     let u = store.universe();
-    for k in 0..rounds {
-        let f = 2.0 + f64::from(k);
-        let q = Cuboid::from_centroid(
+    let centroid_probe = |j: u32| {
+        let f = 2.0 + f64::from(j);
+        Cuboid::from_centroid(
             u.centroid(),
             QuerySize::new(u.extent(0) / f, u.extent(1) / f, u.extent(2) / f),
-        );
+        )
+    };
+    // Full spatial extent, trailing 1/2^(j+1) of the time axis: a
+    // geometric "everything since T" ladder whose thin slivers land
+    // inside the per-cell last-fix spread, where zone maps prune whole
+    // units.
+    let tail_probe = |j: u32| {
+        let f = f64::from(2u32.saturating_pow((j + 1).min(16)));
+        Cuboid::new(
+            Point::new(u.min().x, u.min().y, u.max().t - u.extent(2) / f),
+            u.max(),
+        )
+    };
+    for k in 0..rounds {
+        let q = match probe {
+            "centroid" => centroid_probe(k),
+            "tail" => tail_probe(k),
+            _ if k % 2 == 0 => centroid_probe(k / 2),
+            _ => tail_probe(k / 2),
+        };
         store
             .query(&q)
             .map_err(|e| format!("probe query failed: {e}"))?;

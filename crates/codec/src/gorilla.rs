@@ -64,9 +64,26 @@ pub fn encode_f64_bits(w: &mut BitWriter, values: impl Iterator<Item = u64>) {
 ///
 /// Returns a [`CodecError`] if the bit stream is truncated.
 pub fn decode_f64_bits(r: &mut BitReader<'_>, count: usize) -> Result<Vec<u64>, CodecError> {
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::new();
+    decode_f64_bits_into(r, count, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_f64_bits`] into a caller-owned buffer (cleared first), so
+/// batch scan loops reuse one allocation across columns and units.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the bit stream is truncated.
+pub fn decode_f64_bits_into(
+    r: &mut BitReader<'_>,
+    count: usize,
+    out: &mut Vec<u64>,
+) -> Result<(), CodecError> {
+    out.clear();
+    out.reserve(count);
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let mut prev = r.read_bits(64)?;
     out.push(prev);
@@ -96,7 +113,49 @@ pub fn decode_f64_bits(r: &mut BitReader<'_>, count: usize) -> Result<Vec<u64>, 
         prev ^= xor;
         out.push(prev);
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Decodes `count` `f64` bit patterns from a byte slice into a
+/// caller-owned buffer.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the stream is truncated or corrupt.
+pub fn decode_f64_bits_slice_into(
+    buf: &[u8],
+    count: usize,
+    out: &mut Vec<u64>,
+) -> Result<(), CodecError> {
+    let mut r = BitReader::new(buf);
+    decode_f64_bits_into(&mut r, count, out)
+}
+
+/// Decodes an `f32` column of `count` values into `out`, using `bits`
+/// as bit-pattern scratch. Both buffers are cleared first.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the stream is truncated or corrupt, or
+/// carries bit patterns no widened `f32` could produce.
+pub fn decode_f32_column_into(
+    buf: &[u8],
+    count: usize,
+    bits: &mut Vec<u64>,
+    out: &mut Vec<f32>,
+) -> Result<(), CodecError> {
+    decode_f64_bits_slice_into(buf, count, bits)?;
+    out.clear();
+    out.reserve(count);
+    for &b in bits.iter() {
+        if b & 0xFFFF_FFFF != 0 {
+            return Err(CodecError::Corrupt {
+                context: "f32 column has f64-only bits",
+            });
+        }
+        out.push(f32::from_bits(u32::try_from(b >> 32).unwrap_or(0)));
+    }
+    Ok(())
 }
 
 /// Encodes an `f64` column: bit-length-prefixed Gorilla stream.

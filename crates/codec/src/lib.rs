@@ -61,11 +61,13 @@ mod range;
 mod rle;
 mod scheme;
 mod varint;
+mod zonemap;
 
 pub use bitio::{BitReader, BitWriter};
 pub use error::CodecError;
-pub use filter::Filtered;
+pub use filter::{DecodeScratch, Filtered};
 pub use scheme::{Compression, EncodingScheme, Layout, SchemeTable};
+pub use zonemap::{ZoneMap, ZONE_MAP_FOOTER_LEN};
 
 pub use deflate::{deflate_compress, deflate_decompress};
 pub use lzf::{lzf_compress, lzf_decompress};

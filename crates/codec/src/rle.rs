@@ -30,6 +30,18 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
 /// Returns a [`CodecError`] when the stream is truncated or the run
 /// lengths do not add up to the declared total.
 pub fn rle_decode(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    rle_decode_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// [`rle_decode`] into a caller-owned buffer (cleared first), so batch
+/// scan loops reuse one allocation across units.
+///
+/// # Errors
+///
+/// Same as [`rle_decode`].
+pub fn rle_decode_into(buf: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let mut pos = 0;
     let total = read_varint_u64(buf, &mut pos)?;
     // Refuse declared lengths no valid stream could carry (1 GiB cap).
@@ -37,7 +49,8 @@ pub fn rle_decode(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
         return Err(CodecError::TooLarge { declared: total });
     }
     let total = usize::try_from(total).map_err(|_| CodecError::TooLarge { declared: total })?;
-    let mut out = Vec::with_capacity(total);
+    out.clear();
+    out.reserve(total);
     while out.len() < total {
         let run = read_varint_u64(buf, &mut pos)?;
         let run = usize::try_from(run).map_err(|_| CodecError::TooLarge { declared: run })?;
@@ -57,7 +70,7 @@ pub fn rle_decode(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
         }
         out.resize(out.len() + run, value);
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

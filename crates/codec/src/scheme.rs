@@ -178,7 +178,11 @@ impl EncodingScheme {
     }
 
     /// Encodes a batch into a self-describing storage unit
-    /// (`[tag][compressed payload]`).
+    /// (`[tag][compressed payload][zone-map footer]`).
+    ///
+    /// The footer carries the batch's min/max statistics
+    /// ([`crate::ZoneMap`]) so scans can skip wholly-out-of-range units
+    /// without touching the payload.
     #[must_use]
     pub fn encode(self, batch: &RecordBatch) -> Vec<u8> {
         let laid_out = match self.layout {
@@ -191,9 +195,10 @@ impl EncodingScheme {
             Compression::Deflate => crate::deflate::deflate_compress(&laid_out),
             Compression::Lzr => crate::lzr::lzr_compress(&laid_out),
         };
-        let mut out = Vec::with_capacity(payload.len() + 1);
+        let mut out = Vec::with_capacity(payload.len() + 1 + crate::ZONE_MAP_FOOTER_LEN);
         out.push(self.tag());
         out.extend_from_slice(&payload);
+        crate::ZoneMap::from_batch(batch).append_to(&mut out);
         out
     }
 
@@ -214,6 +219,10 @@ impl EncodingScheme {
                 expected: self.tag(),
             });
         }
+        // Strip (and validate) the zone-map footer: the decompressors
+        // reject trailing bytes, and a damaged footer means a damaged
+        // unit even when the payload survives.
+        let (payload, _zone_map) = crate::ZoneMap::split_footer(payload)?;
         let laid_out = match self.compression {
             Compression::Plain => payload.to_vec(),
             Compression::Lzf => crate::lzf::lzf_decompress(payload)?,

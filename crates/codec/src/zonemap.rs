@@ -1,0 +1,376 @@
+//! Per-unit zone maps: min/max footers consulted before payload decode.
+//!
+//! Every encoded storage unit carries a fixed-size footer with the
+//! min/max of its predicate attributes (time, longitude, latitude) and
+//! the OID range — the parquet row-group statistics pattern applied to
+//! BLOT units. A scan planner reads the footer (a tail-sized fetch, like
+//! a parquet footer) and skips the payload entirely when the unit's
+//! bounding box cannot intersect the query cuboid.
+//!
+//! # Wire format
+//!
+//! The footer is appended *after* the compressed payload and parsed
+//! backwards from the end of the unit:
+//!
+//! ```text
+//! [compressed payload][stats 64B][version 1B][checksum 4B][magic 4B]
+//! ```
+//!
+//! The 64-byte stats block is little-endian: `count u64`, `min_time
+//! i64`, `max_time i64`, `min_x f64`, `max_x f64`, `min_y f64`, `max_y
+//! f64`, `min_oid u32`, `max_oid u32`. The checksum is FNV-1a over the
+//! stats block plus the version byte. Units written before this footer
+//! existed simply lack the magic and parse as [`None`] — they are never
+//! pruned, only scanned. A present-but-damaged footer is a hard
+//! [`CodecError`]: mis-pruning (silently dropping matching records) is
+//! the one failure mode this module must never exhibit.
+//!
+//! # Exactness
+//!
+//! Query filters compare record times as `time as f64` (the cuboid's
+//! time axis is `f64`). `i64 → f64` casts are monotone, so comparing the
+//! cast of the min/max time against the cuboid bounds makes the same
+//! keep/skip decision the per-record filter would — pruning is exact
+//! with respect to filter semantics, not merely conservative. NaN
+//! coordinates are ignored by the min/max fold; a NaN never satisfies a
+//! range predicate, so a unit whose only out-of-bounds records are NaN
+//! still prunes correctly.
+
+use blot_geo::Cuboid;
+use blot_model::RecordBatch;
+
+use crate::CodecError;
+
+/// Total footer length: 64 stats + 1 version + 4 checksum + 4 magic.
+pub const ZONE_MAP_FOOTER_LEN: usize = 73;
+
+/// Trailing magic identifying a footer-bearing unit.
+const MAGIC: [u8; 4] = *b"ZMAP";
+
+/// Current footer format version.
+const VERSION: u8 = 1;
+
+/// Length of the stats block (the checksummed part minus the version).
+const STATS_LEN: usize = 64;
+
+/// Min/max statistics over one encoded unit's records.
+///
+/// `min_* > max_*` (the fold sentinels) encodes an empty unit; an empty
+/// unit [`overlaps`](Self::overlaps) nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneMap {
+    /// Number of records in the unit.
+    pub count: u64,
+    /// Earliest record timestamp.
+    pub min_time: i64,
+    /// Latest record timestamp.
+    pub max_time: i64,
+    /// Westernmost longitude.
+    pub min_x: f64,
+    /// Easternmost longitude.
+    pub max_x: f64,
+    /// Southernmost latitude.
+    pub min_y: f64,
+    /// Northernmost latitude.
+    pub max_y: f64,
+    /// Smallest object id.
+    pub min_oid: u32,
+    /// Largest object id.
+    pub max_oid: u32,
+}
+
+/// FNV-1a over `bytes` — tiny, dependency-free, adequate for detecting
+/// torn or bit-rotted footers (payload integrity is the compressor's
+/// problem).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], CodecError> {
+    let end = pos.checked_add(N).ok_or(CodecError::UnexpectedEof {
+        context: "zone-map footer field",
+    })?;
+    let arr = buf
+        .get(*pos..end)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(CodecError::UnexpectedEof {
+            context: "zone-map footer field",
+        })?;
+    *pos = end;
+    Ok(arr)
+}
+
+impl ZoneMap {
+    /// Computes the statistics of a batch. Invariant under record
+    /// reordering, so row and column layouts of the same partition carry
+    /// identical footers.
+    #[must_use]
+    pub fn from_batch(batch: &RecordBatch) -> Self {
+        let mut zm = Self {
+            count: batch.len() as u64,
+            min_time: i64::MAX,
+            max_time: i64::MIN,
+            min_x: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            min_y: f64::INFINITY,
+            max_y: f64::NEG_INFINITY,
+            min_oid: u32::MAX,
+            max_oid: u32::MIN,
+        };
+        for &t in &batch.times {
+            zm.min_time = zm.min_time.min(t);
+            zm.max_time = zm.max_time.max(t);
+        }
+        // `f64::min`/`max` return the other operand when one side is
+        // NaN, so NaN coordinates drop out of the fold.
+        for &x in &batch.xs {
+            zm.min_x = zm.min_x.min(x);
+            zm.max_x = zm.max_x.max(x);
+        }
+        for &y in &batch.ys {
+            zm.min_y = zm.min_y.min(y);
+            zm.max_y = zm.max_y.max(y);
+        }
+        for &oid in &batch.oids {
+            zm.min_oid = zm.min_oid.min(oid);
+            zm.max_oid = zm.max_oid.max(oid);
+        }
+        zm
+    }
+
+    /// Whether the unit can hold any record inside `range`, under the
+    /// same closed-boundary comparisons [`Cuboid::contains_point`] uses.
+    #[must_use]
+    pub fn overlaps(&self, range: &Cuboid) -> bool {
+        if self.count == 0 {
+            return false;
+        }
+        // Same monotone cast the per-record filter applies to `time`.
+        #[allow(clippy::cast_precision_loss)]
+        let (t_lo, t_hi) = (self.min_time as f64, self.max_time as f64);
+        let (lo, hi) = (range.min(), range.max());
+        t_lo <= hi.t
+            && t_hi >= lo.t
+            && self.min_x <= hi.x
+            && self.max_x >= lo.x
+            && self.min_y <= hi.y
+            && self.max_y >= lo.y
+    }
+
+    /// Appends the 73-byte footer to an encoded unit.
+    pub fn append_to(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.min_time.to_le_bytes());
+        out.extend_from_slice(&self.max_time.to_le_bytes());
+        out.extend_from_slice(&self.min_x.to_le_bytes());
+        out.extend_from_slice(&self.max_x.to_le_bytes());
+        out.extend_from_slice(&self.min_y.to_le_bytes());
+        out.extend_from_slice(&self.max_y.to_le_bytes());
+        out.extend_from_slice(&self.min_oid.to_le_bytes());
+        out.extend_from_slice(&self.max_oid.to_le_bytes());
+        out.push(VERSION);
+        let checksum = fnv1a(out.get(start..).unwrap_or_default());
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(&MAGIC);
+    }
+
+    /// Splits an encoded unit into `(payload, footer)`.
+    ///
+    /// A unit without the trailing magic is a legacy unit: the whole
+    /// input is payload and the footer is `None` (scan everything, never
+    /// prune). A unit *with* the magic must carry a complete, valid
+    /// footer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] when the magic is present
+    /// but the unit is shorter than a full footer, and
+    /// [`CodecError::Corrupt`] on a checksum or version mismatch.
+    pub fn split_footer(unit: &[u8]) -> Result<(&[u8], Option<Self>), CodecError> {
+        let has_magic = unit
+            .len()
+            .checked_sub(MAGIC.len())
+            .and_then(|at| unit.get(at..))
+            .is_some_and(|tail| tail == MAGIC);
+        if !has_magic {
+            return Ok((unit, None));
+        }
+        let at = unit
+            .len()
+            .checked_sub(ZONE_MAP_FOOTER_LEN)
+            .ok_or(CodecError::UnexpectedEof {
+                context: "zone-map footer",
+            })?;
+        let (payload, footer) = unit.split_at_checked(at).ok_or(CodecError::UnexpectedEof {
+            context: "zone-map footer",
+        })?;
+        Ok((payload, Some(Self::parse(footer)?)))
+    }
+
+    /// Parses a 73-byte footer (stats + version + checksum + magic).
+    fn parse(footer: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = 0usize;
+        let zm = Self {
+            count: u64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            min_time: i64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            max_time: i64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            min_x: f64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            max_x: f64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            min_y: f64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            max_y: f64::from_le_bytes(take::<8>(footer, &mut pos)?),
+            min_oid: u32::from_le_bytes(take::<4>(footer, &mut pos)?),
+            max_oid: u32::from_le_bytes(take::<4>(footer, &mut pos)?),
+        };
+        let [version] = take::<1>(footer, &mut pos)?;
+        let declared = u32::from_le_bytes(take::<4>(footer, &mut pos)?);
+        let actual = fnv1a(footer.get(..STATS_LEN + 1).unwrap_or_default());
+        if declared != actual {
+            return Err(CodecError::Corrupt {
+                context: "zone-map footer checksum mismatch",
+            });
+        }
+        if version != VERSION {
+            return Err(CodecError::Corrupt {
+                context: "unknown zone-map footer version",
+            });
+        }
+        Ok(zm)
+    }
+
+    /// Bit-exact comparison against another zone map (`-0.0 != 0.0`,
+    /// `NaN == NaN` with the same payload). Scrub recomputes the stats
+    /// from the decoded records and demands bitwise agreement with the
+    /// stored footer.
+    #[must_use]
+    pub fn same_bits(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.min_time == other.min_time
+            && self.max_time == other.max_time
+            && self.min_x.to_bits() == other.min_x.to_bits()
+            && self.max_x.to_bits() == other.max_x.to_bits()
+            && self.min_y.to_bits() == other.min_y.to_bits()
+            && self.max_y.to_bits() == other.max_y.to_bits()
+            && self.min_oid == other.min_oid
+            && self.max_oid == other.max_oid
+    }
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::indexing_slicing,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_precision_loss
+)]
+mod tests {
+    use super::*;
+    use blot_geo::Point;
+    use blot_model::Record;
+
+    fn batch(n: usize) -> RecordBatch {
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    (i % 9) as u32,
+                    5_000 + (i as i64) * 7,
+                    121.0 + (i as f64) * 1e-3,
+                    31.0 + (i as f64) * 1e-4,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn footer_roundtrips() {
+        let zm = ZoneMap::from_batch(&batch(50));
+        let mut unit = vec![9u8; 40];
+        zm.append_to(&mut unit);
+        assert_eq!(unit.len(), 40 + ZONE_MAP_FOOTER_LEN);
+        let (payload, parsed) = ZoneMap::split_footer(&unit).unwrap();
+        assert_eq!(payload, &[9u8; 40][..]);
+        assert!(parsed.unwrap().same_bits(&zm));
+    }
+
+    #[test]
+    fn legacy_unit_parses_as_none() {
+        let unit = vec![1u8, 2, 3, 4, 5];
+        let (payload, zm) = ZoneMap::split_footer(&unit).unwrap();
+        assert_eq!(payload, &unit[..]);
+        assert!(zm.is_none());
+    }
+
+    #[test]
+    fn corrupt_footer_is_an_error_not_a_prune() {
+        let zm = ZoneMap::from_batch(&batch(10));
+        let mut unit = vec![0u8; 16];
+        zm.append_to(&mut unit);
+        // Flip one stats byte: checksum must catch it.
+        unit[20] ^= 0xFF;
+        assert!(matches!(
+            ZoneMap::split_footer(&unit),
+            Err(CodecError::Corrupt { .. })
+        ));
+        // Magic alone, unit too short for a footer.
+        let stub = MAGIC.to_vec();
+        assert!(matches!(
+            ZoneMap::split_footer(&stub),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_matches_filter_semantics() {
+        let b = batch(100);
+        let zm = ZoneMap::from_batch(&b);
+        let hit = Cuboid::new(
+            Point::new(121.0, 31.0, 5_000.0),
+            Point::new(121.01, 31.001, 5_100.0),
+        );
+        assert!(zm.overlaps(&hit));
+        // Past the data's time range: out.
+        let miss = Cuboid::new(
+            Point::new(121.0, 31.0, 6_000.0),
+            Point::new(122.0, 32.0, 9_000.0),
+        );
+        assert!(!zm.overlaps(&miss));
+        // Touching the max time exactly (closed boundary): in.
+        let edge = Cuboid::new(
+            Point::new(121.0, 31.0, 5_693.0),
+            Point::new(122.0, 32.0, 9_000.0),
+        );
+        assert!(zm.overlaps(&edge));
+    }
+
+    #[test]
+    fn empty_batch_overlaps_nothing() {
+        let zm = ZoneMap::from_batch(&RecordBatch::new());
+        assert_eq!(zm.count, 0);
+        let everywhere = Cuboid::new(
+            Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+            Point::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        );
+        assert!(!zm.overlaps(&everywhere));
+        // And it still roundtrips through the wire format.
+        let mut unit = Vec::new();
+        zm.append_to(&mut unit);
+        let (_, parsed) = ZoneMap::split_footer(&unit).unwrap();
+        assert!(parsed.unwrap().same_bits(&zm));
+    }
+
+    #[test]
+    fn nan_coordinates_are_ignored_by_the_fold() {
+        let mut b = batch(5);
+        b.push(Record::new(3, 5_010, f64::NAN, f64::NAN));
+        let zm = ZoneMap::from_batch(&b);
+        assert!(zm.min_x.is_finite() && zm.max_x.is_finite());
+        assert_eq!(zm.count, 6);
+    }
+}

@@ -37,6 +37,11 @@ pub struct StoreMetrics {
     pub records_returned: Counter,
     /// Storage units scanned by queries.
     pub units_scanned: Counter,
+    /// Involved units whose zone-map footer proved them disjoint from
+    /// the query range — payload never fetched or decoded.
+    pub units_skipped: Counter,
+    /// Payload bytes those skipped units never transferred.
+    pub bytes_skipped: Counter,
     /// Records decoded from storage units (queries, ingest, scrub).
     pub records_decoded: Counter,
     /// Bytes read from the backend (queries, ingest, scrub).
@@ -59,6 +64,9 @@ pub struct StoreMetrics {
     pub scrub_units_verified: Counter,
     /// Units found missing or corrupt.
     pub scrub_units_damaged: Counter,
+    /// Units whose zone-map footer disagrees with (or is missing for)
+    /// the records it covers — counted within `scrub_units_damaged`.
+    pub scrub_footer_mismatches: Counter,
     /// Host wall-clock per unit repair, milliseconds.
     pub repair_wall_ms: Histogram,
     /// Damaged units successfully rebuilt.
@@ -88,6 +96,8 @@ impl StoreMetrics {
             query_sim_ms: registry.histogram("store.query_sim_ms"),
             records_returned: registry.counter("store.records_returned"),
             units_scanned: registry.counter("store.units_scanned"),
+            units_skipped: registry.counter("scan.units_skipped"),
+            bytes_skipped: registry.counter("scan.bytes_skipped"),
             records_decoded: registry.counter("store.records_decoded"),
             bytes_read: registry.counter("store.bytes_read"),
             build_wall_ms: registry.histogram("store.build_wall_ms"),
@@ -99,6 +109,7 @@ impl StoreMetrics {
             scrub_units_scanned: registry.counter("store.scrub_units_scanned"),
             scrub_units_verified: registry.counter("store.scrub_units_verified"),
             scrub_units_damaged: registry.counter("store.scrub_units_damaged"),
+            scrub_footer_mismatches: registry.counter("store.scrub_footer_mismatches"),
             repair_wall_ms: registry.histogram("store.repair_wall_ms"),
             repair_units_repaired: registry.counter("store.repair_units_repaired"),
             repair_units_failed: registry.counter("store.repair_units_failed"),

@@ -56,6 +56,12 @@ pub struct QueryResult {
     pub makespan_ms: f64,
     /// Involved partitions scanned.
     pub partitions_scanned: usize,
+    /// Involved partitions skipped via their zone-map footer — counted
+    /// within `partitions_scanned` (they were planned and charged a
+    /// footer read, but their payload was never fetched).
+    pub units_skipped: usize,
+    /// Payload bytes the skipped partitions never transferred.
+    pub bytes_skipped: u64,
     /// Replicas that failed before one answered (failover path).
     pub failed_over: Vec<u32>,
 }
@@ -77,6 +83,11 @@ pub struct RepairReport {
     pub units_repaired: u64,
     /// Damaged units with no surviving source (`unrecoverable.len()`).
     pub units_failed: u64,
+    /// Units flagged because their zone-map footer disagreed with (or
+    /// was missing for) the decoded payload — a subset of the damaged
+    /// count. Repair rewrites them with a fresh footer. Sourced from the
+    /// store metrics: 0 when `blot-obs` is compiled out.
+    pub units_footer_mismatch: u64,
 }
 
 /// Result of one [`BlotStore::ingest`] call.
@@ -544,10 +555,14 @@ impl<B: Backend + 'static> BlotStore<B> {
         }
         let total_ms: f64 = reports.iter().map(|r| r.sim_ms).sum();
         let makespan_ms = reports.iter().map(|r| r.sim_ms).fold(0.0, f64::max);
+        let units_skipped = reports.iter().filter(|r| r.pruned).count();
+        let bytes_skipped: u64 = reports.iter().map(|r| r.bytes_skipped).sum();
         self.metrics.units_scanned.add(reports.len() as u64);
+        self.metrics.units_skipped.add(units_skipped as u64);
+        self.metrics.bytes_skipped.add(bytes_skipped);
         self.metrics
             .decode_counter(replica.config.encoding)
-            .add(reports.len() as u64);
+            .add(reports.len().saturating_sub(units_skipped) as u64);
         self.metrics
             .records_decoded
             .add(reports.iter().map(|r| r.records_scanned as u64).sum());
@@ -566,6 +581,8 @@ impl<B: Backend + 'static> BlotStore<B> {
             sim_ms: total_ms,
             makespan_ms,
             partitions_scanned: reports.len(),
+            units_skipped,
+            bytes_skipped,
             failed_over: Vec::new(),
         }
     }
@@ -742,6 +759,7 @@ impl<B: Backend + 'static> BlotStore<B> {
                 let scanned = self.metrics.scrub_units_scanned.clone();
                 let verified = self.metrics.scrub_units_verified.clone();
                 let damaged = self.metrics.scrub_units_damaged.clone();
+                let mismatches = self.metrics.scrub_footer_mismatches.clone();
                 let decodes = self.metrics.decode_counter(scheme);
                 let records_decoded = self.metrics.records_decoded.clone();
                 let bytes_read = self.metrics.bytes_read.clone();
@@ -757,11 +775,20 @@ impl<B: Backend + 'static> BlotStore<B> {
                         },
                     ) {
                         Ok(report) => {
-                            verified.inc();
                             decodes.inc();
                             records_decoded.add(report.records_scanned as u64);
                             bytes_read.add(report.bytes);
-                            Ok(None)
+                            // A footer that disagrees with its payload
+                            // (or is missing) is damage: repair rewrites
+                            // the unit, which refreshes the footer.
+                            if report.footer_mismatch {
+                                mismatches.inc();
+                                damaged.inc();
+                                Ok(Some(key))
+                            } else {
+                                verified.inc();
+                                Ok(None)
+                            }
                         }
                         Err(_) => {
                             damaged.inc();
@@ -932,6 +959,7 @@ impl<B: Backend + 'static> BlotStore<B> {
     pub fn repair_all(&self) -> Result<RepairReport, CoreError> {
         let scanned_before = self.metrics.scrub_units_scanned.value();
         let verified_before = self.metrics.scrub_units_verified.value();
+        let mismatch_before = self.metrics.scrub_footer_mismatches.value();
         let mut report = RepairReport::default();
         for key in self.scrub()? {
             match self.repair_unit(key) {
@@ -952,6 +980,11 @@ impl<B: Backend + 'static> BlotStore<B> {
             .saturating_sub(verified_before);
         report.units_repaired = report.repaired.len() as u64;
         report.units_failed = report.unrecoverable.len() as u64;
+        report.units_footer_mismatch = self
+            .metrics
+            .scrub_footer_mismatches
+            .value()
+            .saturating_sub(mismatch_before);
         Ok(report)
     }
 }

@@ -55,6 +55,25 @@ pub trait Backend: Send + Sync {
     /// Returns [`StorageError::Io`] on filesystem failures.
     fn delete(&self, key: UnitKey) -> Result<(), StorageError>;
 
+    /// Fetches the last `len` bytes of a unit (the whole unit when it is
+    /// shorter) plus the unit's total length — the footer-sized ranged
+    /// read zone-map pruning relies on, analogous to a parquet footer
+    /// fetch.
+    ///
+    /// The default implementation reads the whole unit and keeps the
+    /// tail; backends with genuinely cheap ranged reads override it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`get`](Self::get).
+    fn get_tail(&self, key: UnitKey, len: usize) -> Result<(Vec<u8>, u64), StorageError> {
+        let mut bytes = self.get(key)?;
+        let total = bytes.len() as u64;
+        let tail = bytes.split_off(bytes.len().saturating_sub(len));
+        drop(bytes);
+        Ok((tail, total))
+    }
+
     /// Lists all stored unit keys (sorted).
     fn list(&self) -> Vec<UnitKey>;
 
@@ -93,6 +112,16 @@ impl Backend for MemBackend {
             .get(&key)
             .cloned()
             .ok_or(StorageError::NotFound { key })
+    }
+
+    fn get_tail(&self, key: UnitKey, len: usize) -> Result<(Vec<u8>, u64), StorageError> {
+        // Copy only the tail, not the unit: on large units the default
+        // whole-unit clone would dwarf the footer read it models.
+        let units = self.units.read();
+        let bytes = units.get(&key).ok_or(StorageError::NotFound { key })?;
+        let total = bytes.len() as u64;
+        let start = bytes.len().saturating_sub(len);
+        Ok((bytes.get(start..).unwrap_or_default().to_vec(), total))
     }
 
     fn delete(&self, key: UnitKey) -> Result<(), StorageError> {
@@ -163,6 +192,26 @@ impl Backend for FileBackend {
             }
             Err(source) => Err(StorageError::Io { key, source }),
         }
+    }
+
+    fn get_tail(&self, key: UnitKey, len: usize) -> Result<(Vec<u8>, u64), StorageError> {
+        // A real ranged read: seek to the tail instead of slurping the
+        // whole file.
+        use std::io::{Read, Seek, SeekFrom};
+        let io = |source| StorageError::Io { key, source };
+        let mut f = match std::fs::File::open(self.path(key)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StorageError::NotFound { key })
+            }
+            Err(source) => return Err(StorageError::Io { key, source }),
+        };
+        let total = f.metadata().map_err(io)?.len();
+        f.seek(SeekFrom::Start(total.saturating_sub(len as u64)))
+            .map_err(io)?;
+        let mut tail = Vec::with_capacity(len);
+        f.read_to_end(&mut tail).map_err(io)?;
+        Ok((tail, total))
     }
 
     fn delete(&self, key: UnitKey) -> Result<(), StorageError> {
@@ -287,6 +336,25 @@ impl<B: Backend> Backend for FailingBackend<B> {
                 Ok(bytes)
             }
             None => self.inner.get(key),
+        }
+    }
+
+    fn get_tail(&self, key: UnitKey, len: usize) -> Result<(Vec<u8>, u64), StorageError> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mode = self.failures.read().get(&key).copied();
+        match mode {
+            Some(FailureMode::Drop) => Err(StorageError::NotFound { key }),
+            Some(FailureMode::Corrupt) => {
+                let (mut tail, total) = self.inner.get_tail(key, len)?;
+                let n = tail.len();
+                for i in [n / 3, n / 2, 2 * n / 3] {
+                    if let Some(b) = tail.get_mut(i) {
+                        *b ^= 0xA5;
+                    }
+                }
+                Ok((tail, total))
+            }
+            None => self.inner.get_tail(key, len),
         }
     }
 

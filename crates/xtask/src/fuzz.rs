@@ -9,18 +9,20 @@
 //! property test samples the same contract — the fuzz lane just pushes
 //! orders of magnitude more inputs through it on a time budget.
 //!
-//! There is one target per decoder — thirteen in all: the three
+//! There is one target per decoder — fourteen in all: the three
 //! general-purpose decompressors, the tag-sniffing `decode_auto`, the
 //! eight per-scheme `EncodingScheme::decode` paths of the full
-//! layout × compression grid, and the `blot-server` wire-frame decoder
+//! layout × compression grid, the zone-map footer parser
+//! (`zonemap_footer`), and the `blot-server` wire-frame decoder
 //! (`server_frame`). The `registry` lint cross-checks the codec part of
 //! this list against the parsed `Compression`/`Layout` variants, so
 //! adding a variant without its fuzz target fails `cargo xtask lint`.
 
 use blot_codec::{
     deflate_compress, deflate_decompress, lzf_compress, lzf_decompress, lzr_compress,
-    lzr_decompress, Compression, EncodingScheme, Layout,
+    lzr_decompress, Compression, EncodingScheme, Layout, ZoneMap,
 };
+use blot_geo::{Cuboid, Point};
 use blot_model::{Record, RecordBatch};
 use std::time::{Duration, Instant};
 
@@ -47,6 +49,14 @@ fn t_decode_auto(d: &[u8]) {
 fn t_server_frame(d: &[u8]) {
     blot_server::wire::fuzz_decode(d);
 }
+fn t_zonemap_footer(d: &[u8]) {
+    // Parsing must never panic, and any footer that survives the
+    // checksum must support a prune decision without arithmetic traps.
+    if let Ok((_, Some(zm))) = ZoneMap::split_footer(d) {
+        let probe = Cuboid::new(Point::new(120.0, 30.0, 0.0), Point::new(122.0, 32.0, 1.0e8));
+        let _ = zm.overlaps(&probe);
+    }
+}
 
 macro_rules! scheme_target {
     ($fn_name:ident, $layout:ident, $comp:ident) => {
@@ -65,7 +75,7 @@ scheme_target!(t_column_lzf, Column, Lzf);
 scheme_target!(t_column_deflate, Column, Deflate);
 scheme_target!(t_column_lzr, Column, Lzr);
 
-/// The thirteen decoder targets.
+/// The fourteen decoder targets.
 pub const TARGETS: &[FuzzTarget] = &[
     FuzzTarget {
         name: "lzf",
@@ -114,6 +124,10 @@ pub const TARGETS: &[FuzzTarget] = &[
     FuzzTarget {
         name: "decode_column_lzr",
         run: t_column_lzr,
+    },
+    FuzzTarget {
+        name: "zonemap_footer",
+        run: t_zonemap_footer,
     },
     FuzzTarget {
         name: "server_frame",
@@ -223,6 +237,11 @@ fn build_seeds() -> Vec<Vec<u8>> {
     seeds.push(lzf_compress(&pattern));
     seeds.push(deflate_compress(&pattern));
     seeds.push(lzr_compress(&pattern));
+    // A bare zone-map footer, so mutations explore the checksum and
+    // version checks without having to reconstruct the 73-byte tail.
+    let mut footer = Vec::new();
+    ZoneMap::from_batch(&batch).append_to(&mut footer);
+    seeds.push(footer);
     seeds
 }
 
@@ -368,11 +387,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn thirteen_targets_cover_the_grid_and_the_wire() {
-        assert_eq!(TARGETS.len(), 13);
+    fn fourteen_targets_cover_the_grid_the_footer_and_the_wire() {
+        assert_eq!(TARGETS.len(), 14);
         let names = target_names();
         assert!(names.contains(&"decode_auto"));
         assert!(names.contains(&"server_frame"));
+        assert!(names.contains(&"zonemap_footer"));
         for scheme in EncodingScheme::grid() {
             let layout = match scheme.layout {
                 Layout::Row => "row",

@@ -110,6 +110,7 @@ pub const CAST_RANGE_FILES: &[(&str, &str)] = &[
     ("codec", "varint.rs"),
     ("codec", "gorilla.rs"),
     ("codec", "range.rs"),
+    ("codec", "zonemap.rs"),
     ("server", "wire.rs"),
 ];
 
