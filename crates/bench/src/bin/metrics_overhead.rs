@@ -62,6 +62,10 @@ fn build_store() -> BlotStore<MemBackend> {
 }
 
 /// One round: a fixed ladder of centroid queries of shrinking extent.
+/// Every query runs through `query_traced`, so the instrumented build
+/// pays the full tracing path — root span, per-stage children,
+/// flight-recorder ring writes — and the guard's ratio bounds what
+/// tracing costs, not just counters.
 fn run_round(store: &BlotStore<MemBackend>) -> usize {
     let u = store.universe();
     let mut returned = 0;
@@ -71,7 +75,7 @@ fn run_round(store: &BlotStore<MemBackend>) -> usize {
             u.centroid(),
             QuerySize::new(u.extent(0) / f, u.extent(1) / f, u.extent(2) / f),
         );
-        returned += store.query(&q).unwrap().records.len();
+        returned += store.query_traced(&q, None).unwrap().records.len();
     }
     returned
 }
@@ -90,12 +94,22 @@ fn main() {
     round_ms.sort_by(f64::total_cmp);
     let min_ms = round_ms.first().copied().unwrap_or(0.0);
     let median_ms = round_ms.get(round_ms.len() / 2).copied().unwrap_or(0.0);
+    let spans = store.recorder().recorded();
+    if !blot_obs::enabled() {
+        // The `off` feature must compile the whole trace layer to
+        // zero-sized no-ops: no spans recorded, no bytes per handle.
+        assert_eq!(spans, 0, "off build must record nothing");
+        assert_eq!(std::mem::size_of::<blot_obs::FlightRecorder>(), 0);
+        assert_eq!(std::mem::size_of::<blot_obs::TraceSpan>(), 0);
+        assert_eq!(std::mem::size_of::<blot_obs::SpanHandle>(), 0);
+    }
     let doc = Json::obj([
         ("enabled", Json::Bool(blot_obs::enabled())),
         ("rounds", Json::Num(ROUNDS as f64)),
         ("queries_per_round", Json::Num(QUERIES_PER_ROUND as f64)),
         ("min_ms", Json::Num(min_ms)),
         ("median_ms", Json::Num(median_ms)),
+        ("spans", Json::Num(spans as f64)),
         ("checksum", Json::Num(checksum as f64)),
     ]);
     println!("{doc}");

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         "scrub" => cmd_scrub(&args),
         "repair" => cmd_repair(&args),
         "stats" => cmd_stats(&args),
+        "trace" => cmd_trace(&args),
         "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             pipe_println(USAGE);
@@ -77,13 +78,16 @@ commands:
   build     --data FILE --store DIR --replica SPEC/ENC [--replica …] [--env local|cloud]
   info      --store DIR
   query     --store DIR --center LON,LAT,T --size W,H,T [--limit N] [--replica-id N]
-  query     --remote ADDR --center LON,LAT,T --size W,H,T [--limit N]
+  query     --remote ADDR --center LON,LAT,T --size W,H,T [--limit N] [--trace]
   select    --data FILE [--budget-copies X] [--exact] [--records N] [--env local|cloud]
   scrub     --store DIR
   repair    --store DIR
   stats     --store DIR [--queries N] [--probe centroid|tail|mixed] [--json] [--band LO,HI]
   stats     --remote ADDR [--json] [--band LO,HI]
+  trace     --store DIR [--queries N] [--json|--chrome] [--slow MS] [--last N] [--slow-log MS]
+  trace     --remote ADDR [--json|--chrome] [--slow MS] [--last N]
   serve     --store DIR [--addr HOST:PORT] [--max-conns N] [--queue-depth N] [--handlers N]
+            [--slow-log MS]
 
 replica syntax: S<spatial>xT<temporal>/<LAYOUT>-<CODEC>, e.g. S64xT16/COL-GZIP
   spatial ∈ {4,16,64,256,1024,4096}; temporal a power of two
@@ -243,20 +247,20 @@ fn pipe_println(line: &str) {
     }
 }
 
-/// Shared result rendering for the local and remote query paths. The
-/// remote wire reply predates zone maps and carries no skip count, so
-/// `units_skipped` is optional.
+/// Shared result rendering for the local and remote query paths (the
+/// wire reply carries the zone-map skip count since protocol revision
+/// adding trace support, so both paths report it).
 fn print_query_result(
     records: &RecordBatch,
     replica: u32,
     partitions_scanned: usize,
-    units_skipped: Option<usize>,
+    units_skipped: usize,
     sim_ms: f64,
     makespan_ms: f64,
     limit: usize,
 ) {
     let skipped = match units_skipped {
-        Some(n) if n > 0 => format!(" ({n} skipped via zone maps)"),
+        n if n > 0 => format!(" ({n} skipped via zone maps)"),
         _ => String::new(),
     };
     pipe_println(&format!(
@@ -289,16 +293,28 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
         let mut client =
             blot_server::Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
-        let result = client.query(&range).map_err(|e| e.to_string())?;
+        // `--trace` opens a client-side trace context and ships it with
+        // the query; the server parents its whole span tree under it
+        // (inspect with `blot trace --remote ADDR`).
+        let ctx = args.has("trace").then(blot_obs::SpanContext::fresh);
+        let result = client
+            .query_traced(&range, ctx)
+            .map_err(|e| e.to_string())?;
         print_query_result(
             &result.records,
             result.replica,
             usize::try_from(result.partitions_scanned).unwrap_or(usize::MAX),
-            None,
+            usize::try_from(result.units_skipped).unwrap_or(usize::MAX),
             result.sim_ms,
             result.makespan_ms,
             limit,
         );
+        if let Some(ctx) = ctx {
+            pipe_println(&format!(
+                "trace {} — admission {:.3} ms, batch {:.3} ms, store {:.3} ms",
+                ctx.trace, result.admission_ms, result.batch_ms, result.store_ms
+            ));
+        }
         return Ok(());
     }
     let store = open_store(args)?;
@@ -312,7 +328,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         &result.records,
         result.replica,
         result.partitions_scanned,
-        Some(result.units_skipped),
+        result.units_skipped,
         result.sim_ms,
         result.makespan_ms,
         limit,
@@ -582,6 +598,141 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Converts the server's span-JSON array into Chrome `trace_event`
+/// JSON client-side: the wire carries one canonical span shape, and
+/// presentation (Chrome, text) is the CLI's job.
+fn trace_json_to_chrome(doc: &Json) -> Result<String, String> {
+    let items = doc
+        .as_array()
+        .ok_or_else(|| "trace reply is not a JSON array".to_owned())?;
+    let mut lanes: Vec<&str> = Vec::new();
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        let trace = item.get("trace").and_then(Json::as_str).unwrap_or("?");
+        let tid = match lanes.iter().position(|t| *t == trace) {
+            Some(p) => p + 1,
+            None => {
+                lanes.push(trace);
+                lanes.len()
+            }
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        let name = item.get("name").and_then(Json::as_str).unwrap_or("?");
+        let ts = item.get("start_us").and_then(Json::as_u64).unwrap_or(0);
+        let dur = item.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+        let span = item.get("span").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"cat\":\"blot\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{ts},\"dur\":{dur},\"args\":{{\"trace\":\"{trace}\",\"span\":\"{span}\"}}}}"
+        ));
+    }
+    out.push(']');
+    Ok(out)
+}
+
+/// Renders the server's span-JSON array as a per-trace text listing.
+fn trace_json_to_text(doc: &Json) -> String {
+    let items = doc.as_array().unwrap_or(&[]);
+    if items.is_empty() {
+        return "(no spans recorded)".to_owned();
+    }
+    let trace_of = |item: &Json| -> String {
+        item.get("trace")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let mut traces: Vec<String> = Vec::new();
+    for item in items {
+        let t = trace_of(item);
+        if !traces.contains(&t) {
+            traces.push(t);
+        }
+    }
+    let mut out = String::new();
+    for t in traces {
+        out.push_str(&format!("trace {t}:\n"));
+        for item in items.iter().filter(|i| trace_of(i) == t) {
+            let name = item.get("name").and_then(Json::as_str).unwrap_or("?");
+            let dur_ms = item.get("dur_us").and_then(Json::as_f64).unwrap_or(0.0) / 1e3;
+            out.push_str(&format!("  {name:<16} {dur_ms:>9.3} ms"));
+            if let Some(Json::Obj(notes)) = item.get("notes") {
+                for (k, v) in notes {
+                    out.push_str(&format!("  {k}={v}"));
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// `blot trace`: dump a flight-recorder span tree. Remotely it fetches
+/// the serving store's recorder over the wire; locally it replays a
+/// deterministic probe workload with tracing on and dumps the spans it
+/// produced. `--slow MS` keeps only traces with a span at least that
+/// slow, `--last N` the N most recent traces; `--json` emits the raw
+/// span array, `--chrome` Chrome `trace_event` JSON for
+/// `chrome://tracing` / Perfetto.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let slow_ms = args.get_parsed::<f64>("slow")?.unwrap_or(0.0);
+    let last = args.get_parsed::<u32>("last")?.unwrap_or(0);
+    if let Some(addr) = args.get("remote") {
+        let mut client =
+            blot_server::Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+        let json = client.trace(slow_ms, last).map_err(|e| e.to_string())?;
+        if args.has("chrome") {
+            let doc =
+                Json::parse(&json).map_err(|e| format!("server sent invalid trace JSON: {e}"))?;
+            pipe_println(&trace_json_to_chrome(&doc)?);
+        } else if args.has("json") {
+            pipe_println(&json);
+        } else {
+            let doc =
+                Json::parse(&json).map_err(|e| format!("server sent invalid trace JSON: {e}"))?;
+            pipe_println(trace_json_to_text(&doc).trim_end());
+        }
+        return Ok(());
+    }
+    let store = open_store(args)?;
+    if !blot_obs::enabled() {
+        return Err("tracing is compiled out (blot-obs `off` feature)".into());
+    }
+    if let Some(ms) = args.get_parsed::<f64>("slow-log")? {
+        store.set_slow_query_ms(ms);
+    }
+    let rounds = args.get_parsed::<u32>("queries")?.unwrap_or(8);
+    let u = store.universe();
+    for k in 0..rounds {
+        let f = 2.0 + f64::from(k);
+        let q = Cuboid::from_centroid(
+            u.centroid(),
+            QuerySize::new(u.extent(0) / f, u.extent(1) / f, u.extent(2) / f),
+        );
+        store
+            .query_traced(&q, None)
+            .map_err(|e| format!("probe query failed: {e}"))?;
+    }
+    for entry in store.drain_slow_queries() {
+        eprintln!("{}", entry.to_line());
+    }
+    let records = store.recorder().snapshot();
+    let records = blot_obs::trace::filter_slow(&records, slow_ms);
+    let records =
+        blot_obs::trace::filter_last(&records, usize::try_from(last).unwrap_or(usize::MAX));
+    let rendered = if args.has("chrome") {
+        blot_obs::trace::records_to_chrome(&records)
+    } else if args.has("json") {
+        blot_obs::trace::records_to_json(&records)
+    } else {
+        blot_obs::trace::records_to_text(&records)
+    };
+    pipe_println(rendered.trim_end());
+    Ok(())
+}
+
 /// `blot serve`: run the TCP serving layer over a store directory.
 ///
 /// The workspace forbids `unsafe`, so there is no SIGTERM handler;
@@ -602,6 +753,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     if let Some(n) = args.get_parsed::<usize>("max-batch")? {
         config.max_batch = n.max(1);
+    }
+    if let Some(ms) = args.get_parsed::<f64>("slow-log")? {
+        config.slow_query_ms = ms.max(0.0);
     }
     let server = blot_server::Server::start(std::sync::Arc::new(store), addr, config)
         .map_err(|e| e.to_string())?;

@@ -89,7 +89,9 @@ pub mod prelude {
         ideal_cost, prune_dominated, select_greedy, select_mip, select_single, CostMatrix,
         Selection,
     };
-    pub use crate::store::{BlotStore, QueryResult, QueryService, SharedStore};
+    pub use crate::store::{
+        BlotStore, QueryResult, QueryService, SharedStore, SlowQueryEntry, TracedQuery,
+    };
     pub use crate::units::{Bytes, Millis, PartitionCount, Seconds};
     pub use crate::CoreError;
     pub use blot_codec::{Compression, EncodingScheme, Layout};

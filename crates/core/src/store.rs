@@ -8,13 +8,19 @@
 //! failures occur \[since\] they share the same logical view of the data"
 //! (§I).
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use blot_codec::EncodingScheme;
 use blot_geo::Cuboid;
 use blot_index::PartitioningScheme;
 use blot_model::RecordBatch;
-use blot_obs::{MetricsRegistry, Snapshot, Span};
-use blot_storage::scan::{run_scan, ScanReport, ScanTask};
+use blot_obs::{
+    names, FlightRecorder, MetricsRegistry, Snapshot, Span, SpanContext, SpanHandle, TraceId,
+    TraceSpan,
+};
+use blot_storage::scan::{run_scan, run_scan_traced, ScanReport, ScanTask};
 use blot_storage::sync::Mutex;
 use blot_storage::{Backend, EnvProfile, ScanExecutor, StorageError, UnitKey};
 
@@ -64,6 +70,80 @@ pub struct QueryResult {
     pub bytes_skipped: u64,
     /// Replicas that failed before one answered (failover path).
     pub failed_over: Vec<u32>,
+}
+
+/// One query of a traced micro-batch: the range plus the trace context
+/// it should execute under. `ctx: Some(..)` joins an existing trace
+/// (e.g. one a remote client opened and shipped over the wire); `None`
+/// starts a fresh trace for this query.
+#[derive(Debug, Clone, Copy)]
+pub struct TracedQuery {
+    /// The query range.
+    pub range: Cuboid,
+    /// Adopted trace context, if the caller already has one.
+    pub ctx: Option<SpanContext>,
+}
+
+impl TracedQuery {
+    /// A traced query with no pre-existing context (fresh trace).
+    #[must_use]
+    pub fn new(range: Cuboid) -> Self {
+        Self { range, ctx: None }
+    }
+}
+
+/// One offender captured by the slow-query log: enough structured
+/// context to attribute the time (and the cost-model's miss) to a
+/// specific query, replica and encoding scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowQueryEntry {
+    /// Trace id of the offending query (zero when it ran untraced).
+    pub trace: TraceId,
+    /// Replica that served it.
+    pub replica: u32,
+    /// That replica's encoding scheme.
+    pub scheme: EncodingScheme,
+    /// Involved storage units scanned (including footer-skipped ones).
+    pub units_scanned: usize,
+    /// Involved units skipped via their zone-map footer.
+    pub units_skipped: usize,
+    /// The cost model's predicted `Cost(q, r)` in simulated ms.
+    pub predicted_ms: f64,
+    /// Measured simulated ms (the paper's query cost).
+    pub measured_ms: f64,
+    /// The threshold that was in force when the entry was captured.
+    pub threshold_ms: f64,
+}
+
+impl SlowQueryEntry {
+    /// Predicted / measured cost ratio (0 when nothing was measured):
+    /// a per-query drift sample, < 1 when the model was optimistic.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.measured_ms > 0.0 {
+            self.predicted_ms / self.measured_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// The structured log line for this offender.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "slow-query trace={} replica={} scheme={} sim_ms={:.3} threshold_ms={:.3} \
+             units={} skipped={} predicted_ms={:.3} ratio={:.3}",
+            self.trace,
+            self.replica,
+            self.scheme.metric_label(),
+            self.measured_ms,
+            self.threshold_ms,
+            self.units_scanned,
+            self.units_skipped,
+            self.predicted_ms,
+            self.ratio(),
+        )
+    }
 }
 
 /// Report of a [`BlotStore::repair_all`] pass.
@@ -118,12 +198,47 @@ pub struct BlotStore<B> {
     pool: Arc<ScanExecutor>,
     /// Instrument handles (see [`crate::obs`]).
     metrics: StoreMetrics,
+    /// Per-store flight recorder holding the most recent trace spans.
+    recorder: FlightRecorder,
+    /// Slow-query threshold in simulated ms as `f64` bits (0 = off).
+    slow_ms_bits: AtomicU64,
+    /// Bounded slow-query log, oldest evicted.
+    slow_log: Mutex<VecDeque<SlowQueryEntry>>,
 }
+
+/// Spans the per-store flight recorder retains (oldest evicted).
+const TRACE_CAPACITY: usize = 4096;
+
+/// Entries the slow-query log retains (oldest evicted).
+const SLOW_LOG_CAPACITY: usize = 256;
 
 /// Converts a partition index to its storage id, surfacing overflow
 /// instead of silently truncating.
 fn partition_id(pid: usize) -> Result<u32, CoreError> {
     u32::try_from(pid).map_err(|_| CoreError::IdOverflow { what: "partition" })
+}
+
+/// Scans one storage unit, recording a `scan.unit` span (with
+/// `unit.prune` / `unit.decode` children) under `trace`. A detached
+/// handle takes the exact untraced path.
+fn scan_one_unit(
+    backend: &dyn Backend,
+    env: &EnvProfile,
+    task: &ScanTask,
+    trace: &SpanHandle,
+) -> Result<ScanReport, StorageError> {
+    if trace.context().is_none() {
+        return run_scan(backend, env, task);
+    }
+    let mut unit = trace.child(names::SCAN_UNIT);
+    unit.note(names::PARTITION, u64::from(task.key.partition));
+    let report = run_scan_traced(backend, env, task, &unit.handle());
+    if let Ok(r) = &report {
+        unit.note(names::BYTES, r.bytes);
+        unit.set_sim_ms(r.sim_ms);
+    }
+    unit.finish();
+    report
 }
 
 impl<B: Backend + 'static> BlotStore<B> {
@@ -162,7 +277,40 @@ impl<B: Backend + 'static> BlotStore<B> {
             log: None,
             pool,
             metrics,
+            recorder: FlightRecorder::new(TRACE_CAPACITY),
+            slow_ms_bits: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// The store's flight recorder. Traced queries
+    /// ([`query_traced`](Self::query_traced),
+    /// [`query_batch_traced`](Self::query_batch_traced)) record their
+    /// span trees here; untraced queries record nothing.
+    #[must_use]
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Sets the slow-query threshold in simulated milliseconds. Any
+    /// query whose measured simulated cost exceeds it is captured in
+    /// the slow-query log; `ms <= 0` disables the log.
+    pub fn set_slow_query_ms(&self, ms: f64) {
+        let bits = if ms > 0.0 { ms.to_bits() } else { 0 };
+        self.slow_ms_bits.store(bits, Ordering::Relaxed);
+    }
+
+    /// The current slow-query threshold, if the log is enabled.
+    #[must_use]
+    pub fn slow_query_ms(&self) -> Option<f64> {
+        let bits = self.slow_ms_bits.load(Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
+    /// Removes and returns every slow-query entry captured so far,
+    /// oldest first.
+    pub fn drain_slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slow_log.lock().drain(..).collect()
     }
 
     /// The store's shared scan-executor pool.
@@ -464,6 +612,44 @@ impl<B: Backend + 'static> BlotStore<B> {
         self.query_failover(range, &order, Vec::new(), None)
     }
 
+    /// [`query`](Self::query) under a trace: opens a root span in the
+    /// store's flight recorder (joining `ctx` when supplied, otherwise
+    /// starting a fresh trace) with child spans per stage — route,
+    /// per-unit scan (prune + decode, parented across the pool), merge.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`query`](Self::query).
+    pub fn query_traced(
+        &self,
+        range: &Cuboid,
+        ctx: Option<SpanContext>,
+    ) -> Result<QueryResult, CoreError> {
+        if let Some(log) = &self.log {
+            log.lock().observe(range);
+        }
+        self.metrics.queries.inc();
+        let _span = Span::start(&self.metrics.query_wall_ms);
+        let mut root = match ctx {
+            Some(ctx) => self.recorder.span_under(ctx, names::QUERY),
+            None => self.recorder.span(names::QUERY),
+        };
+        let handle = root.handle();
+        let route_span = root.child(names::ROUTE);
+        let order = self.route(range);
+        route_span.finish();
+        let result = self.query_failover_traced(range, &order, Vec::new(), None, &handle);
+        if let Ok(r) = &result {
+            root.note(names::REPLICA, u64::from(r.replica));
+            root.note(names::UNITS, r.partitions_scanned as u64);
+            root.note(names::UNITS_SKIPPED, r.units_skipped as u64);
+            root.note(names::FAILED_OVER, r.failed_over.len() as u64);
+            root.set_sim_ms(r.sim_ms);
+        }
+        root.finish();
+        result
+    }
+
     /// Runs `query_on` down a ranked replica list, recording failovers,
     /// until one replica answers. `failed_over` and `last_err` seed the
     /// state for callers (the batch path) that already burned the
@@ -472,11 +658,25 @@ impl<B: Backend + 'static> BlotStore<B> {
         &self,
         range: &Cuboid,
         order: &[u32],
+        failed_over: Vec<u32>,
+        last_err: Option<StorageError>,
+    ) -> Result<QueryResult, CoreError> {
+        self.query_failover_traced(range, order, failed_over, last_err, &SpanHandle::detached())
+    }
+
+    /// [`query_failover`](Self::query_failover) with span recording:
+    /// each attempt's scan round is traced under `trace` (a detached
+    /// handle records nothing).
+    fn query_failover_traced(
+        &self,
+        range: &Cuboid,
+        order: &[u32],
         mut failed_over: Vec<u32>,
         mut last_err: Option<StorageError>,
+        trace: &SpanHandle,
     ) -> Result<QueryResult, CoreError> {
         for &id in order {
-            match self.query_on(id, range) {
+            match self.query_on_traced(id, range, trace) {
                 Ok(mut result) => {
                     self.metrics
                         .records_returned
@@ -548,6 +748,7 @@ impl<B: Backend + 'static> BlotStore<B> {
         replica: &BuiltReplica,
         predicted: f64,
         reports: &[ScanReport],
+        trace: TraceId,
     ) -> QueryResult {
         let mut records = RecordBatch::new();
         for r in reports {
@@ -575,6 +776,24 @@ impl<B: Backend + 'static> BlotStore<B> {
         if total_ms > 0.0 {
             replica.obs.drift.record(predicted / total_ms);
         }
+        if let Some(threshold) = self.slow_query_ms() {
+            if total_ms > threshold {
+                let mut log = self.slow_log.lock();
+                if log.len() >= SLOW_LOG_CAPACITY {
+                    log.pop_front();
+                }
+                log.push_back(SlowQueryEntry {
+                    trace,
+                    replica: replica.id,
+                    scheme: replica.config.encoding,
+                    units_scanned: reports.len(),
+                    units_skipped,
+                    predicted_ms: predicted,
+                    measured_ms: total_ms,
+                    threshold_ms: threshold,
+                });
+            }
+        }
         QueryResult {
             records,
             replica: replica.id,
@@ -595,18 +814,48 @@ impl<B: Backend + 'static> BlotStore<B> {
     /// * [`CoreError::NoSuchReplica`] — unknown id;
     /// * [`CoreError::Storage`] — a unit could not be read or decoded.
     pub fn query_on(&self, id: u32, range: &Cuboid) -> Result<QueryResult, CoreError> {
+        self.query_on_traced(id, range, &SpanHandle::detached())
+    }
+
+    /// [`query_on`](Self::query_on) with span recording under `trace`:
+    /// a `scan` child span covers the pooled round, each unit's task
+    /// opens a `scan.unit` span (with `unit.prune` / `unit.decode`
+    /// children recorded from the worker thread), and a `merge` span
+    /// covers result assembly. A detached handle records nothing and
+    /// takes the exact untraced path.
+    fn query_on_traced(
+        &self,
+        id: u32,
+        range: &Cuboid,
+        trace: &SpanHandle,
+    ) -> Result<QueryResult, CoreError> {
         let (replica, predicted, tasks) = self.plan_on(id, range)?;
         let env = self.env;
         let backend = self.backend_dyn();
+        let traced = trace.context().is_some();
+        let scan_span = traced.then(|| trace.child(names::SCAN));
+        let scan_handle = scan_span
+            .as_ref()
+            .map(TraceSpan::handle)
+            .unwrap_or_default();
         let closures: Vec<_> = tasks
             .into_iter()
             .map(|task| {
                 let backend = Arc::clone(&backend);
-                move || run_scan(backend.as_ref(), &env, &task)
+                let scan_handle = scan_handle.clone();
+                move || scan_one_unit(backend.as_ref(), &env, &task, &scan_handle)
             })
             .collect();
-        let reports = self.pool.execute_all(closures)?;
-        Ok(self.assemble(replica, predicted, &reports))
+        let reports = self.pool.execute_all_traced(closures, &scan_handle)?;
+        if let Some(mut span) = scan_span {
+            span.note(names::UNITS, reports.len() as u64);
+            span.finish();
+        }
+        let trace_id = trace.context().map_or(TraceId(0), |c| c.trace);
+        let merge_span = traced.then(|| trace.child(names::MERGE));
+        let result = self.assemble(replica, predicted, &reports, trace_id);
+        drop(merge_span);
+        Ok(result)
     }
 
     /// Executes a micro-batch of range queries in **one** pooled
@@ -627,6 +876,32 @@ impl<B: Backend + 'static> BlotStore<B> {
     /// same conditions as [`query`](Self::query)
     /// ([`CoreError::NoReplicas`], [`CoreError::Storage`], …).
     pub fn query_batch(&self, ranges: &[Cuboid]) -> Vec<Result<QueryResult, CoreError>> {
+        let queries: Vec<TracedQuery> = ranges.iter().copied().map(TracedQuery::new).collect();
+        self.query_batch_inner(&queries, false)
+    }
+
+    /// [`query_batch`](Self::query_batch) with span recording: each
+    /// query opens its own root span (joining its [`TracedQuery::ctx`]
+    /// when supplied, starting a fresh trace otherwise), and every
+    /// flattened scan task carries *its* query's span handle into the
+    /// pool — interleaved queries never cross-contaminate parents.
+    ///
+    /// # Errors
+    ///
+    /// The call itself is infallible; each element is `Err` under the
+    /// same conditions as [`query`](Self::query).
+    pub fn query_batch_traced(
+        &self,
+        queries: &[TracedQuery],
+    ) -> Vec<Result<QueryResult, CoreError>> {
+        self.query_batch_inner(queries, true)
+    }
+
+    fn query_batch_inner(
+        &self,
+        queries: &[TracedQuery],
+        traced: bool,
+    ) -> Vec<Result<QueryResult, CoreError>> {
         struct Pending<'a> {
             index: usize,
             range: Cuboid,
@@ -635,22 +910,32 @@ impl<B: Backend + 'static> BlotStore<B> {
             replica: &'a BuiltReplica,
             predicted: f64,
             n_tasks: usize,
+            span: Option<TraceSpan>,
         }
         type ScanClosure = Box<
             dyn FnOnce() -> Result<Result<ScanReport, StorageError>, StorageError> + Send + 'static,
         >;
         let mut results: Vec<Option<Result<QueryResult, CoreError>>> =
-            ranges.iter().map(|_| None).collect();
+            queries.iter().map(|_| None).collect();
         let mut pending: Vec<Pending<'_>> = Vec::new();
         let mut closures: Vec<ScanClosure> = Vec::new();
         let env = self.env;
         let shared_backend = self.backend_dyn();
-        for (index, range) in ranges.iter().enumerate() {
+        for (index, query) in queries.iter().enumerate() {
+            let range = &query.range;
             if let Some(log) = &self.log {
                 log.lock().observe(range);
             }
             self.metrics.queries.inc();
+            let root = traced.then(|| match query.ctx {
+                Some(ctx) => self.recorder.span_under(ctx, names::QUERY),
+                None => self.recorder.span(names::QUERY),
+            });
+            let route_span = root.as_ref().map(|r| r.child(names::ROUTE));
             let mut order = self.route(range);
+            if let Some(span) = route_span {
+                span.finish();
+            }
             let planned = match order.first().copied() {
                 None => Some(Err(CoreError::NoReplicas)),
                 Some(first) => match self.plan_on(first, range) {
@@ -659,10 +944,12 @@ impl<B: Backend + 'static> BlotStore<B> {
                     // not the whole batch.
                     Ok((replica, predicted, tasks)) => {
                         let n_tasks = tasks.len();
+                        let root_handle = root.as_ref().map(TraceSpan::handle).unwrap_or_default();
                         for task in tasks {
                             let backend = Arc::clone(&shared_backend);
+                            let scan_handle = root_handle.clone();
                             closures.push(Box::new(move || {
-                                Ok(run_scan(backend.as_ref(), &env, &task))
+                                Ok(scan_one_unit(backend.as_ref(), &env, &task, &scan_handle))
                             }));
                         }
                         order.remove(0);
@@ -674,6 +961,7 @@ impl<B: Backend + 'static> BlotStore<B> {
                             replica,
                             predicted,
                             n_tasks,
+                            span: root,
                         });
                         None
                     }
@@ -697,9 +985,17 @@ impl<B: Backend + 'static> BlotStore<B> {
                             None => scan_err = Some(StorageError::WorkerPanicked),
                         }
                     }
+                    let trace_id = p
+                        .span
+                        .as_ref()
+                        .and_then(|s| s.context())
+                        .map_or(TraceId(0), |c| c.trace);
+                    let handle = p.span.as_ref().map(TraceSpan::handle).unwrap_or_default();
                     let result = match scan_err {
                         None => {
-                            let r = self.assemble(p.replica, p.predicted, &reports);
+                            let merge_span = p.span.as_ref().map(|s| s.child(names::MERGE));
+                            let r = self.assemble(p.replica, p.predicted, &reports, trace_id);
+                            drop(merge_span);
                             self.metrics.records_returned.add(r.records.len() as u64);
                             Ok(r)
                         }
@@ -707,8 +1003,24 @@ impl<B: Backend + 'static> BlotStore<B> {
                         // over down the rest of the ranking, seeded so
                         // a store with no surviving replica reports the
                         // storage error, not `NoReplicas`.
-                        Some(e) => self.query_failover(&p.range, &p.rest, vec![p.first], Some(e)),
+                        Some(e) => self.query_failover_traced(
+                            &p.range,
+                            &p.rest,
+                            vec![p.first],
+                            Some(e),
+                            &handle,
+                        ),
                     };
+                    if let Some(mut span) = p.span {
+                        if let Ok(r) = &result {
+                            span.note(names::REPLICA, u64::from(r.replica));
+                            span.note(names::UNITS, r.partitions_scanned as u64);
+                            span.note(names::UNITS_SKIPPED, r.units_skipped as u64);
+                            span.note(names::FAILED_OVER, r.failed_over.len() as u64);
+                            span.set_sim_ms(r.sim_ms);
+                        }
+                        span.finish();
+                    }
                     if let Some(slot) = results.get_mut(p.index) {
                         *slot = Some(result);
                     }
@@ -722,7 +1034,9 @@ impl<B: Backend + 'static> BlotStore<B> {
                     let mut order = Vec::with_capacity(p.rest.len() + 1);
                     order.push(p.first);
                     order.extend_from_slice(&p.rest);
-                    let result = self.query_failover(&p.range, &order, Vec::new(), None);
+                    let handle = p.span.as_ref().map(TraceSpan::handle).unwrap_or_default();
+                    let result =
+                        self.query_failover_traced(&p.range, &order, Vec::new(), None, &handle);
                     if let Some(slot) = results.get_mut(p.index) {
                         *slot = Some(result);
                     }
@@ -1011,6 +1325,33 @@ pub trait QueryService: Send + Sync {
     /// per input range, in order. See [`BlotStore::query_batch`].
     fn query_batch(&self, ranges: &[Cuboid]) -> Vec<Result<QueryResult, CoreError>>;
 
+    /// Executes a traced micro-batch, recording per-query span trees
+    /// into the service's flight recorder. The default implementation
+    /// ignores trace contexts and delegates to
+    /// [`query_batch`](Self::query_batch).
+    fn query_batch_traced(&self, queries: &[TracedQuery]) -> Vec<Result<QueryResult, CoreError>> {
+        let ranges: Vec<Cuboid> = queries.iter().map(|q| q.range).collect();
+        self.query_batch(&ranges)
+    }
+
+    /// The service's flight recorder, for serving-layer spans and trace
+    /// export. Disabled (records nothing) by default.
+    fn recorder(&self) -> FlightRecorder {
+        FlightRecorder::disabled()
+    }
+
+    /// Sets the slow-query threshold in simulated ms (`<= 0` disables).
+    /// No-op by default.
+    fn set_slow_query_ms(&self, ms: f64) {
+        let _ = ms;
+    }
+
+    /// Drains structured slow-query entries captured since the last
+    /// drain. Empty by default.
+    fn drain_slow_queries(&self) -> Vec<SlowQueryEntry> {
+        Vec::new()
+    }
+
     /// A handle to the registry all of this service's instruments live
     /// in, so a server can register its own alongside them.
     fn metrics_registry(&self) -> MetricsRegistry;
@@ -1033,6 +1374,22 @@ impl<B: Backend + 'static> QueryService for BlotStore<B> {
 
     fn query_batch(&self, ranges: &[Cuboid]) -> Vec<Result<QueryResult, CoreError>> {
         BlotStore::query_batch(self, ranges)
+    }
+
+    fn query_batch_traced(&self, queries: &[TracedQuery]) -> Vec<Result<QueryResult, CoreError>> {
+        BlotStore::query_batch_traced(self, queries)
+    }
+
+    fn recorder(&self) -> FlightRecorder {
+        self.recorder.clone()
+    }
+
+    fn set_slow_query_ms(&self, ms: f64) {
+        BlotStore::set_slow_query_ms(self, ms);
+    }
+
+    fn drain_slow_queries(&self) -> Vec<SlowQueryEntry> {
+        BlotStore::drain_slow_queries(self)
     }
 
     fn metrics_registry(&self) -> MetricsRegistry {
@@ -1377,6 +1734,119 @@ mod tests {
             assert_eq!(got.failed_over, vec![first]);
             assert_eq!(got.records.len(), data.count_in_range(&q));
         }
+    }
+
+    #[test]
+    fn traced_query_records_a_parented_span_tree() {
+        let (store, data) = small_store();
+        let q = test_query(&store);
+        let ctx = blot_obs::SpanContext::fresh();
+        let result = store.query_traced(&q, Some(ctx)).unwrap();
+        assert_eq!(result.records.len(), data.count_in_range(&q));
+        if !blot_obs::enabled() {
+            return;
+        }
+        use blot_obs::names;
+        let records = store.recorder().snapshot();
+        let in_trace: Vec<_> = records.iter().filter(|r| r.trace == ctx.trace).collect();
+        let root = in_trace
+            .iter()
+            .find(|r| r.name == names::QUERY)
+            .expect("root query span must be recorded");
+        assert_eq!(root.parent, Some(ctx.span), "root adopts the caller's span");
+        for stage in [
+            names::ROUTE,
+            names::SCAN,
+            names::MERGE,
+            names::SCAN_UNIT,
+            names::UNIT_PRUNE,
+            names::UNIT_DECODE,
+        ] {
+            assert!(
+                in_trace.iter().any(|r| r.name == stage),
+                "stage span {stage} missing from trace"
+            );
+        }
+        // Every span parents inside the trace (or on the adopted ctx).
+        let ids: std::collections::HashSet<_> = in_trace.iter().map(|r| r.span).collect();
+        for r in &in_trace {
+            let parent = r.parent.expect("no orphan spans inside a traced query");
+            assert!(
+                ids.contains(&parent) || parent == ctx.span,
+                "span {} has a parent outside its trace",
+                r.name
+            );
+        }
+        assert_eq!(
+            root.note_value(names::UNITS),
+            Some(result.partitions_scanned as u64)
+        );
+    }
+
+    #[test]
+    fn batch_traced_queries_never_cross_contaminate() {
+        let (store, _) = small_store();
+        let q = test_query(&store);
+        let contexts: Vec<_> = (0..4).map(|_| blot_obs::SpanContext::fresh()).collect();
+        let queries: Vec<TracedQuery> = contexts
+            .iter()
+            .map(|&ctx| TracedQuery {
+                range: q,
+                ctx: Some(ctx),
+            })
+            .collect();
+        for result in store.query_batch_traced(&queries) {
+            result.unwrap();
+        }
+        if !blot_obs::enabled() {
+            return;
+        }
+        let records = store.recorder().snapshot();
+        for ctx in &contexts {
+            let in_trace: Vec<_> = records.iter().filter(|r| r.trace == ctx.trace).collect();
+            assert!(
+                in_trace
+                    .iter()
+                    .any(|r| r.name == blot_obs::names::SCAN_UNIT),
+                "each interleaved query must record its own unit spans"
+            );
+            let ids: std::collections::HashSet<_> = in_trace.iter().map(|r| r.span).collect();
+            for r in &in_trace {
+                let parent = r.parent.expect("batch spans must stay parented");
+                assert!(
+                    ids.contains(&parent) || parent == ctx.span,
+                    "span parented across trace boundaries"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_query_log_captures_offenders_and_drains() {
+        let (store, _) = small_store();
+        assert!(store.slow_query_ms().is_none());
+        store.set_slow_query_ms(1e-9);
+        let q = test_query(&store);
+        store.query(&q).unwrap();
+        let entries = store.drain_slow_queries();
+        assert!(
+            !entries.is_empty(),
+            "threshold of ~0 must capture the query"
+        );
+        let line = entries[0].to_line();
+        assert!(line.starts_with("slow-query trace="), "{line}");
+        assert!(line.contains("ratio="), "{line}");
+        assert!(entries[0].ratio() > 0.0);
+        assert!(
+            store.drain_slow_queries().is_empty(),
+            "drain must consume the log"
+        );
+        store.set_slow_query_ms(0.0);
+        store.query(&q).unwrap();
+        assert!(
+            store.drain_slow_queries().is_empty(),
+            "disabled log must capture nothing"
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * [`Span`] — RAII wall-time measurement into a histogram
 //!   (monotonic [`std::time::Instant`] timing);
 //! * [`MetricsRegistry`] — names instruments and produces [`Snapshot`]s
-//!   with text-table and JSON rendering.
+//!   with text-table and JSON rendering;
+//! * [`trace`] — structured query tracing: [`TraceSpan`] trees with
+//!   wire-propagable [`SpanContext`]s, recorded into a bounded
+//!   [`FlightRecorder`] ring with text / JSON / Chrome `trace_event`
+//!   exporters.
 //!
 //! # Design rules
 //!
@@ -34,12 +38,16 @@ mod histogram;
 mod registry;
 mod server;
 mod span;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricsRegistry, Snapshot};
 pub use server::ServerMetrics;
 pub use span::Span;
+pub use trace::{
+    names, FlightRecorder, Name, SpanContext, SpanHandle, SpanId, SpanRecord, TraceId, TraceSpan,
+};
 
 /// True when the record path is compiled in (the `off` feature is not
 /// active). The overhead-guard binary prints this next to its timings

@@ -19,7 +19,7 @@ use std::sync::{Arc, Condvar, PoisonError};
 use std::time::{Duration, Instant};
 
 use blot_core::prelude::*;
-use blot_obs::ServerMetrics;
+use blot_obs::{names, ServerMetrics, SpanContext, TraceSpan};
 use blot_storage::sync::Mutex;
 use blot_storage::StorageError;
 
@@ -53,11 +53,26 @@ const _: () = {
     require_error_traits::<SubmitError>()
 };
 
+/// What the batcher hands back for one query: the query's own outcome
+/// plus the server-side stage breakdown the wire reply reports.
+#[derive(Debug)]
+pub struct BatchedOutcome {
+    /// The query's result as produced by the store.
+    pub result: Result<QueryResult, CoreError>,
+    /// Wall time from `submit` to the batcher draining the query.
+    pub admission_ms: f64,
+    /// Wall time the query spent inside its batch round (drain → fill).
+    pub batch_ms: f64,
+    /// Wall time of the store's `query_batch_traced` round. Shared by
+    /// every query in the same batch.
+    pub store_ms: f64,
+}
+
 /// A one-shot result cell: the batcher fills it, the connection handler
 /// waits on it.
 #[derive(Debug, Default)]
 pub struct ResponseSlot {
-    cell: Mutex<Option<Result<QueryResult, CoreError>>>,
+    cell: Mutex<Option<BatchedOutcome>>,
     ready: Condvar,
 }
 
@@ -66,12 +81,12 @@ impl ResponseSlot {
         Arc::new(Self::default())
     }
 
-    /// Stores the result and wakes the waiter. A second fill is ignored
-    /// (the slot is one-shot).
-    pub fn fill(&self, result: Result<QueryResult, CoreError>) {
+    /// Stores the outcome and wakes the waiter. A second fill is
+    /// ignored (the slot is one-shot).
+    pub fn fill(&self, outcome: BatchedOutcome) {
         let mut cell = self.cell.lock();
         if cell.is_none() {
-            *cell = Some(result);
+            *cell = Some(outcome);
         }
         drop(cell);
         self.ready.notify_all();
@@ -79,13 +94,8 @@ impl ResponseSlot {
 
     /// Blocks until the slot is filled or `timeout` elapses; `None`
     /// means the batcher never answered in time.
-    ///
-    /// # Errors
-    ///
-    /// The inner `Result` is the query's own outcome as produced by
-    /// the batcher: any [`CoreError`] from routing or scanning.
     #[must_use]
-    pub fn wait(&self, timeout: Duration) -> Option<Result<QueryResult, CoreError>> {
+    pub fn wait(&self, timeout: Duration) -> Option<BatchedOutcome> {
         let deadline = Instant::now() + timeout;
         let mut cell = self.cell.lock();
         while cell.is_none() {
@@ -108,6 +118,14 @@ impl ResponseSlot {
 
 struct PendingQuery {
     range: Cuboid,
+    /// The connection's `server.request` span context, if the query is
+    /// traced; the batcher parents its `server.batch` span under it.
+    ctx: Option<SpanContext>,
+    /// The `server.admission` span opened at submit time; the batcher
+    /// finishes it when it drains the query, so the span's duration is
+    /// the queue wait.
+    admission: Option<TraceSpan>,
+    enqueued: Instant,
     slot: Arc<ResponseSlot>,
 }
 
@@ -168,7 +186,12 @@ impl AdmissionQueue {
     /// [`SubmitError::Overloaded`] when the queue is at capacity,
     /// [`SubmitError::ShuttingDown`] once [`close`](Self::close) ran.
     /// Neither blocks.
-    pub fn submit(&self, range: Cuboid) -> Result<Arc<ResponseSlot>, SubmitError> {
+    pub fn submit(
+        &self,
+        range: Cuboid,
+        ctx: Option<SpanContext>,
+        admission: Option<TraceSpan>,
+    ) -> Result<Arc<ResponseSlot>, SubmitError> {
         if self.closed.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -184,6 +207,9 @@ impl AdmissionQueue {
             }
             pending.push_back(PendingQuery {
                 range,
+                ctx,
+                admission,
+                enqueued: Instant::now(),
                 slot: Arc::clone(&slot),
             });
             self.metrics.queue_depth.add(1);
@@ -255,25 +281,66 @@ impl AdmissionQueue {
 /// executing each batch in one [`QueryService::query_batch`] round.
 /// Run on a dedicated thread by `Server::start`.
 pub fn run_batcher<S: QueryService + ?Sized>(service: &S, queue: &AdmissionQueue) {
-    while let Some(batch) = queue.next_batch() {
-        let started = Instant::now();
+    let recorder = service.recorder();
+    while let Some(mut batch) = queue.next_batch() {
+        let drained = Instant::now();
         #[allow(clippy::cast_precision_loss)]
         {
             queue.metrics.batches.inc();
             queue.metrics.batch_size.record(batch.len() as f64);
         }
-        let ranges: Vec<Cuboid> = batch.iter().map(|p| p.range).collect();
-        let mut results = service.query_batch(&ranges).into_iter();
-        for p in batch {
-            // `query_batch` returns exactly one entry per range; a
-            // short answer would be an internal bug, surfaced to the
-            // client as a storage-class error rather than a hang.
+        let batch_size = batch.len() as u64;
+        // Close each query's admission span: its duration is exactly
+        // the time the query sat in the queue before this drain.
+        let mut batch_spans = Vec::with_capacity(batch.len());
+        for p in &mut batch {
+            let waited_us =
+                u64::try_from(drained.duration_since(p.enqueued).as_micros()).unwrap_or(u64::MAX);
+            if let Some(mut span) = p.admission.take() {
+                span.note(names::QUEUE_US, waited_us);
+                span.finish();
+            }
+            batch_spans.push(p.ctx.map(|ctx| {
+                let mut span = recorder.span_under(ctx, names::SERVER_BATCH);
+                span.note(names::BATCH_SIZE, batch_size);
+                span
+            }));
+        }
+        let queries: Vec<TracedQuery> = batch
+            .iter()
+            .map(|p| TracedQuery {
+                range: p.range,
+                ctx: p.ctx,
+            })
+            .collect();
+        let round = Instant::now();
+        let mut results = service.query_batch_traced(&queries).into_iter();
+        let store_ms = round.elapsed().as_secs_f64() * 1_000.0;
+        for (p, span) in batch.into_iter().zip(batch_spans) {
+            // `query_batch_traced` returns exactly one entry per
+            // query; a short answer would be an internal bug, surfaced
+            // to the client as a storage-class error rather than a
+            // hang.
             let result = results
                 .next()
                 .unwrap_or(Err(CoreError::Storage(StorageError::WorkerPanicked)));
-            p.slot.fill(result);
+            if let Some(span) = span {
+                span.finish();
+            }
+            let now = Instant::now();
+            p.slot.fill(BatchedOutcome {
+                result,
+                admission_ms: drained.duration_since(p.enqueued).as_secs_f64() * 1_000.0,
+                batch_ms: now.duration_since(drained).as_secs_f64() * 1_000.0,
+                store_ms,
+            });
         }
-        let elapsed = started.elapsed().as_millis();
+        // Slow queries detected during this round surface on stderr as
+        // structured single-line records.
+        for entry in service.drain_slow_queries() {
+            eprintln!("{}", entry.to_line());
+        }
+        let elapsed = drained.elapsed().as_millis();
         queue.last_batch_ms.store(
             u32::try_from(elapsed).unwrap_or(u32::MAX),
             Ordering::Relaxed,
@@ -301,9 +368,9 @@ mod tests {
     fn queue_sheds_above_capacity_without_blocking() {
         let q = AdmissionQueue::new(2, 8, Duration::ZERO, metrics());
         let range = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 1.0));
-        assert!(q.submit(range).is_ok());
-        assert!(q.submit(range).is_ok());
-        match q.submit(range) {
+        assert!(q.submit(range, None, None).is_ok());
+        assert!(q.submit(range, None, None).is_ok());
+        match q.submit(range, None, None) {
             Err(SubmitError::Overloaded { retry_after_ms }) => {
                 assert!(retry_after_ms >= MIN_RETRY_HINT_MS);
             }
@@ -317,7 +384,10 @@ mod tests {
         let q = AdmissionQueue::new(4, 8, Duration::ZERO, metrics());
         q.close();
         let range = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 1.0));
-        assert!(matches!(q.submit(range), Err(SubmitError::ShuttingDown)));
+        assert!(matches!(
+            q.submit(range, None, None),
+            Err(SubmitError::ShuttingDown)
+        ));
         assert!(q.next_batch().is_none());
     }
 
@@ -325,9 +395,17 @@ mod tests {
     fn response_slot_times_out_then_delivers() {
         let slot = ResponseSlot::new();
         assert!(slot.wait(Duration::from_millis(10)).is_none());
-        slot.fill(Err(CoreError::NoReplicas));
+        slot.fill(BatchedOutcome {
+            result: Err(CoreError::NoReplicas),
+            admission_ms: 0.5,
+            batch_ms: 1.0,
+            store_ms: 0.75,
+        });
         match slot.wait(Duration::from_millis(10)) {
-            Some(Err(CoreError::NoReplicas)) => {}
+            Some(BatchedOutcome {
+                result: Err(CoreError::NoReplicas),
+                ..
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }

@@ -13,9 +13,11 @@ use std::time::Duration;
 
 use blot_core::obs::DriftBand;
 use blot_geo::Cuboid;
+use blot_obs::SpanContext;
 
 use crate::wire::{
-    self, ErrorCode, Frame, FrameError, RemoteQueryResult, Request, Response, WireError,
+    self, ErrorCode, Frame, FrameError, RemoteQueryResult, Request, Response, TraceFilter,
+    WireError, WireQuery,
 };
 
 /// Client-side tunables.
@@ -235,7 +237,24 @@ impl Client {
         &mut self,
         range: &Cuboid,
     ) -> Result<Result<RemoteQueryResult, WireError>, ClientError> {
-        match self.exchange(&Request::RangeQuery(*range))? {
+        self.query_once_traced(range, None)
+    }
+
+    /// Like [`Client::query_once`], but ships `ctx` as the query's wire
+    /// trace context so the server parents its span tree under the
+    /// client's trace.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors only; server-side errors land in the
+    /// inner `Result`.
+    pub fn query_once_traced(
+        &mut self,
+        range: &Cuboid,
+        ctx: Option<SpanContext>,
+    ) -> Result<Result<RemoteQueryResult, WireError>, ClientError> {
+        let wire_query = WireQuery { range: *range, ctx };
+        match self.exchange(&Request::RangeQuery(wire_query))? {
             Response::QueryOk(r) => Ok(Ok(*r)),
             Response::Error(e) => Ok(Err(e)),
             _ => Err(ClientError::Protocol {
@@ -254,10 +273,24 @@ impl Client {
     /// [`ClientError::Server`] for non-overload server errors;
     /// transport/protocol errors as usual.
     pub fn query(&mut self, range: &Cuboid) -> Result<RemoteQueryResult, ClientError> {
+        self.query_traced(range, None)
+    }
+
+    /// Like [`Client::query`], but propagates `ctx` over the wire so
+    /// the server joins the client's trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::query`].
+    pub fn query_traced(
+        &mut self,
+        range: &Cuboid,
+        ctx: Option<SpanContext>,
+    ) -> Result<RemoteQueryResult, ClientError> {
         let attempts = self.config.max_retries.saturating_add(1);
         let mut backoff = Duration::from_millis(10);
         for attempt in 0..attempts {
-            match self.query_once(range)? {
+            match self.query_once_traced(range, ctx)? {
                 Ok(result) => return Ok(result),
                 Err(e) => match disposition(e.code) {
                     Disposition::RetryAfterHint => {
@@ -292,6 +325,24 @@ impl Client {
             Response::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::Protocol {
                 expected: "StatsOk",
+            }),
+        }
+    }
+
+    /// Fetches the server's flight-recorder snapshot as raw span JSON,
+    /// keeping only traces with a span of at least `slow_ms` (0 keeps
+    /// all) and at most the `last` most recent traces (0 keeps all).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors; [`ClientError::Server`] for error
+    /// replies.
+    pub fn trace(&mut self, slow_ms: f64, last: u32) -> Result<String, ClientError> {
+        match self.exchange(&Request::Trace(TraceFilter { slow_ms, last }))? {
+            Response::TraceOk(json) => Ok(json),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol {
+                expected: "TraceOk",
             }),
         }
     }

@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use blot_core::prelude::*;
-use blot_obs::ServerMetrics;
+use blot_obs::{names, ServerMetrics};
 use blot_storage::sync::Mutex;
 
 use crate::batch::{AdmissionQueue, SubmitError};
@@ -360,49 +360,89 @@ fn handle_frame<S: QueryService + ?Sized>(frame: &Frame, ctx: &ConnContext<S>) -
             Response::StatsOk(stats::stats_payload(ctx.service.as_ref(), band)),
             true,
         ),
-        Request::RangeQuery(range) => match ctx.queue.submit(range) {
-            Err(SubmitError::Overloaded { retry_after_ms }) => (
-                error_response(
-                    ErrorCode::Overloaded,
-                    retry_after_ms,
-                    "admission queue full".to_owned(),
-                ),
-                true,
-            ),
-            Err(SubmitError::ShuttingDown) => (
-                error_response(
-                    ErrorCode::ShuttingDown,
-                    0,
-                    "server shutting down".to_owned(),
-                ),
-                false,
-            ),
-            Ok(slot) => match slot.wait(ctx.config.request_timeout) {
-                Some(Ok(result)) => (
-                    Response::QueryOk(Box::new(RemoteQueryResult {
-                        replica: result.replica,
-                        sim_ms: result.sim_ms,
-                        makespan_ms: result.makespan_ms,
-                        partitions_scanned: u32::try_from(result.partitions_scanned)
-                            .unwrap_or(u32::MAX),
-                        failed_over: result.failed_over,
-                        records: result.records,
-                    })),
-                    true,
-                ),
-                Some(Err(e)) => (
-                    error_response(ErrorCode::from_core(&e), 0, e.to_string()),
-                    true,
-                ),
-                None => (
+        Request::RangeQuery(q) => {
+            // Every remote query runs under a `server.request` root:
+            // adopted from the client's wire context when present, a
+            // fresh trace otherwise, so `blot trace --remote` sees the
+            // full tree either way. (With `blot-obs/off` the spans are
+            // ZSTs, `context()` is `None`, and nothing is recorded.)
+            let recorder = ctx.service.recorder();
+            let root = match q.ctx {
+                Some(remote) => recorder.span_under(remote, names::SERVER_REQUEST),
+                None => recorder.span(names::SERVER_REQUEST),
+            };
+            let trace_ctx = root.context();
+            // The admission span is finished by the batcher at drain
+            // time, so its duration is exactly the queue wait.
+            let admission = trace_ctx
+                .is_some()
+                .then(|| root.child(names::SERVER_ADMISSION));
+            let reply = match ctx.queue.submit(q.range, trace_ctx, admission) {
+                Err(SubmitError::Overloaded { retry_after_ms }) => (
                     error_response(
-                        ErrorCode::Internal,
-                        0,
-                        "request timed out in the batcher".to_owned(),
+                        ErrorCode::Overloaded,
+                        retry_after_ms,
+                        "admission queue full".to_owned(),
                     ),
                     true,
                 ),
-            },
-        },
+                Err(SubmitError::ShuttingDown) => (
+                    error_response(
+                        ErrorCode::ShuttingDown,
+                        0,
+                        "server shutting down".to_owned(),
+                    ),
+                    false,
+                ),
+                Ok(slot) => match slot.wait(ctx.config.request_timeout) {
+                    Some(outcome) => match outcome.result {
+                        Ok(result) => (
+                            Response::QueryOk(Box::new(RemoteQueryResult {
+                                replica: result.replica,
+                                sim_ms: result.sim_ms,
+                                makespan_ms: result.makespan_ms,
+                                partitions_scanned: u32::try_from(result.partitions_scanned)
+                                    .unwrap_or(u32::MAX),
+                                units_skipped: u64::try_from(result.units_skipped)
+                                    .unwrap_or(u64::MAX),
+                                bytes_skipped: result.bytes_skipped,
+                                admission_ms: outcome.admission_ms,
+                                batch_ms: outcome.batch_ms,
+                                store_ms: outcome.store_ms,
+                                failed_over: result.failed_over,
+                                records: result.records,
+                            })),
+                            true,
+                        ),
+                        Err(e) => (
+                            error_response(ErrorCode::from_core(&e), 0, e.to_string()),
+                            true,
+                        ),
+                    },
+                    None => (
+                        error_response(
+                            ErrorCode::Internal,
+                            0,
+                            "request timed out in the batcher".to_owned(),
+                        ),
+                        true,
+                    ),
+                },
+            };
+            root.finish();
+            reply
+        }
+        Request::Trace(filter) => {
+            let records = ctx.service.recorder().snapshot();
+            let records = blot_obs::trace::filter_slow(&records, filter.slow_ms);
+            let records = blot_obs::trace::filter_last(
+                &records,
+                usize::try_from(filter.last).unwrap_or(usize::MAX),
+            );
+            (
+                Response::TraceOk(blot_obs::trace::records_to_json(&records)),
+                true,
+            )
+        }
     }
 }

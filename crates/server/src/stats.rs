@@ -77,16 +77,30 @@ pub fn stats_payload<S: QueryService + ?Sized>(service: &S, band: Option<DriftBa
     let snapshot = service.metrics_registry().snapshot();
     let drift = service.drift_report(band.unwrap_or_default());
     let metrics = Json::parse(&snapshot.to_json()).unwrap_or_else(|_| Json::Obj(Vec::new()));
+    // Zone-map pruning effectiveness, surfaced explicitly so
+    // `blot stats --remote` shows it without digging in the raw
+    // counter dump.
+    let units_skipped = snapshot.counter("scan.units_skipped").unwrap_or(0);
+    let bytes_skipped = snapshot.counter("scan.bytes_skipped").unwrap_or(0);
     let mut text = String::new();
     if !blot_obs::enabled() {
         text.push_str("metrics are compiled out (blot-obs `off` feature)\n");
     }
     text.push_str(snapshot.render_text().trim_end());
     text.push_str("\n\n");
+    text.push_str(&format!(
+        "zone-map pruning: {units_skipped} units skipped, {bytes_skipped} bytes never fetched\n\n"
+    ));
     text.push_str(&drift_to_text(&drift));
+    #[allow(clippy::cast_precision_loss)]
+    let pruning = Json::obj([
+        ("units_skipped", Json::Num(units_skipped as f64)),
+        ("bytes_skipped", Json::Num(bytes_skipped as f64)),
+    ]);
     let doc = Json::obj([
         ("enabled", Json::Bool(blot_obs::enabled())),
         ("metrics", metrics),
+        ("pruning", pruning),
         ("drift", drift_to_json(&drift)),
         ("text", Json::Str(text)),
     ]);

@@ -35,6 +35,7 @@ use blot_core::obs::DriftBand;
 use blot_core::CoreError;
 use blot_geo::{Cuboid, Point};
 use blot_model::RecordBatch;
+use blot_obs::{SpanContext, SpanId, TraceId};
 
 /// Frame magic: every frame starts with these four bytes.
 pub const MAGIC: [u8; 4] = *b"BLOT";
@@ -55,12 +56,16 @@ pub mod kind {
     pub const RANGE_QUERY: u8 = 0x02;
     /// Metrics + drift snapshot.
     pub const STATS: u8 = 0x03;
+    /// Flight-recorder trace export.
+    pub const TRACE: u8 = 0x04;
     /// Reply to `PING`.
     pub const PONG: u8 = 0x81;
     /// Successful query reply.
     pub const QUERY_OK: u8 = 0x82;
     /// Successful stats reply.
     pub const STATS_OK: u8 = 0x83;
+    /// Successful trace-export reply.
+    pub const TRACE_OK: u8 = 0x84;
     /// Structured error reply.
     pub const ERROR: u8 = 0xFF;
 }
@@ -226,7 +231,9 @@ impl fmt::Display for WireError {
 }
 
 /// A query result as carried on the wire (the subset of
-/// [`blot_core::store::QueryResult`] a remote client can see).
+/// [`blot_core::store::QueryResult`] a remote client can see), plus
+/// the server-side stage breakdown of where the request's wall time
+/// went.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemoteQueryResult {
     /// The matching records, in the replica's scan order.
@@ -239,8 +246,51 @@ pub struct RemoteQueryResult {
     pub makespan_ms: f64,
     /// Partitions scanned.
     pub partitions_scanned: u32,
+    /// Involved units skipped via their zone-map footer (counted
+    /// within `partitions_scanned`).
+    pub units_skipped: u64,
+    /// Payload bytes the skipped units never transferred.
+    pub bytes_skipped: u64,
+    /// Wall ms the query waited in the admission queue.
+    pub admission_ms: f64,
+    /// Wall ms from batch drain to this query's result being posted
+    /// (batch residency).
+    pub batch_ms: f64,
+    /// Wall ms the store spent executing the whole pooled batch round.
+    pub store_ms: f64,
     /// Replicas that failed before one answered.
     pub failed_over: Vec<u32>,
+}
+
+/// The payload of a [`Request::RangeQuery`]: the range plus an
+/// optional client-supplied trace context. When present, the server
+/// executes the query under the client's trace so its flight-recorder
+/// spans parent onto the client's span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireQuery {
+    /// The query range.
+    pub range: Cuboid,
+    /// Client-supplied trace context, if the client is tracing.
+    pub ctx: Option<SpanContext>,
+}
+
+impl WireQuery {
+    /// An untraced wire query.
+    #[must_use]
+    pub fn new(range: Cuboid) -> Self {
+        Self { range, ctx: None }
+    }
+}
+
+/// The payload of a [`Request::Trace`]: which flight-recorder spans to
+/// export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceFilter {
+    /// Keep only traces in which some span lasted at least this many
+    /// wall milliseconds; `0` keeps everything.
+    pub slow_ms: f64,
+    /// Keep only the most recent `last` traces; `0` keeps everything.
+    pub last: u32,
 }
 
 /// A client→server message.
@@ -248,11 +298,13 @@ pub struct RemoteQueryResult {
 pub enum Request {
     /// Liveness probe.
     Ping,
-    /// Execute a range query.
-    RangeQuery(Cuboid),
+    /// Execute a range query (optionally under a client trace context).
+    RangeQuery(WireQuery),
     /// Snapshot metrics and drift; `None` uses the server's default
     /// band.
     Stats(Option<DriftBand>),
+    /// Export the server's flight recorder.
+    Trace(TraceFilter),
 }
 
 /// A server→client message.
@@ -264,6 +316,8 @@ pub enum Response {
     QueryOk(Box<RemoteQueryResult>),
     /// Stats snapshot (a JSON document).
     StatsOk(String),
+    /// Flight-recorder export (a JSON array of span records).
+    TraceOk(String),
     /// Structured failure; the connection stays usable unless the code
     /// says otherwise.
     Error(WireError),
@@ -313,6 +367,15 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(b.try_into().unwrap_or([0; 8])))
     }
 
+    fn u128(&mut self) -> Result<u128, FrameError> {
+        let b = self.take(16)?;
+        Ok(u128::from_le_bytes(b.try_into().unwrap_or([0; 16])))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
     fn f64(&mut self) -> Result<f64, FrameError> {
         Ok(f64::from_bits(self.u64()?))
     }
@@ -340,6 +403,30 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads the optional trailing trace context of a `RangeQuery`: absent
+/// (no bytes left) or exactly 24 bytes (`u128` trace id + `u64` span
+/// id, both nonzero-trace).
+fn read_trace_ctx(c: &mut Cursor<'_>) -> Result<Option<SpanContext>, FrameError> {
+    if c.remaining() == 0 {
+        return Ok(None);
+    }
+    let trace = c.u128()?;
+    let span = c.u64()?;
+    if trace == 0 {
+        return Err(FrameError::BadPayload {
+            what: "zero trace id",
+        });
+    }
+    Ok(Some(SpanContext {
+        trace: TraceId(trace),
+        span: SpanId(span),
+    }))
 }
 
 fn read_cuboid(c: &mut Cursor<'_>) -> Result<Cuboid, FrameError> {
@@ -464,8 +551,12 @@ impl Request {
         match self {
             Self::Ping => (kind::PING, Vec::new()),
             Self::RangeQuery(q) => {
-                let mut out = Vec::with_capacity(48);
-                put_cuboid(&mut out, q);
+                let mut out = Vec::with_capacity(72);
+                put_cuboid(&mut out, &q.range);
+                if let Some(ctx) = q.ctx {
+                    put_u128(&mut out, ctx.trace.0);
+                    put_u64(&mut out, ctx.span.0);
+                }
                 (kind::RANGE_QUERY, out)
             }
             Self::Stats(None) => (kind::STATS, Vec::new()),
@@ -475,6 +566,12 @@ impl Request {
                 put_f64(&mut out, band.hi);
                 put_u64(&mut out, band.min_samples);
                 (kind::STATS, out)
+            }
+            Self::Trace(filter) => {
+                let mut out = Vec::with_capacity(12);
+                put_f64(&mut out, filter.slow_ms);
+                put_u32(&mut out, filter.last);
+                (kind::TRACE, out)
             }
         }
     }
@@ -491,7 +588,11 @@ impl Request {
         let mut c = Cursor::new(&frame.payload);
         let req = match frame.kind {
             kind::PING => Self::Ping,
-            kind::RANGE_QUERY => Self::RangeQuery(read_cuboid(&mut c)?),
+            kind::RANGE_QUERY => {
+                let range = read_cuboid(&mut c)?;
+                let ctx = read_trace_ctx(&mut c)?;
+                Self::RangeQuery(WireQuery { range, ctx })
+            }
             kind::STATS => {
                 if frame.payload.is_empty() {
                     Self::Stats(None)
@@ -509,6 +610,16 @@ impl Request {
                         min_samples,
                     }))
                 }
+            }
+            kind::TRACE => {
+                let slow_ms = c.f64()?;
+                let last = c.u32()?;
+                if !slow_ms.is_finite() || slow_ms < 0.0 {
+                    return Err(FrameError::BadPayload {
+                        what: "trace slow_ms",
+                    });
+                }
+                Self::Trace(TraceFilter { slow_ms, last })
             }
             got => return Err(FrameError::UnknownKind { got }),
         };
@@ -534,6 +645,11 @@ impl Response {
                 );
                 put_f64(&mut out, r.sim_ms);
                 put_f64(&mut out, r.makespan_ms);
+                put_u64(&mut out, r.units_skipped);
+                put_u64(&mut out, r.bytes_skipped);
+                put_f64(&mut out, r.admission_ms);
+                put_f64(&mut out, r.batch_ms);
+                put_f64(&mut out, r.store_ms);
                 for &id in &r.failed_over {
                     put_u32(&mut out, id);
                 }
@@ -542,6 +658,7 @@ impl Response {
                 (kind::QUERY_OK, out)
             }
             Self::StatsOk(json) => (kind::STATS_OK, json.clone().into_bytes()),
+            Self::TraceOk(json) => (kind::TRACE_OK, json.clone().into_bytes()),
             Self::Error(e) => {
                 let msg = e.message.as_bytes();
                 let msg_len = u16::try_from(msg.len()).unwrap_or(u16::MAX);
@@ -570,6 +687,11 @@ impl Response {
                 let n_failed = c.u32()?;
                 let sim_ms = c.f64()?;
                 let makespan_ms = c.f64()?;
+                let units_skipped = c.u64()?;
+                let bytes_skipped = c.u64()?;
+                let admission_ms = c.f64()?;
+                let batch_ms = c.f64()?;
+                let store_ms = c.f64()?;
                 // `n_failed` is untrusted: bound it by the bytes that
                 // actually remain before allocating.
                 let remaining = frame.payload.len().saturating_sub(c.pos) / 4;
@@ -594,6 +716,11 @@ impl Response {
                     sim_ms,
                     makespan_ms,
                     partitions_scanned,
+                    units_skipped,
+                    bytes_skipped,
+                    admission_ms,
+                    batch_ms,
+                    store_ms,
                     failed_over,
                 }))
             }
@@ -607,6 +734,16 @@ impl Response {
                 // does not flag the payload as trailing.
                 let _ = c.take(frame.payload.len());
                 Self::StatsOk(json)
+            }
+            kind::TRACE_OK => {
+                let json = String::from_utf8(frame.payload.clone()).map_err(|_| {
+                    FrameError::BadPayload {
+                        what: "trace JSON is not UTF-8",
+                    }
+                })?;
+                // Same trailing-bytes bookkeeping as `StatsOk`.
+                let _ = c.take(frame.payload.len());
+                Self::TraceOk(json)
             }
             kind::ERROR => {
                 let code = ErrorCode::from_u16(c.u16()?);
@@ -703,15 +840,61 @@ mod tests {
         let q = Cuboid::new(Point::new(-1.0, 2.0, 0.0), Point::new(3.5, 4.0, 600.0));
         for req in [
             Request::Ping,
-            Request::RangeQuery(q),
+            Request::RangeQuery(WireQuery::new(q)),
+            Request::RangeQuery(WireQuery {
+                range: q,
+                ctx: Some(SpanContext::fresh()),
+            }),
             Request::Stats(None),
             Request::Stats(Some(DriftBand {
                 lo: 0.25,
                 hi: 4.0,
                 min_samples: 3,
             })),
+            Request::Trace(TraceFilter {
+                slow_ms: 5.0,
+                last: 3,
+            }),
+            Request::Trace(TraceFilter {
+                slow_ms: 0.0,
+                last: 0,
+            }),
         ] {
             assert_eq!(roundtrip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn zero_trace_id_in_query_context_is_rejected() {
+        let q = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 60.0));
+        let mut payload = Vec::new();
+        put_cuboid(&mut payload, &q);
+        put_u128(&mut payload, 0); // trace id zero is reserved for "untraced"
+        put_u64(&mut payload, 7);
+        let frame = Frame {
+            kind: kind::RANGE_QUERY,
+            payload,
+        };
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FrameError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_filter_rejects_non_finite_and_negative_thresholds() {
+        for slow_ms in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut payload = Vec::new();
+            put_f64(&mut payload, slow_ms);
+            put_u32(&mut payload, 5);
+            let frame = Frame {
+                kind: kind::TRACE,
+                payload,
+            };
+            assert!(matches!(
+                Request::decode(&frame),
+                Err(FrameError::BadPayload { .. })
+            ));
         }
     }
 
@@ -723,6 +906,11 @@ mod tests {
             sim_ms: 123.5,
             makespan_ms: 60.25,
             partitions_scanned: 7,
+            units_skipped: 11,
+            bytes_skipped: 4096,
+            admission_ms: 0.75,
+            batch_ms: 1.5,
+            store_ms: 42.125,
             failed_over: vec![0, 1],
         };
         let resp = Response::QueryOk(Box::new(result.clone()));
@@ -741,6 +929,8 @@ mod tests {
         assert_eq!(roundtrip_response(&err), err);
         let stats = Response::StatsOk("{\"enabled\":true}".to_owned());
         assert_eq!(roundtrip_response(&stats), stats);
+        let trace = Response::TraceOk("[{\"name\":\"query\"}]".to_owned());
+        assert_eq!(roundtrip_response(&trace), trace);
         assert_eq!(roundtrip_response(&Response::Pong), Response::Pong);
     }
 

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blot_core::prelude::*;
+use blot_obs::{names, SpanContext};
 use blot_server::client::{Client, ClientConfig};
 use blot_server::server::{Server, ServerConfig};
 use blot_server::wire::{self, ErrorCode, Response};
@@ -269,6 +270,140 @@ fn stats_remote_reply_matches_local_snapshot_shape() {
     assert!(doc.get("drift").is_some());
     let text = doc.get("text").and_then(blot_json::Json::as_str).unwrap();
     assert!(text.contains("cost-model drift"));
+    let _ = server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn client_trace_context_round_trips_into_the_server_flight_recorder() {
+    if !blot_obs::enabled() {
+        return; // `off` build: spans are ZSTs, nothing to assert.
+    }
+    let (store, _) = build_store();
+    let store = Arc::new(store);
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let q = probe_queries(&store.universe(), 1)[0];
+
+    // The client opens a trace and ships its context with the query.
+    let ctx = SpanContext::fresh();
+    let remote = client.query_traced(&q, Some(ctx)).unwrap();
+    assert!(!remote.records.is_empty());
+    assert!(remote.admission_ms >= 0.0);
+    assert!(remote.batch_ms >= 0.0);
+    assert!(
+        remote.store_ms > 0.0,
+        "a served query must report store time"
+    );
+
+    // Root replies are sent only after `server.request` is finished, so
+    // the whole tree is in the recorder by now. Every stage of the
+    // request must appear under the client's trace id, parented inside
+    // the trace (the wire context is the only out-of-snapshot parent).
+    let records = store.recorder().snapshot();
+    let of_trace: Vec<_> = records.iter().filter(|r| r.trace == ctx.trace).collect();
+    for name in [
+        names::SERVER_REQUEST,
+        names::SERVER_ADMISSION,
+        names::SERVER_BATCH,
+        names::QUERY,
+        names::ROUTE,
+        names::MERGE,
+        names::SCAN_UNIT,
+        names::UNIT_PRUNE,
+        names::UNIT_DECODE,
+    ] {
+        assert!(
+            of_trace.iter().any(|r| r.name == name),
+            "span {name} missing from the client's trace"
+        );
+    }
+    let request = of_trace
+        .iter()
+        .find(|r| r.name == names::SERVER_REQUEST)
+        .unwrap();
+    assert_eq!(request.parent, Some(ctx.span));
+    let spans: Vec<_> = of_trace.iter().map(|r| r.span).collect();
+    for rec in &of_trace {
+        let parent = rec.parent.expect("every server span has a parent");
+        assert!(
+            parent == ctx.span || spans.contains(&parent),
+            "span {} parented outside its own trace",
+            rec.name
+        );
+    }
+
+    // The wire `Trace` request exports the same tree as JSON.
+    let json = client.trace(0.0, 0).unwrap();
+    let doc = blot_json::Json::parse(&json).unwrap();
+    assert!(matches!(&doc, blot_json::Json::Arr(items) if !items.is_empty()));
+    assert!(json.contains(&ctx.trace.to_string()));
+    // A slow-threshold far above any span filters everything out.
+    let none = client.trace(1e12, 0).unwrap();
+    assert_eq!(none, "[]");
+
+    let _ = server.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn interleaved_traced_queries_never_cross_contaminate_span_trees() {
+    if !blot_obs::enabled() {
+        return;
+    }
+    let (store, _) = build_store();
+    let store = Arc::new(store);
+    let config = ServerConfig {
+        // A linger window wide enough that concurrent queries coalesce
+        // into shared batch rounds — the cross-contamination hazard.
+        batch_linger: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&store), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+    let universe = store.universe();
+
+    let contexts: Vec<SpanContext> = (0..4).map(|_| SpanContext::fresh()).collect();
+    let workers: Vec<_> = contexts
+        .iter()
+        .enumerate()
+        .map(|(i, &ctx)| {
+            let addr = addr.clone();
+            let q = probe_queries(&universe, 4)[i];
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client.query_traced(&q, Some(ctx)).unwrap()
+            })
+        })
+        .collect();
+    for w in workers {
+        assert!(!w.join().unwrap().records.is_empty());
+    }
+
+    let records = store.recorder().snapshot();
+    for ctx in &contexts {
+        let of_trace: Vec<_> = records.iter().filter(|r| r.trace == ctx.trace).collect();
+        assert!(
+            of_trace.iter().any(|r| r.name == names::QUERY),
+            "each trace keeps its own store.query root"
+        );
+        assert!(
+            of_trace.iter().any(|r| r.name == names::SCAN_UNIT),
+            "each trace keeps its own scan units"
+        );
+        // No span of this trace may be parented under another client's
+        // trace: parents resolve within the trace or to its wire root.
+        let spans: Vec<_> = of_trace.iter().map(|r| r.span).collect();
+        for rec in &of_trace {
+            if let Some(parent) = rec.parent {
+                assert!(
+                    parent == ctx.span || spans.contains(&parent),
+                    "span {} of one trace parented under another",
+                    rec.name
+                );
+            }
+        }
+    }
+
     let _ = server.shutdown(Duration::from_secs(10));
 }
 

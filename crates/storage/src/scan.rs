@@ -7,6 +7,7 @@ use std::time::Instant;
 use blot_codec::{DecodeScratch, EncodingScheme, ZoneMap, ZONE_MAP_FOOTER_LEN};
 use blot_geo::Cuboid;
 use blot_model::RecordBatch;
+use blot_obs::{names, SpanHandle};
 
 use crate::{Backend, EnvProfile, StorageError, UnitKey};
 
@@ -86,7 +87,27 @@ pub fn run_scan(
     env: &EnvProfile,
     task: &ScanTask,
 ) -> Result<ScanReport, StorageError> {
+    run_scan_traced(backend, env, task, &SpanHandle::detached())
+}
+
+/// [`run_scan`] with an active trace context: the zone-map footer
+/// consult and the decode+filter pass each record a child span
+/// (`unit.prune`, `unit.decode`) under `trace`, so a query's flight
+/// recording attributes per-unit time to its stages. A detached handle
+/// (or an `off` build) records nothing and skips span bookkeeping.
+///
+/// # Errors
+///
+/// Same as [`run_scan`].
+pub fn run_scan_traced(
+    backend: &dyn Backend,
+    env: &EnvProfile,
+    task: &ScanTask,
+    trace: &SpanHandle,
+) -> Result<ScanReport, StorageError> {
+    let traced = trace.context().is_some();
     if let Some(range) = &task.range {
+        let mut prune_span = traced.then(|| trace.child(names::UNIT_PRUNE));
         let (tail, total) = backend.get_tail(task.key, ZONE_MAP_FOOTER_LEN)?;
         let started = Instant::now();
         let (_, zone_map) =
@@ -98,6 +119,11 @@ pub fn run_scan(
         if zone_map.is_some_and(|zm| !zm.overlaps(range)) {
             let cpu_ms = started.elapsed().as_secs_f64() * 1e3;
             let footer_bytes = tail.len() as u64;
+            let bytes_skipped = total.saturating_sub(footer_bytes);
+            if let Some(span) = prune_span.as_mut() {
+                span.note(names::PRUNED, 1);
+                span.note(names::BYTES_SKIPPED, bytes_skipped);
+            }
             // No ExtraTime: the footer consult is driver-side metadata
             // work — a pruned unit never launches a map task, so the
             // simulated clock charges only the ranged footer read.
@@ -109,13 +135,17 @@ pub fn run_scan(
                 records_scanned: 0,
                 records_matched: 0,
                 pruned: true,
-                bytes_skipped: total.saturating_sub(footer_bytes),
+                bytes_skipped,
                 footer_mismatch: false,
                 output: RecordBatch::new(),
             });
         }
+        if let Some(span) = prune_span.as_mut() {
+            span.note(names::PRUNED, 0);
+        }
     }
     let bytes = backend.get(task.key)?;
+    let mut decode_span = traced.then(|| trace.child(names::UNIT_DECODE));
     let started = Instant::now();
     // Fuse decode and filter when a range is given: selective queries
     // never materialise the non-matching records.
@@ -159,6 +189,14 @@ pub fn run_scan(
             (batch, n, mismatch)
         }
     };
+    if let Some(span) = decode_span.as_mut() {
+        span.note(names::BYTES, bytes.len() as u64);
+        span.note(
+            names::RECORDS,
+            u64::try_from(output.len()).unwrap_or(u64::MAX),
+        );
+    }
+    drop(decode_span);
     let cpu_ms = started.elapsed().as_secs_f64() * 1e3;
     let extra_ms = env.extra_ms();
     let sim_ms = extra_ms + env.scan_ms(bytes.len() as u64, cpu_ms);

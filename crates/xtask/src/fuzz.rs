@@ -24,6 +24,10 @@ use blot_codec::{
 };
 use blot_geo::{Cuboid, Point};
 use blot_model::{Record, RecordBatch};
+use blot_obs::{SpanContext, SpanId, TraceId};
+use blot_server::wire::{
+    encode_frame, RemoteQueryResult, Request, Response, TraceFilter, WireQuery,
+};
 use std::time::{Duration, Instant};
 
 /// One fuzz target: a named decoder entry point that must never panic.
@@ -242,6 +246,47 @@ fn build_seeds() -> Vec<Vec<u8>> {
     let mut footer = Vec::new();
     ZoneMap::from_batch(&batch).append_to(&mut footer);
     seeds.push(footer);
+    // Valid wire frames for the `server_frame` target, covering the
+    // trace-context grammar: a query carrying the optional 24-byte
+    // trace tail, a trace-export request, the extended `QueryOk` with
+    // its per-stage breakdown, and a `TraceOk` JSON reply. Mutations
+    // from these explore the context/no-context payload split and the
+    // zero-trace-id rejection.
+    let range = Cuboid::new(Point::new(120.0, 30.0, 0.0), Point::new(122.0, 32.0, 1.0e8));
+    let ctx = SpanContext {
+        trace: TraceId(0x5EED_0000_0000_0000_0000_0000_0000_0001),
+        span: SpanId(0x5EED_0002),
+    };
+    let frames = [
+        Request::RangeQuery(WireQuery {
+            range,
+            ctx: Some(ctx),
+        })
+        .encode(),
+        Request::Trace(TraceFilter {
+            slow_ms: 2.5,
+            last: 4,
+        })
+        .encode(),
+        Response::QueryOk(Box::new(RemoteQueryResult {
+            records: seed_batch(8),
+            replica: 1,
+            sim_ms: 3.5,
+            makespan_ms: 1.25,
+            partitions_scanned: 6,
+            units_skipped: 2,
+            bytes_skipped: 4096,
+            admission_ms: 0.5,
+            batch_ms: 0.75,
+            store_ms: 2.0,
+            failed_over: vec![0],
+        }))
+        .encode(),
+        Response::TraceOk("[{\"name\":\"store.query\"}]".to_string()).encode(),
+    ];
+    for (kind, payload) in frames {
+        seeds.push(encode_frame(kind, &payload));
+    }
     seeds
 }
 

@@ -220,11 +220,12 @@ fn metrics_overhead() -> ExitCode {
         Ok(probe) => {
             println!(
                 "metrics overhead: instrumented {:.2} ms vs compiled-out {:.2} ms \
-                 (ratio {:.3}, budget {:.2})",
+                 (ratio {:.3}, budget {:.2}, {} spans recorded)",
                 probe.enabled_min_ms,
                 probe.disabled_min_ms,
                 probe.ratio,
-                xtask::overhead::MAX_RATIO
+                xtask::overhead::MAX_RATIO,
+                probe.enabled_spans
             );
             if probe.within_budget() {
                 ExitCode::SUCCESS

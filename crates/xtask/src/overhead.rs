@@ -7,6 +7,11 @@
 //! minimum is the right statistic here: it is the run least disturbed
 //! by scheduler noise, so the ratio isolates what the instrumentation
 //! itself costs on the query hot path.
+//!
+//! The probe drives `query_traced`, so the instrumented run pays the
+//! full tracing path (spans + flight-recorder writes). Besides the
+//! ratio budget, the guard checks the probe's `spans` count: positive
+//! with tracing compiled in, exactly zero in the `off` build.
 
 use std::path::Path;
 use std::process::Command;
@@ -23,6 +28,8 @@ pub struct Probe {
     pub disabled_min_ms: f64,
     /// `enabled_min_ms / disabled_min_ms`.
     pub ratio: f64,
+    /// Spans the instrumented probe recorded in its flight recorder.
+    pub enabled_spans: u64,
 }
 
 impl Probe {
@@ -41,21 +48,32 @@ impl Probe {
 /// Returns a message when either probe build fails to run, exits
 /// non-zero, or prints output the guard cannot parse.
 pub fn check(root: &Path) -> Result<Probe, String> {
-    let enabled_min_ms = run_probe(root, false)?;
-    let disabled_min_ms = run_probe(root, true)?;
+    let (enabled_min_ms, enabled_spans) = run_probe(root, false)?;
+    let (disabled_min_ms, disabled_spans) = run_probe(root, true)?;
     if disabled_min_ms <= 0.0 {
         return Err(format!(
             "compiled-out probe reported a non-positive round time ({disabled_min_ms} ms)"
+        ));
+    }
+    if enabled_spans == 0 {
+        return Err(
+            "instrumented probe recorded no spans — tracing is not reaching the hot path".into(),
+        );
+    }
+    if disabled_spans != 0 {
+        return Err(format!(
+            "obs-off probe recorded {disabled_spans} spans — the off feature is not zero-cost"
         ));
     }
     Ok(Probe {
         enabled_min_ms,
         disabled_min_ms,
         ratio: enabled_min_ms / disabled_min_ms,
+        enabled_spans,
     })
 }
 
-fn run_probe(root: &Path, obs_off: bool) -> Result<f64, String> {
+fn run_probe(root: &Path, obs_off: bool) -> Result<(f64, u64), String> {
     let mut cmd = Command::new("cargo");
     cmd.current_dir(root).args([
         "run",
@@ -85,8 +103,12 @@ fn run_probe(root: &Path, obs_off: bool) -> Result<f64, String> {
         .rev()
         .find(|l| l.contains("\"min_ms\""))
         .ok_or_else(|| format!("overhead probe printed no min_ms line:\n{stdout}"))?;
-    field_f64(line, "min_ms")
-        .ok_or_else(|| format!("cannot parse min_ms from probe output: {line}"))
+    let min_ms = field_f64(line, "min_ms")
+        .ok_or_else(|| format!("cannot parse min_ms from probe output: {line}"))?;
+    let spans = field_f64(line, "spans")
+        .ok_or_else(|| format!("cannot parse spans from probe output: {line}"))?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok((min_ms, spans.max(0.0) as u64))
 }
 
 /// Extracts a numeric field from one line of flat JSON. The probe's
@@ -106,9 +128,11 @@ mod tests {
 
     #[test]
     fn field_extraction_handles_probe_output() {
-        let line = r#"{"enabled":true,"rounds":12,"min_ms":98.078,"median_ms":100.66}"#;
+        let line =
+            r#"{"enabled":true,"rounds":12,"min_ms":98.078,"median_ms":100.66,"spans":3360}"#;
         assert_eq!(field_f64(line, "min_ms"), Some(98.078));
         assert_eq!(field_f64(line, "median_ms"), Some(100.66));
+        assert_eq!(field_f64(line, "spans"), Some(3360.0));
         assert_eq!(field_f64(line, "max_ms"), None);
         assert_eq!(field_f64(line, "enabled"), None);
     }
@@ -119,12 +143,14 @@ mod tests {
             enabled_min_ms: 103.0,
             disabled_min_ms: 100.0,
             ratio: 1.03,
+            enabled_spans: 960,
         };
         assert!(ok.within_budget());
         let slow = Probe {
             enabled_min_ms: 110.0,
             disabled_min_ms: 100.0,
             ratio: 1.10,
+            enabled_spans: 960,
         };
         assert!(!slow.within_budget());
     }

@@ -226,7 +226,28 @@ pub fn check_wire_registry(
         );
     }
 
-    // 2. `ErrorCode`: every variant needs a `from_u16` arm (`as_u16`
+    // 2. Wire payload structs: every public field must appear in the
+    //    test corpus. A field added to the wire format (a new counter
+    //    in the query reply, a new filter knob) without any round-trip
+    //    mention ships untested bytes; this closes the gap the variant
+    //    check cannot see.
+    for (name, line, fields) in pub_structs(wire_src) {
+        for field in fields {
+            if !corpus.contains(&field) {
+                out.push(Violation {
+                    rule: Rule::WireRegistry,
+                    file: wire_file.to_path_buf(),
+                    line,
+                    message: format!(
+                        "wire payload field `{name}.{field}` appears in no test \
+                         (e2e or `#[cfg(test)]` module) — cover it or delete it"
+                    ),
+                });
+            }
+        }
+    }
+
+    // 3. `ErrorCode`: every variant needs a `from_u16` arm (`as_u16`
     //    is `self as u16` and has no arms to drop), a client-side
     //    disposition, and a test-corpus mention.
     match wire_ast.enum_named("ErrorCode").cloned() {
@@ -308,4 +329,42 @@ fn check_client_and_corpus(
 /// The `#[cfg(test)]` tail of a source file (empty when there is none).
 fn test_tail(src: &str) -> &str {
     src.find("#[cfg(test)]").map_or("", |i| &src[i..])
+}
+
+/// Every `pub struct Name { … }` with named fields in `src`, as
+/// `(name, declaration line, public field names)`.
+///
+/// Line-based on rustfmt layout: the declaration opens with
+/// `pub struct Name {` at column 0 and the body ends at the first
+/// column-0 `}`. Tuple and unit structs have no named fields and are
+/// skipped; non-`pub` fields are wire-internal and exempt.
+fn pub_structs(src: &str) -> Vec<(String, usize, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut lines = src.lines().enumerate();
+    while let Some((i, line)) = lines.next() {
+        let Some(rest) = line.strip_prefix("pub struct ") else {
+            continue;
+        };
+        let Some(name) = rest
+            .split(['{', '<', ' '])
+            .next()
+            .filter(|n| !n.is_empty() && rest.trim_end().ends_with('{'))
+        else {
+            continue;
+        };
+        let mut fields = Vec::new();
+        for (_, body) in lines.by_ref() {
+            if body.starts_with('}') {
+                break;
+            }
+            let Some(field) = body.trim_start().strip_prefix("pub ") else {
+                continue;
+            };
+            if let Some((ident, _)) = field.split_once(':') {
+                fields.push(ident.trim().to_string());
+            }
+        }
+        out.push((name.to_string(), i + 1, fields));
+    }
+    out
 }
