@@ -37,6 +37,22 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    let mut command = command.as_str();
+    let mut rest = rest;
+    // `route` takes a subcommand word (`blot route serve …`), which the
+    // flag-only parser would reject as positional — peel it off here.
+    if command == "route" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "serve" => {
+                command = "route-serve";
+                rest = tail;
+            }
+            _ => {
+                eprintln!("error: `blot route` requires the `serve` subcommand\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let args = match Args::parse(rest) {
         Ok(a) => a,
         Err(e) => {
@@ -44,7 +60,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = match command.as_str() {
+    let result = match command {
         "generate" => cmd_generate(&args),
         "build" => cmd_build(&args),
         "info" => cmd_info(&args),
@@ -55,6 +71,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "serve" => cmd_serve(&args),
+        "route-serve" => cmd_route_serve(&args),
         "help" | "--help" | "-h" => {
             pipe_println(USAGE);
             Ok(())
@@ -88,6 +105,14 @@ commands:
   trace     --remote ADDR [--json|--chrome] [--slow MS] [--last N]
   serve     --store DIR [--addr HOST:PORT] [--max-conns N] [--queue-depth N] [--handlers N]
             [--slow-log MS]
+  route serve --shard ADDR [--shard ADDR …] [--addr HOST:PORT] [--cuts V1,V2,…] [--axis x|y|t]
+            [--map-version N] [--conns-per-shard N] [--shard-retries N]
+  query     --coordinator ADDR --center LON,LAT,T --size W,H,T [--limit N] [--trace]
+  stats     --coordinator ADDR [--json]
+
+`route serve` runs a scatter-gather coordinator over running `serve`
+shards: records are placed by OID hash by default, or by region slabs
+when --cuts (interior cut points on --axis, default t) is given.
 
 replica syntax: S<spatial>xT<temporal>/<LAYOUT>-<CODEC>, e.g. S64xT16/COL-GZIP
   spatial ∈ {4,16,64,256,1024,4096}; temporal a power of two
@@ -285,7 +310,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let (w, h, t) = parse_triple(args.require("size")?, "--size")?;
     let range = Cuboid::from_centroid(Point::new(cx, cy, ct), QuerySize::new(w, h, t));
     let limit = args.get_parsed::<usize>("limit")?.unwrap_or(5);
-    if let Some(addr) = args.get("remote") {
+    // A coordinator speaks the same wire protocol as a single server;
+    // `--coordinator` is routing documentation, not a different client.
+    let remote = args.get("remote").or_else(|| args.get("coordinator"));
+    if let Some(addr) = remote {
         if args.get("replica-id").is_some() {
             return Err(
                 "--replica-id is not supported with --remote (routing is server-side)".into(),
@@ -508,7 +536,7 @@ fn cmd_stats_remote(args: &Args, addr: &str) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    if let Some(addr) = args.get("remote") {
+    if let Some(addr) = args.get("remote").or_else(|| args.get("coordinator")) {
         return cmd_stats_remote(args, addr);
     }
     let store = open_store(args)?;
@@ -759,8 +787,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     let server = blot_server::Server::start(std::sync::Arc::new(store), addr, config)
         .map_err(|e| e.to_string())?;
+    serve_until_quit(server, "serving")
+}
+
+/// Shared serve loop: announce, watch stdin for `quit`/`stop`/EOF,
+/// drain on shutdown, report. Used by `serve` and `route serve`.
+fn serve_until_quit(server: blot_server::Server, what: &str) -> Result<(), String> {
     pipe_println(&format!(
-        "serving on {} — EOF or `quit` on stdin shuts down",
+        "{what} on {} — EOF or `quit` on stdin shuts down",
         server.local_addr()
     ));
     let flag = server.shutdown_flag();
@@ -795,4 +829,65 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.threads_joined, report.pool_drained
     ));
     Ok(())
+}
+
+/// `blot route serve`: run a scatter-gather coordinator over N running
+/// `blot serve` shards, itself fronted by the same TCP serving layer —
+/// so `blot query --coordinator ADDR` is the ordinary remote client.
+fn cmd_route_serve(args: &Args) -> Result<(), String> {
+    use blot_router::{RouterConfig, RouterService, ShardMap, ShardSpec};
+    let shards: Vec<String> = args
+        .get_all("shard")
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    if shards.is_empty() {
+        return Err("at least one --shard ADDR is required".into());
+    }
+    let version = args.get_parsed::<u64>("map-version")?.unwrap_or(1);
+    let spec = if let Some(cuts) = args.get("cuts") {
+        let axis = match args.get("axis").unwrap_or("t") {
+            "x" => 0,
+            "y" => 1,
+            "t" => 2,
+            other => return Err(format!("unknown --axis `{other}` (expected x|y|t)")),
+        };
+        let cuts: Vec<f64> = cuts
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| format!("bad number `{p}` in --cuts"))
+            })
+            .collect::<Result<_, _>>()?;
+        ShardSpec::AxisCuts { axis, cuts }
+    } else {
+        ShardSpec::OidHash {
+            shards: u32::try_from(shards.len()).map_err(|_| "too many shards".to_owned())?,
+        }
+    };
+    let map = ShardMap::new(version, spec, shards).map_err(|e| e.to_string())?;
+    let mut router_config = RouterConfig::default();
+    if let Some(n) = args.get_parsed::<usize>("conns-per-shard")? {
+        router_config.pool.conns_per_shard = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<u32>("shard-retries")? {
+        router_config.pool.shard_retries = n;
+    }
+    let n_shards = map.len();
+    let service = RouterService::new(map, router_config).map_err(|e| e.to_string())?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7500");
+    let mut config = blot_server::ServerConfig::default();
+    if let Some(n) = args.get_parsed::<usize>("max-conns")? {
+        config.max_conns = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<usize>("queue-depth")? {
+        config.queue_depth = n.max(1);
+    }
+    if let Some(n) = args.get_parsed::<usize>("handlers")? {
+        config.handlers = n.max(1);
+    }
+    let server = blot_server::Server::start(std::sync::Arc::new(service), addr, config)
+        .map_err(|e| e.to_string())?;
+    serve_until_quit(server, &format!("coordinating {n_shards} shard(s)"))
 }

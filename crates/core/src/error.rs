@@ -38,6 +38,19 @@ pub enum CoreError {
     /// A partition id fell outside its scheme's range during ingest
     /// bookkeeping.
     UnknownPartition(UnknownPartition),
+    /// A distributed query could not reach (or was shed by) one of the
+    /// shards behind a coordinator. Carries the shard's retry hint so
+    /// the serving layer can forward it on the wire instead of making
+    /// the client guess.
+    ShardUnavailable {
+        /// The shard that failed.
+        shard: u32,
+        /// How long the caller should wait before retrying, in
+        /// milliseconds. Zero means "no hint".
+        retry_after_ms: u32,
+        /// Human-readable detail about the underlying failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -60,6 +73,17 @@ impl fmt::Display for CoreError {
                 write!(f, "{what} id exceeds the u32 key space")
             }
             Self::UnknownPartition(e) => write!(f, "ingest bookkeeping failed: {e}"),
+            Self::ShardUnavailable {
+                shard,
+                retry_after_ms,
+                detail,
+            } => {
+                write!(f, "shard {shard} unavailable: {detail}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
+            }
         }
     }
 }

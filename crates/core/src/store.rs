@@ -1359,6 +1359,15 @@ pub trait QueryService: Send + Sync {
     /// Cost-model drift, per encoding scheme.
     fn drift_report(&self, band: DriftBand) -> DriftReport;
 
+    /// A full pre-rendered `Stats` JSON document, when the service
+    /// replaces the serving layer's default payload (a coordinator
+    /// aggregates per-shard documents into one view). `None` — the
+    /// default — means "render the standard single-store payload".
+    fn stats_json(&self, band: Option<DriftBand>) -> Option<String> {
+        let _ = band;
+        None
+    }
+
     /// The data universe (used to validate / clamp remote queries).
     fn universe(&self) -> Cuboid;
 

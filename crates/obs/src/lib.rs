@@ -36,6 +36,7 @@ mod counter;
 mod export;
 mod histogram;
 mod registry;
+mod router;
 mod server;
 mod span;
 pub mod trace;
@@ -43,6 +44,7 @@ pub mod trace;
 pub use counter::{Counter, Gauge};
 pub use histogram::{bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricsRegistry, Snapshot};
+pub use router::RouterMetrics;
 pub use server::ServerMetrics;
 pub use span::Span;
 pub use trace::{

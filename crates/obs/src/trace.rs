@@ -71,6 +71,10 @@ const VOCAB: &[&str] = &[
     "failed_over",      // 22
     "partition",        // 23
     "queue_us",         // 24
+    "router.query",     // 25
+    "router.shard",     // 26
+    "shard",            // 27
+    "fanout",           // 28
 ];
 
 /// A span name or annotation key: an index into the static vocabulary.
@@ -145,6 +149,14 @@ pub mod names {
     pub const PARTITION: Name = Name(23);
     /// Key: microseconds a pool task waited before running.
     pub const QUEUE_US: Name = Name(24);
+    /// Coordinator-side root of one scatter-gather query.
+    pub const ROUTER_QUERY: Name = Name(25);
+    /// One shard's leg of a scatter-gather query (dispatch → reply).
+    pub const ROUTER_SHARD: Name = Name(26);
+    /// Key: shard id a sub-query was routed to.
+    pub const SHARD: Name = Name(27);
+    /// Key: shards a query fanned out to.
+    pub const FANOUT: Name = Name(28);
 }
 
 /// 128-bit trace identifier. Plain data — real in every build, because

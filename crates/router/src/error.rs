@@ -1,0 +1,119 @@
+//! Structured coordinator errors.
+//!
+//! A scatter-gather query either merges **every** shard's reply or
+//! fails as a whole — partial results are never returned silently.
+//! Failures therefore name the shard at fault and carry the retry
+//! hint the serving layer forwards on the wire.
+
+use std::fmt;
+
+use blot_core::CoreError;
+
+/// Error from the shard router.
+#[derive(Debug)]
+pub enum RouterError {
+    /// The shard map itself is malformed (mismatched address count,
+    /// bad cut points, zero shards).
+    BadShardMap {
+        /// What was wrong with the map.
+        detail: String,
+    },
+    /// A shard could not be reached, repeatedly shed the sub-query, or
+    /// failed to reply before the gather deadline. Retryable: the
+    /// hint says how long to wait.
+    ShardUnavailable {
+        /// The shard that failed.
+        shard: u32,
+        /// The address the coordinator tried.
+        addr: String,
+        /// Suggested wait before retrying, in milliseconds (0 = no
+        /// hint).
+        retry_after_ms: u32,
+        /// Human-readable description of the underlying failure.
+        detail: String,
+    },
+    /// A shard answered with a server-side error that retrying will
+    /// not fix (malformed request, storage fault, empty store).
+    ShardFatal {
+        /// The shard that failed.
+        shard: u32,
+        /// The address the coordinator tried.
+        addr: String,
+        /// The shard's own error message.
+        detail: String,
+    },
+    /// A worker thread could not be spawned for the connection pool.
+    Spawn(std::io::Error),
+}
+
+impl RouterError {
+    /// The retry-after hint this error carries, in milliseconds.
+    /// Non-zero only for [`RouterError::ShardUnavailable`].
+    #[must_use]
+    pub fn retry_after_ms(&self) -> u32 {
+        match self {
+            Self::ShardUnavailable { retry_after_ms, .. } => *retry_after_ms,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadShardMap { detail } => write!(f, "bad shard map: {detail}"),
+            Self::ShardUnavailable {
+                shard,
+                addr,
+                retry_after_ms,
+                detail,
+            } => {
+                write!(f, "shard {shard} ({addr}) unavailable: {detail}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
+            }
+            Self::ShardFatal {
+                shard,
+                addr,
+                detail,
+            } => write!(f, "shard {shard} ({addr}) failed: {detail}"),
+            Self::Spawn(e) => write!(f, "could not spawn pool worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The serving layer speaks [`CoreError`]; a coordinator fronted by
+/// `blot-server` maps every routing failure onto the store error
+/// surface, preserving the retry hint.
+impl From<RouterError> for CoreError {
+    fn from(e: RouterError) -> Self {
+        let retry_after_ms = e.retry_after_ms();
+        let shard = match &e {
+            RouterError::ShardUnavailable { shard, .. } | RouterError::ShardFatal { shard, .. } => {
+                *shard
+            }
+            _ => u32::MAX,
+        };
+        Self::ShardUnavailable {
+            shard,
+            retry_after_ms,
+            detail: e.to_string(),
+        }
+    }
+}
+
+const _: () = {
+    const fn require_error_traits<E: std::error::Error + Send + Sync>() {}
+    require_error_traits::<RouterError>()
+};

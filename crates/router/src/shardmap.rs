@@ -1,0 +1,345 @@
+//! The versioned shard map: which shard owns which records, and which
+//! shards a query cuboid must visit.
+//!
+//! Two partitioning families cover the paper's deployment axes:
+//!
+//! * **OID hash** — records spread by a deterministic hash of the
+//!   object id. Placement is balanced regardless of fleet geometry,
+//!   but every range query fans out to every shard (an object can be
+//!   anywhere in space).
+//! * **Axis cuts** — the spatio-temporal universe is sliced along one
+//!   axis (x, y or t) at fixed cut points; shard `i` owns the
+//!   half-open interval `[cuts[i-1], cuts[i])`, with the first and
+//!   last shards extending to ±∞. Fan-out prunes to exactly the
+//!   shards whose slab a (closed) query cuboid overlaps.
+//!
+//! Both assign every record to **exactly one** shard — the property
+//! the routing proptests pin — and both are carried inside a
+//! [`ShardMap`] stamped with a version so coordinator and operators
+//! can tell stale maps apart.
+
+use blot_geo::Cuboid;
+use blot_json::Json;
+use blot_model::Record;
+
+use crate::error::RouterError;
+
+/// How records are assigned to shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardSpec {
+    /// Spread by a deterministic hash of the object id over `shards`
+    /// buckets. Every query fans out to every shard.
+    OidHash {
+        /// Number of shards (≥ 1).
+        shards: u32,
+    },
+    /// Slice one axis (0 = x, 1 = y, 2 = t) at sorted interior cut
+    /// points; `cuts.len() + 1` shards. Queries fan out only to the
+    /// slabs they overlap.
+    AxisCuts {
+        /// The sliced axis: 0 (x), 1 (y) or 2 (t).
+        axis: usize,
+        /// Strictly increasing, finite interior cut points.
+        cuts: Vec<f64>,
+    },
+}
+
+impl ShardSpec {
+    /// The number of shards this spec implies.
+    #[must_use]
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            Self::OidHash { shards } => *shards,
+            Self::AxisCuts { cuts, .. } => {
+                u32::try_from(cuts.len().saturating_add(1)).unwrap_or(u32::MAX)
+            }
+        }
+    }
+}
+
+/// A versioned assignment of the fleet to shard servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMap {
+    version: u64,
+    spec: ShardSpec,
+    addrs: Vec<String>,
+}
+
+/// FNV-1a over the object id's little-endian bytes: deterministic
+/// across processes and platforms, so every coordinator instance (and
+/// the ingest side placing records) agrees on placement.
+fn oid_bucket(oid: u32, shards: u32) -> u32 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for b in oid.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    // shards >= 1 is validated at map construction.
+    u32::try_from(h % u64::from(shards.max(1))).unwrap_or(0)
+}
+
+impl ShardMap {
+    /// Builds a map binding `spec` to one address per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::BadShardMap`] when the spec implies zero shards,
+    /// the address count does not match, the axis is out of range, or
+    /// the cut points are not finite and strictly increasing.
+    pub fn new(version: u64, spec: ShardSpec, addrs: Vec<String>) -> Result<Self, RouterError> {
+        let bad = |detail: String| RouterError::BadShardMap { detail };
+        let count = spec.shard_count();
+        if count == 0 {
+            return Err(bad("spec implies zero shards".to_owned()));
+        }
+        match &spec {
+            ShardSpec::OidHash { .. } => {}
+            ShardSpec::AxisCuts { axis, cuts } => {
+                if *axis > 2 {
+                    return Err(bad(format!("axis {axis} out of range (0..=2)")));
+                }
+                let mut prev: Option<f64> = None;
+                for (i, c) in cuts.iter().enumerate() {
+                    if !c.is_finite() {
+                        return Err(bad(format!("cut {i} is not finite")));
+                    }
+                    if prev.is_some_and(|p| p >= *c) {
+                        return Err(bad(format!("cuts not strictly increasing at index {i}")));
+                    }
+                    prev = Some(*c);
+                }
+            }
+        }
+        if addrs.len() != count as usize {
+            return Err(bad(format!(
+                "spec implies {count} shard(s) but {} address(es) given",
+                addrs.len()
+            )));
+        }
+        Ok(Self {
+            version,
+            spec,
+            addrs,
+        })
+    }
+
+    /// The map's version stamp.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The partitioning spec.
+    #[must_use]
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.spec.shard_count()
+    }
+
+    /// Whether the map holds no shards (never true for a constructed
+    /// map; kept for API symmetry with `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The address serving `shard`, if it exists.
+    #[must_use]
+    pub fn addr(&self, shard: u32) -> Option<&str> {
+        self.addrs.get(shard as usize).map(String::as_str)
+    }
+
+    /// All shard addresses, indexed by shard id.
+    #[must_use]
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// The shard owning `record` — total: every record lands on
+    /// exactly one shard.
+    #[must_use]
+    pub fn shard_of(&self, record: &Record) -> u32 {
+        match &self.spec {
+            ShardSpec::OidHash { shards } => oid_bucket(record.oid, *shards),
+            ShardSpec::AxisCuts { axis, cuts } => {
+                #[allow(clippy::cast_precision_loss)] // times are small ints
+                let v = match axis {
+                    0 => record.x,
+                    1 => record.y,
+                    _ => record.time as f64,
+                };
+                Self::slab_of(cuts, v)
+            }
+        }
+    }
+
+    /// The slab index of coordinate `v`: the number of cuts at or
+    /// below it, giving half-open `[cuts[i-1], cuts[i])` ownership.
+    fn slab_of(cuts: &[f64], v: f64) -> u32 {
+        u32::try_from(cuts.partition_point(|c| *c <= v)).unwrap_or(u32::MAX)
+    }
+
+    /// The shards a (closed) query cuboid must visit, ascending. Never
+    /// misses a shard that could hold a matching record: under
+    /// `OidHash` that is every shard; under `AxisCuts` every slab the
+    /// closed interval `[min, max]` on the cut axis overlaps.
+    #[must_use]
+    pub fn fanout(&self, range: &Cuboid) -> Vec<u32> {
+        match &self.spec {
+            ShardSpec::OidHash { shards } => (0..*shards).collect(),
+            ShardSpec::AxisCuts { axis, cuts } => {
+                let lo = range.min().axis(*axis);
+                let hi = range.max().axis(*axis);
+                if lo > hi {
+                    return Vec::new();
+                }
+                (Self::slab_of(cuts, lo)..=Self::slab_of(cuts, hi)).collect()
+            }
+        }
+    }
+
+    /// The map as a JSON document (for the aggregated `Stats` view).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        let spec = match &self.spec {
+            ShardSpec::OidHash { shards } => Json::obj([
+                ("kind", Json::Str("oid_hash".to_owned())),
+                ("shards", Json::Num(f64::from(*shards))),
+            ]),
+            ShardSpec::AxisCuts { axis, cuts } => Json::obj([
+                ("kind", Json::Str("axis_cuts".to_owned())),
+                ("axis", Json::Num(*axis as f64)),
+                (
+                    "cuts",
+                    Json::Arr(cuts.iter().map(|c| Json::Num(*c)).collect()),
+                ),
+            ]),
+        };
+        #[allow(clippy::cast_precision_loss)]
+        Json::obj([
+            ("version", Json::Num(self.version as f64)),
+            ("spec", spec),
+            (
+                "addrs",
+                Json::Arr(self.addrs.iter().map(|a| Json::Str(a.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use blot_geo::Point;
+
+    fn rec(oid: u32, time: i64, x: f64, y: f64) -> Record {
+        Record {
+            oid,
+            time,
+            x,
+            y,
+            speed: 0.0,
+            heading: 0.0,
+            occupied: false,
+            passengers: 0,
+        }
+    }
+
+    #[test]
+    fn oid_hash_is_total_and_stable() {
+        let map = ShardMap::new(
+            1,
+            ShardSpec::OidHash { shards: 4 },
+            (0..4).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
+        )
+        .unwrap();
+        for oid in 0..1000 {
+            let s = map.shard_of(&rec(oid, 0, 0.0, 0.0));
+            assert!(s < 4);
+            assert_eq!(s, map.shard_of(&rec(oid, 99, 5.0, 5.0)), "oid-only");
+        }
+        let range = Cuboid::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 1.0));
+        assert_eq!(map.fanout(&range), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn axis_cuts_assign_half_open_slabs() {
+        let map = ShardMap::new(
+            1,
+            ShardSpec::AxisCuts {
+                axis: 2,
+                cuts: vec![10.0, 20.0],
+            },
+            (0..3).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
+        )
+        .unwrap();
+        assert_eq!(map.shard_of(&rec(0, 9, 0.0, 0.0)), 0);
+        assert_eq!(map.shard_of(&rec(0, 10, 0.0, 0.0)), 1, "cut point goes up");
+        assert_eq!(map.shard_of(&rec(0, 19, 0.0, 0.0)), 1);
+        assert_eq!(map.shard_of(&rec(0, 25, 0.0, 0.0)), 2);
+    }
+
+    #[test]
+    fn axis_cuts_fanout_prunes_and_covers_boundaries() {
+        let map = ShardMap::new(
+            1,
+            ShardSpec::AxisCuts {
+                axis: 2,
+                cuts: vec![10.0, 20.0],
+            },
+            (0..3).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
+        )
+        .unwrap();
+        let q =
+            |lo: f64, hi: f64| Cuboid::new(Point::new(-1e9, -1e9, lo), Point::new(1e9, 1e9, hi));
+        assert_eq!(map.fanout(&q(0.0, 5.0)), vec![0]);
+        assert_eq!(map.fanout(&q(11.0, 19.0)), vec![1]);
+        // A query ending exactly on a cut must include the upper slab:
+        // records at t == 10 live there and the cuboid is closed.
+        assert_eq!(map.fanout(&q(5.0, 10.0)), vec![0, 1]);
+        assert_eq!(map.fanout(&q(0.0, 30.0)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bad_maps_are_rejected() {
+        assert!(ShardMap::new(1, ShardSpec::OidHash { shards: 0 }, vec![]).is_err());
+        assert!(ShardMap::new(1, ShardSpec::OidHash { shards: 2 }, vec!["a".to_owned()]).is_err());
+        assert!(ShardMap::new(
+            1,
+            ShardSpec::AxisCuts {
+                axis: 3,
+                cuts: vec![1.0]
+            },
+            vec!["a".to_owned(), "b".to_owned()]
+        )
+        .is_err());
+        assert!(ShardMap::new(
+            1,
+            ShardSpec::AxisCuts {
+                axis: 2,
+                cuts: vec![2.0, 1.0]
+            },
+            vec!["a".to_owned(), "b".to_owned(), "c".to_owned()]
+        )
+        .is_err());
+        assert!(ShardMap::new(
+            1,
+            ShardSpec::AxisCuts {
+                axis: 2,
+                cuts: vec![f64::NAN]
+            },
+            vec!["a".to_owned(), "b".to_owned()]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for shard-map routing.
+//!
+//! The two invariants distributed correctness rests on:
+//!
+//! 1. **Exactly one owner** — `shard_of` is a total function into
+//!    `0..len`, so partitioning a batch by it assigns every record to
+//!    exactly one shard (no loss, no duplication).
+//! 2. **Fan-out never misses** — for any query cuboid, every record
+//!    the query matches lives on a shard named by `fanout`, checked
+//!    against the single-store oracle: filtering the whole batch must
+//!    equal filtering the union of the fanned-out shards' slices.
+
+// Test code: panicking on setup failure is the desired behaviour.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss
+)]
+
+use blot_geo::{Cuboid, Point};
+use blot_model::{Record, RecordBatch};
+use blot_router::{ShardMap, ShardSpec};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (0u32..500, -50i64..50, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(oid, time, x, y)| {
+        Record {
+            oid,
+            time,
+            x,
+            y,
+            speed: 0.0,
+            heading: 0.0,
+            occupied: false,
+            passengers: 0,
+        }
+    })
+}
+
+fn arb_cuboid() -> impl Strategy<Value = Cuboid> {
+    let p = || (-120.0f64..120.0, -120.0f64..120.0, -60.0f64..60.0);
+    (p(), p()).prop_map(|((ax, ay, at), (bx, by, bt))| {
+        let a = Point::new(ax, ay, at);
+        let b = Point::new(bx, by, bt);
+        Cuboid::new(a.min_with(&b), a.max_with(&b))
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = ShardSpec> {
+    prop_oneof![
+        (1u32..=8).prop_map(|shards| ShardSpec::OidHash { shards }),
+        (0usize..3, proptest::collection::vec(-90.0f64..90.0, 1..=5)).prop_map(
+            |(axis, mut cuts)| {
+                cuts.sort_by(f64::total_cmp);
+                cuts.dedup();
+                ShardSpec::AxisCuts { axis, cuts }
+            }
+        ),
+    ]
+}
+
+fn map_for(spec: &ShardSpec) -> ShardMap {
+    let n = spec.shard_count();
+    let addrs = (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect();
+    ShardMap::new(1, spec.clone(), addrs).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn every_record_lands_on_exactly_one_shard(
+        spec in arb_spec(),
+        records in proptest::collection::vec(arb_record(), 1..200),
+    ) {
+        let map = map_for(&spec);
+        for r in &records {
+            let s = map.shard_of(r);
+            prop_assert!(s < map.len(), "shard {} out of range {}", s, map.len());
+            // Total function: same record, same shard, every time.
+            prop_assert_eq!(s, map.shard_of(r));
+        }
+    }
+
+    #[test]
+    fn fanout_never_misses_a_matching_record(
+        spec in arb_spec(),
+        records in proptest::collection::vec(arb_record(), 1..200),
+        range in arb_cuboid(),
+    ) {
+        let map = map_for(&spec);
+        let fanout = map.fanout(&range);
+        for s in &fanout {
+            prop_assert!(*s < map.len());
+        }
+        // Partition the batch exactly as a distributed ingest would.
+        let mut shards: Vec<RecordBatch> =
+            (0..map.len()).map(|_| RecordBatch::new()).collect();
+        let mut whole = RecordBatch::new();
+        for r in &records {
+            shards[map.shard_of(r) as usize].push(*r);
+            whole.push(*r);
+        }
+        // Oracle: the single-store fingerprint of the query…
+        let mut expect = whole.filter_range(&range);
+        expect.sort_by_oid_time();
+        // …must equal the union of the fanned-out shards' answers.
+        let mut got = RecordBatch::new();
+        for s in &fanout {
+            let part = shards[*s as usize].filter_range(&range);
+            for i in 0..part.len() {
+                got.push(part.get(i));
+            }
+        }
+        got.sort_by_oid_time();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn axis_fanout_is_contiguous_and_minimal_on_owners(
+        cuts in proptest::collection::vec(-90.0f64..90.0, 1..=5),
+        records in proptest::collection::vec(arb_record(), 1..100),
+    ) {
+        let mut cuts = cuts;
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        let map = map_for(&ShardSpec::AxisCuts { axis: 2, cuts });
+        // A degenerate cuboid exactly at one record's position must fan
+        // out to (at least) that record's owner.
+        for r in &records {
+            let p = Point::new(r.x, r.y, r.time as f64);
+            let probe = Cuboid::new(p, p);
+            let fanout = map.fanout(&probe);
+            prop_assert!(
+                fanout.contains(&map.shard_of(r)),
+                "owner {} missing from {:?}",
+                map.shard_of(r),
+                fanout
+            );
+            // Contiguity: axis slabs are an interval of shard ids.
+            for w in fanout.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+}

@@ -131,7 +131,10 @@ pub enum Disposition {
 #[must_use]
 pub fn disposition(code: ErrorCode) -> Disposition {
     match code {
-        ErrorCode::Overloaded => Disposition::RetryAfterHint,
+        // A coordinator's shard failure is transient from the client's
+        // seat: the shard may restart or shed load, and the coordinator
+        // forwards the shard's own retry hint.
+        ErrorCode::Overloaded | ErrorCode::ShardUnavailable => Disposition::RetryAfterHint,
         ErrorCode::IdleTimeout => Disposition::Reconnect,
         ErrorCode::Malformed
         | ErrorCode::BadVersion
@@ -365,6 +368,10 @@ mod tests {
     fn every_error_code_has_a_disposition() {
         assert_eq!(
             disposition(ErrorCode::Overloaded),
+            Disposition::RetryAfterHint
+        );
+        assert_eq!(
+            disposition(ErrorCode::ShardUnavailable),
             Disposition::RetryAfterHint
         );
         assert_eq!(disposition(ErrorCode::IdleTimeout), Disposition::Reconnect);

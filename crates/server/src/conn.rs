@@ -356,10 +356,15 @@ fn handle_frame<S: QueryService + ?Sized>(frame: &Frame, ctx: &ConnContext<S>) -
     };
     match request {
         Request::Ping => (Response::Pong, true),
-        Request::Stats(band) => (
-            Response::StatsOk(stats::stats_payload(ctx.service.as_ref(), band)),
-            true,
-        ),
+        Request::Stats(band) => {
+            // A coordinator service pre-renders its own aggregated
+            // document; everything else gets the standard payload.
+            let payload = ctx
+                .service
+                .stats_json(band)
+                .unwrap_or_else(|| stats::stats_payload(ctx.service.as_ref(), band));
+            (Response::StatsOk(payload), true)
+        }
         Request::RangeQuery(q) => {
             // Every remote query runs under a `server.request` root:
             // adopted from the client's wire context when present, a
@@ -415,7 +420,18 @@ fn handle_frame<S: QueryService + ?Sized>(frame: &Frame, ctx: &ConnContext<S>) -
                             true,
                         ),
                         Err(e) => (
-                            error_response(ErrorCode::from_core(&e), 0, e.to_string()),
+                            match e {
+                                // A coordinator's shard failure forwards
+                                // the failed shard's retry hint.
+                                CoreError::ShardUnavailable { retry_after_ms, .. } => {
+                                    error_response(
+                                        ErrorCode::ShardUnavailable,
+                                        retry_after_ms,
+                                        e.to_string(),
+                                    )
+                                }
+                                _ => error_response(ErrorCode::from_core(&e), 0, e.to_string()),
+                            },
                             true,
                         ),
                     },

@@ -170,6 +170,10 @@ pub enum ErrorCode {
     Internal = 8,
     /// The connection sat idle past the server's idle timeout.
     IdleTimeout = 9,
+    /// A coordinator could not reach (or was shed by) one of its
+    /// shards; the query produced no partial results. Retry after the
+    /// hint — the shard may recover or the shard map may heal.
+    ShardUnavailable = 10,
 }
 
 impl ErrorCode {
@@ -192,6 +196,7 @@ impl ErrorCode {
             6 => Self::NoReplicas,
             7 => Self::NoSuchReplica,
             9 => Self::IdleTimeout,
+            10 => Self::ShardUnavailable,
             _ => Self::Internal,
         }
     }
@@ -203,6 +208,7 @@ impl ErrorCode {
             CoreError::Storage(_) => Self::Storage,
             CoreError::NoReplicas => Self::NoReplicas,
             CoreError::NoSuchReplica { .. } => Self::NoSuchReplica,
+            CoreError::ShardUnavailable { .. } => Self::ShardUnavailable,
             _ => Self::Internal,
         }
     }
@@ -213,8 +219,9 @@ impl ErrorCode {
 pub struct WireError {
     /// What went wrong.
     pub code: ErrorCode,
-    /// For [`ErrorCode::Overloaded`]: how long the client should wait
-    /// before retrying, in milliseconds. Zero means "no hint".
+    /// For [`ErrorCode::Overloaded`] and [`ErrorCode::ShardUnavailable`]:
+    /// how long the client should wait before retrying, in
+    /// milliseconds. Zero means "no hint".
     pub retry_after_ms: u32,
     /// Human-readable detail (never required for correct behaviour).
     pub message: String,
@@ -1008,6 +1015,7 @@ mod tests {
             ErrorCode::NoSuchReplica,
             ErrorCode::Internal,
             ErrorCode::IdleTimeout,
+            ErrorCode::ShardUnavailable,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), code);
         }

@@ -100,7 +100,9 @@ use std::path::{Path, PathBuf};
 /// Crates whose library code must be panic-free (rule `panic` and
 /// `indexing`): these implement the query/repair hot paths and the
 /// network serving layer (a panic there kills a connection handler).
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "storage", "codec", "mip", "index", "server"];
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "core", "storage", "codec", "mip", "index", "server", "router",
+];
 
 /// `(crate, file)` pairs holding bit-level encode/decode state
 /// machines, where every narrowing `as` cast must carry an interval
@@ -122,8 +124,10 @@ pub const LOCK_DISCIPLINE_CRATES: &[&str] = &["storage", "core"];
 /// pool instead of spawning ad-hoc OS threads (rule `thread-discipline`).
 /// The pool's own implementation file is exempt, and `server`'s
 /// long-lived accept/handler/batcher threads carry a waiver at their
-/// single spawn site (`conn.rs::spawn_named`).
-pub const THREAD_DISCIPLINE_CRATES: &[&str] = &["storage", "core", "server"];
+/// single spawn site (`conn.rs::spawn_named`). `router`'s shard
+/// connection workers are long-lived I/O threads, deliberately kept in
+/// its `pool.rs` so they fall under the pool-file exemption.
+pub const THREAD_DISCIPLINE_CRATES: &[&str] = &["storage", "core", "server", "router"];
 
 /// The one file allowed to create OS threads: the pool itself.
 pub const THREAD_DISCIPLINE_EXEMPT_FILE: &str = "pool.rs";
